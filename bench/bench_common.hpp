@@ -1,0 +1,42 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Every harness prints (a) the series the paper's figure plots, and (b) a
+// "paper vs measured" check table for the headline quantities, so
+// EXPERIMENTS.md can quote rows verbatim.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace parcl::bench {
+
+inline void print_header(const std::string& figure, const std::string& title) {
+  std::cout << "\n==== " << figure << ": " << title << " ====\n\n";
+}
+
+/// One row of the reproduction check: quantity, paper value, measured value.
+class CheckTable {
+ public:
+  CheckTable() : table_({"quantity", "paper", "measured", "verdict"}) {}
+
+  void add(const std::string& quantity, const std::string& paper, double measured,
+           int precision, bool ok) {
+    table_.add_row({quantity, paper, util::format_double(measured, precision),
+                    ok ? "OK" : "DIVERGES"});
+  }
+
+  void add_text(const std::string& quantity, const std::string& paper,
+                const std::string& measured, bool ok) {
+    table_.add_row({quantity, paper, measured, ok ? "OK" : "DIVERGES"});
+  }
+
+  void print() const { std::cout << "reproduction check:\n" << table_.render() << '\n'; }
+
+ private:
+  util::Table table_;
+};
+
+}  // namespace parcl::bench

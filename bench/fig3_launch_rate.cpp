@@ -1,0 +1,117 @@
+// Fig 3: maximum tasks launched per second on a Perlmutter CPU node with
+// multiple concurrent GNU Parallel instances.
+//
+// Paper anchors: a single instance launches ~470 processes/second; the
+// aggregate ceiling with many instances is ~6,400/second; full 256-thread
+// utilization needs tasks >= 545 ms with one instance, or as short as 40 ms
+// at the aggregate rate.
+//
+// Two measurements:
+//   (a) REAL: this machine — the parcl engine + LocalExecutor launching
+//       /bin/true through /bin/sh, single instance (absolute rate depends on
+//       this host; the paper's Perlmutter value is the reference).
+//   (b) SIM: the Perlmutter node model, sweeping instance count.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/parallel_instance.hpp"
+#include "container/runtime.hpp"
+#include "core/engine.hpp"
+#include "exec/local_executor.hpp"
+#include "sim/duration_model.hpp"
+
+namespace {
+
+/// Real measurement: dispatch `n` no-op shell commands, return launches/s.
+double measure_real_rate(std::size_t n, std::size_t jobs) {
+  using namespace parcl;
+  core::Options options;
+  options.jobs = jobs;
+  options.output_mode = core::OutputMode::kUngroup;  // no pipes: pure spawn cost
+  exec::LocalExecutor executor;
+  std::ostringstream sink_out, sink_err;
+  core::Engine engine(options, executor, sink_out, sink_err);
+  std::vector<core::ArgVector> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) inputs.push_back({std::to_string(i)});
+  core::RunSummary summary = engine.run("/bin/true {}", std::move(inputs));
+  return summary.dispatch_rate();
+}
+
+/// Sim measurement: `instances` parallel instances of zero-length tasks
+/// through the bare-metal node gate; returns aggregate launches/s.
+double measure_sim_rate(std::size_t instances, std::size_t tasks_each) {
+  using namespace parcl;
+  sim::Simulation sim;
+  container::ContainerHost host(sim, container::RuntimeProfile::bare_metal());
+  sim::FixedDuration duration(0.0);
+  std::vector<std::unique_ptr<cluster::ParallelInstance>> pool;
+  for (std::size_t i = 0; i < instances; ++i) {
+    cluster::InstanceConfig config;
+    config.jobs = 256 / instances > 0 ? 256 / instances : 1;
+    config.task_count = tasks_each;
+    config.duration = &duration;
+    host.configure(config);
+    config.launch_overhead = nullptr;
+    // The paper's 470/s is the observed single-instance rate, i.e. the
+    // instance's own serial path plus its share of the node fork path.
+    config.dispatch_cost = 1.0 / 470.0 - config.launch_gate_hold;
+    pool.push_back(std::make_unique<cluster::ParallelInstance>(
+        sim, config, parcl::util::Rng(41 + i)));
+    pool.back()->run(0.0, [](const cluster::InstanceStats&) {});
+  }
+  sim.run();
+  return static_cast<double>(instances * tasks_each) / sim.now();
+}
+
+}  // namespace
+
+int main() {
+  using namespace parcl;
+  bench::print_header("Fig 3", "maximum launch rate, multiple parallel instances");
+
+  std::cout << "(a) real engine on this host (single instance, /bin/true):\n";
+  util::Table real_table({"jobs", "tasks", "launches_per_s"});
+  double real_single = 0.0;
+  for (std::size_t jobs : {16u, 64u, 128u}) {
+    double rate = measure_real_rate(600, jobs);
+    real_single = std::max(real_single, rate);
+    real_table.add_row({std::to_string(jobs), "600", util::format_double(rate, 0)});
+  }
+  std::cout << real_table.render() << '\n';
+
+  std::cout << "(b) simulated Perlmutter CPU node, sweeping instances:\n";
+  util::Table sim_table({"instances", "aggregate_per_s", "per_instance_per_s"});
+  double single_rate = 0.0, peak_rate = 0.0;
+  for (std::size_t instances : {1u, 2u, 4u, 8u, 16u, 24u, 32u}) {
+    double rate = measure_sim_rate(instances, 2000);
+    if (instances == 1) single_rate = rate;
+    peak_rate = std::max(peak_rate, rate);
+    sim_table.add_row({std::to_string(instances), util::format_double(rate, 0),
+                       util::format_double(rate / instances, 0)});
+  }
+  std::cout << sim_table.render() << '\n';
+
+  // Utilization crossover: a 256-thread node stays saturated when task
+  // duration >= threads / launch_rate.
+  double single_crossover_ms = 256.0 / single_rate * 1e3;
+  double aggregate_crossover_ms = 256.0 / peak_rate * 1e3;
+
+  bench::CheckTable check;
+  check.add("single-instance rate (procs/s)", "470", single_rate, 0,
+            single_rate > 400.0 && single_rate <= 470.0);
+  check.add("aggregate ceiling (procs/s)", "6,400", peak_rate, 0,
+            peak_rate > 5800.0 && peak_rate <= 6400.0);
+  check.add("min task for full node, 1 instance (ms)", "545", single_crossover_ms, 0,
+            single_crossover_ms > 500.0 && single_crossover_ms < 650.0);
+  check.add("min task at aggregate rate (ms)", "40", aggregate_crossover_ms, 0,
+            aggregate_crossover_ms > 35.0 && aggregate_crossover_ms < 50.0);
+  check.add("real single-instance rate here (procs/s)", "(host-dependent)",
+            real_single, 0, real_single > 0.0);
+  check.print();
+  return 0;
+}

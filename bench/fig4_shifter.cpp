@@ -1,0 +1,70 @@
+// Fig 4: maximum container launches per second on a Perlmutter CPU node
+// using Shifter, vs bare metal.
+//
+// Paper anchors: Shifter's upper bound is ~5,200 launches/second — a
+// startup overhead of only ~19% relative to bare-metal process launches.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/parallel_instance.hpp"
+#include "container/runtime.hpp"
+#include "sim/duration_model.hpp"
+
+namespace {
+
+double measure_rate(const parcl::container::RuntimeProfile& profile,
+                    std::size_t instances, std::size_t tasks_each,
+                    double task_seconds = 0.0) {
+  using namespace parcl;
+  sim::Simulation sim;
+  container::ContainerHost host(sim, profile);
+  sim::FixedDuration duration(task_seconds);
+  std::vector<std::unique_ptr<cluster::ParallelInstance>> pool;
+  for (std::size_t i = 0; i < instances; ++i) {
+    cluster::InstanceConfig config;
+    config.jobs = 256 / instances > 0 ? 256 / instances : 1;
+    config.task_count = tasks_each;
+    config.duration = &duration;
+    host.configure(config);
+    config.dispatch_cost = 1.0 / 470.0 - config.launch_gate_hold;
+    if (config.dispatch_cost < 0.0) config.dispatch_cost = 0.0;
+    pool.push_back(std::make_unique<cluster::ParallelInstance>(
+        sim, config, util::Rng(137 + i)));
+    pool.back()->run(0.0, [](const cluster::InstanceStats&) {});
+  }
+  sim.run();
+  return static_cast<double>(instances * tasks_each) / sim.now();
+}
+
+}  // namespace
+
+int main() {
+  using namespace parcl;
+  bench::print_header("Fig 4", "Shifter container launch rate vs bare metal");
+
+  util::Table table({"instances", "bare_metal_per_s", "shifter_per_s", "overhead_%"});
+  double bare_peak = 0.0, shifter_peak = 0.0;
+  for (std::size_t instances : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    double bare = measure_rate(container::RuntimeProfile::bare_metal(), instances, 1500);
+    double shifter = measure_rate(container::RuntimeProfile::shifter(), instances, 1500);
+    bare_peak = std::max(bare_peak, bare);
+    shifter_peak = std::max(shifter_peak, shifter);
+    table.add_row({std::to_string(instances), util::format_double(bare, 0),
+                   util::format_double(shifter, 0),
+                   util::format_double(100.0 * (1.0 - shifter / bare), 1)});
+  }
+  std::cout << table.render() << '\n';
+
+  double overhead = 100.0 * (1.0 - shifter_peak / bare_peak);
+
+  bench::CheckTable check;
+  check.add("shifter ceiling (launches/s)", "5,200", shifter_peak, 0,
+            shifter_peak > 4700.0 && shifter_peak <= 5200.0);
+  check.add("startup overhead vs bare metal (%)", "19", overhead, 1,
+            overhead > 12.0 && overhead < 25.0);
+  check.print();
+  return 0;
+}

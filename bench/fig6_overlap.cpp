@@ -1,0 +1,139 @@
+// Fig 6 / Listings 2-3: the data fetch-process workflow with a
+// synchronization queue.
+//
+// The paper's point: interleaving the download stage with the processing
+// stage (a queue file feeding `tail -f | parallel`) keeps resources busy —
+// processing starts as soon as each batch lands instead of after all
+// fetches. We run the real GOES workload (synthetic sector images, real
+// mean-brightness math) both ways through the parcl engine and compare.
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "exec/function_executor.hpp"
+#include "util/blocking_queue.hpp"
+#include "util/stopwatch.hpp"
+#include "workloads/goes.hpp"
+
+namespace {
+
+using namespace parcl;
+
+constexpr std::size_t kBatches = 6;
+constexpr std::size_t kImageSize = 240;  // keep runtime second-scale
+constexpr double kFetchSecondsPerBatch = 0.12;  // simulated network time
+
+/// "Download" one batch of 8 regions (rate-limited like a remote CDN), then
+/// return the images.
+std::vector<workloads::SectorImage> fetch_batch(std::uint64_t timestamp) {
+  std::vector<workloads::SectorImage> images;
+  images.reserve(8);
+  std::this_thread::sleep_for(std::chrono::duration<double>(kFetchSecondsPerBatch));
+  for (const char* region : workloads::kGoesRegions) {
+    images.push_back(
+        workloads::fetch_sector_image(region, timestamp, kImageSize, kImageSize));
+  }
+  return images;
+}
+
+double process_batch(const std::vector<workloads::SectorImage>& images) {
+  double sum = 0.0;
+  for (const auto& image : images) sum += workloads::mean_brightness_percent(image);
+  return sum / static_cast<double>(images.size());
+}
+
+/// Serial: fetch everything, then process everything.
+double run_serial() {
+  util::Stopwatch watch;
+  std::vector<std::vector<workloads::SectorImage>> batches;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    batches.push_back(fetch_batch(1000 * b));
+  }
+  double checksum = 0.0;
+  for (const auto& batch : batches) checksum += process_batch(batch);
+  std::cout << "  serial checksum: " << util::format_double(checksum, 2) << '\n';
+  return watch.elapsed_seconds();
+}
+
+/// Overlapped: a fetcher thread pushes batch timestamps into a queue (the
+/// q.proc analog); the engine consumes them with the processing task as
+/// they appear.
+double run_overlapped() {
+  util::Stopwatch watch;
+  util::BlockingQueue<std::uint64_t> queue;
+
+  std::thread fetcher([&queue] {
+    for (std::size_t b = 0; b < kBatches; ++b) {
+      // The fetch itself happens here (getdata's parallel -j8 curl ...).
+      std::this_thread::sleep_for(std::chrono::duration<double>(kFetchSecondsPerBatch));
+      queue.push(1000 * b);
+    }
+    queue.close();
+  });
+
+  // procdata: tail -n+0 -f q.proc | parallel -k -j8 'convert ...'
+  double checksum = 0.0;
+  std::mutex checksum_mutex;
+  auto task = [&](const core::ExecRequest& request) {
+    std::uint64_t timestamp = std::stoull(request.command.substr(
+        request.command.find_last_of(' ') + 1));
+    std::vector<workloads::SectorImage> images;
+    images.reserve(8);
+    for (const char* region : workloads::kGoesRegions) {
+      images.push_back(
+          workloads::fetch_sector_image(region, timestamp, kImageSize, kImageSize));
+    }
+    double mean = process_batch(images);
+    {
+      std::lock_guard<std::mutex> lock(checksum_mutex);
+      checksum += mean;
+    }
+    exec::TaskOutcome outcome;
+    outcome.stdout_data = "Timestamp:" + std::to_string(timestamp) + " mean " +
+                          util::format_double(mean, 2) + "\n";
+    return outcome;
+  };
+
+  core::Options options;
+  options.jobs = 8;
+  options.output_mode = core::OutputMode::kKeepOrder;  // parallel -k
+  exec::FunctionExecutor executor(task, 8);
+  std::ostringstream out, err;
+  core::Engine engine(options, executor, out, err);
+
+  // Stream the queue into engine inputs as they arrive.
+  std::vector<core::ArgVector> inputs;
+  while (auto timestamp = queue.pop()) {
+    // Process this batch immediately (one engine run per arrival models the
+    // streaming consumer; job startup cost is the engine's dispatch path).
+    engine.run("process {}", {{std::to_string(*timestamp)}});
+  }
+  fetcher.join();
+  std::cout << "  overlap checksum: " << util::format_double(checksum, 2) << '\n';
+  return watch.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 6", "fetch-process overlap via queue (Listings 2-3)");
+
+  double serial = run_serial();
+  double overlapped = run_overlapped();
+  double saving = 100.0 * (1.0 - overlapped / serial);
+
+  util::Table table({"mode", "makespan_s"});
+  table.add_row({"serial (fetch all, then process)", util::format_double(serial, 2)});
+  table.add_row({"overlapped (queue-fed)", util::format_double(overlapped, 2)});
+  std::cout << table.render() << '\n';
+
+  bench::CheckTable check;
+  check.add_text("overlap hides fetch or compute time", "processing starts per batch",
+                 util::format_double(saving, 1) + "% saved", overlapped < serial);
+  check.print();
+  return 0;
+}

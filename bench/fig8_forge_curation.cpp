@@ -1,0 +1,114 @@
+// Fig 8 / Sec IV-C: the FORGE preprocessing stage — clean and curate raw
+// publication data by extracting abstracts and full texts and removing
+// non-English and extraneous characters.
+//
+// The figure is a pipeline diagram; we regenerate it as a stage-by-stage
+// funnel table over a synthetic corpus with realistic failure modes, then
+// run the curation fan-out through the parcl engine (batches as jobs) and
+// report throughput — the "GNU Parallel enables efficient data cleaning and
+// enrichment" claim made concrete.
+#include <algorithm>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "exec/function_executor.hpp"
+#include "util/stopwatch.hpp"
+#include "workloads/forge.hpp"
+
+int main() {
+  using namespace parcl;
+  bench::print_header("Fig 8", "FORGE data curation pipeline");
+
+  constexpr std::size_t kDocs = 20000;
+  constexpr std::size_t kBatches = 40;
+
+  util::Rng rng(20260707);
+  auto corpus = workloads::generate_corpus(kDocs, rng);
+
+  // Stage-by-stage funnel (the Fig 8 boxes).
+  workloads::CurationStats funnel;
+  util::Stopwatch serial_watch;
+  auto kept = workloads::curate_batch(corpus, funnel);
+  double serial_seconds = serial_watch.elapsed_seconds();
+
+  util::Table stages({"stage", "documents", "note"});
+  stages.add_row({"raw publications", std::to_string(funnel.input_documents),
+                  util::format_bytes(static_cast<double>(funnel.bytes_in)) + " in"});
+  stages.add_row({"after extraction/scrub",
+                  std::to_string(funnel.input_documents - funnel.dropped_empty),
+                  std::to_string(funnel.dropped_empty) + " empty/garbage dropped"});
+  stages.add_row({"after language filter",
+                  std::to_string(funnel.input_documents - funnel.dropped_empty -
+                                 funnel.dropped_non_english),
+                  std::to_string(funnel.dropped_non_english) + " non-English dropped"});
+  stages.add_row({"after dedup", std::to_string(funnel.kept),
+                  std::to_string(funnel.dropped_duplicates) + " duplicates dropped"});
+  stages.add_row({"curated output", std::to_string(kept.size()),
+                  util::format_bytes(static_cast<double>(funnel.bytes_out)) + " out"});
+  std::cout << stages.render() << '\n';
+
+  // The parallel fan-out: batches as engine jobs (the per-file `parallel`
+  // invocation in the real workflow). Dedup is per-batch here, as it is in
+  // the paper's per-shard scripts.
+  workloads::CurationStats parallel_stats;
+  std::mutex stats_mutex;
+  auto curate_task = [&](const core::ExecRequest& request) {
+    std::size_t batch = static_cast<std::size_t>(
+        std::stoul(request.command.substr(request.command.rfind(' ') + 1)));
+    std::size_t begin = batch * (kDocs / kBatches);
+    std::size_t end = std::min(kDocs, begin + kDocs / kBatches);
+    std::vector<workloads::RawDocument> slice(corpus.begin() + begin,
+                                              corpus.begin() + end);
+    workloads::CurationStats local;
+    workloads::curate_batch(slice, local);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      parallel_stats.input_documents += local.input_documents;
+      parallel_stats.kept += local.kept;
+      parallel_stats.dropped_empty += local.dropped_empty;
+      parallel_stats.dropped_non_english += local.dropped_non_english;
+      parallel_stats.dropped_duplicates += local.dropped_duplicates;
+      parallel_stats.bytes_in += local.bytes_in;
+      parallel_stats.bytes_out += local.bytes_out;
+    }
+    return exec::TaskOutcome{};
+  };
+
+  core::Options options;
+  options.jobs = 8;
+  exec::FunctionExecutor executor(curate_task, 8);
+  std::ostringstream out, err;
+  core::Engine engine(options, executor, out, err);
+  std::vector<core::ArgVector> batches;
+  for (std::size_t b = 0; b < kBatches; ++b) batches.push_back({std::to_string(b)});
+  util::Stopwatch parallel_watch;
+  core::RunSummary summary = engine.run("curate-batch {}", std::move(batches));
+  double parallel_seconds = parallel_watch.elapsed_seconds();
+
+  std::cout << "serial curation:   "
+            << util::format_double(kDocs / serial_seconds, 0) << " docs/s\n";
+  std::cout << "engine fan-out:    "
+            << util::format_double(kDocs / parallel_seconds, 0) << " docs/s over "
+            << kBatches << " batches, " << summary.succeeded << " jobs ok\n\n";
+
+  bench::CheckTable check;
+  check.add_text("abstract+body extraction", "both sections recovered",
+                 std::to_string(kept.size()) + " curated docs", !kept.empty());
+  check.add("non-English share dropped (%)", "~15 (corpus mix)",
+            100.0 * static_cast<double>(funnel.dropped_non_english) / kDocs, 1,
+            funnel.dropped_non_english > kDocs / 10 &&
+                funnel.dropped_non_english < kDocs / 4);
+  check.add_text("dedup", "exact duplicates removed",
+                 std::to_string(funnel.dropped_duplicates) + " removed",
+                 funnel.dropped_duplicates > 0);
+  check.add_text("engine fan-out result parity", "same keep count as serial",
+                 std::to_string(parallel_stats.kept) + " vs " +
+                     std::to_string(funnel.kept),
+                 parallel_stats.kept >= funnel.kept);  // per-batch dedup keeps >=
+  check.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Data motion (Sec IV-E): programmatic use of the DTN transfer engine.
+//
+// Models the paper's production pattern —
+//   find /gpfs/proj/data -type f | driver.sh | parallel -j32 -X rsync -R -Ha {} /lustre/proj/
+// over an 8-node DTN cluster — and compares it against a sequential copy
+// and a per-file WMS transfer protocol on the same synthetic archive.
+//
+//   $ ./examples/data_motion_demo
+#include <iostream>
+
+#include "dtn/transfer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parcl;
+
+  // A 2 TB / 100k-file project archive (heavy-tailed file sizes).
+  util::Rng rng(11);
+  storage::Dataset archive =
+      storage::Dataset::project_archive("proj", 100000, 2e12, rng);
+  std::cout << "archive: " << archive.file_count() << " files, "
+            << util::format_bytes(archive.total_bytes()) << "\n\n";
+
+  dtn::DtnSpec spec;  // 8 nodes x 32 rsync streams, paper calibration
+  dtn::DtnTransfer dtn(spec);
+
+  auto parallel = dtn.run_parallel(archive);
+  auto sequential = dtn.run_sequential(archive);
+  auto wms = dtn.run_wms_protocol(archive);
+
+  util::Table table({"mode", "streams", "duration", "per-node Mb/s", "speedup"});
+  auto add = [&](const dtn::TransferReport& report) {
+    table.add_row({report.label, std::to_string(report.total_streams),
+                   util::format_duration(report.duration),
+                   util::format_double(report.per_node_mbps(), 0),
+                   util::format_double(sequential.duration / report.duration, 1) + "x"});
+  };
+  add(parallel);
+  add(wms);
+  add(sequential);
+  std::cout << table.render();
+
+  std::cout << "\nthe 256-wide rsync fan-out moves the archive "
+            << util::format_double(sequential.duration / parallel.duration, 0)
+            << "x faster than one stream — the paper's ~200x claim at PB scale.\n";
+  return 0;
+}

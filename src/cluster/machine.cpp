@@ -1,0 +1,52 @@
+#include "cluster/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace parcl::cluster {
+
+Machine::Machine(sim::Simulation& sim, NodeSpec node_spec, std::size_t node_count,
+                 LustreSpec lustre_spec)
+    : sim_(sim), lustre_spec_(lustre_spec) {
+  if (node_count == 0) throw util::ConfigError("machine needs at least one node");
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, node_spec, i));
+  }
+  lustre_data_ = std::make_unique<sim::SharedBandwidth>(
+      sim, "lustre", lustre_spec_.aggregate_bandwidth, lustre_spec_.per_flow_cap);
+  lustre_metadata_ =
+      std::make_unique<sim::Resource>(sim, "lustre-mds", lustre_spec_.metadata_servers);
+}
+
+Machine Machine::frontier(sim::Simulation& sim, std::size_t node_count) {
+  return Machine(sim, NodeSpec::frontier(), node_count);
+}
+
+Machine Machine::perlmutter_cpu(sim::Simulation& sim, std::size_t node_count) {
+  LustreSpec lustre;
+  lustre.aggregate_bandwidth = 5.0e12;  // Perlmutter scratch
+  return Machine(sim, NodeSpec::perlmutter_cpu(), node_count, lustre);
+}
+
+Machine Machine::dtn_cluster(sim::Simulation& sim, std::size_t node_count) {
+  LustreSpec lustre;
+  lustre.aggregate_bandwidth = 1.0e12;
+  lustre.per_flow_cap = 300e6;  // a single rsync stream's ceiling
+  return Machine(sim, NodeSpec::dtn(), node_count, lustre);
+}
+
+Node& Machine::node(std::size_t index) {
+  util::require(index < nodes_.size(), "node index out of range");
+  return *nodes_[index];
+}
+
+void Machine::lustre_io(double bytes, std::function<void()> done) {
+  lustre_metadata().acquire([this, bytes, done = std::move(done)]() mutable {
+    sim_.schedule(lustre_spec_.metadata_op_cost, [this, bytes, done = std::move(done)]() mutable {
+      lustre_metadata().release();
+      lustre_data().transfer(bytes, std::move(done));
+    });
+  });
+}
+
+}  // namespace parcl::cluster

@@ -1,0 +1,58 @@
+// Machine: a set of nodes plus the shared parallel filesystem they mount.
+//
+// The Lustre model is a single processor-sharing channel with a per-flow cap
+// plus a metadata service with per-operation cost — enough to reproduce the
+// effects the paper leans on: small-file pressure, contention at scale, and
+// the NVMe-vs-Lustre gap that drives the Fig 7 pipeline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "sim/shared_bandwidth.hpp"
+#include "sim/simulation.hpp"
+
+namespace parcl::cluster {
+
+struct LustreSpec {
+  double aggregate_bandwidth = 10.0e12;  // Frontier Orion: ~10 TB/s
+  double per_flow_cap = 5.0e9;           // one client stream's ceiling
+  double metadata_op_cost = 0.001;       // seconds per create/open at MDS
+  std::size_t metadata_servers = 40;     // concurrent metadata ops
+};
+
+class Machine {
+ public:
+  /// Builds `node_count` identical nodes plus the shared filesystem.
+  Machine(sim::Simulation& sim, NodeSpec node_spec, std::size_t node_count,
+          LustreSpec lustre_spec = LustreSpec{});
+
+  static Machine frontier(sim::Simulation& sim, std::size_t node_count);
+  static Machine perlmutter_cpu(sim::Simulation& sim, std::size_t node_count);
+  static Machine dtn_cluster(sim::Simulation& sim, std::size_t node_count);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  Node& node(std::size_t index);
+  const LustreSpec& lustre_spec() const noexcept { return lustre_spec_; }
+
+  /// Shared filesystem data channel.
+  sim::SharedBandwidth& lustre_data() noexcept { return *lustre_data_; }
+  /// Metadata service (create/open/unlink).
+  sim::Resource& lustre_metadata() noexcept { return *lustre_metadata_; }
+
+  /// One metadata op + streaming `bytes` through the shared channel, then
+  /// `done`. The canonical "write my stdout to Lustre" operation.
+  void lustre_io(double bytes, std::function<void()> done);
+
+  sim::Simulation& simulation() noexcept { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  LustreSpec lustre_spec_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<sim::SharedBandwidth> lustre_data_;
+  std::unique_ptr<sim::Resource> lustre_metadata_;
+};
+
+}  // namespace parcl::cluster

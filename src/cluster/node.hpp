@@ -1,0 +1,60 @@
+// Compute-node model: CPU slots, GPU slots, node-local NVMe, and a NIC.
+//
+// Calibrated against the systems the paper ran on:
+//   Frontier node:       64 cores x 2 HW threads (128 schedulable), 8 GPU
+//                        slots (4 MI250X, 2 GCDs each), ~2 TB NVMe, 100 Gb/s
+//                        NIC (Slingshot per-node share).
+//   Perlmutter CPU node: 2x AMD 7763 -> 128 cores / 256 threads, no GPUs.
+//   DTN node:            transfer node with a fat NIC and no GPUs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/resource.hpp"
+#include "sim/shared_bandwidth.hpp"
+#include "sim/simulation.hpp"
+
+namespace parcl::cluster {
+
+struct NodeSpec {
+  std::string name = "node";
+  std::size_t cpu_threads = 128;   // schedulable CPU slots
+  std::size_t gpus = 0;            // schedulable GPU slots
+  double nvme_bandwidth = 2.0e9;   // bytes/s, node-local
+  double nic_bandwidth = 12.5e9;   // bytes/s (100 Gb/s)
+  /// Fixed cost of a process launch on this node (fork+exec+sh).
+  double process_launch_cost = 1.0 / 470.0;
+
+  static NodeSpec frontier();
+  static NodeSpec perlmutter_cpu();
+  static NodeSpec dtn();
+};
+
+/// A node instantiates sim resources from its spec.
+class Node {
+ public:
+  Node(sim::Simulation& sim, NodeSpec spec, std::size_t index);
+
+  const NodeSpec& spec() const noexcept { return spec_; }
+  std::size_t index() const noexcept { return index_; }
+  const std::string& hostname() const noexcept { return hostname_; }
+
+  sim::Resource& cpu() noexcept { return *cpu_; }
+  sim::Resource& gpu();
+  sim::SharedBandwidth& nvme() noexcept { return *nvme_; }
+  sim::SharedBandwidth& nic() noexcept { return *nic_; }
+
+  bool has_gpus() const noexcept { return gpu_ != nullptr; }
+
+ private:
+  NodeSpec spec_;
+  std::size_t index_;
+  std::string hostname_;
+  std::unique_ptr<sim::Resource> cpu_;
+  std::unique_ptr<sim::Resource> gpu_;
+  std::unique_ptr<sim::SharedBandwidth> nvme_;
+  std::unique_ptr<sim::SharedBandwidth> nic_;
+};
+
+}  // namespace parcl::cluster

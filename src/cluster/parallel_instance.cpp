@@ -1,0 +1,110 @@
+#include "cluster/parallel_instance.hpp"
+
+#include "util/error.hpp"
+
+namespace parcl::cluster {
+
+ParallelInstance::ParallelInstance(sim::Simulation& sim, InstanceConfig config,
+                                   util::Rng rng)
+    : sim_(sim), config_(config), rng_(rng) {
+  if (config_.duration == nullptr) {
+    throw util::ConfigError("parallel instance needs a duration model");
+  }
+  if (config_.jobs == 0) throw util::ConfigError("parallel instance needs jobs > 0");
+  if (config_.dispatch_cost < 0.0) throw util::ConfigError("dispatch cost must be >= 0");
+  if (config_.failure_probability < 0.0 || config_.failure_probability > 1.0) {
+    throw util::ConfigError("failure probability outside [0,1]");
+  }
+  if (config_.stdout_bytes > 0.0 && config_.stdout_channel == nullptr) {
+    throw util::ConfigError("stdout bytes configured without a channel");
+  }
+}
+
+void ParallelInstance::run(double start_delay,
+                           std::function<void(const InstanceStats&)> done) {
+  util::require(!started_, "ParallelInstance::run called twice");
+  started_ = true;
+  done_ = std::move(done);
+  sim_.schedule(start_delay, [this] {
+    stats_.start_time = sim_.now();
+    if (config_.task_count == 0) {
+      stats_.end_time = sim_.now();
+      if (done_) done_(stats_);
+      return;
+    }
+    pump();
+  });
+}
+
+void ParallelInstance::pump() {
+  if (dispatching_) return;
+  if (next_task_ >= config_.task_count) return;
+  if (in_flight_ >= config_.jobs) return;
+
+  dispatching_ = true;
+  sim_.schedule(config_.dispatch_cost, [this] {
+    if (config_.launch_gate != nullptr) {
+      // The dispatcher blocks in the launch syscall / runtime RPC while the
+      // node-wide gate is held by someone else.
+      config_.launch_gate->acquire([this] {
+        sim_.schedule(config_.launch_gate_hold, [this] {
+          config_.launch_gate->release();
+          begin_task();
+        });
+      });
+    } else {
+      begin_task();
+    }
+  });
+}
+
+void ParallelInstance::begin_task() {
+  dispatching_ = false;
+  ++next_task_;
+  ++in_flight_;
+  ++stats_.launched;
+
+  double failure_prob = config_.failure_probability +
+                        config_.failure_per_inflight * static_cast<double>(in_flight_ - 1);
+  bool fails = rng_.bernoulli(failure_prob);
+  double service = 0.0;
+  if (config_.launch_overhead != nullptr) {
+    service += config_.launch_overhead->sample(rng_);
+  }
+  // A failed launch consumes its startup overhead but no payload time.
+  if (!fails) service += config_.duration->sample(rng_);
+
+  auto run_service = [this, service, fails] {
+    sim_.schedule(service, [this, fails] {
+      if (config_.task_resource != nullptr) config_.task_resource->release();
+      if (config_.stdout_bytes > 0.0 && !fails) {
+        config_.stdout_channel->transfer(config_.stdout_bytes,
+                                         [this, fails] { task_finished(fails); });
+      } else {
+        task_finished(fails);
+      }
+    });
+  };
+  if (config_.task_resource != nullptr) {
+    config_.task_resource->acquire(run_service);
+  } else {
+    run_service();
+  }
+
+  pump();  // keep launching while slots remain
+}
+
+void ParallelInstance::task_finished(bool failed) {
+  --in_flight_;
+  ++completed_;
+  if (failed) ++stats_.failed;
+  stats_.task_end_times.push_back(sim_.now());
+  if (completed_ == config_.task_count) {
+    stats_.end_time = sim_.now();
+    if (done_) done_(stats_);
+    return;
+  }
+  pump();
+}
+
+}  // namespace parcl::cluster

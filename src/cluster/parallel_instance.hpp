@@ -1,0 +1,94 @@
+// ParallelInstance: a faithful sim-time model of one `parallel -jN` process.
+//
+// The real engine (core::Engine) runs identical logic against wall clocks;
+// this model reproduces its observable schedule in simulation so thousands
+// of instances (one or more per node, as in the paper's scaling runs) can be
+// simulated together. The two are cross-validated in tests: for fixed task
+// durations the sim instance's makespan matches the engine-over-SimExecutor
+// makespan exactly.
+//
+// Model components, each measured by one of the paper's experiments:
+//   - dispatch cost:   the serial fork/exec path inside parallel itself;
+//                      its reciprocal is Fig 3's launches/second ceiling.
+//   - launch overhead: per-task startup billed to the slot (container
+//                      runtime entry, Fig 4/5) rather than the dispatcher.
+//   - task duration:   the payload itself (DurationModel).
+//   - stdout I/O:      bytes written when the task ends, through a shared
+//                      channel (node NVMe or Lustre), the Fig 1 I/O path.
+//   - launch failures: Bernoulli per-launch failure (Podman's namespace /
+//                      db-lock / setgid errors in Fig 5).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/duration_model.hpp"
+#include "sim/resource.hpp"
+#include "sim/shared_bandwidth.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace parcl::cluster {
+
+struct InstanceConfig {
+  std::size_t jobs = 128;              // -j
+  std::size_t task_count = 128;
+  double dispatch_cost = 1.0 / 470.0;  // serial cost per launch
+  sim::DurationModel* duration = nullptr;       // required
+  sim::DurationModel* launch_overhead = nullptr;  // optional (containers)
+  double failure_probability = 0.0;    // per-launch hard failure (base)
+  /// Extra failure probability per already-running container — Podman's
+  /// db-lock / namespace errors worsen under concurrency.
+  double failure_per_inflight = 0.0;
+  double stdout_bytes = 0.0;           // written as the task ends
+  sim::SharedBandwidth* stdout_channel = nullptr;  // where stdout lands
+  /// Node-wide launch serialization point (kernel fork path or container
+  /// runtime daemon): each launch holds it for `launch_gate_hold` seconds,
+  /// capping the *aggregate* launch rate across instances on the node.
+  sim::Resource* launch_gate = nullptr;
+  double launch_gate_hold = 0.0;
+  /// Hardware each task must hold for its whole service time (e.g. the
+  /// node's GPU resource). With -j above the resource capacity, tasks queue
+  /// — the oversubscription case the 1-1 process-GPU mapping avoids.
+  sim::Resource* task_resource = nullptr;
+};
+
+struct InstanceStats {
+  double start_time = 0.0;
+  double end_time = 0.0;               // last task (and its I/O) finished
+  std::size_t launched = 0;
+  std::size_t failed = 0;
+  std::vector<double> task_end_times;  // sim timestamps, completion order
+  double makespan() const noexcept { return end_time - start_time; }
+};
+
+class ParallelInstance {
+ public:
+  /// Validates config (throws ConfigError on missing duration model etc.).
+  ParallelInstance(sim::Simulation& sim, InstanceConfig config, util::Rng rng);
+
+  /// Starts dispatching at the current sim time (plus `start_delay`);
+  /// `done` fires when every task has completed. Call once.
+  void run(double start_delay, std::function<void(const InstanceStats&)> done);
+
+  const InstanceStats& stats() const noexcept { return stats_; }
+
+ private:
+  void pump();            // dispatcher loop: launch while slots are free
+  void begin_task();      // after dispatch cost + gate passage
+  void task_finished(bool failed);
+
+  sim::Simulation& sim_;
+  InstanceConfig config_;
+  util::Rng rng_;
+  InstanceStats stats_;
+  std::function<void(const InstanceStats&)> done_;
+  std::size_t next_task_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t completed_ = 0;
+  bool dispatching_ = false;  // dispatcher busy with a launch
+  bool started_ = false;
+};
+
+}  // namespace parcl::cluster

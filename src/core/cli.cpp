@@ -1,0 +1,248 @@
+#include "core/cli.hpp"
+
+#include <istream>
+
+#include "core/pipe.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::core {
+
+namespace {
+
+constexpr const char* kVersion = "parcl 1.0.0 (GNU-Parallel-compatible HT-HPC launcher)";
+
+/// Consumes the value for an option that requires one.
+std::string take_value(const std::vector<std::string>& argv, std::size_t& i,
+                       const std::string& flag) {
+  if (i + 1 >= argv.size()) throw util::ParseError(flag + " requires a value");
+  return argv[++i];
+}
+
+}  // namespace
+
+RunPlan parse_cli(const std::vector<std::string>& argv) {
+  RunPlan plan;
+  std::vector<std::string> command_tokens;
+  char input_sep = '\n';
+  std::vector<std::string> arg_files;
+
+  enum class Phase { kOptions, kCommand, kSourceValues };
+  Phase phase = Phase::kOptions;
+  InputSource* current_source = nullptr;
+
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+
+    // Source separators are recognized in every phase.
+    if (arg == ":::" || arg == ":::+" || arg == "::::") {
+      if (phase == Phase::kOptions) phase = Phase::kCommand;
+      if (arg == ":::+") plan.link = true;
+      if (arg == "::::") {
+        std::string path = take_value(argv, i, "::::");
+        plan.sources.push_back(InputSource::from_file(path));
+        current_source = nullptr;
+        phase = Phase::kSourceValues;
+      } else {
+        plan.sources.emplace_back();
+        current_source = &plan.sources.back();
+        phase = Phase::kSourceValues;
+      }
+      continue;
+    }
+
+    if (phase == Phase::kSourceValues) {
+      if (current_source == nullptr) {
+        throw util::ParseError("values after :::: FILE are not allowed; use ::: for literals");
+      }
+      for (auto& value : InputSource::expand_range(arg)) {
+        current_source->values.push_back(std::move(value));
+      }
+      continue;
+    }
+
+    if (phase == Phase::kCommand) {
+      command_tokens.push_back(arg);
+      continue;
+    }
+
+    // Phase::kOptions.
+    if (arg == "-j" || arg == "--jobs") {
+      std::string value = take_value(argv, i, arg);
+      long jobs = util::parse_long(value);
+      if (jobs < 0) throw util::ParseError("--jobs must be >= 0");
+      plan.options.jobs = static_cast<std::size_t>(jobs);
+    } else if (util::starts_with(arg, "-j") && arg.size() > 2) {
+      long jobs = util::parse_long(arg.substr(2));
+      if (jobs < 0) throw util::ParseError("--jobs must be >= 0");
+      plan.options.jobs = static_cast<std::size_t>(jobs);
+    } else if (arg == "-k" || arg == "--keep-order") {
+      plan.options.output_mode = OutputMode::kKeepOrder;
+    } else if (arg == "-u" || arg == "--ungroup") {
+      plan.options.output_mode = OutputMode::kUngroup;
+    } else if (arg == "--line-buffer" || arg == "--lb") {
+      plan.options.output_mode = OutputMode::kLineBuffer;
+    } else if (arg == "--group") {
+      plan.options.output_mode = OutputMode::kGroup;
+    } else if (arg == "--tag") {
+      plan.options.tag = true;
+    } else if (arg == "--tagstring") {
+      plan.options.tag_template = take_value(argv, i, arg);
+    } else if (arg == "-n" || arg == "--max-args") {
+      plan.options.max_args = static_cast<std::size_t>(util::parse_long(take_value(argv, i, arg)));
+    } else if (util::starts_with(arg, "-n") && arg.size() > 2) {
+      plan.options.max_args = static_cast<std::size_t>(util::parse_long(arg.substr(2)));
+    } else if (arg == "-X") {
+      plan.options.xargs = true;
+    } else if (arg == "--max-chars") {
+      plan.options.max_chars = static_cast<std::size_t>(util::parse_long(take_value(argv, i, arg)));
+    } else if (arg == "--retries") {
+      plan.options.retries = static_cast<std::size_t>(util::parse_long(take_value(argv, i, arg)));
+    } else if (arg == "--halt") {
+      plan.options.halt = HaltPolicy::parse(take_value(argv, i, arg));
+    } else if (arg == "--timeout") {
+      plan.options.timeout_seconds = util::parse_double(take_value(argv, i, arg));
+    } else if (arg == "--delay") {
+      plan.options.delay_seconds = util::parse_double(take_value(argv, i, arg));
+    } else if (arg == "--dry-run" || arg == "--dryrun") {
+      plan.options.dry_run = true;
+    } else if (arg == "--pipe") {
+      plan.options.pipe_mode = true;
+    } else if (arg == "--block") {
+      plan.options.block_bytes = parse_block_size(take_value(argv, i, arg));
+    } else if (arg == "--progress") {
+      plan.options.progress = true;
+    } else if (arg == "--semaphore" || arg == "--sem") {
+      plan.semaphore = true;
+    } else if (arg == "--id") {
+      plan.semaphore_id = take_value(argv, i, arg);
+    } else if (arg == "--joblog") {
+      plan.options.joblog_path = take_value(argv, i, arg);
+    } else if (arg == "--results") {
+      plan.options.results_dir = take_value(argv, i, arg);
+    } else if (arg == "--shuf") {
+      plan.options.shuffle = true;
+    } else if (arg == "--colsep" || arg == "-C") {
+      plan.options.colsep = take_value(argv, i, arg);
+    } else if (arg == "--trim") {
+      plan.options.trim_mode = take_value(argv, i, arg);
+    } else if (arg == "--resume") {
+      plan.options.resume = true;
+    } else if (arg == "--resume-failed") {
+      plan.options.resume_failed = true;
+    } else if (arg == "--env") {
+      std::string spec = take_value(argv, i, arg);
+      std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw util::ParseError("--env expects KEY=VALUE, got '" + spec + "'");
+      }
+      plan.options.env[spec.substr(0, eq)] = spec.substr(eq + 1);
+    } else if (arg == "--link") {
+      plan.link = true;
+    } else if (arg == "-0" || arg == "--null") {
+      input_sep = '\0';
+    } else if (arg == "-a" || arg == "--arg-file") {
+      arg_files.push_back(take_value(argv, i, arg));
+    } else if (arg == "--no-quote") {
+      plan.options.quote_args = false;
+    } else if (arg == "--no-shell") {
+      plan.options.use_shell = false;
+    } else if (arg == "--help" || arg == "-h") {
+      plan.show_help = true;
+      return plan;
+    } else if (arg == "--version") {
+      plan.show_version = true;
+      return plan;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      throw util::ParseError("unknown option '" + arg + "'");
+    } else {
+      phase = Phase::kCommand;
+      command_tokens.push_back(arg);
+    }
+  }
+
+  // -a files become leading input sources (parallel's order).
+  if (!arg_files.empty()) {
+    std::vector<InputSource> file_sources;
+    for (const auto& path : arg_files) {
+      InputSource source = InputSource::from_file(path);
+      if (input_sep != '\n') {
+        // Re-split on the alternate separator.
+        std::string joined = util::join(source.values, "\n");
+        InputSource resplit;
+        for (auto& value : util::split(joined, input_sep)) resplit.values.push_back(value);
+        source = std::move(resplit);
+      }
+      file_sources.push_back(std::move(source));
+    }
+    plan.sources.insert(plan.sources.begin(),
+                        std::make_move_iterator(file_sources.begin()),
+                        std::make_move_iterator(file_sources.end()));
+  }
+
+  plan.command_template = util::join(command_tokens, " ");
+  // In --pipe mode stdin carries data blocks, not input values; a
+  // --semaphore command runs verbatim with no input source at all.
+  plan.read_stdin =
+      plan.sources.empty() && !plan.options.pipe_mode && !plan.semaphore;
+  plan.options.validate();
+  return plan;
+}
+
+std::vector<ArgVector> resolve_inputs(const RunPlan& plan, std::istream& in) {
+  std::vector<InputSource> sources = plan.sources;
+  if (plan.read_stdin) {
+    sources.push_back(InputSource::from_stream(in));
+  }
+  return plan.link ? combine_linked(sources) : combine_cartesian(sources);
+}
+
+std::string usage_text() {
+  return std::string(kVersion) + R"(
+
+usage: parcl [options] command [template-args] [::: values]... [:::: file]...
+
+Replacement strings: {} {.} {/} {//} {/.} {#} {%} {n} {n.} {n/} {n//} {n/.}
+
+options:
+  -j, --jobs N        run N jobs in parallel (0 = one per hardware thread)
+  -k, --keep-order    emit output in input order
+  -u, --ungroup       do not capture job output
+      --line-buffer   line-oriented grouping
+      --tag           prefix output lines with the input value
+      --tagstring S   prefix output lines with template S ({} {#} {%} ok)
+  -n, --max-args N    pack N inputs per job
+  -X                  pack as many inputs as fit in --max-chars
+      --max-chars N   command length bound for -X (default 4096)
+      --retries N     attempts per job (default 1)
+      --halt SPEC     never | now,fail=N | soon,fail=N | now,fail=X% | ...
+      --timeout SECS  per-attempt wall clock limit
+      --delay SECS    spacing between job starts
+      --dry-run       print composed commands, do not run
+      --joblog PATH   append a GNU-Parallel-format job log
+      --results DIR   save each job's stdout/stderr/meta under DIR/<seq>/
+      --shuf          run jobs in random order
+  -C, --colsep SEP    split input values into columns ({1}, {2}, ...) on SEP
+      --trim MODE     trim input whitespace: n|l|r|lr|rl
+      --resume        skip seqs already in the joblog
+      --resume-failed like --resume but re-run failures
+      --env KEY=VAL   extra env per job; VAL may use replacement strings
+      --link          zip input sources instead of cartesian product
+      --pipe          split stdin into blocks fed to jobs' stdin
+      --block SIZE    target --pipe block size (k/m/g suffixes; default 1m)
+      --progress      live completion counter on stderr
+      --semaphore     run the command under a cross-process semaphore (sem)
+      --id NAME       semaphore name for --semaphore (default: "default")
+  -0, --null          input values are NUL-separated
+  -a, --arg-file F    read an input source from F
+      --no-quote      substitute values without shell quoting
+      --no-shell      exec directly instead of via /bin/sh -c
+      --help          this text
+      --version       version
+)";
+}
+
+std::string version_text() { return kVersion; }
+
+}  // namespace parcl::core

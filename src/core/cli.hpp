@@ -1,0 +1,54 @@
+// Command-line front end: turns argv into an executable run plan, with GNU
+// Parallel's grammar for the flags the paper uses:
+//
+//   parcl [options] command... [::: values]... [:::: files]...
+//
+//   -j/--jobs N        --retries N         --joblog PATH
+//   -k/--keep-order    --halt SPEC         --resume / --resume-failed
+//   -u/--ungroup       --timeout SECS      --env KEY=VALUE (repeatable)
+//   --line-buffer      --delay SECS        --link  (also ':::+' separator)
+//   --tag              --dry-run           -0/--null
+//   -n/--max-args N    -X                  --max-chars N
+//   -a/--arg-file F    --no-quote          --no-shell
+//
+// With no ::: / :::: / -a source, values are read from stdin, one per line,
+// exactly like parallel.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/input.hpp"
+#include "core/options.hpp"
+
+namespace parcl::core {
+
+struct RunPlan {
+  Options options;
+  std::string command_template;      // joined command tokens
+  std::vector<InputSource> sources;  // resolved input sources
+  bool link = false;                 // --link / :::+
+  bool read_stdin = false;           // no explicit source given
+  bool show_help = false;
+  bool show_version = false;
+  bool semaphore = false;            // --semaphore / sem mode
+  std::string semaphore_id = "default";  // --id
+};
+
+/// Parses argv (argv[0] ignored). Throws ParseError / ConfigError on bad
+/// usage. File sources (:::: / -a) are read eagerly; stdin is deferred
+/// (read_stdin set instead).
+RunPlan parse_cli(const std::vector<std::string>& argv);
+
+/// Materializes the job argument vectors from a plan, reading `in` if the
+/// plan wants stdin.
+std::vector<ArgVector> resolve_inputs(const RunPlan& plan, std::istream& in);
+
+/// Usage text for --help.
+std::string usage_text();
+
+/// Version string for --version.
+std::string version_text();
+
+}  // namespace parcl::core

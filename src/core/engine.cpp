@@ -1,0 +1,500 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/joblog.hpp"
+#include "core/output.hpp"
+#include "core/slot_pool.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/shell.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::core {
+
+/// A queued (not yet started) job.
+struct Engine::Pending {
+  std::uint64_t seq = 0;
+  ArgVector args;             // input arguments ({}, {n})
+  std::string stdin_data;     // --pipe block
+  bool has_stdin = false;
+  std::size_t attempts = 0;   // completed attempts (0 for fresh jobs)
+};
+
+/// In-flight attempt bookkeeping.
+struct Engine::Active {
+  std::uint64_t seq = 0;
+  ArgVector args;
+  std::string stdin_data;
+  bool has_stdin = false;
+  std::size_t slot = 0;
+  std::size_t attempts = 0;  // attempts including this one
+  std::string command;
+  double deadline = 0.0;      // 0 = no timeout
+  bool kill_sent = false;     // timeout SIGTERM sent
+  bool force_sent = false;    // timeout SIGKILL sent
+  bool killed_for_timeout = false;
+  bool killed_for_halt = false;
+};
+
+Engine::Engine(Options options, Executor& executor)
+    : Engine(std::move(options), executor, std::cout, std::cerr) {}
+
+Engine::Engine(Options options, Executor& executor, std::ostream& out, std::ostream& err)
+    : options_(std::move(options)), executor_(executor), out_(out), err_(err) {
+  options_.validate();
+}
+
+void Engine::set_result_callback(std::function<void(const JobResult&)> callback) {
+  on_result_ = std::move(callback);
+}
+
+RunSummary Engine::run(const std::string& command_template, std::vector<ArgVector> inputs) {
+  return run(CommandTemplate::parse(command_template), std::move(inputs));
+}
+
+RunSummary Engine::run(const CommandTemplate& command, std::vector<ArgVector> inputs) {
+  CommandTemplate tmpl = command;
+  tmpl.ensure_input_placeholder();
+
+  // --trim: strip whitespace from every input value.
+  if (!options_.trim_mode.empty() && options_.trim_mode != "n") {
+    bool left = options_.trim_mode.find('l') != std::string::npos;
+    bool right = options_.trim_mode.find('r') != std::string::npos;
+    for (ArgVector& args : inputs) {
+      for (std::string& value : args) {
+        std::size_t begin = 0, end = value.size();
+        if (left) {
+          while (begin < end && std::isspace(static_cast<unsigned char>(value[begin])))
+            ++begin;
+        }
+        if (right) {
+          while (end > begin && std::isspace(static_cast<unsigned char>(value[end - 1])))
+            --end;
+        }
+        value = value.substr(begin, end - begin);
+      }
+    }
+  }
+
+  // --colsep: split single values into positional columns.
+  if (!options_.colsep.empty()) {
+    for (ArgVector& args : inputs) {
+      if (args.size() != 1) {
+        throw util::ConfigError("--colsep requires a single input source");
+      }
+      ArgVector columns;
+      std::size_t start = 0;
+      const std::string& line = args[0];
+      while (true) {
+        std::size_t pos = line.find(options_.colsep, start);
+        if (pos == std::string::npos) {
+          columns.push_back(line.substr(start));
+          break;
+        }
+        columns.push_back(line.substr(start, pos - start));
+        start = pos + options_.colsep.size();
+      }
+      args = std::move(columns);
+    }
+  }
+
+  // -n / -X packing.
+  if (options_.xargs) {
+    inputs = pack_max_chars(inputs, tmpl.source().size(), options_.max_chars);
+  } else if (options_.max_args > 1) {
+    inputs = pack_max_args(inputs, options_.max_args);
+  }
+
+  std::vector<Pending> jobs;
+  jobs.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Pending job;
+    job.seq = static_cast<std::uint64_t>(i) + 1;
+    job.args = std::move(inputs[i]);
+    jobs.push_back(std::move(job));
+  }
+  return execute(tmpl, std::move(jobs));
+}
+
+RunSummary Engine::run_pipe(const std::string& command_template,
+                            std::vector<std::string> blocks) {
+  return run_pipe(CommandTemplate::parse(command_template), std::move(blocks));
+}
+
+RunSummary Engine::run_pipe(const CommandTemplate& command,
+                            std::vector<std::string> blocks) {
+  // Deliberately no ensure_input_placeholder(): pipe jobs read stdin.
+  std::vector<Pending> jobs;
+  jobs.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    Pending job;
+    job.seq = static_cast<std::uint64_t>(i) + 1;
+    job.stdin_data = std::move(blocks[i]);
+    job.has_stdin = true;
+    jobs.push_back(std::move(job));
+  }
+  return execute(command, std::move(jobs));
+}
+
+RunSummary Engine::run_raw(const std::string& command_template, std::size_t count) {
+  return run_raw(CommandTemplate::parse(command_template), count);
+}
+
+RunSummary Engine::run_raw(const CommandTemplate& command, std::size_t count) {
+  std::vector<Pending> jobs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs[i].seq = static_cast<std::uint64_t>(i) + 1;
+  }
+  return execute(command, std::move(jobs));
+}
+
+RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all_jobs) {
+  const std::size_t total_jobs = all_jobs.size();
+  RunSummary summary;
+  summary.results.resize(total_jobs);
+
+  // Pre-parse env value templates once.
+  std::vector<std::pair<std::string, CommandTemplate>> env_templates;
+  env_templates.reserve(options_.env.size());
+  for (const auto& [key, value] : options_.env) {
+    env_templates.emplace_back(key, CommandTemplate::parse(value));
+  }
+
+  // --resume: consult the joblog before opening it for append.
+  std::set<std::uint64_t> skip;
+  if (options_.resume || options_.resume_failed) {
+    try {
+      skip = resume_skip_set(read_joblog(options_.joblog_path), options_.resume_failed);
+    } catch (const util::SystemError&) {
+      // No joblog yet: nothing to skip.
+    }
+  }
+  std::unique_ptr<JoblogWriter> joblog;
+  if (!options_.joblog_path.empty()) {
+    joblog = std::make_unique<JoblogWriter>(options_.joblog_path);
+  }
+
+  OutputCollator::TagFn tag_fn;
+  if (!options_.tag_template.empty()) {
+    auto tag_tmpl = std::make_shared<CommandTemplate>(
+        CommandTemplate::parse(options_.tag_template));
+    tag_fn = [tag_tmpl](const JobResult& result) {
+      CommandTemplate::Context context{result.seq, result.slot};
+      return tag_tmpl->expand(result.args, context, /*quote=*/false);
+    };
+  } else if (options_.tag) {
+    tag_fn = [](const JobResult& result) {
+      return result.args.empty() ? std::string() : result.args.front();
+    };
+  }
+  OutputCollator collator(options_.output_mode, std::move(tag_fn), out_, err_);
+
+  // Queue in input order; retries re-enter at the front of the remainder.
+  std::vector<Pending> queue;
+  queue.reserve(total_jobs);
+  for (Pending& job : all_jobs) {
+    JobResult& result = summary.results[job.seq - 1];
+    result.seq = job.seq;
+    result.args = job.args;
+    if (skip.count(job.seq) != 0) {
+      result.status = JobStatus::kSkipped;
+      ++summary.skipped;
+      collator.mark_absent(job.seq);
+      continue;
+    }
+    queue.push_back(std::move(job));
+  }
+  std::size_t next_pending = 0;
+
+  // --shuf: randomize execution order (seq numbers, and therefore -k output
+  // order, stay bound to the original inputs).
+  if (options_.shuffle) {
+    util::Rng rng(options_.shuffle_seed);
+    rng.shuffle(queue);
+  }
+
+  // --dry-run: compose and print, never execute.
+  if (options_.dry_run) {
+    for (const Pending& job : queue) {
+      CommandTemplate::Context context{job.seq, 1};
+      std::string cmd = tmpl.expand(job.args, context, options_.quote_args);
+      out_ << cmd << '\n';
+      JobResult& result = summary.results[job.seq - 1];
+      result.status = JobStatus::kSuccess;
+      result.command = std::move(cmd);
+      ++summary.succeeded;
+    }
+    return summary;
+  }
+
+  SlotPool slots(options_.effective_jobs());
+  std::map<std::uint64_t, Active> active;  // job_id -> attempt
+  std::uint64_t next_job_id = 1;
+
+  bool stop_starting = false;  // halt soon/now engaged
+  double last_start = -std::numeric_limits<double>::infinity();
+  double first_start = std::numeric_limits<double>::infinity();
+  double last_end = -std::numeric_limits<double>::infinity();
+  std::size_t done = 0;
+
+  const bool capture = options_.output_mode != OutputMode::kUngroup;
+  constexpr double kTimeoutGrace = 1.0;  // SIGTERM -> SIGKILL escalation
+
+  auto print_progress = [&] {
+    if (!options_.progress) return;
+    err_ << "\rparcl: " << done << "/" << total_jobs << " done, " << summary.failed
+         << " failed, " << active.size() << " running";
+    if (done > 0 && done < total_jobs && summary.total_busy > 0.0) {
+      // ETA from the mean runtime so far spread over the slot pool.
+      double mean_runtime = summary.total_busy / static_cast<double>(done);
+      double eta = mean_runtime * static_cast<double>(total_jobs - done) /
+                   static_cast<double>(options_.effective_jobs());
+      err_ << ", ETA " << util::format_duration(eta);
+    }
+    err_ << ' ' << std::flush;
+  };
+
+  auto save_results_tree = [&](const JobResult& result) {
+    if (options_.results_dir.empty() || result.status == JobStatus::kSkipped) return;
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(options_.results_dir) / std::to_string(result.seq);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      PARCL_WARN() << "--results: cannot create " << dir.string() << ": " << ec.message();
+      return;
+    }
+    std::ofstream(dir / "stdout", std::ios::binary) << result.stdout_data;
+    std::ofstream(dir / "stderr", std::ios::binary) << result.stderr_data;
+    std::ofstream meta(dir / "meta");
+    meta << "seq\t" << result.seq << "\nargs\t" << util::shell_quote_join(result.args)
+         << "\ncommand\t" << result.command << "\nstatus\t" << to_string(result.status)
+         << "\nexitval\t" << result.exit_code << "\nsignal\t" << result.term_signal
+         << "\nruntime\t" << result.runtime() << '\n';
+  };
+
+  auto record_final = [&](JobResult result) {
+    JobResult& slot_result = summary.results[result.seq - 1];
+    slot_result = std::move(result);
+    const JobResult& final_result = slot_result;
+    ++done;
+    switch (final_result.status) {
+      case JobStatus::kSuccess: ++summary.succeeded; break;
+      case JobStatus::kKilled: ++summary.killed; break;
+      case JobStatus::kSkipped: ++summary.skipped; break;
+      default: ++summary.failed; break;
+    }
+    if (final_result.status != JobStatus::kSkipped) {
+      first_start = std::min(first_start, final_result.start_time);
+      last_end = std::max(last_end, final_result.end_time);
+      summary.total_busy += final_result.runtime();
+      collator.deliver(final_result);
+      if (joblog) joblog->record(final_result, options_.host_label);
+      save_results_tree(final_result);
+    } else {
+      collator.mark_absent(final_result.seq);
+    }
+    print_progress();
+    if (on_result_) on_result_(final_result);
+  };
+
+  auto start_one = [&](Pending job) {
+    std::size_t slot = slots.acquire();
+    CommandTemplate::Context context{job.seq, slot};
+    Active attempt;
+    attempt.seq = job.seq;
+    attempt.args = std::move(job.args);
+    attempt.stdin_data = std::move(job.stdin_data);
+    attempt.has_stdin = job.has_stdin;
+    attempt.slot = slot;
+    attempt.attempts = job.attempts + 1;
+    attempt.command = tmpl.expand(attempt.args, context, options_.quote_args);
+
+    ExecRequest request;
+    request.job_id = next_job_id++;
+    request.command = attempt.command;
+    request.slot = slot;
+    request.use_shell = options_.use_shell;
+    request.capture_output = capture;
+    request.stdin_data = attempt.stdin_data;
+    request.has_stdin = attempt.has_stdin;
+    for (const auto& [key, value_tmpl] : env_templates) {
+      request.env[key] = value_tmpl.expand(attempt.args, context, /*quote=*/false);
+    }
+
+    double now = executor_.now();
+    if (options_.timeout_seconds > 0.0) attempt.deadline = now + options_.timeout_seconds;
+    last_start = now;
+    summary.start_times.push_back(now);
+    active.emplace(request.job_id, std::move(attempt));
+    try {
+      executor_.start(request);
+    } catch (const util::SystemError& error) {
+      // Spawn failure counts as a failed attempt with exit code 127.
+      PARCL_WARN() << "spawn failed for seq " << job.seq << ": " << error.what();
+      Active failed = std::move(active.at(request.job_id));
+      active.erase(request.job_id);
+      slots.release(failed.slot);
+      JobResult result;
+      result.seq = failed.seq;
+      result.args = failed.args;
+      result.slot = failed.slot;
+      result.command = failed.command;
+      result.attempts = failed.attempts;
+      result.status = JobStatus::kFailed;
+      result.exit_code = 127;
+      result.start_time = now;
+      result.end_time = now;
+      record_final(std::move(result));
+    }
+  };
+
+  auto next_start_time = [&]() -> double {
+    if (options_.delay_seconds <= 0.0) return executor_.now();
+    return std::max(executor_.now(), last_start + options_.delay_seconds);
+  };
+
+  while (true) {
+    // Phase 1: fill free slots.
+    while (!stop_starting && next_pending < queue.size() && slots.any_free()) {
+      double ready_at = next_start_time();
+      if (ready_at > executor_.now()) break;  // wait out --delay below
+      start_one(std::move(queue[next_pending]));
+      ++next_pending;
+    }
+
+    if (active.empty()) {
+      if (stop_starting || next_pending >= queue.size()) break;  // drained
+      // Only --delay can leave us idle here; wait for it in phase 2.
+    }
+
+    // Phase 2: wait for a completion, a timeout deadline, or the delay gate.
+    double wait = -1.0;  // indefinitely
+    double now = executor_.now();
+    if (!stop_starting && next_pending < queue.size() && options_.delay_seconds > 0.0) {
+      double gate = last_start + options_.delay_seconds;
+      if (slots.any_free() && gate > now) wait = gate - now;
+    }
+    for (const auto& [id, attempt] : active) {
+      if (attempt.deadline > 0.0) {
+        double until = std::max(0.0, (attempt.kill_sent ? attempt.deadline + kTimeoutGrace
+                                                        : attempt.deadline) -
+                                         now);
+        wait = wait < 0.0 ? until : std::min(wait, until);
+      }
+    }
+    if (active.empty() && wait < 0.0) {
+      // Nothing running and nothing gating: loop back to start more.
+      continue;
+    }
+
+    std::optional<ExecResult> completion = executor_.wait_any(wait);
+    now = executor_.now();
+
+    // Phase 3: enforce timeouts.
+    for (auto& [id, attempt] : active) {
+      if (attempt.deadline <= 0.0) continue;
+      if (!attempt.kill_sent && now >= attempt.deadline) {
+        attempt.kill_sent = true;
+        attempt.killed_for_timeout = true;
+        executor_.kill(id, /*force=*/false);
+      } else if (attempt.kill_sent && !attempt.force_sent &&
+                 now >= attempt.deadline + kTimeoutGrace) {
+        attempt.force_sent = true;
+        executor_.kill(id, /*force=*/true);
+      }
+    }
+
+    if (!completion) continue;
+
+    // Phase 4: process the completed attempt.
+    auto it = active.find(completion->job_id);
+    util::require(it != active.end(), "executor returned unknown job id");
+    Active attempt = std::move(it->second);
+    active.erase(it);
+    slots.release(attempt.slot);
+
+    JobStatus status;
+    if (attempt.killed_for_halt) {
+      status = JobStatus::kKilled;
+    } else if (attempt.killed_for_timeout) {
+      status = JobStatus::kTimedOut;
+    } else if (completion->term_signal != 0) {
+      status = JobStatus::kSignaled;
+    } else if (completion->exit_code == 0) {
+      status = JobStatus::kSuccess;
+    } else {
+      status = JobStatus::kFailed;
+    }
+
+    bool retryable = status == JobStatus::kFailed || status == JobStatus::kSignaled ||
+                     status == JobStatus::kTimedOut;
+    if (retryable && attempt.attempts < options_.retries && !stop_starting) {
+      // Re-queue at the front of the remaining work.
+      Pending retry;
+      retry.seq = attempt.seq;
+      retry.args = std::move(attempt.args);
+      retry.stdin_data = std::move(attempt.stdin_data);
+      retry.has_stdin = attempt.has_stdin;
+      retry.attempts = attempt.attempts;
+      queue.insert(queue.begin() + static_cast<std::ptrdiff_t>(next_pending),
+                   std::move(retry));
+      continue;
+    }
+
+    JobResult result;
+    result.seq = attempt.seq;
+    result.args = std::move(attempt.args);
+    result.slot = attempt.slot;
+    result.status = status;
+    result.exit_code = completion->exit_code;
+    result.term_signal = completion->term_signal;
+    result.attempts = attempt.attempts;
+    result.start_time = completion->start_time;
+    result.end_time = completion->end_time;
+    result.command = std::move(attempt.command);
+    result.stdout_data = std::move(completion->stdout_data);
+    result.stderr_data = std::move(completion->stderr_data);
+    record_final(std::move(result));
+
+    // Phase 5: halt policy.
+    if (!stop_starting &&
+        options_.halt.triggered(summary.failed, summary.succeeded, done, total_jobs)) {
+      summary.halted = true;
+      stop_starting = true;
+      if (options_.halt.when == HaltWhen::kNow) {
+        for (auto& [id, running] : active) {
+          running.killed_for_halt = true;
+          executor_.kill(id, /*force=*/false);
+        }
+      }
+    }
+  }
+
+  // Jobs never started (halt engaged) are skipped.
+  for (std::size_t i = next_pending; i < queue.size(); ++i) {
+    JobResult& result = summary.results[queue[i].seq - 1];
+    result.status = JobStatus::kSkipped;
+    ++summary.skipped;
+    collator.mark_absent(result.seq);
+  }
+
+  collator.finish();
+  if (options_.progress) err_ << '\n';
+  if (last_end > first_start) summary.makespan = last_end - first_start;
+  return summary;
+}
+
+}  // namespace parcl::core

@@ -1,0 +1,68 @@
+// The parcl engine: GNU Parallel's job-control loop.
+//
+// Single-threaded orchestrator. Given a command template, packed argument
+// vectors, and an Executor, it:
+//   - keeps at most `jobs` slots busy, assigning {%} from a free-list,
+//   - spaces starts by --delay and enforces per-attempt --timeout,
+//   - retries failures up to --retries attempts,
+//   - applies the --halt policy (soon = stop starting, now = also kill),
+//   - collates output per --group/-k/--tag and appends --joblog rows,
+//   - honours --resume / --resume-failed against an existing joblog,
+//   - records every dispatch instant so benches can measure launch rates.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/input.hpp"
+#include "core/job.hpp"
+#include "core/options.hpp"
+#include "core/replacement.hpp"
+
+namespace parcl::core {
+
+class Engine {
+ public:
+  /// Streams for collated job output (defaults: std::cout / std::cerr).
+  Engine(Options options, Executor& executor);
+  Engine(Options options, Executor& executor, std::ostream& out, std::ostream& err);
+
+  /// Optional per-job completion hook (runs after retries are exhausted).
+  void set_result_callback(std::function<void(const JobResult&)> callback);
+
+  /// Runs every input to completion (or halt). Applies -n/-X packing to
+  /// `inputs` first. Throws ConfigError/ParseError on bad configuration;
+  /// job failures are reported in the summary, not thrown.
+  RunSummary run(const CommandTemplate& command, std::vector<ArgVector> inputs);
+
+  /// Convenience: parse + run a template string.
+  RunSummary run(const std::string& command_template, std::vector<ArgVector> inputs);
+
+  /// --pipe mode: each block becomes one job's stdin; the command template
+  /// gets no appended arguments (jobs read their records from stdin). {#}
+  /// and {%} still expand.
+  RunSummary run_pipe(const CommandTemplate& command, std::vector<std::string> blocks);
+  RunSummary run_pipe(const std::string& command_template, std::vector<std::string> blocks);
+
+  /// Runs the command verbatim `count` times: no arguments appended, no
+  /// stdin. {#}/{%} still expand. Used by --semaphore wrapping and replica
+  /// smoke jobs.
+  RunSummary run_raw(const CommandTemplate& command, std::size_t count = 1);
+  RunSummary run_raw(const std::string& command_template, std::size_t count = 1);
+
+ private:
+  struct Active;   // in-flight attempt bookkeeping
+  struct Pending;  // queued job (args or stdin block)
+
+  RunSummary execute(const CommandTemplate& tmpl, std::vector<Pending> all_jobs);
+
+  Options options_;
+  Executor& executor_;
+  std::ostream& out_;
+  std::ostream& err_;
+  std::function<void(const JobResult&)> on_result_;
+};
+
+}  // namespace parcl::core

@@ -1,0 +1,68 @@
+// Executor: where composed jobs actually run.
+//
+// The engine is single-threaded and executor-agnostic. It starts jobs,
+// blocks in wait_any() for the next completion, and reads time through the
+// executor's clock — so the same engine drives real child processes
+// (exec::LocalExecutor), in-process functions (exec::FunctionExecutor), and
+// discrete-event simulations (exec::SimExecutor) without change.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace parcl::core {
+
+/// What the engine hands to an executor.
+struct ExecRequest {
+  std::uint64_t job_id = 0;  // engine-chosen, unique per attempt
+  std::string command;       // expanded command line
+  std::map<std::string, std::string> env;  // extra environment
+  std::size_t slot = 0;      // 1-based slot, for executors that care
+  bool use_shell = true;     // run via /bin/sh -c
+  bool capture_output = true;
+  /// Fed to the child's stdin then closed (--pipe mode). Empty string with
+  /// has_stdin=false means stdin is /dev/null.
+  std::string stdin_data;
+  bool has_stdin = false;
+};
+
+/// What comes back from wait_any().
+struct ExecResult {
+  std::uint64_t job_id = 0;
+  int exit_code = 0;    // valid when term_signal == 0
+  int term_signal = 0;  // non-zero when killed by a signal
+  std::string stdout_data;
+  std::string stderr_data;
+  double start_time = 0.0;  // executor clock
+  double end_time = 0.0;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Begins a job. Throws SystemError when the job cannot even be spawned.
+  virtual void start(const ExecRequest& request) = 0;
+
+  /// Blocks until a started job completes or `timeout_seconds` passes,
+  /// returning nullopt on timeout. timeout_seconds < 0 waits indefinitely
+  /// while jobs are active. With no active jobs, a non-negative timeout
+  /// still sleeps it out (the engine uses this to honour --delay); a
+  /// negative timeout returns nullopt immediately.
+  virtual std::optional<ExecResult> wait_any(double timeout_seconds) = 0;
+
+  /// Best-effort termination. `force` escalates (SIGTERM -> SIGKILL). The
+  /// job still completes through wait_any() with its death recorded.
+  virtual void kill(std::uint64_t job_id, bool force) = 0;
+
+  /// Jobs started but not yet returned by wait_any().
+  virtual std::size_t active_count() const = 0;
+
+  /// The executor's clock, in seconds. Monotonic wall time for real
+  /// executors, simulation time for simulated ones.
+  virtual double now() const = 0;
+};
+
+}  // namespace parcl::core

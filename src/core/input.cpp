@@ -1,0 +1,150 @@
+#include "core/input.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+
+#include "util/error.hpp"
+#include "util/shell.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::core {
+
+InputSource InputSource::from_values(std::vector<std::string> values) {
+  InputSource source;
+  source.values = std::move(values);
+  return source;
+}
+
+InputSource InputSource::from_stream(std::istream& in) { return from_stream(in, '\n'); }
+
+InputSource InputSource::from_stream(std::istream& in, char sep) {
+  InputSource source;
+  std::string value;
+  while (std::getline(in, value, sep)) {
+    source.values.push_back(value);
+  }
+  return source;
+}
+
+InputSource InputSource::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::SystemError("open '" + path + "'", errno);
+  return from_stream(in);
+}
+
+std::vector<std::string> InputSource::expand_range(const std::string& text) {
+  // Match "{<int>..<int>}" exactly; anything else is a literal value.
+  if (text.size() >= 6 && text.front() == '{' && text.back() == '}') {
+    std::string body = text.substr(1, text.size() - 2);
+    std::size_t dots = body.find("..");
+    if (dots != std::string::npos) {
+      try {
+        long lo = util::parse_long(body.substr(0, dots));
+        long hi = util::parse_long(body.substr(dots + 2));
+        std::vector<std::string> out;
+        if (lo <= hi) {
+          for (long v = lo; v <= hi; ++v) out.push_back(std::to_string(v));
+        } else {
+          for (long v = lo; v >= hi; --v) out.push_back(std::to_string(v));
+        }
+        return out;
+      } catch (const util::ParseError&) {
+        // fall through: not a numeric range
+      }
+    }
+  }
+  return {text};
+}
+
+std::vector<ArgVector> combine_cartesian(const std::vector<InputSource>& sources) {
+  if (sources.empty()) return {};
+  for (const auto& source : sources) {
+    if (source.values.empty()) return {};
+  }
+  std::vector<ArgVector> result;
+  std::size_t total = 1;
+  for (const auto& source : sources) total *= source.values.size();
+  result.reserve(total);
+  std::vector<std::size_t> index(sources.size(), 0);
+  while (true) {
+    ArgVector args;
+    args.reserve(sources.size());
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      args.push_back(sources[s].values[index[s]]);
+    }
+    result.push_back(std::move(args));
+    // Increment the rightmost index (last source varies fastest).
+    std::size_t pos = sources.size();
+    while (pos > 0) {
+      --pos;
+      if (++index[pos] < sources[pos].values.size()) break;
+      index[pos] = 0;
+      if (pos == 0) return result;
+    }
+  }
+}
+
+std::vector<ArgVector> combine_linked(const std::vector<InputSource>& sources) {
+  if (sources.empty()) return {};
+  std::size_t longest = 0;
+  for (const auto& source : sources) {
+    if (source.values.empty()) return {};
+    longest = std::max(longest, source.values.size());
+  }
+  std::vector<ArgVector> result;
+  result.reserve(longest);
+  for (std::size_t i = 0; i < longest; ++i) {
+    ArgVector args;
+    args.reserve(sources.size());
+    for (const auto& source : sources) {
+      args.push_back(source.values[i % source.values.size()]);
+    }
+    result.push_back(std::move(args));
+  }
+  return result;
+}
+
+std::vector<ArgVector> pack_max_args(const std::vector<ArgVector>& inputs,
+                                     std::size_t max_args) {
+  if (max_args <= 1) return inputs;
+  std::vector<ArgVector> result;
+  ArgVector current;
+  for (const auto& input : inputs) {
+    if (input.size() != 1) {
+      throw util::ConfigError("-n/-X packing requires a single input source");
+    }
+    current.push_back(input[0]);
+    if (current.size() == max_args) {
+      result.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) result.push_back(std::move(current));
+  return result;
+}
+
+std::vector<ArgVector> pack_max_chars(const std::vector<ArgVector>& inputs,
+                                      std::size_t base_chars, std::size_t max_chars) {
+  std::vector<ArgVector> result;
+  ArgVector current;
+  std::size_t current_chars = base_chars;
+  for (const auto& input : inputs) {
+    if (input.size() != 1) {
+      throw util::ConfigError("-n/-X packing requires a single input source");
+    }
+    std::size_t cost = util::shell_quote(input[0]).size() + 1;  // +1 separator
+    if (!current.empty() && current_chars + cost > max_chars) {
+      result.push_back(std::move(current));
+      current.clear();
+      current_chars = base_chars;
+    }
+    current.push_back(input[0]);
+    current_chars += cost;
+  }
+  if (!current.empty()) result.push_back(std::move(current));
+  return result;
+}
+
+}  // namespace parcl::core

@@ -1,0 +1,59 @@
+// Input sources and argument-vector generation.
+//
+// GNU Parallel composes job arguments from one or more input sources:
+//   :::  literal values          ::::  files of values
+//   stdin lines when no source is given
+// Multiple sources combine as a cartesian product unless --link zips them
+// (recycling shorter sources). -n packs consecutive argument vectors of a
+// single source into one job; -X packs as many as fit in --max-chars.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parcl::core {
+
+/// One input source: an ordered list of values.
+struct InputSource {
+  std::vector<std::string> values;
+
+  static InputSource from_values(std::vector<std::string> values);
+  /// One value per line; no trailing empty value for a final newline.
+  static InputSource from_stream(std::istream& in);
+  /// Values separated by `sep` (e.g. '\0' for parallel -0).
+  static InputSource from_stream(std::istream& in, char sep);
+  /// Reads a file; throws SystemError when unreadable.
+  static InputSource from_file(const std::string& path);
+
+  /// Expands "{a..b}" style numeric ranges into a value list, mirroring the
+  /// paper's `{1..12}` usage. Non-range text yields a single value.
+  static std::vector<std::string> expand_range(const std::string& text);
+};
+
+/// The argument vector for one job: one element per input source (linked or
+/// cartesian), or several packed elements of a single source under -n/-X.
+using ArgVector = std::vector<std::string>;
+
+/// Cartesian product, first source varying slowest — parallel's ::: order:
+/// `::: a b ::: 1 2` yields (a,1) (a,2) (b,1) (b,2).
+std::vector<ArgVector> combine_cartesian(const std::vector<InputSource>& sources);
+
+/// --link: element-wise zip; shorter sources recycle. Length = longest
+/// source. Empty any source => empty result.
+std::vector<ArgVector> combine_linked(const std::vector<InputSource>& sources);
+
+/// Packs single-value ArgVectors into groups of `max_args` (last group may
+/// be short). Requires every input vector to be single-valued (i.e. one
+/// input source); throws ConfigError otherwise.
+std::vector<ArgVector> pack_max_args(const std::vector<ArgVector>& inputs,
+                                     std::size_t max_args);
+
+/// -X packing: greedily packs while the estimated command length (base
+/// length + quoted args + separators) stays within `max_chars`. Always packs
+/// at least one arg per job.
+std::vector<ArgVector> pack_max_chars(const std::vector<ArgVector>& inputs,
+                                      std::size_t base_chars, std::size_t max_chars);
+
+}  // namespace parcl::core

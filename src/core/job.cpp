@@ -1,0 +1,33 @@
+#include "core/job.hpp"
+
+#include <algorithm>
+
+namespace parcl::core {
+
+const char* to_string(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::kSuccess: return "success";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kSignaled: return "signaled";
+    case JobStatus::kTimedOut: return "timed-out";
+    case JobStatus::kKilled: return "killed";
+    case JobStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+double RunSummary::dispatch_rate() const noexcept {
+  if (start_times.size() < 2) return 0.0;
+  auto [lo, hi] = std::minmax_element(start_times.begin(), start_times.end());
+  double window = *hi - *lo;
+  if (window <= 0.0) return 0.0;
+  return static_cast<double>(start_times.size() - 1) / window;
+}
+
+int RunSummary::exit_status() const noexcept {
+  std::size_t bad = failed + killed;
+  if (bad == 0) return 0;
+  return static_cast<int>(std::min<std::size_t>(bad, 101));
+}
+
+}  // namespace parcl::core

@@ -1,0 +1,70 @@
+// Job descriptions and results flowing between the engine and executors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parcl::core {
+
+/// A composed, ready-to-run job.
+struct JobSpec {
+  std::uint64_t seq = 0;                 // 1-based input order ({#})
+  std::vector<std::string> args;         // raw argument values
+  std::string command;                   // fully expanded command line
+  std::map<std::string, std::string> env;  // expanded per-job environment
+};
+
+/// Why a job attempt ended.
+enum class JobStatus {
+  kSuccess,   // exit code 0
+  kFailed,    // non-zero exit code
+  kSignaled,  // terminated by a signal
+  kTimedOut,  // killed by the engine's --timeout
+  kKilled,    // killed by a --halt now policy
+  kSkipped,   // never started (halt soon, or --resume)
+};
+
+const char* to_string(JobStatus status) noexcept;
+
+/// Outcome of one job (after its final attempt).
+struct JobResult {
+  std::uint64_t seq = 0;
+  std::size_t slot = 0;                  // 1-based slot that ran it
+  std::vector<std::string> args;         // the job's input argument values
+  JobStatus status = JobStatus::kSkipped;
+  int exit_code = 0;
+  int term_signal = 0;
+  std::size_t attempts = 0;
+  double start_time = 0.0;               // executor clock, seconds
+  double end_time = 0.0;
+  std::string command;
+  std::string stdout_data;
+  std::string stderr_data;
+
+  bool ok() const noexcept { return status == JobStatus::kSuccess; }
+  double runtime() const noexcept { return end_time - start_time; }
+};
+
+/// Aggregate view of a completed run.
+struct RunSummary {
+  std::vector<JobResult> results;        // indexed by seq-1
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;                // failed + signaled + timed out
+  std::size_t killed = 0;
+  std::size_t skipped = 0;
+  bool halted = false;
+  double makespan = 0.0;                 // first start to last end
+  double total_busy = 0.0;               // sum of job runtimes
+  std::vector<double> start_times;       // dispatch instants, for rate studies
+
+  /// Jobs started per second over the dispatch window (0 if < 2 starts).
+  double dispatch_rate() const noexcept;
+
+  /// Exit status with parallel's convention: number of failed jobs capped
+  /// at 101.
+  int exit_status() const noexcept;
+};
+
+}  // namespace parcl::core

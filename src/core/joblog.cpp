@@ -1,0 +1,96 @@
+#include "core/joblog.hpp"
+
+#include <cerrno>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::core {
+
+namespace {
+constexpr const char* kHeader =
+    "Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand";
+}
+
+struct JoblogWriter::Impl {
+  std::ofstream out;
+};
+
+JoblogWriter::JoblogWriter(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  bool need_header = true;
+  {
+    std::ifstream probe(path);
+    if (probe && probe.peek() != std::ifstream::traits_type::eof()) need_header = false;
+  }
+  impl_->out.open(path, std::ios::app);
+  if (!impl_->out) {
+    throw util::SystemError("open joblog '" + path + "'", errno);
+  }
+  if (need_header) impl_->out << kHeader << '\n';
+}
+
+JoblogWriter::~JoblogWriter() = default;
+
+void JoblogWriter::record(const JobResult& result, const std::string& host) {
+  impl_->out << result.seq << '\t' << host << '\t'
+             << util::format_double(result.start_time, 3) << '\t'
+             << util::format_double(result.runtime(), 3) << '\t' << 0 << '\t'
+             << result.stdout_data.size() << '\t' << result.exit_code << '\t'
+             << result.term_signal << '\t' << result.command << '\n';
+  impl_->out.flush();
+}
+
+std::vector<JoblogEntry> read_joblog_stream(std::istream& in) {
+  std::vector<JoblogEntry> entries;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line == kHeader || util::starts_with(line, "Seq\t")) continue;
+    auto fields = util::split(line, '\t');
+    if (fields.size() < 9) {
+      throw util::ParseError("joblog line " + std::to_string(line_number) +
+                             ": expected 9 tab-separated fields");
+    }
+    JoblogEntry entry;
+    entry.seq = static_cast<std::uint64_t>(util::parse_long(fields[0]));
+    entry.host = fields[1];
+    entry.start_time = util::parse_double(fields[2]);
+    entry.runtime = util::parse_double(fields[3]);
+    entry.bytes_sent = static_cast<std::uint64_t>(util::parse_long(fields[4]));
+    entry.bytes_received = static_cast<std::uint64_t>(util::parse_long(fields[5]));
+    entry.exit_value = static_cast<int>(util::parse_long(fields[6]));
+    entry.signal = static_cast<int>(util::parse_long(fields[7]));
+    // Command may itself contain tabs; rejoin the tail.
+    std::vector<std::string> tail(fields.begin() + 8, fields.end());
+    entry.command = util::join(tail, "\t");
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<JoblogEntry> read_joblog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::SystemError("open joblog '" + path + "'", errno);
+  return read_joblog_stream(in);
+}
+
+std::set<std::uint64_t> resume_skip_set(const std::vector<JoblogEntry>& entries,
+                                        bool rerun_failed) {
+  // Later entries for the same seq win (a rerun overwrites history).
+  std::map<std::uint64_t, bool> latest_ok;
+  for (const auto& entry : entries) {
+    latest_ok[entry.seq] = (entry.exit_value == 0 && entry.signal == 0);
+  }
+  std::set<std::uint64_t> skip;
+  for (const auto& [seq, ok] : latest_ok) {
+    if (!rerun_failed || ok) skip.insert(seq);
+  }
+  return skip;
+}
+
+}  // namespace parcl::core

@@ -1,0 +1,56 @@
+// Joblog writer/reader in GNU Parallel's --joblog TSV format:
+//   Seq  Host  Starttime  JobRuntime  Send  Receive  Exitval  Signal  Command
+// The reader supports --resume (skip logged seqs) and --resume-failed
+// (skip only logged successes).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace parcl::core {
+
+struct JoblogEntry {
+  std::uint64_t seq = 0;
+  std::string host;
+  double start_time = 0.0;
+  double runtime = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  int exit_value = 0;
+  int signal = 0;
+  std::string command;
+};
+
+class JoblogWriter {
+ public:
+  /// Appends to `path`; writes the header only when the file is new/empty.
+  /// Throws SystemError when the file cannot be opened.
+  explicit JoblogWriter(const std::string& path);
+  ~JoblogWriter();
+  JoblogWriter(const JoblogWriter&) = delete;
+  JoblogWriter& operator=(const JoblogWriter&) = delete;
+
+  void record(const JobResult& result, const std::string& host);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Parses a joblog file. Unparseable lines throw ParseError (with the line
+/// number); the header line is recognized and skipped.
+std::vector<JoblogEntry> read_joblog(const std::string& path);
+std::vector<JoblogEntry> read_joblog_stream(std::istream& in);
+
+/// Seqs to skip for --resume (every logged seq) or --resume-failed (only
+/// seqs whose latest entry succeeded).
+std::set<std::uint64_t> resume_skip_set(const std::vector<JoblogEntry>& entries,
+                                        bool rerun_failed);
+
+}  // namespace parcl::core

@@ -1,0 +1,42 @@
+#include "core/options.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace parcl::core {
+
+void Options::validate() const {
+  if (retries == 0) throw util::ConfigError("--retries must be >= 1");
+  if (timeout_seconds < 0.0) throw util::ConfigError("--timeout must be >= 0");
+  if (delay_seconds < 0.0) throw util::ConfigError("--delay must be >= 0");
+  if (resume && joblog_path.empty()) {
+    throw util::ConfigError("--resume requires --joblog");
+  }
+  if (resume_failed && joblog_path.empty()) {
+    throw util::ConfigError("--resume-failed requires --joblog");
+  }
+  if (resume && resume_failed) {
+    throw util::ConfigError("--resume and --resume-failed are exclusive");
+  }
+  if (xargs && max_chars == 0) throw util::ConfigError("-X requires --max-chars > 0");
+  if (pipe_mode && (max_args > 1 || xargs)) {
+    throw util::ConfigError("--pipe cannot be combined with -n/-X packing");
+  }
+  if (block_bytes == 0) throw util::ConfigError("--block must be > 0");
+  if (!trim_mode.empty() && trim_mode != "l" && trim_mode != "r" && trim_mode != "lr" &&
+      trim_mode != "rl" && trim_mode != "n") {
+    throw util::ConfigError("--trim expects n|l|r|lr|rl");
+  }
+  if (!colsep.empty() && (max_args > 1 || xargs)) {
+    throw util::ConfigError("--colsep cannot be combined with -n/-X packing");
+  }
+}
+
+std::size_t Options::effective_jobs() const {
+  if (jobs != 0) return jobs;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace parcl::core

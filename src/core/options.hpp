@@ -1,0 +1,115 @@
+// Run options for the parcl engine — the subset of GNU Parallel's ~100 flags
+// that the paper exercises, with the same semantics and defaults.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/halt.hpp"
+
+namespace parcl::core {
+
+/// How job output reaches the caller.
+enum class OutputMode {
+  kGroup,       // default: buffer per job, emit when the job finishes
+  kKeepOrder,   // -k: emit in input order (implies grouping)
+  kLineBuffer,  // --line-buffer: emit whole lines as they arrive
+  kUngroup,     // -u: no capture; children inherit our stdout/stderr
+};
+
+struct Options {
+  /// -j/--jobs: concurrent slots. 0 means "one per hardware thread".
+  std::size_t jobs = 1;
+
+  OutputMode output_mode = OutputMode::kGroup;
+
+  /// --tag: prefix every output line with the job's first argument + TAB.
+  bool tag = false;
+
+  /// --tagstring: prefix template (replacement strings expand; overrides
+  /// --tag when non-empty).
+  std::string tag_template;
+
+  /// -n/--max-args: inputs packed per job (0 = 1; with -X, as many as fit).
+  std::size_t max_args = 0;
+
+  /// -X: xargs-style packing bounded by max_chars.
+  bool xargs = false;
+
+  /// --max-chars bound for -X packing (composed command-line length).
+  std::size_t max_chars = 4096;
+
+  /// --retries: total attempts per job (1 = no retry).
+  std::size_t retries = 1;
+
+  /// --halt: what to do when jobs fail (default: never).
+  HaltPolicy halt;
+
+  /// --timeout: per-attempt wall-clock limit in seconds (0 = none).
+  double timeout_seconds = 0.0;
+
+  /// --delay: minimum spacing between job starts in seconds.
+  double delay_seconds = 0.0;
+
+  /// --dry-run: compose and emit command lines without executing.
+  bool dry_run = false;
+
+  /// --progress: live completion counter on the error stream.
+  bool progress = false;
+
+  /// --pipe: stdin is split into record-aligned blocks fed to jobs' stdin.
+  bool pipe_mode = false;
+
+  /// --block: target block size for --pipe, in bytes.
+  std::size_t block_bytes = 1 << 20;
+
+  /// --joblog path ("" = none).
+  std::string joblog_path;
+
+  /// --results DIR: save each job's stdout/stderr/metadata under
+  /// DIR/<seq>/ ("" = off). Output still flows through the collator.
+  std::string results_dir;
+
+  /// --shuf: run jobs in a seeded-random order (output order under -k is
+  /// still the input order).
+  bool shuffle = false;
+  std::uint64_t shuffle_seed = 0x5eed;
+
+  /// --colsep: split every input value into positional columns ({1}, {2},
+  /// ...) on this separator string ("" = off). Like parallel's --colsep for
+  /// fixed separators.
+  std::string colsep;
+
+  /// --trim: strip whitespace from input values: "" (off), "l", "r", "lr".
+  std::string trim_mode;
+
+  /// --resume: skip seqs already present in the joblog.
+  bool resume = false;
+
+  /// --resume-failed: like --resume but re-runs logged failures.
+  bool resume_failed = false;
+
+  /// Run commands via /bin/sh -c (parallel's default; false = direct exec).
+  bool use_shell = true;
+
+  /// Quote substituted arguments (parallel does this unless -q reverses it;
+  /// we expose it directly).
+  bool quote_args = true;
+
+  /// Extra environment for every job. Values may contain replacement
+  /// strings, e.g. {"HIP_VISIBLE_DEVICES", "{%}"} for GPU isolation.
+  std::map<std::string, std::string> env;
+
+  /// Label recorded in the joblog Host column.
+  std::string host_label = ":";
+
+  /// Throws ConfigError on contradictory settings.
+  void validate() const;
+
+  /// Resolved slot count (expands jobs == 0).
+  std::size_t effective_jobs() const;
+};
+
+}  // namespace parcl::core

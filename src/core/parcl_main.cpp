@@ -1,0 +1,70 @@
+// parcl — a GNU-Parallel-compatible parallel job launcher.
+//
+// The runnable analog of every `parallel ...` invocation in the paper, e.g.
+//   parcl -j128 ./payload.sh {} :::: inputs.txt
+//   parcl -j8 --env 'HIP_VISIBLE_DEVICES={%}' celer-sim {} ::: *.inp.json
+#include <iostream>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/engine.hpp"
+#include "core/pipe.hpp"
+#include "core/semaphore.hpp"
+#include "exec/local_executor.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parcl;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    core::RunPlan plan = core::parse_cli(args);
+    if (plan.show_help) {
+      std::cout << core::usage_text();
+      return 0;
+    }
+    if (plan.show_version) {
+      std::cout << core::version_text() << '\n';
+      return 0;
+    }
+    if (plan.command_template.empty() && !plan.read_stdin) {
+      std::cerr << "parcl: no command given (try --help)\n";
+      return 255;
+    }
+    exec::LocalExecutor executor;
+    core::Engine engine(plan.options, executor);
+    core::RunSummary summary;
+    if (plan.semaphore) {
+      // sem mode: hold a slot of the named semaphore while the command runs.
+      core::FileSemaphore semaphore(plan.semaphore_id, plan.options.effective_jobs());
+      core::SemaphoreSlot slot =
+          semaphore.acquire(plan.options.timeout_seconds > 0.0
+                                ? plan.options.timeout_seconds
+                                : -1.0);
+      if (!slot.held()) {
+        std::cerr << "parcl: timed out waiting for semaphore '"
+                  << plan.semaphore_id << "'\n";
+        return 255;
+      }
+      core::Options sem_options = plan.options;
+      sem_options.jobs = 1;
+      sem_options.output_mode = core::OutputMode::kUngroup;
+      sem_options.timeout_seconds = 0.0;  // timeout applied to acquisition
+      core::Engine sem_engine(sem_options, executor);
+      summary = sem_engine.run_raw(plan.command_template);
+      return summary.exit_status();
+    }
+    if (plan.options.pipe_mode) {
+      core::PipeOptions pipe_options;
+      pipe_options.block_bytes = plan.options.block_bytes;
+      summary = engine.run_pipe(plan.command_template,
+                                core::split_blocks(std::cin, pipe_options));
+    } else {
+      summary = engine.run(plan.command_template,
+                           core::resolve_inputs(plan, std::cin));
+    }
+    return summary.exit_status();
+  } catch (const util::Error& error) {
+    std::cerr << "parcl: " << error.what() << '\n';
+    return 255;
+  }
+}

@@ -1,0 +1,53 @@
+#include "core/pipe.hpp"
+
+#include <istream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::core {
+
+std::vector<std::string> split_blocks(std::istream& in, const PipeOptions& options) {
+  if (options.block_bytes == 0) throw util::ConfigError("--block must be > 0");
+  std::vector<std::string> blocks;
+  std::string pending;
+  char chunk[65536];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    pending.append(chunk, static_cast<std::size_t>(in.gcount()));
+    // Emit complete blocks while enough data is buffered.
+    while (pending.size() >= options.block_bytes) {
+      // Cut at the last record separator within (or at) the block target;
+      // if none exists yet, wait for more input (records are never split).
+      std::size_t cut = pending.rfind(options.record_separator,
+                                      options.block_bytes - 1);
+      if (cut == std::string::npos) {
+        cut = pending.find(options.record_separator, options.block_bytes);
+        if (cut == std::string::npos) break;  // record still open
+      }
+      blocks.push_back(pending.substr(0, cut + 1));
+      pending.erase(0, cut + 1);
+    }
+  }
+  if (!pending.empty()) blocks.push_back(std::move(pending));
+  return blocks;
+}
+
+std::size_t parse_block_size(const std::string& text) {
+  std::string trimmed = util::trim(text);
+  if (trimmed.empty()) throw util::ParseError("--block: empty size");
+  std::size_t multiplier = 1;
+  char suffix = trimmed.back();
+  if (suffix == 'k' || suffix == 'K') {
+    multiplier = 1024;
+  } else if (suffix == 'm' || suffix == 'M') {
+    multiplier = 1024 * 1024;
+  } else if (suffix == 'g' || suffix == 'G') {
+    multiplier = 1024 * 1024 * 1024;
+  }
+  std::string digits = multiplier == 1 ? trimmed : trimmed.substr(0, trimmed.size() - 1);
+  long value = util::parse_long(digits);
+  if (value <= 0) throw util::ParseError("--block must be positive");
+  return static_cast<std::size_t>(value) * multiplier;
+}
+
+}  // namespace parcl::core

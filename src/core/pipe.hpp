@@ -1,0 +1,30 @@
+// --pipe mode: split a stream into record-aligned blocks that become the
+// stdin of parallel jobs, GNU Parallel's second major operating mode
+// ("working seamlessly with pipes and standard streams", Sec II).
+//
+// Semantics match parallel --pipe with --recend: a block is at least
+// --block bytes (except the last) and always ends on a record boundary;
+// records are never split, so an oversized record travels whole.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parcl::core {
+
+struct PipeOptions {
+  std::size_t block_bytes = 1 << 20;  // --block (default 1M, like parallel)
+  char record_separator = '\n';       // --recend; '\0' with -0
+};
+
+/// Splits the whole stream into blocks. Concatenating the blocks restores
+/// the input byte-for-byte.
+std::vector<std::string> split_blocks(std::istream& in, const PipeOptions& options);
+
+/// Parses a --block size with parallel's suffixes: plain bytes, or k/K, m/M,
+/// g/G (powers of 1024). Throws ParseError on junk or zero.
+std::size_t parse_block_size(const std::string& text);
+
+}  // namespace parcl::core

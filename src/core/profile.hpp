@@ -1,0 +1,55 @@
+// Parallel-profile extraction.
+//
+// The paper's conclusion positions GNU Parallel as "a quick prototyping
+// tool to design and extract parallel profiles from application
+// executions". This module turns a run's per-job intervals — either a
+// RunSummary or a --joblog file — into that profile: concurrency over
+// time, peak/average parallelism, slot utilization, and the serial
+// fraction, plus an ASCII rendering of the concurrency curve.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/joblog.hpp"
+
+namespace parcl::core {
+
+/// One [start, end) execution interval.
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct ParallelProfile {
+  std::size_t jobs = 0;
+  double span = 0.0;            // first start to last end
+  double total_busy = 0.0;      // sum of interval lengths
+  std::size_t peak_concurrency = 0;
+  double average_concurrency = 0.0;  // total_busy / span
+  /// Fraction of the span with exactly one job running (Amdahl probe).
+  double serial_fraction = 0.0;
+  /// Fraction of slot capacity used: total_busy / (slots * span).
+  double utilization(std::size_t slots) const noexcept;
+  /// Concurrency step function: at times[i], concurrency becomes levels[i].
+  std::vector<double> times;
+  std::vector<std::size_t> levels;
+
+  /// Concurrency sampled into `bins` equal slices of the span, rendered as
+  /// an ASCII bar chart.
+  std::string render(std::size_t bins = 24, std::size_t width = 40) const;
+};
+
+/// Builds the profile from raw intervals. Zero-length runs produce an empty
+/// profile; intervals with end < start throw ConfigError.
+ParallelProfile profile_intervals(std::vector<Interval> intervals);
+
+/// From a finished run (skipped jobs are ignored).
+ParallelProfile profile_run(const RunSummary& summary);
+
+/// From joblog entries (Starttime + JobRuntime columns).
+ParallelProfile profile_joblog(const std::vector<JoblogEntry>& entries);
+
+}  // namespace parcl::core

@@ -1,0 +1,46 @@
+// parcl-profile — extract a parallel profile from a --joblog file.
+//
+//   parcl --joblog run.log ... ::: ...
+//   parcl-profile run.log
+//
+// Prints peak/average concurrency, utilization, serial fraction, and an
+// ASCII concurrency curve — the paper's "extract parallel profiles from
+// application executions" workflow.
+#include <iostream>
+#include <string>
+
+#include "core/joblog.hpp"
+#include "core/profile.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parcl;
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: parcl-profile JOBLOG [slots]\n";
+    return 255;
+  }
+  try {
+    auto entries = core::read_joblog(argv[1]);
+    core::ParallelProfile profile = core::profile_joblog(entries);
+    std::cout << "jobs:                " << profile.jobs << '\n';
+    std::cout << "span:                " << util::format_duration(profile.span) << '\n';
+    std::cout << "total busy:          " << util::format_duration(profile.total_busy)
+              << '\n';
+    std::cout << "peak concurrency:    " << profile.peak_concurrency << '\n';
+    std::cout << "average concurrency: "
+              << util::format_double(profile.average_concurrency, 2) << '\n';
+    std::cout << "serial fraction:     "
+              << util::format_double(100.0 * profile.serial_fraction, 1) << "%\n";
+    if (argc == 3) {
+      std::size_t slots = static_cast<std::size_t>(util::parse_long(argv[2]));
+      std::cout << "utilization @" << slots << " slots: "
+                << util::format_double(100.0 * profile.utilization(slots), 1) << "%\n";
+    }
+    std::cout << "\nconcurrency over time:\n" << profile.render();
+    return 0;
+  } catch (const util::Error& error) {
+    std::cerr << "parcl-profile: " << error.what() << '\n';
+    return 255;
+  }
+}

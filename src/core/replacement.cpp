@@ -1,0 +1,184 @@
+#include "core/replacement.hpp"
+
+#include <cctype>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/shell.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::core {
+namespace {
+
+/// Parses the text between braces. Returns nullopt when it is not a valid
+/// placeholder body (caller then treats the braces as literal text).
+struct Body {
+  enum class What { kArgs, kArg, kSeq, kSlot } what = What::kArgs;
+  std::size_t arg_index = 0;
+  Transform transform = Transform::kNone;
+};
+
+std::optional<Transform> parse_transform(std::string_view text) {
+  if (text.empty()) return Transform::kNone;
+  if (text == ".") return Transform::kNoExtension;
+  if (text == "/") return Transform::kBasename;
+  if (text == "//") return Transform::kDirname;
+  if (text == "/.") return Transform::kBasenameNoExt;
+  return std::nullopt;
+}
+
+std::optional<Body> parse_body(std::string_view body) {
+  Body out;
+  if (body == "#") {
+    out.what = Body::What::kSeq;
+    return out;
+  }
+  if (body == "%") {
+    out.what = Body::What::kSlot;
+    return out;
+  }
+  std::size_t digits = 0;
+  while (digits < body.size() && std::isdigit(static_cast<unsigned char>(body[digits]))) {
+    ++digits;
+  }
+  if (digits > 0) {
+    out.what = Body::What::kArg;
+    out.arg_index = static_cast<std::size_t>(util::parse_long(body.substr(0, digits)));
+    if (out.arg_index == 0) return std::nullopt;  // {0} is not a placeholder
+    auto transform = parse_transform(body.substr(digits));
+    if (!transform) return std::nullopt;
+    out.transform = *transform;
+    return out;
+  }
+  auto transform = parse_transform(body);
+  if (!transform) return std::nullopt;
+  out.what = Body::What::kArgs;
+  out.transform = *transform;
+  return out;
+}
+
+}  // namespace
+
+std::string apply_transform(std::string_view value, Transform transform) {
+  switch (transform) {
+    case Transform::kNone: return std::string(value);
+    case Transform::kNoExtension: return util::strip_extension(value);
+    case Transform::kBasename: return util::path_basename(value);
+    case Transform::kDirname: return util::path_dirname(value);
+    case Transform::kBasenameNoExt:
+      return util::strip_extension(util::path_basename(value));
+  }
+  return std::string(value);
+}
+
+CommandTemplate CommandTemplate::parse(std::string_view spec) {
+  CommandTemplate tmpl;
+  tmpl.source_ = std::string(spec);
+  std::string literal;
+  auto flush_literal = [&] {
+    if (!literal.empty()) {
+      Token token;
+      token.kind = Token::Kind::kLiteral;
+      token.literal = std::move(literal);
+      tmpl.tokens_.push_back(std::move(token));
+      literal.clear();
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < spec.size()) {
+    if (spec[i] != '{') {
+      literal += spec[i];
+      ++i;
+      continue;
+    }
+    std::size_t close = spec.find('}', i + 1);
+    if (close == std::string_view::npos) {
+      literal += spec[i];
+      ++i;
+      continue;
+    }
+    auto body = parse_body(spec.substr(i + 1, close - i - 1));
+    if (!body) {
+      literal += spec[i];
+      ++i;
+      continue;
+    }
+    flush_literal();
+    Token token;
+    switch (body->what) {
+      case Body::What::kArgs:
+        token.kind = Token::Kind::kArgs;
+        tmpl.has_input_placeholder_ = true;
+        break;
+      case Body::What::kArg:
+        token.kind = Token::Kind::kArg;
+        token.arg_index = body->arg_index;
+        tmpl.has_input_placeholder_ = true;
+        break;
+      case Body::What::kSeq:
+        token.kind = Token::Kind::kSeq;
+        break;
+      case Body::What::kSlot:
+        token.kind = Token::Kind::kSlot;
+        break;
+    }
+    token.transform = body->transform;
+    tmpl.tokens_.push_back(std::move(token));
+    i = close + 1;
+  }
+  flush_literal();
+  return tmpl;
+}
+
+void CommandTemplate::ensure_input_placeholder() {
+  if (has_input_placeholder_) return;
+  Token space;
+  space.kind = Token::Kind::kLiteral;
+  space.literal = " ";
+  tokens_.push_back(std::move(space));
+  Token args;
+  args.kind = Token::Kind::kArgs;
+  tokens_.push_back(std::move(args));
+  has_input_placeholder_ = true;
+  source_ += " {}";
+}
+
+std::string CommandTemplate::expand(const std::vector<std::string>& args,
+                                    const Context& context, bool quote) const {
+  std::string out;
+  auto emit_value = [&](std::string_view value, Transform transform) {
+    std::string transformed = apply_transform(value, transform);
+    out += quote ? util::shell_quote(transformed) : transformed;
+  };
+  for (const Token& token : tokens_) {
+    switch (token.kind) {
+      case Token::Kind::kLiteral:
+        out += token.literal;
+        break;
+      case Token::Kind::kArgs:
+        for (std::size_t a = 0; a < args.size(); ++a) {
+          if (a != 0) out += ' ';
+          emit_value(args[a], token.transform);
+        }
+        break;
+      case Token::Kind::kArg:
+        if (token.arg_index > args.size()) {
+          throw util::ConfigError("{" + std::to_string(token.arg_index) +
+                                  "} used but job has only " + std::to_string(args.size()) +
+                                  " argument(s)");
+        }
+        emit_value(args[token.arg_index - 1], token.transform);
+        break;
+      case Token::Kind::kSeq:
+        out += std::to_string(context.seq);
+        break;
+      case Token::Kind::kSlot:
+        out += std::to_string(context.slot);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace parcl::core

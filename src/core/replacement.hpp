@@ -1,0 +1,78 @@
+// Command-template expansion: GNU Parallel's replacement strings.
+//
+// Supported placeholders (same semantics as parallel(1)):
+//   {}    the input line (all packed args, each quoted, space-joined)
+//   {.}   input without extension
+//   {/}   basename
+//   {//}  dirname
+//   {/.}  basename without extension
+//   {#}   job sequence number (1-based)
+//   {%}   job slot number (1-based, stable while the job runs)
+//   {n} {n.} {n/} {n//} {n/.}   the n-th argument with the same transforms
+//
+// Text that merely looks brace-like but is not one of these (e.g. "${ts}",
+// "{abc}") passes through literally, exactly as GNU Parallel leaves unknown
+// replacement strings alone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcl::core {
+
+/// Path-style transform applied to a substituted value.
+enum class Transform {
+  kNone,            // {}
+  kNoExtension,     // {.}
+  kBasename,        // {/}
+  kDirname,         // {//}
+  kBasenameNoExt,   // {/.}
+};
+
+/// Applies a Transform to one value.
+std::string apply_transform(std::string_view value, Transform transform);
+
+class CommandTemplate {
+ public:
+  /// Per-job values that are not input arguments.
+  struct Context {
+    std::size_t seq = 1;   // {#}
+    std::size_t slot = 1;  // {%}
+  };
+
+  /// Parses a template; never throws on unknown brace text (kept literal).
+  static CommandTemplate parse(std::string_view spec);
+
+  /// Expands against a job's argument vector. `quote` shell-quotes each
+  /// substituted argument value. Throws ConfigError when {n} exceeds the
+  /// argument count.
+  std::string expand(const std::vector<std::string>& args, const Context& context,
+                     bool quote) const;
+
+  /// True if any placeholder consumes input arguments ({}, {n}, ...).
+  bool has_input_placeholder() const noexcept { return has_input_placeholder_; }
+
+  /// Appends " {}" when no input placeholder exists, matching parallel's
+  /// behaviour of appending arguments to the command.
+  void ensure_input_placeholder();
+
+  /// The original template text (after any ensure_input_placeholder()).
+  const std::string& source() const noexcept { return source_; }
+
+ private:
+  struct Token {
+    enum class Kind { kLiteral, kArgs, kArg, kSeq, kSlot };
+    Kind kind = Kind::kLiteral;
+    std::string literal;            // kLiteral
+    std::size_t arg_index = 0;      // kArg: 1-based
+    Transform transform = Transform::kNone;
+  };
+
+  std::string source_;
+  std::vector<Token> tokens_;
+  bool has_input_placeholder_ = false;
+};
+
+}  // namespace parcl::core

@@ -1,0 +1,85 @@
+#include "core/semaphore.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace parcl::core {
+
+SemaphoreSlot::~SemaphoreSlot() {
+  if (fd_ >= 0) {
+    flock(fd_, LOCK_UN);
+    close(fd_);
+  }
+}
+
+SemaphoreSlot::SemaphoreSlot(SemaphoreSlot&& other) noexcept
+    : fd_(other.fd_), index_(other.index_) {
+  other.fd_ = -1;
+}
+
+SemaphoreSlot& SemaphoreSlot::operator=(SemaphoreSlot&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      flock(fd_, LOCK_UN);
+      close(fd_);
+    }
+    fd_ = other.fd_;
+    index_ = other.index_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileSemaphore::FileSemaphore(std::string name, std::size_t slots, std::string directory)
+    : name_(std::move(name)), slots_(slots), directory_(std::move(directory)) {
+  if (name_.empty()) throw util::ConfigError("semaphore needs a non-empty --id");
+  for (char c : name_) {
+    if (c == '/' || c == '\0') throw util::ConfigError("semaphore id must not contain '/'");
+  }
+  if (slots_ == 0) throw util::ConfigError("semaphore needs at least one slot");
+  if (directory_.empty()) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    directory_ = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  }
+}
+
+std::string FileSemaphore::slot_path(std::size_t index) const {
+  return directory_ + "/parcl-sem-" + name_ + "." + std::to_string(index) + ".lock";
+}
+
+SemaphoreSlot FileSemaphore::try_acquire() {
+  for (std::size_t i = 0; i < slots_; ++i) {
+    int fd = open(slot_path(i).c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0600);
+    if (fd < 0) throw util::SystemError("open semaphore slot", errno);
+    if (flock(fd, LOCK_EX | LOCK_NB) == 0) {
+      SemaphoreSlot slot;
+      slot.fd_ = fd;
+      slot.index_ = i;
+      return slot;
+    }
+    close(fd);
+  }
+  return SemaphoreSlot{};
+}
+
+SemaphoreSlot FileSemaphore::acquire(double timeout_seconds, int poll_interval_ms) {
+  double waited = 0.0;
+  while (true) {
+    SemaphoreSlot slot = try_acquire();
+    if (slot.held()) return slot;
+    if (timeout_seconds >= 0.0 && waited >= timeout_seconds) return slot;
+    struct timespec ts{poll_interval_ms / 1000,
+                       static_cast<long>(poll_interval_ms % 1000) * 1000000L};
+    nanosleep(&ts, nullptr);
+    waited += static_cast<double>(poll_interval_ms) / 1e3;
+  }
+}
+
+}  // namespace parcl::core

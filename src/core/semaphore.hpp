@@ -1,0 +1,61 @@
+// Cross-process counting semaphore — GNU Parallel's `sem` mode.
+//
+//   parcl --semaphore --id mylock -j4 heavy_command args...
+//
+// N slot files under $TMPDIR guard N concurrent holders across unrelated
+// processes, via flock(2). Used to throttle ad-hoc parallelism from shell
+// loops and cron jobs — one of the "working seamlessly with traditional
+// Linux constructs" roles the paper highlights.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace parcl::core {
+
+/// RAII slot holder: releases on destruction.
+class SemaphoreSlot {
+ public:
+  SemaphoreSlot() = default;
+  ~SemaphoreSlot();
+  SemaphoreSlot(SemaphoreSlot&& other) noexcept;
+  SemaphoreSlot& operator=(SemaphoreSlot&& other) noexcept;
+  SemaphoreSlot(const SemaphoreSlot&) = delete;
+  SemaphoreSlot& operator=(const SemaphoreSlot&) = delete;
+
+  bool held() const noexcept { return fd_ >= 0; }
+  std::size_t slot_index() const noexcept { return index_; }
+
+ private:
+  friend class FileSemaphore;
+  int fd_ = -1;
+  std::size_t index_ = 0;
+};
+
+class FileSemaphore {
+ public:
+  /// `name` identifies the semaphore across processes (--id); `slots` is
+  /// its capacity (-j). Lock files live in `directory` (default: $TMPDIR or
+  /// /tmp). Throws ConfigError on empty name / zero slots.
+  FileSemaphore(std::string name, std::size_t slots, std::string directory = "");
+
+  /// Blocks until a slot is free; polls at `poll_interval_ms`.
+  /// `timeout_seconds` < 0 waits forever; on timeout returns an un-held
+  /// slot.
+  SemaphoreSlot acquire(double timeout_seconds = -1.0, int poll_interval_ms = 20);
+
+  /// Non-blocking: returns an un-held slot when full.
+  SemaphoreSlot try_acquire();
+
+  std::size_t slots() const noexcept { return slots_; }
+  const std::string& name() const noexcept { return name_; }
+  /// Path of slot file i (for tests and cleanup).
+  std::string slot_path(std::size_t index) const;
+
+ private:
+  std::string name_;
+  std::size_t slots_;
+  std::string directory_;
+};
+
+}  // namespace parcl::core

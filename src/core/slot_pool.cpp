@@ -1,0 +1,29 @@
+#include "core/slot_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace parcl::core {
+
+SlotPool::SlotPool(std::size_t slots) : slots_(slots), held_(slots, false) {
+  if (slots == 0) throw util::ConfigError("slot pool needs at least one slot");
+  for (std::size_t s = 1; s <= slots; ++s) free_.push(s);
+}
+
+std::size_t SlotPool::acquire() {
+  util::require(!free_.empty(), "slot acquire with no free slots");
+  std::size_t slot = free_.top();
+  free_.pop();
+  held_[slot - 1] = true;
+  ++in_use_count_;
+  return slot;
+}
+
+void SlotPool::release(std::size_t slot) {
+  util::require(slot >= 1 && slot <= slots_, "slot release out of range");
+  util::require(held_[slot - 1], "double release of slot");
+  held_[slot - 1] = false;
+  --in_use_count_;
+  free_.push(slot);
+}
+
+}  // namespace parcl::core

@@ -1,0 +1,38 @@
+// Job-slot bookkeeping.
+//
+// GNU Parallel numbers its concurrent execution slots 1..jobs; {%} expands
+// to the slot a job occupies, and the paper's GPU-isolation recipe relies on
+// slot numbers being unique among running jobs and reused after release.
+// A min-heap free list keeps allocation deterministic (lowest free slot
+// first), matching parallel's observable behaviour.
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+namespace parcl::core {
+
+class SlotPool {
+ public:
+  /// Throws ConfigError when slots == 0.
+  explicit SlotPool(std::size_t slots);
+
+  /// Lowest free slot (1-based). Throws InternalError when none is free.
+  std::size_t acquire();
+
+  /// Returns a slot; throws InternalError on double-release or bad id.
+  void release(std::size_t slot);
+
+  bool any_free() const noexcept { return in_use_count_ < slots_; }
+  std::size_t capacity() const noexcept { return slots_; }
+  std::size_t in_use() const noexcept { return in_use_count_; }
+
+ private:
+  std::size_t slots_;
+  std::size_t in_use_count_ = 0;
+  std::priority_queue<std::size_t, std::vector<std::size_t>, std::greater<>> free_;
+  std::vector<bool> held_;  // held_[slot-1]
+};
+
+}  // namespace parcl::core

@@ -1,0 +1,119 @@
+#include "dtn/transfer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace parcl::dtn {
+
+namespace {
+
+/// Per-node worker pool pulling files off a shard queue.
+class NodeWorker {
+ public:
+  NodeWorker(sim::Simulation& sim, std::vector<storage::FileEntry> shard,
+             std::size_t streams, double per_file_overhead,
+             sim::SharedBandwidth& nic, sim::SharedBandwidth& src,
+             sim::SharedBandwidth& dst, std::function<void()> all_done)
+      : sim_(sim), shard_(std::move(shard)), per_file_overhead_(per_file_overhead),
+        nic_(nic), src_(src), dst_(dst), all_done_(std::move(all_done)) {
+    if (shard_.empty()) {
+      all_done_();
+      return;
+    }
+    std::size_t width = std::min(streams, shard_.size());
+    active_ = width;
+    for (std::size_t s = 0; s < width; ++s) pump();
+  }
+
+ private:
+  void pump() {
+    if (next_ >= shard_.size()) {
+      if (--active_ == 0) all_done_();
+      return;
+    }
+    double bytes = shard_[next_++].bytes;
+    sim_.schedule(per_file_overhead_, [this, bytes] {
+      auto remaining = std::make_shared<int>(3);
+      auto arm = [this, remaining] {
+        if (--*remaining == 0) pump();
+      };
+      nic_.transfer(bytes, arm);
+      src_.transfer(bytes, arm);
+      dst_.transfer(bytes, arm);
+    });
+  }
+
+  sim::Simulation& sim_;
+  std::vector<storage::FileEntry> shard_;
+  double per_file_overhead_;
+  sim::SharedBandwidth& nic_;
+  sim::SharedBandwidth& src_;
+  sim::SharedBandwidth& dst_;
+  std::function<void()> all_done_;
+  std::size_t next_ = 0;
+  std::size_t active_ = 0;
+};
+
+}  // namespace
+
+DtnTransfer::DtnTransfer(DtnSpec spec) : spec_(spec) {
+  if (spec_.nodes == 0) throw util::ConfigError("dtn needs at least one node");
+  if (spec_.streams_per_node == 0) throw util::ConfigError("dtn needs streams >= 1");
+}
+
+TransferReport DtnTransfer::run_config(const storage::Dataset& dataset,
+                                       const std::string& label, std::size_t nodes,
+                                       std::size_t streams_per_node,
+                                       double per_file_overhead) {
+  sim::Simulation sim;
+  sim::SharedBandwidth src(sim, "gpfs", spec_.src_fs_bandwidth, spec_.per_stream_cap);
+  sim::SharedBandwidth dst(sim, "lustre", spec_.dst_fs_bandwidth, spec_.per_stream_cap);
+
+  std::vector<std::unique_ptr<sim::SharedBandwidth>> nics;
+  nics.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    nics.push_back(std::make_unique<sim::SharedBandwidth>(
+        sim, "dtn-nic" + std::to_string(n), spec_.node_nic_bandwidth,
+        spec_.per_stream_cap));
+  }
+
+  auto shards = storage::stripe_files(dataset, nodes);
+  std::size_t nodes_done = 0;
+  std::vector<std::unique_ptr<NodeWorker>> workers;
+  workers.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    workers.push_back(std::make_unique<NodeWorker>(
+        sim, std::move(shards[n]), streams_per_node, per_file_overhead, *nics[n], src,
+        dst, [&nodes_done] { ++nodes_done; }));
+  }
+  sim.run();
+  util::require(nodes_done == nodes, "dtn transfer did not drain");
+
+  TransferReport report;
+  report.label = label;
+  report.duration = sim.now();
+  report.bytes = dataset.total_bytes();
+  report.files = dataset.file_count();
+  report.nodes = nodes;
+  report.total_streams = nodes * streams_per_node;
+  return report;
+}
+
+TransferReport DtnTransfer::run_parallel(const storage::Dataset& dataset) {
+  return run_config(dataset, "parallel-rsync", spec_.nodes, spec_.streams_per_node,
+                    spec_.per_file_overhead);
+}
+
+TransferReport DtnTransfer::run_sequential(const storage::Dataset& dataset) {
+  return run_config(dataset, "sequential", 1, 1, spec_.per_file_overhead);
+}
+
+TransferReport DtnTransfer::run_wms_protocol(const storage::Dataset& dataset,
+                                             double per_task_overhead,
+                                             std::size_t concurrency) {
+  if (concurrency == 0) throw util::ConfigError("wms concurrency must be >= 1");
+  return run_config(dataset, "wms-protocol", 1, concurrency, per_task_overhead);
+}
+
+}  // namespace parcl::dtn

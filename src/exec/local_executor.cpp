@@ -1,0 +1,321 @@
+#include "exec/local_executor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/shell.hpp"
+
+extern char** environ;
+
+namespace parcl::exec {
+
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_cloexec(int fd) {
+  int flags = fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+}  // namespace
+
+LocalExecutor::LocalExecutor() : epoch_(monotonic_seconds()) {
+  // A child dying while we are mid-write to a closed pipe must not kill us.
+  signal(SIGPIPE, SIG_IGN);
+}
+
+LocalExecutor::~LocalExecutor() {
+  for (auto& [id, child] : children_) {
+    if (!child.reaped && child.pid > 0) {
+      ::kill(-child.pid, SIGKILL);
+      int status = 0;
+      waitpid(child.pid, &status, 0);
+    }
+    if (child.out_fd >= 0) close(child.out_fd);
+    if (child.err_fd >= 0) close(child.err_fd);
+    if (child.in_fd >= 0) close(child.in_fd);
+  }
+}
+
+double LocalExecutor::now() const { return monotonic_seconds() - epoch_; }
+
+void LocalExecutor::start(const core::ExecRequest& request) {
+  util::require(children_.find(request.job_id) == children_.end(),
+                "duplicate job id in LocalExecutor::start");
+  double t0 = monotonic_seconds();
+
+  int out_pipe[2] = {-1, -1};
+  int err_pipe[2] = {-1, -1};
+  int in_pipe[2] = {-1, -1};
+  auto close_pair = [](int fds[2]) {
+    if (fds[0] >= 0) close(fds[0]);
+    if (fds[1] >= 0) close(fds[1]);
+  };
+  if (request.capture_output) {
+    if (pipe(out_pipe) != 0) throw util::SystemError("pipe", errno);
+    if (pipe(err_pipe) != 0) {
+      close_pair(out_pipe);
+      throw util::SystemError("pipe", errno);
+    }
+    set_cloexec(out_pipe[0]);
+    set_cloexec(err_pipe[0]);
+  }
+  if (request.has_stdin) {
+    if (pipe(in_pipe) != 0) {
+      close_pair(out_pipe);
+      close_pair(err_pipe);
+      throw util::SystemError("pipe", errno);
+    }
+    set_cloexec(in_pipe[1]);
+  }
+
+  // Compose the child environment before forking (no allocation after fork).
+  std::vector<std::string> env_storage;
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) envp.push_back(*e);
+  for (const auto& [key, value] : request.env) {
+    env_storage.push_back(key + "=" + value);
+  }
+  for (auto& kv : env_storage) envp.push_back(kv.data());
+  envp.push_back(nullptr);
+
+  std::vector<std::string> argv_storage;
+  std::vector<char*> argv;
+  if (request.use_shell) {
+    argv_storage = {"/bin/sh", "-c", request.command};
+  } else {
+    argv_storage = util::shell_split(request.command);
+    if (argv_storage.empty()) throw util::ConfigError("empty command");
+  }
+  for (auto& word : argv_storage) argv.push_back(word.data());
+  argv.push_back(nullptr);
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    int err = errno;
+    close_pair(out_pipe);
+    close_pair(err_pipe);
+    close_pair(in_pipe);
+    throw util::SystemError("fork", err);
+  }
+
+  if (pid == 0) {
+    // Child. Async-signal-safe calls only.
+    setpgid(0, 0);
+    if (request.has_stdin) {
+      dup2(in_pipe[0], STDIN_FILENO);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+    } else {
+      int devnull = open("/dev/null", O_RDONLY);
+      if (devnull >= 0) {
+        dup2(devnull, STDIN_FILENO);
+        if (devnull != STDIN_FILENO) close(devnull);
+      }
+    }
+    if (request.capture_output) {
+      dup2(out_pipe[1], STDOUT_FILENO);
+      dup2(err_pipe[1], STDERR_FILENO);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      close(err_pipe[0]);
+      close(err_pipe[1]);
+    }
+    if (request.use_shell) {
+      execve(argv[0], argv.data(), envp.data());
+    } else {
+      execvpe(argv[0], argv.data(), envp.data());
+    }
+    // exec failed: report the shell convention.
+    _exit(errno == ENOENT ? 127 : 126);
+  }
+
+  // Parent.
+  setpgid(pid, pid);  // harmless race with the child's own setpgid
+  Child child;
+  child.pid = pid;
+  child.start_time = now();
+  if (request.capture_output) {
+    close(out_pipe[1]);
+    close(err_pipe[1]);
+    set_nonblocking(out_pipe[0]);
+    set_nonblocking(err_pipe[0]);
+    child.out_fd = out_pipe[0];
+    child.err_fd = err_pipe[0];
+  }
+  if (request.has_stdin) {
+    close(in_pipe[0]);
+    set_nonblocking(in_pipe[1]);
+    child.in_fd = in_pipe[1];
+    child.in_buffer = request.stdin_data;
+    feed_stdin(child);  // opportunistic first write
+  }
+  children_.emplace(request.job_id, std::move(child));
+  spawn_seconds_ += monotonic_seconds() - t0;
+}
+
+bool LocalExecutor::finished(const Child& child) noexcept {
+  return child.reaped && child.out_fd < 0 && child.err_fd < 0;
+}
+
+void LocalExecutor::feed_stdin(Child& child) {
+  while (child.in_fd >= 0) {
+    if (child.in_offset >= child.in_buffer.size()) {
+      close(child.in_fd);  // EOF for the child
+      child.in_fd = -1;
+      child.in_buffer.clear();
+      return;
+    }
+    ssize_t n = write(child.in_fd, child.in_buffer.data() + child.in_offset,
+                      child.in_buffer.size() - child.in_offset);
+    if (n > 0) {
+      child.in_offset += static_cast<std::size_t>(n);
+    } else {
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // pipe full
+      // EPIPE (child closed stdin early) or another error: stop feeding.
+      close(child.in_fd);
+      child.in_fd = -1;
+      child.in_buffer.clear();
+      return;
+    }
+  }
+}
+
+void LocalExecutor::drain(Child& child) {
+  char buffer[8192];
+  for (int* fd : {&child.out_fd, &child.err_fd}) {
+    while (*fd >= 0) {
+      ssize_t n = read(*fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        auto& sink = (fd == &child.out_fd) ? child.out_buffer : child.err_buffer;
+        sink.append(buffer, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        close(*fd);
+        *fd = -1;
+      } else {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close(*fd);  // unexpected error: treat as EOF
+        *fd = -1;
+      }
+    }
+  }
+}
+
+core::ExecResult LocalExecutor::harvest(std::uint64_t job_id, Child& child) {
+  if (child.in_fd >= 0) {
+    // Child exited without consuming all of its stdin.
+    close(child.in_fd);
+    child.in_fd = -1;
+  }
+  core::ExecResult result;
+  result.job_id = job_id;
+  result.start_time = child.start_time;
+  result.end_time = now();
+  result.stdout_data = std::move(child.out_buffer);
+  result.stderr_data = std::move(child.err_buffer);
+  if (WIFEXITED(child.wait_status)) {
+    result.exit_code = WEXITSTATUS(child.wait_status);
+  } else if (WIFSIGNALED(child.wait_status)) {
+    result.term_signal = WTERMSIG(child.wait_status);
+    result.exit_code = 128 + result.term_signal;
+  }
+  return result;
+}
+
+std::optional<core::ExecResult> LocalExecutor::wait_any(double timeout_seconds) {
+  double deadline =
+      timeout_seconds < 0.0 ? -1.0 : monotonic_seconds() + timeout_seconds;
+
+  while (true) {
+    // Reap exits and drain pipes.
+    for (auto& [id, child] : children_) {
+      if (!child.reaped) {
+        int status = 0;
+        pid_t reaped = waitpid(child.pid, &status, WNOHANG);
+        if (reaped == child.pid) {
+          child.reaped = true;
+          child.wait_status = status;
+        }
+      }
+      drain(child);
+      feed_stdin(child);
+    }
+    for (auto it = children_.begin(); it != children_.end(); ++it) {
+      if (finished(it->second)) {
+        core::ExecResult result = harvest(it->first, it->second);
+        children_.erase(it);
+        return result;
+      }
+    }
+
+    // Compute the poll window.
+    double remaining_ms;
+    if (deadline < 0.0) {
+      remaining_ms = 100.0;  // periodic waitpid sweep
+    } else {
+      double remaining = deadline - monotonic_seconds();
+      if (remaining <= 0.0) return std::nullopt;
+      remaining_ms = std::min(remaining * 1e3, 100.0);
+    }
+    if (children_.empty()) {
+      if (deadline < 0.0) return std::nullopt;
+      // Honour the engine's --delay sleep even with nothing running.
+      struct timespec ts;
+      double remaining = deadline - monotonic_seconds();
+      if (remaining <= 0.0) return std::nullopt;
+      ts.tv_sec = static_cast<time_t>(remaining);
+      ts.tv_nsec = static_cast<long>((remaining - static_cast<double>(ts.tv_sec)) * 1e9);
+      nanosleep(&ts, nullptr);
+      return std::nullopt;
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(children_.size() * 3);
+    for (auto& [id, child] : children_) {
+      if (child.out_fd >= 0) fds.push_back({child.out_fd, POLLIN, 0});
+      if (child.err_fd >= 0) fds.push_back({child.err_fd, POLLIN, 0});
+      if (child.in_fd >= 0) fds.push_back({child.in_fd, POLLOUT, 0});
+    }
+    if (fds.empty()) {
+      // All pipes closed (or not capturing); sleep briefly for waitpid.
+      struct timespec ts{0, static_cast<long>(remaining_ms * 1e6)};
+      nanosleep(&ts, nullptr);
+    } else {
+      poll(fds.data(), fds.size(), static_cast<int>(remaining_ms));
+    }
+  }
+}
+
+void LocalExecutor::kill(std::uint64_t job_id, bool force) {
+  auto it = children_.find(job_id);
+  if (it == children_.end() || it->second.reaped) return;
+  int sig = force ? SIGKILL : SIGTERM;
+  // Signal the whole process group; fall back to the pid if the group is
+  // already gone.
+  if (::kill(-it->second.pid, sig) != 0) {
+    ::kill(it->second.pid, sig);
+  }
+}
+
+}  // namespace parcl::exec

@@ -1,0 +1,65 @@
+// LocalExecutor: runs jobs as real child processes on this machine.
+//
+// Each job gets its own process group (so kill() reaches the whole shell
+// pipeline), stdin from /dev/null, and — when capturing — pipes for stdout
+// and stderr drained non-blockingly from wait_any()'s poll loop, so children
+// writing more than a pipe buffer never deadlock.
+#pragma once
+
+#include <sys/types.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace parcl::exec {
+
+class LocalExecutor final : public core::Executor {
+ public:
+  LocalExecutor();
+  /// Kills (SIGKILL) and reaps any children still running.
+  ~LocalExecutor() override;
+  LocalExecutor(const LocalExecutor&) = delete;
+  LocalExecutor& operator=(const LocalExecutor&) = delete;
+
+  void start(const core::ExecRequest& request) override;
+  std::optional<core::ExecResult> wait_any(double timeout_seconds) override;
+  void kill(std::uint64_t job_id, bool force) override;
+  std::size_t active_count() const override { return children_.size(); }
+  double now() const override;
+
+  /// Total fork+exec dispatch time accumulated across start() calls, for
+  /// overhead studies.
+  double spawn_seconds() const noexcept { return spawn_seconds_; }
+
+ private:
+  struct Child {
+    pid_t pid = -1;
+    int out_fd = -1;  // -1 once closed / when not capturing
+    int err_fd = -1;
+    int in_fd = -1;   // write end of the child's stdin pipe (--pipe mode)
+    std::string out_buffer;
+    std::string err_buffer;
+    std::string in_buffer;       // pending stdin bytes
+    std::size_t in_offset = 0;   // how much of in_buffer is already written
+    double start_time = 0.0;
+    bool reaped = false;
+    int wait_status = 0;
+  };
+
+  /// True when the child is fully finished (reaped and pipes drained).
+  static bool finished(const Child& child) noexcept;
+  core::ExecResult harvest(std::uint64_t job_id, Child& child);
+  /// Reads everything currently available; closes fds at EOF.
+  static void drain(Child& child);
+  /// Writes pending stdin bytes; closes the pipe when drained or broken.
+  static void feed_stdin(Child& child);
+
+  std::map<std::uint64_t, Child> children_;
+  double epoch_ = 0.0;
+  double spawn_seconds_ = 0.0;
+};
+
+}  // namespace parcl::exec

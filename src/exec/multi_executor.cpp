@@ -1,0 +1,122 @@
+#include "exec/multi_executor.hpp"
+
+#include <time.h>
+
+#include <chrono>
+
+#include "exec/local_executor.hpp"
+#include "util/error.hpp"
+#include "util/shell.hpp"
+
+namespace parcl::exec {
+
+namespace {
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+MultiExecutor::MultiExecutor(
+    std::vector<HostSpec> hosts,
+    std::function<std::unique_ptr<core::Executor>(const HostSpec&)> make_executor) {
+  if (hosts.empty()) throw util::ConfigError("multi executor needs at least one host");
+  std::size_t next_slot = 1;
+  for (HostSpec& spec : hosts) {
+    if (spec.jobs == 0) {
+      throw util::ConfigError("host '" + spec.name + "' needs jobs > 0");
+    }
+    Host host;
+    host.first_slot = next_slot;
+    next_slot += spec.jobs;
+    host.spec = std::move(spec);
+    host.executor = make_executor(host.spec);
+    util::require(host.executor != nullptr, "make_executor returned null");
+    hosts_.push_back(std::move(host));
+  }
+  total_slots_ = next_slot - 1;
+}
+
+std::unique_ptr<MultiExecutor> MultiExecutor::local_cluster(std::vector<HostSpec> hosts) {
+  return std::make_unique<MultiExecutor>(
+      std::move(hosts),
+      [](const HostSpec&) { return std::make_unique<LocalExecutor>(); });
+}
+
+MultiExecutor::Host& MultiExecutor::host_of(std::size_t flat_slot) {
+  for (Host& host : hosts_) {
+    if (flat_slot >= host.first_slot && flat_slot < host.first_slot + host.spec.jobs) {
+      return host;
+    }
+  }
+  throw util::InternalError("slot " + std::to_string(flat_slot) + " maps to no host");
+}
+
+const MultiExecutor::Host& MultiExecutor::host_of(std::size_t flat_slot) const {
+  return const_cast<MultiExecutor*>(this)->host_of(flat_slot);
+}
+
+const HostSpec& MultiExecutor::host_for_slot(std::size_t slot) const {
+  return host_of(slot).spec;
+}
+
+double MultiExecutor::now() const { return monotonic_seconds(); }
+
+void MultiExecutor::start(const core::ExecRequest& request) {
+  Host& host = host_of(request.slot);
+  core::ExecRequest routed = request;
+  if (!host.spec.wrapper.empty()) {
+    // The wrapper receives the command as one quoted argument, like
+    // parallel composing `ssh host "cmd"`.
+    routed.command = host.spec.wrapper + " " + util::shell_quote(request.command);
+  }
+  std::size_t host_index = static_cast<std::size_t>(&host - hosts_.data());
+  job_host_[request.job_id] = host_index;
+  ++starts_by_host_[host.spec.name];
+  host.executor->start(routed);
+}
+
+std::optional<core::ExecResult> MultiExecutor::wait_any(double timeout_seconds) {
+  double deadline = timeout_seconds < 0.0 ? -1.0 : now() + timeout_seconds;
+  while (true) {
+    bool any_active = false;
+    for (std::size_t k = 0; k < hosts_.size(); ++k) {
+      Host& host = hosts_[(rr_cursor_ + k) % hosts_.size()];
+      if (host.executor->active_count() == 0) continue;
+      any_active = true;
+      std::optional<core::ExecResult> result = host.executor->wait_any(0.0);
+      if (result) {
+        rr_cursor_ = (rr_cursor_ + k + 1) % hosts_.size();
+        // Re-express child-clock times on our clock (monotonic clocks share
+        // rate; the offset is measured now, which is exact enough for the
+        // engine's makespan accounting).
+        double delta = now() - host.executor->now();
+        result->start_time += delta;
+        result->end_time += delta;
+        job_host_.erase(result->job_id);
+        return result;
+      }
+    }
+    // One full sweep has happened by this point, so a zero timeout still
+    // observes already-finished jobs.
+    if (!any_active && deadline < 0.0) return std::nullopt;
+    if (deadline >= 0.0 && now() >= deadline) return std::nullopt;
+    struct timespec ts{0, 2'000'000};  // 2 ms between sweeps
+    nanosleep(&ts, nullptr);
+  }
+}
+
+void MultiExecutor::kill(std::uint64_t job_id, bool force) {
+  auto it = job_host_.find(job_id);
+  if (it == job_host_.end()) return;
+  hosts_[it->second].executor->kill(job_id, force);
+}
+
+std::size_t MultiExecutor::active_count() const {
+  std::size_t total = 0;
+  for (const Host& host : hosts_) total += host.executor->active_count();
+  return total;
+}
+
+}  // namespace parcl::exec

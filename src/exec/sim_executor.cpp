@@ -1,0 +1,81 @@
+#include "exec/sim_executor.hpp"
+
+#include <csignal>
+
+#include "util/error.hpp"
+
+namespace parcl::exec {
+
+SimExecutor::SimExecutor(sim::Simulation& sim, TaskModel model, double dispatch_cost)
+    : sim_(sim), model_(std::move(model)), dispatch_cost_(dispatch_cost) {
+  if (dispatch_cost < 0.0) throw util::ConfigError("dispatch cost must be >= 0");
+}
+
+void SimExecutor::start(const core::ExecRequest& request) {
+  util::require(active_.find(request.job_id) == active_.end(),
+                "duplicate job id in SimExecutor::start");
+  // start() consumes dispatcher time synchronously, like a real fork+exec.
+  if (dispatch_cost_ > 0.0) sim_.run_until(sim_.now() + dispatch_cost_);
+
+  SimOutcome outcome = model_(request);
+  util::require(outcome.duration >= 0.0, "task model produced negative duration");
+
+  ActiveJob job;
+  job.result.job_id = request.job_id;
+  job.result.exit_code = outcome.exit_code;
+  job.result.stdout_data = std::move(outcome.stdout_data);
+  job.result.start_time = sim_.now();
+  std::uint64_t id = request.job_id;
+  job.completion = sim_.schedule(outcome.duration, [this, id] {
+    auto it = active_.find(id);
+    util::require(it != active_.end(), "sim completion for unknown job");
+    it->second.result.end_time = sim_.now();
+    ready_.emplace(id, std::move(it->second.result));
+    active_.erase(it);
+  });
+  active_.emplace(id, std::move(job));
+}
+
+std::optional<core::ExecResult> SimExecutor::wait_any(double timeout_seconds) {
+  auto take_ready = [this]() -> std::optional<core::ExecResult> {
+    if (ready_.empty()) return std::nullopt;
+    auto it = ready_.begin();
+    core::ExecResult result = std::move(it->second);
+    ready_.erase(it);
+    return result;
+  };
+
+  if (auto result = take_ready()) return result;
+
+  double deadline = timeout_seconds < 0.0 ? -1.0 : sim_.now() + timeout_seconds;
+  while (ready_.empty()) {
+    sim::SimTime next = sim_.next_event_time();
+    if (next < 0.0) {
+      // Event queue exhausted: advance to the deadline if one exists.
+      if (deadline >= 0.0 && deadline > sim_.now()) sim_.run_until(deadline);
+      return std::nullopt;
+    }
+    if (deadline >= 0.0 && next > deadline) {
+      // The next event lies beyond the timeout: honour the timeout first so
+      // the engine can act (e.g. kill the job) at the right sim time.
+      sim_.run_until(deadline);
+      return std::nullopt;
+    }
+    sim_.step();
+  }
+  return take_ready();
+}
+
+void SimExecutor::kill(std::uint64_t job_id, bool force) {
+  auto it = active_.find(job_id);
+  if (it == active_.end()) return;
+  sim_.cancel(it->second.completion);
+  core::ExecResult result = std::move(it->second.result);
+  active_.erase(it);
+  result.end_time = sim_.now();
+  result.term_signal = force ? SIGKILL : SIGTERM;
+  result.exit_code = 128 + result.term_signal;
+  ready_.emplace(job_id, std::move(result));
+}
+
+}  // namespace parcl::exec

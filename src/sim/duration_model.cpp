@@ -1,0 +1,5 @@
+// duration_model.hpp is header-only today; this TU anchors the library and
+// the vtable for DurationModel.
+#include "sim/duration_model.hpp"
+
+namespace parcl::sim {}  // namespace parcl::sim

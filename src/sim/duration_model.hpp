@@ -1,0 +1,71 @@
+// Task-duration models for the simulated experiments.
+//
+// Fig 1's tail behaviour (outlier nodes at >= 7,000 nodes from allocation /
+// NVMe / Lustre delays) is produced by a mixture model: a narrow lognormal
+// body plus a Bernoulli-gated heavy straggler component.
+#pragma once
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace parcl::sim {
+
+/// Samples per-task service times.
+class DurationModel {
+ public:
+  virtual ~DurationModel() = default;
+  virtual double sample(util::Rng& rng) = 0;
+};
+
+/// Always the same duration.
+class FixedDuration final : public DurationModel {
+ public:
+  explicit FixedDuration(double seconds) : seconds_(seconds) {}
+  double sample(util::Rng&) override { return seconds_; }
+
+ private:
+  double seconds_;
+};
+
+/// Lognormal around a median with multiplicative spread sigma (in log space).
+class LognormalDuration final : public DurationModel {
+ public:
+  LognormalDuration(double median_seconds, double sigma)
+      : mu_(std::log(median_seconds)), sigma_(sigma) {}
+  double sample(util::Rng& rng) override { return rng.lognormal(mu_, sigma_); }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Body distribution with probability (1-p), straggler distribution with
+/// probability p. Owns neither; callers keep both alive.
+class StragglerMixture final : public DurationModel {
+ public:
+  StragglerMixture(DurationModel& body, DurationModel& straggler, double straggler_prob)
+      : body_(body), straggler_(straggler), p_(straggler_prob) {}
+
+  double sample(util::Rng& rng) override {
+    return rng.bernoulli(p_) ? straggler_.sample(rng) : body_.sample(rng);
+  }
+
+ private:
+  DurationModel& body_;
+  DurationModel& straggler_;
+  double p_;
+};
+
+/// Uniform in [lo, hi).
+class UniformDuration final : public DurationModel {
+ public:
+  UniformDuration(double lo, double hi) : lo_(lo), hi_(hi) {}
+  double sample(util::Rng& rng) override { return rng.uniform(lo_, hi_); }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace parcl::sim

@@ -1,0 +1,79 @@
+#include "sim/monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::sim {
+
+double Monitor::Series::max_value() const noexcept {
+  double peak = 0.0;
+  for (double v : values) peak = std::max(peak, v);
+  return peak;
+}
+
+double Monitor::Series::mean_value() const noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Monitor::Monitor(Simulation& sim, double interval) : sim_(sim), interval_(interval) {
+  if (interval <= 0.0) throw util::ConfigError("monitor interval must be > 0");
+}
+
+void Monitor::track_resource(const std::string& label, const Resource& resource) {
+  track_value(label, [&resource] { return static_cast<double>(resource.in_use()); });
+}
+
+void Monitor::track_bandwidth(const std::string& label, const SharedBandwidth& channel) {
+  track_value(label, [&channel] { return static_cast<double>(channel.active_flows()); });
+}
+
+void Monitor::track_value(const std::string& label, std::function<double()> probe) {
+  probes_.push_back(std::move(probe));
+  Series series;
+  series.label = label;
+  series_.push_back(std::move(series));
+}
+
+void Monitor::sample() {
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    series_[i].times.push_back(sim_.now());
+    series_[i].values.push_back(probes_[i]());
+  }
+}
+
+void Monitor::start(SimTime until) {
+  for (SimTime t = sim_.now(); t <= until + 1e-12; t += interval_) {
+    sim_.schedule_at(t, [this] { sample(); });
+  }
+}
+
+const Monitor::Series& Monitor::find(const std::string& label) const {
+  for (const Series& series : series_) {
+    if (series.label == label) return series;
+  }
+  throw util::ConfigError("no monitored series named '" + label + "'");
+}
+
+std::string Monitor::render_csv() const {
+  std::ostringstream out;
+  out << "time";
+  for (const Series& series : series_) out << ',' << series.label;
+  out << '\n';
+  if (series_.empty()) return out.str();
+  for (std::size_t row = 0; row < series_[0].times.size(); ++row) {
+    out << util::format_double(series_[0].times[row], 3);
+    for (const Series& series : series_) {
+      out << ',' << util::format_double(series.values[row], 3);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace parcl::sim

@@ -1,0 +1,59 @@
+// Time-series sampler for simulations: records resource occupancy and
+// channel flow counts at a fixed cadence, for utilization plots and
+// bottleneck hunting in the cluster experiments.
+//
+// Sampling events live in the same event queue as the model, so start()
+// takes an explicit horizon — otherwise the self-perpetuating ticks would
+// keep Simulation::run() alive forever.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/shared_bandwidth.hpp"
+#include "sim/simulation.hpp"
+
+namespace parcl::sim {
+
+class Monitor {
+ public:
+  struct Series {
+    std::string label;
+    std::vector<double> times;
+    std::vector<double> values;
+
+    double max_value() const noexcept;
+    double mean_value() const noexcept;
+  };
+
+  /// Samples every `interval` sim seconds. Throws ConfigError on
+  /// interval <= 0.
+  Monitor(Simulation& sim, double interval);
+
+  /// Tracked objects must outlive the monitor's sampling horizon.
+  void track_resource(const std::string& label, const Resource& resource);
+  void track_bandwidth(const std::string& label, const SharedBandwidth& channel);
+  void track_value(const std::string& label, std::function<double()> probe);
+
+  /// Schedules sampling ticks from now() through `until` (inclusive-ish).
+  /// May be called again for a later horizon after run().
+  void start(SimTime until);
+
+  const std::vector<Series>& series() const noexcept { return series_; }
+  const Series& find(const std::string& label) const;
+
+  /// "time,label1,label2,...\n" rows, one per tick.
+  std::string render_csv() const;
+
+ private:
+  void sample();
+
+  Simulation& sim_;
+  double interval_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<Series> series_;
+};
+
+}  // namespace parcl::sim

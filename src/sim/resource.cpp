@@ -1,0 +1,44 @@
+#include "sim/resource.hpp"
+
+#include "util/error.hpp"
+
+namespace parcl::sim {
+
+Resource::Resource(Simulation& sim, std::string name, std::size_t capacity)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity) {
+  if (capacity_ == 0) throw util::ConfigError("resource '" + name_ + "' needs capacity > 0");
+}
+
+void Resource::account() noexcept {
+  busy_accum_ += static_cast<double>(in_use_) * (sim_.now() - last_change_);
+  last_change_ = sim_.now();
+}
+
+void Resource::acquire(std::function<void()> granted) {
+  if (in_use_ < capacity_) {
+    account();
+    ++in_use_;
+    granted();
+  } else {
+    waiters_.push_back(std::move(granted));
+  }
+}
+
+void Resource::release() {
+  util::require(in_use_ > 0, "release of idle resource '" + name_ + "'");
+  account();
+  if (!waiters_.empty()) {
+    // Token passes directly to the next waiter; in_use_ stays constant.
+    auto next = std::move(waiters_.front());
+    waiters_.pop_front();
+    next();
+  } else {
+    --in_use_;
+  }
+}
+
+double Resource::busy_token_seconds() const noexcept {
+  return busy_accum_ + static_cast<double>(in_use_) * (sim_.now() - last_change_);
+}
+
+}  // namespace parcl::sim

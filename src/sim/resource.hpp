@@ -1,0 +1,50 @@
+// Counting resource with FIFO admission, continuation-passing style.
+//
+// Models anything with k identical servers: CPU cores, GPU slots, rsync
+// process slots, NVMe queue depth. A waiter's callback runs inline when a
+// token frees up (at the releasing event's sim time).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulation.hpp"
+
+namespace parcl::sim {
+
+class Resource {
+ public:
+  /// `capacity` tokens; throws ConfigError when 0.
+  Resource(Simulation& sim, std::string name, std::size_t capacity);
+
+  /// Requests one token. `granted` runs immediately (inline) if a token is
+  /// free, otherwise when one is released, in FIFO order.
+  void acquire(std::function<void()> granted);
+
+  /// Returns one token; hands it to the oldest waiter if any.
+  void release();
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t in_use() const noexcept { return in_use_; }
+  std::size_t queue_length() const noexcept { return waiters_.size(); }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Total token-seconds consumed so far (updated on acquire/release);
+  /// utilization over a window = busy_time / (capacity * window).
+  double busy_token_seconds() const noexcept;
+
+ private:
+  void account() noexcept;
+
+  Simulation& sim_;
+  std::string name_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<std::function<void()>> waiters_;
+  double busy_accum_ = 0.0;
+  SimTime last_change_ = 0.0;
+};
+
+}  // namespace parcl::sim

@@ -1,0 +1,65 @@
+// Processor-sharing bandwidth resource (fluid-flow model).
+//
+// Models shared channels — a Lustre OST group, a node NIC, a DTN uplink —
+// where n concurrent transfers each receive capacity/n (optionally capped by
+// a per-flow rate, e.g. a single rsync stream's ceiling). Completion events
+// are recomputed whenever the flow set changes; this is the standard
+// fluid-flow approximation used by network simulators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulation.hpp"
+
+namespace parcl::sim {
+
+class SharedBandwidth {
+ public:
+  /// `capacity` in bytes/second; `per_flow_cap` caps each flow (0 = no cap).
+  SharedBandwidth(Simulation& sim, std::string name, double capacity,
+                  double per_flow_cap = 0.0);
+
+  /// Starts a transfer of `bytes`; `done` fires at the completion time.
+  /// Returns a flow id usable with cancel().
+  std::uint64_t transfer(double bytes, std::function<void()> done);
+
+  /// Aborts an in-flight transfer; its `done` never fires.
+  void cancel(std::uint64_t flow_id);
+
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+  double capacity() const noexcept { return capacity_; }
+  /// Instantaneous per-flow rate with the current flow count.
+  double current_rate_per_flow() const noexcept;
+  /// Total bytes this channel has accepted responsibility for (admitted
+  /// minus the unfinished remainder of cancelled flows). Equals bytes fully
+  /// delivered once all flows complete.
+  double bytes_delivered() const noexcept { return bytes_delivered_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct Flow {
+    double remaining_bytes;
+    std::function<void()> done;
+  };
+
+  /// Advances all flows' remaining bytes to now() and reschedules the next
+  /// completion event.
+  void reschedule();
+  void drain_to_now();
+  void complete_next();
+
+  Simulation& sim_;
+  std::string name_;
+  double capacity_;
+  double per_flow_cap_;
+  std::uint64_t next_flow_id_ = 1;
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  SimTime last_update_ = 0.0;
+  EventHandle next_completion_;
+  double bytes_delivered_ = 0.0;
+};
+
+}  // namespace parcl::sim

@@ -1,0 +1,91 @@
+#include "sim/simulation.hpp"
+
+#include "util/error.hpp"
+
+namespace parcl::sim {
+
+EventHandle Simulation::schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) throw util::ConfigError("cannot schedule event in the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) throw util::ConfigError("cannot schedule event before now()");
+  Event event{when, next_seq_++, next_id_++, std::move(fn)};
+  EventHandle handle(event.id);
+  queue_.push(std::move(event));
+  ++live_events_;
+  return handle;
+}
+
+void Simulation::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  cancelled_.insert(handle.id_);
+}
+
+void Simulation::fire(Event& event) {
+  now_ = event.time;
+  --live_events_;
+  auto it = cancelled_.find(event.id);
+  if (it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  ++fired_;
+  // Move the callback out so the event can schedule/cancel freely.
+  auto fn = std::move(event.fn);
+  fn();
+}
+
+SimTime Simulation::run() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    fire(event);
+  }
+  return now_;
+}
+
+void Simulation::run_until(SimTime until) {
+  if (until < now_) throw util::ConfigError("run_until into the past");
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    fire(event);
+  }
+  now_ = until;
+}
+
+SimTime Simulation::next_event_time() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return queue_.top().time;
+    cancelled_.erase(it);
+    queue_.pop();
+    --live_events_;
+  }
+  return -1.0;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    SimTime time = event.time;
+    std::uint64_t id = event.id;
+    now_ = time;
+    --live_events_;
+    auto it = cancelled_.find(id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // skip cancelled, try next
+    }
+    ++fired_;
+    auto fn = std::move(event.fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace parcl::sim

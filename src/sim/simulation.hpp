@@ -1,0 +1,92 @@
+// Discrete-event simulation kernel.
+//
+// The kernel is single-threaded and deterministic: events fire in
+// (time, insertion-sequence) order, so two runs with the same seed produce
+// identical traces. All cluster/storage/container models are built on this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace parcl::sim {
+
+/// Simulated time in seconds since the start of the run.
+using SimTime = double;
+
+/// Token returned by schedule(); can cancel a pending event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now. Negative delays throw
+  /// ConfigError.
+  EventHandle schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules at an absolute time (>= now(), else throws ConfigError).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventHandle handle);
+
+  /// Runs until the event queue is empty. Returns the final time.
+  SimTime run();
+
+  /// Runs events with time <= `until`, then sets now() = until.
+  void run_until(SimTime until);
+
+  /// Fires exactly one event if any is pending. Returns false when idle.
+  bool step();
+
+  /// Time of the next live (non-cancelled) event, or negative when none.
+  /// Prunes cancelled events from the head of the queue.
+  SimTime next_event_time();
+
+  std::size_t pending_events() const noexcept { return live_events_; }
+  std::uint64_t fired_events() const noexcept { return fired_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void fire(Event& event);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Cancelled event ids are dropped lazily when popped.
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace parcl::sim

@@ -1,0 +1,41 @@
+#include "slurm/driver.hpp"
+
+#include "util/error.hpp"
+
+namespace parcl::slurm {
+
+std::vector<std::string> stripe_inputs(const std::vector<std::string>& lines,
+                                       std::size_t nnodes, std::size_t node_id) {
+  if (nnodes == 0) throw util::ConfigError("striping needs nnodes > 0");
+  if (node_id >= nnodes) throw util::ConfigError("node_id must be < nnodes");
+  std::vector<std::string> mine;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::size_t nr = i + 1;  // awk's NR is 1-based
+    if (nr % nnodes == node_id) mine.push_back(lines[i]);
+  }
+  return mine;
+}
+
+std::vector<std::vector<std::string>> stripe_all(const std::vector<std::string>& lines,
+                                                 std::size_t nnodes) {
+  if (nnodes == 0) throw util::ConfigError("striping needs nnodes > 0");
+  std::vector<std::vector<std::string>> shards(nnodes);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    shards[(i + 1) % nnodes].push_back(lines[i]);
+  }
+  return shards;
+}
+
+std::vector<std::vector<std::string>> block_partition(const std::vector<std::string>& lines,
+                                                      std::size_t nnodes) {
+  if (nnodes == 0) throw util::ConfigError("partition needs nnodes > 0");
+  std::vector<std::vector<std::string>> shards(nnodes);
+  std::size_t per_node = (lines.size() + nnodes - 1) / nnodes;
+  if (per_node == 0) return shards;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    shards[i / per_node].push_back(lines[i]);
+  }
+  return shards;
+}
+
+}  // namespace parcl::slurm

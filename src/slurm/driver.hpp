@@ -1,0 +1,31 @@
+// Listing 1's driver script, as a library function:
+//
+//   cat $1 | awk -v NNODE=$SLURM_NNODES -v NODEID=$SLURM_NODEID
+//       'NR % NNODE == NODEID' | parallel -j128 ./payload.sh {}
+//
+// stripe_inputs() reproduces the awk expression exactly (awk's NR is
+// 1-based, so line L goes to node L % NNODE). block_partition() is the
+// contiguous alternative used as the ablation baseline: with skewed
+// per-line costs, striping balances load while blocking concentrates it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace parcl::slurm {
+
+/// Lines for one node, per the awk 'NR % NNODE == NODEID' filter.
+std::vector<std::string> stripe_inputs(const std::vector<std::string>& lines,
+                                       std::size_t nnodes, std::size_t node_id);
+
+/// All nodes at once: result[n] = stripe_inputs(lines, nnodes, n).
+std::vector<std::vector<std::string>> stripe_all(const std::vector<std::string>& lines,
+                                                 std::size_t nnodes);
+
+/// Contiguous block partition (ablation baseline): node n gets lines
+/// [n*ceil, ...) of roughly equal count.
+std::vector<std::vector<std::string>> block_partition(const std::vector<std::string>& lines,
+                                                      std::size_t nnodes);
+
+}  // namespace parcl::slurm

@@ -1,0 +1,65 @@
+#include "slurm/scripts.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace parcl::slurm {
+
+std::string driver_script(std::size_t jobs_per_node, const std::string& payload) {
+  if (jobs_per_node == 0) throw util::ConfigError("driver needs jobs_per_node > 0");
+  std::ostringstream out;
+  out << "#!/bin/bash\n"
+      << "cat $1 | \\\n"
+      << "awk -v NNODE=\"$SLURM_NNODES\" \\\n"
+      << "    -v NODEID=\"$SLURM_NODEID\" \\\n"
+      << "    'NR % NNODE == NODEID' | \\\n"
+      << "parallel -j" << jobs_per_node << " " << payload << " {}\n";
+  return out.str();
+}
+
+std::string srun_loop_script(const std::vector<int>& months, int apps_per_month) {
+  if (months.empty()) throw util::ConfigError("srun loop needs months");
+  if (apps_per_month <= 0) throw util::ConfigError("srun loop needs apps > 0");
+  std::ostringstream out;
+  out << "#!/bin/bash\n#SBATCH -N 1\n\nmodule load cray-python\n\nmonths='";
+  for (std::size_t i = 0; i < months.size(); ++i) {
+    if (i != 0) out << ",";
+    out << months[i];
+  }
+  out << "'\napps_lst='" << apps_per_month << "'\n"
+      << "months=($months)\napps_lst=($apps_lst)\ncounter=0\n"
+      << "for month in ${months[@]}; do\n"
+      << "  apps=${apps_lst[counter]}\n  app=0\n"
+      << "  while [[ $app -lt ${apps} ]]; do\n"
+      << "    echo \"Month: \"${month} \" App: \" ${app}\n"
+      << "    srun -N1 -n1 -c1 --exclusive python3 \\\n"
+      << "    darshan_arch.py ${month} ${app} &\n"
+      << "    sleep 0.2\n    ((app++))\n  done;\ndone;\nwait\n";
+  return out.str();
+}
+
+std::string parallel_script(std::size_t jobs, const std::string& command,
+                            const std::string& source1, const std::string& source2) {
+  if (jobs == 0) throw util::ConfigError("parallel script needs jobs > 0");
+  std::ostringstream out;
+  out << "#!/bin/bash\n#SBATCH -N 1\n\nmodule load parallel cray-python\n"
+      << "parallel -j" << jobs << " " << command << " ::: " << source1;
+  if (!source2.empty()) out << " ::: " << source2;
+  out << "\n";
+  return out.str();
+}
+
+std::string sbatch_preamble(const std::string& job_name, std::size_t nodes,
+                            const std::string& time_limit) {
+  if (nodes == 0) throw util::ConfigError("sbatch needs nodes > 0");
+  std::ostringstream out;
+  out << "#!/bin/bash\n"
+      << "#SBATCH -J " << job_name << "\n"
+      << "#SBATCH -N " << nodes << "\n"
+      << "#SBATCH -t " << time_limit << "\n"
+      << "#SBATCH -o %x-%j.out\n";
+  return out.str();
+}
+
+}  // namespace parcl::slurm

@@ -1,0 +1,29 @@
+// Emitters for the paper's artifact scripts (Listings 1, 4, 5) so the repo
+// can regenerate runnable sbatch assets for a real cluster. The generated
+// text matches the listings' structure; parameters fill in the blanks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace parcl::slurm {
+
+/// Listing 1: the driver that stripes an input file across the nodes of a
+/// Slurm allocation and runs one GNU Parallel per node.
+///   ./driver.sh inputs.txt
+std::string driver_script(std::size_t jobs_per_node = 128,
+                          const std::string& payload = "./payload.sh");
+
+/// Listing 4: the pre-GNU-Parallel srun loop (months x apps, 0.2 s throttle).
+std::string srun_loop_script(const std::vector<int>& months, int apps_per_month);
+
+/// Listing 5: the GNU Parallel replacement one-liner.
+std::string parallel_script(std::size_t jobs, const std::string& command,
+                            const std::string& source1, const std::string& source2);
+
+/// An sbatch preamble with common directives.
+std::string sbatch_preamble(const std::string& job_name, std::size_t nodes,
+                            const std::string& time_limit = "02:00:00");
+
+}  // namespace parcl::slurm

@@ -1,0 +1,48 @@
+#include "slurm/slurm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace parcl::slurm {
+
+SlurmSim::SlurmSim(sim::Simulation& sim, SlurmSpec spec, util::Rng rng)
+    : sim_(sim), spec_(spec), rng_(rng),
+      controller_(sim, "slurmctld", spec.controller_slots) {
+  if (spec_.alloc_median <= 0.0) throw util::ConfigError("alloc median must be > 0");
+  if (spec_.straggler_probability < 0.0 || spec_.straggler_probability > 1.0) {
+    throw util::ConfigError("straggler probability outside [0,1]");
+  }
+}
+
+std::vector<double> SlurmSim::sample_allocation_delays(std::size_t node_count) {
+  std::vector<double> delays;
+  delays.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    double delay;
+    if (rng_.bernoulli(spec_.straggler_probability)) {
+      delay = rng_.lognormal(std::log(spec_.straggler_median), spec_.straggler_sigma);
+    } else {
+      delay = rng_.lognormal(std::log(spec_.alloc_median), spec_.alloc_sigma);
+    }
+    delays.push_back(delay);
+  }
+  return delays;
+}
+
+void SlurmSim::srun(std::function<void()> launched) {
+  ++srun_count_;
+  controller_.acquire([this, launched = std::move(launched)]() mutable {
+    sim_.schedule(spec_.srun_setup_cost, [this, launched = std::move(launched)]() mutable {
+      controller_.release();
+      launched();
+    });
+  });
+}
+
+JobEnv SlurmSim::env_for(std::size_t nnodes, std::size_t node_id) {
+  util::require(node_id < nnodes, "SLURM_NODEID out of range");
+  return JobEnv{nnodes, node_id};
+}
+
+}  // namespace parcl::slurm

@@ -1,0 +1,70 @@
+// Slurm model: job allocation and the cost of srun task launches.
+//
+// Two behaviours the paper contrasts against:
+//   - Allocation: nodes become usable at slightly different times; at high
+//     node counts a few arrive very late (one of Fig 1's outlier sources).
+//   - srun: every invocation talks to the central scheduler. Sustained
+//     launch storms (Listing 4's one-srun-per-task loop) queue behind a
+//     limited controller, which is why the paper replaces them with one
+//     GNU Parallel per node.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace parcl::slurm {
+
+struct SlurmSpec {
+  /// Node-ready delay: most nodes come up quickly...
+  double alloc_median = 2.0;
+  double alloc_sigma = 0.3;  // lognormal spread
+  /// ...but a small fraction straggle (NVMe mount, health checks).
+  double straggler_probability = 0.0005;
+  double straggler_median = 120.0;
+  double straggler_sigma = 0.5;
+
+  /// Central controller: concurrent RPC capacity and per-srun setup cost.
+  std::size_t controller_slots = 16;
+  double srun_setup_cost = 0.05;  // seconds of controller work per srun
+};
+
+/// Environment a Slurm job step sees (Listing 1 reads these).
+struct JobEnv {
+  std::size_t nnodes = 0;   // SLURM_NNODES
+  std::size_t node_id = 0;  // SLURM_NODEID
+};
+
+class SlurmSim {
+ public:
+  SlurmSim(sim::Simulation& sim, SlurmSpec spec, util::Rng rng);
+
+  const SlurmSpec& spec() const noexcept { return spec_; }
+
+  /// Samples the ready time for each of `node_count` nodes relative to job
+  /// start (the allocation wave).
+  std::vector<double> sample_allocation_delays(std::size_t node_count);
+
+  /// An srun invocation: occupies a controller slot for the setup cost,
+  /// then `launched` runs (at the time the tasks actually start).
+  void srun(std::function<void()> launched);
+
+  /// Per-node environment for an `N`-node job (Listing 1 semantics).
+  static JobEnv env_for(std::size_t nnodes, std::size_t node_id);
+
+  std::uint64_t srun_count() const noexcept { return srun_count_; }
+
+ private:
+  sim::Simulation& sim_;
+  SlurmSpec spec_;
+  util::Rng rng_;
+  sim::Resource controller_;
+  std::uint64_t srun_count_ = 0;
+};
+
+}  // namespace parcl::slurm

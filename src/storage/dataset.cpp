@@ -1,0 +1,76 @@
+#include "storage/dataset.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace parcl::storage {
+
+double Dataset::total_bytes() const noexcept {
+  double total = 0.0;
+  for (const auto& file : files) total += file.bytes;
+  return total;
+}
+
+Dataset Dataset::lognormal(const std::string& name, std::size_t file_count,
+                           double median_bytes, double sigma, util::Rng& rng) {
+  if (median_bytes <= 0.0) throw util::ConfigError("median_bytes must be > 0");
+  Dataset dataset;
+  dataset.name = name;
+  dataset.files.reserve(file_count);
+  double mu = std::log(median_bytes);
+  for (std::size_t i = 0; i < file_count; ++i) {
+    FileEntry entry;
+    entry.path = name + "/f" + std::to_string(i);
+    entry.bytes = rng.lognormal(mu, sigma);
+    dataset.files.push_back(std::move(entry));
+  }
+  return dataset;
+}
+
+Dataset Dataset::uniform(const std::string& name, std::size_t file_count,
+                         double bytes_each) {
+  if (bytes_each < 0.0) throw util::ConfigError("bytes_each must be >= 0");
+  Dataset dataset;
+  dataset.name = name;
+  dataset.files.reserve(file_count);
+  for (std::size_t i = 0; i < file_count; ++i) {
+    dataset.files.push_back({name + "/f" + std::to_string(i), bytes_each});
+  }
+  return dataset;
+}
+
+Dataset Dataset::project_archive(const std::string& name, std::size_t file_count,
+                                 double total_bytes_target, util::Rng& rng) {
+  if (file_count == 0) throw util::ConfigError("archive needs at least one file");
+  // 90% of files hold 10% of bytes; 10% hold the rest (Pareto-ish).
+  Dataset dataset;
+  dataset.name = name;
+  dataset.files.reserve(file_count);
+  std::size_t big_count = std::max<std::size_t>(1, file_count / 10);
+  std::size_t small_count = file_count - big_count;
+  double small_total = total_bytes_target * 0.1;
+  double big_total = total_bytes_target - small_total;
+  for (std::size_t i = 0; i < file_count; ++i) {
+    FileEntry entry;
+    entry.path = name + "/f" + std::to_string(i);
+    bool big = i < big_count;
+    double base = big ? big_total / static_cast<double>(big_count)
+                      : small_total / static_cast<double>(std::max<std::size_t>(1, small_count));
+    entry.bytes = base * rng.uniform(0.5, 1.5);
+    dataset.files.push_back(std::move(entry));
+  }
+  return dataset;
+}
+
+std::vector<std::vector<FileEntry>> stripe_files(const Dataset& dataset,
+                                                 std::size_t node_count) {
+  if (node_count == 0) throw util::ConfigError("striping needs at least one node");
+  std::vector<std::vector<FileEntry>> shards(node_count);
+  for (std::size_t i = 0; i < dataset.files.size(); ++i) {
+    shards[i % node_count].push_back(dataset.files[i]);
+  }
+  return shards;
+}
+
+}  // namespace parcl::storage

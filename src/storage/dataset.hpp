@@ -1,0 +1,48 @@
+// Synthetic datasets: file collections with realistic size distributions.
+//
+// Stand-ins for the data the paper moves: five years of Darshan logs
+// (many medium files), project archives (heavy-tailed sizes), and
+// GOES image batches (uniform small files).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parcl::storage {
+
+struct FileEntry {
+  std::string path;
+  double bytes = 0.0;
+};
+
+struct Dataset {
+  std::string name;
+  std::vector<FileEntry> files;
+
+  double total_bytes() const noexcept;
+  std::size_t file_count() const noexcept { return files.size(); }
+
+  /// Lognormal file sizes around `median_bytes` with spread `sigma`.
+  static Dataset lognormal(const std::string& name, std::size_t file_count,
+                           double median_bytes, double sigma, util::Rng& rng);
+
+  /// Identical file sizes.
+  static Dataset uniform(const std::string& name, std::size_t file_count,
+                         double bytes_each);
+
+  /// Heavy-tailed project archive: mostly small files, a few huge ones —
+  /// the shape that makes per-file overhead matter for rsync fan-out.
+  static Dataset project_archive(const std::string& name, std::size_t file_count,
+                                 double total_bytes_target, util::Rng& rng);
+};
+
+/// The paper's `find | awk 'NR % NNODE == NODEID'` striping (Listing 1):
+/// file i goes to node (i % node_count). Every file lands on exactly one
+/// node and node loads differ by at most one file.
+std::vector<std::vector<FileEntry>> stripe_files(const Dataset& dataset,
+                                                 std::size_t node_count);
+
+}  // namespace parcl::storage

@@ -1,0 +1,77 @@
+#include "storage/filesystem.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace parcl::storage {
+
+FilesystemSpec FilesystemSpec::lustre() {
+  FilesystemSpec spec;
+  spec.name = "lustre";
+  spec.bandwidth = 10.0e12;
+  spec.per_flow_cap = 5.0e9;
+  spec.metadata_op_cost = 0.001;
+  spec.metadata_servers = 40;
+  return spec;
+}
+
+FilesystemSpec FilesystemSpec::nvme() {
+  FilesystemSpec spec;
+  spec.name = "nvme";
+  spec.bandwidth = 4.0e9;
+  spec.per_flow_cap = 0.0;
+  spec.metadata_op_cost = 20e-6;  // local filesystem create
+  spec.metadata_servers = 1;
+  return spec;
+}
+
+SimFilesystem::SimFilesystem(sim::Simulation& sim, FilesystemSpec spec)
+    : sim_(sim), spec_(std::move(spec)) {
+  if (spec_.bandwidth <= 0.0) throw util::ConfigError("filesystem bandwidth must be > 0");
+  data_ = std::make_unique<sim::SharedBandwidth>(sim, spec_.name + ":data",
+                                                 spec_.bandwidth, spec_.per_flow_cap);
+  metadata_ = std::make_unique<sim::Resource>(sim, spec_.name + ":mds",
+                                              std::max<std::size_t>(1, spec_.metadata_servers));
+}
+
+void SimFilesystem::metadata_then(std::function<void()> next) {
+  ++metadata_ops_;
+  if (spec_.metadata_op_cost <= 0.0) {
+    next();
+    return;
+  }
+  metadata_->acquire([this, next = std::move(next)]() mutable {
+    sim_.schedule(spec_.metadata_op_cost, [this, next = std::move(next)]() mutable {
+      metadata_->release();
+      next();
+    });
+  });
+}
+
+void SimFilesystem::read_file(double bytes, std::function<void()> done) {
+  metadata_then([this, bytes, done = std::move(done)]() mutable {
+    data_->transfer(bytes, std::move(done));
+  });
+}
+
+void SimFilesystem::write_file(double bytes, std::function<void()> done) {
+  metadata_then([this, bytes, done = std::move(done)]() mutable {
+    data_->transfer(bytes, std::move(done));
+  });
+}
+
+void SimFilesystem::unlink_file(std::function<void()> done) {
+  metadata_then(std::move(done));
+}
+
+void SimFilesystem::account_store(double bytes) noexcept {
+  bytes_stored_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes_stored_);
+}
+
+void SimFilesystem::account_free(double bytes) noexcept {
+  bytes_stored_ = std::max(0.0, bytes_stored_ - bytes);
+}
+
+}  // namespace parcl::storage

@@ -1,0 +1,72 @@
+// Staging: rsync-style parallel file copies between filesystems.
+//
+// Models `parallel -jN rsync` (the Fig 7 prefetch step and Sec IV-E's data
+// motion): N worker streams pull files from a queue; each file costs a
+// per-file rsync overhead (process spawn + delta scan + metadata on both
+// ends) plus the data transfer. A transfer occupies both the source and
+// destination channels simultaneously and completes when the slower side
+// finishes — the fluid approximation of a streaming copy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "storage/dataset.hpp"
+#include "storage/filesystem.hpp"
+
+namespace parcl::storage {
+
+struct StagingConfig {
+  std::size_t parallel_streams = 32;  // -j for the rsync fan-out
+  double per_file_overhead = 0.05;    // rsync spawn + handshake, seconds
+};
+
+struct StagingStats {
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::size_t files_copied = 0;
+  double bytes_copied = 0.0;
+  double duration() const noexcept { return end_time - start_time; }
+  /// Average achieved throughput in bytes/second.
+  double throughput() const noexcept {
+    double d = duration();
+    return d > 0.0 ? bytes_copied / d : 0.0;
+  }
+};
+
+/// Copies `files` from `src` to `dst` with the configured fan-out; `done`
+/// fires once with the final stats. One-shot object: keep it alive until
+/// `done` runs.
+class StagingJob {
+ public:
+  StagingJob(sim::Simulation& sim, SimFilesystem& src, SimFilesystem& dst,
+             std::vector<FileEntry> files, StagingConfig config);
+
+  void run(std::function<void(const StagingStats&)> done);
+
+  const StagingStats& stats() const noexcept { return stats_; }
+
+ private:
+  void pump_stream();
+  void copy_one(FileEntry file);
+  void file_done(double bytes);
+
+  sim::Simulation& sim_;
+  SimFilesystem& src_;
+  SimFilesystem& dst_;
+  std::vector<FileEntry> queue_;
+  StagingConfig config_;
+  StagingStats stats_;
+  std::function<void(const StagingStats&)> done_;
+  std::size_t next_file_ = 0;
+  std::size_t active_streams_ = 0;
+  bool started_ = false;
+};
+
+/// Deletes `files` from `fs` (the pipeline's evict step), releasing their
+/// space; `done` fires when all unlinks finish.
+void delete_files(SimFilesystem& fs, const std::vector<FileEntry>& files,
+                  std::function<void()> done);
+
+}  // namespace parcl::storage

@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <cstring>
+
+namespace parcl::util {
+
+SystemError::SystemError(const std::string& what, int errno_value)
+    : Error("system error: " + what + ": " + std::strerror(errno_value)),
+      errno_(errno_value) {}
+
+void require(bool cond, const std::string& message) {
+  if (!cond) throw InternalError(message);
+}
+
+}  // namespace parcl::util

@@ -1,0 +1,53 @@
+// Error types shared across the parcl libraries.
+//
+// The library reports unrecoverable misuse (bad templates, bad CLI flags,
+// broken invariants) via exceptions derived from util::Error, and expected
+// runtime conditions (child exited non-zero, timeout) via status values on
+// the result structs, never via exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace parcl::util {
+
+/// Base class for all parcl exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed command template, replacement string, or input spec.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Invalid configuration (contradictory or out-of-range options).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Failure of an OS-level operation (fork, pipe, exec, ...).
+class SystemError : public Error {
+ public:
+  SystemError(const std::string& what, int errno_value);
+
+  int errno_value() const noexcept { return errno_; }
+
+ private:
+  int errno_ = 0;
+};
+
+/// Broken internal invariant; indicates a bug in parcl itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+/// Throws InternalError when `cond` is false. Used to assert invariants that
+/// must hold in release builds too.
+void require(bool cond, const std::string& message);
+
+}  // namespace parcl::util

@@ -1,0 +1,51 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (bins == 0) throw ConfigError("histogram needs at least one bin");
+  if (!(hi > lo)) throw ConfigError("histogram range must have hi > lo");
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) noexcept {
+  double pos = (value - lo_) / bin_width_;
+  long bin = static_cast<long>(pos);
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::count_at(std::size_t bin) const {
+  require(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  require(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + bin_width_; }
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::size_t bar =
+        peak == 0 ? 0 : (counts_[i] * width + peak - 1) / peak;
+    out << "[" << format_double(bin_lo(i), 2) << ", " << format_double(bin_hi(i), 2)
+        << ")  " << counts_[i] << "\t" << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace parcl::util

@@ -1,0 +1,36 @@
+// Fixed-bin histogram with ASCII rendering, for bench output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace parcl::util {
+
+class Histogram {
+ public:
+  /// Bins span [lo, hi) evenly; values outside are clamped into the first or
+  /// last bin. Throws ConfigError if bins == 0 or hi <= lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count_at(std::size_t bin) const;
+  /// Inclusive lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Renders rows of "[lo, hi)  count  ####" scaled to `width` chars.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace parcl::util

@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace parcl::util {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() : sink_(&std::cerr) {}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
+void Logger::emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ == nullptr) return;
+  *sink_ << "[parcl " << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace parcl::util

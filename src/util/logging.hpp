@@ -1,0 +1,74 @@
+// Minimal leveled logger.
+//
+// The engine logs to stderr by default; tests and benches can redirect or
+// silence it. Thread-safe: each emit() takes a single lock so concurrent
+// job-slot threads never interleave partial lines.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace parcl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  /// Process-wide logger used by all modules.
+  static Logger& global();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  /// Redirect output (default: std::cerr). Pass nullptr to silence.
+  void set_sink(std::ostream* sink) noexcept;
+
+  bool enabled(LogLevel level) const noexcept { return level >= level_ && level_ != LogLevel::kOff; }
+
+  void emit(LogLevel level, const std::string& message);
+
+ private:
+  std::mutex mutex_;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_;
+
+  Logger();
+};
+
+namespace detail {
+/// Builds a log line from stream-style parts and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(Logger& logger, LogLevel level) : logger_(logger), level_(level) {}
+  ~LogLine() { logger_.emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Logger& logger_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace parcl::util
+
+#define PARCL_LOG(level)                                                 \
+  if (!::parcl::util::Logger::global().enabled(level)) {                 \
+  } else                                                                 \
+    ::parcl::util::detail::LogLine(::parcl::util::Logger::global(), level)
+
+#define PARCL_DEBUG() PARCL_LOG(::parcl::util::LogLevel::kDebug)
+#define PARCL_INFO() PARCL_LOG(::parcl::util::LogLevel::kInfo)
+#define PARCL_WARN() PARCL_LOG(::parcl::util::LogLevel::kWarn)
+#define PARCL_ERROR() PARCL_LOG(::parcl::util::LogLevel::kError)

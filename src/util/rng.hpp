@@ -1,0 +1,60 @@
+// Deterministic random number generation for the simulators.
+//
+// All simulation randomness flows through Rng so that every experiment is
+// reproducible from a single seed. The core generator is SplitMix64 feeding
+// xoshiro256**, which is fast and has no observable bias at our sample sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parcl::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi). Requires hi >= lo.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires hi >= lo.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Lognormal with given *underlying* normal parameters.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept;
+
+  /// Derives an independent child stream (e.g. one per simulated node).
+  Rng fork() noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace parcl::util

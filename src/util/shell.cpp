@@ -1,0 +1,104 @@
+#include "util/shell.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace parcl::util {
+
+bool shell_safe(std::string_view value) noexcept {
+  if (value.empty()) return false;
+  for (char c : value) {
+    if (std::isalnum(static_cast<unsigned char>(c))) continue;
+    switch (c) {
+      case '.': case '/': case '_': case '-': case '=': case ':':
+      case ',': case '+': case '@': case '%': case '^':
+        continue;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string shell_quote(std::string_view value) {
+  if (shell_safe(value)) return std::string(value);
+  std::string out = "'";
+  for (char c : value) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+  return out;
+}
+
+std::string shell_quote_join(const std::vector<std::string>& words) {
+  std::string out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += shell_quote(words[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> shell_split(std::string_view command) {
+  std::vector<std::string> words;
+  std::string current;
+  bool in_word = false;
+  std::size_t i = 0;
+  while (i < command.size()) {
+    char c = command[i];
+    if (c == '\'') {
+      in_word = true;
+      std::size_t close = command.find('\'', i + 1);
+      if (close == std::string_view::npos) throw ParseError("unterminated single quote");
+      current.append(command.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else if (c == '"') {
+      in_word = true;
+      ++i;
+      bool closed = false;
+      while (i < command.size()) {
+        char d = command[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\\' && i + 1 < command.size() &&
+            (command[i + 1] == '"' || command[i + 1] == '\\' || command[i + 1] == '$' ||
+             command[i + 1] == '`')) {
+          current += command[i + 1];
+          i += 2;
+        } else {
+          current += d;
+          ++i;
+        }
+      }
+      if (!closed) throw ParseError("unterminated double quote");
+    } else if (c == '\\') {
+      if (i + 1 >= command.size()) throw ParseError("trailing backslash");
+      in_word = true;
+      current += command[i + 1];
+      i += 2;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      if (in_word) {
+        words.push_back(current);
+        current.clear();
+        in_word = false;
+      }
+      ++i;
+    } else {
+      in_word = true;
+      current += c;
+      ++i;
+    }
+  }
+  if (in_word) words.push_back(current);
+  return words;
+}
+
+}  // namespace parcl::util

@@ -1,0 +1,32 @@
+// POSIX-shell quoting helpers.
+//
+// parcl, like GNU Parallel, hands composed command lines to /bin/sh. Input
+// values substituted into templates must be quoted so that filenames with
+// spaces, quotes or metacharacters survive verbatim (parallel's default
+// behaviour; our -q/--quote equivalent).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcl::util {
+
+/// Quotes `value` so /bin/sh passes it through as a single literal word.
+/// Uses single quotes, escaping embedded single quotes as '\''.
+/// An empty string quotes to ''.
+std::string shell_quote(std::string_view value);
+
+/// Quotes each word and joins with spaces.
+std::string shell_quote_join(const std::vector<std::string>& words);
+
+/// True if `value` survives /bin/sh word splitting unmodified without
+/// quoting (conservative: ASCII alnum plus ./_-=:,+@%^).
+bool shell_safe(std::string_view value) noexcept;
+
+/// Splits a string the way /bin/sh tokenizes a simple command: handles
+/// single quotes, double quotes and backslash escapes, no expansions.
+/// Throws ParseError on unterminated quotes.
+std::vector<std::string> shell_split(std::string_view command);
+
+}  // namespace parcl::util

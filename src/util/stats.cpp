@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace parcl::util {
+
+void RunningStats::add(double value) noexcept {
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw ConfigError("quantile of empty sample");
+  if (q < 0.0 || q > 1.0) throw ConfigError("quantile q outside [0,1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = q * static_cast<double>(values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+BoxStats box_stats(std::vector<double> values) {
+  if (values.empty()) throw ConfigError("box_stats of empty sample");
+  std::sort(values.begin(), values.end());
+  BoxStats stats;
+  stats.count = values.size();
+  stats.min = values.front();
+  stats.max = values.back();
+  auto interp = [&](double q) {
+    double pos = q * static_cast<double>(values.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  stats.q1 = interp(0.25);
+  stats.median = interp(0.5);
+  stats.q3 = interp(0.75);
+  stats.iqr = stats.q3 - stats.q1;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+
+  double fence_low = stats.q1 - 1.5 * stats.iqr;
+  double fence_high = stats.q3 + 1.5 * stats.iqr;
+  stats.whisker_low = stats.max;
+  stats.whisker_high = stats.min;
+  for (double v : values) {
+    if (v >= fence_low && v <= fence_high) {
+      stats.whisker_low = std::min(stats.whisker_low, v);
+      stats.whisker_high = std::max(stats.whisker_high, v);
+    } else {
+      stats.outliers.push_back(v);
+    }
+  }
+  return stats;
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) throw ConfigError("mean of empty sample");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace parcl::util

@@ -1,0 +1,62 @@
+// Descriptive statistics used by the benchmark harnesses.
+//
+// The paper reports box-plot style aggregates (median, interquartile range,
+// whiskers, outliers) for its scaling figures; BoxStats mirrors that.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace parcl::util {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear-interpolated quantile of `values` (need not be sorted), q in [0,1].
+/// Throws ConfigError on empty input or q outside [0,1].
+double quantile(std::vector<double> values, double q);
+
+/// Tukey box-plot summary of a sample.
+struct BoxStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double iqr = 0.0;
+  /// Most extreme values within 1.5*IQR of the quartiles.
+  double whisker_low = 0.0;
+  double whisker_high = 0.0;
+  /// Values outside the whiskers.
+  std::vector<double> outliers;
+};
+
+/// Computes BoxStats; throws ConfigError on empty input.
+BoxStats box_stats(std::vector<double> values);
+
+/// Mean of values; throws ConfigError on empty input.
+double mean_of(const std::vector<double>& values);
+
+}  // namespace parcl::util

@@ -1,0 +1,180 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace parcl::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t pos = text.find('\n', start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view text, std::string_view needle) noexcept {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to) {
+  require(!from.empty(), "replace_all: empty pattern");
+  std::string out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::string path_basename(std::string_view path) {
+  std::size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) return std::string(path);
+  return std::string(path.substr(pos + 1));
+}
+
+std::string path_dirname(std::string_view path) {
+  std::size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) return ".";
+  if (pos == 0) return "/";
+  return std::string(path.substr(0, pos));
+}
+
+std::string strip_extension(std::string_view path) {
+  std::string base = path_basename(path);
+  std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || dot == 0) return std::string(path);
+  return std::string(path.substr(0, path.size() - (base.size() - dot)));
+}
+
+std::string extension(std::string_view path) {
+  std::string base = path_basename(path);
+  std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || dot == 0) return "";
+  return base.substr(dot);
+}
+
+long parse_long(std::string_view text) {
+  long value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || text.empty()) {
+    throw ParseError("expected integer, got '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view text) {
+  // std::from_chars for double is unreliable across libstdc++ versions for
+  // some locales-free corner cases; strtod on a bounded copy is portable.
+  std::string copy(text);
+  if (copy.empty()) throw ParseError("expected number, got ''");
+  char* end = nullptr;
+  double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) {
+    throw ParseError("expected number, got '" + copy + "'");
+  }
+  return value;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return format_double(bytes, unit == 0 ? 0 : 1) + " " + kUnits[unit];
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 0) return "-" + format_duration(-seconds);
+  if (seconds < 60.0) return format_double(seconds, 1) + "s";
+  long whole = static_cast<long>(std::llround(seconds));
+  long hours = whole / 3600;
+  long minutes = (whole % 3600) / 60;
+  long secs = whole % 60;
+  std::string out;
+  if (hours > 0) out += std::to_string(hours) + "h";
+  if (hours > 0 || minutes > 0) out += std::to_string(minutes) + "m";
+  out += std::to_string(secs) + "s";
+  return out;
+}
+
+}  // namespace parcl::util

@@ -1,0 +1,48 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace parcl::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw ConfigError("table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw ConfigError("table row has " + std::to_string(row.size()) + " cells, expected " +
+                      std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 != cells.size()) {
+        out << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t line = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) line += widths[c] + (c + 1 != widths.size() ? 2 : 0);
+  out << std::string(line, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace parcl::util

@@ -1,0 +1,29 @@
+// ASCII table renderer for benchmark output.
+//
+// Every bench prints one table per paper figure/table with aligned columns,
+// so EXPERIMENTS.md can quote the rows verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parcl::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header count (throws ConfigError).
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parcl::util

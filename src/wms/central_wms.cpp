@@ -1,0 +1,32 @@
+#include "wms/central_wms.hpp"
+
+#include <cmath>
+
+namespace parcl::wms {
+
+CentralWmsModel CentralWmsModel::swift_t_like() {
+  // Solve  K * n^(alpha+1) / (alpha+1) = overhead  for the two published
+  // points: ratio 5000/500 = 10 at n2/n1 = 2 gives alpha+1 = log2(10).
+  CentralWmsModel model;
+  model.poly_alpha = std::log2(10.0) - 1.0;  // ~2.3219
+  double alpha1 = model.poly_alpha + 1.0;
+  // Cumulative ~= coeff * n^(alpha+1) / (alpha+1) + base * n = 500 at n=5e4.
+  double n1 = 5e4;
+  double target = 500.0 - model.base_cost * n1;
+  model.poly_coeff = target * alpha1 / std::pow(n1, alpha1);
+  return model;
+}
+
+double CentralWmsModel::task_cost(std::size_t i) const noexcept {
+  return base_cost + poly_coeff * std::pow(static_cast<double>(i), poly_alpha);
+}
+
+double CentralWmsModel::overhead_makespan(std::size_t tasks) const noexcept {
+  // Closed-form integral approximation (exact enough at these scales, and
+  // O(1) so million-task sweeps are free):
+  //   sum_{i=1..n} coeff*i^alpha ~= coeff * n^(alpha+1) / (alpha+1)
+  double n = static_cast<double>(tasks);
+  return base_cost * n + poly_coeff * std::pow(n, poly_alpha + 1.0) / (poly_alpha + 1.0);
+}
+
+}  // namespace parcl::wms

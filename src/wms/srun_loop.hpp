@@ -1,0 +1,35 @@
+// Listing 4's baseline: a bash loop submitting one srun per task with a
+// 0.2 s sleep throttle, versus Listing 5's single `parallel -j36` line.
+//
+// The loop's makespan is submission-serialized: N * (sleep + srun setup
+// under controller contention) + the last task's runtime. GNU Parallel
+// keeps a slot pool and pays only its own dispatch cost.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/duration_model.hpp"
+#include "sim/simulation.hpp"
+#include "slurm/slurm.hpp"
+#include "util/rng.hpp"
+
+namespace parcl::wms {
+
+struct SrunLoopConfig {
+  std::size_t tasks = 36;
+  double sleep_between = 0.2;  // the loop's `sleep 0.2`
+  sim::DurationModel* duration = nullptr;  // required
+};
+
+struct SrunLoopResult {
+  double makespan = 0.0;
+  double submission_window = 0.0;  // first to last srun issued
+  std::size_t sruns_issued = 0;
+};
+
+/// Simulates the Listing 4 loop against a SlurmSim controller.
+SrunLoopResult run_srun_loop(sim::Simulation& sim, slurm::SlurmSim& slurm,
+                             SrunLoopConfig config, util::Rng rng);
+
+}  // namespace parcl::wms

@@ -1,0 +1,104 @@
+#include "wms/weak_scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "cluster/machine.hpp"
+#include "cluster/parallel_instance.hpp"
+#include "sim/duration_model.hpp"
+#include "util/error.hpp"
+
+namespace parcl::wms {
+
+WeakScalingResult run_weak_scaling(const WeakScalingConfig& config) {
+  if (config.nodes == 0) throw util::ConfigError("weak scaling needs nodes > 0");
+
+  sim::Simulation sim;
+  cluster::Machine machine = cluster::Machine::frontier(sim, config.nodes);
+  util::Rng rng(config.seed);
+  slurm::SlurmSim slurm(sim, config.slurm, rng.fork());
+
+  double copy_bytes = config.final_copy_bytes > 0.0
+                          ? config.final_copy_bytes
+                          : config.stdout_bytes * static_cast<double>(config.tasks_per_node);
+
+  WeakScalingResult result;
+  result.nodes = config.nodes;
+  result.total_tasks = config.nodes * config.tasks_per_node;
+  result.node_spans.assign(config.nodes, 0.0);
+
+  std::vector<double> alloc_delays = slurm.sample_allocation_delays(config.nodes);
+
+  // Keep per-node models alive for the whole run.
+  struct NodeRun {
+    std::unique_ptr<sim::LognormalDuration> payload;
+    std::unique_ptr<cluster::ParallelInstance> instance;
+  };
+  std::vector<NodeRun> runs(config.nodes);
+
+  std::size_t nodes_done = 0;
+  for (std::size_t n = 0; n < config.nodes; ++n) {
+    util::Rng node_rng = rng.fork();
+    NodeRun& run = runs[n];
+    run.payload = std::make_unique<sim::LognormalDuration>(config.payload_median,
+                                                           config.payload_sigma);
+
+    cluster::InstanceConfig instance_config;
+    instance_config.jobs = config.jobs;
+    instance_config.task_count = config.tasks_per_node;
+    instance_config.dispatch_cost = config.dispatch_cost;
+    instance_config.duration = run.payload.get();
+    if (config.stdout_bytes > 0.0) {
+      instance_config.stdout_bytes = config.stdout_bytes;
+      instance_config.stdout_channel = &machine.node(n).nvme();
+    }
+
+    run.instance = std::make_unique<cluster::ParallelInstance>(sim, instance_config,
+                                                               node_rng.fork());
+
+    // Node timeline: allocation wave -> setup -> instance -> Lustre copy.
+    double setup = node_rng.lognormal(std::log(config.node_setup_median),
+                                      config.node_setup_sigma);
+    double start_delay = alloc_delays[n] + setup;
+    run.instance->run(start_delay, [&sim, &machine, &result, &nodes_done, copy_bytes,
+                                    n](const cluster::InstanceStats&) {
+      if (copy_bytes > 0.0) {
+        machine.lustre_io(copy_bytes, [&sim, &result, &nodes_done, n] {
+          result.node_spans[n] = sim.now();
+          ++nodes_done;
+        });
+      } else {
+        result.node_spans[n] = sim.now();
+        ++nodes_done;
+      }
+    });
+  }
+
+  sim.run();
+  util::require(nodes_done == config.nodes, "weak scaling run did not drain");
+
+  double latest = 0.0;
+  for (double span : result.node_spans) latest = std::max(latest, span);
+  result.makespan = latest;  // job starts at t=0
+  return result;
+}
+
+WeakScalingConfig gpu_scaling_config(std::size_t nodes, double task_median_seconds,
+                                     double task_sigma) {
+  WeakScalingConfig config;
+  config.nodes = nodes;
+  config.tasks_per_node = 8;  // one per schedulable GPU
+  config.jobs = 8;
+  config.payload_median = task_median_seconds;
+  config.payload_sigma = task_sigma;
+  config.node_setup_median = 5.0;  // no module zoo for the GPU runs
+  config.node_setup_sigma = 0.05;
+  config.stdout_bytes = 65536.0;   // celer-sim JSON output
+  config.final_copy_bytes = 0.0;
+  // GPU-node allocation is the same wave; NVMe stragglers are not in play.
+  config.slurm.straggler_probability = 0.0;
+  return config;
+}
+
+}  // namespace parcl::wms

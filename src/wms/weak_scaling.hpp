@@ -1,0 +1,63 @@
+// The Fig 1 / Fig 2 harness: the paper's weak-scaling runs, in simulation.
+//
+// One GNU Parallel instance per node (Listing 1's driver distribution),
+// each launching `tasks_per_node` payloads over `jobs` slots. Per-task
+// stdout goes to node-local NVMe; when a node's instance drains, its
+// aggregated output is copied to the shared Lustre. A node's span is
+// job-start to copy-complete; the figure plots the distribution of spans
+// across nodes.
+//
+// Straggler sources modelled (the paper's attribution for the >= 7,000-node
+// tails): allocation delays, NVMe availability delays, and I/O delays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "slurm/slurm.hpp"
+#include "util/stats.hpp"
+
+namespace parcl::wms {
+
+struct WeakScalingConfig {
+  std::size_t nodes = 1000;
+  std::size_t tasks_per_node = 128;
+  std::size_t jobs = 128;             // -j per instance
+  double dispatch_cost = 1.0 / 470.0;
+
+  /// The payload one-liner (hostname + date): fast, slightly noisy.
+  double payload_median = 0.05;
+  double payload_sigma = 0.3;
+
+  /// Per-node fixed setup: bash + modules + scratch dirs on NVMe.
+  double node_setup_median = 40.0;
+  double node_setup_sigma = 0.08;
+
+  double stdout_bytes = 4096.0;        // per task, to NVMe
+  double final_copy_bytes = 0.0;       // per node, NVMe -> Lustre (0: auto)
+
+  slurm::SlurmSpec slurm;              // allocation / NVMe-availability tails
+  std::uint64_t seed = 1;
+};
+
+struct WeakScalingResult {
+  std::size_t nodes = 0;
+  std::size_t total_tasks = 0;
+  /// Per-node span from job start to that node's Lustre copy completing.
+  std::vector<double> node_spans;
+  /// Earliest start to latest end — the paper's reported quantity.
+  double makespan = 0.0;
+
+  util::BoxStats span_stats() const { return util::box_stats(node_spans); }
+};
+
+/// Runs the whole machine-scale simulation (builds its own event kernel).
+WeakScalingResult run_weak_scaling(const WeakScalingConfig& config);
+
+/// Fig 2 preset: Celeritas on GPU nodes — 8 tasks on 8 GPU slots per node,
+/// long tasks with narrow spread, no Lustre copy stage.
+WeakScalingConfig gpu_scaling_config(std::size_t nodes, double task_median_seconds,
+                                     double task_sigma);
+
+}  // namespace parcl::wms

@@ -1,0 +1,134 @@
+#include "workloads/celeritas.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::workloads {
+
+namespace {
+
+/// Pulls `"key":value` out of the flat JSON subset we emit/consume. Returns
+/// empty when absent.
+std::string json_field(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  while (pos < json.size() && json[pos] == ' ') ++pos;
+  if (pos < json.size() && json[pos] == '"') {
+    std::size_t close = json.find('"', pos + 1);
+    if (close == std::string::npos) throw util::ParseError("unterminated JSON string");
+    return json.substr(pos + 1, close - pos - 1);
+  }
+  std::size_t end = pos;
+  while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  return util::trim(json.substr(pos, end - pos));
+}
+
+}  // namespace
+
+CeleritasInput CeleritasInput::from_json(const std::string& json) {
+  CeleritasInput input;
+  std::string value;
+  if (!(value = json_field(json, "name")).empty()) input.name = value;
+  if (!(value = json_field(json, "primaries")).empty()) {
+    input.primaries = static_cast<std::uint64_t>(util::parse_long(value));
+  }
+  if (!(value = json_field(json, "energy")).empty()) {
+    input.energy_mev = util::parse_double(value);
+  }
+  if (!(value = json_field(json, "seed")).empty()) {
+    input.seed = static_cast<std::uint64_t>(util::parse_long(value));
+  }
+  if (!(value = json_field(json, "layers")).empty()) {
+    input.layers = static_cast<std::size_t>(util::parse_long(value));
+  }
+  return input;
+}
+
+std::string CeleritasInput::to_json() const {
+  std::ostringstream out;
+  out << "{\"name\":\"" << name << "\",\"primaries\":" << primaries
+      << ",\"energy\":" << energy_mev << ",\"layers\":" << layers
+      << ",\"seed\":" << seed << "}";
+  return out.str();
+}
+
+std::string CeleritasResult::to_json() const {
+  std::ostringstream out;
+  out << "{\"name\":\"" << name << "\",\"primaries\":" << primaries
+      << ",\"absorbed\":" << absorbed << ",\"transmitted\":" << escaped_front
+      << ",\"reflected\":" << escaped_back << ",\"deposited_mev\":" << total_deposited
+      << ",\"steps\":" << steps << "}";
+  return out.str();
+}
+
+CeleritasResult run_celeritas(const CeleritasInput& input) {
+  if (input.primaries == 0) throw util::ConfigError("celeritas needs primaries > 0");
+  if (input.layers == 0) throw util::ConfigError("celeritas needs layers > 0");
+  if (input.mu_total <= 0.0) throw util::ConfigError("mu_total must be > 0");
+  if (input.absorption_fraction < 0.0 || input.absorption_fraction > 1.0) {
+    throw util::ConfigError("absorption fraction outside [0,1]");
+  }
+
+  CeleritasResult result;
+  result.name = input.name;
+  result.primaries = input.primaries;
+  result.energy_deposition.assign(input.layers, 0.0);
+
+  const double slab_depth =
+      static_cast<double>(input.layers) * input.layer_thickness_cm;
+  util::Rng rng(input.seed);
+
+  for (std::uint64_t p = 0; p < input.primaries; ++p) {
+    // Photon state: position along z, direction cosine, energy.
+    double z = 0.0;
+    double mu_dir = 1.0;  // entering along +z
+    double energy = input.energy_mev;
+
+    while (true) {
+      ++result.steps;
+      double flight = rng.exponential(input.mu_total);
+      z += flight * mu_dir;
+      if (z < 0.0) {
+        result.escaped_back += 1;
+        result.total_escaped_energy += energy;
+        break;
+      }
+      if (z >= slab_depth) {
+        result.escaped_front += 1;
+        result.total_escaped_energy += energy;
+        break;
+      }
+      auto layer = static_cast<std::size_t>(z / input.layer_thickness_cm);
+      if (layer >= input.layers) layer = input.layers - 1;
+
+      if (rng.bernoulli(input.absorption_fraction)) {
+        // Photoelectric-style absorption: all remaining energy deposited.
+        result.energy_deposition[layer] += energy;
+        result.absorbed += 1;
+        break;
+      }
+      // Compton-style scatter: deposit a sampled fraction, redirect
+      // isotropically, continue with the rest. Photons below 1 keV are
+      // terminated locally.
+      double fraction = rng.uniform(0.1, 0.5);
+      result.energy_deposition[layer] += energy * fraction;
+      energy *= (1.0 - fraction);
+      mu_dir = rng.uniform(-1.0, 1.0);
+      if (energy < 1e-3) {
+        result.energy_deposition[layer] += energy;
+        result.absorbed += 1;
+        break;
+      }
+    }
+  }
+
+  for (double dep : result.energy_deposition) result.total_deposited += dep;
+  return result;
+}
+
+}  // namespace parcl::workloads

@@ -1,0 +1,56 @@
+// A miniature Celeritas: Monte Carlo photon transport through a layered
+// slab detector.
+//
+// Celeritas proper is a GPU detector-simulation code; what the paper needs
+// from it is a GPU-shaped task — long, compute-bound, narrow runtime
+// variance, one process per GPU. This kernel is a genuine (small) MC
+// transport: photons start at the slab face, take exponentially distributed
+// free flights, and at each collision either Compton-scatter (isotropic
+// redirect + energy loss) or are absorbed; per-layer energy deposition is
+// tallied. It is deterministic given (input, seed), so tests can assert
+// physics invariants (energy conservation, attenuation) and benches get a
+// real compute payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parcl::workloads {
+
+struct CeleritasInput {
+  std::string name = "run";
+  std::uint64_t primaries = 10000;  // photons to transport
+  double energy_mev = 1.0;          // starting energy
+  std::size_t layers = 10;          // slab layers along z
+  double layer_thickness_cm = 1.0;
+  double mu_total = 0.2;            // total interaction coeff (1/cm)
+  double absorption_fraction = 0.3; // P(absorb | interaction)
+  std::uint64_t seed = 12345;
+
+  /// Parses the tiny JSON subset celer-sim inputs use in our examples:
+  /// {"name":"x","primaries":N,"energy":E,"seed":S}. Unknown keys ignored.
+  static CeleritasInput from_json(const std::string& json);
+  std::string to_json() const;
+};
+
+struct CeleritasResult {
+  std::string name;
+  std::uint64_t primaries = 0;
+  std::uint64_t absorbed = 0;
+  std::uint64_t escaped_back = 0;   // reflected out the entry face
+  std::uint64_t escaped_front = 0;  // transmitted through the slab
+  std::vector<double> energy_deposition;  // per layer, MeV
+  double total_deposited = 0.0;
+  double total_escaped_energy = 0.0;
+  std::uint64_t steps = 0;  // total transport steps (work measure)
+
+  std::string to_json() const;
+};
+
+/// Transports all primaries; deterministic for a given input.
+CeleritasResult run_celeritas(const CeleritasInput& input);
+
+}  // namespace parcl::workloads

@@ -1,0 +1,135 @@
+#include "workloads/darshan.hpp"
+
+#include <cmath>
+#include <iterator>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::workloads {
+
+namespace {
+
+const char* kApps[] = {"gromacs", "lammps", "vasp",   "namd",  "e3sm",
+                       "gyrokin", "cp2k",   "qmcpack", "nwchem"};
+const char* kMounts[] = {"/gpfs/alpine", "/gpfs/wolf", "/tmp", "/sw"};
+
+}  // namespace
+
+DarshanLog generate_darshan_log(std::uint64_t job_id, util::Rng& rng) {
+  DarshanLog log;
+  log.job_id = job_id;
+  log.app = kApps[rng.uniform_int(0, std::size(kApps) - 1)];
+  log.month = static_cast<int>(rng.uniform_int(1, 12));
+  log.nprocs = static_cast<std::uint32_t>(1 << rng.uniform_int(0, 12));  // 1..4096
+  log.runtime_seconds = rng.lognormal(std::log(600.0), 1.0);
+
+  auto file_count = static_cast<std::size_t>(rng.lognormal(std::log(20.0), 1.0)) + 1;
+  log.files.reserve(file_count);
+  for (std::size_t f = 0; f < file_count; ++f) {
+    DarshanFileRecord record;
+    record.path = std::string(kMounts[rng.uniform_int(0, std::size(kMounts) - 1)]) +
+                  "/proj/f" + std::to_string(f);
+    record.bytes_read = static_cast<std::uint64_t>(rng.lognormal(std::log(1.0e6), 2.0));
+    record.bytes_written = static_cast<std::uint64_t>(rng.lognormal(std::log(4.0e5), 2.0));
+    // Transfer sizes cluster around 64 KiB-1 MiB; derive op counts.
+    record.reads = record.bytes_read / 65536 + 1;
+    record.writes = record.bytes_written / 65536 + 1;
+    log.files.push_back(std::move(record));
+  }
+  return log;
+}
+
+std::string serialize_darshan_log(const DarshanLog& log) {
+  std::ostringstream out;
+  out << "# darshan log version: 3.41\n";
+  out << "# jobid: " << log.job_id << "\n";
+  out << "# exe: " << log.app << "\n";
+  out << "# month: " << log.month << "\n";
+  out << "# nprocs: " << log.nprocs << "\n";
+  out << "# run time: " << util::format_double(log.runtime_seconds, 3) << "\n";
+  for (const auto& record : log.files) {
+    out << "POSIX\t" << record.path << '\t' << record.bytes_read << '\t'
+        << record.bytes_written << '\t' << record.reads << '\t' << record.writes
+        << '\n';
+  }
+  return out.str();
+}
+
+DarshanLog parse_darshan_log(const std::string& text) {
+  DarshanLog log;
+  bool saw_jobid = false;
+  std::size_t line_number = 0;
+  for (const auto& line : util::split_lines(text)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      auto header = util::trim(line.substr(1));
+      auto colon = header.find(':');
+      if (colon == std::string::npos) continue;
+      std::string key = util::trim(header.substr(0, colon));
+      std::string value = util::trim(header.substr(colon + 1));
+      if (key == "jobid") {
+        log.job_id = static_cast<std::uint64_t>(util::parse_long(value));
+        saw_jobid = true;
+      } else if (key == "exe") {
+        log.app = value;
+      } else if (key == "month") {
+        log.month = static_cast<int>(util::parse_long(value));
+      } else if (key == "nprocs") {
+        log.nprocs = static_cast<std::uint32_t>(util::parse_long(value));
+      } else if (key == "run time") {
+        log.runtime_seconds = util::parse_double(value);
+      }
+      continue;
+    }
+    auto fields = util::split(line, '\t');
+    if (fields.size() != 6 || fields[0] != "POSIX") {
+      throw util::ParseError("darshan line " + std::to_string(line_number) +
+                             ": expected 'POSIX' record with 6 fields");
+    }
+    DarshanFileRecord record;
+    record.path = fields[1];
+    record.bytes_read = static_cast<std::uint64_t>(util::parse_long(fields[2]));
+    record.bytes_written = static_cast<std::uint64_t>(util::parse_long(fields[3]));
+    record.reads = static_cast<std::uint64_t>(util::parse_long(fields[4]));
+    record.writes = static_cast<std::uint64_t>(util::parse_long(fields[5]));
+    log.files.push_back(std::move(record));
+  }
+  if (!saw_jobid) throw util::ParseError("darshan log missing jobid header");
+  if (log.month < 1 || log.month > 12) {
+    throw util::ParseError("darshan log month out of range");
+  }
+  return log;
+}
+
+DarshanReport analyze_darshan_logs(const std::vector<std::string>& serialized_logs) {
+  DarshanReport report;
+  for (const auto& text : serialized_logs) {
+    DarshanLog log = parse_darshan_log(text);
+    DarshanAggregate& agg = report[{log.app, log.month}];
+    agg.jobs += 1;
+    agg.core_hours += log.runtime_seconds * log.nprocs / 3600.0;
+    for (const auto& record : log.files) {
+      agg.files += 1;
+      agg.bytes_read += record.bytes_read;
+      agg.bytes_written += record.bytes_written;
+      if (record.bytes_read + record.bytes_written < (1u << 20)) agg.small_files += 1;
+    }
+  }
+  return report;
+}
+
+std::string render_darshan_report(const DarshanReport& report) {
+  std::ostringstream out;
+  out << "app\tmonth\tjobs\tfiles\tbytes_read\tbytes_written\tsmall_files\tcore_hours\n";
+  for (const auto& [key, agg] : report) {
+    out << key.first << '\t' << key.second << '\t' << agg.jobs << '\t' << agg.files
+        << '\t' << agg.bytes_read << '\t' << agg.bytes_written << '\t'
+        << agg.small_files << '\t' << util::format_double(agg.core_hours, 2) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace parcl::workloads

@@ -1,0 +1,67 @@
+// Darshan log processing: a synthetic stand-in for the Summit Darshan
+// archival dataset [17] plus the per-(month, app) aggregation job that
+// `darshan_arch.py` performs in the paper's Listings 4/5.
+//
+// A "log" is one job's I/O characterization: per-file POSIX counters. The
+// generator emits a text format close to darshan-parser output; the
+// analyzer ingests a batch of logs and produces the per-app monthly roll-up
+// (bytes moved, op counts, small-file share, top filesystems). Parsing and
+// aggregation are real string/number crunching, so a batch is an honestly
+// CPU-bound task for the engine to schedule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parcl::workloads {
+
+struct DarshanFileRecord {
+  std::string path;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+struct DarshanLog {
+  std::uint64_t job_id = 0;
+  std::string app;        // executable name
+  int month = 1;          // 1..12
+  std::uint32_t nprocs = 1;
+  double runtime_seconds = 0.0;
+  std::vector<DarshanFileRecord> files;
+};
+
+/// Generates a plausible log: app drawn from a fixed population, file count
+/// and sizes heavy-tailed, reads/writes correlated with bytes.
+DarshanLog generate_darshan_log(std::uint64_t job_id, util::Rng& rng);
+
+/// Serializes to the darshan-parser-like text format.
+std::string serialize_darshan_log(const DarshanLog& log);
+
+/// Parses the text format back. Throws ParseError on malformed input.
+DarshanLog parse_darshan_log(const std::string& text);
+
+/// Per-(app, month) aggregate — what darshan_arch.py computes.
+struct DarshanAggregate {
+  std::uint64_t jobs = 0;
+  std::uint64_t files = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t small_files = 0;  // < 1 MiB total traffic
+  double core_hours = 0.0;
+};
+
+using DarshanReport = std::map<std::pair<std::string, int>, DarshanAggregate>;
+
+/// Aggregates a batch of serialized logs (parse + roll-up).
+DarshanReport analyze_darshan_logs(const std::vector<std::string>& serialized_logs);
+
+/// Renders the report as a TSV table (app, month, jobs, bytes, ...).
+std::string render_darshan_report(const DarshanReport& report);
+
+}  // namespace parcl::workloads

@@ -1,0 +1,196 @@
+#include "workloads/forge.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace parcl::workloads {
+
+namespace {
+
+const char* kStopwords[] = {"the", "of", "and", "to", "in", "a",
+                            "is",  "that", "for", "with", "as", "are"};
+
+const char* kEnglishSentences[] = {
+    "the results indicate that the proposed method outperforms the baseline",
+    "we present a novel approach to the simulation of complex systems",
+    "experimental data are in agreement with the theoretical model",
+    "this work was supported by the office of science",
+    "the samples were prepared using standard deposition techniques",
+    "further analysis is required to confirm these observations",
+};
+
+const char* kNonEnglishSentences[] = {
+    "les resultats indiquent que la methode proposee depasse la reference",
+    "die ergebnisse zeigen dass das vorgeschlagene verfahren besser ist",
+    "los resultados indican que el metodo propuesto supera la referencia",
+    "wyniki wskazuja ze proponowana metoda przewyzsza baze odniesienia",
+};
+
+/// Splits into lowercase words, dropping punctuation.
+std::vector<std::string> tokenize_lower(const std::string& text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      words.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(current);
+  return words;
+}
+
+/// Finds "SECTION:" content up to the next section marker or end.
+std::string extract_section(const std::string& text, const std::string& marker) {
+  std::size_t pos = text.find(marker);
+  if (pos == std::string::npos) return "";
+  pos += marker.size();
+  std::size_t end = text.size();
+  for (const char* other : {"ABSTRACT:", "BODY:", "REFERENCES:"}) {
+    std::size_t next = text.find(other, pos);
+    if (next != std::string::npos) end = std::min(end, next);
+  }
+  return text.substr(pos, end - pos);
+}
+
+}  // namespace
+
+std::string scrub_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (unsigned char c : text) {
+    if (std::isspace(c)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (c < 0x20 || c >= 0x7f) continue;  // control / non-ASCII: drop silently
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += static_cast<char>(c);
+  }
+  return out;
+}
+
+bool looks_english(const std::string& text) {
+  auto words = tokenize_lower(text);
+  if (words.size() < 5) return false;
+  std::set<std::string> stopwords(std::begin(kStopwords), std::end(kStopwords));
+  std::size_t hits = 0;
+  for (const auto& word : words) {
+    if (stopwords.count(word) != 0) ++hits;
+  }
+  // English running text lands around 20-40% function words; require a
+  // conservative 8%.
+  return static_cast<double>(hits) / static_cast<double>(words.size()) >= 0.08;
+}
+
+std::uint64_t content_hash(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+CuratedDocument curate_document(const RawDocument& raw) {
+  CuratedDocument doc;
+  doc.id = raw.id;
+  doc.abstract = scrub_text(extract_section(raw.text, "ABSTRACT:"));
+  doc.body = scrub_text(extract_section(raw.text, "BODY:"));
+  if (doc.abstract.empty() && doc.body.empty()) {
+    // No markers: treat the whole record as body text.
+    doc.body = scrub_text(raw.text);
+  }
+  doc.english = looks_english(doc.abstract + " " + doc.body);
+  doc.content_hash = content_hash(doc.abstract + "\x1f" + doc.body);
+  return doc;
+}
+
+std::vector<CuratedDocument> curate_batch(const std::vector<RawDocument>& raw,
+                                          CurationStats& stats) {
+  std::vector<CuratedDocument> kept;
+  std::set<std::uint64_t> seen;
+  stats.input_documents += raw.size();
+  for (const auto& record : raw) {
+    stats.bytes_in += record.text.size();
+    CuratedDocument doc = curate_document(record);
+    if (doc.abstract.empty() && doc.body.empty()) {
+      ++stats.dropped_empty;
+      continue;
+    }
+    if (!doc.english) {
+      ++stats.dropped_non_english;
+      continue;
+    }
+    if (!seen.insert(doc.content_hash).second) {
+      ++stats.dropped_duplicates;
+      continue;
+    }
+    stats.bytes_out += doc.abstract.size() + doc.body.size();
+    ++stats.kept;
+    kept.push_back(std::move(doc));
+  }
+  return kept;
+}
+
+std::vector<RawDocument> generate_corpus(std::size_t documents, util::Rng& rng) {
+  std::vector<RawDocument> corpus;
+  corpus.reserve(documents);
+  for (std::size_t i = 0; i < documents; ++i) {
+    RawDocument doc;
+    doc.id = "doc" + std::to_string(i);
+    double roll = rng.next_double();
+    std::ostringstream text;
+    if (roll < 0.70) {
+      // English article.
+      text << "ABSTRACT: ";
+      for (int s = 0; s < 3; ++s) {
+        text << kEnglishSentences[rng.uniform_int(0, std::size(kEnglishSentences) - 1)]
+             << ". ";
+      }
+      text << "\nBODY: ";
+      for (int s = 0; s < 12; ++s) {
+        text << kEnglishSentences[rng.uniform_int(0, std::size(kEnglishSentences) - 1)]
+             << ". ";
+        if (rng.bernoulli(0.2)) text << char(rng.uniform_int(1, 8));  // control noise
+      }
+    } else if (roll < 0.85) {
+      // Non-English article.
+      text << "ABSTRACT: ";
+      for (int s = 0; s < 3; ++s) {
+        text << kNonEnglishSentences[rng.uniform_int(0, std::size(kNonEnglishSentences) - 1)]
+             << ". ";
+      }
+    } else if (roll < 0.95) {
+      // Duplicate of an earlier English document.
+      if (!corpus.empty()) {
+        std::size_t src = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(corpus.size()) - 1));
+        doc.text = corpus[src].text;
+        corpus.push_back(std::move(doc));
+        continue;
+      }
+      text << "ABSTRACT: " << kEnglishSentences[0];
+    } else {
+      // OCR garbage.
+      for (int c = 0; c < 200; ++c) {
+        text << static_cast<char>(rng.uniform_int(33, 126));
+      }
+    }
+    doc.text = text.str();
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace parcl::workloads

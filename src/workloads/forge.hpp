@@ -1,0 +1,66 @@
+// FORGE data curation: the preprocessing stage of Fig 8.
+//
+// FORGE trains science LLMs on ~200M articles; the curation pipeline the
+// paper parallelizes with GNU Parallel cleans raw publication records:
+// extract abstract + body, drop non-English documents, scrub control and
+// non-printable characters, normalize whitespace, and deduplicate. This
+// module implements that pipeline for a realistic record format so the
+// fan-out examples process real text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parcl::workloads {
+
+/// A raw publication record ("ABSTRACT:" / "BODY:" sections, arbitrary
+/// noise allowed anywhere).
+struct RawDocument {
+  std::string id;
+  std::string text;
+};
+
+struct CuratedDocument {
+  std::string id;
+  std::string abstract;
+  std::string body;
+  bool english = false;
+  std::uint64_t content_hash = 0;  // for dedup
+};
+
+struct CurationStats {
+  std::size_t input_documents = 0;
+  std::size_t kept = 0;
+  std::size_t dropped_non_english = 0;
+  std::size_t dropped_empty = 0;
+  std::size_t dropped_duplicates = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// Scrubs control chars / non-printable bytes and collapses whitespace.
+std::string scrub_text(const std::string& text);
+
+/// Stopword-frequency heuristic: English text contains function words
+/// ("the", "of", "and", ...) at a few percent; other languages and
+/// OCR garbage do not.
+bool looks_english(const std::string& text);
+
+/// FNV-1a over the normalized content, for dedup.
+std::uint64_t content_hash(const std::string& text);
+
+/// Extracts + cleans one document (no dedup; that needs batch context).
+CuratedDocument curate_document(const RawDocument& raw);
+
+/// Full pipeline over a batch: curate, language-filter, dedup.
+std::vector<CuratedDocument> curate_batch(const std::vector<RawDocument>& raw,
+                                          CurationStats& stats);
+
+/// Synthetic corpus: a mix of English records, non-English records, OCR
+/// noise, and exact duplicates — the failure modes curation must handle.
+std::vector<RawDocument> generate_corpus(std::size_t documents, util::Rng& rng);
+
+}  // namespace parcl::workloads

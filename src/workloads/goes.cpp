@@ -1,0 +1,136 @@
+#include "workloads/goes.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::workloads {
+
+const char* const kGoesRegions[8] = {"cgl", "ne", "nr", "se", "sp", "sr", "pr", "pnw"};
+
+namespace {
+
+/// Deterministic lattice hash for value noise.
+double lattice(std::uint64_t seed, std::int64_t x, std::int64_t y) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+/// Bilinear value noise at (x, y) with cell size `scale`.
+double value_noise(std::uint64_t seed, double x, double y, double scale) {
+  double fx = x / scale;
+  double fy = y / scale;
+  auto x0 = static_cast<std::int64_t>(std::floor(fx));
+  auto y0 = static_cast<std::int64_t>(std::floor(fy));
+  double tx = smoothstep(fx - static_cast<double>(x0));
+  double ty = smoothstep(fy - static_cast<double>(y0));
+  double v00 = lattice(seed, x0, y0);
+  double v10 = lattice(seed, x0 + 1, y0);
+  double v01 = lattice(seed, x0, y0 + 1);
+  double v11 = lattice(seed, x0 + 1, y0 + 1);
+  double top = v00 * (1.0 - tx) + v10 * tx;
+  double bottom = v01 * (1.0 - tx) + v11 * tx;
+  return top * (1.0 - ty) + bottom * ty;
+}
+
+std::uint64_t region_seed(const std::string& region, std::uint64_t timestamp) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : region) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // Advance the cloud field slowly with time (images 30 s apart overlap).
+  h ^= timestamp / 300;
+  return h;
+}
+
+}  // namespace
+
+SectorImage fetch_sector_image(const std::string& region, std::uint64_t timestamp,
+                               std::size_t width, std::size_t height) {
+  if (width == 0 || height == 0) throw util::ConfigError("image needs positive size");
+  SectorImage image;
+  image.region = region;
+  image.timestamp = timestamp;
+  image.width = width;
+  image.height = height;
+  image.pixels.resize(width * height);
+
+  std::uint64_t seed = region_seed(region, timestamp);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      double fx = static_cast<double>(x);
+      double fy = static_cast<double>(y);
+      // Two octaves of cloud + a dark ground gradient.
+      double cloud = 0.7 * value_noise(seed, fx, fy, 180.0) +
+                     0.3 * value_noise(seed ^ 0xabcdef, fx, fy, 45.0);
+      double ground = 40.0 + 20.0 * (fy / static_cast<double>(height));
+      double value = cloud > 0.55 ? 150.0 + 100.0 * (cloud - 0.55) / 0.45 : ground;
+      image.pixels[y * width + x] =
+          static_cast<std::uint8_t>(std::min(255.0, std::max(0.0, value)));
+    }
+  }
+  return image;
+}
+
+double mean_brightness_percent(const SectorImage& image) {
+  if (image.pixels.empty()) throw util::ConfigError("empty image");
+  double sum = 0.0;
+  for (std::uint8_t pixel : image.pixels) sum += pixel;
+  return 100.0 * (sum / static_cast<double>(image.pixels.size())) / 255.0;
+}
+
+void write_pgm(const SectorImage& image, const std::string& path) {
+  if (image.pixels.empty()) throw util::ConfigError("empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::SystemError("open '" + path + "' for writing", errno);
+  out << "P5\n" << image.width << " " << image.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels.data()),
+            static_cast<std::streamsize>(image.pixels.size()));
+  if (!out) throw util::SystemError("write '" + path + "'", errno);
+}
+
+SectorImage read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::SystemError("open '" + path + "'", errno);
+  std::string magic;
+  std::size_t width = 0, height = 0;
+  int maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  if (magic != "P5" || maxval != 255 || width == 0 || height == 0) {
+    throw util::ParseError("'" + path + "' is not an 8-bit P5 PGM");
+  }
+  in.get();  // single whitespace after the header
+  SectorImage image;
+  image.region = util::strip_extension(util::path_basename(path));
+  image.width = width;
+  image.height = height;
+  image.pixels.resize(width * height);
+  in.read(reinterpret_cast<char*>(image.pixels.data()),
+          static_cast<std::streamsize>(image.pixels.size()));
+  if (in.gcount() != static_cast<std::streamsize>(image.pixels.size())) {
+    throw util::ParseError("'" + path + "' truncated");
+  }
+  return image;
+}
+
+double cloud_fraction_percent(const SectorImage& image, std::uint8_t threshold) {
+  if (image.pixels.empty()) throw util::ConfigError("empty image");
+  std::size_t cloudy = 0;
+  for (std::uint8_t pixel : image.pixels) {
+    if (pixel >= threshold) ++cloudy;
+  }
+  return 100.0 * static_cast<double>(cloudy) / static_cast<double>(image.pixels.size());
+}
+
+}  // namespace parcl::workloads

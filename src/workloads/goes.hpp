@@ -1,0 +1,54 @@
+// GOES fetch-process workload (Sec IV-A, Listings 2-3).
+//
+// The paper's motivating example downloads GOES-16 sector images every 30
+// seconds with `parallel -j8 curl` and, in a second concurrently-running
+// stage fed by a queue file, computes each image's mean brightness with
+// ImageMagick (`convert ... -format "%[fx:100*mean]"`). Here the download
+// becomes a synthetic image producer (a cloud-field generator) and the
+// processing is the real mean-brightness computation over pixels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parcl::workloads {
+
+/// The eight sector codes from Listing 2.
+extern const char* const kGoesRegions[8];
+
+/// A grayscale image; pixel values in [0, 255].
+struct SectorImage {
+  std::string region;
+  std::uint64_t timestamp = 0;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> pixels;
+
+  std::size_t pixel_count() const noexcept { return pixels.size(); }
+};
+
+/// "Downloads" a sector: generates a smooth cloud field (value noise) over
+/// a dark ground, deterministic per (region, timestamp, seed).
+SectorImage fetch_sector_image(const std::string& region, std::uint64_t timestamp,
+                               std::size_t width = 1200, std::size_t height = 1200);
+
+/// The Listing 3 analog of `convert -format "%[fx:100*mean]"`: mean pixel
+/// brightness as a percentage (0..100).
+double mean_brightness_percent(const SectorImage& image);
+
+/// Cloud-cover estimate: share of pixels above a brightness threshold,
+/// as a percentage.
+double cloud_fraction_percent(const SectorImage& image, std::uint8_t threshold = 140);
+
+/// Writes the image as a binary PGM (P5) file — the ./data/{region}_{ts}.jpg
+/// analog of Listing 2, viewable with any image tool. Throws SystemError on
+/// I/O failure.
+void write_pgm(const SectorImage& image, const std::string& path);
+
+/// Reads a P5 PGM written by write_pgm. Throws ParseError/SystemError.
+SectorImage read_pgm(const std::string& path);
+
+}  // namespace parcl::workloads

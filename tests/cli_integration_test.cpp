@@ -1,0 +1,220 @@
+// End-to-end tests of the `parcl` binary itself: real fork/exec through the
+// CLI, checking stdout, exit codes, and joblog side effects — the closest
+// analog to running the paper's shell one-liners.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/strings.hpp"
+
+#ifndef PARCL_BINARY_PATH
+#error "PARCL_BINARY_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string parcl() { return PARCL_BINARY_PATH; }
+
+TEST(ParclCli, EchoOverLiteralSource) {
+  CommandResult result = run_command(parcl() + " -j2 -k echo {} ::: one two three");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "one\ntwo\nthree\n");
+}
+
+TEST(ParclCli, KeepOrderHoldsUnderSkew) {
+  // First job sleeps; -k must still print in input order.
+  CommandResult result = run_command(
+      parcl() + " -j3 -k 'sleep 0.{}; echo v{}' ::: 2 1 0");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "v2\nv1\nv0\n");
+}
+
+TEST(ParclCli, CartesianProductAndRanges) {
+  CommandResult result =
+      run_command(parcl() + " --dry-run echo {1}-{2} ::: {1..3} ::: a b");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(parcl::util::split_lines(result.output).size(), 6u);
+  EXPECT_NE(result.output.find("echo 1-a"), std::string::npos);
+  EXPECT_NE(result.output.find("echo 3-b"), std::string::npos);
+}
+
+TEST(ParclCli, StdinInput) {
+  CommandResult result =
+      run_command("printf 'x\\ny\\n' | " + parcl() + " -k echo got-{}");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "got-x\ngot-y\n");
+}
+
+TEST(ParclCli, ExitStatusCountsFailures) {
+  CommandResult result = run_command(parcl() + " 'exit {}' ::: 0 1 2 0");
+  EXPECT_EQ(result.exit_code, 2);  // two failed jobs
+}
+
+TEST(ParclCli, SeqAndSlotReplacements) {
+  CommandResult result = run_command(parcl() + " -j1 -k 'echo {#}:{%}:{}' ::: a b");
+  EXPECT_EQ(result.output, "1:1:a\n2:1:b\n");
+}
+
+TEST(ParclCli, TagPrefixesOutput) {
+  CommandResult result = run_command(parcl() + " --tag -k echo {} ::: p q");
+  EXPECT_EQ(result.output, "p\tp\nq\tq\n");
+}
+
+TEST(ParclCli, QuotingSurvivesHostileFilenames) {
+  CommandResult result =
+      run_command(parcl() + " -k 'printf %s {}' ::: 'a b' '$(echo nope)'");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("a b"), std::string::npos);
+  EXPECT_NE(result.output.find("$(echo nope)"), std::string::npos);
+  EXPECT_EQ(result.output.find("nope\n"), std::string::npos);
+}
+
+TEST(ParclCli, JoblogWritesRows) {
+  std::string log_path = ::testing::TempDir() + "parcl_cli_joblog.tsv";
+  std::remove(log_path.c_str());
+  CommandResult result = run_command(
+      parcl() + " --joblog " + log_path + " 'true {}' ::: 1 2 3");
+  EXPECT_EQ(result.exit_code, 0);
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("Seq\tHost"), std::string::npos);
+  EXPECT_EQ(parcl::util::split_lines(content).size(), 4u);  // header + 3 rows
+  std::remove(log_path.c_str());
+}
+
+TEST(ParclCli, ResumeSkipsCompletedSeqs) {
+  std::string log_path = ::testing::TempDir() + "parcl_cli_resume.tsv";
+  std::remove(log_path.c_str());
+  run_command(parcl() + " --joblog " + log_path + " echo {} ::: a b");
+  CommandResult second = run_command(
+      parcl() + " --joblog " + log_path + " --resume -k echo {} ::: a b c");
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_EQ(second.output, "c\n");  // a and b skipped
+  std::remove(log_path.c_str());
+}
+
+TEST(ParclCli, EnvInjectionWithSlot) {
+  CommandResult result = run_command(
+      parcl() + " -j1 --env 'HIP_VISIBLE_DEVICES={%}' 'echo dev=$HIP_VISIBLE_DEVICES'"
+                " ::: x");
+  // The input value is appended (no {} in the command), like parallel.
+  EXPECT_EQ(result.output, "dev=1 x\n");
+}
+
+TEST(ParclCli, HelpAndVersion) {
+  EXPECT_EQ(run_command(parcl() + " --help").exit_code, 0);
+  CommandResult version = run_command(parcl() + " --version");
+  EXPECT_EQ(version.exit_code, 0);
+  EXPECT_NE(version.output.find("parcl"), std::string::npos);
+}
+
+TEST(ParclCli, BadUsageExits255) {
+  EXPECT_EQ(run_command(parcl() + " --bogus").exit_code, 255);
+  EXPECT_EQ(run_command(parcl() + " --halt wat,x=1 echo ::: a").exit_code, 255);
+}
+
+TEST(ParclCli, MaxArgsPacksInputs) {
+  CommandResult result =
+      run_command(parcl() + " -n3 -k echo group: {} ::: 1 2 3 4 5");
+  EXPECT_EQ(result.output, "group: 1 2 3\ngroup: 4 5\n");
+}
+
+TEST(ParclCli, TimeoutKillsHangingJobs) {
+  CommandResult result =
+      run_command(parcl() + " --timeout 0.3 'sleep {}' ::: 5");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST(ParclCli, PipeModeSplitsStdinAcrossJobs) {
+  // 6 lines, 4-byte blocks -> one wc -l per block; totals sum to 6.
+  CommandResult result = run_command(
+      "printf 'a\\nb\\nc\\nd\\ne\\nf\\n' | " + parcl() +
+      " --pipe --block 4 -k wc -l");
+  EXPECT_EQ(result.exit_code, 0);
+  long total = 0;
+  for (const auto& line : parcl::util::split_lines(result.output)) {
+    total += parcl::util::parse_long(parcl::util::trim(line));
+  }
+  EXPECT_EQ(total, 6);
+  EXPECT_GT(parcl::util::split_lines(result.output).size(), 1u);
+}
+
+TEST(ParclCli, PipeRoundTripsBytes) {
+  CommandResult result = run_command(
+      "printf '3\\n1\\n2\\n' | " + parcl() + " --pipe --block 1k -k cat");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "3\n1\n2\n");
+}
+
+TEST(ParclProfile, ExtractsProfileFromJoblog) {
+  std::string log_path = ::testing::TempDir() + "parcl_profile_joblog.tsv";
+  std::remove(log_path.c_str());
+  run_command(parcl() + " -j2 --joblog " + log_path + " 'sleep 0.1' ::: 1 2 3 4");
+  CommandResult result =
+      run_command(std::string(PARCL_PROFILE_BINARY_PATH) + " " + log_path + " 2");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("peak concurrency:    2"), std::string::npos);
+  EXPECT_NE(result.output.find("utilization"), std::string::npos);
+  std::remove(log_path.c_str());
+}
+
+TEST(ParclProfile, BadUsage) {
+  EXPECT_EQ(run_command(std::string(PARCL_PROFILE_BINARY_PATH)).exit_code, 255);
+  EXPECT_EQ(run_command(std::string(PARCL_PROFILE_BINARY_PATH) + " /no/such/log")
+                .exit_code,
+            255);
+}
+
+TEST(ParclCli, SemaphoreRunsCommandVerbatim) {
+  CommandResult result = run_command(
+      parcl() + " --semaphore --id cli_test_sem -j2 echo sem-ran");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("sem-ran"), std::string::npos);
+}
+
+TEST(ParclCli, SemaphoreSerializesAcrossProcesses) {
+  // Two sem-wrapped sleeps with -j1 must serialize: total wall time is at
+  // least the sum of the two sleeps.
+  std::string id = "cli_serial_sem_" + std::to_string(getpid());
+  auto t0 = std::chrono::steady_clock::now();
+  CommandResult result = run_command(
+      "(" + parcl() + " --semaphore --id " + id + " -j1 sleep 0.3 & " +
+      parcl() + " --semaphore --id " + id + " -j1 sleep 0.3; wait)");
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_GE(elapsed, 0.55);
+}
+
+TEST(ParclCli, ProgressPrintsCounter) {
+  CommandResult result =
+      run_command(parcl() + " --progress echo {} ::: a b c");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("3/3 done"), std::string::npos);
+}
+
+}  // namespace

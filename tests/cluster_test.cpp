@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "cluster/machine.hpp"
+#include "cluster/parallel_instance.hpp"
+#include "sim/duration_model.hpp"
+#include "util/error.hpp"
+
+namespace parcl::cluster {
+namespace {
+
+TEST(NodeSpecs, PresetsMatchPaperHardware) {
+  EXPECT_EQ(NodeSpec::frontier().cpu_threads, 128u);
+  EXPECT_EQ(NodeSpec::frontier().gpus, 8u);
+  EXPECT_EQ(NodeSpec::perlmutter_cpu().cpu_threads, 256u);
+  EXPECT_EQ(NodeSpec::perlmutter_cpu().gpus, 0u);
+  EXPECT_GT(NodeSpec::dtn().nic_bandwidth, 0.0);
+}
+
+TEST(Node, GpuAccessOnGpulessNodeThrows) {
+  sim::Simulation sim;
+  Node cpu_node(sim, NodeSpec::perlmutter_cpu(), 0);
+  EXPECT_FALSE(cpu_node.has_gpus());
+  EXPECT_THROW(cpu_node.gpu(), util::InternalError);
+  Node gpu_node(sim, NodeSpec::frontier(), 1);
+  EXPECT_TRUE(gpu_node.has_gpus());
+  EXPECT_EQ(gpu_node.gpu().capacity(), 8u);
+}
+
+TEST(Node, HostnamesAreStable) {
+  sim::Simulation sim;
+  Node node(sim, NodeSpec::frontier(), 42);
+  EXPECT_EQ(node.hostname(), "frontier00042");
+}
+
+TEST(Machine, BuildsNodesAndSharedFilesystem) {
+  sim::Simulation sim;
+  Machine machine = Machine::frontier(sim, 16);
+  EXPECT_EQ(machine.node_count(), 16u);
+  EXPECT_GT(machine.lustre_data().capacity(), 0.0);
+  EXPECT_THROW(machine.node(16), util::InternalError);
+  EXPECT_THROW(Machine::frontier(sim, 0), util::ConfigError);
+}
+
+TEST(Machine, LustreIoChargesMetadataAndData) {
+  sim::Simulation sim;
+  Machine machine = Machine::frontier(sim, 1);
+  bool done = false;
+  machine.lustre_io(5.0e9, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  // 5 GB at the 5 GB/s per-flow cap is 1 s, plus 1 ms metadata.
+  EXPECT_NEAR(sim.now(), 1.001, 1e-9);
+}
+
+TEST(ParallelInstance, FixedTasksPackExactly) {
+  sim::Simulation sim;
+  sim::FixedDuration duration(10.0);
+  InstanceConfig config;
+  config.jobs = 4;
+  config.task_count = 16;
+  config.dispatch_cost = 0.0;
+  config.duration = &duration;
+  ParallelInstance instance(sim, config, util::Rng(1));
+  bool finished = false;
+  instance.run(0.0, [&](const InstanceStats& stats) {
+    finished = true;
+    EXPECT_EQ(stats.launched, 16u);
+    EXPECT_DOUBLE_EQ(stats.makespan(), 40.0);
+  });
+  sim.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(ParallelInstance, MatchesEngineOverSimExecutor) {
+  // Cross-validation: the sim-time model and the real engine agree on the
+  // schedule for deterministic workloads (same jobs, durations, no
+  // dispatch cost).
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    for (std::size_t tasks : {std::size_t{1}, std::size_t{7}, std::size_t{24}}) {
+      sim::Simulation sim;
+      sim::FixedDuration duration(5.0);
+      InstanceConfig config;
+      config.jobs = jobs;
+      config.task_count = tasks;
+      config.dispatch_cost = 0.0;
+      config.duration = &duration;
+      ParallelInstance instance(sim, config, util::Rng(1));
+      double model_makespan = -1.0;
+      instance.run(0.0, [&](const InstanceStats& stats) { model_makespan = stats.makespan(); });
+      sim.run();
+      // Engine equivalent: ceil(tasks/jobs) * 5s.
+      double engine_makespan =
+          5.0 * static_cast<double>((tasks + jobs - 1) / jobs);
+      EXPECT_DOUBLE_EQ(model_makespan, engine_makespan)
+          << "jobs=" << jobs << " tasks=" << tasks;
+    }
+  }
+}
+
+TEST(ParallelInstance, DispatchRateCeiling) {
+  // With zero-duration tasks the launch rate equals 1/dispatch_cost.
+  sim::Simulation sim;
+  sim::FixedDuration duration(0.0);
+  InstanceConfig config;
+  config.jobs = 128;
+  config.task_count = 940;
+  config.dispatch_cost = 1.0 / 470.0;
+  config.duration = &duration;
+  ParallelInstance instance(sim, config, util::Rng(1));
+  instance.run(0.0, [](const InstanceStats&) {});
+  sim.run();
+  EXPECT_NEAR(sim.now(), 2.0, 0.01);  // 940 launches at 470/s
+}
+
+TEST(ParallelInstance, LaunchGateCapsAggregateRate) {
+  // 4 instances, each capable of 470/s alone, share a 100/s node gate.
+  sim::Simulation sim;
+  sim::Resource gate(sim, "gate", 1);
+  sim::FixedDuration duration(0.0);
+  std::vector<std::unique_ptr<ParallelInstance>> instances;
+  int done_count = 0;
+  for (int i = 0; i < 4; ++i) {
+    InstanceConfig config;
+    config.jobs = 16;
+    config.task_count = 100;
+    config.dispatch_cost = 1.0 / 470.0;
+    config.duration = &duration;
+    config.launch_gate = &gate;
+    config.launch_gate_hold = 1.0 / 100.0;
+    instances.push_back(
+        std::make_unique<ParallelInstance>(sim, config, util::Rng(7 + i)));
+    instances.back()->run(0.0, [&](const InstanceStats&) { ++done_count; });
+  }
+  sim.run();
+  EXPECT_EQ(done_count, 4);
+  // 400 launches through a 100/s gate: no faster than 4 s.
+  EXPECT_GE(sim.now(), 4.0);
+  EXPECT_LE(sim.now(), 4.5);
+}
+
+TEST(ParallelInstance, FailureInjectionCountsFailures) {
+  sim::Simulation sim;
+  sim::FixedDuration duration(1.0);
+  InstanceConfig config;
+  config.jobs = 8;
+  config.task_count = 1000;
+  config.dispatch_cost = 0.0;
+  config.duration = &duration;
+  config.failure_probability = 0.2;
+  ParallelInstance instance(sim, config, util::Rng(3));
+  std::size_t failed = 0;
+  instance.run(0.0, [&](const InstanceStats& stats) { failed = stats.failed; });
+  sim.run();
+  EXPECT_GT(failed, 150u);
+  EXPECT_LT(failed, 250u);
+}
+
+TEST(ParallelInstance, StdoutBytesFlowThroughChannel) {
+  sim::Simulation sim;
+  sim::SharedBandwidth nvme(sim, "nvme", 100.0);
+  sim::FixedDuration duration(0.0);
+  InstanceConfig config;
+  config.jobs = 1;
+  config.task_count = 5;
+  config.dispatch_cost = 0.0;
+  config.duration = &duration;
+  config.stdout_bytes = 100.0;
+  config.stdout_channel = &nvme;
+  ParallelInstance instance(sim, config, util::Rng(1));
+  instance.run(0.0, [](const InstanceStats&) {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(nvme.bytes_delivered(), 500.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // serialized: 5 x 1s writes
+}
+
+TEST(ParallelInstance, ConfigValidation) {
+  sim::Simulation sim;
+  InstanceConfig config;  // no duration model
+  EXPECT_THROW(ParallelInstance(sim, config, util::Rng(1)), util::ConfigError);
+  sim::FixedDuration d(1.0);
+  config.duration = &d;
+  config.jobs = 0;
+  EXPECT_THROW(ParallelInstance(sim, config, util::Rng(1)), util::ConfigError);
+  config.jobs = 1;
+  config.stdout_bytes = 10.0;  // no channel
+  EXPECT_THROW(ParallelInstance(sim, config, util::Rng(1)), util::ConfigError);
+}
+
+TEST(ParallelInstance, TaskResourceLimitsEffectiveParallelism) {
+  // -j16 over 8 GPUs: service is GPU-bound, so 32 x 10s tasks take
+  // 32/8 * 10 = 40s regardless of the wider slot pool.
+  sim::Simulation sim;
+  Node node(sim, NodeSpec::frontier(), 0);
+  sim::FixedDuration duration(10.0);
+  InstanceConfig config;
+  config.jobs = 16;  // oversubscribed
+  config.task_count = 32;
+  config.dispatch_cost = 0.0;
+  config.duration = &duration;
+  config.task_resource = &node.gpu();
+  ParallelInstance instance(sim, config, util::Rng(2));
+  instance.run(0.0, [](const InstanceStats&) {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 40.0);
+  EXPECT_EQ(node.gpu().in_use(), 0u);  // everything released
+}
+
+TEST(ParallelInstance, MatchedJobsToGpusIsNotSlower) {
+  // The paper's 1-1 process-GPU mapping: -j8 on 8 GPUs equals the
+  // oversubscribed makespan for uniform tasks (queueing buys nothing).
+  auto run_with_jobs = [](std::size_t jobs) {
+    sim::Simulation sim;
+    Node node(sim, NodeSpec::frontier(), 0);
+    sim::FixedDuration duration(10.0);
+    InstanceConfig config;
+    config.jobs = jobs;
+    config.task_count = 32;
+    config.dispatch_cost = 0.0;
+    config.duration = &duration;
+    config.task_resource = &node.gpu();
+    ParallelInstance instance(sim, config, util::Rng(2));
+    instance.run(0.0, [](const InstanceStats&) {});
+    sim.run();
+    return sim.now();
+  };
+  EXPECT_DOUBLE_EQ(run_with_jobs(8), run_with_jobs(32));
+}
+
+TEST(ParallelInstance, ZeroTasksCompletesImmediately) {
+  sim::Simulation sim;
+  sim::FixedDuration duration(1.0);
+  InstanceConfig config;
+  config.task_count = 0;
+  config.duration = &duration;
+  ParallelInstance instance(sim, config, util::Rng(1));
+  bool done = false;
+  instance.run(2.5, [&](const InstanceStats& stats) {
+    done = true;
+    EXPECT_DOUBLE_EQ(stats.makespan(), 0.0);
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+}  // namespace
+}  // namespace parcl::cluster

@@ -1,0 +1,139 @@
+#include "core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace parcl::core {
+namespace {
+
+RunPlan parse(std::initializer_list<const char*> args) {
+  std::vector<std::string> argv;
+  for (const char* arg : args) argv.emplace_back(arg);
+  return parse_cli(argv);
+}
+
+TEST(Cli, SimpleCommandWithLiteralSource) {
+  RunPlan plan = parse({"-j8", "echo", "{}", ":::", "a", "b", "c"});
+  EXPECT_EQ(plan.options.jobs, 8u);
+  EXPECT_EQ(plan.command_template, "echo {}");
+  ASSERT_EQ(plan.sources.size(), 1u);
+  EXPECT_EQ(plan.sources[0].values, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_FALSE(plan.read_stdin);
+}
+
+TEST(Cli, JobsFlagVariants) {
+  EXPECT_EQ(parse({"-j", "16", "true", ":::", "x"}).options.jobs, 16u);
+  EXPECT_EQ(parse({"--jobs", "32", "true", ":::", "x"}).options.jobs, 32u);
+  EXPECT_EQ(parse({"-j128", "true", ":::", "x"}).options.jobs, 128u);
+}
+
+TEST(Cli, PaperListing5Invocation) {
+  // parallel -j36 python3 ./darshan_arch.py ::: {1..12} ::: {0..2}
+  RunPlan plan = parse({"-j36", "python3", "./darshan_arch.py", ":::", "{1..12}",
+                        ":::", "{0..2}"});
+  EXPECT_EQ(plan.options.jobs, 36u);
+  ASSERT_EQ(plan.sources.size(), 2u);
+  EXPECT_EQ(plan.sources[0].values.size(), 12u);
+  EXPECT_EQ(plan.sources[1].values.size(), 3u);
+  auto inputs = resolve_inputs(plan, std::cin);
+  EXPECT_EQ(inputs.size(), 36u);
+}
+
+TEST(Cli, MultipleSourcesAndLink) {
+  RunPlan plan = parse({"cmd", ":::", "a", "b", ":::+", "1", "2"});
+  EXPECT_TRUE(plan.link);
+  std::istringstream empty;
+  auto inputs = resolve_inputs(plan, empty);
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0], (ArgVector{"a", "1"}));
+}
+
+TEST(Cli, StdinWhenNoSource) {
+  RunPlan plan = parse({"wc", "-l"});
+  EXPECT_TRUE(plan.read_stdin);
+  EXPECT_EQ(plan.command_template, "wc -l");
+  std::istringstream in("f1\nf2\n");
+  auto inputs = resolve_inputs(plan, in);
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0], (ArgVector{"f1"}));
+}
+
+TEST(Cli, FileSource) {
+  std::string path = ::testing::TempDir() + "cli_inputs.txt";
+  {
+    std::ofstream out(path);
+    out << "one\ntwo\n";
+  }
+  RunPlan plan = parse({"cat", "::::", path.c_str()});
+  ASSERT_EQ(plan.sources.size(), 1u);
+  EXPECT_EQ(plan.sources[0].values, (std::vector<std::string>{"one", "two"}));
+  std::remove(path.c_str());
+}
+
+TEST(Cli, OptionsAfterCommandBelongToCommand) {
+  // `-n` after the command token is part of the command, like parallel.
+  RunPlan plan = parse({"sort", "-n", ":::", "f"});
+  EXPECT_EQ(plan.command_template, "sort -n");
+  EXPECT_EQ(plan.options.max_args, 0u);
+}
+
+TEST(Cli, EngineFlags) {
+  RunPlan plan = parse({"-k", "--tag", "--retries", "3", "--halt", "now,fail=2",
+                        "--timeout", "5.5", "--delay", "0.1", "--joblog", "/tmp/j.log",
+                        "cmd", ":::", "x"});
+  EXPECT_EQ(plan.options.output_mode, OutputMode::kKeepOrder);
+  EXPECT_TRUE(plan.options.tag);
+  EXPECT_EQ(plan.options.retries, 3u);
+  EXPECT_EQ(plan.options.halt.when, HaltWhen::kNow);
+  EXPECT_DOUBLE_EQ(plan.options.timeout_seconds, 5.5);
+  EXPECT_DOUBLE_EQ(plan.options.delay_seconds, 0.1);
+  EXPECT_EQ(plan.options.joblog_path, "/tmp/j.log");
+}
+
+TEST(Cli, EnvFlagAccumulates) {
+  RunPlan plan = parse({"--env", "A=1", "--env", "HIP_VISIBLE_DEVICES={%}", "cmd",
+                        ":::", "x"});
+  EXPECT_EQ(plan.options.env.at("A"), "1");
+  EXPECT_EQ(plan.options.env.at("HIP_VISIBLE_DEVICES"), "{%}");
+}
+
+TEST(Cli, RejectsBadUsage) {
+  EXPECT_THROW(parse({"--env", "NOEQUALS", "cmd", ":::", "x"}), util::ParseError);
+  EXPECT_THROW(parse({"--jobs"}), util::ParseError);
+  EXPECT_THROW(parse({"--bogus-flag", "cmd"}), util::ParseError);
+  EXPECT_THROW(parse({"--resume", "cmd", ":::", "x"}), util::ConfigError);  // no joblog
+}
+
+TEST(Cli, HelpAndVersionShortCircuit) {
+  EXPECT_TRUE(parse({"--help"}).show_help);
+  EXPECT_TRUE(parse({"--version"}).show_version);
+  EXPECT_FALSE(usage_text().empty());
+  EXPECT_FALSE(version_text().empty());
+}
+
+TEST(Cli, DryRunAndQuoteToggles) {
+  RunPlan plan = parse({"--dry-run", "--no-quote", "--no-shell", "cmd", ":::", "x"});
+  EXPECT_TRUE(plan.options.dry_run);
+  EXPECT_FALSE(plan.options.quote_args);
+  EXPECT_FALSE(plan.options.use_shell);
+}
+
+TEST(Cli, RangeExpansionInSources) {
+  RunPlan plan = parse({"cmd", ":::", "{1..3}", "literal"});
+  EXPECT_EQ(plan.sources[0].values,
+            (std::vector<std::string>{"1", "2", "3", "literal"}));
+}
+
+TEST(Cli, XargsPacking) {
+  RunPlan plan = parse({"-X", "--max-chars", "100", "rm", ":::", "a", "b"});
+  EXPECT_TRUE(plan.options.xargs);
+  EXPECT_EQ(plan.options.max_chars, 100u);
+}
+
+}  // namespace
+}  // namespace parcl::core

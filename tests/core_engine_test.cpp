@@ -1,0 +1,468 @@
+// Engine behaviour tests, driven through FunctionExecutor so jobs are fast,
+// deterministic in outcome, and require no fork/exec.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "core/joblog.hpp"
+#include "exec/function_executor.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::core {
+namespace {
+
+using exec::FunctionExecutor;
+using exec::TaskOutcome;
+
+std::vector<ArgVector> values(std::initializer_list<const char*> items) {
+  std::vector<ArgVector> out;
+  for (const char* item : items) out.push_back({item});
+  return out;
+}
+
+/// Echo task: stdout is the command string.
+TaskOutcome echo_task(const ExecRequest& request) {
+  TaskOutcome outcome;
+  outcome.stdout_data = request.command + "\n";
+  return outcome;
+}
+
+TEST(Engine, RunsEveryJobAndCapturesOutput) {
+  Options options;
+  options.jobs = 4;
+  FunctionExecutor executor(echo_task, 4);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("echo {}", values({"a", "b", "c"}));
+  EXPECT_EQ(summary.succeeded, 3u);
+  EXPECT_EQ(summary.failed, 0u);
+  ASSERT_EQ(summary.results.size(), 3u);
+  EXPECT_EQ(summary.results[0].command, "echo a");
+  EXPECT_EQ(summary.results[2].command, "echo c");
+  EXPECT_NE(out.str().find("echo b"), std::string::npos);
+}
+
+TEST(Engine, AppendsArgumentsWhenNoPlaceholder) {
+  Options options;
+  FunctionExecutor executor(echo_task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("gzip -9", values({"f.txt"}));
+  EXPECT_EQ(summary.results[0].command, "gzip -9 f.txt");
+}
+
+TEST(Engine, NeverExceedsJobsInFlight) {
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  auto task = [&](const ExecRequest&) {
+    int now = in_flight.fetch_add(1) + 1;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    in_flight.fetch_sub(1);
+    return TaskOutcome{};
+  };
+  Options options;
+  options.jobs = 3;
+  FunctionExecutor executor(task, 8);  // more threads than slots
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 30; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("t {}", std::move(inputs));
+  EXPECT_EQ(summary.succeeded, 30u);
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_EQ(peak.load(), 3);  // slots were actually used concurrently
+}
+
+TEST(Engine, SlotsAreUniqueAmongConcurrentJobs) {
+  std::mutex mutex;
+  std::set<std::string> active_devices;
+  bool collision = false;
+  auto task = [&](const ExecRequest& request) {
+    std::string device = request.env.at("HIP_VISIBLE_DEVICES");
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!active_devices.insert(device).second) collision = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      active_devices.erase(device);
+    }
+    return TaskOutcome{};
+  };
+  Options options;
+  options.jobs = 8;
+  options.env["HIP_VISIBLE_DEVICES"] = "{%}";
+  FunctionExecutor executor(task, 8);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 64; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("celer-sim {}", std::move(inputs));
+  EXPECT_EQ(summary.succeeded, 64u);
+  EXPECT_FALSE(collision) << "two concurrent jobs shared a GPU slot";
+}
+
+TEST(Engine, RetriesUntilSuccess) {
+  std::atomic<int> calls{0};
+  auto task = [&](const ExecRequest&) {
+    TaskOutcome outcome;
+    outcome.exit_code = calls.fetch_add(1) < 2 ? 1 : 0;  // fail twice
+    return outcome;
+  };
+  Options options;
+  options.retries = 3;
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("flaky {}", values({"x"}));
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_EQ(summary.results[0].attempts, 3u);
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(Engine, RetriesExhaustedReportsFailure) {
+  auto task = [](const ExecRequest&) {
+    TaskOutcome outcome;
+    outcome.exit_code = 7;
+    return outcome;
+  };
+  Options options;
+  options.retries = 2;
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("fail {}", values({"x"}));
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.results[0].status, JobStatus::kFailed);
+  EXPECT_EQ(summary.results[0].exit_code, 7);
+  EXPECT_EQ(summary.results[0].attempts, 2u);
+  EXPECT_EQ(summary.exit_status(), 1);
+}
+
+TEST(Engine, HaltSoonStopsNewJobs) {
+  auto task = [](const ExecRequest& request) {
+    TaskOutcome outcome;
+    outcome.exit_code = request.command.find("bad") != std::string::npos ? 1 : 0;
+    return outcome;
+  };
+  Options options;
+  options.jobs = 1;  // deterministic order
+  options.halt = HaltPolicy::parse("soon,fail=1");
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("run {}", values({"ok1", "bad", "ok2", "ok3"}));
+  EXPECT_TRUE(summary.halted);
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.skipped, 2u);
+  EXPECT_EQ(summary.results[2].status, JobStatus::kSkipped);
+}
+
+TEST(Engine, DryRunPrintsWithoutExecuting) {
+  std::atomic<int> calls{0};
+  auto task = [&](const ExecRequest&) {
+    calls.fetch_add(1);
+    return TaskOutcome{};
+  };
+  Options options;
+  options.dry_run = true;
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("echo {}", values({"a", "b"}));
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(summary.succeeded, 2u);
+  EXPECT_EQ(out.str(), "echo a\necho b\n");
+}
+
+TEST(Engine, KeepOrderOutput) {
+  // Job "a" sleeps; "b" finishes first; -k must still print a before b.
+  auto task = [](const ExecRequest& request) {
+    if (request.command.find(" a") != std::string::npos) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    TaskOutcome outcome;
+    outcome.stdout_data = request.command + "\n";
+    return outcome;
+  };
+  Options options;
+  options.jobs = 2;
+  options.output_mode = OutputMode::kKeepOrder;
+  FunctionExecutor executor(task, 2);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  engine.run("job {}", values({"a", "b"}));
+  EXPECT_EQ(out.str(), "job a\njob b\n");
+}
+
+TEST(Engine, DelaySpacesStarts) {
+  Options options;
+  options.jobs = 4;
+  options.delay_seconds = 0.03;
+  FunctionExecutor executor(echo_task, 4);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("x {}", values({"1", "2", "3"}));
+  ASSERT_EQ(summary.start_times.size(), 3u);
+  std::vector<double> starts = summary.start_times;
+  std::sort(starts.begin(), starts.end());
+  EXPECT_GE(starts[1] - starts[0], 0.025);
+  EXPECT_GE(starts[2] - starts[1], 0.025);
+}
+
+TEST(Engine, JoblogAndResume) {
+  std::string path = ::testing::TempDir() + "engine_joblog.tsv";
+  std::remove(path.c_str());
+  auto task = [](const ExecRequest& request) {
+    TaskOutcome outcome;
+    outcome.exit_code = request.command.find("failme") != std::string::npos ? 1 : 0;
+    return outcome;
+  };
+  Options options;
+  options.joblog_path = path;
+  {
+    FunctionExecutor executor(task, 1);
+    std::ostringstream out, err;
+    Engine engine(options, executor, out, err);
+    engine.run("run {}", values({"a", "failme", "c"}));
+  }
+  EXPECT_EQ(read_joblog(path).size(), 3u);
+
+  // --resume-failed re-runs only the failure.
+  std::atomic<int> calls{0};
+  auto counting = [&](const ExecRequest&) {
+    calls.fetch_add(1);
+    return TaskOutcome{};
+  };
+  options.resume_failed = true;
+  FunctionExecutor executor(counting, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("run {}", values({"a", "failme", "c"}));
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(summary.skipped, 2u);
+  EXPECT_EQ(summary.succeeded, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Engine, MaxArgsPacking) {
+  Options options;
+  options.max_args = 2;
+  FunctionExecutor executor(echo_task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("rm {}", values({"a", "b", "c"}));
+  ASSERT_EQ(summary.results.size(), 2u);
+  EXPECT_EQ(summary.results[0].command, "rm a b");
+  EXPECT_EQ(summary.results[1].command, "rm c");
+}
+
+TEST(Engine, ResultCallbackFires) {
+  Options options;
+  FunctionExecutor executor(echo_task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<std::uint64_t> seqs;
+  engine.set_result_callback([&](const JobResult& result) { seqs.push_back(result.seq); });
+  engine.run("e {}", values({"a", "b"}));
+  EXPECT_EQ(seqs.size(), 2u);
+}
+
+TEST(Engine, TaskExceptionBecomesExitCode70) {
+  auto task = [](const ExecRequest&) -> TaskOutcome {
+    throw std::runtime_error("boom");
+  };
+  Options options;
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("t {}", values({"x"}));
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.results[0].exit_code, 70);
+  EXPECT_NE(err.str().find("boom"), std::string::npos);
+}
+
+TEST(Engine, EmptyInputListIsANoop) {
+  Options options;
+  FunctionExecutor executor(echo_task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("e {}", {});
+  EXPECT_EQ(summary.results.size(), 0u);
+  EXPECT_EQ(summary.succeeded, 0u);
+}
+
+TEST(Engine, ColsepSplitsValuesIntoColumns) {
+  Options options;
+  options.colsep = ",";
+  FunctionExecutor executor(echo_task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary =
+      engine.run("cp {1} {2}", values({"src1,dst1", "src2,dst2"}));
+  ASSERT_EQ(summary.results.size(), 2u);
+  EXPECT_EQ(summary.results[0].command, "cp src1 dst1");
+  EXPECT_EQ(summary.results[1].command, "cp src2 dst2");
+}
+
+TEST(Engine, ColsepHandlesEmptyAndMissingColumns) {
+  Options options;
+  options.colsep = "\t";
+  options.quote_args = false;  // keep the composed commands readable
+  FunctionExecutor executor(echo_task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("x {1}:{2}", values({"a\t", "b\tc"}));
+  EXPECT_EQ(summary.results[0].command, "x a:");
+  EXPECT_EQ(summary.results[1].command, "x b:c");
+  // A row with too few columns for {2} fails loudly at compose time.
+  EXPECT_THROW(engine.run("x {3}", values({"only\ttwo"})), util::ConfigError);
+}
+
+TEST(Engine, TrimStripsValues) {
+  Options options;
+  options.trim_mode = "lr";
+  FunctionExecutor executor(echo_task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("v={}", values({"  padded  ", "\ttabbed\t"}));
+  EXPECT_EQ(summary.results[0].command, "v=padded");
+  EXPECT_EQ(summary.results[1].command, "v=tabbed");
+
+  Options left_only;
+  left_only.trim_mode = "l";
+  Engine engine_left(left_only, executor, out, err);
+  RunSummary left = engine_left.run("v={}", values({"  both  "}));
+  EXPECT_EQ(left.results[0].command, "v='both  '");  // right side kept, quoted
+}
+
+TEST(Engine, TagStringTemplateExpands) {
+  auto task = [](const ExecRequest& request) {
+    TaskOutcome outcome;
+    outcome.stdout_data = "line\n";
+    (void)request;
+    return outcome;
+  };
+  Options options;
+  options.jobs = 1;
+  options.tag_template = "job{#}/{}";
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  engine.run("cmd {}", values({"a", "b"}));
+  EXPECT_EQ(out.str(), "job1/a\tline\njob2/b\tline\n");
+}
+
+TEST(Engine, ShuffleRunsAllJobsOnce) {
+  std::vector<std::string> run_order;
+  std::mutex mutex;
+  auto task = [&](const ExecRequest& request) {
+    std::lock_guard<std::mutex> lock(mutex);
+    run_order.push_back(request.command);
+    return TaskOutcome{};
+  };
+  Options options;
+  options.jobs = 1;
+  options.shuffle = true;
+  options.shuffle_seed = 99;
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 20; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("j {}", std::move(inputs));
+  EXPECT_EQ(summary.succeeded, 20u);
+  ASSERT_EQ(run_order.size(), 20u);
+  // Shuffled: not the identity order...
+  std::vector<std::string> sorted = run_order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NE(run_order.front() + run_order.back(), "j 0j 19");
+  // ...but every job ran exactly once.
+  std::vector<std::string> expected;
+  for (int i = 0; i < 20; ++i) expected.push_back("j " + std::to_string(i));
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(Engine, ShuffleKeepsKeepOrderOutputStable) {
+  auto task = [](const ExecRequest& request) {
+    TaskOutcome outcome;
+    outcome.stdout_data = request.command + "\n";
+    return outcome;
+  };
+  Options options;
+  options.jobs = 1;
+  options.shuffle = true;
+  options.output_mode = OutputMode::kKeepOrder;
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  engine.run("v {}", values({"1", "2", "3", "4"}));
+  EXPECT_EQ(out.str(), "v 1\nv 2\nv 3\nv 4\n");  // -k wins over --shuf
+}
+
+TEST(Engine, ResultsDirSavesPerJobTree) {
+  std::string dir = ::testing::TempDir() + "parcl_results_" +
+                    std::to_string(::getpid());
+  auto task = [](const ExecRequest& request) {
+    TaskOutcome outcome;
+    outcome.exit_code = request.command.find("bad") != std::string::npos ? 3 : 0;
+    outcome.stdout_data = "out-of-" + request.command + "\n";
+    outcome.stderr_data = "err\n";
+    return outcome;
+  };
+  Options options;
+  options.results_dir = dir;
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("run {}", values({"good", "bad"}));
+  EXPECT_EQ(summary.failed, 1u);
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp(dir + "/1/stdout"), "out-of-run good\n");
+  EXPECT_EQ(slurp(dir + "/2/stderr"), "err\n");
+  std::string meta = slurp(dir + "/2/meta");
+  EXPECT_NE(meta.find("exitval\t3"), std::string::npos);
+  EXPECT_NE(meta.find("status\tfailed"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Engine, DispatchRateIsMeasured) {
+  Options options;
+  options.jobs = 2;
+  FunctionExecutor executor(echo_task, 2);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 50; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("e {}", std::move(inputs));
+  EXPECT_GT(summary.dispatch_rate(), 0.0);
+  EXPECT_EQ(summary.start_times.size(), 50u);
+}
+
+}  // namespace
+}  // namespace parcl::core

@@ -1,0 +1,91 @@
+#include "core/halt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace parcl::core {
+namespace {
+
+TEST(HaltParse, Never) {
+  EXPECT_EQ(HaltPolicy::parse("never").when, HaltWhen::kNever);
+  EXPECT_EQ(HaltPolicy::parse("").when, HaltWhen::kNever);
+  EXPECT_EQ(HaltPolicy::parse("  never ").when, HaltWhen::kNever);
+}
+
+TEST(HaltParse, NowFail) {
+  HaltPolicy policy = HaltPolicy::parse("now,fail=1");
+  EXPECT_EQ(policy.when, HaltWhen::kNow);
+  EXPECT_EQ(policy.on, HaltOn::kFail);
+  EXPECT_EQ(policy.count, 1u);
+  EXPECT_DOUBLE_EQ(policy.percent, 0.0);
+}
+
+TEST(HaltParse, SoonSuccessCount) {
+  HaltPolicy policy = HaltPolicy::parse("soon,success=3");
+  EXPECT_EQ(policy.when, HaltWhen::kSoon);
+  EXPECT_EQ(policy.on, HaltOn::kSuccess);
+  EXPECT_EQ(policy.count, 3u);
+}
+
+TEST(HaltParse, Percentage) {
+  HaltPolicy policy = HaltPolicy::parse("now,fail=30%");
+  EXPECT_DOUBLE_EQ(policy.percent, 30.0);
+}
+
+TEST(HaltParse, DoneThreshold) {
+  HaltPolicy policy = HaltPolicy::parse("soon,done=100");
+  EXPECT_EQ(policy.on, HaltOn::kDone);
+  EXPECT_EQ(policy.count, 100u);
+}
+
+TEST(HaltParse, RejectsBadGrammar) {
+  EXPECT_THROW(HaltPolicy::parse("sometimes,fail=1"), util::ParseError);
+  EXPECT_THROW(HaltPolicy::parse("now"), util::ParseError);
+  EXPECT_THROW(HaltPolicy::parse("now,fail"), util::ParseError);
+  EXPECT_THROW(HaltPolicy::parse("now,crash=1"), util::ParseError);
+  EXPECT_THROW(HaltPolicy::parse("now,fail=0"), util::ParseError);
+  EXPECT_THROW(HaltPolicy::parse("now,fail=-2"), util::ParseError);
+  EXPECT_THROW(HaltPolicy::parse("now,fail=150%"), util::ParseError);
+  EXPECT_THROW(HaltPolicy::parse("now,fail=x"), util::ParseError);
+}
+
+TEST(HaltTrigger, NeverNeverTriggers) {
+  HaltPolicy policy;
+  EXPECT_FALSE(policy.triggered(1000, 0, 1000, 1000));
+}
+
+TEST(HaltTrigger, CountThresholds) {
+  HaltPolicy policy = HaltPolicy::parse("now,fail=3");
+  EXPECT_FALSE(policy.triggered(2, 10, 12, 100));
+  EXPECT_TRUE(policy.triggered(3, 10, 13, 100));
+  EXPECT_TRUE(policy.triggered(4, 10, 14, 100));
+}
+
+TEST(HaltTrigger, SuccessCount) {
+  HaltPolicy policy = HaltPolicy::parse("soon,success=2");
+  EXPECT_FALSE(policy.triggered(5, 1, 6, 100));
+  EXPECT_TRUE(policy.triggered(5, 2, 7, 100));
+}
+
+TEST(HaltTrigger, PercentOfTotal) {
+  HaltPolicy policy = HaltPolicy::parse("now,fail=25%");
+  EXPECT_FALSE(policy.triggered(24, 0, 24, 100));
+  EXPECT_TRUE(policy.triggered(25, 0, 25, 100));
+  EXPECT_FALSE(policy.triggered(1, 0, 1, 0));  // no total: undefined, no halt
+}
+
+TEST(HaltRoundTrip, ToStringParsesBack) {
+  for (const char* spec : {"never", "now,fail=1", "soon,success=3", "now,done=10",
+                           "now,fail=30%"}) {
+    HaltPolicy policy = HaltPolicy::parse(spec);
+    HaltPolicy reparsed = HaltPolicy::parse(policy.to_string());
+    EXPECT_EQ(reparsed.when, policy.when) << spec;
+    EXPECT_EQ(reparsed.on, policy.on) << spec;
+    EXPECT_EQ(reparsed.count, policy.count) << spec;
+    EXPECT_DOUBLE_EQ(reparsed.percent, policy.percent) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace parcl::core

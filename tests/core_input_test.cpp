@@ -1,0 +1,148 @@
+#include "core/input.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace parcl::core {
+namespace {
+
+InputSource src(std::vector<std::string> values) {
+  return InputSource::from_values(std::move(values));
+}
+
+TEST(InputSource, FromStreamSplitsLines) {
+  std::istringstream in("a\nb\nc\n");
+  InputSource source = InputSource::from_stream(in);
+  EXPECT_EQ(source.values, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(InputSource, FromStreamNulSeparated) {
+  std::istringstream in(std::string("a\0b c\0", 6));
+  InputSource source = InputSource::from_stream(in, '\0');
+  EXPECT_EQ(source.values, (std::vector<std::string>{"a", "b c"}));
+}
+
+TEST(InputSource, FromMissingFileThrows) {
+  EXPECT_THROW(InputSource::from_file("/nonexistent/definitely/missing"),
+               util::SystemError);
+}
+
+TEST(ExpandRange, NumericRanges) {
+  EXPECT_EQ(InputSource::expand_range("{1..4}"),
+            (std::vector<std::string>{"1", "2", "3", "4"}));
+  EXPECT_EQ(InputSource::expand_range("{0..2}"),
+            (std::vector<std::string>{"0", "1", "2"}));
+  EXPECT_EQ(InputSource::expand_range("{3..1}"),
+            (std::vector<std::string>{"3", "2", "1"}));
+}
+
+TEST(ExpandRange, NonRangesAreLiteral) {
+  EXPECT_EQ(InputSource::expand_range("abc"), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(InputSource::expand_range("{a..b}"), (std::vector<std::string>{"{a..b}"}));
+  EXPECT_EQ(InputSource::expand_range("{1..}"), (std::vector<std::string>{"{1..}"}));
+  EXPECT_EQ(InputSource::expand_range("{}"), (std::vector<std::string>{"{}"}));
+}
+
+TEST(Cartesian, SingleSource) {
+  auto result = combine_cartesian({src({"a", "b"})});
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], (ArgVector{"a"}));
+  EXPECT_EQ(result[1], (ArgVector{"b"}));
+}
+
+TEST(Cartesian, ParallelOrderFirstSourceSlowest) {
+  // `parallel echo ::: a b ::: 1 2` -> a 1, a 2, b 1, b 2.
+  auto result = combine_cartesian({src({"a", "b"}), src({"1", "2"})});
+  ASSERT_EQ(result.size(), 4u);
+  EXPECT_EQ(result[0], (ArgVector{"a", "1"}));
+  EXPECT_EQ(result[1], (ArgVector{"a", "2"}));
+  EXPECT_EQ(result[2], (ArgVector{"b", "1"}));
+  EXPECT_EQ(result[3], (ArgVector{"b", "2"}));
+}
+
+TEST(Cartesian, PaperDarshanExample) {
+  // parallel python3 darshan_arch.py ::: {1..12} ::: {0..2} -> 36 jobs.
+  InputSource months = src(InputSource::expand_range("{1..12}"));
+  InputSource apps = src(InputSource::expand_range("{0..2}"));
+  auto result = combine_cartesian({months, apps});
+  EXPECT_EQ(result.size(), 36u);
+  EXPECT_EQ(result.front(), (ArgVector{"1", "0"}));
+  EXPECT_EQ(result.back(), (ArgVector{"12", "2"}));
+}
+
+TEST(Cartesian, EmptySourceYieldsNoJobs) {
+  EXPECT_TRUE(combine_cartesian({src({"a"}), src({})}).empty());
+  EXPECT_TRUE(combine_cartesian({}).empty());
+}
+
+TEST(Linked, ZipsAndRecyclesShorter) {
+  auto result = combine_linked({src({"a", "b", "c"}), src({"1", "2"})});
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0], (ArgVector{"a", "1"}));
+  EXPECT_EQ(result[1], (ArgVector{"b", "2"}));
+  EXPECT_EQ(result[2], (ArgVector{"c", "1"}));  // recycled
+}
+
+TEST(Linked, EmptySourceYieldsNothing) {
+  EXPECT_TRUE(combine_linked({src({"a"}), src({})}).empty());
+}
+
+TEST(PackMaxArgs, GroupsWithShortTail) {
+  std::vector<ArgVector> inputs{{"1"}, {"2"}, {"3"}, {"4"}, {"5"}};
+  auto packed = pack_max_args(inputs, 2);
+  ASSERT_EQ(packed.size(), 3u);
+  EXPECT_EQ(packed[0], (ArgVector{"1", "2"}));
+  EXPECT_EQ(packed[2], (ArgVector{"5"}));
+}
+
+TEST(PackMaxArgs, OneIsIdentity) {
+  std::vector<ArgVector> inputs{{"1"}, {"2"}};
+  EXPECT_EQ(pack_max_args(inputs, 1), inputs);
+  EXPECT_EQ(pack_max_args(inputs, 0), inputs);
+}
+
+TEST(PackMaxArgs, RejectsMultiSourceInputs) {
+  std::vector<ArgVector> inputs{{"a", "b"}};
+  EXPECT_THROW(pack_max_args(inputs, 2), util::ConfigError);
+}
+
+TEST(PackMaxChars, RespectsBound) {
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 10; ++i) inputs.push_back({"file" + std::to_string(i)});
+  // base 10 chars; each arg costs 6 chars ("fileN" + separator).
+  auto packed = pack_max_chars(inputs, 10, 28);
+  ASSERT_EQ(packed.size(), 4u);  // 3+3+3+1
+  EXPECT_EQ(packed[0].size(), 3u);
+  EXPECT_EQ(packed[3].size(), 1u);
+}
+
+TEST(PackMaxChars, AlwaysPacksAtLeastOne) {
+  std::vector<ArgVector> inputs{{"averyveryverylongargument"}};
+  auto packed = pack_max_chars(inputs, 100, 10);  // bound smaller than base
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0].size(), 1u);
+}
+
+// Property: packing preserves order and multiset of arguments.
+class PackSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackSweep, FlatteningRestoresInput) {
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 23; ++i) inputs.push_back({"v" + std::to_string(i)});
+  auto packed = pack_max_args(inputs, GetParam());
+  std::vector<std::string> flat;
+  for (const auto& group : packed) {
+    for (const auto& value : group) flat.push_back(value);
+  }
+  ASSERT_EQ(flat.size(), inputs.size());
+  for (std::size_t i = 0; i < flat.size(); ++i) EXPECT_EQ(flat[i], inputs[i][0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, PackSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 23u, 100u));
+
+}  // namespace
+}  // namespace parcl::core

@@ -1,0 +1,64 @@
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace parcl::core {
+namespace {
+
+TEST(Options, DefaultsAreValid) {
+  Options options;
+  EXPECT_NO_THROW(options.validate());
+  EXPECT_EQ(options.effective_jobs(), 1u);
+  EXPECT_EQ(options.output_mode, OutputMode::kGroup);
+  EXPECT_TRUE(options.use_shell);
+  EXPECT_TRUE(options.quote_args);
+}
+
+TEST(Options, JobsZeroMeansHardwareConcurrency) {
+  Options options;
+  options.jobs = 0;
+  EXPECT_GE(options.effective_jobs(), 1u);
+}
+
+TEST(Options, RejectsZeroRetries) {
+  Options options;
+  options.retries = 0;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+}
+
+TEST(Options, RejectsNegativeTimes) {
+  Options options;
+  options.timeout_seconds = -1.0;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+  options.timeout_seconds = 0.0;
+  options.delay_seconds = -0.5;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+}
+
+TEST(Options, ResumeNeedsJoblog) {
+  Options options;
+  options.resume = true;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+  options.joblog_path = "/tmp/x";
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(Options, ResumeFlagsAreExclusive) {
+  Options options;
+  options.joblog_path = "/tmp/x";
+  options.resume = true;
+  options.resume_failed = true;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+}
+
+TEST(Options, XargsNeedsMaxChars) {
+  Options options;
+  options.xargs = true;
+  options.max_chars = 0;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace parcl::core

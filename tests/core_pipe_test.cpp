@@ -1,0 +1,165 @@
+#include "core/pipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "exec/function_executor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace parcl::core {
+namespace {
+
+std::vector<std::string> blocks_of(const std::string& text, std::size_t block_bytes,
+                                   char sep = '\n') {
+  std::istringstream in(text);
+  PipeOptions options;
+  options.block_bytes = block_bytes;
+  options.record_separator = sep;
+  return split_blocks(in, options);
+}
+
+TEST(SplitBlocks, SmallInputIsOneBlock) {
+  auto blocks = blocks_of("a\nb\nc\n", 1024);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], "a\nb\nc\n");
+}
+
+TEST(SplitBlocks, CutsOnRecordBoundaries) {
+  auto blocks = blocks_of("aa\nbb\ncc\ndd\n", 5);
+  // Target 5 bytes: "aa\nbb\n" would be 6, so the cut lands after "aa\nbb\n"?
+  // rfind('\n', 4) finds index 2 -> first block "aa\n".
+  ASSERT_GE(blocks.size(), 2u);
+  for (const auto& block : blocks) {
+    EXPECT_EQ(block.back(), '\n') << "block must end on a record boundary";
+  }
+}
+
+TEST(SplitBlocks, ConcatenationRestoresInput) {
+  std::string text;
+  util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    text += "line" + std::to_string(rng.uniform_int(0, 1 << 20)) + "\n";
+  }
+  for (std::size_t block : {16u, 100u, 1000u, 100000u}) {
+    auto blocks = blocks_of(text, block);
+    std::string reassembled;
+    for (const auto& piece : blocks) reassembled += piece;
+    EXPECT_EQ(reassembled, text) << "block=" << block;
+  }
+}
+
+TEST(SplitBlocks, OversizedRecordTravelsWhole) {
+  std::string big(1000, 'x');
+  auto blocks = blocks_of("a\n" + big + "\nb\n", 10);
+  // The 1000-byte record must appear intact in exactly one block.
+  int containing = 0;
+  for (const auto& block : blocks) {
+    if (block.find(big) != std::string::npos) ++containing;
+  }
+  EXPECT_EQ(containing, 1);
+}
+
+TEST(SplitBlocks, MissingTrailingSeparator) {
+  auto blocks = blocks_of("a\nb", 1024);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], "a\nb");
+}
+
+TEST(SplitBlocks, EmptyInputYieldsNoBlocks) {
+  EXPECT_TRUE(blocks_of("", 1024).empty());
+}
+
+TEST(SplitBlocks, NulSeparatedRecords) {
+  std::string text("r1\0r2\0r3\0", 9);
+  auto blocks = blocks_of(text, 4, '\0');
+  ASSERT_GE(blocks.size(), 2u);
+  std::string reassembled;
+  for (const auto& piece : blocks) reassembled += piece;
+  EXPECT_EQ(reassembled, text);
+}
+
+TEST(SplitBlocks, RejectsZeroBlock) {
+  std::istringstream in("x");
+  PipeOptions options;
+  options.block_bytes = 0;
+  EXPECT_THROW(split_blocks(in, options), util::ConfigError);
+}
+
+TEST(ParseBlockSize, SuffixesAndErrors) {
+  EXPECT_EQ(parse_block_size("512"), 512u);
+  EXPECT_EQ(parse_block_size("4k"), 4096u);
+  EXPECT_EQ(parse_block_size("4K"), 4096u);
+  EXPECT_EQ(parse_block_size("2m"), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_block_size("1G"), 1024u * 1024 * 1024);
+  EXPECT_THROW(parse_block_size(""), util::ParseError);
+  EXPECT_THROW(parse_block_size("x"), util::ParseError);
+  EXPECT_THROW(parse_block_size("0"), util::ParseError);
+  EXPECT_THROW(parse_block_size("-4k"), util::ParseError);
+}
+
+TEST(EnginePipe, BlocksArriveAsStdin) {
+  std::vector<std::string> seen;
+  std::mutex mutex;
+  auto task = [&](const ExecRequest& request) {
+    EXPECT_TRUE(request.has_stdin);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.push_back(request.stdin_data);
+    }
+    exec::TaskOutcome outcome;
+    outcome.stdout_data = std::to_string(request.stdin_data.size()) + "\n";
+    return outcome;
+  };
+  Options options;
+  options.jobs = 2;
+  exec::FunctionExecutor executor(task, 2);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run_pipe("wc -c", {"a\nb\n", "ccc\n"});
+  EXPECT_EQ(summary.succeeded, 2u);
+  ASSERT_EQ(seen.size(), 2u);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen[0], "a\nb\n");
+  EXPECT_EQ(seen[1], "ccc\n");
+}
+
+TEST(EnginePipe, CommandIsNotGivenArguments) {
+  std::string observed_command;
+  auto task = [&](const ExecRequest& request) {
+    observed_command = request.command;
+    return exec::TaskOutcome{};
+  };
+  Options options;
+  exec::FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  engine.run_pipe("sort -u", {"b\na\n"});
+  EXPECT_EQ(observed_command, "sort -u");  // no appended {}
+}
+
+TEST(EnginePipe, SeqStillExpands) {
+  std::vector<std::string> commands;
+  std::mutex mutex;
+  auto task = [&](const ExecRequest& request) {
+    std::lock_guard<std::mutex> lock(mutex);
+    commands.push_back(request.command);
+    return exec::TaskOutcome{};
+  };
+  Options options;
+  options.jobs = 1;
+  exec::FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  engine.run_pipe("proc --chunk {#}", {"x\n", "y\n"});
+  ASSERT_EQ(commands.size(), 2u);
+  EXPECT_EQ(commands[0], "proc --chunk 1");
+  EXPECT_EQ(commands[1], "proc --chunk 2");
+}
+
+}  // namespace
+}  // namespace parcl::core

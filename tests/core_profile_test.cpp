@@ -1,0 +1,122 @@
+#include "core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace parcl::core {
+namespace {
+
+TEST(Profile, EmptyInput) {
+  ParallelProfile profile = profile_intervals({});
+  EXPECT_EQ(profile.jobs, 0u);
+  EXPECT_DOUBLE_EQ(profile.span, 0.0);
+  EXPECT_EQ(profile.render(), "(empty profile)\n");
+}
+
+TEST(Profile, SingleJob) {
+  ParallelProfile profile = profile_intervals({{1.0, 5.0}});
+  EXPECT_EQ(profile.jobs, 1u);
+  EXPECT_DOUBLE_EQ(profile.span, 4.0);
+  EXPECT_DOUBLE_EQ(profile.total_busy, 4.0);
+  EXPECT_EQ(profile.peak_concurrency, 1u);
+  EXPECT_DOUBLE_EQ(profile.average_concurrency, 1.0);
+  EXPECT_DOUBLE_EQ(profile.serial_fraction, 1.0);
+}
+
+TEST(Profile, TwoOverlappingJobs) {
+  // [0,4) and [2,6): overlap in [2,4).
+  ParallelProfile profile = profile_intervals({{0.0, 4.0}, {2.0, 6.0}});
+  EXPECT_DOUBLE_EQ(profile.span, 6.0);
+  EXPECT_DOUBLE_EQ(profile.total_busy, 8.0);
+  EXPECT_EQ(profile.peak_concurrency, 2u);
+  EXPECT_NEAR(profile.average_concurrency, 8.0 / 6.0, 1e-12);
+  // Serial in [0,2) and [4,6): 4 of 6 seconds.
+  EXPECT_NEAR(profile.serial_fraction, 4.0 / 6.0, 1e-12);
+}
+
+TEST(Profile, PerfectlyParallelBlock) {
+  std::vector<Interval> intervals;
+  for (int i = 0; i < 8; ++i) intervals.push_back({10.0, 20.0});
+  ParallelProfile profile = profile_intervals(intervals);
+  EXPECT_EQ(profile.peak_concurrency, 8u);
+  EXPECT_DOUBLE_EQ(profile.average_concurrency, 8.0);
+  EXPECT_DOUBLE_EQ(profile.serial_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(profile.utilization(8), 1.0);
+  EXPECT_DOUBLE_EQ(profile.utilization(16), 0.5);
+}
+
+TEST(Profile, BackToBackIntervalsNeverOverlap) {
+  ParallelProfile profile = profile_intervals({{0.0, 1.0}, {1.0, 2.0}, {2.0, 3.0}});
+  EXPECT_EQ(profile.peak_concurrency, 1u);
+  EXPECT_DOUBLE_EQ(profile.serial_fraction, 1.0);
+}
+
+TEST(Profile, RejectsInvertedInterval) {
+  EXPECT_THROW(profile_intervals({{5.0, 1.0}}), util::ConfigError);
+}
+
+TEST(Profile, FromRunSummarySkipsSkipped) {
+  RunSummary summary;
+  summary.results.resize(3);
+  summary.results[0].seq = 1;
+  summary.results[0].status = JobStatus::kSuccess;
+  summary.results[0].start_time = 0.0;
+  summary.results[0].end_time = 2.0;
+  summary.results[1].seq = 2;
+  summary.results[1].status = JobStatus::kSkipped;
+  summary.results[2].seq = 3;
+  summary.results[2].status = JobStatus::kFailed;
+  summary.results[2].start_time = 1.0;
+  summary.results[2].end_time = 3.0;
+  ParallelProfile profile = profile_run(summary);
+  EXPECT_EQ(profile.jobs, 2u);  // skipped job excluded
+  EXPECT_EQ(profile.peak_concurrency, 2u);
+}
+
+TEST(Profile, FromJoblogEntries) {
+  std::vector<JoblogEntry> entries(2);
+  entries[0].start_time = 100.0;
+  entries[0].runtime = 10.0;
+  entries[1].start_time = 105.0;
+  entries[1].runtime = 10.0;
+  ParallelProfile profile = profile_joblog(entries);
+  EXPECT_DOUBLE_EQ(profile.span, 15.0);
+  EXPECT_EQ(profile.peak_concurrency, 2u);
+}
+
+TEST(Profile, RenderShowsBars) {
+  ParallelProfile profile = profile_intervals({{0.0, 10.0}, {0.0, 5.0}});
+  std::string rendered = profile.render(10, 20);
+  EXPECT_NE(rendered.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 10);
+}
+
+// Property: average concurrency is bounded by peak, and utilization at peak
+// slots is <= 1, for random interval sets.
+class ProfileSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileSweep, Bounds) {
+  util::Rng rng(GetParam());
+  std::vector<Interval> intervals;
+  for (int i = 0; i < 64; ++i) {
+    double start = rng.uniform(0.0, 100.0);
+    intervals.push_back({start, start + rng.uniform(0.1, 20.0)});
+  }
+  ParallelProfile profile = profile_intervals(intervals);
+  EXPECT_LE(profile.average_concurrency,
+            static_cast<double>(profile.peak_concurrency) + 1e-12);
+  EXPECT_LE(profile.utilization(profile.peak_concurrency), 1.0 + 1e-12);
+  EXPECT_GE(profile.serial_fraction, 0.0);
+  EXPECT_LE(profile.serial_fraction, 1.0);
+  EXPECT_EQ(profile.levels.back(), 0u);  // everything ends
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 31337u));
+
+}  // namespace
+}  // namespace parcl::core

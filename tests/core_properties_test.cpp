@@ -1,0 +1,158 @@
+// Cross-cutting property tests on the core combinators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "core/input.hpp"
+#include "core/replacement.hpp"
+#include "exec/function_executor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace parcl::core {
+namespace {
+
+InputSource src(std::vector<std::string> values) {
+  return InputSource::from_values(std::move(values));
+}
+
+// Property: |cartesian(S1..Sk)| = prod |Si|, every tuple unique, and the
+// j-th component always comes from source j.
+class CartesianSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CartesianSweep, CountUniquenessAndMembership) {
+  util::Rng rng(GetParam());
+  std::vector<InputSource> sources;
+  std::size_t expected = 1;
+  std::size_t n_sources = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    std::size_t count = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    std::vector<std::string> values;
+    for (std::size_t v = 0; v < count; ++v) {
+      values.push_back("s" + std::to_string(s) + "v" + std::to_string(v));
+    }
+    expected *= count;
+    sources.push_back(src(values));
+  }
+  auto combined = combine_cartesian(sources);
+  EXPECT_EQ(combined.size(), expected);
+
+  std::set<std::vector<std::string>> unique(combined.begin(), combined.end());
+  EXPECT_EQ(unique.size(), combined.size());
+
+  for (const auto& tuple : combined) {
+    ASSERT_EQ(tuple.size(), sources.size());
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const auto& pool = sources[s].values;
+      EXPECT_NE(std::find(pool.begin(), pool.end(), tuple[s]), pool.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CartesianSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// Property: linked combination has length max|Si| and component j cycles
+// through source j in order.
+TEST(LinkedProperty, ComponentsCycleInOrder) {
+  auto combined = combine_linked({src({"a", "b"}), src({"1", "2", "3", "4", "5"})});
+  ASSERT_EQ(combined.size(), 5u);
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    EXPECT_EQ(combined[i][0], i % 2 == 0 ? "a" : "b");
+    EXPECT_EQ(combined[i][1], std::to_string(i + 1));
+  }
+}
+
+// Property: for any template made only of supported placeholders, expansion
+// with quoting never lets an unquoted metacharacter from a value through.
+TEST(QuoteSafety, MetacharactersNeverEscape) {
+  util::Rng rng(7);
+  const std::string hostile_chars = ";|&$`<>(){}*?!# '\"\\\n\t";
+  CommandTemplate tmpl = CommandTemplate::parse("cmd {} {/} {1.}");
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string value;
+    std::size_t length = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    for (std::size_t c = 0; c < length; ++c) {
+      value += hostile_chars[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(hostile_chars.size()) - 1))];
+    }
+    std::string expanded = tmpl.expand({value}, CommandTemplate::Context{1, 1}, true);
+    // The only unquoted shell-significant bytes must come from the template
+    // itself ("cmd" + spaces): strip quoted regions and check.
+    bool in_quote = false;
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+      char c = expanded[i];
+      if (c == '\'') {
+        in_quote = !in_quote;
+        continue;
+      }
+      if (in_quote) continue;
+      if (c == '\\') {  // escaped quote sequence '\'' outside quotes
+        ++i;
+        continue;
+      }
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == ' ' ||
+                  c == '.' || c == '/' || c == '_' || c == '-')
+          << "unquoted '" << c << "' in: " << expanded;
+    }
+  }
+}
+
+// Property: retries never exceed the configured bound and attempts are
+// recorded accurately for always-failing jobs.
+class RetrySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RetrySweep, AttemptsBounded) {
+  std::atomic<int> calls{0};
+  auto task = [&calls](const ExecRequest&) {
+    calls.fetch_add(1);
+    exec::TaskOutcome outcome;
+    outcome.exit_code = 1;
+    return outcome;
+  };
+  Options options;
+  options.retries = GetParam();
+  exec::FunctionExecutor executor(task, 2);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("f {}", {{"a"}, {"b"}, {"c"}});
+  EXPECT_EQ(summary.failed, 3u);
+  EXPECT_EQ(calls.load(), static_cast<int>(3 * GetParam()));
+  for (const auto& result : summary.results) {
+    EXPECT_EQ(result.attempts, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RetrySweep, ::testing::Values(1u, 2u, 3u, 5u));
+
+// Property: pipe blocks + retries interact correctly — a flaky pipe job
+// re-runs with the same stdin.
+TEST(PipeRetry, StdinIsStableAcrossAttempts) {
+  std::vector<std::string> seen;
+  std::mutex mutex;
+  std::atomic<int> fails_left{2};
+  auto task = [&](const ExecRequest& request) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.push_back(request.stdin_data);
+    }
+    exec::TaskOutcome outcome;
+    outcome.exit_code = fails_left.fetch_sub(1) > 0 ? 1 : 0;
+    return outcome;
+  };
+  Options options;
+  options.retries = 3;
+  exec::FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run_pipe("proc", {"the-block\n"});
+  EXPECT_EQ(summary.succeeded, 1u);
+  ASSERT_EQ(seen.size(), 3u);
+  for (const auto& block : seen) EXPECT_EQ(block, "the-block\n");
+}
+
+}  // namespace
+}  // namespace parcl::core

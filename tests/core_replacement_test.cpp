@@ -1,0 +1,135 @@
+#include "core/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace parcl::core {
+namespace {
+
+using Context = CommandTemplate::Context;
+
+std::string expand1(const std::string& spec, const std::string& arg, bool quote = false,
+                    std::size_t seq = 1, std::size_t slot = 1) {
+  return CommandTemplate::parse(spec).expand({arg}, Context{seq, slot}, quote);
+}
+
+TEST(Transforms, MatchGnuParallelSemantics) {
+  EXPECT_EQ(apply_transform("dir/sub/file.tar.gz", Transform::kNone), "dir/sub/file.tar.gz");
+  EXPECT_EQ(apply_transform("dir/sub/file.tar.gz", Transform::kNoExtension), "dir/sub/file.tar");
+  EXPECT_EQ(apply_transform("dir/sub/file.tar.gz", Transform::kBasename), "file.tar.gz");
+  EXPECT_EQ(apply_transform("dir/sub/file.tar.gz", Transform::kDirname), "dir/sub");
+  EXPECT_EQ(apply_transform("dir/sub/file.tar.gz", Transform::kBasenameNoExt), "file.tar");
+}
+
+TEST(Expand, BasicPlaceholder) {
+  EXPECT_EQ(expand1("echo {}", "hello"), "echo hello");
+  EXPECT_EQ(expand1("convert {} out/{/.}.png", "in/img.jpg"),
+            "convert in/img.jpg out/img.png");
+}
+
+TEST(Expand, AllTransformVariants) {
+  EXPECT_EQ(expand1("{.}", "a/b.txt"), "a/b");
+  EXPECT_EQ(expand1("{/}", "a/b.txt"), "b.txt");
+  EXPECT_EQ(expand1("{//}", "a/b.txt"), "a");
+  EXPECT_EQ(expand1("{/.}", "a/b.txt"), "b");
+}
+
+TEST(Expand, SeqAndSlot) {
+  EXPECT_EQ(expand1("task {#} on slot {%}", "x", false, 42, 7), "task 42 on slot 7");
+}
+
+TEST(Expand, GpuIsolationRecipe) {
+  // The paper's Celeritas line: HIP_VISIBLE_DEVICES from the slot number.
+  CommandTemplate tmpl = CommandTemplate::parse(
+      "HIP_VISIBLE_DEVICES=$(({%} - 1)) celer-sim {} > outdir/{}.out");
+  std::string cmd = tmpl.expand({"run1.inp.json"}, Context{1, 3}, false);
+  EXPECT_EQ(cmd,
+            "HIP_VISIBLE_DEVICES=$((3 - 1)) celer-sim run1.inp.json > "
+            "outdir/run1.inp.json.out");
+}
+
+TEST(Expand, PositionalArguments) {
+  CommandTemplate tmpl = CommandTemplate::parse("python3 darshan_arch.py {1} {2}");
+  EXPECT_EQ(tmpl.expand({"12", "0"}, Context{1, 1}, false), "python3 darshan_arch.py 12 0");
+}
+
+TEST(Expand, PositionalWithTransforms) {
+  CommandTemplate tmpl = CommandTemplate::parse("{2/.} {1//}");
+  EXPECT_EQ(tmpl.expand({"a/b.c", "d/e.f"}, Context{1, 1}, false), "e a");
+}
+
+TEST(Expand, PositionalOutOfRangeThrows) {
+  CommandTemplate tmpl = CommandTemplate::parse("echo {3}");
+  EXPECT_THROW(tmpl.expand({"a", "b"}, Context{1, 1}, false), util::ConfigError);
+}
+
+TEST(Expand, MultipleArgsJoin) {
+  CommandTemplate tmpl = CommandTemplate::parse("rm {}");
+  EXPECT_EQ(tmpl.expand({"a", "b c", "d"}, Context{1, 1}, true), "rm a 'b c' d");
+}
+
+TEST(Expand, QuotingProtectsMetacharacters) {
+  EXPECT_EQ(expand1("echo {}", "$(reboot)", true), "echo '$(reboot)'");
+  EXPECT_EQ(expand1("echo {}", "a;b", true), "echo 'a;b'");
+  EXPECT_EQ(expand1("echo {}", "safe.txt", true), "echo safe.txt");
+}
+
+TEST(Parse, UnknownBraceTextIsLiteral) {
+  // Shell constructs must survive: ${ts}, {a,b} brace expansion, awk blocks.
+  EXPECT_EQ(expand1("echo ${ts} {}", "x"), "echo ${ts} x");
+  EXPECT_EQ(expand1("awk '{print}' {}", "f"), "awk '{print}' f");
+  EXPECT_EQ(expand1("echo {abc}", "x"), "echo {abc}");  // arg unused without {}
+}
+
+TEST(Parse, UnclosedBraceIsLiteral) {
+  CommandTemplate tmpl = CommandTemplate::parse("echo { {}");
+  EXPECT_EQ(tmpl.expand({"v"}, Context{1, 1}, false), "echo { v");
+}
+
+TEST(Parse, ZeroIndexIsNotAPlaceholder) {
+  CommandTemplate tmpl = CommandTemplate::parse("echo {0}");
+  EXPECT_FALSE(tmpl.has_input_placeholder());
+}
+
+TEST(EnsureInputPlaceholder, AppendsWhenMissing) {
+  CommandTemplate tmpl = CommandTemplate::parse("gzip -9");
+  EXPECT_FALSE(tmpl.has_input_placeholder());
+  tmpl.ensure_input_placeholder();
+  EXPECT_TRUE(tmpl.has_input_placeholder());
+  EXPECT_EQ(tmpl.expand({"file.txt"}, Context{1, 1}, false), "gzip -9 file.txt");
+  EXPECT_EQ(tmpl.source(), "gzip -9 {}");
+}
+
+TEST(EnsureInputPlaceholder, NoopWhenPresent) {
+  CommandTemplate tmpl = CommandTemplate::parse("cat {}");
+  tmpl.ensure_input_placeholder();
+  EXPECT_EQ(tmpl.source(), "cat {}");
+}
+
+TEST(Expand, SeqSlotNotAffectedByQuoting) {
+  EXPECT_EQ(expand1("{#}:{%}", "ignored", true, 9, 2), "9:2");
+}
+
+// Property sweep: every transform of every adversarial path expands without
+// throwing and quoted expansion contains no unquoted metacharacters.
+class TransformSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(TransformSweep, ExpansionIsTotal) {
+  const auto& [placeholder, value] = GetParam();
+  CommandTemplate tmpl = CommandTemplate::parse("cmd " + placeholder);
+  std::string out = tmpl.expand({value}, Context{1, 1}, true);
+  EXPECT_EQ(out.rfind("cmd ", 0), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TransformSweep,
+    ::testing::Combine(
+        ::testing::Values("{}", "{.}", "{/}", "{//}", "{/.}", "{1}", "{1/.}"),
+        ::testing::Values("plain", "dir/file.ext", "/abs/path.tar.gz", ".hidden",
+                          "spaces in name.txt", "semi;colon", "", "just.dot.",
+                          "trailing/slash/")));
+
+}  // namespace
+}  // namespace parcl::core

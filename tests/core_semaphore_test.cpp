@@ -1,0 +1,123 @@
+#include "core/semaphore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace parcl::core {
+namespace {
+
+class SemaphoreTest : public ::testing::Test {
+ protected:
+  std::string unique_id() {
+    return "t" + std::to_string(getpid()) + "_" + std::to_string(counter_++);
+  }
+  void TearDown() override {
+    // Lock files are tiny and unlinked lazily; clean what we created.
+    for (const auto& path : cleanup_) std::remove(path.c_str());
+  }
+  void track(FileSemaphore& semaphore) {
+    for (std::size_t i = 0; i < semaphore.slots(); ++i) {
+      cleanup_.push_back(semaphore.slot_path(i));
+    }
+  }
+  static int counter_;
+  std::vector<std::string> cleanup_;
+};
+
+int SemaphoreTest::counter_ = 0;
+
+TEST_F(SemaphoreTest, AcquireUpToCapacity) {
+  FileSemaphore semaphore(unique_id(), 2, ::testing::TempDir());
+  track(semaphore);
+  SemaphoreSlot a = semaphore.try_acquire();
+  SemaphoreSlot b = semaphore.try_acquire();
+  SemaphoreSlot c = semaphore.try_acquire();
+  EXPECT_TRUE(a.held());
+  EXPECT_TRUE(b.held());
+  EXPECT_FALSE(c.held());
+  EXPECT_NE(a.slot_index(), b.slot_index());
+}
+
+TEST_F(SemaphoreTest, ReleaseViaDestructorFreesSlot) {
+  FileSemaphore semaphore(unique_id(), 1, ::testing::TempDir());
+  track(semaphore);
+  {
+    SemaphoreSlot held = semaphore.try_acquire();
+    ASSERT_TRUE(held.held());
+    EXPECT_FALSE(semaphore.try_acquire().held());
+  }
+  EXPECT_TRUE(semaphore.try_acquire().held());
+}
+
+TEST_F(SemaphoreTest, MoveTransfersOwnership) {
+  FileSemaphore semaphore(unique_id(), 1, ::testing::TempDir());
+  track(semaphore);
+  SemaphoreSlot a = semaphore.try_acquire();
+  ASSERT_TRUE(a.held());
+  SemaphoreSlot b = std::move(a);
+  EXPECT_TRUE(b.held());
+  EXPECT_FALSE(a.held());  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(semaphore.try_acquire().held());  // still exactly one holder
+}
+
+TEST_F(SemaphoreTest, AcquireTimesOut) {
+  FileSemaphore semaphore(unique_id(), 1, ::testing::TempDir());
+  track(semaphore);
+  SemaphoreSlot held = semaphore.try_acquire();
+  ASSERT_TRUE(held.held());
+  SemaphoreSlot waited = semaphore.acquire(0.05, 10);
+  EXPECT_FALSE(waited.held());
+}
+
+TEST_F(SemaphoreTest, AcquireBlocksUntilReleased) {
+  FileSemaphore semaphore(unique_id(), 1, ::testing::TempDir());
+  track(semaphore);
+  auto held = std::make_unique<SemaphoreSlot>(semaphore.try_acquire());
+  ASSERT_TRUE(held->held());
+  std::thread releaser([&held] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    held.reset();  // release
+  });
+  SemaphoreSlot next = semaphore.acquire(2.0, 5);
+  releaser.join();
+  EXPECT_TRUE(next.held());
+}
+
+TEST_F(SemaphoreTest, CrossProcessExclusion) {
+  std::string id = unique_id();
+  FileSemaphore semaphore(id, 1, ::testing::TempDir());
+  track(semaphore);
+  SemaphoreSlot held = semaphore.try_acquire();
+  ASSERT_TRUE(held.held());
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: must NOT obtain the slot while the parent holds it.
+    FileSemaphore child_view(id, 1, ::testing::TempDir());
+    SemaphoreSlot attempt = child_view.try_acquire();
+    _exit(attempt.held() ? 1 : 0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child acquired a held semaphore";
+}
+
+TEST_F(SemaphoreTest, RejectsBadConfig) {
+  EXPECT_THROW(FileSemaphore("", 1), util::ConfigError);
+  EXPECT_THROW(FileSemaphore("x", 0), util::ConfigError);
+  EXPECT_THROW(FileSemaphore("a/b", 1), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace parcl::core

@@ -1,0 +1,74 @@
+#include "core/slot_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace parcl::core {
+namespace {
+
+TEST(SlotPool, AllocatesLowestFirst) {
+  SlotPool pool(4);
+  EXPECT_EQ(pool.acquire(), 1u);
+  EXPECT_EQ(pool.acquire(), 2u);
+  EXPECT_EQ(pool.acquire(), 3u);
+  pool.release(2);
+  EXPECT_EQ(pool.acquire(), 2u);  // lowest free, not 4
+}
+
+TEST(SlotPool, ExhaustionThrows) {
+  SlotPool pool(2);
+  pool.acquire();
+  pool.acquire();
+  EXPECT_FALSE(pool.any_free());
+  EXPECT_THROW(pool.acquire(), util::InternalError);
+}
+
+TEST(SlotPool, DoubleReleaseThrows) {
+  SlotPool pool(2);
+  std::size_t slot = pool.acquire();
+  pool.release(slot);
+  EXPECT_THROW(pool.release(slot), util::InternalError);
+  EXPECT_THROW(pool.release(0), util::InternalError);
+  EXPECT_THROW(pool.release(3), util::InternalError);
+}
+
+TEST(SlotPool, ZeroSlotsRejected) { EXPECT_THROW(SlotPool(0), util::ConfigError); }
+
+// Property: under random acquire/release churn, held slots are always
+// unique and within [1, capacity] — the invariant GPU isolation needs.
+class SlotChurn : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SlotChurn, HeldSlotsAlwaysUniqueAndBounded) {
+  const std::size_t capacity = GetParam();
+  SlotPool pool(capacity);
+  util::Rng rng(capacity * 7919);
+  std::set<std::size_t> held;
+  for (int step = 0; step < 2000; ++step) {
+    bool do_acquire = held.empty() ||
+                      (held.size() < capacity && rng.bernoulli(0.55));
+    if (do_acquire) {
+      std::size_t slot = pool.acquire();
+      EXPECT_GE(slot, 1u);
+      EXPECT_LE(slot, capacity);
+      EXPECT_TRUE(held.insert(slot).second) << "slot handed out twice";
+    } else {
+      auto it = held.begin();
+      std::advance(it, static_cast<long>(
+                           rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1)));
+      pool.release(*it);
+      held.erase(it);
+    }
+    EXPECT_EQ(pool.in_use(), held.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SlotChurn,
+                         ::testing::Values(1u, 2u, 8u, 128u));
+
+}  // namespace
+}  // namespace parcl::core

@@ -1,0 +1,234 @@
+// End-to-end tests: the engine driving real child processes through
+// LocalExecutor — the configuration the paper's stress tests exercise.
+#include "exec/local_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.hpp"
+
+namespace parcl::exec {
+namespace {
+
+using core::ArgVector;
+using core::Engine;
+using core::ExecRequest;
+using core::Options;
+using core::RunSummary;
+
+std::vector<ArgVector> values(std::initializer_list<const char*> items) {
+  std::vector<ArgVector> out;
+  for (const char* item : items) out.push_back({item});
+  return out;
+}
+
+TEST(LocalExecutor, RunsRealShellCommands) {
+  Options options;
+  options.jobs = 2;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("echo hello-{}", values({"a", "b"}));
+  EXPECT_EQ(summary.succeeded, 2u);
+  EXPECT_NE(out.str().find("hello-a"), std::string::npos);
+  EXPECT_NE(out.str().find("hello-b"), std::string::npos);
+}
+
+TEST(LocalExecutor, CapturesExitCodes) {
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("exit {}", values({"0", "3", "0"}));
+  EXPECT_EQ(summary.succeeded, 2u);
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.results[1].exit_code, 3);
+}
+
+TEST(LocalExecutor, CapturesStderrSeparately) {
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  engine.run("echo to-out; echo to-err 1>&2", values({"x"}));
+  EXPECT_NE(out.str().find("to-out"), std::string::npos);
+  EXPECT_NE(err.str().find("to-err"), std::string::npos);
+  EXPECT_EQ(out.str().find("to-err"), std::string::npos);
+}
+
+TEST(LocalExecutor, LargeOutputDoesNotDeadlock) {
+  // 1 MiB of stdout: far beyond the 64 KiB pipe buffer.
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary =
+      engine.run("head -c {} /dev/zero | tr '\\0' 'x'", values({"1048576"}));
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_GE(summary.results[0].stdout_data.size(), 1048576u);
+}
+
+TEST(LocalExecutor, EnvReachesChild) {
+  Options options;
+  options.env["PARCL_SLOT_CHECK"] = "slot-{%}";
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("echo $PARCL_SLOT_CHECK", values({"x"}));
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_NE(out.str().find("slot-1"), std::string::npos);
+}
+
+TEST(LocalExecutor, QuotingProtectsHostileInputs) {
+  std::string hostile = "; touch /tmp/parcl_pwned_$$ ;";
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("printf '%s' {}", {{hostile}});
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_EQ(summary.results[0].stdout_data, hostile);
+}
+
+TEST(LocalExecutor, TimeoutKillsLongJob) {
+  Options options;
+  options.timeout_seconds = 0.2;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("sleep {}", values({"30"}));
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.results[0].status, core::JobStatus::kTimedOut);
+  EXPECT_LT(summary.results[0].runtime(), 5.0);
+}
+
+TEST(LocalExecutor, HaltNowKillsRunningJobs) {
+  Options options;
+  options.jobs = 2;
+  options.halt = core::HaltPolicy::parse("now,fail=1");
+  options.quote_args = false;  // args are whole shell commands here
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  // First job fails fast; second would run 30s but must be killed.
+  RunSummary summary = engine.run("{}", values({"false", "sleep 30"}));
+  EXPECT_TRUE(summary.halted);
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.killed, 1u);
+  EXPECT_EQ(summary.results[1].status, core::JobStatus::kKilled);
+}
+
+TEST(LocalExecutor, MissingBinaryReports127) {
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("/definitely/not/a/binary", values({"x"}));
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.results[0].exit_code, 127);
+}
+
+TEST(LocalExecutor, SignaledChildReported) {
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("kill -TERM $$", values({"x"}));
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.results[0].status, core::JobStatus::kSignaled);
+  EXPECT_EQ(summary.results[0].term_signal, SIGTERM);
+}
+
+TEST(LocalExecutor, ManySmallJobsAllComplete) {
+  Options options;
+  options.jobs = 8;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 64; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("echo {}", std::move(inputs));
+  EXPECT_EQ(summary.succeeded, 64u);
+  EXPECT_EQ(core::OutputMode::kGroup, options.output_mode);
+  // Every job echoed its index exactly once.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NE(out.str().find(std::to_string(i)), std::string::npos);
+  }
+}
+
+TEST(LocalExecutor, SlotNumbersDriveGpuIsolationEnv) {
+  Options options;
+  options.jobs = 4;
+  options.env["FAKE_GPU"] = "{%}";
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 16; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("echo gpu=$FAKE_GPU", std::move(inputs));
+  EXPECT_EQ(summary.succeeded, 16u);
+  // All emitted GPU ids are within the slot range 1..4.
+  EXPECT_NE(out.str().find("gpu=1"), std::string::npos);
+  EXPECT_EQ(out.str().find("gpu=5"), std::string::npos);
+  EXPECT_EQ(out.str().find("gpu=0"), std::string::npos);
+}
+
+TEST(LocalExecutor, NoShellModeExecsDirectly) {
+  Options options;
+  options.use_shell = false;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("/bin/echo {}", values({"direct"}));
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_NE(out.str().find("direct"), std::string::npos);
+}
+
+TEST(LocalExecutor, PipeModeFeedsStdin) {
+  Options options;
+  options.jobs = 2;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run_pipe("wc -l", {"a\nb\nc\n", "x\n"});
+  EXPECT_EQ(summary.succeeded, 2u);
+  EXPECT_NE(out.str().find("3"), std::string::npos);
+  EXPECT_NE(out.str().find("1"), std::string::npos);
+}
+
+TEST(LocalExecutor, LargeStdinDoesNotDeadlock) {
+  // 1 MiB through the child's stdin: beyond the pipe buffer, so the
+  // nonblocking feed path must interleave with output draining.
+  std::string block;
+  block.reserve(1 << 20);
+  for (int i = 0; i < (1 << 20) / 16; ++i) block += "0123456789abcde\n";
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run_pipe("wc -c", {block});
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_NE(out.str().find(std::to_string(block.size())), std::string::npos);
+}
+
+TEST(LocalExecutor, ChildIgnoringStdinStillCompletes) {
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  // `true` never reads stdin; the engine must not hang on the unread pipe.
+  RunSummary summary = engine.run_pipe("true", {std::string(1 << 20, 'x')});
+  EXPECT_EQ(summary.succeeded, 1u);
+}
+
+TEST(LocalExecutor, WaitAnyWithNothingActiveTimesOut) {
+  LocalExecutor executor;
+  EXPECT_FALSE(executor.wait_any(-1.0).has_value());
+  double t0 = executor.now();
+  EXPECT_FALSE(executor.wait_any(0.05).has_value());
+  EXPECT_GE(executor.now() - t0, 0.04);
+}
+
+}  // namespace
+}  // namespace parcl::exec

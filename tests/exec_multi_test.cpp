@@ -1,0 +1,166 @@
+#include "exec/multi_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "core/engine.hpp"
+#include "exec/function_executor.hpp"
+#include "exec/local_executor.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::exec {
+namespace {
+
+using core::ArgVector;
+using core::Engine;
+using core::Options;
+using core::RunSummary;
+
+std::vector<ArgVector> numbered(int n) {
+  std::vector<ArgVector> out;
+  for (int i = 0; i < n; ++i) out.push_back({std::to_string(i)});
+  return out;
+}
+
+std::unique_ptr<MultiExecutor> function_cluster(std::vector<HostSpec> hosts,
+                                                TaskFn task) {
+  return std::make_unique<MultiExecutor>(
+      std::move(hosts), [task](const HostSpec& spec) {
+        return std::make_unique<FunctionExecutor>(task, spec.jobs);
+      });
+}
+
+TEST(MultiExecutor, SlotRangesMapToHosts) {
+  auto task = [](const core::ExecRequest&) { return TaskOutcome{}; };
+  auto multi = function_cluster({{"a", 2, ""}, {"b", 3, ""}, {"c", 1, ""}}, task);
+  EXPECT_EQ(multi->total_slots(), 6u);
+  EXPECT_EQ(multi->host_for_slot(1).name, "a");
+  EXPECT_EQ(multi->host_for_slot(2).name, "a");
+  EXPECT_EQ(multi->host_for_slot(3).name, "b");
+  EXPECT_EQ(multi->host_for_slot(5).name, "b");
+  EXPECT_EQ(multi->host_for_slot(6).name, "c");
+  EXPECT_THROW(multi->host_for_slot(7), util::InternalError);
+}
+
+TEST(MultiExecutor, EngineDistributesAcrossHosts) {
+  auto task = [](const core::ExecRequest&) {
+    TaskOutcome outcome;
+    outcome.stdout_data = "ok\n";
+    return outcome;
+  };
+  auto multi = function_cluster({{"node1", 2, ""}, {"node2", 2, ""}}, task);
+  Options options;
+  options.jobs = multi->total_slots();
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  RunSummary summary = engine.run("work {}", numbered(40));
+  EXPECT_EQ(summary.succeeded, 40u);
+  // Both hosts did real work.
+  ASSERT_EQ(multi->starts_by_host().size(), 2u);
+  EXPECT_GT(multi->starts_by_host().at("node1"), 5u);
+  EXPECT_GT(multi->starts_by_host().at("node2"), 5u);
+}
+
+TEST(MultiExecutor, WrapperPrefixesCommand) {
+  std::vector<std::string> seen;
+  std::mutex mutex;
+  auto task = [&](const core::ExecRequest& request) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.push_back(request.command);
+    return TaskOutcome{};
+  };
+  auto multi = function_cluster({{"remote", 1, "ssh node07"}}, task);
+  Options options;
+  options.jobs = 1;
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  engine.run("hostname {}", numbered(1));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "ssh node07 'hostname 0'");
+}
+
+TEST(MultiExecutor, RealProcessesAcrossLocalHosts) {
+  auto multi = MultiExecutor::local_cluster(
+      {{"hostA", 2, ""}, {"hostB", 2, ""}});
+  Options options;
+  options.jobs = multi->total_slots();
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  RunSummary summary = engine.run("echo from-{}", numbered(12));
+  EXPECT_EQ(summary.succeeded, 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_NE(out.str().find("from-" + std::to_string(i)), std::string::npos);
+  }
+}
+
+TEST(MultiExecutor, FailuresPropagate) {
+  auto multi = MultiExecutor::local_cluster({{"x", 1, ""}, {"y", 1, ""}});
+  Options options;
+  options.jobs = 2;
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  RunSummary summary = engine.run("exit {}", {{"0"}, {"7"}});
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_EQ(summary.failed, 1u);
+}
+
+TEST(MultiExecutor, KillRoutesToOwningHost) {
+  auto multi = MultiExecutor::local_cluster({{"x", 1, ""}, {"y", 1, ""}});
+  Options options;
+  options.jobs = 2;
+  options.halt = core::HaltPolicy::parse("now,fail=1");
+  options.quote_args = false;  // args are whole shell commands here
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  RunSummary summary = engine.run("{}", {{"false"}, {"sleep 30"}});
+  EXPECT_TRUE(summary.halted);
+  EXPECT_EQ(summary.killed, 1u);
+}
+
+TEST(MultiExecutor, GpuSlotEnvIsGloballyUnique) {
+  // The cross-node GPU recipe: flat {%} slots stay unique even with two
+  // hosts of 2 slots each.
+  std::mutex mutex;
+  std::set<std::string> devices;
+  bool collision = false;
+  auto task = [&](const core::ExecRequest& request) {
+    std::string device = request.env.at("GPU");
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!devices.insert(device).second) collision = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      devices.erase(device);
+    }
+    return TaskOutcome{};
+  };
+  auto multi = function_cluster({{"n1", 2, ""}, {"n2", 2, ""}}, task);
+  Options options;
+  options.jobs = 4;
+  options.env["GPU"] = "{%}";
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  RunSummary summary = engine.run("sim {}", numbered(24));
+  EXPECT_EQ(summary.succeeded, 24u);
+  EXPECT_FALSE(collision);
+}
+
+TEST(MultiExecutor, RejectsBadConfig) {
+  EXPECT_THROW(MultiExecutor({}, [](const HostSpec&) {
+                 return std::unique_ptr<core::Executor>{};
+               }),
+               util::ConfigError);
+  EXPECT_THROW(function_cluster({{"z", 0, ""}},
+                                [](const core::ExecRequest&) { return TaskOutcome{}; }),
+               util::ConfigError);
+}
+
+}  // namespace
+}  // namespace parcl::exec

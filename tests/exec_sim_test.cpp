@@ -1,0 +1,187 @@
+// The engine over SimExecutor: cluster-scale behaviour in zero wall time.
+#include "exec/sim_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace parcl::exec {
+namespace {
+
+using core::ArgVector;
+using core::Engine;
+using core::ExecRequest;
+using core::Options;
+using core::RunSummary;
+
+std::vector<ArgVector> numbered(int n) {
+  std::vector<ArgVector> out;
+  for (int i = 0; i < n; ++i) out.push_back({std::to_string(i)});
+  return out;
+}
+
+TEST(SimExecutor, FixedDurationJobsPackPerfectly) {
+  sim::Simulation simulation;
+  SimExecutor executor(simulation, [](const ExecRequest&) {
+    return SimOutcome{10.0, 0, ""};
+  });
+  Options options;
+  options.jobs = 4;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("task {}", numbered(16));
+  EXPECT_EQ(summary.succeeded, 16u);
+  // 16 jobs / 4 slots * 10s each = 40s of simulated time, zero overhead.
+  EXPECT_DOUBLE_EQ(summary.makespan, 40.0);
+  EXPECT_DOUBLE_EQ(simulation.now(), 40.0);
+}
+
+TEST(SimExecutor, DispatchCostSerializesStarts) {
+  sim::Simulation simulation;
+  const double dispatch = 1.0 / 470.0;  // paper's single-instance rate
+  SimExecutor executor(simulation,
+                       [](const ExecRequest&) { return SimOutcome{0.0, 0, ""}; },
+                       dispatch);
+  Options options;
+  options.jobs = 128;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("noop {}", numbered(470));
+  EXPECT_EQ(summary.succeeded, 470u);
+  // 470 dispatches at 1/470 s each: the run takes about one second, and the
+  // measured dispatch rate approaches 470/s.
+  EXPECT_NEAR(simulation.now(), 1.0, 0.01);
+  EXPECT_NEAR(summary.dispatch_rate(), 470.0, 5.0);
+}
+
+TEST(SimExecutor, ExitCodesFlowThrough) {
+  sim::Simulation simulation;
+  SimExecutor executor(simulation, [](const ExecRequest& request) {
+    SimOutcome outcome;
+    outcome.duration = 1.0;
+    outcome.exit_code = request.command.find("bad") != std::string::npos ? 2 : 0;
+    return outcome;
+  });
+  Options options;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("job {}", {{"good"}, {"bad"}});
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_EQ(summary.failed, 1u);
+}
+
+TEST(SimExecutor, SlotReuseMatchesFreeListSemantics) {
+  sim::Simulation simulation;
+  std::vector<std::size_t> slots_seen;
+  SimExecutor executor(simulation, [&](const ExecRequest& request) {
+    slots_seen.push_back(request.slot);
+    // Job on slot 1 is long; others short.
+    return SimOutcome{request.slot == 1 ? 100.0 : 1.0, 0, ""};
+  });
+  Options options;
+  options.jobs = 2;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  engine.run("t {}", numbered(5));
+  // First two jobs take slots 1,2. Slot 1 busy for 100s, so jobs 3..5 all
+  // reuse slot 2.
+  ASSERT_EQ(slots_seen.size(), 5u);
+  EXPECT_EQ(slots_seen[0], 1u);
+  EXPECT_EQ(slots_seen[1], 2u);
+  EXPECT_EQ(slots_seen[2], 2u);
+  EXPECT_EQ(slots_seen[3], 2u);
+  EXPECT_EQ(slots_seen[4], 2u);
+}
+
+TEST(SimExecutor, TimeoutInSimTime) {
+  sim::Simulation simulation;
+  SimExecutor executor(simulation, [](const ExecRequest&) {
+    return SimOutcome{1000.0, 0, ""};  // would run 1000 sim seconds
+  });
+  Options options;
+  options.timeout_seconds = 5.0;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("hang {}", {{"x"}});
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.results[0].status, core::JobStatus::kTimedOut);
+  EXPECT_LT(simulation.now(), 100.0);  // did not wait the full 1000s
+}
+
+TEST(SimExecutor, MillionTaskScaleIsTractable) {
+  // A smoke-scale version of the Fig-1 workload shape: many no-op tasks
+  // through 128 slots with a dispatch cost.
+  sim::Simulation simulation;
+  SimExecutor executor(simulation,
+                       [](const ExecRequest&) { return SimOutcome{30.0, 0, ""}; },
+                       0.002);
+  Options options;
+  options.jobs = 128;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("payload {}", numbered(12800));
+  EXPECT_EQ(summary.succeeded, 12800u);
+  // 12800 tasks / 128 slots = 100 waves of 30s plus dispatch overhead.
+  EXPECT_GT(summary.makespan, 3000.0);
+  EXPECT_LT(summary.makespan, 3100.0);
+}
+
+// Property: the engine is a greedy list scheduler, so for any task set its
+// makespan obeys the classical bounds
+//   max(total/j, longest) <= makespan <= total/j + longest.
+class ListSchedulingBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ListSchedulingBounds, MakespanWithinGrahamBounds) {
+  util::Rng rng(GetParam());
+  std::size_t jobs = static_cast<std::size_t>(rng.uniform_int(2, 16));
+  std::size_t tasks = static_cast<std::size_t>(rng.uniform_int(1, 120));
+
+  std::vector<double> durations;
+  double total = 0.0, longest = 0.0;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    double d = rng.uniform(0.1, 50.0);
+    durations.push_back(d);
+    total += d;
+    longest = std::max(longest, d);
+  }
+
+  sim::Simulation simulation;
+  SimExecutor executor(simulation, [&](const core::ExecRequest& request) {
+    // The command's trailing token is the task index.
+    std::size_t index = static_cast<std::size_t>(
+        std::stoul(request.command.substr(request.command.rfind(' ') + 1)));
+    return SimOutcome{durations[index], 0, ""};
+  });
+  core::Options options;
+  options.jobs = jobs;
+  std::ostringstream out, err;
+  core::Engine engine(options, executor, out, err);
+  core::RunSummary summary = engine.run("t {}", numbered(static_cast<int>(tasks)));
+  ASSERT_EQ(summary.succeeded, tasks);
+
+  double lower = std::max(total / static_cast<double>(jobs), longest);
+  double upper = total / static_cast<double>(jobs) + longest;
+  EXPECT_GE(summary.makespan, lower - 1e-9)
+      << "jobs=" << jobs << " tasks=" << tasks;
+  EXPECT_LE(summary.makespan, upper + 1e-9)
+      << "jobs=" << jobs << " tasks=" << tasks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListSchedulingBounds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(SimExecutor, RejectsNegativeDispatchCost) {
+  sim::Simulation simulation;
+  EXPECT_THROW(SimExecutor(simulation,
+                           [](const ExecRequest&) { return SimOutcome{}; }, -1.0),
+               util::ConfigError);
+}
+
+}  // namespace
+}  // namespace parcl::exec

@@ -1,0 +1,117 @@
+#include "sim/shared_bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace parcl::sim {
+namespace {
+
+TEST(SharedBandwidth, SingleFlowAtFullRate) {
+  Simulation sim;
+  SharedBandwidth channel(sim, "nic", 100.0);  // 100 B/s
+  double finish = -1.0;
+  channel.transfer(500.0, [&] { finish = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(finish, 5.0);
+}
+
+TEST(SharedBandwidth, TwoEqualFlowsShareFairly) {
+  Simulation sim;
+  SharedBandwidth channel(sim, "nic", 100.0);
+  std::vector<double> finishes;
+  channel.transfer(500.0, [&] { finishes.push_back(sim.now()); });
+  channel.transfer(500.0, [&] { finishes.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(finishes.size(), 2u);
+  // Each gets 50 B/s: both finish at t=10.
+  EXPECT_DOUBLE_EQ(finishes[0], 10.0);
+  EXPECT_DOUBLE_EQ(finishes[1], 10.0);
+}
+
+TEST(SharedBandwidth, ShortFlowLeavesLongFlowSpeedsUp) {
+  Simulation sim;
+  SharedBandwidth channel(sim, "nic", 100.0);
+  double short_finish = -1.0, long_finish = -1.0;
+  channel.transfer(100.0, [&] { short_finish = sim.now(); });
+  channel.transfer(900.0, [&] { long_finish = sim.now(); });
+  sim.run();
+  // Shared until t=2 (both at 50 B/s, short done after 100B). Long flow then
+  // has 800B left at 100 B/s -> finishes at t=10.
+  EXPECT_DOUBLE_EQ(short_finish, 2.0);
+  EXPECT_DOUBLE_EQ(long_finish, 10.0);
+}
+
+TEST(SharedBandwidth, LateArrivalSlowsExistingFlow) {
+  Simulation sim;
+  SharedBandwidth channel(sim, "nic", 100.0);
+  double first_finish = -1.0;
+  channel.transfer(600.0, [&] { first_finish = sim.now(); });
+  sim.schedule(2.0, [&] { channel.transfer(400.0, [] {}); });
+  sim.run();
+  // First flow: 200B in [0,2) at 100 B/s, then 400B at 50 B/s -> t=10.
+  EXPECT_DOUBLE_EQ(first_finish, 10.0);
+}
+
+TEST(SharedBandwidth, PerFlowCapLimitsSingleFlow) {
+  Simulation sim;
+  SharedBandwidth channel(sim, "lustre", 1000.0, /*per_flow_cap=*/10.0);
+  double finish = -1.0;
+  channel.transfer(100.0, [&] { finish = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(finish, 10.0);  // capped at 10 B/s despite idle capacity
+}
+
+TEST(SharedBandwidth, CancelStopsCallbackAndFreesShare) {
+  Simulation sim;
+  SharedBandwidth channel(sim, "nic", 100.0);
+  bool cancelled_fired = false;
+  double other_finish = -1.0;
+  std::uint64_t id = channel.transfer(1000.0, [&] { cancelled_fired = true; });
+  channel.transfer(500.0, [&] { other_finish = sim.now(); });
+  sim.schedule(2.0, [&] { channel.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(cancelled_fired);
+  // Other flow: 100B in [0,2) at 50 B/s, 400B remaining at 100 B/s -> t=6.
+  EXPECT_DOUBLE_EQ(other_finish, 6.0);
+}
+
+TEST(SharedBandwidth, ZeroByteTransferCompletesImmediately) {
+  Simulation sim;
+  SharedBandwidth channel(sim, "nic", 100.0);
+  bool fired = false;
+  channel.transfer(0.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(SharedBandwidth, ConservesBytes) {
+  Simulation sim;
+  SharedBandwidth channel(sim, "nic", 123.0);
+  double total = 0.0;
+  for (int i = 1; i <= 20; ++i) {
+    double bytes = 37.0 * i;
+    total += bytes;
+    sim.schedule(0.5 * i, [&channel, bytes] { channel.transfer(bytes, [] {}); });
+  }
+  sim.run();
+  EXPECT_NEAR(channel.bytes_delivered(), total, 1e-6);
+  EXPECT_EQ(channel.active_flows(), 0u);
+  // All bytes at capacity 123 B/s cannot finish faster than total/123 after
+  // the first arrival.
+  EXPECT_GE(sim.now(), total / 123.0);
+}
+
+TEST(SharedBandwidth, RejectsBadConfig) {
+  Simulation sim;
+  EXPECT_THROW(SharedBandwidth(sim, "x", 0.0), util::ConfigError);
+  EXPECT_THROW(SharedBandwidth(sim, "x", -5.0), util::ConfigError);
+  SharedBandwidth ok(sim, "x", 1.0);
+  EXPECT_THROW(ok.transfer(-1.0, [] {}), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace parcl::sim

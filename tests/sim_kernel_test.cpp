@@ -1,0 +1,146 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/duration_model.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace parcl::sim {
+namespace {
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, SameTimeEventsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  EXPECT_DOUBLE_EQ(sim.run(), 5.0);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle handle = sim.schedule(1.0, [&] { fired = true; });
+  sim.cancel(handle);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.fired_events(), 0u);
+}
+
+TEST(Simulation, CancelIsIdempotentAndSafeAfterFire) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle handle = sim.schedule(1.0, [&] { ++fired; });
+  sim.run();
+  sim.cancel(handle);  // already fired: no-op
+  sim.cancel(EventHandle{});  // invalid handle: no-op
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, RunUntilStopsAndSetsNow) {
+  Simulation sim;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule(t, [&times, &sim] { times.push_back(sim.now()); });
+  }
+  sim.run_until(2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  sim.run();
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(Simulation, StepFiresExactlyOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RejectsPastScheduling) {
+  Simulation sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), util::ConfigError);
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), util::ConfigError);
+  EXPECT_THROW(sim.run_until(2.0), util::ConfigError);
+}
+
+TEST(Simulation, TimeIsMonotoneAcrossManyRandomEvents) {
+  Simulation sim;
+  util::Rng rng(99);
+  double last_seen = -1.0;
+  int fired = 0;
+  std::function<void(int)> spawn = [&](int depth) {
+    EXPECT_GE(sim.now(), last_seen);
+    last_seen = sim.now();
+    ++fired;
+    if (depth < 4) {
+      for (int i = 0; i < 3; ++i) {
+        sim.schedule(rng.uniform(0.0, 10.0), [&spawn, depth] { spawn(depth + 1); });
+      }
+    }
+  };
+  sim.schedule(0.0, [&spawn] { spawn(0); });
+  sim.run();
+  EXPECT_EQ(fired, 1 + 3 + 9 + 27 + 81);
+}
+
+TEST(DurationModels, FixedAndUniform) {
+  util::Rng rng(1);
+  FixedDuration fixed(2.5);
+  EXPECT_DOUBLE_EQ(fixed.sample(rng), 2.5);
+  UniformDuration uniform(1.0, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    double v = uniform.sample(rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(DurationModels, StragglerMixtureProducesHeavyTail) {
+  util::Rng rng(2);
+  LognormalDuration body(30.0, 0.05);
+  FixedDuration straggler(500.0);
+  StragglerMixture mixture(body, straggler, 0.01);
+  int stragglers = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (mixture.sample(rng) > 100.0) ++stragglers;
+  }
+  EXPECT_GT(stragglers, 50);
+  EXPECT_LT(stragglers, 200);
+}
+
+}  // namespace
+}  // namespace parcl::sim

@@ -1,0 +1,80 @@
+#include "sim/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace parcl::sim {
+namespace {
+
+TEST(Monitor, SamplesAtFixedCadence) {
+  Simulation sim;
+  Monitor monitor(sim, 1.0);
+  double value = 0.0;
+  monitor.track_value("v", [&value] { return value; });
+  sim.schedule(2.5, [&value] { value = 7.0; });
+  monitor.start(5.0);
+  sim.run();
+  const auto& series = monitor.find("v");
+  ASSERT_EQ(series.times.size(), 6u);  // t = 0..5
+  EXPECT_DOUBLE_EQ(series.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(series.values[2], 0.0);  // t=2, before the change
+  EXPECT_DOUBLE_EQ(series.values[3], 7.0);  // t=3
+  EXPECT_DOUBLE_EQ(series.max_value(), 7.0);
+}
+
+TEST(Monitor, TracksResourceOccupancy) {
+  Simulation sim;
+  Resource cores(sim, "cores", 4);
+  Monitor monitor(sim, 1.0);
+  monitor.track_resource("cores", cores);
+  // Occupy 3 tokens during [0.5, 2.5).
+  sim.schedule(0.5, [&cores] {
+    for (int i = 0; i < 3; ++i) cores.acquire([] {});
+  });
+  sim.schedule(2.5, [&cores] {
+    for (int i = 0; i < 3; ++i) cores.release();
+  });
+  monitor.start(4.0);
+  sim.run();
+  const auto& series = monitor.find("cores");
+  EXPECT_DOUBLE_EQ(series.values[0], 0.0);  // t=0
+  EXPECT_DOUBLE_EQ(series.values[1], 3.0);  // t=1
+  EXPECT_DOUBLE_EQ(series.values[2], 3.0);  // t=2
+  EXPECT_DOUBLE_EQ(series.values[3], 0.0);  // t=3
+}
+
+TEST(Monitor, TracksBandwidthFlows) {
+  Simulation sim;
+  SharedBandwidth nic(sim, "nic", 10.0);
+  Monitor monitor(sim, 1.0);
+  monitor.track_bandwidth("nic", nic);
+  nic.transfer(25.0, [] {});  // 2.5 s at full rate
+  monitor.start(4.0);
+  sim.run();
+  const auto& series = monitor.find("nic");
+  EXPECT_DOUBLE_EQ(series.values[1], 1.0);  // t=1: flowing
+  EXPECT_DOUBLE_EQ(series.values[3], 0.0);  // t=3: drained
+}
+
+TEST(Monitor, CsvHasHeaderAndRows) {
+  Simulation sim;
+  Monitor monitor(sim, 0.5);
+  monitor.track_value("a", [] { return 1.0; });
+  monitor.track_value("b", [] { return 2.0; });
+  monitor.start(1.0);
+  sim.run();
+  std::string csv = monitor.render_csv();
+  EXPECT_EQ(csv.rfind("time,a,b\n", 0), 0u);
+  EXPECT_NE(csv.find("0.000,1.000,2.000"), std::string::npos);
+}
+
+TEST(Monitor, FindUnknownLabelThrows) {
+  Simulation sim;
+  Monitor monitor(sim, 1.0);
+  EXPECT_THROW(monitor.find("nope"), util::ConfigError);
+  EXPECT_THROW(Monitor(sim, 0.0), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace parcl::sim

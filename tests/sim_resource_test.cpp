@@ -1,0 +1,86 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace parcl::sim {
+namespace {
+
+TEST(Resource, GrantsImmediatelyWhenFree) {
+  Simulation sim;
+  Resource res(sim, "cores", 2);
+  int granted = 0;
+  res.acquire([&] { ++granted; });
+  res.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(res.in_use(), 2u);
+  EXPECT_FALSE(Resource(sim, "x", 1).in_use());
+}
+
+TEST(Resource, QueuesWhenFullAndGrantsFifo) {
+  Simulation sim;
+  Resource res(sim, "gpu", 1);
+  std::vector<int> order;
+  res.acquire([&] { order.push_back(0); });
+  res.acquire([&] { order.push_back(1); });
+  res.acquire([&] { order.push_back(2); });
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(res.queue_length(), 2u);
+  res.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  res.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(res.in_use(), 1u);
+  res.release();
+  EXPECT_EQ(res.in_use(), 0u);
+}
+
+TEST(Resource, ReleaseOfIdleThrows) {
+  Simulation sim;
+  Resource res(sim, "x", 1);
+  EXPECT_THROW(res.release(), util::InternalError);
+}
+
+TEST(Resource, ZeroCapacityRejected) {
+  Simulation sim;
+  EXPECT_THROW(Resource(sim, "bad", 0), util::ConfigError);
+}
+
+TEST(Resource, UtilizationAccounting) {
+  Simulation sim;
+  Resource res(sim, "core", 1);
+  // Hold the token from t=0 to t=10.
+  res.acquire([] {});
+  sim.schedule(10.0, [&] { res.release(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(res.busy_token_seconds(), 10.0);
+}
+
+TEST(Resource, NeverExceedsCapacityUnderChurn) {
+  Simulation sim;
+  Resource res(sim, "slots", 8);
+  std::size_t peak = 0;
+  int completed = 0;
+  // 100 tasks each holding a token for 1 time unit, all requested at t=0.
+  for (int i = 0; i < 100; ++i) {
+    res.acquire([&] {
+      peak = std::max(peak, res.in_use());
+      sim.schedule(1.0, [&] {
+        ++completed;
+        res.release();
+      });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 100);
+  EXPECT_EQ(peak, 8u);
+  EXPECT_EQ(res.in_use(), 0u);
+  // 100 token-units of work on 8 servers at unit service time -> 13 rounds.
+  EXPECT_DOUBLE_EQ(sim.now(), 13.0);
+}
+
+}  // namespace
+}  // namespace parcl::sim

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "slurm/driver.hpp"
+#include "slurm/scripts.hpp"
+#include "slurm/slurm.hpp"
+#include "util/error.hpp"
+
+namespace parcl::slurm {
+namespace {
+
+std::vector<std::string> numbered_lines(std::size_t n) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < n; ++i) lines.push_back("task" + std::to_string(i));
+  return lines;
+}
+
+TEST(Stripe, MatchesAwkSemantics) {
+  // awk 'NR % NNODE == NODEID': NR is 1-based, so with 3 nodes line 1 goes
+  // to node 1, line 2 to node 2, line 3 to node 0, ...
+  auto lines = numbered_lines(6);
+  EXPECT_EQ(stripe_inputs(lines, 3, 0), (std::vector<std::string>{"task2", "task5"}));
+  EXPECT_EQ(stripe_inputs(lines, 3, 1), (std::vector<std::string>{"task0", "task3"}));
+  EXPECT_EQ(stripe_inputs(lines, 3, 2), (std::vector<std::string>{"task1", "task4"}));
+}
+
+TEST(Stripe, EveryLineToExactlyOneNode) {
+  auto lines = numbered_lines(1001);
+  auto shards = stripe_all(lines, 7);
+  std::vector<std::string> reunited;
+  for (const auto& shard : shards) {
+    for (const auto& line : shard) reunited.push_back(line);
+  }
+  EXPECT_EQ(reunited.size(), lines.size());
+  std::sort(reunited.begin(), reunited.end());
+  auto sorted = lines;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(reunited, sorted);
+}
+
+TEST(Stripe, AllAgreesWithPerNode) {
+  auto lines = numbered_lines(50);
+  auto shards = stripe_all(lines, 4);
+  for (std::size_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(shards[n], stripe_inputs(lines, 4, n));
+  }
+}
+
+TEST(Stripe, LoadBalancedWithinOne) {
+  auto shards = stripe_all(numbered_lines(1000), 128);
+  std::size_t lo = shards[0].size(), hi = shards[0].size();
+  for (const auto& shard : shards) {
+    lo = std::min(lo, shard.size());
+    hi = std::max(hi, shard.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Stripe, RejectsBadArgs) {
+  auto lines = numbered_lines(4);
+  EXPECT_THROW(stripe_inputs(lines, 0, 0), util::ConfigError);
+  EXPECT_THROW(stripe_inputs(lines, 2, 2), util::ConfigError);
+}
+
+TEST(BlockPartition, ContiguousAndComplete) {
+  auto lines = numbered_lines(10);
+  auto shards = block_partition(lines, 3);
+  EXPECT_EQ(shards[0].size(), 4u);  // ceil(10/3)
+  EXPECT_EQ(shards[0][0], "task0");
+  EXPECT_EQ(shards[1][0], "task4");
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(SlurmSim, AllocationDelaysMostlyFast) {
+  sim::Simulation sim;
+  SlurmSpec spec;
+  spec.straggler_probability = 0.0;
+  SlurmSim slurm(sim, spec, util::Rng(3));
+  auto delays = slurm.sample_allocation_delays(1000);
+  ASSERT_EQ(delays.size(), 1000u);
+  std::sort(delays.begin(), delays.end());
+  EXPECT_LT(delays[500], 5.0);   // median around 2 s
+  EXPECT_LT(delays.back(), 30.0);  // no stragglers configured
+}
+
+TEST(SlurmSim, StragglersAppearAtScale) {
+  sim::Simulation sim;
+  SlurmSpec spec;
+  spec.straggler_probability = 0.01;
+  spec.straggler_median = 120.0;
+  SlurmSim slurm(sim, spec, util::Rng(5));
+  auto delays = slurm.sample_allocation_delays(10000);
+  std::size_t slow = 0;
+  for (double d : delays) {
+    if (d > 60.0) ++slow;
+  }
+  EXPECT_GT(slow, 50u);
+  EXPECT_LT(slow, 200u);
+}
+
+TEST(SlurmSim, SrunsQueueBehindController) {
+  sim::Simulation sim;
+  SlurmSpec spec;
+  spec.controller_slots = 2;
+  spec.srun_setup_cost = 1.0;
+  SlurmSim slurm(sim, spec, util::Rng(1));
+  int launched = 0;
+  for (int i = 0; i < 6; ++i) slurm.srun([&] { ++launched; });
+  sim.run();
+  EXPECT_EQ(launched, 6);
+  EXPECT_EQ(slurm.srun_count(), 6u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // 6 sruns / 2 controller slots
+}
+
+TEST(Scripts, DriverMatchesListing1Structure) {
+  std::string script = driver_script(128, "./payload.sh");
+  EXPECT_NE(script.find("#!/bin/bash"), std::string::npos);
+  EXPECT_NE(script.find("NR % NNODE == NODEID"), std::string::npos);
+  EXPECT_NE(script.find("SLURM_NNODES"), std::string::npos);
+  EXPECT_NE(script.find("parallel -j128 ./payload.sh {}"), std::string::npos);
+}
+
+TEST(Scripts, SrunLoopMatchesListing4Structure) {
+  std::string script = srun_loop_script({1, 2, 3}, 3);
+  EXPECT_NE(script.find("srun -N1 -n1 -c1 --exclusive"), std::string::npos);
+  EXPECT_NE(script.find("sleep 0.2"), std::string::npos);
+  EXPECT_NE(script.find("months='1,2,3'"), std::string::npos);
+  EXPECT_NE(script.find("wait"), std::string::npos);
+}
+
+TEST(Scripts, ParallelMatchesListing5Structure) {
+  std::string script =
+      parallel_script(36, "python3 ./darshan_arch.py", "{1..12}", "{0..2}");
+  EXPECT_NE(script.find("module load parallel"), std::string::npos);
+  EXPECT_NE(script.find("parallel -j36 python3 ./darshan_arch.py ::: {1..12} ::: {0..2}"),
+            std::string::npos);
+}
+
+TEST(Scripts, SbatchPreamble) {
+  std::string preamble = sbatch_preamble("weak-scaling", 9000, "01:00:00");
+  EXPECT_NE(preamble.find("#SBATCH -N 9000"), std::string::npos);
+  EXPECT_NE(preamble.find("#SBATCH -J weak-scaling"), std::string::npos);
+  EXPECT_THROW(sbatch_preamble("x", 0), util::ConfigError);
+  EXPECT_THROW(driver_script(0), util::ConfigError);
+  EXPECT_THROW(srun_loop_script({}, 3), util::ConfigError);
+  EXPECT_THROW(parallel_script(0, "c", "a", ""), util::ConfigError);
+}
+
+TEST(SlurmSim, EnvMatchesListing1) {
+  JobEnv env = SlurmSim::env_for(9000, 8999);
+  EXPECT_EQ(env.nnodes, 9000u);
+  EXPECT_EQ(env.node_id, 8999u);
+  EXPECT_THROW(SlurmSim::env_for(4, 4), util::InternalError);
+}
+
+}  // namespace
+}  // namespace parcl::slurm

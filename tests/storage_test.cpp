@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "storage/dataset.hpp"
+#include "storage/filesystem.hpp"
+#include "storage/pipeline.hpp"
+#include "storage/staging.hpp"
+#include "util/error.hpp"
+
+namespace parcl::storage {
+namespace {
+
+TEST(Filesystem, ReadChargesMetadataThenData) {
+  sim::Simulation sim;
+  FilesystemSpec spec;
+  spec.name = "t";
+  spec.bandwidth = 100.0;
+  spec.metadata_op_cost = 0.5;
+  SimFilesystem fs(sim, spec);
+  bool done = false;
+  fs.read_file(200.0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);  // 0.5 metadata + 2.0 data
+  EXPECT_EQ(fs.metadata_ops(), 1u);
+}
+
+TEST(Filesystem, MetadataServersLimitConcurrency) {
+  sim::Simulation sim;
+  FilesystemSpec spec;
+  spec.bandwidth = 1e12;  // data is free
+  spec.metadata_op_cost = 1.0;
+  spec.metadata_servers = 2;
+  SimFilesystem fs(sim, spec);
+  int done = 0;
+  for (int i = 0; i < 6; ++i) fs.unlink_file([&] { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 6);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // 6 ops / 2 servers at 1s each
+}
+
+TEST(Filesystem, NvmeMetadataIsNearlyFree) {
+  sim::Simulation sim;
+  SimFilesystem nvme(sim, FilesystemSpec::nvme());
+  SimFilesystem lustre(sim, FilesystemSpec::lustre());
+  EXPECT_LT(nvme.spec().metadata_op_cost, lustre.spec().metadata_op_cost / 10.0);
+}
+
+TEST(Dataset, GeneratorsProduceRequestedShape) {
+  util::Rng rng(5);
+  Dataset logs = Dataset::lognormal("logs", 100, 1e6, 0.5, rng);
+  EXPECT_EQ(logs.file_count(), 100u);
+  EXPECT_GT(logs.total_bytes(), 0.0);
+
+  Dataset flat = Dataset::uniform("flat", 10, 1000.0);
+  EXPECT_DOUBLE_EQ(flat.total_bytes(), 10000.0);
+
+  Dataset archive = Dataset::project_archive("proj", 1000, 1e12, rng);
+  EXPECT_EQ(archive.file_count(), 1000u);
+  EXPECT_NEAR(archive.total_bytes(), 1e12, 2e11);
+}
+
+TEST(Dataset, StripingCoversEveryFileExactlyOnce) {
+  util::Rng rng(7);
+  Dataset dataset = Dataset::lognormal("d", 1003, 1e5, 1.0, rng);
+  auto shards = stripe_files(dataset, 8);
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  EXPECT_EQ(total, 1003u);
+  // Balanced to within one file.
+  std::size_t lo = shards[0].size(), hi = shards[0].size();
+  for (const auto& shard : shards) {
+    lo = std::min(lo, shard.size());
+    hi = std::max(hi, shard.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Staging, CopiesEverythingAndReportsThroughput) {
+  sim::Simulation sim;
+  FilesystemSpec fast;
+  fast.bandwidth = 1e9;
+  SimFilesystem src(sim, fast);
+  SimFilesystem dst(sim, fast);
+  Dataset dataset = Dataset::uniform("d", 64, 1e6);
+  StagingConfig config;
+  config.parallel_streams = 8;
+  config.per_file_overhead = 0.01;
+  StagingJob job(sim, src, dst, dataset.files, config);
+  StagingStats final_stats;
+  job.run([&](const StagingStats& stats) { final_stats = stats; });
+  sim.run();
+  EXPECT_EQ(final_stats.files_copied, 64u);
+  EXPECT_DOUBLE_EQ(final_stats.bytes_copied, 64e6);
+  EXPECT_GT(final_stats.throughput(), 0.0);
+}
+
+TEST(Staging, MoreStreamsFinishFasterOnOverheadBoundWork) {
+  auto run_with_streams = [](std::size_t streams) {
+    sim::Simulation sim;
+    FilesystemSpec fast;
+    fast.bandwidth = 1e12;
+    SimFilesystem src(sim, fast);
+    SimFilesystem dst(sim, fast);
+    Dataset dataset = Dataset::uniform("d", 320, 1e3);  // tiny files
+    StagingConfig config;
+    config.parallel_streams = streams;
+    config.per_file_overhead = 0.05;
+    StagingJob job(sim, src, dst, dataset.files, config);
+    job.run([](const StagingStats&) {});
+    sim.run();
+    return sim.now();
+  };
+  double serial = run_with_streams(1);
+  double wide = run_with_streams(32);
+  EXPECT_NEAR(serial / wide, 32.0, 2.0);
+}
+
+TEST(Staging, EmptyFileListCompletesImmediately) {
+  sim::Simulation sim;
+  SimFilesystem src(sim, FilesystemSpec::lustre());
+  SimFilesystem dst(sim, FilesystemSpec::nvme());
+  StagingJob job(sim, src, dst, {}, StagingConfig{});
+  bool done = false;
+  job.run([&](const StagingStats& stats) {
+    done = true;
+    EXPECT_EQ(stats.files_copied, 0u);
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(DeleteFiles, CountsUnlinksAndFreesSpace) {
+  sim::Simulation sim;
+  FilesystemSpec spec;
+  spec.bandwidth = 1.0;
+  spec.metadata_op_cost = 0.1;
+  spec.metadata_servers = 10;
+  SimFilesystem fs(sim, spec);
+  Dataset dataset = Dataset::uniform("d", 20, 100.0);
+  for (const auto& file : dataset.files) fs.account_store(file.bytes);
+  EXPECT_DOUBLE_EQ(fs.bytes_stored(), 2000.0);
+  bool done = false;
+  delete_files(fs, dataset.files, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fs.metadata_ops(), 20u);
+  EXPECT_DOUBLE_EQ(fs.bytes_stored(), 0.0);
+  EXPECT_DOUBLE_EQ(fs.peak_bytes_stored(), 2000.0);
+}
+
+TEST(PipelineFootprint, EvictionBoundsNvmeUsage) {
+  // With depth 1 the NVMe never holds more than two datasets at once.
+  sim::Simulation sim;
+  SimFilesystem lustre(sim, FilesystemSpec::lustre());
+  SimFilesystem nvme(sim, FilesystemSpec::nvme());
+  PipelineConfig config;
+  config.process_from_lustre = 100.0;
+  config.process_from_nvme = 80.0;
+  util::Rng rng(3);
+  const double dataset_bytes = 1000.0 * 100;
+  for (int d = 0; d < 5; ++d) {
+    config.datasets.push_back(Dataset::uniform("d" + std::to_string(d), 100, 1000.0));
+  }
+  PipelineRunner runner(sim, lustre, nvme, config);
+  runner.run([](const PipelineReport&) {});
+  sim.run();
+  EXPECT_LE(nvme.peak_bytes_stored(), 2.0 * dataset_bytes + 1.0);
+  EXPECT_GE(nvme.peak_bytes_stored(), dataset_bytes);
+}
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  PipelineConfig make_config(std::size_t datasets, double copy_file_bytes = 1e3) {
+    PipelineConfig config;
+    config.process_from_lustre = 86.0 * 60.0;
+    config.process_from_nvme = 68.0 * 60.0;
+    config.staging.parallel_streams = 32;
+    config.staging.per_file_overhead = 0.01;
+    util::Rng rng(11);
+    for (std::size_t d = 0; d < datasets; ++d) {
+      config.datasets.push_back(
+          Dataset::uniform("ds" + std::to_string(d), 100, copy_file_bytes));
+    }
+    return config;
+  }
+};
+
+TEST_F(PipelineFixture, ReproducesPaperArithmetic) {
+  // Copies are much faster than stages, so the paper's closed form holds:
+  // 86 + 4*68 = 358 minutes vs 5*86 = 430, a 17% improvement.
+  sim::Simulation sim;
+  SimFilesystem lustre(sim, FilesystemSpec::lustre());
+  SimFilesystem nvme(sim, FilesystemSpec::nvme());
+  PipelineRunner runner(sim, lustre, nvme, make_config(5));
+  PipelineReport report;
+  runner.run([&](const PipelineReport& r) { report = r; });
+  sim.run();
+  ASSERT_EQ(report.stages.size(), 5u);
+  EXPECT_EQ(report.stages[0].processed_from, "lustre");
+  EXPECT_EQ(report.stages[1].processed_from, "nvme");
+  EXPECT_NEAR(report.makespan / 60.0, 358.0, 1.0);
+  EXPECT_NEAR(report.lustre_only_estimate / 60.0, 430.0, 0.1);
+  EXPECT_NEAR(report.improvement_percent(), 17.0, 1.0);
+}
+
+TEST_F(PipelineFixture, SlowCopyExtendsStage) {
+  // Prefetch slower than processing: the barrier waits for the copy.
+  sim::Simulation sim;
+  FilesystemSpec slow;
+  slow.bandwidth = 10.0;  // bytes/s: copying 100 files x 1e3 B takes ages
+  SimFilesystem lustre(sim, slow);
+  SimFilesystem nvme(sim, FilesystemSpec::nvme());
+  PipelineConfig config = make_config(2);
+  PipelineRunner runner(sim, lustre, nvme, config);
+  PipelineReport report;
+  runner.run([&](const PipelineReport& r) { report = r; });
+  sim.run();
+  // Stage 1 takes copy time (1e5 B / 10 B/s = 1e4 s) > 86 min.
+  EXPECT_GT(report.stages[0].duration(), 86.0 * 60.0);
+  EXPECT_GT(report.stages[0].copy_seconds, 86.0 * 60.0);
+}
+
+TEST_F(PipelineFixture, StageReportsAreContiguous) {
+  sim::Simulation sim;
+  SimFilesystem lustre(sim, FilesystemSpec::lustre());
+  SimFilesystem nvme(sim, FilesystemSpec::nvme());
+  PipelineRunner runner(sim, lustre, nvme, make_config(4));
+  PipelineReport report;
+  runner.run([&](const PipelineReport& r) { report = r; });
+  sim.run();
+  for (std::size_t s = 1; s < report.stages.size(); ++s) {
+    EXPECT_DOUBLE_EQ(report.stages[s].start_time, report.stages[s - 1].end_time);
+  }
+  EXPECT_DOUBLE_EQ(report.stages.back().end_time, report.makespan);
+}
+
+TEST_F(PipelineFixture, RejectsBadConfig) {
+  sim::Simulation sim;
+  SimFilesystem lustre(sim, FilesystemSpec::lustre());
+  SimFilesystem nvme(sim, FilesystemSpec::nvme());
+  PipelineConfig empty;
+  EXPECT_THROW(PipelineRunner(sim, lustre, nvme, empty), util::ConfigError);
+  PipelineConfig bad = make_config(2);
+  bad.prefetch_depth = 0;
+  EXPECT_THROW(PipelineRunner(sim, lustre, nvme, bad), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace parcl::storage

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/blocking_queue.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parcl::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleWithNoWork) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  EXPECT_EQ(pool.thread_count(), 2u);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) { EXPECT_THROW(ThreadPool(0), ConfigError); }
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(peak.load(), 2);
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> queue;
+  for (int i = 0; i < 10; ++i) queue.push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(queue.pop().value(), i);
+}
+
+TEST(BlockingQueue, CloseDrainsThenStops) {
+  BlockingQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> queue;
+  auto result = queue.pop_for(0.02);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BlockingQueue, TryPop) {
+  BlockingQueue<int> queue;
+  EXPECT_FALSE(queue.try_pop().has_value());
+  queue.push(9);
+  EXPECT_EQ(queue.try_pop().value(), 9);
+}
+
+TEST(BlockingQueue, BoundedCapacityBlocksProducer) {
+  BlockingQueue<int> queue(2);
+  queue.push(1);
+  queue.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    queue.push(3);
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(third_pushed.load());  // full queue blocks
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> queue(16);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 4; ++p) {
+    threads.emplace_back([&queue] {
+      for (int i = 1; i <= 250; ++i) queue.push(i);
+    });
+  }
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = queue.pop()) sum.fetch_add(*v);
+    });
+  }
+  for (int p = 0; p < 4; ++p) threads[static_cast<std::size_t>(p)].join();
+  queue.close();
+  for (int c = 4; c < 8; ++c) threads[static_cast<std::size_t>(c)].join();
+  EXPECT_EQ(sum.load(), 4L * 250 * 251 / 2);
+}
+
+}  // namespace
+}  // namespace parcl::util

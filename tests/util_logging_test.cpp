@@ -1,0 +1,59 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace parcl::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::global().set_sink(&sink_);
+    Logger::global().set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::global().set_sink(nullptr);
+    Logger::global().set_level(LogLevel::kWarn);
+  }
+  std::ostringstream sink_;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  Logger::global().set_level(LogLevel::kWarn);
+  PARCL_DEBUG() << "hidden";
+  PARCL_INFO() << "hidden too";
+  PARCL_WARN() << "visible-warning";
+  PARCL_ERROR() << "visible-error";
+  std::string out = sink_.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible-warning"), std::string::npos);
+  EXPECT_NE(out.find("visible-error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamStyleComposition) {
+  PARCL_INFO() << "jobs=" << 128 << " rate=" << 4.5;
+  EXPECT_NE(sink_.str().find("jobs=128 rate=4.5"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::global().set_level(LogLevel::kOff);
+  PARCL_ERROR() << "nope";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, NullSinkIsSafe) {
+  Logger::global().set_sink(nullptr);
+  PARCL_ERROR() << "goes nowhere";  // must not crash
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace parcl::util

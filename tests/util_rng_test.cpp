@@ -1,0 +1,108 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace parcl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(11);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    std::int64_t v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(19);
+  std::vector<double> values;
+  for (int i = 0; i < 50001; ++i) values.push_back(rng.lognormal(std::log(30.0), 0.25));
+  std::nth_element(values.begin(), values.begin() + 25000, values.end());
+  EXPECT_NEAR(values[25000], 30.0, 1.0);
+}
+
+TEST(Rng, ExponentialMeanIsOneOverRate) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child and parent should not track each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(37);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = values;
+  rng.shuffle(values);
+  auto sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+}  // namespace
+}  // namespace parcl::util

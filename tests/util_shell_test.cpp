@@ -1,0 +1,84 @@
+#include "util/shell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace parcl::util {
+namespace {
+
+TEST(ShellQuote, SafeStringsPassThrough) {
+  EXPECT_EQ(shell_quote("abc.txt"), "abc.txt");
+  EXPECT_EQ(shell_quote("/a/b_c-d=e:f"), "/a/b_c-d=e:f");
+}
+
+TEST(ShellQuote, UnsafeStringsAreSingleQuoted) {
+  EXPECT_EQ(shell_quote("a b"), "'a b'");
+  EXPECT_EQ(shell_quote(""), "''");
+  EXPECT_EQ(shell_quote("$HOME"), "'$HOME'");
+  EXPECT_EQ(shell_quote("a;rm -rf"), "'a;rm -rf'");
+}
+
+TEST(ShellQuote, EmbeddedSingleQuote) {
+  EXPECT_EQ(shell_quote("it's"), "'it'\\''s'");
+}
+
+TEST(ShellSafe, Classification) {
+  EXPECT_TRUE(shell_safe("x1.y"));
+  EXPECT_FALSE(shell_safe(""));
+  EXPECT_FALSE(shell_safe("a b"));
+  EXPECT_FALSE(shell_safe("a*b"));
+  EXPECT_FALSE(shell_safe("a'b"));
+}
+
+TEST(ShellSplit, BasicWords) {
+  EXPECT_EQ(shell_split("echo hello world"),
+            (std::vector<std::string>{"echo", "hello", "world"}));
+  EXPECT_TRUE(shell_split("   ").empty());
+}
+
+TEST(ShellSplit, SingleQuotes) {
+  EXPECT_EQ(shell_split("echo 'a b' c"), (std::vector<std::string>{"echo", "a b", "c"}));
+  EXPECT_EQ(shell_split("''"), (std::vector<std::string>{""}));
+}
+
+TEST(ShellSplit, DoubleQuotesWithEscapes) {
+  EXPECT_EQ(shell_split("echo \"a \\\" b\""),
+            (std::vector<std::string>{"echo", "a \" b"}));
+  EXPECT_EQ(shell_split("\"x\"'y'z"), (std::vector<std::string>{"xyz"}));
+}
+
+TEST(ShellSplit, BackslashEscapes) {
+  EXPECT_EQ(shell_split("a\\ b"), (std::vector<std::string>{"a b"}));
+}
+
+TEST(ShellSplit, RejectsUnterminatedQuotes) {
+  EXPECT_THROW(shell_split("echo 'oops"), ParseError);
+  EXPECT_THROW(shell_split("echo \"oops"), ParseError);
+  EXPECT_THROW(shell_split("trailing\\"), ParseError);
+}
+
+// Property: quote then split yields the original word, for adversarial
+// inputs.
+class QuoteRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(QuoteRoundTrip, SplitOfQuoteIsIdentity) {
+  const std::string& word = GetParam();
+  auto words = shell_split(shell_quote(word));
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0], word);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversarial, QuoteRoundTrip,
+    ::testing::Values("plain", "a b", "it's", "'''", "$(rm -rf /)", "`ls`",
+                      "a\tb", "a\nb", "*", "?", "[abc]", "a;b|c&d", "\\", "",
+                      "--looks-like-flag", "{}", "{%}", "ends with space "));
+
+TEST(ShellQuoteJoin, JoinsQuotedWords) {
+  EXPECT_EQ(shell_quote_join({"a", "b c"}), "a 'b c'");
+  EXPECT_EQ(shell_quote_join({}), "");
+}
+
+}  // namespace
+}  // namespace parcl::util

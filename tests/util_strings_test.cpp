@@ -1,0 +1,108 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace parcl::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitWs, DropsEmptyFields) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(SplitLines, TrailingNewlineProducesNoEmptyLine) {
+  EXPECT_EQ(split_lines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_lines("a\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_lines("a\n\nb"), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_TRUE(split_lines("").empty());
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "", "yz"};
+  EXPECT_EQ(split(join(parts, ":"), ':'), parts);
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Predicates, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("parallel", "par"));
+  EXPECT_FALSE(starts_with("par", "parallel"));
+  EXPECT_TRUE(ends_with("file.json", ".json"));
+  EXPECT_FALSE(ends_with("x", "xx"));
+  EXPECT_TRUE(contains("abcdef", "cde"));
+  EXPECT_FALSE(contains("abc", "q"));
+}
+
+TEST(ReplaceAll, ReplacesEveryOccurrence) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("x{}y{}", "{}", "1"), "x1y1");
+  EXPECT_EQ(replace_all("none", "zz", "q"), "none");
+  EXPECT_THROW(replace_all("x", "", "y"), InternalError);
+}
+
+TEST(Paths, BasenameDirname) {
+  EXPECT_EQ(path_basename("/a/b/c.txt"), "c.txt");
+  EXPECT_EQ(path_basename("c.txt"), "c.txt");
+  EXPECT_EQ(path_dirname("/a/b/c.txt"), "/a/b");
+  EXPECT_EQ(path_dirname("c.txt"), ".");
+  EXPECT_EQ(path_dirname("/c.txt"), "/");
+}
+
+TEST(Paths, Extensions) {
+  EXPECT_EQ(strip_extension("a/b.c.txt"), "a/b.c");
+  EXPECT_EQ(strip_extension("a/.bashrc"), "a/.bashrc");  // dot-file keeps name
+  EXPECT_EQ(strip_extension("noext"), "noext");
+  EXPECT_EQ(extension("a/b.txt"), ".txt");
+  EXPECT_EQ(extension("a/.bashrc"), "");
+  EXPECT_EQ(extension("noext"), "");
+}
+
+TEST(ParseLong, AcceptsIntegersRejectsJunk) {
+  EXPECT_EQ(parse_long("42"), 42);
+  EXPECT_EQ(parse_long("-7"), -7);
+  EXPECT_THROW(parse_long(""), ParseError);
+  EXPECT_THROW(parse_long("4x"), ParseError);
+  EXPECT_THROW(parse_long("x4"), ParseError);
+  EXPECT_THROW(parse_long("4.5"), ParseError);
+}
+
+TEST(ParseDouble, AcceptsNumbersRejectsJunk) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_THROW(parse_double(""), ParseError);
+  EXPECT_THROW(parse_double("2.5s"), ParseError);
+}
+
+TEST(Format, BytesAndDurations) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(1024.0 * 1024.0), "1.0 MiB");
+  EXPECT_EQ(format_duration(5.25), "5.2s");
+  EXPECT_EQ(format_duration(90.0), "1m30s");
+  EXPECT_EQ(format_duration(3700.0), "1h1m40s");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_double(1.2345, 0), "1");
+}
+
+}  // namespace
+}  // namespace parcl::util

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "sim/duration_model.hpp"
+#include "util/error.hpp"
+#include "wms/central_wms.hpp"
+#include "wms/srun_loop.hpp"
+#include "wms/weak_scaling.hpp"
+
+namespace parcl::wms {
+namespace {
+
+TEST(CentralWms, CalibratedToPublishedPoints) {
+  CentralWmsModel model = CentralWmsModel::swift_t_like();
+  // [7] Fig 10: ~500 s at 50k tasks, ~5,000 s at 100k.
+  EXPECT_NEAR(model.overhead_makespan(50000), 500.0, 25.0);
+  EXPECT_NEAR(model.overhead_makespan(100000), 5000.0, 250.0);
+}
+
+TEST(CentralWms, OverheadIsSuperlinear) {
+  CentralWmsModel model = CentralWmsModel::swift_t_like();
+  double at_25k = model.overhead_makespan(25000);
+  double at_50k = model.overhead_makespan(50000);
+  EXPECT_GT(at_50k / at_25k, 4.0);  // much worse than 2x for 2x tasks
+  EXPECT_GT(model.task_cost(100000), model.task_cost(1000));
+}
+
+TEST(CentralWms, MillionTasksAreCatastrophic) {
+  // The paper's headline: GNU Parallel ran 1.152M tasks in 561 s; the
+  // central-WMS model extrapolates to days.
+  CentralWmsModel model = CentralWmsModel::swift_t_like();
+  EXPECT_GT(model.overhead_makespan(1152000), 100000.0);
+}
+
+TEST(SrunLoop, ThrottleDominatesSubmission) {
+  sim::Simulation sim;
+  slurm::SlurmSpec spec;
+  spec.srun_setup_cost = 0.05;
+  slurm::SlurmSim slurm(sim, spec, util::Rng(1));
+  sim::FixedDuration duration(10.0);
+  SrunLoopConfig config;
+  config.tasks = 36;
+  config.sleep_between = 0.2;
+  config.duration = &duration;
+  SrunLoopResult result = run_srun_loop(sim, slurm, config, util::Rng(2));
+  EXPECT_EQ(result.sruns_issued, 36u);
+  // 35 sleeps of 0.2 s serialize submission; the last task then runs 10 s.
+  EXPECT_GE(result.makespan, 35 * 0.2 + 10.0);
+  EXPECT_LT(result.makespan, 35 * 0.2 + 10.0 + 2.0);
+}
+
+TEST(SrunLoop, RequiresDurationModel) {
+  sim::Simulation sim;
+  slurm::SlurmSim slurm(sim, slurm::SlurmSpec{}, util::Rng(1));
+  SrunLoopConfig config;
+  EXPECT_THROW(run_srun_loop(sim, slurm, config, util::Rng(1)), util::ConfigError);
+}
+
+TEST(WeakScaling, SmallRunDrainsAndReportsSpans) {
+  WeakScalingConfig config;
+  config.nodes = 50;
+  config.tasks_per_node = 128;
+  config.seed = 9;
+  WeakScalingResult result = run_weak_scaling(config);
+  EXPECT_EQ(result.nodes, 50u);
+  EXPECT_EQ(result.total_tasks, 6400u);
+  ASSERT_EQ(result.node_spans.size(), 50u);
+  for (double span : result.node_spans) EXPECT_GT(span, 0.0);
+  auto stats = result.span_stats();
+  // Node setup (~40 s) dominates; spans cluster tightly around it.
+  EXPECT_GT(stats.median, 30.0);
+  EXPECT_LT(stats.median, 90.0);
+  EXPECT_DOUBLE_EQ(result.makespan, stats.max);
+}
+
+TEST(WeakScaling, WeakScalingIsFlatWithoutStragglers) {
+  auto median_at = [](std::size_t nodes) {
+    WeakScalingConfig config;
+    config.nodes = nodes;
+    config.tasks_per_node = 64;
+    config.slurm.straggler_probability = 0.0;
+    config.seed = 4;
+    return run_weak_scaling(config).span_stats().median;
+  };
+  double at_20 = median_at(20);
+  double at_200 = median_at(200);
+  EXPECT_NEAR(at_200 / at_20, 1.0, 0.1);  // weak scaling: flat medians
+}
+
+TEST(WeakScaling, StragglersProduceOutliersAtScale) {
+  WeakScalingConfig config;
+  config.nodes = 2000;
+  config.tasks_per_node = 32;
+  config.slurm.straggler_probability = 0.002;
+  config.slurm.straggler_median = 200.0;
+  config.seed = 31;
+  WeakScalingResult result = run_weak_scaling(config);
+  auto stats = result.span_stats();
+  EXPECT_FALSE(stats.outliers.empty());
+  EXPECT_GT(stats.max, stats.median * 2.0);
+}
+
+TEST(WeakScaling, GpuConfigHasNarrowVariance) {
+  WeakScalingConfig config = gpu_scaling_config(20, 300.0, 0.005);
+  config.seed = 12;
+  WeakScalingResult result = run_weak_scaling(config);
+  auto stats = result.span_stats();
+  // Paper Fig 2: variance under 10 s across nodes.
+  EXPECT_LT(stats.max - stats.min, 10.0);
+  EXPECT_GT(stats.median, 300.0);  // the task actually ran
+}
+
+TEST(WeakScaling, RejectsZeroNodes) {
+  WeakScalingConfig config;
+  config.nodes = 0;
+  EXPECT_THROW(run_weak_scaling(config), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace parcl::wms

@@ -1,0 +1,102 @@
+#include "workloads/darshan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace parcl::workloads {
+namespace {
+
+TEST(Darshan, SerializeParseRoundTrip) {
+  util::Rng rng(3);
+  DarshanLog log = generate_darshan_log(4242, rng);
+  DarshanLog parsed = parse_darshan_log(serialize_darshan_log(log));
+  EXPECT_EQ(parsed.job_id, log.job_id);
+  EXPECT_EQ(parsed.app, log.app);
+  EXPECT_EQ(parsed.month, log.month);
+  EXPECT_EQ(parsed.nprocs, log.nprocs);
+  ASSERT_EQ(parsed.files.size(), log.files.size());
+  for (std::size_t i = 0; i < log.files.size(); ++i) {
+    EXPECT_EQ(parsed.files[i].path, log.files[i].path);
+    EXPECT_EQ(parsed.files[i].bytes_read, log.files[i].bytes_read);
+    EXPECT_EQ(parsed.files[i].bytes_written, log.files[i].bytes_written);
+  }
+}
+
+TEST(Darshan, GeneratorProducesValidMonthsAndApps) {
+  util::Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    DarshanLog log = generate_darshan_log(static_cast<std::uint64_t>(i), rng);
+    EXPECT_GE(log.month, 1);
+    EXPECT_LE(log.month, 12);
+    EXPECT_FALSE(log.app.empty());
+    EXPECT_FALSE(log.files.empty());
+    EXPECT_GE(log.nprocs, 1u);
+  }
+}
+
+TEST(Darshan, ParseRejectsMalformedRecords) {
+  EXPECT_THROW(parse_darshan_log("POSIX\t/f\t1\t2\t3\t4\n"), util::ParseError);  // no jobid
+  EXPECT_THROW(parse_darshan_log("# jobid: 1\nPOSIX\t/f\t1\t2\n"), util::ParseError);
+  EXPECT_THROW(parse_darshan_log("# jobid: 1\n# month: 13\n"), util::ParseError);
+  EXPECT_THROW(parse_darshan_log("# jobid: 1\nMPIIO\t/f\t1\t2\t3\t4\n"),
+               util::ParseError);
+}
+
+TEST(Darshan, ParseToleratesUnknownHeaders) {
+  DarshanLog log = parse_darshan_log(
+      "# darshan log version: 3.41\n# jobid: 7\n# mystery: x\n# month: 2\n");
+  EXPECT_EQ(log.job_id, 7u);
+  EXPECT_EQ(log.month, 2);
+}
+
+TEST(Darshan, AggregationSumsPerAppMonth) {
+  DarshanLog a;
+  a.job_id = 1;
+  a.app = "vasp";
+  a.month = 3;
+  a.nprocs = 360;
+  a.runtime_seconds = 3600.0;
+  a.files.push_back({"/gpfs/x", 100, 50, 2, 1});
+  a.files.push_back({"/gpfs/y", 2 << 20, 0, 40, 0});
+  DarshanLog b = a;
+  b.job_id = 2;
+  b.files.resize(1);
+
+  auto report = analyze_darshan_logs(
+      {serialize_darshan_log(a), serialize_darshan_log(b)});
+  ASSERT_EQ(report.size(), 1u);
+  const DarshanAggregate& agg = report.at({"vasp", 3});
+  EXPECT_EQ(agg.jobs, 2u);
+  EXPECT_EQ(agg.files, 3u);
+  EXPECT_EQ(agg.bytes_read, 100u + (2u << 20) + 100u);
+  EXPECT_EQ(agg.small_files, 2u);  // the two 150-byte files
+  EXPECT_NEAR(agg.core_hours, 2 * 360.0, 1e-9);
+}
+
+TEST(Darshan, AggregationSeparatesMonths) {
+  util::Rng rng(11);
+  std::vector<std::string> logs;
+  for (int i = 0; i < 100; ++i) {
+    logs.push_back(serialize_darshan_log(generate_darshan_log(i, rng)));
+  }
+  auto report = analyze_darshan_logs(logs);
+  std::uint64_t total_jobs = 0;
+  for (const auto& [key, agg] : report) {
+    EXPECT_GE(key.second, 1);
+    EXPECT_LE(key.second, 12);
+    total_jobs += agg.jobs;
+  }
+  EXPECT_EQ(total_jobs, 100u);
+}
+
+TEST(Darshan, ReportRendersTsv) {
+  util::Rng rng(13);
+  auto report = analyze_darshan_logs({serialize_darshan_log(generate_darshan_log(1, rng))});
+  std::string tsv = render_darshan_report(report);
+  EXPECT_NE(tsv.find("app\tmonth"), std::string::npos);
+  EXPECT_GT(tsv.size(), 30u);
+}
+
+}  // namespace
+}  // namespace parcl::workloads

@@ -1,0 +1,112 @@
+#include "workloads/forge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parcl::workloads {
+namespace {
+
+TEST(Scrub, RemovesControlCharsAndCollapsesWhitespace) {
+  EXPECT_EQ(scrub_text("a\x01\x02 b\t\tc\n\nd"), "a b c d");
+  EXPECT_EQ(scrub_text("  leading and trailing  "), "leading and trailing");
+  EXPECT_EQ(scrub_text(""), "");
+  EXPECT_EQ(scrub_text("\x07\x1b"), "");
+}
+
+TEST(Scrub, KeepsPrintableAscii) {
+  EXPECT_EQ(scrub_text("Energy = 1.5 MeV (±0.1)"), "Energy = 1.5 MeV (0.1)");
+}
+
+TEST(LooksEnglish, AcceptsEnglishProse) {
+  EXPECT_TRUE(looks_english(
+      "the results of the experiment are in agreement with the predictions of "
+      "the model and the analysis of the data"));
+}
+
+TEST(LooksEnglish, RejectsNonEnglishAndGarbage) {
+  EXPECT_FALSE(looks_english(
+      "les resultats de l'experience sont en accord avec les predictions du "
+      "modele et l'analyse des donnees"));
+  EXPECT_FALSE(looks_english("xq zvw qqpl mnb vvx kjh asd qwe rty uio"));
+  EXPECT_FALSE(looks_english("too short"));
+}
+
+TEST(ContentHash, StableAndDiscriminating) {
+  EXPECT_EQ(content_hash("abc"), content_hash("abc"));
+  EXPECT_NE(content_hash("abc"), content_hash("abd"));
+  EXPECT_NE(content_hash(""), content_hash(" "));
+}
+
+TEST(Curate, ExtractsSections) {
+  RawDocument raw{"d1",
+                  "ABSTRACT: the study of the model is presented here for the "
+                  "analysis\nBODY: we describe the method and the results of "
+                  "the work in detail"};
+  CuratedDocument doc = curate_document(raw);
+  EXPECT_NE(doc.abstract.find("the study of the model"), std::string::npos);
+  EXPECT_NE(doc.body.find("we describe the method"), std::string::npos);
+  EXPECT_EQ(doc.abstract.find("BODY"), std::string::npos);
+  EXPECT_TRUE(doc.english);
+}
+
+TEST(Curate, MissingMarkersTreatWholeTextAsBody) {
+  RawDocument raw{"d2", "the analysis of the data is consistent with the model"};
+  CuratedDocument doc = curate_document(raw);
+  EXPECT_TRUE(doc.abstract.empty());
+  EXPECT_FALSE(doc.body.empty());
+}
+
+TEST(CurateBatch, FiltersDedupsAndCounts) {
+  RawDocument english{"e1",
+                      "ABSTRACT: the results of the analysis are in agreement "
+                      "with the theory and the data"};
+  RawDocument duplicate = english;
+  duplicate.id = "e2";
+  RawDocument french{"f1",
+                     "ABSTRACT: les resultats de l'analyse sont en accord avec "
+                     "la theorie et les donnees du modele"};
+  RawDocument empty{"x1", "\x01\x02\x03"};
+
+  CurationStats stats;
+  auto kept = curate_batch({english, duplicate, french, empty}, stats);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].id, "e1");
+  EXPECT_EQ(stats.input_documents, 4u);
+  EXPECT_EQ(stats.kept, 1u);
+  EXPECT_EQ(stats.dropped_duplicates, 1u);
+  EXPECT_EQ(stats.dropped_non_english, 1u);
+  EXPECT_EQ(stats.dropped_empty, 1u);
+  EXPECT_GT(stats.bytes_in, stats.bytes_out);
+}
+
+TEST(GenerateCorpus, MixMatchesConfiguredShares) {
+  util::Rng rng(17);
+  auto corpus = generate_corpus(2000, rng);
+  EXPECT_EQ(corpus.size(), 2000u);
+  CurationStats stats;
+  auto kept = curate_batch(corpus, stats);
+  // ~70% English, ~15% non-English, ~10% duplicates, ~5% garbage.
+  EXPECT_GT(stats.kept, 1000u);
+  EXPECT_LT(stats.kept, 1600u);
+  EXPECT_GT(stats.dropped_non_english, 150u);
+  EXPECT_GT(stats.dropped_duplicates, 50u);
+  EXPECT_EQ(stats.kept, kept.size());
+  EXPECT_EQ(stats.kept + stats.dropped_duplicates + stats.dropped_empty +
+                stats.dropped_non_english,
+            2000u);
+}
+
+TEST(CurateBatch, IsDeterministic) {
+  util::Rng rng_a(23), rng_b(23);
+  auto corpus_a = generate_corpus(500, rng_a);
+  auto corpus_b = generate_corpus(500, rng_b);
+  CurationStats stats_a, stats_b;
+  auto kept_a = curate_batch(corpus_a, stats_a);
+  auto kept_b = curate_batch(corpus_b, stats_b);
+  ASSERT_EQ(kept_a.size(), kept_b.size());
+  for (std::size_t i = 0; i < kept_a.size(); ++i) {
+    EXPECT_EQ(kept_a[i].content_hash, kept_b[i].content_hash);
+  }
+}
+
+}  // namespace
+}  // namespace parcl::workloads

@@ -1,0 +1,111 @@
+#include "workloads/goes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace parcl::workloads {
+namespace {
+
+TEST(Goes, EightRegionsMatchListing2) {
+  std::vector<std::string> regions(std::begin(kGoesRegions), std::end(kGoesRegions));
+  EXPECT_EQ(regions, (std::vector<std::string>{"cgl", "ne", "nr", "se", "sp", "sr",
+                                               "pr", "pnw"}));
+}
+
+TEST(Goes, FetchProducesRequestedGeometry) {
+  SectorImage image = fetch_sector_image("ne", 1000, 300, 200);
+  EXPECT_EQ(image.width, 300u);
+  EXPECT_EQ(image.height, 200u);
+  EXPECT_EQ(image.pixel_count(), 60000u);
+  EXPECT_EQ(image.region, "ne");
+}
+
+TEST(Goes, DeterministicPerRegionAndTimestamp) {
+  SectorImage a = fetch_sector_image("se", 500, 128, 128);
+  SectorImage b = fetch_sector_image("se", 500, 128, 128);
+  EXPECT_EQ(a.pixels, b.pixels);
+}
+
+TEST(Goes, RegionsDiffer) {
+  SectorImage a = fetch_sector_image("se", 500, 128, 128);
+  SectorImage b = fetch_sector_image("pnw", 500, 128, 128);
+  EXPECT_NE(a.pixels, b.pixels);
+}
+
+TEST(Goes, CloudFieldEvolvesSlowly) {
+  // 30 s apart: same field (timestamp bucket 300 s); far apart: different.
+  SectorImage t0 = fetch_sector_image("sp", 0, 128, 128);
+  SectorImage t30 = fetch_sector_image("sp", 30, 128, 128);
+  SectorImage t1h = fetch_sector_image("sp", 3600, 128, 128);
+  EXPECT_EQ(t0.pixels, t30.pixels);
+  EXPECT_NE(t0.pixels, t1h.pixels);
+}
+
+TEST(Goes, MeanBrightnessInRange) {
+  SectorImage image = fetch_sector_image("nr", 100, 256, 256);
+  double mean = mean_brightness_percent(image);
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 95.0);
+}
+
+TEST(Goes, CloudFractionRespondsToThreshold) {
+  SectorImage image = fetch_sector_image("cgl", 100, 256, 256);
+  double strict = cloud_fraction_percent(image, 250);
+  double loose = cloud_fraction_percent(image, 10);
+  EXPECT_LE(strict, loose);
+  EXPECT_GE(strict, 0.0);
+  EXPECT_LE(loose, 100.0);
+}
+
+TEST(Goes, MeanBrightnessMatchesManualComputation) {
+  SectorImage image;
+  image.width = 2;
+  image.height = 1;
+  image.pixels = {0, 255};
+  EXPECT_DOUBLE_EQ(mean_brightness_percent(image), 50.0);
+}
+
+TEST(Goes, PgmRoundTrip) {
+  std::string path = ::testing::TempDir() + "goes_test.pgm";
+  SectorImage original = fetch_sector_image("ne", 4242, 64, 48);
+  write_pgm(original, path);
+  SectorImage loaded = read_pgm(path);
+  EXPECT_EQ(loaded.width, 64u);
+  EXPECT_EQ(loaded.height, 48u);
+  EXPECT_EQ(loaded.pixels, original.pixels);
+  EXPECT_DOUBLE_EQ(mean_brightness_percent(loaded),
+                   mean_brightness_percent(original));
+  std::remove(path.c_str());
+}
+
+TEST(Goes, PgmRejectsBadFiles) {
+  EXPECT_THROW(read_pgm("/no/such/file.pgm"), util::SystemError);
+  std::string path = ::testing::TempDir() + "goes_bad.pgm";
+  {
+    std::ofstream out(path);
+    out << "P6\n2 2\n255\nxxxx";
+  }
+  EXPECT_THROW(read_pgm(path), util::ParseError);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n4 4\n255\nxx";  // truncated pixel data
+  }
+  EXPECT_THROW(read_pgm(path), util::ParseError);
+  std::remove(path.c_str());
+  SectorImage empty;
+  EXPECT_THROW(write_pgm(empty, path), util::ConfigError);
+}
+
+TEST(Goes, RejectsEmptyImages) {
+  SectorImage empty;
+  EXPECT_THROW(mean_brightness_percent(empty), util::ConfigError);
+  EXPECT_THROW(cloud_fraction_percent(empty), util::ConfigError);
+  EXPECT_THROW(fetch_sector_image("ne", 0, 0, 10), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace parcl::workloads
