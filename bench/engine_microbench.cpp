@@ -4,8 +4,10 @@
 // title claims.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <sstream>
 
+#include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "core/input.hpp"
 #include "core/replacement.hpp"
@@ -86,6 +88,69 @@ void BM_EngineDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineDispatch)->Arg(1000)->Arg(10000);
 
+/// Dispatch with per-job timeouts armed: every iteration of the engine loop
+/// consults the deadline structure, so this isolates the cost of timeout
+/// tracking (formerly an O(active) scan per completion, now a min-heap).
+void BM_EngineDispatchWithTimeouts(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    exec::SimExecutor executor(sim, [](const core::ExecRequest&) {
+      return exec::SimOutcome{0.0, 0, ""};
+    });
+    core::Options options;
+    options.jobs = 128;
+    options.timeout_seconds = 1e6;  // armed but never fires
+    std::ostringstream out, err;
+    core::Engine engine(options, executor, out, err);
+    std::vector<core::ArgVector> inputs;
+    inputs.reserve(static_cast<std::size_t>(state.range(0)));
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      inputs.push_back({std::to_string(i)});
+    }
+    core::RunSummary summary = engine.run("noop {}", std::move(inputs));
+    benchmark::DoNotOptimize(summary);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineDispatchWithTimeouts)->Arg(10000);
+
+/// One timed engine-only dispatch (no google-benchmark), for the
+/// machine-readable BENCH_dispatch.json record.
+double measure_engine_dispatch_rate(std::size_t n, bool with_timeouts) {
+  sim::Simulation sim;
+  exec::SimExecutor executor(sim, [](const core::ExecRequest&) {
+    return exec::SimOutcome{0.0, 0, ""};
+  });
+  core::Options options;
+  options.jobs = 128;
+  if (with_timeouts) options.timeout_seconds = 1e6;
+  std::ostringstream out, err;
+  core::Engine engine(options, executor, out, err);
+  std::vector<core::ArgVector> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) inputs.push_back({std::to_string(i)});
+  auto t0 = std::chrono::steady_clock::now();
+  core::RunSummary summary = engine.run("noop {}", std::move(inputs));
+  auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(summary);
+  return static_cast<double>(n) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  parcl::bench::BenchJson json("BENCH_dispatch.json");
+  json.set("engine_microbench", "engine_dispatch_jobs_per_s",
+           measure_engine_dispatch_rate(20000, false));
+  json.set("engine_microbench", "engine_dispatch_with_timeouts_jobs_per_s",
+           measure_engine_dispatch_rate(20000, true));
+  json.write();
+  std::cout << "wrote BENCH_dispatch.json\n";
+  return 0;
+}

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <deque>
 #include <iostream>
 #include <limits>
-#include <map>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <set>
+#include <unordered_map>
 
 #include <filesystem>
 #include <fstream>
@@ -240,8 +242,27 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
   }
 
   SlotPool slots(options_.effective_jobs());
-  std::map<std::uint64_t, Active> active;  // job_id -> attempt
+  std::unordered_map<std::uint64_t, Active> active;  // job_id -> attempt
+  active.reserve(options_.effective_jobs() * 2);
   std::uint64_t next_job_id = 1;
+
+  // Timeout deadlines as a lazy min-heap: one entry per pending SIGTERM or
+  // SIGKILL escalation, discarded when the attempt already completed. This
+  // replaces scanning every in-flight attempt each loop iteration.
+  struct DeadlineEvent {
+    double time = 0.0;
+    std::uint64_t job_id = 0;
+    bool escalation = false;  // false: send SIGTERM; true: send SIGKILL
+  };
+  auto deadline_after = [](const DeadlineEvent& a, const DeadlineEvent& b) {
+    return a.time > b.time;
+  };
+  std::priority_queue<DeadlineEvent, std::vector<DeadlineEvent>,
+                      decltype(deadline_after)>
+      deadlines(deadline_after);
+
+  // Retries re-enter here, ahead of untouched pending work, in O(1).
+  std::deque<Pending> retries;
 
   bool stop_starting = false;  // halt soon/now engaged
   double last_start = -std::numeric_limits<double>::infinity();
@@ -335,7 +356,10 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     }
 
     double now = executor_.now();
-    if (options_.timeout_seconds > 0.0) attempt.deadline = now + options_.timeout_seconds;
+    if (options_.timeout_seconds > 0.0) {
+      attempt.deadline = now + options_.timeout_seconds;
+      deadlines.push({attempt.deadline, request.job_id, /*escalation=*/false});
+    }
     last_start = now;
     summary.start_times.push_back(now);
     active.emplace(request.job_id, std::move(attempt));
@@ -366,34 +390,48 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     return std::max(executor_.now(), last_start + options_.delay_seconds);
   };
 
+  auto queued_work = [&] { return !retries.empty() || next_pending < queue.size(); };
+
   while (true) {
-    // Phase 1: fill free slots.
-    while (!stop_starting && next_pending < queue.size() && slots.any_free()) {
+    // Phase 1: fill free slots (retries first, then fresh pending work).
+    while (!stop_starting && queued_work() && slots.any_free()) {
       double ready_at = next_start_time();
       if (ready_at > executor_.now()) break;  // wait out --delay below
-      start_one(std::move(queue[next_pending]));
-      ++next_pending;
+      if (!retries.empty()) {
+        Pending retry = std::move(retries.front());
+        retries.pop_front();
+        start_one(std::move(retry));
+      } else {
+        start_one(std::move(queue[next_pending]));
+        ++next_pending;
+      }
     }
 
     if (active.empty()) {
-      if (stop_starting || next_pending >= queue.size()) break;  // drained
+      if (stop_starting || !queued_work()) break;  // drained
       // Only --delay can leave us idle here; wait for it in phase 2.
     }
 
     // Phase 2: wait for a completion, a timeout deadline, or the delay gate.
     double wait = -1.0;  // indefinitely
     double now = executor_.now();
-    if (!stop_starting && next_pending < queue.size() && options_.delay_seconds > 0.0) {
+    if (!stop_starting && queued_work() && options_.delay_seconds > 0.0) {
       double gate = last_start + options_.delay_seconds;
       if (slots.any_free() && gate > now) wait = gate - now;
     }
-    for (const auto& [id, attempt] : active) {
-      if (attempt.deadline > 0.0) {
-        double until = std::max(0.0, (attempt.kill_sent ? attempt.deadline + kTimeoutGrace
-                                                        : attempt.deadline) -
-                                         now);
-        wait = wait < 0.0 ? until : std::min(wait, until);
+    while (!deadlines.empty()) {
+      const DeadlineEvent& next = deadlines.top();
+      auto it = active.find(next.job_id);
+      bool stale = it == active.end() ||
+                   (next.escalation ? it->second.force_sent
+                                    : it->second.kill_sent);
+      if (stale) {
+        deadlines.pop();
+        continue;
       }
+      double until = std::max(0.0, next.time - now);
+      wait = wait < 0.0 ? until : std::min(wait, until);
+      break;
     }
     if (active.empty() && wait < 0.0) {
       // Nothing running and nothing gating: loop back to start more.
@@ -403,17 +441,23 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     std::optional<ExecResult> completion = executor_.wait_any(wait);
     now = executor_.now();
 
-    // Phase 3: enforce timeouts.
-    for (auto& [id, attempt] : active) {
-      if (attempt.deadline <= 0.0) continue;
-      if (!attempt.kill_sent && now >= attempt.deadline) {
+    // Phase 3: enforce due timeouts (heap-ordered, O(log n) per event).
+    while (!deadlines.empty() && deadlines.top().time <= now) {
+      DeadlineEvent event = deadlines.top();
+      deadlines.pop();
+      auto it = active.find(event.job_id);
+      if (it == active.end()) continue;  // attempt already completed
+      Active& attempt = it->second;
+      if (!event.escalation) {
+        if (attempt.kill_sent) continue;
         attempt.kill_sent = true;
         attempt.killed_for_timeout = true;
-        executor_.kill(id, /*force=*/false);
-      } else if (attempt.kill_sent && !attempt.force_sent &&
-                 now >= attempt.deadline + kTimeoutGrace) {
+        executor_.kill(event.job_id, /*force=*/false);
+        deadlines.push({event.time + kTimeoutGrace, event.job_id,
+                        /*escalation=*/true});
+      } else if (attempt.kill_sent && !attempt.force_sent) {
         attempt.force_sent = true;
-        executor_.kill(id, /*force=*/true);
+        executor_.kill(event.job_id, /*force=*/true);
       }
     }
 
@@ -442,15 +486,15 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     bool retryable = status == JobStatus::kFailed || status == JobStatus::kSignaled ||
                      status == JobStatus::kTimedOut;
     if (retryable && attempt.attempts < options_.retries && !stop_starting) {
-      // Re-queue at the front of the remaining work.
+      // Re-queue at the front of the remaining work (O(1), newest first —
+      // the order the old vector::insert at next_pending produced).
       Pending retry;
       retry.seq = attempt.seq;
       retry.args = std::move(attempt.args);
       retry.stdin_data = std::move(attempt.stdin_data);
       retry.has_stdin = attempt.has_stdin;
       retry.attempts = attempt.attempts;
-      queue.insert(queue.begin() + static_cast<std::ptrdiff_t>(next_pending),
-                   std::move(retry));
+      retries.push_front(std::move(retry));
       continue;
     }
 
@@ -483,7 +527,14 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     }
   }
 
-  // Jobs never started (halt engaged) are skipped.
+  // Jobs never started (halt engaged) are skipped — including retries that
+  // were queued but never relaunched.
+  for (const Pending& retry : retries) {
+    JobResult& result = summary.results[retry.seq - 1];
+    result.status = JobStatus::kSkipped;
+    ++summary.skipped;
+    collator.mark_absent(result.seq);
+  }
   for (std::size_t i = next_pending; i < queue.size(); ++i) {
     JobResult& result = summary.results[queue[i].seq - 1];
     result.status = JobStatus::kSkipped;

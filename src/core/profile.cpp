@@ -8,6 +8,30 @@
 
 namespace parcl::core {
 
+double DispatchCounters::mean_spawn_us() const noexcept {
+  if (spawns == 0) return 0.0;
+  return spawn_seconds / static_cast<double>(spawns) * 1e6;
+}
+
+double DispatchCounters::events_per_poll() const noexcept {
+  if (polls == 0) return 0.0;
+  return static_cast<double>(poll_events) / static_cast<double>(polls);
+}
+
+std::string DispatchCounters::render() const {
+  std::ostringstream out;
+  out << "spawns           " << spawns << " (" << direct_execs
+      << " direct-exec), mean " << util::format_double(mean_spawn_us(), 1)
+      << " us\n"
+      << "reaps            " << reaps << " (" << reap_sweeps << " sweeps)\n"
+      << "polls            " << polls << ", " << poll_events << " events ("
+      << util::format_double(events_per_poll(), 2) << "/poll), "
+      << exit_wakeups << " exit wakeups\n"
+      << "poll wait        " << util::format_double(poll_wait_seconds, 3)
+      << " s\n";
+  return out.str();
+}
+
 double ParallelProfile::utilization(std::size_t slots) const noexcept {
   if (slots == 0 || span <= 0.0) return 0.0;
   return total_busy / (static_cast<double>(slots) * span);

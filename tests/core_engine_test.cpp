@@ -464,5 +464,61 @@ TEST(Engine, DispatchRateIsMeasured) {
   EXPECT_EQ(summary.start_times.size(), 50u);
 }
 
+TEST(Engine, RetryRunsBeforeRemainingPendingWork) {
+  // A failed attempt is re-queued at the head of the pending work, so with
+  // one slot the retry executes before untouched inputs (seed semantics,
+  // now via the retry deque instead of vector::insert at the front).
+  std::mutex mutex;
+  std::vector<std::string> order;
+  std::atomic<int> a_calls{0};
+  auto task = [&](const ExecRequest& request) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(request.command);
+    }
+    TaskOutcome outcome;
+    if (request.command == "t a" && a_calls.fetch_add(1) == 0) {
+      outcome.exit_code = 1;
+    }
+    return outcome;
+  };
+  Options options;
+  options.retries = 2;
+  FunctionExecutor executor(task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("t {}", values({"a", "b", "c"}));
+  EXPECT_EQ(summary.succeeded, 3u);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "t a");
+  EXPECT_EQ(order[1], "t a");  // retry jumps the queue
+  EXPECT_EQ(order[2], "t b");
+  EXPECT_EQ(order[3], "t c");
+}
+
+TEST(Engine, StaleDeadlinesFromFinishedJobsNeverFire) {
+  // Every job arms a deadline; jobs finish long before it. The lazy-deletion
+  // min-heap accumulates one stale entry per completion and must discard
+  // them all without touching later attempts that reuse nothing.
+  auto task = [](const ExecRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return TaskOutcome{};
+  };
+  Options options;
+  options.jobs = 8;
+  options.timeout_seconds = 30.0;
+  FunctionExecutor executor(task, 8);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 64; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("job {}", std::move(inputs));
+  EXPECT_EQ(summary.succeeded, 64u);
+  EXPECT_EQ(summary.failed, 0u);
+  for (const auto& result : summary.results) {
+    EXPECT_EQ(result.status, JobStatus::kSuccess);
+  }
+}
+
 }  // namespace
 }  // namespace parcl::core

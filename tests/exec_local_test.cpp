@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+
+#include <algorithm>
 #include <sstream>
 
 #include "core/engine.hpp"
@@ -228,6 +231,185 @@ TEST(LocalExecutor, WaitAnyWithNothingActiveTimesOut) {
   double t0 = executor.now();
   EXPECT_FALSE(executor.wait_any(0.05).has_value());
   EXPECT_GE(executor.now() - t0, 0.04);
+}
+
+TEST(LocalExecutor, CompletionWakesWaitAnyImmediately) {
+  // Regression for the old 100 ms waitpid sweep: with no capture pipes (the
+  // -u configuration) a child's exit must wake wait_any() through the pidfd
+  // / SIGCHLD self-pipe event, not the next periodic sweep. Minimum over a
+  // few runs shrugs off CI scheduling noise; the sweep-based executor could
+  // not get below ~80 ms latency for this child lifetime.
+  LocalExecutor executor;
+  double best_latency = 1e9;
+  for (int attempt = 0; attempt < 3 && best_latency > 0.010; ++attempt) {
+    ExecRequest request;
+    request.job_id = static_cast<std::uint64_t>(100 + attempt);
+    request.command = "/bin/sleep 0.12";
+    request.use_shell = false;
+    request.capture_output = false;
+    double t0 = executor.now();
+    executor.start(request);
+    auto result = executor.wait_any(5.0);
+    double elapsed = executor.now() - t0;
+    ASSERT_TRUE(result.has_value());
+    best_latency = std::min(best_latency, elapsed - 0.12);
+  }
+  EXPECT_LT(best_latency, 0.05);
+}
+
+TEST(LocalExecutor, ManyShortLivedChildrenCompleteOutOfOrder) {
+  // Children exit in roughly reverse start order; the event-driven reaper
+  // must surface each completion as it happens, not in table order.
+  LocalExecutor executor;
+  constexpr int kJobs = 10;
+  for (int i = 0; i < kJobs; ++i) {
+    ExecRequest request;
+    request.job_id = static_cast<std::uint64_t>(i + 1);
+    // Job 1 sleeps longest (0.18 s); job kJobs exits immediately.
+    char duration[16];
+    std::snprintf(duration, sizeof(duration), "%.2f", 0.02 * (kJobs - 1 - i));
+    request.command = std::string("/bin/sleep ") + duration;
+    request.use_shell = false;
+    request.capture_output = false;
+    executor.start(request);
+  }
+  std::vector<std::uint64_t> order;
+  while (executor.active_count() > 0) {
+    auto result = executor.wait_any(10.0);
+    ASSERT_TRUE(result.has_value());
+    order.push_back(result->job_id);
+  }
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kJobs));
+  std::vector<std::uint64_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(i + 1));
+  }
+  // Loose ordering assertions (scheduling noise): the first completion is a
+  // short sleeper, the last a long one.
+  EXPECT_GT(order.front(), static_cast<std::uint64_t>(kJobs / 2));
+  EXPECT_LE(order.back(), static_cast<std::uint64_t>(kJobs / 2));
+}
+
+TEST(LocalExecutor, StdinBackpressureWithSlowConsumer) {
+  // The child reads nothing for 200 ms, so the 1 MiB stdin block backs up
+  // far beyond the pipe buffer before draining; the POLLOUT-driven feed must
+  // deliver every byte.
+  std::string block(1 << 20, 'x');
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run_pipe("sleep 0.2; wc -c", {block});
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_NE(out.str().find("1048576"), std::string::npos);
+}
+
+TEST(LocalExecutor, TimeoutEscalatesToSigkillForStubbornChild) {
+  // The child ignores SIGTERM, so only the engine's SIGKILL escalation
+  // (timeout + 1 s grace) can end it.
+  Options options;
+  options.timeout_seconds = 0.2;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run_raw("trap '' TERM; sleep 30");
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.results[0].status, core::JobStatus::kTimedOut);
+  EXPECT_EQ(summary.results[0].term_signal, SIGKILL);
+  EXPECT_LT(summary.results[0].runtime(), 5.0);
+}
+
+TEST(LocalExecutor, ManyConcurrentTimeoutsAllEnforced) {
+  // Several overlapping deadlines exercise the engine's timeout min-heap
+  // with real children.
+  Options options;
+  options.jobs = 6;
+  options.timeout_seconds = 0.15;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 6; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("sleep 30 '{}'", std::move(inputs));
+  EXPECT_EQ(summary.failed, 6u);
+  for (const auto& result : summary.results) {
+    EXPECT_EQ(result.status, core::JobStatus::kTimedOut);
+    EXPECT_LT(result.runtime(), 5.0);
+  }
+}
+
+TEST(LocalExecutor, SpawnFailureUnderDirectExecReports127) {
+  // posix_spawnp reports the missing binary synchronously; the engine must
+  // fold that into the shell convention's exit 127.
+  Options options;
+  options.use_shell = false;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("/definitely/not/a/binary {}", values({"x"}));
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.results[0].exit_code, 127);
+}
+
+TEST(LocalExecutor, ShellSafeCommandSkipsTheShell) {
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("/bin/echo {}", values({"fast-path"}));
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_NE(out.str().find("fast-path"), std::string::npos);
+  EXPECT_EQ(executor.counters().direct_execs, 1u);
+  EXPECT_EQ(executor.counters().spawns, 1u);
+}
+
+TEST(LocalExecutor, MetacharactersStillGoThroughTheShell) {
+  Options options;
+  LocalExecutor executor;
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  RunSummary summary = engine.run("/bin/echo {} && /bin/echo second",
+                                  values({"first"}));
+  EXPECT_EQ(summary.succeeded, 1u);
+  EXPECT_NE(out.str().find("second"), std::string::npos);
+  EXPECT_EQ(executor.counters().direct_execs, 0u);
+}
+
+TEST(LocalExecutor, EndTimeRecordedAtReap) {
+  // end_time must come from the moment the child was reaped, not from a
+  // later harvest pass — a /bin/true runtime is a couple of milliseconds.
+  LocalExecutor executor;
+  ExecRequest request;
+  request.job_id = 1;
+  request.command = "/bin/true";
+  request.use_shell = false;
+  request.capture_output = false;
+  executor.start(request);
+  auto result = executor.wait_any(5.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(result->end_time - result->start_time, 0.05);
+}
+
+void custom_sigpipe_handler(int) {}
+
+TEST(LocalExecutor, RestoresPriorSigpipeDisposition) {
+  struct sigaction custom {};
+  custom.sa_handler = custom_sigpipe_handler;
+  sigemptyset(&custom.sa_mask);
+  struct sigaction original {};
+  ASSERT_EQ(sigaction(SIGPIPE, &custom, &original), 0);
+  {
+    LocalExecutor executor;
+    struct sigaction during {};
+    ASSERT_EQ(sigaction(SIGPIPE, nullptr, &during), 0);
+    EXPECT_EQ(during.sa_handler, SIG_IGN);
+  }
+  struct sigaction after {};
+  ASSERT_EQ(sigaction(SIGPIPE, nullptr, &after), 0);
+  EXPECT_EQ(after.sa_handler, custom_sigpipe_handler);
+  sigaction(SIGPIPE, &original, nullptr);
 }
 
 }  // namespace
