@@ -1,0 +1,119 @@
+// Robustness overhead: engine throughput (jobs/s, wall clock) with the
+// fault-injection layer driving ~1% of jobs through a failure path, versus
+// the same workload fault-free. Quantifies what the retry/halt/rewrite
+// machinery costs when failures are routine — the regime the paper's
+// extreme-scale campaigns live in. Writes the `fault_soak` section of
+// BENCH_dispatch.json.
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "exec/fault_executor.hpp"
+#include "exec/sim_executor.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace parcl;
+
+struct SoakResult {
+  double jobs_per_s = 0.0;
+  std::uint64_t faults = 0;
+  std::size_t succeeded = 0;
+};
+
+/// One sim-backed engine run of `n` zero-duration jobs under `plan`;
+/// everything timed is parcl bookkeeping plus the fault layer itself.
+SoakResult run_soak(std::size_t n, const exec::FaultPlan& plan) {
+  sim::Simulation sim;
+  exec::SimExecutor inner(sim, [](const core::ExecRequest& request) {
+    return exec::SimOutcome{0.0, 0, request.command + "\n"};
+  });
+  exec::FaultInjectingExecutor executor(inner, plan);
+  core::Options options;
+  options.jobs = 128;
+  options.retries = 5;  // every injected failure gets retried to success
+  std::ostringstream out, err;
+  core::Engine engine(options, executor, out, err);
+  std::vector<core::ArgVector> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) inputs.push_back({std::to_string(i)});
+
+  auto t0 = std::chrono::steady_clock::now();
+  core::RunSummary summary = engine.run("noop {}", std::move(inputs));
+  auto t1 = std::chrono::steady_clock::now();
+
+  const exec::FaultCounters& counters = executor.counters();
+  SoakResult result;
+  result.jobs_per_s =
+      static_cast<double>(n) / std::chrono::duration<double>(t1 - t0).count();
+  result.faults = counters.spawn_failures + counters.kills +
+                  counters.exit_rewrites + counters.truncations +
+                  counters.stragglers;
+  result.succeeded = summary.succeeded;
+  return result;
+}
+
+}  // namespace
+
+void keep_best(SoakResult& best, SoakResult round) {
+  if (round.jobs_per_s > best.jobs_per_s) best = std::move(round);
+}
+
+int main() {
+  const std::size_t kJobs = 20000;
+  // The injected spawn failures are deliberate; don't spam stderr with them.
+  util::Logger::global().set_level(util::LogLevel::kError);
+
+  bench::print_header("fault soak", "robustness overhead at a 1% fault rate");
+
+  exec::FaultPlan fault_free;  // inert
+  exec::FaultPlan one_percent;
+  one_percent.seed = 2026;
+  one_percent.spawn_failure_prob = 0.0025;
+  one_percent.kill_prob = 0.0025;
+  one_percent.fail_prob = 0.0025;
+  one_percent.truncate_prob = 0.0025;
+
+  // Warm-up pass to stabilise allocator state, then interleaved measured
+  // rounds (best of 3 each): wall-clock jitter on a loaded 1-CPU host
+  // exceeds the effect under study, and back-to-back blocks would hand the
+  // later configuration a warmed-cache advantage.
+  run_soak(kJobs / 4, fault_free);
+  SoakResult baseline, faulty;
+  for (int round = 0; round < 3; ++round) {
+    keep_best(baseline, run_soak(kJobs, fault_free));
+    keep_best(faulty, run_soak(kJobs, one_percent));
+  }
+
+  double overhead_pct =
+      (baseline.jobs_per_s - faulty.jobs_per_s) / baseline.jobs_per_s * 100.0;
+  double fault_rate_pct =
+      static_cast<double>(faulty.faults) / static_cast<double>(kJobs) * 100.0;
+
+  util::Table table({"configuration", "jobs/s", "faults", "succeeded"});
+  table.add_row({"fault-free", util::format_double(baseline.jobs_per_s, 1),
+                 "0", std::to_string(baseline.succeeded)});
+  table.add_row({"~1% fault rate", util::format_double(faulty.jobs_per_s, 1),
+                 std::to_string(faulty.faults), std::to_string(faulty.succeeded)});
+  std::cout << table.render() << '\n';
+  std::cout << "measured fault rate: " << util::format_double(fault_rate_pct, 2)
+            << "%  throughput overhead: " << util::format_double(overhead_pct, 2)
+            << "%\n";
+  if (faulty.succeeded != kJobs) {
+    std::cout << "WARNING: " << (kJobs - faulty.succeeded)
+              << " jobs did not converge within the retry budget\n";
+  }
+
+  bench::BenchJson json("BENCH_dispatch.json");
+  json.set("fault_soak", "soak_jobs_per_s_fault_free", baseline.jobs_per_s);
+  json.set("fault_soak", "soak_jobs_per_s_1pct_faults", faulty.jobs_per_s);
+  json.set("fault_soak", "soak_fault_rate_pct", fault_rate_pct);
+  json.set("fault_soak", "soak_overhead_pct", overhead_pct);
+  json.write();
+  std::cout << "wrote BENCH_dispatch.json\n";
+  return 0;
+}

@@ -331,6 +331,24 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     if (on_result_) on_result_(final_result);
   };
 
+  // Halt trigger, shared by the completion path and the spawn-failure path
+  // (an injected or real spawn error is a failure like any other and must
+  // count toward --halt).
+  auto apply_halt_policy = [&] {
+    if (stop_starting ||
+        !options_.halt.triggered(summary.failed, summary.succeeded, done, total_jobs)) {
+      return;
+    }
+    summary.halted = true;
+    stop_starting = true;
+    if (options_.halt.when == HaltWhen::kNow) {
+      for (auto& [id, running] : active) {
+        running.killed_for_halt = true;
+        executor_.kill(id, /*force=*/false);
+      }
+    }
+  };
+
   auto start_one = [&](Pending job) {
     std::size_t slot = slots.acquire();
     CommandTemplate::Context context{job.seq, slot};
@@ -366,11 +384,23 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     try {
       executor_.start(request);
     } catch (const util::SystemError& error) {
-      // Spawn failure counts as a failed attempt with exit code 127.
+      // Spawn failure counts as a failed attempt with exit code 127. It
+      // flows through the same retry budget and halt accounting as a
+      // nonzero exit: only an exhausted job becomes a final result.
       PARCL_WARN() << "spawn failed for seq " << job.seq << ": " << error.what();
       Active failed = std::move(active.at(request.job_id));
       active.erase(request.job_id);
       slots.release(failed.slot);
+      if (failed.attempts < options_.retries && !stop_starting) {
+        Pending retry;
+        retry.seq = failed.seq;
+        retry.args = std::move(failed.args);
+        retry.stdin_data = std::move(failed.stdin_data);
+        retry.has_stdin = failed.has_stdin;
+        retry.attempts = failed.attempts;
+        retries.push_back(std::move(retry));
+        return;
+      }
       JobResult result;
       result.seq = failed.seq;
       result.args = failed.args;
@@ -382,6 +412,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
       result.start_time = now;
       result.end_time = now;
       record_final(std::move(result));
+      apply_halt_policy();
     }
   };
 
@@ -514,17 +545,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     record_final(std::move(result));
 
     // Phase 5: halt policy.
-    if (!stop_starting &&
-        options_.halt.triggered(summary.failed, summary.succeeded, done, total_jobs)) {
-      summary.halted = true;
-      stop_starting = true;
-      if (options_.halt.when == HaltWhen::kNow) {
-        for (auto& [id, running] : active) {
-          running.killed_for_halt = true;
-          executor_.kill(id, /*force=*/false);
-        }
-      }
-    }
+    apply_halt_policy();
   }
 
   // Jobs never started (halt engaged) are skipped — including retries that

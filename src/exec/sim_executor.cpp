@@ -23,6 +23,8 @@ void SimExecutor::start(const core::ExecRequest& request) {
   ActiveJob job;
   job.result.job_id = request.job_id;
   job.result.exit_code = outcome.exit_code;
+  job.result.term_signal = outcome.term_signal;
+  if (outcome.term_signal != 0) job.result.exit_code = 128 + outcome.term_signal;
   job.result.stdout_data = std::move(outcome.stdout_data);
   job.result.start_time = sim_.now();
   std::uint64_t id = request.job_id;
@@ -46,6 +48,12 @@ std::optional<core::ExecResult> SimExecutor::wait_any(double timeout_seconds) {
   };
 
   if (auto result = take_ready()) return result;
+
+  // Contract: a negative timeout with nothing in flight returns nullopt
+  // immediately. Without this guard a shared simulation holding unrelated
+  // events (node churn, monitors) would have its timeline burned down here
+  // even though no completion can ever arrive.
+  if (timeout_seconds < 0.0 && active_.empty()) return std::nullopt;
 
   double deadline = timeout_seconds < 0.0 ? -1.0 : sim_.now() + timeout_seconds;
   while (ready_.empty()) {

@@ -19,6 +19,7 @@ struct SimOutcome {
   double duration = 0.0;  // service time in sim seconds
   int exit_code = 0;
   std::string stdout_data;
+  int term_signal = 0;  // non-zero: the job dies by this signal instead
 };
 
 /// Decides the fate of a simulated job. May inspect command/env/slot.

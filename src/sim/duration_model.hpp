@@ -57,6 +57,28 @@ class StragglerMixture final : public DurationModel {
   double p_;
 };
 
+/// Pareto (power-law) tail: scale * U^(-1/alpha), U uniform in (0, 1].
+/// Heavy-tailed for small alpha — the straggler component observed on
+/// outlier nodes (allocation / NVMe / Lustre delays) whose worst cases are
+/// orders of magnitude above the median. alpha <= 1 has infinite mean, so
+/// `cap` (0 = uncapped) bounds individual samples for finite-horizon runs.
+class ParetoDuration final : public DurationModel {
+ public:
+  ParetoDuration(double scale, double alpha, double cap = 0.0)
+      : scale_(scale), alpha_(alpha), cap_(cap) {}
+
+  double sample(util::Rng& rng) override {
+    // 1 - next_double() is in (0, 1]: never zero, so the pow is finite.
+    double value = scale_ * std::pow(1.0 - rng.next_double(), -1.0 / alpha_);
+    return cap_ > 0.0 && value > cap_ ? cap_ : value;
+  }
+
+ private:
+  double scale_;
+  double alpha_;
+  double cap_;
+};
+
 /// Uniform in [lo, hi).
 class UniformDuration final : public DurationModel {
  public:

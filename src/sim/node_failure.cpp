@@ -1,0 +1,55 @@
+#include "sim/node_failure.hpp"
+
+#include "util/error.hpp"
+
+namespace parcl::sim {
+
+NodeChurnModel::NodeChurnModel(const NodeChurnConfig& config) : config_(config) {
+  if (config.nodes == 0) throw util::ConfigError("node churn needs >= 1 node");
+  if (config.mtbf_seconds < 0.0 || config.repair_seconds < 0.0) {
+    throw util::ConfigError("node churn times must be >= 0");
+  }
+  util::Rng root(config.seed);
+  per_node_.reserve(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    Node node(root.fork());
+    if (config_.mtbf_seconds > 0.0) {
+      node.next_failure = node.rng.exponential(1.0 / config_.mtbf_seconds);
+    }
+    per_node_.push_back(std::move(node));
+  }
+}
+
+std::size_t NodeChurnModel::node_of_slot(std::size_t slot) const noexcept {
+  return slot == 0 ? 0 : (slot - 1) % per_node_.size();
+}
+
+void NodeChurnModel::advance(Node& node, double time) {
+  // Each failure is followed by a repair window, then a fresh exponential
+  // uptime. Failures landing inside a repair window cannot happen (nothing
+  // is running there), so the timeline simply hops failure -> repair ->
+  // next failure until it passes `time`.
+  while (node.next_failure < time) {
+    ++failures_;
+    node.next_failure += config_.repair_seconds +
+                         node.rng.exponential(1.0 / config_.mtbf_seconds);
+  }
+}
+
+std::optional<double> NodeChurnModel::failure_within(std::size_t slot,
+                                                     double start,
+                                                     double duration) {
+  if (config_.mtbf_seconds <= 0.0 || duration <= 0.0) return std::nullopt;
+  Node& node = per_node_[node_of_slot(slot)];
+  advance(node, start);
+  if (node.next_failure < start + duration) {
+    double when = node.next_failure;
+    ++failures_;
+    node.next_failure += config_.repair_seconds +
+                         node.rng.exponential(1.0 / config_.mtbf_seconds);
+    return when;
+  }
+  return std::nullopt;
+}
+
+}  // namespace parcl::sim

@@ -1,0 +1,61 @@
+// Node-failure (MTBF) model for cluster-scale simulations.
+//
+// At >= 7,000 nodes the paper's runs lose nodes as a matter of course; the
+// engine's retry/halt machinery is what turns that churn into completed
+// campaigns. NodeChurnModel gives SimExecutor task models a deterministic
+// answer to "does the node running this job die before the job finishes?":
+// each node alternates exponential(1/MTBF) uptime with a fixed repair time,
+// with all randomness drawn from per-node forks of one seeded Rng, so a
+// million-job run replays identically from its seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parcl::sim {
+
+struct NodeChurnConfig {
+  std::size_t nodes = 1;          // distinct nodes; slots map round-robin
+  double mtbf_seconds = 0.0;      // mean uptime between failures (0 = never)
+  double repair_seconds = 0.0;    // downtime after each failure
+  std::uint64_t seed = 1;
+};
+
+class NodeChurnModel {
+ public:
+  /// Throws ConfigError on zero nodes or negative times.
+  explicit NodeChurnModel(const NodeChurnConfig& config);
+
+  /// If the node hosting 1-based `slot` fails inside [start, start+duration),
+  /// returns the failure instant. Queries for a given node must not move
+  /// backwards in time (jobs on one slot run in start-time order, which is
+  /// how the engine uses slots).
+  std::optional<double> failure_within(std::size_t slot, double start,
+                                       double duration);
+
+  /// Which node a 1-based slot lives on.
+  std::size_t node_of_slot(std::size_t slot) const noexcept;
+
+  std::size_t nodes() const noexcept { return per_node_.size(); }
+  std::uint64_t failures_sampled() const noexcept { return failures_; }
+
+ private:
+  struct Node {
+    util::Rng rng;
+    double next_failure = 0.0;  // upcoming failure instant
+    explicit Node(util::Rng r) : rng(r) {}
+  };
+
+  /// Advances the node's failure timeline until next_failure covers `time`.
+  void advance(Node& node, double time);
+
+  NodeChurnConfig config_;
+  std::vector<Node> per_node_;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace parcl::sim

@@ -189,6 +189,117 @@ TEST(ParclProfile, BadUsage) {
             255);
 }
 
+// --- Failure plumbing: --retries / --timeout / --halt through the binary,
+// --- checking joblog Exitval/Signal columns and the exit status against
+// --- GNU parallel's documented semantics.
+
+TEST(ParclCli, RetriesRerunUntilSuccessAndLogOneRow) {
+  // The job fails until its third run: a counter file scripts the attempts.
+  std::string counter = ::testing::TempDir() + "parcl_cli_retry_count";
+  std::string log_path = ::testing::TempDir() + "parcl_cli_retry.tsv";
+  std::remove(counter.c_str());
+  std::remove(log_path.c_str());
+  CommandResult result = run_command(
+      parcl() + " --retries 3 --joblog " + log_path +
+      " 'c=$(cat " + counter + " 2>/dev/null || echo 0); c=$((c+1));"
+      " echo $c > " + counter + "; test $c -ge 3 && echo attempt-$c-{}'"
+      " ::: ok");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("attempt-3-ok"), std::string::npos);
+  // Exactly one joblog row (the final attempt), Exitval 0, Signal 0.
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  auto lines = parcl::util::split_lines(content);
+  ASSERT_EQ(lines.size(), 2u) << content;  // header + one row
+  EXPECT_NE(lines[1].find("\t0\t0\t"), std::string::npos) << lines[1];
+  std::remove(counter.c_str());
+  std::remove(log_path.c_str());
+}
+
+TEST(ParclCli, RetriesExhaustedFailsWithJoblogExitval) {
+  std::string log_path = ::testing::TempDir() + "parcl_cli_exhaust.tsv";
+  std::remove(log_path.c_str());
+  CommandResult result = run_command(
+      parcl() + " --retries 2 --joblog " + log_path + " 'exit 7' ::: a");
+  EXPECT_EQ(result.exit_code, 1);  // one failed job
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  auto lines = parcl::util::split_lines(content);
+  ASSERT_EQ(lines.size(), 2u) << content;
+  EXPECT_NE(lines[1].find("\t7\t0\t"), std::string::npos)
+      << "joblog must record Exitval 7, Signal 0: " << lines[1];
+  std::remove(log_path.c_str());
+}
+
+TEST(ParclCli, CrashingScriptRecordsSignalColumn) {
+  std::string log_path = ::testing::TempDir() + "parcl_cli_crash.tsv";
+  std::remove(log_path.c_str());
+  // The shell (and hence the job) dies by SIGKILL.
+  CommandResult result = run_command(
+      parcl() + " --joblog " + log_path + " 'kill -9 $$' ::: x");
+  EXPECT_EQ(result.exit_code, 1);  // the signaled job counts as failed
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  auto lines = parcl::util::split_lines(content);
+  ASSERT_EQ(lines.size(), 2u) << content;
+  // Exitval 128+9 (parallel's shell convention) and Signal 9.
+  EXPECT_NE(lines[1].find("\t137\t9\t"), std::string::npos)
+      << "joblog must record Signal 9: " << lines[1];
+  std::remove(log_path.c_str());
+}
+
+TEST(ParclCli, TimeoutRecordsTermSignalInJoblog) {
+  std::string log_path = ::testing::TempDir() + "parcl_cli_tkill.tsv";
+  std::remove(log_path.c_str());
+  CommandResult result = run_command(
+      parcl() + " --timeout 0.3 --joblog " + log_path + " 'sleep {}' ::: 10");
+  EXPECT_EQ(result.exit_code, 1);
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  auto lines = parcl::util::split_lines(content);
+  ASSERT_EQ(lines.size(), 2u) << content;
+  EXPECT_NE(lines[1].find("\t143\t15\t"), std::string::npos)
+      << "timed-out job should die by SIGTERM: " << lines[1];
+  std::remove(log_path.c_str());
+}
+
+TEST(ParclCli, HaltNowStopsAfterFirstFailure) {
+  // 6 jobs on one slot: the second fails; now,fail=1 must keep the later
+  // jobs from ever starting. Their output must not appear.
+  CommandResult result = run_command(
+      parcl() + " -j1 -k --halt now,fail=1 'test {} -ne 2 && echo ran-{};"
+                " test {} -ne 2' ::: 1 2 3 4 5 6");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("ran-1"), std::string::npos);
+  EXPECT_EQ(result.output.find("ran-3"), std::string::npos);
+  EXPECT_EQ(result.output.find("ran-6"), std::string::npos);
+}
+
+TEST(ParclCli, HaltSoonLetsRunningJobsFinish) {
+  // Slot 1 starts a slow success before the failure lands on slot 2; soon
+  // must let it finish (its output appears) but start nothing new.
+  CommandResult result = run_command(
+      parcl() + " -j2 -k --halt soon,fail=1"
+                " 'test {} -eq 1 && sleep 0.4; test {} -ne 2 && echo done-{};"
+                " test {} -ne 2' ::: 1 2 3 4");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("done-1"), std::string::npos)
+      << "halt soon must not kill the in-flight job: " << result.output;
+  EXPECT_EQ(result.output.find("done-4"), std::string::npos);
+}
+
+TEST(ParclCli, SpawnFailureRetriesAndCountsAsFailure) {
+  // --no-shell with a nonexistent binary: every attempt is a spawn error;
+  // the run fails without hanging and exits with the failed-job count.
+  CommandResult result = run_command(
+      parcl() + " --no-shell --retries 2 '/no/such/binary {}' ::: a b");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
 TEST(ParclCli, SemaphoreRunsCommandVerbatim) {
   CommandResult result = run_command(
       parcl() + " --semaphore --id cli_test_sem -j2 echo sem-ran");

@@ -1,0 +1,208 @@
+// FaultInjectingExecutor unit tests: decision determinism, each fault
+// class's observable effect, straggler holds, and the churn task model.
+#include "exec/fault_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "exec/function_executor.hpp"
+#include "exec/sim_executor.hpp"
+#include "sim/node_failure.hpp"
+#include "sim/simulation.hpp"
+#include "util/error.hpp"
+
+namespace parcl::exec {
+namespace {
+
+using core::ExecRequest;
+using core::ExecResult;
+
+/// Sim backend where every job runs `duration` sim seconds and echoes.
+SimExecutor make_echo_sim(sim::Simulation& sim, double duration = 1.0) {
+  return SimExecutor(sim, [duration](const ExecRequest& request) {
+    return SimOutcome{duration, 0, request.command + "\n"};
+  });
+}
+
+ExecRequest request_for(std::uint64_t job_id, const std::string& command) {
+  ExecRequest request;
+  request.job_id = job_id;
+  request.command = command;
+  return request;
+}
+
+TEST(FaultExecutor, InertPlanIsTransparent) {
+  sim::Simulation sim;
+  SimExecutor inner = make_echo_sim(sim);
+  FaultInjectingExecutor executor(inner, FaultPlan{});
+  executor.start(request_for(1, "echo hello"));
+  auto result = executor.wait_any(-1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->exit_code, 0);
+  EXPECT_EQ(result->stdout_data, "echo hello\n");
+  EXPECT_EQ(executor.counters().started, 1u);
+  EXPECT_EQ(executor.counters().delivered, 1u);
+}
+
+TEST(FaultExecutor, SpawnFailureThrowsBeforeReachingBackend) {
+  sim::Simulation sim;
+  SimExecutor inner = make_echo_sim(sim);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.spawn_failure_prob = 1.0;
+  FaultInjectingExecutor executor(inner, plan);
+  EXPECT_THROW(executor.start(request_for(1, "doomed")), util::SystemError);
+  EXPECT_EQ(inner.active_count(), 0u);
+  EXPECT_EQ(executor.counters().spawn_failures, 1u);
+  EXPECT_EQ(executor.counters().started, 0u);
+}
+
+TEST(FaultExecutor, KillRewritesToSignalDeath) {
+  sim::Simulation sim;
+  SimExecutor inner = make_echo_sim(sim);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.kill_prob = 1.0;
+  FaultInjectingExecutor executor(inner, plan);
+  executor.start(request_for(1, "victim"));
+  auto result = executor.wait_any(-1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->term_signal, SIGKILL);
+  EXPECT_EQ(result->exit_code, 128 + SIGKILL);
+}
+
+TEST(FaultExecutor, TruncationTearsOutputAndForcesFailure) {
+  sim::Simulation sim;
+  SimExecutor inner(sim, [](const ExecRequest&) {
+    return SimOutcome{1.0, 0, std::string(1000, 'x')};
+  });
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.truncate_prob = 1.0;
+  FaultInjectingExecutor executor(inner, plan);
+  executor.start(request_for(1, "writer"));
+  auto result = executor.wait_any(-1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(result->stdout_data.size(), 1000u);
+  EXPECT_NE(result->exit_code, 0) << "torn output must not look like success";
+}
+
+TEST(FaultExecutor, StragglerHoldsDeliveryUntilReleaseTime) {
+  sim::Simulation sim;
+  SimExecutor inner = make_echo_sim(sim, /*duration=*/1.0);
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.straggler_prob = 1.0;
+  plan.straggler_delay_min = 10.0;
+  plan.straggler_delay_max = 10.0;
+  FaultInjectingExecutor executor(inner, plan);
+  executor.start(request_for(1, "late"));
+  // The job itself finishes at t=1; delivery is held until t=11.
+  EXPECT_FALSE(executor.wait_any(5.0).has_value());
+  EXPECT_EQ(executor.active_count(), 1u) << "held job still counts as active";
+  auto result = executor.wait_any(30.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(sim.now(), 11.0);
+  EXPECT_DOUBLE_EQ(result->end_time, 1.0) << "the job ended on time; its news was late";
+  EXPECT_EQ(executor.counters().stragglers, 1u);
+}
+
+TEST(FaultExecutor, DecisionsReplayBitForBitAcrossInstances) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    SimExecutor inner = make_echo_sim(sim);
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.spawn_failure_prob = 0.2;
+    plan.kill_prob = 0.2;
+    plan.fail_prob = 0.2;
+    FaultInjectingExecutor executor(inner, plan);
+    std::string trace;
+    for (std::uint64_t job = 1; job <= 40; ++job) {
+      try {
+        executor.start(request_for(job, "cmd " + std::to_string(job)));
+      } catch (const util::SystemError&) {
+        trace += "S";
+        continue;
+      }
+      auto result = executor.wait_any(-1.0);
+      trace += result->term_signal != 0 ? "K" : (result->exit_code != 0 ? "F" : ".");
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43)) << "different seeds must differ";
+}
+
+TEST(FaultExecutor, RejectsInvalidPlans) {
+  sim::Simulation sim;
+  SimExecutor inner = make_echo_sim(sim);
+  FaultPlan bad_prob;
+  bad_prob.kill_prob = 1.5;
+  EXPECT_THROW(FaultInjectingExecutor(inner, bad_prob), util::ConfigError);
+  FaultPlan bad_delay;
+  bad_delay.straggler_delay_min = 2.0;
+  bad_delay.straggler_delay_max = 1.0;
+  EXPECT_THROW(FaultInjectingExecutor(inner, bad_delay), util::ConfigError);
+  FaultPlan bad_exit;
+  bad_exit.fail_exit_code = 0;
+  EXPECT_THROW(FaultInjectingExecutor(inner, bad_exit), util::ConfigError);
+}
+
+TEST(NodeChurn, FailsJobsOnDeadNodesDeterministically) {
+  sim::NodeChurnConfig config;
+  config.nodes = 4;
+  config.mtbf_seconds = 100.0;
+  config.repair_seconds = 10.0;
+  config.seed = 77;
+  sim::NodeChurnModel a(config), b(config);
+  // Two models with the same seed agree on every query.
+  for (std::size_t slot = 1; slot <= 8; ++slot) {
+    for (double start = 0.0; start < 500.0; start += 40.0) {
+      EXPECT_EQ(a.failure_within(slot, start, 35.0), b.failure_within(slot, start, 35.0));
+    }
+  }
+  EXPECT_GT(a.failures_sampled(), 0u) << "an MTBF of 100s over 500s must fail sometimes";
+}
+
+TEST(NodeChurn, ZeroMtbfNeverFails) {
+  sim::NodeChurnConfig config;
+  config.nodes = 2;
+  config.mtbf_seconds = 0.0;
+  sim::NodeChurnModel model(config);
+  EXPECT_FALSE(model.failure_within(1, 0.0, 1e9).has_value());
+}
+
+TEST(NodeChurn, ChurnTaskModelKillsJobAtFailureInstant) {
+  sim::Simulation sim;
+  sim::FixedDuration durations(50.0);
+  sim::NodeChurnConfig config;
+  config.nodes = 1;
+  config.mtbf_seconds = 10.0;  // dies long before the 50s job finishes
+  config.repair_seconds = 0.0;
+  config.seed = 5;
+  sim::NodeChurnModel churn(config);
+  util::Rng rng(1);
+  TaskModel model = churn_task_model(sim, durations, churn, rng);
+  ExecRequest request = request_for(1, "payload");
+  request.slot = 1;
+  bool saw_kill = false;
+  for (int i = 0; i < 20 && !saw_kill; ++i) {
+    SimOutcome outcome = model(request);
+    if (outcome.exit_code == 128 + SIGKILL) {
+      saw_kill = true;
+      EXPECT_LT(outcome.duration, 50.0) << "killed jobs end at the failure instant";
+    }
+  }
+  EXPECT_TRUE(saw_kill);
+}
+
+}  // namespace
+}  // namespace parcl::exec

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+
 #include <algorithm>
 #include <sstream>
 #include <vector>
@@ -175,6 +177,68 @@ TEST_P(ListSchedulingBounds, MakespanWithinGrahamBounds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ListSchedulingBounds,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+// Regression: a job killed between start() and its completion event must
+// surface exactly one ExecResult — the cancelled completion must not fire
+// too, and a TERM->KILL escalation must not mint a second result.
+TEST(SimExecutor, KilledWhileQueuedSurfacesExactlyOneResult) {
+  sim::Simulation simulation;
+  SimExecutor executor(simulation, [](const ExecRequest&) {
+    return SimOutcome{50.0, 0, "never-delivered"};
+  });
+  ExecRequest request;
+  request.job_id = 7;
+  request.command = "victim";
+  executor.start(request);
+  EXPECT_EQ(executor.active_count(), 1u);
+
+  executor.kill(7, /*force=*/false);
+  executor.kill(7, /*force=*/true);  // escalation: must not duplicate
+
+  std::vector<core::ExecResult> results;
+  while (auto result = executor.wait_any(200.0)) results.push_back(*result);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].job_id, 7u);
+  EXPECT_EQ(results[0].term_signal, SIGTERM);
+  EXPECT_EQ(executor.active_count(), 0u);
+  // The cancelled completion event must not reappear later.
+  simulation.run();
+  EXPECT_FALSE(executor.wait_any(0.0).has_value());
+}
+
+// Regression: with nothing in flight, a negative timeout returns nullopt
+// immediately — it must not burn down unrelated events on a shared
+// simulation (node churn, monitors) hunting for a completion that cannot
+// arrive.
+TEST(SimExecutor, IdleIndefiniteWaitLeavesSharedSimulationUntouched) {
+  sim::Simulation simulation;
+  int unrelated_fired = 0;
+  simulation.schedule(5.0, [&] { ++unrelated_fired; });
+  SimExecutor executor(simulation,
+                       [](const ExecRequest&) { return SimOutcome{1.0, 0, ""}; });
+  EXPECT_FALSE(executor.wait_any(-1.0).has_value());
+  EXPECT_EQ(unrelated_fired, 0);
+  EXPECT_DOUBLE_EQ(simulation.now(), 0.0);
+}
+
+// A task model can report death-by-signal; the result carries both the
+// signal and the 128+N exit convention.
+TEST(SimExecutor, TaskModelSignalDeathFlowsThrough) {
+  sim::Simulation simulation;
+  SimExecutor executor(simulation, [](const ExecRequest&) {
+    SimOutcome outcome;
+    outcome.duration = 2.0;
+    outcome.term_signal = SIGKILL;
+    return outcome;
+  });
+  ExecRequest request;
+  request.job_id = 1;
+  executor.start(request);
+  auto result = executor.wait_any(-1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->term_signal, SIGKILL);
+  EXPECT_EQ(result->exit_code, 128 + SIGKILL);
+}
 
 TEST(SimExecutor, RejectsNegativeDispatchCost) {
   sim::Simulation simulation;

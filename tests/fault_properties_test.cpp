@@ -1,0 +1,209 @@
+// Property tests for the retry/halt contract, parameterized over
+// (retries, halt policy, failure pattern) and driven through
+// FunctionExecutor with scripted per-attempt outcomes.
+//
+// The contracts under test mirror GNU parallel's documented semantics:
+//   --retries N   => a job runs at most N attempts, and stops retrying at
+//                    its first success;
+//   --halt now,fail=1   => the first final failure stops the run and kills
+//                    in-flight jobs;
+//   --halt soon,fail=N% => crossing the percentage stops new starts but
+//                    lets running jobs finish;
+//   success variants count successes instead.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "exec/function_executor.hpp"
+#include "invariants.hpp"
+
+namespace parcl {
+namespace {
+
+using core::Engine;
+using core::HaltWhen;
+using core::JobStatus;
+using core::Options;
+using core::RunSummary;
+using exec::FunctionExecutor;
+using exec::TaskOutcome;
+
+/// Which attempts of which jobs fail.
+enum class FailurePattern {
+  kNone,          // every attempt succeeds
+  kEveryThird,    // every third job fails all attempts
+  kFirstTwoTries, // every job fails its first two attempts, then succeeds
+  kAllFail,       // every attempt of every job fails
+};
+
+const char* pattern_name(FailurePattern pattern) {
+  switch (pattern) {
+    case FailurePattern::kNone: return "none";
+    case FailurePattern::kEveryThird: return "every-third-job";
+    case FailurePattern::kFirstTwoTries: return "first-two-tries";
+    case FailurePattern::kAllFail: return "all-fail";
+  }
+  return "?";
+}
+
+struct Param {
+  std::size_t retries;
+  std::string halt;
+  FailurePattern pattern;
+};
+
+class RetryHaltProperty : public ::testing::TestWithParam<Param> {};
+
+/// Scripted task: consults the pattern and a per-command attempt counter.
+/// The command carries the seq as its argument ("job <n>").
+class ScriptedTask {
+ public:
+  explicit ScriptedTask(FailurePattern pattern) : pattern_(pattern) {}
+
+  TaskOutcome operator()(const core::ExecRequest& request) {
+    std::size_t attempt;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      attempt = attempts_[request.command]++;
+    }
+    std::uint64_t seq = std::strtoull(
+        request.command.substr(request.command.rfind(' ') + 1).c_str(), nullptr, 10);
+    TaskOutcome outcome;
+    switch (pattern_) {
+      case FailurePattern::kNone:
+        break;
+      case FailurePattern::kEveryThird:
+        if (seq % 3 == 0) outcome.exit_code = 1;
+        break;
+      case FailurePattern::kFirstTwoTries:
+        if (attempt < 2) outcome.exit_code = 1;
+        break;
+      case FailurePattern::kAllFail:
+        outcome.exit_code = 1;
+        break;
+    }
+    if (outcome.exit_code == 0) outcome.stdout_data = request.command + "\n";
+    return outcome;
+  }
+
+ private:
+  FailurePattern pattern_;
+  std::mutex mutex_;
+  std::map<std::string, std::size_t> attempts_;
+};
+
+TEST_P(RetryHaltProperty, AttemptBudgetAndStopBehaviorHold) {
+  const Param& param = GetParam();
+  const std::size_t kJobs = 24;
+
+  ScriptedTask task(param.pattern);
+  FunctionExecutor executor([&task](const core::ExecRequest& r) { return task(r); },
+                            4);
+  Options options;
+  options.jobs = 4;
+  options.retries = param.retries;
+  options.halt = core::HaltPolicy::parse(param.halt);
+  options.output_mode = core::OutputMode::kKeepOrder;
+
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<core::ArgVector> inputs;
+  for (std::size_t i = 1; i <= kJobs; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("job {}", std::move(inputs));
+
+  testing::InvariantReport report;
+  testing::check_run(summary, options, kJobs, report);
+  ASSERT_TRUE(report.ok()) << pattern_name(param.pattern) << " / " << param.halt
+                           << " / retries=" << param.retries << "\n"
+                           << report.str();
+
+  for (const core::JobResult& result : summary.results) {
+    switch (result.status) {
+      case JobStatus::kSuccess:
+        // A successful job stops retrying at its first success.
+        if (param.pattern == FailurePattern::kFirstTwoTries) {
+          EXPECT_EQ(result.attempts, 3u) << "seq " << result.seq;
+        } else {
+          EXPECT_EQ(result.attempts, 1u) << "seq " << result.seq;
+        }
+        break;
+      case JobStatus::kFailed:
+        // A failed job exhausted its full budget (unless halt cut it off).
+        if (!summary.halted) {
+          EXPECT_EQ(result.attempts, options.retries) << "seq " << result.seq;
+        } else {
+          EXPECT_LE(result.attempts, options.retries) << "seq " << result.seq;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  const bool any_failures = param.pattern == FailurePattern::kEveryThird ||
+                            param.pattern == FailurePattern::kAllFail;
+  if (options.halt.when == HaltWhen::kNever || !any_failures) {
+    if (param.pattern != FailurePattern::kAllFail) {
+      EXPECT_FALSE(summary.halted && options.halt.on == core::HaltOn::kFail);
+    }
+    if (options.halt.when == HaltWhen::kNever) {
+      // Without a halt policy every job runs to its conclusion.
+      EXPECT_EQ(summary.skipped, 0u);
+      EXPECT_FALSE(summary.halted);
+    }
+  } else if (options.halt.on == core::HaltOn::kFail) {
+    EXPECT_TRUE(summary.halted);
+    if (options.halt.when == HaltWhen::kNow && options.halt.percent == 0.0) {
+      // now,fail=1: the first final failure stops the run; with 4 slots at
+      // most 3 other jobs were still in flight and get killed, everything
+      // else is skipped — far fewer than the 8+ failures the pattern would
+      // otherwise produce.
+      EXPECT_GE(summary.failed, options.halt.count);
+      EXPECT_LT(summary.failed + summary.killed, kJobs / 2);
+      EXPECT_GT(summary.skipped, 0u);
+    }
+  }
+
+  // Success-counting variant sanity: halt soon,success=N stops a healthy
+  // run after ~N successes.
+  if (options.halt.on == core::HaltOn::kSuccess &&
+      param.pattern == FailurePattern::kNone) {
+    EXPECT_TRUE(summary.halted);
+    EXPECT_GE(summary.succeeded, options.halt.count);
+    EXPECT_GT(summary.skipped, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RetryHaltMatrix, RetryHaltProperty,
+    ::testing::Values(
+        Param{1, "never", FailurePattern::kNone},
+        Param{3, "never", FailurePattern::kFirstTwoTries},
+        Param{2, "never", FailurePattern::kFirstTwoTries},
+        Param{3, "never", FailurePattern::kEveryThird},
+        Param{1, "now,fail=1", FailurePattern::kEveryThird},
+        Param{2, "now,fail=1", FailurePattern::kAllFail},
+        Param{3, "soon,fail=25%", FailurePattern::kEveryThird},
+        Param{1, "soon,fail=50%", FailurePattern::kAllFail},
+        Param{1, "soon,success=5", FailurePattern::kNone},
+        Param{2, "now,success=5", FailurePattern::kNone}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = "r" + std::to_string(info.param.retries) + "_" +
+                         info.param.halt + "_" + pattern_name(info.param.pattern) +
+                         "_" + std::to_string(info.index);
+      for (char& c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace parcl

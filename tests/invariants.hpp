@@ -1,0 +1,169 @@
+// End-to-end invariants the engine must uphold under any fault schedule.
+//
+// Shared by the chaos soak (chaos_soak_test.cpp), the retry/halt property
+// tests, and the fault-soak bench. Each checker appends human-readable
+// violations instead of asserting, so one soak run can report every broken
+// invariant for a seed at once — the seed plus this report is the whole
+// reproduction recipe.
+#pragma once
+
+#include <dirent.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/joblog.hpp"
+#include "core/options.hpp"
+
+namespace parcl::testing {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+
+  void fail(const std::string& what) { violations.push_back(what); }
+
+  std::string str() const {
+    std::ostringstream out;
+    for (const std::string& v : violations) out << "  - " << v << '\n';
+    return out.str();
+  }
+};
+
+/// Structural invariants on a finished run:
+///   - one result per job, seq-indexed, statuses partition the total,
+///   - attempt counts within the --retries budget,
+///   - per-attempt timeouts actually bounded runtime (+ TERM->KILL grace),
+///   - halt contract: a non-halted run finishes everything; a halted run's
+///     skips are consistent.
+inline void check_run(const core::RunSummary& summary, const core::Options& options,
+                      std::size_t total_jobs, InvariantReport& report) {
+  if (summary.results.size() != total_jobs) {
+    report.fail("results.size() != total jobs");
+    return;
+  }
+  std::size_t succeeded = 0, failed = 0, killed = 0, skipped = 0;
+  for (std::size_t i = 0; i < summary.results.size(); ++i) {
+    const core::JobResult& result = summary.results[i];
+    if (result.seq != i + 1) {
+      report.fail("result " + std::to_string(i) + " has seq " +
+                  std::to_string(result.seq));
+    }
+    switch (result.status) {
+      case core::JobStatus::kSuccess: ++succeeded; break;
+      case core::JobStatus::kKilled: ++killed; break;
+      case core::JobStatus::kSkipped: ++skipped; break;
+      default: ++failed; break;
+    }
+    if (result.status == core::JobStatus::kSkipped) {
+      if (result.attempts != 0) {
+        report.fail("skipped seq " + std::to_string(result.seq) + " has attempts");
+      }
+      continue;
+    }
+    if (result.attempts < 1 || result.attempts > std::max<std::size_t>(options.retries, 1)) {
+      report.fail("seq " + std::to_string(result.seq) + " used " +
+                  std::to_string(result.attempts) + " attempts with --retries " +
+                  std::to_string(options.retries));
+    }
+    if (result.end_time < result.start_time) {
+      report.fail("seq " + std::to_string(result.seq) + " ends before it starts");
+    }
+    if (options.timeout_seconds > 0.0 &&
+        result.status == core::JobStatus::kTimedOut) {
+      // The engine sends TERM at the deadline and KILL one grace second
+      // later; a timed-out attempt must not outlive deadline + grace by
+      // more than scheduling slack.
+      constexpr double kGrace = 1.0, kSlack = 0.75;
+      if (result.runtime() > options.timeout_seconds + kGrace + kSlack) {
+        report.fail("seq " + std::to_string(result.seq) + " timed out after " +
+                    std::to_string(result.runtime()) + "s with --timeout " +
+                    std::to_string(options.timeout_seconds));
+      }
+    }
+  }
+  if (succeeded != summary.succeeded || failed != summary.failed ||
+      killed != summary.killed || skipped != summary.skipped) {
+    report.fail("summary tallies disagree with per-result statuses");
+  }
+  if (succeeded + failed + killed + skipped != total_jobs) {
+    report.fail("statuses do not partition the job set");
+  }
+  if (!summary.halted && summary.skipped != 0 && !options.resume &&
+      !options.resume_failed) {
+    report.fail("non-halted run skipped jobs");
+  }
+}
+
+/// Joblog contract: exactly one row per non-skipped job, each within the
+/// retry budget, Exitval/Signal consistent with the recorded result.
+inline void check_joblog(const std::string& path, const core::RunSummary& summary,
+                         InvariantReport& report) {
+  std::vector<core::JoblogEntry> entries;
+  try {
+    entries = core::read_joblog(path);
+  } catch (const std::exception& error) {
+    report.fail(std::string("joblog unreadable: ") + error.what());
+    return;
+  }
+  std::set<std::uint64_t> seen;
+  for (const core::JoblogEntry& entry : entries) {
+    if (!seen.insert(entry.seq).second) {
+      report.fail("seq " + std::to_string(entry.seq) + " logged twice");
+    }
+  }
+  for (const core::JobResult& result : summary.results) {
+    bool logged = seen.count(result.seq) != 0;
+    bool expect = result.status != core::JobStatus::kSkipped;
+    if (logged != expect) {
+      report.fail("seq " + std::to_string(result.seq) +
+                  (expect ? " missing from joblog" : " logged despite being skipped"));
+    }
+  }
+  for (const core::JoblogEntry& entry : entries) {
+    if (entry.seq == 0 || entry.seq > summary.results.size()) {
+      report.fail("joblog row with alien seq " + std::to_string(entry.seq));
+      continue;
+    }
+    const core::JobResult& result = summary.results[entry.seq - 1];
+    if (entry.exit_value != result.exit_code || entry.signal != result.term_signal) {
+      report.fail("seq " + std::to_string(entry.seq) +
+                  " joblog exitval/signal disagree with the result");
+    }
+  }
+}
+
+/// Whole joblog file, byte for byte — the replay oracle for deterministic
+/// (simulated) schedules.
+inline std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Open descriptor count for this process; a soak must not leak fds.
+inline std::size_t open_fd_count() {
+  std::size_t count = 0;
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count >= 3 ? count - 3 : 0;  // ".", "..", and the DIR's own fd
+}
+
+/// True when no zombie children remain unreaped.
+inline bool no_unreaped_children() {
+  int status = 0;
+  pid_t pid = waitpid(-1, &status, WNOHANG);
+  return pid == 0 || (pid < 0 && errno == ECHILD);
+}
+
+}  // namespace parcl::testing
