@@ -99,10 +99,26 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
       plan.options.max_chars = static_cast<std::size_t>(util::parse_long(take_value(argv, i, arg)));
     } else if (arg == "--retries") {
       plan.options.retries = static_cast<std::size_t>(util::parse_long(take_value(argv, i, arg)));
+    } else if (arg == "--retry-delay") {
+      plan.options.retry_delay_seconds = util::parse_double(take_value(argv, i, arg));
     } else if (arg == "--halt") {
       plan.options.halt = HaltPolicy::parse(take_value(argv, i, arg));
     } else if (arg == "--timeout") {
-      plan.options.timeout_seconds = util::parse_double(take_value(argv, i, arg));
+      // "--timeout 300%" kills attempts exceeding that multiple of the
+      // running median runtime; a plain number is an absolute limit.
+      std::string value = take_value(argv, i, arg);
+      if (!value.empty() && value.back() == '%') {
+        plan.options.timeout_percent =
+            util::parse_double(value.substr(0, value.size() - 1));
+      } else {
+        plan.options.timeout_seconds = util::parse_double(value);
+      }
+    } else if (arg == "--termseq") {
+      plan.options.term_seq = take_value(argv, i, arg);
+    } else if (arg == "--memfree") {
+      plan.options.memfree_bytes = parse_block_size(take_value(argv, i, arg));
+    } else if (arg == "--load") {
+      plan.options.load_max = util::parse_double(take_value(argv, i, arg));
     } else if (arg == "--delay") {
       plan.options.delay_seconds = util::parse_double(take_value(argv, i, arg));
     } else if (arg == "--dry-run" || arg == "--dryrun") {
@@ -119,6 +135,8 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
       plan.semaphore_id = take_value(argv, i, arg);
     } else if (arg == "--joblog") {
       plan.options.joblog_path = take_value(argv, i, arg);
+    } else if (arg == "--joblog-fsync") {
+      plan.options.joblog_fsync = true;
     } else if (arg == "--results") {
       plan.options.results_dir = take_value(argv, i, arg);
     } else if (arg == "--shuf") {
@@ -216,11 +234,19 @@ options:
   -X                  pack as many inputs as fit in --max-chars
       --max-chars N   command length bound for -X (default 4096)
       --retries N     attempts per job (default 1)
+      --retry-delay S base pause before a retry; doubles per attempt, with
+                      seeded jitter (exponential backoff)
       --halt SPEC     never | now,fail=N | soon,fail=N | now,fail=X% | ...
-      --timeout SECS  per-attempt wall clock limit
+      --timeout SECS  per-attempt wall clock limit; "N%" kills attempts
+                      exceeding N% of the running median runtime
+      --termseq SEQ   escalation on a second interrupt: signal,ms,...
+                      (default TERM,200,KILL)
+      --memfree SIZE  defer new jobs while free memory < SIZE (k/m/g)
+      --load MAX      defer new jobs while the load average > MAX
       --delay SECS    spacing between job starts
       --dry-run       print composed commands, do not run
       --joblog PATH   append a GNU-Parallel-format job log
+      --joblog-fsync  fsync the joblog after every record
       --results DIR   save each job's stdout/stderr/meta under DIR/<seq>/
       --shuf          run jobs in random order
   -C, --colsep SEP    split input values into columns ({1}, {2}, ...) on SEP

@@ -16,6 +16,7 @@
 
 #include "core/joblog.hpp"
 #include "core/output.hpp"
+#include "core/signal_coordinator.hpp"
 #include "core/slot_pool.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -32,6 +33,7 @@ struct Engine::Pending {
   std::string stdin_data;     // --pipe block
   bool has_stdin = false;
   std::size_t attempts = 0;   // completed attempts (0 for fresh jobs)
+  double not_before = 0.0;    // --retry-delay backoff gate (executor clock)
 };
 
 /// In-flight attempt bookkeeping.
@@ -43,6 +45,7 @@ struct Engine::Active {
   std::size_t slot = 0;
   std::size_t attempts = 0;  // attempts including this one
   std::string command;
+  double start_time = 0.0;    // dispatch instant (for adaptive timeouts)
   double deadline = 0.0;      // 0 = no timeout
   bool kill_sent = false;     // timeout SIGTERM sent
   bool force_sent = false;    // timeout SIGKILL sent
@@ -60,6 +63,10 @@ Engine::Engine(Options options, Executor& executor, std::ostream& out, std::ostr
 
 void Engine::set_result_callback(std::function<void(const JobResult&)> callback) {
   on_result_ = std::move(callback);
+}
+
+void Engine::set_signal_coordinator(SignalCoordinator* coordinator) {
+  signals_ = coordinator;
 }
 
 RunSummary Engine::run(const std::string& command_template, std::vector<ArgVector> inputs) {
@@ -178,14 +185,21 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
   std::set<std::uint64_t> skip;
   if (options_.resume || options_.resume_failed) {
     try {
-      skip = resume_skip_set(read_joblog(options_.joblog_path), options_.resume_failed);
+      JoblogReadStats log_stats;
+      skip = resume_skip_set(read_joblog(options_.joblog_path, &log_stats),
+                             options_.resume_failed);
+      if (log_stats.torn_lines != 0) {
+        PARCL_WARN() << "joblog '" << options_.joblog_path
+                     << "': final line torn (crash mid-write); skipping it so "
+                        "its job re-runs";
+      }
     } catch (const util::SystemError&) {
       // No joblog yet: nothing to skip.
     }
   }
   std::unique_ptr<JoblogWriter> joblog;
   if (!options_.joblog_path.empty()) {
-    joblog = std::make_unique<JoblogWriter>(options_.joblog_path);
+    joblog = std::make_unique<JoblogWriter>(options_.joblog_path, options_.joblog_fsync);
   }
 
   OutputCollator::TagFn tag_fn;
@@ -264,6 +278,93 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
   // Retries re-enter here, ahead of untouched pending work, in O(1).
   std::deque<Pending> retries;
 
+  // --retry-delay: backoff'd retries park here until their not_before.
+  auto later_first = [](const Pending& a, const Pending& b) {
+    if (a.not_before != b.not_before) return a.not_before > b.not_before;
+    return a.seq > b.seq;
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(later_first)>
+      delayed(later_first);
+
+  // Attempt k re-runs after base * 2^(k-1) seconds with seeded +/-25%
+  // jitter, so correlated failures (a full disk, a dead node) don't retry
+  // in lockstep. Returns 0 when --retry-delay is off (immediate requeue).
+  auto retry_ready_at = [&](std::uint64_t seq, std::size_t completed_attempts) {
+    if (options_.retry_delay_seconds <= 0.0) return 0.0;
+    unsigned shift =
+        static_cast<unsigned>(std::min<std::size_t>(completed_attempts - 1, 10));
+    double base =
+        options_.retry_delay_seconds * static_cast<double>(1ull << shift);
+    util::Rng rng(options_.retry_jitter_seed ^ (seq * 0x9e3779b97f4a7c15ull) ^
+                  static_cast<std::uint64_t>(completed_attempts));
+    return executor_.now() + base * rng.uniform(0.75, 1.25);
+  };
+
+  // --timeout N%: streaming median of successful runtimes, kept as two
+  // balanced multiset halves (max-half / min-half) for O(log n) insert and
+  // O(1) median. The limit arms only after kAdaptiveMinSamples successes.
+  std::multiset<double> runtime_lower, runtime_upper;
+  auto add_runtime_sample = [&](double v) {
+    if (runtime_lower.empty() || v <= *runtime_lower.rbegin()) {
+      runtime_lower.insert(v);
+    } else {
+      runtime_upper.insert(v);
+    }
+    if (runtime_lower.size() > runtime_upper.size() + 1) {
+      auto it = std::prev(runtime_lower.end());
+      runtime_upper.insert(*it);
+      runtime_lower.erase(it);
+    } else if (runtime_upper.size() > runtime_lower.size()) {
+      auto it = runtime_upper.begin();
+      runtime_lower.insert(*it);
+      runtime_upper.erase(it);
+    }
+  };
+  constexpr std::size_t kAdaptiveMinSamples = 3;
+  auto adaptive_limit = [&]() -> double {
+    if (options_.timeout_percent <= 0.0) return 0.0;
+    std::size_t n = runtime_lower.size() + runtime_upper.size();
+    if (n < kAdaptiveMinSamples) return 0.0;
+    double median = runtime_lower.size() > runtime_upper.size()
+                        ? *runtime_lower.rbegin()
+                        : (*runtime_lower.rbegin() + *runtime_upper.begin()) / 2.0;
+    return median * options_.timeout_percent / 100.0;
+  };
+
+  // --memfree/--load: defer dispatch while the backend is over-committed,
+  // re-probing at most every kPressureRecheck seconds.
+  const bool pressure_gated = options_.memfree_bytes > 0 || options_.load_max > 0.0;
+  constexpr double kPressureRecheck = 0.25;
+  double pressure_checked_at = -1.0;
+  bool pressure_blocked = false;
+  auto pressure_allows_start = [&]() -> bool {
+    if (!pressure_gated) return true;
+    double now = executor_.now();
+    if (pressure_checked_at >= 0.0 && now - pressure_checked_at < kPressureRecheck) {
+      return !pressure_blocked;
+    }
+    pressure_checked_at = now;
+    ResourcePressure pressure = executor_.pressure();
+    bool blocked = false;
+    if (options_.memfree_bytes > 0 && pressure.mem_free_bytes >= 0.0 &&
+        pressure.mem_free_bytes < static_cast<double>(options_.memfree_bytes)) {
+      blocked = true;
+    }
+    if (options_.load_max > 0.0 && pressure.load_avg >= 0.0 &&
+        pressure.load_avg > options_.load_max) {
+      blocked = true;
+    }
+    pressure_blocked = blocked;
+    return !blocked;
+  };
+
+  // Signal drain/escalation state (set_signal_coordinator).
+  const std::vector<TermStage> term_stages = parse_termseq(options_.term_seq);
+  int drain_stage = 0;         // 0 normal, 1 draining, 2 escalating
+  std::size_t term_index = 0;  // current --termseq stage while escalating
+  double next_stage_at = 0.0;
+  constexpr double kSignalPollInterval = 0.1;
+
   bool stop_starting = false;  // halt soon/now engaged
   double last_start = -std::numeric_limits<double>::infinity();
   double first_start = std::numeric_limits<double>::infinity();
@@ -321,9 +422,14 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
       first_start = std::min(first_start, final_result.start_time);
       last_end = std::max(last_end, final_result.end_time);
       summary.total_busy += final_result.runtime();
+      // Write-ahead ordering for crash-safe --resume: output and --results
+      // land (and flush) before the joblog row commits, so a logged seq
+      // always has its output on disk — a crash between the two re-runs
+      // the job instead of losing its output.
       collator.deliver(final_result);
-      if (joblog) joblog->record(final_result, options_.host_label);
       save_results_tree(final_result);
+      out_.flush();
+      if (joblog) joblog->record(final_result, options_.host_label);
     } else {
       collator.mark_absent(final_result.seq);
     }
@@ -374,8 +480,12 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     }
 
     double now = executor_.now();
+    attempt.start_time = now;
     if (options_.timeout_seconds > 0.0) {
       attempt.deadline = now + options_.timeout_seconds;
+      deadlines.push({attempt.deadline, request.job_id, /*escalation=*/false});
+    } else if (double limit = adaptive_limit(); limit > 0.0) {
+      attempt.deadline = now + limit;
       deadlines.push({attempt.deadline, request.job_id, /*escalation=*/false});
     }
     last_start = now;
@@ -398,7 +508,12 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
         retry.stdin_data = std::move(failed.stdin_data);
         retry.has_stdin = failed.has_stdin;
         retry.attempts = failed.attempts;
-        retries.push_back(std::move(retry));
+        retry.not_before = retry_ready_at(retry.seq, retry.attempts);
+        if (retry.not_before > 0.0) {
+          delayed.push(std::move(retry));
+        } else {
+          retries.push_back(std::move(retry));
+        }
         return;
       }
       JobResult result;
@@ -421,20 +536,72 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     return std::max(executor_.now(), last_start + options_.delay_seconds);
   };
 
-  auto queued_work = [&] { return !retries.empty() || next_pending < queue.size(); };
+  auto queued_work = [&] {
+    return !retries.empty() || !delayed.empty() || next_pending < queue.size();
+  };
 
   while (true) {
+    // Phase 0: observe termination signals and drive --termseq escalation.
+    if (signals_ != nullptr) {
+      signals_->poll();
+      int seen = signals_->count();
+      if (seen >= 1 && drain_stage == 0) {
+        drain_stage = 1;
+        stop_starting = true;
+        summary.interrupt_signal = signals_->first_signal();
+        summary.dispatch.drained += active.size();
+        err_ << "parcl: received signal " << summary.interrupt_signal
+             << "; no new jobs will be started, draining " << active.size()
+             << " running (interrupt again to escalate via --termseq)\n";
+      }
+      if (seen >= 2 && drain_stage == 1) {
+        drain_stage = 2;
+        term_index = 0;
+        err_ << "parcl: second interrupt; escalating --termseq " << options_.term_seq
+             << " to " << active.size() << " running job(s)\n";
+        for (auto& [id, running] : active) {
+          (void)running;
+          executor_.kill_signal(id, term_stages[term_index].signal);
+          ++summary.dispatch.escalated;
+        }
+        next_stage_at = executor_.now() + term_stages[term_index].delay_ms / 1000.0;
+      }
+    }
+    if (drain_stage == 2 && term_index + 1 < term_stages.size() && !active.empty() &&
+        executor_.now() >= next_stage_at) {
+      ++term_index;
+      for (auto& [id, running] : active) {
+        (void)running;
+        executor_.kill_signal(id, term_stages[term_index].signal);
+        ++summary.dispatch.escalated;
+      }
+      next_stage_at = executor_.now() + term_stages[term_index].delay_ms / 1000.0;
+    }
+
+    // Release backoff'd retries whose delay has elapsed.
+    while (!delayed.empty() && delayed.top().not_before <= executor_.now()) {
+      Pending ready = std::move(const_cast<Pending&>(delayed.top()));
+      delayed.pop();
+      retries.push_back(std::move(ready));
+    }
+
     // Phase 1: fill free slots (retries first, then fresh pending work).
     while (!stop_starting && queued_work() && slots.any_free()) {
       double ready_at = next_start_time();
       if (ready_at > executor_.now()) break;  // wait out --delay below
+      if (!pressure_allows_start()) {
+        ++summary.dispatch.deferred;  // one deferral per blocked fill round
+        break;
+      }
       if (!retries.empty()) {
         Pending retry = std::move(retries.front());
         retries.pop_front();
         start_one(std::move(retry));
-      } else {
+      } else if (next_pending < queue.size()) {
         start_one(std::move(queue[next_pending]));
         ++next_pending;
+      } else {
+        break;  // only delayed retries remain; phase 2 waits them out
       }
     }
 
@@ -463,6 +630,24 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
       double until = std::max(0.0, next.time - now);
       wait = wait < 0.0 ? until : std::min(wait, until);
       break;
+    }
+    auto cap_wait = [&](double until) {
+      until = std::max(0.0, until);
+      wait = wait < 0.0 ? until : std::min(wait, until);
+    };
+    if (!stop_starting && !delayed.empty() && slots.any_free()) {
+      cap_wait(delayed.top().not_before - now);  // wake when backoff expires
+    }
+    if (!stop_starting && pressure_blocked && queued_work() && slots.any_free()) {
+      cap_wait(kPressureRecheck);  // re-probe --memfree/--load
+    }
+    if (drain_stage == 2 && term_index + 1 < term_stages.size()) {
+      cap_wait(next_stage_at - now);  // next --termseq stage
+    }
+    if (signals_ != nullptr && !active.empty()) {
+      // Real executors swallow EINTR inside wait_any, so cap the block to
+      // observe delivered signals promptly.
+      cap_wait(kSignalPollInterval);
     }
     if (active.empty() && wait < 0.0) {
       // Nothing running and nothing gating: loop back to start more.
@@ -514,18 +699,38 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
       status = JobStatus::kFailed;
     }
 
+    if (status == JobStatus::kSuccess && options_.timeout_percent > 0.0) {
+      add_runtime_sample(completion->end_time - completion->start_time);
+      if (double limit = adaptive_limit(); limit > 0.0) {
+        // Arm attempts that started before the median existed; a running
+        // attempt already past the limit gets killed on the next pass.
+        for (auto& [id, running] : active) {
+          if (running.deadline == 0.0) {
+            running.deadline = running.start_time + limit;
+            deadlines.push({running.deadline, id, /*escalation=*/false});
+          }
+        }
+      }
+    }
+
     bool retryable = status == JobStatus::kFailed || status == JobStatus::kSignaled ||
                      status == JobStatus::kTimedOut;
     if (retryable && attempt.attempts < options_.retries && !stop_starting) {
       // Re-queue at the front of the remaining work (O(1), newest first —
-      // the order the old vector::insert at next_pending produced).
+      // the order the old vector::insert at next_pending produced), or into
+      // the backoff heap when --retry-delay applies.
       Pending retry;
       retry.seq = attempt.seq;
       retry.args = std::move(attempt.args);
       retry.stdin_data = std::move(attempt.stdin_data);
       retry.has_stdin = attempt.has_stdin;
       retry.attempts = attempt.attempts;
-      retries.push_front(std::move(retry));
+      retry.not_before = retry_ready_at(retry.seq, retry.attempts);
+      if (retry.not_before > 0.0) {
+        delayed.push(std::move(retry));
+      } else {
+        retries.push_front(std::move(retry));
+      }
       continue;
     }
 
@@ -555,6 +760,13 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     result.status = JobStatus::kSkipped;
     ++summary.skipped;
     collator.mark_absent(result.seq);
+  }
+  while (!delayed.empty()) {
+    JobResult& result = summary.results[delayed.top().seq - 1];
+    result.status = JobStatus::kSkipped;
+    ++summary.skipped;
+    collator.mark_absent(result.seq);
+    delayed.pop();
   }
   for (std::size_t i = next_pending; i < queue.size(); ++i) {
     JobResult& result = summary.results[queue[i].seq - 1];

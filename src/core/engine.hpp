@@ -23,6 +23,8 @@
 
 namespace parcl::core {
 
+class SignalCoordinator;
+
 class Engine {
  public:
   /// Streams for collated job output (defaults: std::cout / std::cerr).
@@ -31,6 +33,12 @@ class Engine {
 
   /// Optional per-job completion hook (runs after retries are exhausted).
   void set_result_callback(std::function<void(const JobResult&)> callback);
+
+  /// Wires graceful interruption into the run loop: the first signal stops
+  /// dispatching and drains running jobs, the second escalates --termseq.
+  /// The coordinator must outlive run(); nullptr (default) disables
+  /// interruption handling. RunSummary::interrupt_signal reports the drain.
+  void set_signal_coordinator(SignalCoordinator* coordinator);
 
   /// Runs every input to completion (or halt). Applies -n/-X packing to
   /// `inputs` first. Throws ConfigError/ParseError on bad configuration;
@@ -63,6 +71,7 @@ class Engine {
   std::ostream& out_;
   std::ostream& err_;
   std::function<void(const JobResult&)> on_result_;
+  SignalCoordinator* signals_ = nullptr;
 };
 
 }  // namespace parcl::core

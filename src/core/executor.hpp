@@ -7,6 +7,7 @@
 // discrete-event simulations (exec::SimExecutor) without change.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -39,6 +40,13 @@ struct ExecResult {
   double end_time = 0.0;
 };
 
+/// Snapshot of backend resource pressure for the --memfree/--load dispatch
+/// guards. Negative fields mean "unknown: do not gate on this".
+struct ResourcePressure {
+  double mem_free_bytes = -1.0;  // allocatable memory on the host/node
+  double load_avg = -1.0;        // 1-minute load average (or sim analog)
+};
+
 class Executor {
  public:
   virtual ~Executor() = default;
@@ -56,6 +64,18 @@ class Executor {
   /// Best-effort termination. `force` escalates (SIGTERM -> SIGKILL). The
   /// job still completes through wait_any() with its death recorded.
   virtual void kill(std::uint64_t job_id, bool force) = 0;
+
+  /// Sends an arbitrary signal to the job (--termseq escalation stages).
+  /// The default maps onto kill(): SIGKILL forces, anything else is the
+  /// polite termination. Real-process executors override to deliver the
+  /// exact signal to the job's process group.
+  virtual void kill_signal(std::uint64_t job_id, int sig) {
+    kill(job_id, sig == SIGKILL);
+  }
+
+  /// Backend pressure snapshot for the --memfree/--load guards. The default
+  /// reports "unknown", which disables gating.
+  virtual ResourcePressure pressure() const { return {}; }
 
   /// Jobs started but not yet returned by wait_any().
   virtual std::size_t active_count() const = 0;

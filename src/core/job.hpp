@@ -47,6 +47,36 @@ struct JobResult {
   double runtime() const noexcept { return end_time - start_time; }
 };
 
+/// Dispatch hot-path accounting. Executors that launch real processes fill
+/// the spawn/reap/poll fields; the engine fills the pressure/drain fields
+/// on the RunSummary it returns. Quantifies the per-task overhead the
+/// paper's launch-rate figures bound, and makes the robustness machinery
+/// (--memfree/--load deferral, signal drain, --termseq escalation)
+/// observable.
+struct DispatchCounters {
+  std::uint64_t spawns = 0;        // start() calls that produced a child
+  std::uint64_t direct_execs = 0;  // shell-mode spawns that skipped /bin/sh
+  double spawn_seconds = 0.0;      // parent-side compose+spawn time
+  std::uint64_t reaps = 0;         // children reaped (waitpid successes)
+  std::uint64_t reap_sweeps = 0;   // fallback whole-table waitpid sweeps
+  std::uint64_t polls = 0;         // poll() syscalls issued by wait_any()
+  std::uint64_t poll_events = 0;   // fd events dispatched across all polls
+  std::uint64_t exit_wakeups = 0;  // polls woken by a child-exit event
+  double poll_wait_seconds = 0.0;  // time blocked inside poll()
+  std::uint64_t deferred = 0;      // dispatch rounds deferred by --memfree/--load
+  std::uint64_t drained = 0;       // jobs allowed to finish during a signal drain
+  std::uint64_t escalated = 0;     // kill signals sent by --termseq escalation
+
+  /// Mean parent-side cost of one spawn, microseconds (0 when no spawns).
+  double mean_spawn_us() const noexcept;
+
+  /// Events dispatched per poll syscall (batching factor; 0 when no polls).
+  double events_per_poll() const noexcept;
+
+  /// Multi-line human-readable summary.
+  std::string render() const;
+};
+
 /// Aggregate view of a completed run.
 struct RunSummary {
   std::vector<JobResult> results;        // indexed by seq-1
@@ -55,6 +85,11 @@ struct RunSummary {
   std::size_t killed = 0;
   std::size_t skipped = 0;
   bool halted = false;
+  /// Non-zero when a SIGINT/SIGTERM drain ended the run early; the CLI
+  /// exits 128+N (130 for SIGINT, 143 for SIGTERM).
+  int interrupt_signal = 0;
+  /// Engine-side dispatch accounting (deferred/drained/escalated).
+  DispatchCounters dispatch;
   double makespan = 0.0;                 // first start to last end
   double total_busy = 0.0;               // sum of job runtimes
   std::vector<double> start_times;       // dispatch instants, for rate studies

@@ -1,5 +1,10 @@
 #include "core/joblog.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <fstream>
 #include <map>
@@ -13,42 +18,104 @@ namespace parcl::core {
 namespace {
 constexpr const char* kHeader =
     "Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand";
+
+// POSIX guarantees a single write() to an O_APPEND fd is atomic with
+// respect to other appenders, and a record never straddles two writes, so
+// concurrent parcl instances sharing a joblog cannot interleave fields.
+void write_all(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::SystemError("write joblog", errno);
+    }
+    done += static_cast<std::size_t>(n);
+  }
 }
+}  // namespace
 
 struct JoblogWriter::Impl {
-  std::ofstream out;
+  int fd = -1;
+  bool fsync_each = false;
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
 };
 
-JoblogWriter::JoblogWriter(const std::string& path) : impl_(std::make_unique<Impl>()) {
-  bool need_header = true;
-  {
-    std::ifstream probe(path);
-    if (probe && probe.peek() != std::ifstream::traits_type::eof()) need_header = false;
+// A file that does not end in '\n' carries a record torn by a crash. Left
+// in place it would glue onto the next appended row and corrupt it, so the
+// writer truncates back to the end of the last complete line. The torn seq
+// was already treated as unlogged by the resume read, so dropping the
+// fragment keeps reader and writer views consistent.
+void trim_torn_tail(int fd, off_t size) {
+  char last = '\n';
+  if (size == 0 || (::pread(fd, &last, 1, size - 1) == 1 && last == '\n')) return;
+  off_t end = size - 1;  // index of the last byte, known not to be '\n'
+  char buffer[4096];
+  while (end > 0) {
+    off_t chunk = std::min<off_t>(end, static_cast<off_t>(sizeof(buffer)));
+    if (::pread(fd, buffer, static_cast<std::size_t>(chunk), end - chunk) != chunk) break;
+    for (off_t i = chunk; i-- > 0;) {
+      if (buffer[i] == '\n') {
+        if (::ftruncate(fd, end - chunk + i + 1) != 0) {
+          throw util::SystemError("repair torn joblog tail", errno);
+        }
+        return;
+      }
+    }
+    end -= chunk;
   }
-  impl_->out.open(path, std::ios::app);
-  if (!impl_->out) {
+  // No newline anywhere: the whole file is one torn fragment.
+  if (::ftruncate(fd, 0) != 0) {
+    throw util::SystemError("repair torn joblog tail", errno);
+  }
+}
+
+JoblogWriter::JoblogWriter(const std::string& path, bool fsync_each)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (impl_->fd < 0) {
     throw util::SystemError("open joblog '" + path + "'", errno);
   }
-  if (need_header) impl_->out << kHeader << '\n';
+  impl_->fsync_each = fsync_each;
+  struct stat st{};
+  if (::fstat(impl_->fd, &st) == 0) {
+    trim_torn_tail(impl_->fd, st.st_size);
+    if (::fstat(impl_->fd, &st) == 0 && st.st_size == 0) {
+      write_all(impl_->fd, std::string(kHeader) + '\n');
+    }
+  }
 }
 
 JoblogWriter::~JoblogWriter() = default;
 
 void JoblogWriter::record(const JobResult& result, const std::string& host) {
-  impl_->out << result.seq << '\t' << host << '\t'
-             << util::format_double(result.start_time, 3) << '\t'
-             << util::format_double(result.runtime(), 3) << '\t' << 0 << '\t'
-             << result.stdout_data.size() << '\t' << result.exit_code << '\t'
-             << result.term_signal << '\t' << result.command << '\n';
-  impl_->out.flush();
+  std::ostringstream row;
+  row << result.seq << '\t' << host << '\t'
+      << util::format_double(result.start_time, 3) << '\t'
+      << util::format_double(result.runtime(), 3) << '\t' << 0 << '\t'
+      << result.stdout_data.size() << '\t' << result.exit_code << '\t'
+      << result.term_signal << '\t' << result.command << '\n';
+  write_all(impl_->fd, row.str());
+  if (impl_->fsync_each && ::fsync(impl_->fd) < 0) {
+    throw util::SystemError("fsync joblog", errno);
+  }
 }
 
-std::vector<JoblogEntry> read_joblog_stream(std::istream& in) {
+std::vector<JoblogEntry> read_joblog_stream(std::istream& in, JoblogReadStats* stats) {
   std::vector<JoblogEntry> entries;
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    // A final line without a trailing newline is the signature of a write
+    // cut short by a crash: the writer always terminates rows with '\n'.
+    // Skip it (the seq re-runs on --resume) instead of failing the resume.
+    if (in.eof() && !line.empty()) {
+      if (stats != nullptr) ++stats->torn_lines;
+      break;
+    }
     if (line.empty()) continue;
     if (line == kHeader || util::starts_with(line, "Seq\t")) continue;
     auto fields = util::split(line, '\t');
@@ -73,10 +140,10 @@ std::vector<JoblogEntry> read_joblog_stream(std::istream& in) {
   return entries;
 }
 
-std::vector<JoblogEntry> read_joblog(const std::string& path) {
+std::vector<JoblogEntry> read_joblog(const std::string& path, JoblogReadStats* stats) {
   std::ifstream in(path);
   if (!in) throw util::SystemError("open joblog '" + path + "'", errno);
-  return read_joblog_stream(in);
+  return read_joblog_stream(in, stats);
 }
 
 std::set<std::uint64_t> resume_skip_set(const std::vector<JoblogEntry>& entries,

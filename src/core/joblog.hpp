@@ -2,6 +2,14 @@
 //   Seq  Host  Starttime  JobRuntime  Send  Receive  Exitval  Signal  Command
 // The reader supports --resume (skip logged seqs) and --resume-failed
 // (skip only logged successes).
+//
+// Crash safety: the writer emits each record as ONE write() to an O_APPEND
+// fd, so a record is either fully present or absent — a SIGKILL mid-run
+// can never interleave or tear rows. The only torn state a crash can leave
+// is a final line cut short by the filesystem (e.g. power loss without
+// --joblog-fsync); the reader detects that — a last line with no trailing
+// newline — and skips it, reporting it through JoblogReadStats so --resume
+// conservatively re-runs that seq.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +38,11 @@ struct JoblogEntry {
 class JoblogWriter {
  public:
   /// Appends to `path`; writes the header only when the file is new/empty.
-  /// Throws SystemError when the file cannot be opened.
-  explicit JoblogWriter(const std::string& path);
+  /// A crash-torn final line (no trailing newline) is truncated away on
+  /// open so new records never glue onto the fragment. With `fsync_each`,
+  /// every record is fsync'd so it survives power loss. Throws SystemError
+  /// when the file cannot be opened.
+  explicit JoblogWriter(const std::string& path, bool fsync_each = false);
   ~JoblogWriter();
   JoblogWriter(const JoblogWriter&) = delete;
   JoblogWriter& operator=(const JoblogWriter&) = delete;
@@ -43,10 +54,20 @@ class JoblogWriter {
   std::unique_ptr<Impl> impl_;
 };
 
-/// Parses a joblog file. Unparseable lines throw ParseError (with the line
-/// number); the header line is recognized and skipped.
-std::vector<JoblogEntry> read_joblog(const std::string& path);
-std::vector<JoblogEntry> read_joblog_stream(std::istream& in);
+/// What the lenient reader had to tolerate.
+struct JoblogReadStats {
+  /// 1 when the final line was torn (no trailing newline) and skipped.
+  std::size_t torn_lines = 0;
+};
+
+/// Parses a joblog file. Unparseable interior lines throw ParseError (with
+/// the line number); the header line is recognized and skipped; a torn
+/// final line (no trailing newline — the signature of a crash mid-write)
+/// is skipped and counted in `stats` when provided.
+std::vector<JoblogEntry> read_joblog(const std::string& path,
+                                     JoblogReadStats* stats = nullptr);
+std::vector<JoblogEntry> read_joblog_stream(std::istream& in,
+                                            JoblogReadStats* stats = nullptr);
 
 /// Seqs to skip for --resume (every logged seq) or --resume-failed (only
 /// seqs whose latest entry succeeded).

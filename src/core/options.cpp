@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "core/signal_coordinator.hpp"
 #include "util/error.hpp"
 
 namespace parcl::core {
@@ -9,6 +10,18 @@ namespace parcl::core {
 void Options::validate() const {
   if (retries == 0) throw util::ConfigError("--retries must be >= 1");
   if (timeout_seconds < 0.0) throw util::ConfigError("--timeout must be >= 0");
+  if (timeout_percent < 0.0) throw util::ConfigError("--timeout percent must be >= 0");
+  if (timeout_seconds > 0.0 && timeout_percent > 0.0) {
+    throw util::ConfigError("--timeout takes either seconds or a percentage, not both");
+  }
+  if (retry_delay_seconds < 0.0) {
+    throw util::ConfigError("--retry-delay must be >= 0");
+  }
+  if (load_max < 0.0) throw util::ConfigError("--load must be >= 0");
+  parse_termseq(term_seq);  // throws ParseError on a malformed sequence
+  if (joblog_fsync && joblog_path.empty()) {
+    throw util::ConfigError("--joblog-fsync requires --joblog");
+  }
   if (delay_seconds < 0.0) throw util::ConfigError("--delay must be >= 0");
   if (resume && joblog_path.empty()) {
     throw util::ConfigError("--resume requires --joblog");

@@ -44,11 +44,37 @@ struct Options {
   /// --retries: total attempts per job (1 = no retry).
   std::size_t retries = 1;
 
+  /// --retry-delay: base pause before re-running a failed attempt, in
+  /// seconds (0 = immediate requeue). Attempt k waits base * 2^(k-1) with
+  /// seeded +/-25% jitter, capped at 1024x base, so retry storms against a
+  /// struggling node or filesystem back off instead of hammering it.
+  double retry_delay_seconds = 0.0;
+
+  /// Seed for the retry-backoff jitter; deterministic per (seq, attempt).
+  std::uint64_t retry_jitter_seed = 0x7e57;
+
   /// --halt: what to do when jobs fail (default: never).
   HaltPolicy halt;
 
   /// --timeout: per-attempt wall-clock limit in seconds (0 = none).
   double timeout_seconds = 0.0;
+
+  /// --timeout N%: adaptive straggler limit. An attempt is killed once its
+  /// runtime exceeds N% of the running median of successful runtimes (armed
+  /// after 3 successes). 0 = off; exclusive with timeout_seconds.
+  double timeout_percent = 0.0;
+
+  /// --termseq: escalation sequence for the second interrupt of a signal
+  /// drain — alternating signal names and millisecond delays.
+  std::string term_seq = "TERM,200,KILL";
+
+  /// --memfree: defer starting new jobs while the backend reports less
+  /// allocatable memory than this, in bytes (0 = off).
+  std::size_t memfree_bytes = 0;
+
+  /// --load: defer starting new jobs while the backend's load average
+  /// exceeds this (0 = off).
+  double load_max = 0.0;
 
   /// --delay: minimum spacing between job starts in seconds.
   double delay_seconds = 0.0;
@@ -67,6 +93,11 @@ struct Options {
 
   /// --joblog path ("" = none).
   std::string joblog_path;
+
+  /// --joblog-fsync: fsync the joblog after every record, so a completed
+  /// job's row survives even a power loss (a plain SIGKILL never tears
+  /// records: each row is one atomic O_APPEND write).
+  bool joblog_fsync = false;
 
   /// --results DIR: save each job's stdout/stderr/metadata under
   /// DIR/<seq>/ ("" = off). Output still flows through the collator.

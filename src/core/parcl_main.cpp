@@ -10,6 +10,7 @@
 #include "core/engine.hpp"
 #include "core/pipe.hpp"
 #include "core/semaphore.hpp"
+#include "core/signal_coordinator.hpp"
 #include "exec/local_executor.hpp"
 #include "util/error.hpp"
 
@@ -32,6 +33,11 @@ int main(int argc, char** argv) {
     }
     exec::LocalExecutor executor;
     core::Engine engine(plan.options, executor);
+    // First SIGINT/SIGTERM drains, second escalates --termseq; the CLI then
+    // exits 128+N with the joblog and collated output intact.
+    core::SignalCoordinator signals;
+    signals.install();
+    engine.set_signal_coordinator(&signals);
     core::RunSummary summary;
     if (plan.semaphore) {
       // sem mode: hold a slot of the named semaphore while the command runs.
@@ -50,7 +56,9 @@ int main(int argc, char** argv) {
       sem_options.output_mode = core::OutputMode::kUngroup;
       sem_options.timeout_seconds = 0.0;  // timeout applied to acquisition
       core::Engine sem_engine(sem_options, executor);
+      sem_engine.set_signal_coordinator(&signals);
       summary = sem_engine.run_raw(plan.command_template);
+      if (summary.interrupt_signal != 0) return 128 + summary.interrupt_signal;
       return summary.exit_status();
     }
     if (plan.options.pipe_mode) {
@@ -62,6 +70,7 @@ int main(int argc, char** argv) {
       summary = engine.run(plan.command_template,
                            core::resolve_inputs(plan, std::cin));
     }
+    if (summary.interrupt_signal != 0) return 128 + summary.interrupt_signal;
     return summary.exit_status();
   } catch (const util::Error& error) {
     std::cerr << "parcl: " << error.what() << '\n';

@@ -29,6 +29,10 @@ std::string DispatchCounters::render() const {
       << exit_wakeups << " exit wakeups\n"
       << "poll wait        " << util::format_double(poll_wait_seconds, 3)
       << " s\n";
+  if (deferred != 0 || drained != 0 || escalated != 0) {
+    out << "pressure/drain   " << deferred << " deferred, " << drained
+        << " drained, " << escalated << " escalated\n";
+  }
   return out.str();
 }
 

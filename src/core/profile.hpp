@@ -18,31 +18,8 @@
 
 namespace parcl::core {
 
-/// Dispatch hot-path accounting, accumulated by executors that launch real
-/// processes. Quantifies the per-task overhead the paper's launch-rate
-/// figures bound: how long spawns take, how many syscalls the reaper burns,
-/// and whether completions wake the engine via an exit event (pidfd /
-/// SIGCHLD self-pipe) or a fallback sweep.
-struct DispatchCounters {
-  std::uint64_t spawns = 0;        // start() calls that produced a child
-  std::uint64_t direct_execs = 0;  // shell-mode spawns that skipped /bin/sh
-  double spawn_seconds = 0.0;      // parent-side compose+spawn time
-  std::uint64_t reaps = 0;         // children reaped (waitpid successes)
-  std::uint64_t reap_sweeps = 0;   // fallback whole-table waitpid sweeps
-  std::uint64_t polls = 0;         // poll() syscalls issued by wait_any()
-  std::uint64_t poll_events = 0;   // fd events dispatched across all polls
-  std::uint64_t exit_wakeups = 0;  // polls woken by a child-exit event
-  double poll_wait_seconds = 0.0;  // time blocked inside poll()
-
-  /// Mean parent-side cost of one spawn, microseconds (0 when no spawns).
-  double mean_spawn_us() const noexcept;
-
-  /// Events dispatched per poll syscall (batching factor; 0 when no polls).
-  double events_per_poll() const noexcept;
-
-  /// Multi-line human-readable summary.
-  std::string render() const;
-};
+// DispatchCounters moved to core/job.hpp so RunSummary can carry the
+// engine-side fields; it remains visible here for existing includers.
 
 /// One [start, end) execution interval.
 struct Interval {

@@ -80,6 +80,10 @@ class FaultInjectingExecutor final : public core::Executor {
   void start(const core::ExecRequest& request) override;
   std::optional<core::ExecResult> wait_any(double timeout_seconds) override;
   void kill(std::uint64_t job_id, bool force) override;
+  void kill_signal(std::uint64_t job_id, int sig) override {
+    inner_.kill_signal(job_id, sig);
+  }
+  core::ResourcePressure pressure() const override { return inner_.pressure(); }
   /// Includes results held back by straggler delays: the engine still owns
   /// those jobs until wait_any() surfaces them.
   std::size_t active_count() const override;

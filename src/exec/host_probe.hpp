@@ -1,0 +1,40 @@
+// HostProbe: cheap host-pressure snapshots for the --memfree/--load
+// dispatch guards.
+//
+// Reads /proc/meminfo (MemAvailable) and /proc/loadavg (1-minute load) and
+// caches the result for a short window so the engine can consult pressure
+// on every dispatch decision without a measurable syscall cost. On systems
+// without /proc the probe reports "unknown" (negative fields) and the
+// guards stay inert — same contract as core::Executor::pressure().
+#pragma once
+
+#include <string>
+
+#include "core/executor.hpp"
+
+namespace parcl::exec {
+
+class HostProbe {
+ public:
+  /// Probes at most once per `cache_seconds` (0 = probe every call).
+  explicit HostProbe(double cache_seconds = 0.5);
+
+  /// Test fixture constructor: read the given files instead of /proc.
+  HostProbe(std::string meminfo_path, std::string loadavg_path,
+            double cache_seconds = 0.0);
+
+  /// Cached pressure snapshot. Negative fields mean "unknown".
+  core::ResourcePressure sample();
+
+  /// Uncached read of the configured files.
+  core::ResourcePressure read_now() const;
+
+ private:
+  std::string meminfo_path_;
+  std::string loadavg_path_;
+  double cache_seconds_;
+  double last_sample_ = -1.0;
+  core::ResourcePressure cached_;
+};
+
+}  // namespace parcl::exec

@@ -613,14 +613,21 @@ std::optional<core::ExecResult> LocalExecutor::wait_any(double timeout_seconds) 
 }
 
 void LocalExecutor::kill(std::uint64_t job_id, bool force) {
+  kill_signal(job_id, force ? SIGKILL : SIGTERM);
+}
+
+void LocalExecutor::kill_signal(std::uint64_t job_id, int sig) {
   auto it = children_.find(job_id);
   if (it == children_.end() || it->second.reaped) return;
-  int sig = force ? SIGKILL : SIGTERM;
   // Signal the whole process group; fall back to the pid if the group is
   // already gone.
   if (::kill(-it->second.pid, sig) != 0) {
     ::kill(it->second.pid, sig);
   }
+}
+
+core::ResourcePressure LocalExecutor::pressure() const {
+  return host_probe_.sample();
 }
 
 }  // namespace parcl::exec

@@ -28,6 +28,7 @@
 
 #include "core/executor.hpp"
 #include "core/profile.hpp"
+#include "exec/host_probe.hpp"
 
 namespace parcl::exec {
 
@@ -42,6 +43,10 @@ class LocalExecutor final : public core::Executor {
   void start(const core::ExecRequest& request) override;
   std::optional<core::ExecResult> wait_any(double timeout_seconds) override;
   void kill(std::uint64_t job_id, bool force) override;
+  /// Delivers the exact signal to the job's process group (--termseq).
+  void kill_signal(std::uint64_t job_id, int sig) override;
+  /// Host pressure from /proc (MemAvailable + 1-minute load average).
+  core::ResourcePressure pressure() const override;
   std::size_t active_count() const override { return children_.size(); }
   double now() const override;
 
@@ -122,6 +127,7 @@ class LocalExecutor final : public core::Executor {
 
   double epoch_ = 0.0;
   core::DispatchCounters counters_;
+  mutable HostProbe host_probe_;  // cached /proc reads for pressure()
 };
 
 }  // namespace parcl::exec

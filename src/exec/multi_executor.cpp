@@ -113,6 +113,12 @@ void MultiExecutor::kill(std::uint64_t job_id, bool force) {
   hosts_[it->second].executor->kill(job_id, force);
 }
 
+void MultiExecutor::kill_signal(std::uint64_t job_id, int sig) {
+  auto it = job_host_.find(job_id);
+  if (it == job_host_.end()) return;
+  hosts_[it->second].executor->kill_signal(job_id, sig);
+}
+
 std::size_t MultiExecutor::active_count() const {
   std::size_t total = 0;
   for (const Host& host : hosts_) total += host.executor->active_count();

@@ -46,6 +46,8 @@ class MultiExecutor final : public core::Executor {
   void start(const core::ExecRequest& request) override;
   std::optional<core::ExecResult> wait_any(double timeout_seconds) override;
   void kill(std::uint64_t job_id, bool force) override;
+  /// Routes the signal to the host that owns the job (--termseq stages).
+  void kill_signal(std::uint64_t job_id, int sig) override;
   std::size_t active_count() const override;
   double now() const override;
 

@@ -75,15 +75,24 @@ std::optional<core::ExecResult> SimExecutor::wait_any(double timeout_seconds) {
 }
 
 void SimExecutor::kill(std::uint64_t job_id, bool force) {
+  kill_signal(job_id, force ? SIGKILL : SIGTERM);
+}
+
+void SimExecutor::kill_signal(std::uint64_t job_id, int sig) {
   auto it = active_.find(job_id);
   if (it == active_.end()) return;
   sim_.cancel(it->second.completion);
   core::ExecResult result = std::move(it->second.result);
   active_.erase(it);
   result.end_time = sim_.now();
-  result.term_signal = force ? SIGKILL : SIGTERM;
-  result.exit_code = 128 + result.term_signal;
+  result.term_signal = sig;
+  result.exit_code = 128 + sig;
   ready_.emplace(job_id, std::move(result));
+}
+
+core::ResourcePressure SimExecutor::pressure() const {
+  if (!pressure_model_) return {};
+  return pressure_model_();
 }
 
 }  // namespace parcl::exec

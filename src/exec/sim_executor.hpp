@@ -34,8 +34,18 @@ class SimExecutor final : public core::Executor {
   void start(const core::ExecRequest& request) override;
   std::optional<core::ExecResult> wait_any(double timeout_seconds) override;
   void kill(std::uint64_t job_id, bool force) override;
+  /// Simulated jobs die by exactly the signal sent (--termseq stages show
+  /// up verbatim in the joblog Signal column).
+  void kill_signal(std::uint64_t job_id, int sig) override;
+  core::ResourcePressure pressure() const override;
   std::size_t active_count() const override { return active_.size(); }
   double now() const override { return sim_.now(); }
+
+  /// Models node pressure for --memfree/--load studies; called on every
+  /// engine probe. Unset, pressure() reports "unknown" (guards inert).
+  void set_pressure_model(std::function<core::ResourcePressure()> model) {
+    pressure_model_ = std::move(model);
+  }
 
  private:
   struct ActiveJob {
@@ -48,6 +58,7 @@ class SimExecutor final : public core::Executor {
   double dispatch_cost_;
   std::map<std::uint64_t, ActiveJob> active_;
   std::map<std::uint64_t, core::ExecResult> ready_;
+  std::function<core::ResourcePressure()> pressure_model_;
 };
 
 }  // namespace parcl::exec

@@ -13,6 +13,7 @@
 //   PARCL_CHAOS_SEEDS=17 ./tests/chaos_soak_test --gtest_filter='ChaosSoak.*'
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/signal_coordinator.hpp"
 #include "exec/fault_executor.hpp"
 #include "exec/function_executor.hpp"
 #include "exec/local_executor.hpp"
@@ -356,6 +358,96 @@ TEST(ChaosSoak, LocalExecutorSchedulesLeakNothing) {
 
   EXPECT_TRUE(testing::no_unreaped_children()) << "zombie children remain";
   EXPECT_EQ(testing::open_fd_count(), fds_before) << "fd leak across the soak";
+  std::remove(joblog.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: interrupt + resume pairs over a shared joblog — across the
+// pair no job may be lost and none may run twice, even when the first half
+// ends in a --termseq escalation (tests/invariants.hpp check_resume_pair).
+// ---------------------------------------------------------------------------
+
+Options interruptible_options(const std::string& joblog_path) {
+  Options options;
+  options.jobs = 16;
+  options.output_mode = OutputMode::kKeepOrder;
+  options.joblog_path = joblog_path;
+  options.resume = true;
+  options.term_seq = "TERM,100,KILL";
+  return options;
+}
+
+/// One half of an interrupt+resume pair. `interrupt_after` is the number of
+/// completions before SIGINT lands (`> total_jobs` = run to the end);
+/// `interrupts` > 1 escalates through --termseq.
+RunSummary run_interruptible_half(std::uint64_t seed, const std::string& joblog_path,
+                                  std::size_t total_jobs,
+                                  std::size_t interrupt_after, int interrupts) {
+  sim::Simulation sim;
+  util::Rng durations(seed * 13 + 3);
+  exec::SimExecutor executor(
+      sim,
+      [&](const core::ExecRequest&) {
+        return exec::SimOutcome{durations.uniform(0.5, 8.0), 0, ""};
+      },
+      /*dispatch_cost=*/1.0 / 470.0);
+  std::ostringstream out, err;
+  Engine engine(interruptible_options(joblog_path), executor, out, err);
+  core::SignalCoordinator signals;
+  engine.set_signal_coordinator(&signals);
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    if (++completed == interrupt_after) {
+      for (int i = 0; i < interrupts; ++i) signals.notify(SIGINT);
+    }
+  });
+  std::vector<core::ArgVector> inputs;
+  inputs.reserve(total_jobs);
+  for (std::size_t i = 0; i < total_jobs; ++i) inputs.push_back({std::to_string(i)});
+  return engine.run("task {}", std::move(inputs));
+}
+
+TEST(ChaosSoak, InterruptResumePairsNeverRunAJobTwice) {
+  const std::size_t kJobs = 120;
+  const std::string joblog = temp_joblog("resume_pair");
+  for (std::uint64_t seed : seed_range(1, 30)) {
+    std::remove(joblog.c_str());
+    util::Rng rng(seed * 101 + 9);
+    std::size_t interrupt_after =
+        static_cast<std::size_t>(rng.uniform_int(1, static_cast<long>(kJobs / 2)));
+    // Every third seed double-interrupts, killing the in-flight jobs via
+    // --termseq instead of draining them.
+    int interrupts = seed % 3 == 0 ? 2 : 1;
+
+    RunSummary first =
+        run_interruptible_half(seed, joblog, kJobs, interrupt_after, interrupts);
+    EXPECT_EQ(first.interrupt_signal, SIGINT) << "pair seed " << seed;
+    EXPECT_GT(first.skipped, 0u) << "pair seed " << seed;
+    if (interrupts == 2) {
+      EXPECT_GT(first.dispatch.escalated, 0u) << "pair seed " << seed;
+    }
+
+    RunSummary second =
+        run_interruptible_half(seed, joblog, kJobs, kJobs + 1, 0);
+    EXPECT_EQ(second.interrupt_signal, 0) << "pair seed " << seed;
+
+    testing::InvariantReport report;
+    Options options = interruptible_options(joblog);
+    testing::check_run(first, options, kJobs, report);
+    testing::check_run(second, options, kJobs, report);
+    testing::check_resume_pair(first, second, kJobs, report);
+    EXPECT_TRUE(report.ok()) << "pair seed " << seed << " violated:\n"
+                             << report.str();
+
+    // The shared joblog ends up covering every seq exactly once — the
+    // drain-killed jobs' rows (Signal 15) included, so they never re-ran.
+    std::set<std::uint64_t> seen;
+    for (const core::JoblogEntry& entry : core::read_joblog(joblog)) {
+      EXPECT_TRUE(seen.insert(entry.seq).second)
+          << "pair seed " << seed << ": seq " << entry.seq << " logged twice";
+    }
+    EXPECT_EQ(seen.size(), kJobs) << "pair seed " << seed;
+  }
   std::remove(joblog.c_str());
 }
 

@@ -328,4 +328,77 @@ TEST(ParclCli, ProgressPrintsCounter) {
   EXPECT_NE(result.output.find("3/3 done"), std::string::npos);
 }
 
+TEST(ParclCli, SigintDrainFinishesRunningJobsAndExits130) {
+  std::string log_path = ::testing::TempDir() + "parcl_cli_drain.tsv";
+  std::remove(log_path.c_str());
+  // Interrupt once mid-run: the two in-flight jobs drain to completion (and
+  // reach the joblog), the queued jobs never start, and parcl exits 128+2.
+  CommandResult result = run_command(
+      "bash -c '" + parcl() + " -j2 --joblog " + log_path +
+      " \"sleep 1; echo done-{}\" ::: 1 2 3 4 & pid=$!;"
+      " sleep 0.4; kill -INT $pid; wait $pid'");
+  EXPECT_EQ(result.exit_code, 130) << result.output;
+  EXPECT_NE(result.output.find("done-1"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("done-2"), std::string::npos) << result.output;
+  EXPECT_EQ(result.output.find("done-3"), std::string::npos) << result.output;
+  EXPECT_EQ(result.output.find("done-4"), std::string::npos) << result.output;
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  auto lines = parcl::util::split_lines(content);
+  EXPECT_EQ(lines.size(), 3u) << content;  // header + the two drained jobs
+  std::remove(log_path.c_str());
+}
+
+TEST(ParclCli, SigtermDrainExits143) {
+  CommandResult result = run_command(
+      "bash -c '" + parcl() +
+      " -j1 \"sleep 1\" ::: 1 2 & pid=$!;"
+      " sleep 0.3; kill -TERM $pid; wait $pid'");
+  EXPECT_EQ(result.exit_code, 143) << result.output;
+}
+
+TEST(ParclCli, DoubleInterruptEscalatesAndRecordsSignalInJoblog) {
+  std::string log_path = ::testing::TempDir() + "parcl_cli_escalate.tsv";
+  std::remove(log_path.c_str());
+  // Two interrupts: the second walks --termseq, so the sleeping job dies by
+  // SIGTERM *now* (well before its 30s length) and the joblog records the
+  // drain-kill signal in the Signal column.
+  auto t0 = std::chrono::steady_clock::now();
+  CommandResult result = run_command(
+      "bash -c '" + parcl() + " --joblog " + log_path +
+      " --termseq TERM,200,KILL \"sleep {}\" ::: 30 & pid=$!;"
+      " sleep 0.4; kill -INT $pid; sleep 0.3; kill -INT $pid; wait $pid'");
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_EQ(result.exit_code, 130) << result.output;
+  EXPECT_LT(elapsed, 10.0);  // escalation, not a 30s drain
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  auto lines = parcl::util::split_lines(content);
+  ASSERT_EQ(lines.size(), 2u) << content;
+  EXPECT_NE(lines[1].find("\t143\t15\t"), std::string::npos)
+      << "drain-killed job must record Signal 15: " << lines[1];
+  std::remove(log_path.c_str());
+}
+
+TEST(ParclCli, RobustnessFlagsSmoke) {
+  // --timeout N%, --memfree, --load, --retry-delay and --joblog-fsync all
+  // wire through the real binary: tiny floor/huge ceiling keep the guards
+  // permissive, so the run completes normally.
+  std::string log_path = ::testing::TempDir() + "parcl_cli_guards.tsv";
+  std::remove(log_path.c_str());
+  CommandResult result = run_command(
+      parcl() + " --timeout 500% --memfree 1k --load 9999 --retry-delay 0.01"
+                " --joblog-fsync --joblog " + log_path + " -k echo g{} ::: 1 2 3 4");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_EQ(result.output, "g1\ng2\ng3\ng4\n");
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(parcl::util::split_lines(content).size(), 5u) << content;
+  std::remove(log_path.c_str());
+}
+
 }  // namespace

@@ -129,6 +129,29 @@ TEST(Cli, RangeExpansionInSources) {
             (std::vector<std::string>{"1", "2", "3", "literal"}));
 }
 
+TEST(Cli, RobustnessFlags) {
+  RunPlan plan = parse({"--retry-delay", "0.5", "--timeout", "200%",
+                        "--termseq", "TERM,100,TERM,200,KILL",
+                        "--memfree", "1g", "--load", "8",
+                        "--joblog", "/tmp/j.log", "--joblog-fsync",
+                        "cmd", ":::", "x"});
+  EXPECT_DOUBLE_EQ(plan.options.retry_delay_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(plan.options.timeout_percent, 200.0);
+  EXPECT_DOUBLE_EQ(plan.options.timeout_seconds, 0.0);
+  EXPECT_EQ(plan.options.term_seq, "TERM,100,TERM,200,KILL");
+  EXPECT_EQ(plan.options.memfree_bytes, 1024u * 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(plan.options.load_max, 8.0);
+  EXPECT_TRUE(plan.options.joblog_fsync);
+}
+
+TEST(Cli, TimeoutPercentSuffixSelectsAdaptiveMode) {
+  EXPECT_DOUBLE_EQ(parse({"--timeout", "5.5", "cmd", ":::", "x"})
+                       .options.timeout_seconds, 5.5);
+  RunPlan plan = parse({"--timeout", "300%", "cmd", ":::", "x"});
+  EXPECT_DOUBLE_EQ(plan.options.timeout_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(plan.options.timeout_percent, 300.0);
+}
+
 TEST(Cli, XargsPacking) {
   RunPlan plan = parse({"-X", "--max-chars", "100", "rm", ":::", "a", "b"});
   EXPECT_TRUE(plan.options.xargs);

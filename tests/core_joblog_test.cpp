@@ -76,6 +76,71 @@ TEST_F(JoblogTest, MissingFileThrows) {
   EXPECT_THROW(read_joblog("/no/such/dir/joblog.tsv"), util::SystemError);
 }
 
+TEST_F(JoblogTest, TornFinalLineIsSkippedAndCounted) {
+  {
+    JoblogWriter writer(path_);
+    writer.record(make_result(1, 0), ":");
+    writer.record(make_result(2, 0), ":");
+  }
+  // Tear the last record the way a crash mid-write would: cut the trailing
+  // newline and a few bytes off the final row.
+  std::string data;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    data = buffer.str();
+  }
+  ASSERT_GT(data.size(), 6u);
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << data.substr(0, data.size() - 6);
+  }
+  JoblogReadStats stats;
+  auto entries = read_joblog(path_, &stats);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].seq, 1u);
+  EXPECT_EQ(stats.torn_lines, 1u);
+  // --resume over the torn log conservatively re-runs the torn seq.
+  auto skip = resume_skip_set(entries, /*rerun_failed=*/false);
+  EXPECT_EQ(skip, (std::set<std::uint64_t>{1}));
+  // The stats out-param is optional; existing callers stay lenient too.
+  EXPECT_EQ(read_joblog(path_).size(), 1u);
+}
+
+TEST_F(JoblogTest, WriterTrimsTornTailBeforeAppending) {
+  {
+    JoblogWriter writer(path_);
+    writer.record(make_result(1, 0), ":");
+  }
+  {
+    // Crash-torn tail: a partial record with no newline.
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "3\t:\t1.0";
+  }
+  {
+    // Re-opening for append must drop the fragment, or the next record
+    // would glue onto it and corrupt the log for every later resume.
+    JoblogWriter writer(path_);
+    writer.record(make_result(2, 0), ":");
+  }
+  JoblogReadStats stats;
+  auto entries = read_joblog(path_, &stats);
+  EXPECT_EQ(stats.torn_lines, 0u);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].seq, 1u);
+  EXPECT_EQ(entries[1].seq, 2u);
+}
+
+TEST_F(JoblogTest, FsyncEachRecordRoundTrips) {
+  {
+    JoblogWriter writer(path_, /*fsync_each=*/true);
+    writer.record(make_result(1, 0), ":");
+    writer.record(make_result(2, 1), ":");
+  }
+  EXPECT_EQ(read_joblog(path_).size(), 2u);
+}
+
 TEST(JoblogStream, MalformedLineThrowsWithLineNumber) {
   std::istringstream in("Seq\tHost\tbad header tail\nnot\tenough\tfields\n");
   try {

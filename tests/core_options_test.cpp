@@ -53,6 +53,40 @@ TEST(Options, ResumeFlagsAreExclusive) {
   EXPECT_THROW(options.validate(), util::ConfigError);
 }
 
+TEST(Options, TimeoutSecondsAndPercentAreExclusive) {
+  Options options;
+  options.timeout_seconds = 5.0;
+  options.timeout_percent = 200.0;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+  options.timeout_seconds = 0.0;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(Options, RejectsNegativeRetryDelayAndLoad) {
+  Options options;
+  options.retry_delay_seconds = -1.0;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+  options.retry_delay_seconds = 0.0;
+  options.load_max = -0.1;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+}
+
+TEST(Options, MalformedTermseqRejected) {
+  Options options;
+  options.term_seq = "WAT";
+  EXPECT_THROW(options.validate(), util::ParseError);
+  options.term_seq = "TERM,200";  // ends with a delay
+  EXPECT_THROW(options.validate(), util::ParseError);
+}
+
+TEST(Options, JoblogFsyncNeedsJoblog) {
+  Options options;
+  options.joblog_fsync = true;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+  options.joblog_path = "/tmp/x";
+  EXPECT_NO_THROW(options.validate());
+}
+
 TEST(Options, XargsNeedsMaxChars) {
   Options options;
   options.xargs = true;

@@ -7,9 +7,12 @@
 #include <signal.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/engine.hpp"
+#include "exec/host_probe.hpp"
 
 namespace parcl::exec {
 namespace {
@@ -410,6 +413,43 @@ TEST(LocalExecutor, RestoresPriorSigpipeDisposition) {
   ASSERT_EQ(sigaction(SIGPIPE, nullptr, &after), 0);
   EXPECT_EQ(after.sa_handler, custom_sigpipe_handler);
   sigaction(SIGPIPE, &original, nullptr);
+}
+
+TEST(HostProbe, ParsesMeminfoAndLoadavgFixtures) {
+  std::string meminfo = ::testing::TempDir() + "probe_meminfo";
+  std::string loadavg = ::testing::TempDir() + "probe_loadavg";
+  {
+    std::ofstream out(meminfo);
+    out << "MemTotal:       65536000 kB\n"
+        << "MemFree:         1024000 kB\n"
+        << "MemAvailable:    2048000 kB\n";
+  }
+  {
+    std::ofstream out(loadavg);
+    out << "3.25 2.10 1.05 2/1234 56789\n";
+  }
+  HostProbe probe(meminfo, loadavg);
+  core::ResourcePressure pressure = probe.read_now();
+  EXPECT_DOUBLE_EQ(pressure.mem_free_bytes, 2048000.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(pressure.load_avg, 3.25);
+  std::remove(meminfo.c_str());
+  std::remove(loadavg.c_str());
+}
+
+TEST(HostProbe, MissingFilesReportUnknown) {
+  HostProbe probe("/no/such/meminfo", "/no/such/loadavg");
+  core::ResourcePressure pressure = probe.read_now();
+  EXPECT_LT(pressure.mem_free_bytes, 0.0);
+  EXPECT_LT(pressure.load_avg, 0.0);
+}
+
+TEST(LocalExecutor, PressureReportsRealHostNumbers) {
+  // On Linux /proc is present, so the real probe returns live values; the
+  // contract elsewhere is only "negative = unknown".
+  LocalExecutor executor;
+  core::ResourcePressure pressure = executor.pressure();
+  if (pressure.mem_free_bytes >= 0.0) EXPECT_GT(pressure.mem_free_bytes, 0.0);
+  if (pressure.load_avg >= 0.0) EXPECT_GE(pressure.load_avg, 0.0);
 }
 
 }  // namespace

@@ -140,6 +140,36 @@ inline void check_joblog(const std::string& path, const core::RunSummary& summar
   }
 }
 
+/// Interrupt + resume contract over a shared joblog: the first (drained or
+/// killed) run and the --resume run must together cover every seq exactly
+/// once — no job lost, no job run twice. `first` is the summary of the
+/// interrupted run, `second` of the resumed one, over the same input set.
+inline void check_resume_pair(const core::RunSummary& first,
+                              const core::RunSummary& second,
+                              std::size_t total_jobs, InvariantReport& report,
+                              bool rerun_failed = false) {
+  if (first.results.size() != total_jobs || second.results.size() != total_jobs) {
+    report.fail("resume pair: result vectors do not cover the job set");
+    return;
+  }
+  for (std::size_t i = 0; i < total_jobs; ++i) {
+    bool ran_first = first.results[i].status != core::JobStatus::kSkipped;
+    bool ran_second = second.results[i].status != core::JobStatus::kSkipped;
+    std::uint64_t seq = i + 1;
+    if (ran_first && ran_second) {
+      // Under plain --resume every logged seq is skipped, so any overlap is
+      // a duplicated job. Under --resume-failed, re-running a non-success
+      // is the sanctioned overlap; a success must still never re-run.
+      if (!rerun_failed || first.results[i].status == core::JobStatus::kSuccess) {
+        report.fail("seq " + std::to_string(seq) + " ran in both halves of the pair");
+      }
+    }
+    if (!ran_first && !ran_second) {
+      report.fail("seq " + std::to_string(seq) + " never ran across the pair");
+    }
+  }
+}
+
 /// Whole joblog file, byte for byte — the replay oracle for deterministic
 /// (simulated) schedules.
 inline std::string slurp(const std::string& path) {
