@@ -1,0 +1,165 @@
+// Peak-RSS footprint of the streaming job pipeline.
+//
+// The refactor's memory claim: the engine pulls jobs from a JobSource one at
+// a time, so peak RSS is bounded by the window of in-flight work — not by
+// the total job count. Each measurement forks a child that drives the engine
+// from a lazily generated FunctionSource through a zero-cost SimExecutor,
+// then reads the child's ru_maxrss via wait4. Scales 10k / 100k / 1M jobs;
+// a materialized (vector-of-args) run at the small scales shows the O(jobs)
+// baseline the streaming path removes.
+//
+// Self-asserts sub-linear growth — peak RSS at 1M jobs must stay within 2x
+// of the 10k-job run — and records everything in BENCH_dispatch.json for
+// the CI regression guard.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "core/job_source.hpp"
+#include "exec/sim_executor.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace parcl;
+
+/// Runs N zero-cost jobs through the engine in the current process.
+/// Returns true when every job succeeded.
+bool drive_engine(std::size_t total_jobs, bool streamed) {
+  sim::Simulation sim;
+  exec::SimExecutor executor(sim, [](const core::ExecRequest&) {
+    return exec::SimOutcome{0.0, 0, ""};
+  });
+  core::Options options;
+  options.jobs = 128;
+  // The CLI's configuration: stream results through the collator, do not
+  // retain per-job records in the summary.
+  options.collect_results = false;
+  std::ostringstream out, err;
+  core::Engine engine(options, executor, out, err);
+  core::RunSummary summary;
+  if (streamed) {
+    std::size_t next = 0;
+    core::FunctionSource source([&]() -> std::optional<core::JobInput> {
+      if (next >= total_jobs) return std::nullopt;
+      core::JobInput job;
+      job.args = {std::to_string(next++)};
+      return job;
+    });
+    summary = engine.run_source("noop {}", source);
+  } else {
+    std::vector<core::ArgVector> inputs;
+    inputs.reserve(total_jobs);
+    for (std::size_t i = 0; i < total_jobs; ++i) {
+      inputs.push_back({std::to_string(i)});
+    }
+    summary = engine.run("noop {}", std::move(inputs));
+  }
+  return summary.succeeded == total_jobs && summary.failed == 0;
+}
+
+/// Forks, runs drive_engine in the child, and returns the child's peak RSS
+/// in KiB (Linux ru_maxrss units). Returns 0 on any failure.
+long measure_peak_rss_kib(std::size_t total_jobs, bool streamed) {
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 0;
+  }
+  if (pid == 0) {
+    bool ok = drive_engine(total_jobs, streamed);
+    _exit(ok ? 0 : 1);
+  }
+  int status = 0;
+  struct rusage usage {};
+  if (wait4(pid, &status, 0, &usage) != pid) {
+    std::perror("wait4");
+    return 0;
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::cerr << "memory_footprint: child for " << total_jobs << " jobs ("
+              << (streamed ? "streamed" : "materialized")
+              << ") failed with status " << status << "\n";
+    return 0;
+  }
+  return usage.ru_maxrss;
+}
+
+std::string format_kib(long kib) { return std::to_string(kib) + " KiB"; }
+
+}  // namespace
+
+int main() {
+  bench::print_header("memory", "peak RSS vs job count (streaming pipeline)");
+
+  struct Scale {
+    const char* label;
+    std::size_t jobs;
+    bool materialized_too;
+  };
+  const Scale scales[] = {
+      {"10k", 10'000, true},
+      {"100k", 100'000, true},
+      {"1m", 1'000'000, false},  // materialized at 1M would be the O(jobs)
+                                 // blow-up this bench exists to rule out
+  };
+
+  bench::BenchJson json("BENCH_dispatch.json");
+  util::Table table({"jobs", "streamed_rss", "materialized_rss"});
+  long streamed_10k = 0;
+  long streamed_1m = 0;
+  bool measured_all = true;
+  for (const Scale& scale : scales) {
+    long streamed = measure_peak_rss_kib(scale.jobs, /*streamed=*/true);
+    long materialized =
+        scale.materialized_too
+            ? measure_peak_rss_kib(scale.jobs, /*streamed=*/false)
+            : 0;
+    if (streamed == 0) measured_all = false;
+    if (scale.jobs == 10'000) streamed_10k = streamed;
+    if (scale.jobs == 1'000'000) streamed_1m = streamed;
+    table.add_row({scale.label, format_kib(streamed),
+                   scale.materialized_too ? format_kib(materialized) : "-"});
+    json.set("memory_footprint",
+             std::string("peak_rss_kib_streamed_") + scale.label,
+             static_cast<double>(streamed));
+    if (scale.materialized_too) {
+      json.set("memory_footprint",
+               std::string("peak_rss_kib_materialized_") + scale.label,
+               static_cast<double>(materialized));
+    }
+  }
+  std::cout << table.render() << '\n';
+
+  bool flat = measured_all && streamed_10k > 0 &&
+              streamed_1m <= 2 * streamed_10k;
+  json.set("memory_footprint", "rss_growth_10k_to_1m",
+           streamed_10k > 0
+               ? static_cast<double>(streamed_1m) /
+                     static_cast<double>(streamed_10k)
+               : 0.0);
+  json.write();
+  std::cout << "wrote BENCH_dispatch.json (memory_footprint section)\n";
+
+  bench::CheckTable check;
+  check.add_text("peak RSS flat 10k -> 1M jobs", "<= 2x",
+                 format_kib(streamed_10k) + " -> " + format_kib(streamed_1m),
+                 flat);
+  check.print();
+  if (!flat) {
+    std::cerr << "memory_footprint: FAIL — peak RSS grew more than 2x from "
+                 "10k to 1M jobs (streaming regression)\n";
+    return 1;
+  }
+  return 0;
+}

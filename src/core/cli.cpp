@@ -20,17 +20,27 @@ std::string take_value(const std::vector<std::string>& argv, std::size_t& i,
   return argv[++i];
 }
 
+SourceSpec file_or_stdin_source(const std::string& path) {
+  SourceSpec spec;
+  if (path == "-") {
+    spec.kind = SourceSpec::Kind::kStdin;
+  } else {
+    spec.kind = SourceSpec::Kind::kFile;
+    spec.path = path;
+  }
+  return spec;
+}
+
 }  // namespace
 
 RunPlan parse_cli(const std::vector<std::string>& argv) {
   RunPlan plan;
   std::vector<std::string> command_tokens;
-  char input_sep = '\n';
   std::vector<std::string> arg_files;
 
   enum class Phase { kOptions, kCommand, kSourceValues };
   Phase phase = Phase::kOptions;
-  InputSource* current_source = nullptr;
+  SourceSpec* current_source = nullptr;
 
   for (std::size_t i = 0; i < argv.size(); ++i) {
     const std::string& arg = argv[i];
@@ -41,7 +51,7 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
       if (arg == ":::+") plan.link = true;
       if (arg == "::::") {
         std::string path = take_value(argv, i, "::::");
-        plan.sources.push_back(InputSource::from_file(path));
+        plan.sources.push_back(file_or_stdin_source(path));
         current_source = nullptr;
         phase = Phase::kSourceValues;
       } else {
@@ -159,7 +169,7 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
     } else if (arg == "--link") {
       plan.link = true;
     } else if (arg == "-0" || arg == "--null") {
-      input_sep = '\0';
+      plan.input_sep = '\0';
     } else if (arg == "-a" || arg == "--arg-file") {
       arg_files.push_back(take_value(argv, i, arg));
     } else if (arg == "--no-quote") {
@@ -180,23 +190,27 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
     }
   }
 
-  // -a files become leading input sources (parallel's order).
+  // -a files become leading input sources (parallel's order); "-" is stdin.
   if (!arg_files.empty()) {
-    std::vector<InputSource> file_sources;
+    std::vector<SourceSpec> file_sources;
+    file_sources.reserve(arg_files.size());
     for (const auto& path : arg_files) {
-      InputSource source = InputSource::from_file(path);
-      if (input_sep != '\n') {
-        // Re-split on the alternate separator.
-        std::string joined = util::join(source.values, "\n");
-        InputSource resplit;
-        for (auto& value : util::split(joined, input_sep)) resplit.values.push_back(value);
-        source = std::move(resplit);
-      }
-      file_sources.push_back(std::move(source));
+      file_sources.push_back(file_or_stdin_source(path));
     }
     plan.sources.insert(plan.sources.begin(),
                         std::make_move_iterator(file_sources.begin()),
                         std::make_move_iterator(file_sources.end()));
+  }
+
+  std::size_t stdin_sources = 0;
+  for (const auto& source : plan.sources) {
+    if (source.kind == SourceSpec::Kind::kStdin) ++stdin_sources;
+  }
+  if (stdin_sources > 1) {
+    throw util::ConfigError("only one input source may read stdin ('-')");
+  }
+  if (stdin_sources > 0 && plan.options.pipe_mode) {
+    throw util::ConfigError("--pipe reads stdin itself; '-' cannot also name it");
   }
 
   plan.command_template = util::join(command_tokens, " ");
@@ -208,12 +222,39 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
   return plan;
 }
 
-std::vector<ArgVector> resolve_inputs(const RunPlan& plan, std::istream& in) {
-  std::vector<InputSource> sources = plan.sources;
-  if (plan.read_stdin) {
-    sources.push_back(InputSource::from_stream(in));
+std::unique_ptr<JobSource> make_job_source(const RunPlan& plan, std::istream& in) {
+  std::vector<std::unique_ptr<ValueSource>> values;
+  values.reserve(plan.sources.size() + 1);
+  for (const auto& source : plan.sources) {
+    switch (source.kind) {
+      case SourceSpec::Kind::kLiteral:
+        values.push_back(std::make_unique<VectorValueSource>(source.values));
+        break;
+      case SourceSpec::Kind::kFile:
+        values.push_back(LineSource::open(source.path, plan.input_sep));
+        break;
+      case SourceSpec::Kind::kStdin:
+        values.push_back(std::make_unique<LineSource>(in, plan.input_sep));
+        break;
+    }
   }
-  return plan.link ? combine_linked(sources) : combine_cartesian(sources);
+  if (plan.read_stdin) {
+    values.push_back(std::make_unique<LineSource>(in, plan.input_sep));
+  }
+  if (plan.link) {
+    return std::make_unique<LinkedSource>(std::move(values));
+  }
+  // Cartesian with a single source is a pure stream: the head never buffers.
+  return std::make_unique<CartesianSource>(std::move(values));
+}
+
+std::vector<ArgVector> resolve_inputs(const RunPlan& plan, std::istream& in) {
+  auto source = make_job_source(plan, in);
+  std::vector<ArgVector> inputs;
+  while (auto job = source->next()) {
+    inputs.push_back(std::move(job->args));
+  }
+  return inputs;
 }
 
 std::string usage_text() {
@@ -248,7 +289,7 @@ options:
       --joblog PATH   append a GNU-Parallel-format job log
       --joblog-fsync  fsync the joblog after every record
       --results DIR   save each job's stdout/stderr/meta under DIR/<seq>/
-      --shuf          run jobs in random order
+      --shuf          run jobs in random order (buffers the whole input)
   -C, --colsep SEP    split input values into columns ({1}, {2}, ...) on SEP
       --trim MODE     trim input whitespace: n|l|r|lr|rl
       --resume        skip seqs already in the joblog
@@ -257,15 +298,20 @@ options:
       --link          zip input sources instead of cartesian product
       --pipe          split stdin into blocks fed to jobs' stdin
       --block SIZE    target --pipe block size (k/m/g suffixes; default 1m)
-      --progress      live completion counter on stderr
+      --progress      live completion counter on stderr (total shows "?"
+                      until the input source is exhausted)
       --semaphore     run the command under a cross-process semaphore (sem)
       --id NAME       semaphore name for --semaphore (default: "default")
   -0, --null          input values are NUL-separated
-  -a, --arg-file F    read an input source from F
+  -a, --arg-file F    read an input source from F ("-" = stdin)
       --no-quote      substitute values without shell quoting
       --no-shell      exec directly instead of via /bin/sh -c
       --help          this text
       --version       version
+
+Input is streamed: files, stdin, and :::: sources are read incrementally
+and jobs are composed on demand, so memory stays constant in the job count
+(--shuf is the exception; it must buffer the list to permute it).
 )";
 }
 

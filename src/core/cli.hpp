@@ -12,37 +12,63 @@
 //   -a/--arg-file F    --no-quote          --no-shell
 //
 // With no ::: / :::: / -a source, values are read from stdin, one per line,
-// exactly like parallel.
+// exactly like parallel. `-` as the file for -a/--arg-file or :::: names
+// stdin itself (at most one source may claim it).
+//
+// Sources are DESCRIBED here, not read: parsing records what each source is
+// (literal values, a file path, or stdin) and make_job_source() builds the
+// streaming pipeline that reads them incrementally at run time.
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/input.hpp"
+#include "core/job_source.hpp"
 #include "core/options.hpp"
 
 namespace parcl::core {
 
+/// One input source as named on the command line, deferred until run time.
+struct SourceSpec {
+  enum class Kind {
+    kLiteral,  // ::: values (held inline)
+    kFile,     // :::: path or -a path (streamed with LineSource at run time)
+    kStdin,    // "-" given to :::: or -a (streams the caller's stdin)
+  };
+  Kind kind = Kind::kLiteral;
+  std::vector<std::string> values;  // kLiteral only
+  std::string path;                 // kFile only
+};
+
 struct RunPlan {
   Options options;
-  std::string command_template;      // joined command tokens
-  std::vector<InputSource> sources;  // resolved input sources
-  bool link = false;                 // --link / :::+
-  bool read_stdin = false;           // no explicit source given
+  std::string command_template;     // joined command tokens
+  std::vector<SourceSpec> sources;  // input sources, unread until run time
+  char input_sep = '\n';            // -0/--null: value separator for streams
+  bool link = false;                // --link / :::+
+  bool read_stdin = false;          // no explicit source given
   bool show_help = false;
   bool show_version = false;
-  bool semaphore = false;            // --semaphore / sem mode
+  bool semaphore = false;           // --semaphore / sem mode
   std::string semaphore_id = "default";  // --id
 };
 
 /// Parses argv (argv[0] ignored). Throws ParseError / ConfigError on bad
-/// usage. File sources (:::: / -a) are read eagerly; stdin is deferred
-/// (read_stdin set instead).
+/// usage. File and stdin sources are recorded, not read — reading happens
+/// through make_job_source() so input streams instead of materializing.
 RunPlan parse_cli(const std::vector<std::string>& argv);
 
-/// Materializes the job argument vectors from a plan, reading `in` if the
-/// plan wants stdin.
+/// Builds the streaming job source for a plan: one ValueSource per
+/// SourceSpec (files via LineSource, `-`/implicit stdin from `in`, honoring
+/// -0), combined cartesian or --link'd. The returned source borrows `in`,
+/// which must outlive it.
+std::unique_ptr<JobSource> make_job_source(const RunPlan& plan, std::istream& in);
+
+/// Materializes the job argument vectors from a plan (a drain of
+/// make_job_source, for callers that want whole vectors).
 std::vector<ArgVector> resolve_inputs(const RunPlan& plan, std::istream& in);
 
 /// Usage text for --help.

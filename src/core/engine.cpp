@@ -1,7 +1,6 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <deque>
 #include <iostream>
 #include <limits>
@@ -16,8 +15,9 @@
 
 #include "core/joblog.hpp"
 #include "core/output.hpp"
+#include "core/retry_ledger.hpp"
+#include "core/scheduler.hpp"
 #include "core/signal_coordinator.hpp"
-#include "core/slot_pool.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -25,33 +25,6 @@
 #include "util/strings.hpp"
 
 namespace parcl::core {
-
-/// A queued (not yet started) job.
-struct Engine::Pending {
-  std::uint64_t seq = 0;
-  ArgVector args;             // input arguments ({}, {n})
-  std::string stdin_data;     // --pipe block
-  bool has_stdin = false;
-  std::size_t attempts = 0;   // completed attempts (0 for fresh jobs)
-  double not_before = 0.0;    // --retry-delay backoff gate (executor clock)
-};
-
-/// In-flight attempt bookkeeping.
-struct Engine::Active {
-  std::uint64_t seq = 0;
-  ArgVector args;
-  std::string stdin_data;
-  bool has_stdin = false;
-  std::size_t slot = 0;
-  std::size_t attempts = 0;  // attempts including this one
-  std::string command;
-  double start_time = 0.0;    // dispatch instant (for adaptive timeouts)
-  double deadline = 0.0;      // 0 = no timeout
-  bool kill_sent = false;     // timeout SIGTERM sent
-  bool force_sent = false;    // timeout SIGKILL sent
-  bool killed_for_timeout = false;
-  bool killed_for_halt = false;
-};
 
 Engine::Engine(Options options, Executor& executor)
     : Engine(std::move(options), executor, std::cout, std::cerr) {}
@@ -69,72 +42,55 @@ void Engine::set_signal_coordinator(SignalCoordinator* coordinator) {
   signals_ = coordinator;
 }
 
+RunSummary Engine::run_source(const std::string& command_template, JobSource& source) {
+  return run_source(CommandTemplate::parse(command_template), source);
+}
+
+RunSummary Engine::run_source(const CommandTemplate& command, JobSource& source) {
+  CommandTemplate tmpl = command;
+  tmpl.ensure_input_placeholder();
+
+  // Input decorators compose as streaming stages in the fixed order the
+  // materializing path always applied: --trim, then --colsep, then -n/-X
+  // packing. Each stage pulls from the one below it on demand.
+  JobSource* top = &source;
+  std::vector<std::unique_ptr<JobSource>> stages;
+  auto push_stage = [&](std::unique_ptr<JobSource> stage) {
+    stages.push_back(std::move(stage));
+    top = stages.back().get();
+  };
+  if (!options_.trim_mode.empty() && options_.trim_mode != "n") {
+    push_stage(std::make_unique<TrimSource>(*top, options_.trim_mode));
+  }
+  if (!options_.colsep.empty()) {
+    push_stage(std::make_unique<ColsepSource>(*top, options_.colsep));
+  }
+  if (options_.xargs) {
+    push_stage(std::make_unique<MaxCharsPacker>(*top, tmpl.source().size(),
+                                                options_.max_chars));
+  } else if (options_.max_args > 1) {
+    push_stage(std::make_unique<MaxArgsPacker>(*top, options_.max_args));
+  }
+  return execute(tmpl, *top);
+}
+
 RunSummary Engine::run(const std::string& command_template, std::vector<ArgVector> inputs) {
   return run(CommandTemplate::parse(command_template), std::move(inputs));
 }
 
 RunSummary Engine::run(const CommandTemplate& command, std::vector<ArgVector> inputs) {
-  CommandTemplate tmpl = command;
-  tmpl.ensure_input_placeholder();
+  VectorSource source(std::move(inputs));
+  return run_source(command, source);
+}
 
-  // --trim: strip whitespace from every input value.
-  if (!options_.trim_mode.empty() && options_.trim_mode != "n") {
-    bool left = options_.trim_mode.find('l') != std::string::npos;
-    bool right = options_.trim_mode.find('r') != std::string::npos;
-    for (ArgVector& args : inputs) {
-      for (std::string& value : args) {
-        std::size_t begin = 0, end = value.size();
-        if (left) {
-          while (begin < end && std::isspace(static_cast<unsigned char>(value[begin])))
-            ++begin;
-        }
-        if (right) {
-          while (end > begin && std::isspace(static_cast<unsigned char>(value[end - 1])))
-            --end;
-        }
-        value = value.substr(begin, end - begin);
-      }
-    }
-  }
+RunSummary Engine::run_pipe_source(const std::string& command_template,
+                                   JobSource& blocks) {
+  return run_pipe_source(CommandTemplate::parse(command_template), blocks);
+}
 
-  // --colsep: split single values into positional columns.
-  if (!options_.colsep.empty()) {
-    for (ArgVector& args : inputs) {
-      if (args.size() != 1) {
-        throw util::ConfigError("--colsep requires a single input source");
-      }
-      ArgVector columns;
-      std::size_t start = 0;
-      const std::string& line = args[0];
-      while (true) {
-        std::size_t pos = line.find(options_.colsep, start);
-        if (pos == std::string::npos) {
-          columns.push_back(line.substr(start));
-          break;
-        }
-        columns.push_back(line.substr(start, pos - start));
-        start = pos + options_.colsep.size();
-      }
-      args = std::move(columns);
-    }
-  }
-
-  // -n / -X packing.
-  if (options_.xargs) {
-    inputs = pack_max_chars(inputs, tmpl.source().size(), options_.max_chars);
-  } else if (options_.max_args > 1) {
-    inputs = pack_max_args(inputs, options_.max_args);
-  }
-
-  std::vector<Pending> jobs;
-  jobs.reserve(inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    Pending job;
-    job.seq = static_cast<std::uint64_t>(i) + 1;
-    job.args = std::move(inputs[i]);
-    jobs.push_back(std::move(job));
-  }
-  return execute(tmpl, std::move(jobs));
+RunSummary Engine::run_pipe_source(const CommandTemplate& command, JobSource& blocks) {
+  // Deliberately no ensure_input_placeholder(): pipe jobs read stdin.
+  return execute(command, blocks);
 }
 
 RunSummary Engine::run_pipe(const std::string& command_template,
@@ -144,17 +100,8 @@ RunSummary Engine::run_pipe(const std::string& command_template,
 
 RunSummary Engine::run_pipe(const CommandTemplate& command,
                             std::vector<std::string> blocks) {
-  // Deliberately no ensure_input_placeholder(): pipe jobs read stdin.
-  std::vector<Pending> jobs;
-  jobs.reserve(blocks.size());
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    Pending job;
-    job.seq = static_cast<std::uint64_t>(i) + 1;
-    job.stdin_data = std::move(blocks[i]);
-    job.has_stdin = true;
-    jobs.push_back(std::move(job));
-  }
-  return execute(command, std::move(jobs));
+  BlockVectorSource source(std::move(blocks));
+  return run_pipe_source(command, source);
 }
 
 RunSummary Engine::run_raw(const std::string& command_template, std::size_t count) {
@@ -162,17 +109,13 @@ RunSummary Engine::run_raw(const std::string& command_template, std::size_t coun
 }
 
 RunSummary Engine::run_raw(const CommandTemplate& command, std::size_t count) {
-  std::vector<Pending> jobs(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    jobs[i].seq = static_cast<std::uint64_t>(i) + 1;
-  }
-  return execute(command, std::move(jobs));
+  CountSource source(count);
+  return execute(command, source);
 }
 
-RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all_jobs) {
-  const std::size_t total_jobs = all_jobs.size();
+RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   RunSummary summary;
-  summary.results.resize(total_jobs);
+  const bool collect = options_.collect_results;
 
   // Pre-parse env value templates once.
   std::vector<std::pair<std::string, CommandTemplate>> env_templates;
@@ -181,13 +124,15 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     env_templates.emplace_back(key, CommandTemplate::parse(value));
   }
 
-  // --resume: consult the joblog before opening it for append.
+  // --resume: fold the joblog into the skip set before opening it for
+  // append. The set is keyed on seq alone, so it needs no knowledge of the
+  // (still unknown) total job count.
   std::set<std::uint64_t> skip;
   if (options_.resume || options_.resume_failed) {
     try {
       JoblogReadStats log_stats;
-      skip = resume_skip_set(read_joblog(options_.joblog_path, &log_stats),
-                             options_.resume_failed);
+      skip = read_resume_skip_set(options_.joblog_path, options_.resume_failed,
+                                  &log_stats);
       if (log_stats.torn_lines != 0) {
         PARCL_WARN() << "joblog '" << options_.joblog_path
                      << "': final line torn (crash mid-write); skipping it so "
@@ -217,48 +162,131 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
   }
   OutputCollator collator(options_.output_mode, std::move(tag_fn), out_, err_);
 
-  // Queue in input order; retries re-enter at the front of the remainder.
-  std::vector<Pending> queue;
-  queue.reserve(total_jobs);
-  for (Pending& job : all_jobs) {
-    JobResult& result = summary.results[job.seq - 1];
-    result.seq = job.seq;
-    result.args = job.args;
-    if (skip.count(job.seq) != 0) {
-      result.status = JobStatus::kSkipped;
-      ++summary.skipped;
-      collator.mark_absent(job.seq);
-      continue;
-    }
-    queue.push_back(std::move(job));
-  }
-  std::size_t next_pending = 0;
+  // ---- Streaming pull machinery -------------------------------------------
+  // Seqs are assigned in pull order (1-based), so a streamed source and its
+  // materialized equivalent number jobs — and order -k output — identically.
+  std::uint64_t next_seq = 1;
+  bool exhausted = false;
 
-  // --shuf: randomize execution order (seq numbers, and therefore -k output
-  // order, stay bound to the original inputs).
-  if (options_.shuffle) {
-    util::Rng rng(options_.shuffle_seed);
-    rng.shuffle(queue);
+  auto note_skip = [&](PendingJob job) {
+    ++summary.skipped;
+    collator.mark_absent(job.seq);
+    if (collect) {
+      if (summary.results.size() < job.seq) summary.results.resize(job.seq);
+      JobResult& result = summary.results[job.seq - 1];
+      result.seq = job.seq;
+      result.args = std::move(job.args);
+      result.status = JobStatus::kSkipped;
+    }
+  };
+
+  auto pull_raw = [&]() -> std::optional<PendingJob> {
+    if (exhausted) return std::nullopt;
+    auto item = source.next();
+    if (!item) {
+      exhausted = true;
+      return std::nullopt;
+    }
+    PendingJob job;
+    job.seq = next_seq++;
+    job.args = std::move(item->args);
+    job.stdin_data = std::move(item->stdin_data);
+    job.has_stdin = item->has_stdin;
+    return job;
+  };
+
+  // --shuf must see the whole job list to permute it, and a percent --halt
+  // needs the true total before the first completion: both force the
+  // buffered (O(jobs) memory) path. Everything else streams.
+  const bool buffer_all = options_.shuffle || options_.halt.percent > 0.0;
+  std::deque<PendingJob> buffered;
+  if (buffer_all) {
+    std::vector<PendingJob> all;
+    while (auto job = pull_raw()) {
+      if (!skip.empty() && skip.count(job->seq) != 0) {
+        note_skip(std::move(*job));
+      } else {
+        all.push_back(std::move(*job));
+      }
+    }
+    if (options_.shuffle) {
+      // Randomize execution order (seq numbers, and therefore -k output
+      // order, stay bound to the original inputs).
+      util::Rng rng(options_.shuffle_seed);
+      rng.shuffle(all);
+    }
+    buffered.assign(std::make_move_iterator(all.begin()),
+                    std::make_move_iterator(all.end()));
   }
+
+  // Next runnable job; --resume skips are recorded as they stream past.
+  auto pull_runnable = [&]() -> std::optional<PendingJob> {
+    if (buffer_all) {
+      if (buffered.empty()) return std::nullopt;
+      PendingJob job = std::move(buffered.front());
+      buffered.pop_front();
+      return job;
+    }
+    while (auto job = pull_raw()) {
+      if (!skip.empty() && skip.count(job->seq) != 0) {
+        note_skip(std::move(*job));
+        continue;
+      }
+      return job;
+    }
+    return std::nullopt;
+  };
 
   // --dry-run: compose and print, never execute.
   if (options_.dry_run) {
-    for (const Pending& job : queue) {
-      CommandTemplate::Context context{job.seq, 1};
-      std::string cmd = tmpl.expand(job.args, context, options_.quote_args);
+    while (auto job = pull_runnable()) {
+      CommandTemplate::Context context{job->seq, 1};
+      std::string cmd = tmpl.expand(job->args, context, options_.quote_args);
       out_ << cmd << '\n';
-      JobResult& result = summary.results[job.seq - 1];
-      result.status = JobStatus::kSuccess;
-      result.command = std::move(cmd);
       ++summary.succeeded;
+      if (collect) {
+        if (summary.results.size() < job->seq) summary.results.resize(job->seq);
+        JobResult& result = summary.results[job->seq - 1];
+        result.seq = job->seq;
+        result.args = std::move(job->args);
+        result.status = JobStatus::kSuccess;
+        result.command = std::move(cmd);
+      }
     }
+    summary.total = next_seq - 1;
+    if (collect) summary.results.resize(summary.total);
     return summary;
   }
 
-  SlotPool slots(options_.effective_jobs());
-  std::unordered_map<std::uint64_t, Active> active;  // job_id -> attempt
+  Scheduler scheduler(options_, executor_);
+  RetryLedger ledger(options_, executor_);
+  std::unordered_map<std::uint64_t, ActiveAttempt> active;  // job_id -> attempt
   active.reserve(options_.effective_jobs() * 2);
   std::uint64_t next_job_id = 1;
+
+  // One-job lookahead over the source: phase 1 needs to know whether fresh
+  // work exists before committing a slot, without pulling twice.
+  std::optional<PendingJob> lookahead;
+  auto have_fresh = [&]() -> bool {
+    if (!lookahead) lookahead = pull_runnable();
+    return lookahead.has_value();
+  };
+  auto queued_work = [&] {
+    return ledger.ready() || ledger.has_delayed() || have_fresh();
+  };
+
+  // Bounded -k out-of-order window: once the collator holds `window`
+  // finished jobs waiting on an earlier seq, fresh dispatch pauses. The gap
+  // seq was pulled before every held one (pull order == seq order when not
+  // shuffled), so it is active, retrying, or backoff-parked — all paths
+  // that progress without new dispatch, which is why gating cannot wedge.
+  const std::size_t window =
+      (options_.output_mode == OutputMode::kKeepOrder && !options_.shuffle)
+          ? (options_.keep_order_window != 0
+                 ? options_.keep_order_window
+                 : std::max<std::size_t>(256, 8 * options_.effective_jobs()))
+          : 0;
+  auto window_open = [&] { return window == 0 || collator.held_count() < window; };
 
   // Timeout deadlines as a lazy min-heap: one entry per pending SIGTERM or
   // SIGKILL escalation, discarded when the attempt already completed. This
@@ -274,31 +302,6 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
   std::priority_queue<DeadlineEvent, std::vector<DeadlineEvent>,
                       decltype(deadline_after)>
       deadlines(deadline_after);
-
-  // Retries re-enter here, ahead of untouched pending work, in O(1).
-  std::deque<Pending> retries;
-
-  // --retry-delay: backoff'd retries park here until their not_before.
-  auto later_first = [](const Pending& a, const Pending& b) {
-    if (a.not_before != b.not_before) return a.not_before > b.not_before;
-    return a.seq > b.seq;
-  };
-  std::priority_queue<Pending, std::vector<Pending>, decltype(later_first)>
-      delayed(later_first);
-
-  // Attempt k re-runs after base * 2^(k-1) seconds with seeded +/-25%
-  // jitter, so correlated failures (a full disk, a dead node) don't retry
-  // in lockstep. Returns 0 when --retry-delay is off (immediate requeue).
-  auto retry_ready_at = [&](std::uint64_t seq, std::size_t completed_attempts) {
-    if (options_.retry_delay_seconds <= 0.0) return 0.0;
-    unsigned shift =
-        static_cast<unsigned>(std::min<std::size_t>(completed_attempts - 1, 10));
-    double base =
-        options_.retry_delay_seconds * static_cast<double>(1ull << shift);
-    util::Rng rng(options_.retry_jitter_seed ^ (seq * 0x9e3779b97f4a7c15ull) ^
-                  static_cast<std::uint64_t>(completed_attempts));
-    return executor_.now() + base * rng.uniform(0.75, 1.25);
-  };
 
   // --timeout N%: streaming median of successful runtimes, kept as two
   // balanced multiset halves (max-half / min-half) for O(log n) insert and
@@ -331,33 +334,6 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     return median * options_.timeout_percent / 100.0;
   };
 
-  // --memfree/--load: defer dispatch while the backend is over-committed,
-  // re-probing at most every kPressureRecheck seconds.
-  const bool pressure_gated = options_.memfree_bytes > 0 || options_.load_max > 0.0;
-  constexpr double kPressureRecheck = 0.25;
-  double pressure_checked_at = -1.0;
-  bool pressure_blocked = false;
-  auto pressure_allows_start = [&]() -> bool {
-    if (!pressure_gated) return true;
-    double now = executor_.now();
-    if (pressure_checked_at >= 0.0 && now - pressure_checked_at < kPressureRecheck) {
-      return !pressure_blocked;
-    }
-    pressure_checked_at = now;
-    ResourcePressure pressure = executor_.pressure();
-    bool blocked = false;
-    if (options_.memfree_bytes > 0 && pressure.mem_free_bytes >= 0.0 &&
-        pressure.mem_free_bytes < static_cast<double>(options_.memfree_bytes)) {
-      blocked = true;
-    }
-    if (options_.load_max > 0.0 && pressure.load_avg >= 0.0 &&
-        pressure.load_avg > options_.load_max) {
-      blocked = true;
-    }
-    pressure_blocked = blocked;
-    return !blocked;
-  };
-
   // Signal drain/escalation state (set_signal_coordinator).
   const std::vector<TermStage> term_stages = parse_termseq(options_.term_seq);
   int drain_stage = 0;         // 0 normal, 1 draining, 2 escalating
@@ -365,8 +341,6 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
   double next_stage_at = 0.0;
   constexpr double kSignalPollInterval = 0.1;
 
-  bool stop_starting = false;  // halt soon/now engaged
-  double last_start = -std::numeric_limits<double>::infinity();
   double first_start = std::numeric_limits<double>::infinity();
   double last_end = -std::numeric_limits<double>::infinity();
   std::size_t done = 0;
@@ -376,14 +350,24 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
 
   auto print_progress = [&] {
     if (!options_.progress) return;
-    err_ << "\rparcl: " << done << "/" << total_jobs << " done, " << summary.failed
-         << " failed, " << active.size() << " running";
-    if (done > 0 && done < total_jobs && summary.total_busy > 0.0) {
-      // ETA from the mean runtime so far spread over the slot pool.
-      double mean_runtime = summary.total_busy / static_cast<double>(done);
-      double eta = mean_runtime * static_cast<double>(total_jobs - done) /
-                   static_cast<double>(options_.effective_jobs());
-      err_ << ", ETA " << util::format_duration(eta);
+    // The denominator is unknowable until the source runs dry: show "?"
+    // while streaming, the real total (and an ETA) once exhausted.
+    err_ << "\rparcl: " << done << "/";
+    if (exhausted) {
+      err_ << (next_seq - 1);
+    } else {
+      err_ << '?';
+    }
+    err_ << " done, " << summary.failed << " failed, " << active.size() << " running";
+    if (exhausted) {
+      std::size_t total = next_seq - 1;
+      if (done > 0 && done < total && summary.total_busy > 0.0) {
+        // ETA from the mean runtime so far spread over the slot pool.
+        double mean_runtime = summary.total_busy / static_cast<double>(done);
+        double eta = mean_runtime * static_cast<double>(total - done) /
+                     static_cast<double>(options_.effective_jobs());
+        err_ << ", ETA " << util::format_duration(eta);
+      }
     }
     err_ << ' ' << std::flush;
   };
@@ -408,46 +392,46 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
   };
 
   auto record_final = [&](JobResult result) {
-    JobResult& slot_result = summary.results[result.seq - 1];
-    slot_result = std::move(result);
-    const JobResult& final_result = slot_result;
     ++done;
-    switch (final_result.status) {
+    switch (result.status) {
       case JobStatus::kSuccess: ++summary.succeeded; break;
       case JobStatus::kKilled: ++summary.killed; break;
       case JobStatus::kSkipped: ++summary.skipped; break;
       default: ++summary.failed; break;
     }
-    if (final_result.status != JobStatus::kSkipped) {
-      first_start = std::min(first_start, final_result.start_time);
-      last_end = std::max(last_end, final_result.end_time);
-      summary.total_busy += final_result.runtime();
+    if (result.status != JobStatus::kSkipped) {
+      first_start = std::min(first_start, result.start_time);
+      last_end = std::max(last_end, result.end_time);
+      summary.total_busy += result.runtime();
       // Write-ahead ordering for crash-safe --resume: output and --results
       // land (and flush) before the joblog row commits, so a logged seq
       // always has its output on disk — a crash between the two re-runs
       // the job instead of losing its output.
-      collator.deliver(final_result);
-      save_results_tree(final_result);
+      collator.deliver(result);
+      save_results_tree(result);
       out_.flush();
-      if (joblog) joblog->record(final_result, options_.host_label);
+      if (joblog) joblog->record(result, options_.host_label);
     } else {
-      collator.mark_absent(final_result.seq);
+      collator.mark_absent(result.seq);
     }
     print_progress();
-    if (on_result_) on_result_(final_result);
+    if (on_result_) on_result_(result);
+    if (collect) {
+      if (summary.results.size() < result.seq) summary.results.resize(result.seq);
+      summary.results[result.seq - 1] = std::move(result);
+    }
   };
 
   // Halt trigger, shared by the completion path and the spawn-failure path
   // (an injected or real spawn error is a failure like any other and must
-  // count toward --halt).
+  // count toward --halt). The total passed for percent policies is exact:
+  // halt.percent forces buffer_all, so the source is already exhausted.
   auto apply_halt_policy = [&] {
-    if (stop_starting ||
-        !options_.halt.triggered(summary.failed, summary.succeeded, done, total_jobs)) {
-      return;
-    }
+    Scheduler::HaltAction action = scheduler.evaluate_halt(
+        summary.failed, summary.succeeded, done, next_seq - 1);
+    if (action == Scheduler::HaltAction::kNone) return;
     summary.halted = true;
-    stop_starting = true;
-    if (options_.halt.when == HaltWhen::kNow) {
+    if (action == Scheduler::HaltAction::kKillRunning) {
       for (auto& [id, running] : active) {
         running.killed_for_halt = true;
         executor_.kill(id, /*force=*/false);
@@ -455,10 +439,10 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     }
   };
 
-  auto start_one = [&](Pending job) {
-    std::size_t slot = slots.acquire();
+  auto start_one = [&](PendingJob job) {
+    std::size_t slot = scheduler.acquire_slot();
     CommandTemplate::Context context{job.seq, slot};
-    Active attempt;
+    ActiveAttempt attempt;
     attempt.seq = job.seq;
     attempt.args = std::move(job.args);
     attempt.stdin_data = std::move(job.stdin_data);
@@ -488,8 +472,8 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
       attempt.deadline = now + limit;
       deadlines.push({attempt.deadline, request.job_id, /*escalation=*/false});
     }
-    last_start = now;
-    summary.start_times.push_back(now);
+    scheduler.note_start(now);
+    if (collect) summary.start_times.push_back(now);
     active.emplace(request.job_id, std::move(attempt));
     try {
       executor_.start(request);
@@ -498,22 +482,17 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
       // flows through the same retry budget and halt accounting as a
       // nonzero exit: only an exhausted job becomes a final result.
       PARCL_WARN() << "spawn failed for seq " << job.seq << ": " << error.what();
-      Active failed = std::move(active.at(request.job_id));
+      ActiveAttempt failed = std::move(active.at(request.job_id));
       active.erase(request.job_id);
-      slots.release(failed.slot);
-      if (failed.attempts < options_.retries && !stop_starting) {
-        Pending retry;
+      scheduler.release_slot(failed.slot);
+      if (ledger.retryable(failed.attempts) && !scheduler.stopped()) {
+        PendingJob retry;
         retry.seq = failed.seq;
         retry.args = std::move(failed.args);
         retry.stdin_data = std::move(failed.stdin_data);
         retry.has_stdin = failed.has_stdin;
         retry.attempts = failed.attempts;
-        retry.not_before = retry_ready_at(retry.seq, retry.attempts);
-        if (retry.not_before > 0.0) {
-          delayed.push(std::move(retry));
-        } else {
-          retries.push_back(std::move(retry));
-        }
+        ledger.park(std::move(retry), /*front=*/false);
         return;
       }
       JobResult result;
@@ -531,15 +510,6 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     }
   };
 
-  auto next_start_time = [&]() -> double {
-    if (options_.delay_seconds <= 0.0) return executor_.now();
-    return std::max(executor_.now(), last_start + options_.delay_seconds);
-  };
-
-  auto queued_work = [&] {
-    return !retries.empty() || !delayed.empty() || next_pending < queue.size();
-  };
-
   while (true) {
     // Phase 0: observe termination signals and drive --termseq escalation.
     if (signals_ != nullptr) {
@@ -547,7 +517,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
       int seen = signals_->count();
       if (seen >= 1 && drain_stage == 0) {
         drain_stage = 1;
-        stop_starting = true;
+        scheduler.stop();
         summary.interrupt_signal = signals_->first_signal();
         summary.dispatch.drained += active.size();
         err_ << "parcl: received signal " << summary.interrupt_signal
@@ -579,43 +549,39 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     }
 
     // Release backoff'd retries whose delay has elapsed.
-    while (!delayed.empty() && delayed.top().not_before <= executor_.now()) {
-      Pending ready = std::move(const_cast<Pending&>(delayed.top()));
-      delayed.pop();
-      retries.push_back(std::move(ready));
-    }
+    ledger.release_due();
 
     // Phase 1: fill free slots (retries first, then fresh pending work).
-    while (!stop_starting && queued_work() && slots.any_free()) {
-      double ready_at = next_start_time();
+    while (!scheduler.stopped() && scheduler.slot_free() && queued_work()) {
+      double ready_at = scheduler.next_start_time();
       if (ready_at > executor_.now()) break;  // wait out --delay below
-      if (!pressure_allows_start()) {
+      if (!scheduler.pressure_allows_start()) {
         ++summary.dispatch.deferred;  // one deferral per blocked fill round
         break;
       }
-      if (!retries.empty()) {
-        Pending retry = std::move(retries.front());
-        retries.pop_front();
-        start_one(std::move(retry));
-      } else if (next_pending < queue.size()) {
-        start_one(std::move(queue[next_pending]));
-        ++next_pending;
+      if (ledger.ready()) {
+        start_one(ledger.pop_ready());
+      } else if (window_open() && have_fresh()) {
+        start_one(std::move(*lookahead));
+        lookahead.reset();
       } else {
-        break;  // only delayed retries remain; phase 2 waits them out
+        // Only backoff'd retries remain, or the -k window is full; phase 2
+        // waits out the release / the gap seq's completion.
+        break;
       }
     }
 
     if (active.empty()) {
-      if (stop_starting || !queued_work()) break;  // drained
-      // Only --delay can leave us idle here; wait for it in phase 2.
+      if (scheduler.stopped() || !queued_work()) break;  // drained
+      // Only --delay or backoff can leave us idle here; wait in phase 2.
     }
 
     // Phase 2: wait for a completion, a timeout deadline, or the delay gate.
     double wait = -1.0;  // indefinitely
     double now = executor_.now();
-    if (!stop_starting && queued_work() && options_.delay_seconds > 0.0) {
-      double gate = last_start + options_.delay_seconds;
-      if (slots.any_free() && gate > now) wait = gate - now;
+    if (!scheduler.stopped() && queued_work() && options_.delay_seconds > 0.0) {
+      double gate = scheduler.delay_gate();
+      if (scheduler.slot_free() && gate > now) wait = gate - now;
     }
     while (!deadlines.empty()) {
       const DeadlineEvent& next = deadlines.top();
@@ -635,11 +601,12 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
       until = std::max(0.0, until);
       wait = wait < 0.0 ? until : std::min(wait, until);
     };
-    if (!stop_starting && !delayed.empty() && slots.any_free()) {
-      cap_wait(delayed.top().not_before - now);  // wake when backoff expires
+    if (!scheduler.stopped() && ledger.has_delayed() && scheduler.slot_free()) {
+      cap_wait(ledger.next_release() - now);  // wake when backoff expires
     }
-    if (!stop_starting && pressure_blocked && queued_work() && slots.any_free()) {
-      cap_wait(kPressureRecheck);  // re-probe --memfree/--load
+    if (!scheduler.stopped() && scheduler.pressure_blocked() && queued_work() &&
+        scheduler.slot_free()) {
+      cap_wait(Scheduler::kPressureRecheck);  // re-probe --memfree/--load
     }
     if (drain_stage == 2 && term_index + 1 < term_stages.size()) {
       cap_wait(next_stage_at - now);  // next --termseq stage
@@ -663,7 +630,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
       deadlines.pop();
       auto it = active.find(event.job_id);
       if (it == active.end()) continue;  // attempt already completed
-      Active& attempt = it->second;
+      ActiveAttempt& attempt = it->second;
       if (!event.escalation) {
         if (attempt.kill_sent) continue;
         attempt.kill_sent = true;
@@ -682,9 +649,9 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     // Phase 4: process the completed attempt.
     auto it = active.find(completion->job_id);
     util::require(it != active.end(), "executor returned unknown job id");
-    Active attempt = std::move(it->second);
+    ActiveAttempt attempt = std::move(it->second);
     active.erase(it);
-    slots.release(attempt.slot);
+    scheduler.release_slot(attempt.slot);
 
     JobStatus status;
     if (attempt.killed_for_halt) {
@@ -715,22 +682,17 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
 
     bool retryable = status == JobStatus::kFailed || status == JobStatus::kSignaled ||
                      status == JobStatus::kTimedOut;
-    if (retryable && attempt.attempts < options_.retries && !stop_starting) {
-      // Re-queue at the front of the remaining work (O(1), newest first —
-      // the order the old vector::insert at next_pending produced), or into
-      // the backoff heap when --retry-delay applies.
-      Pending retry;
+    if (retryable && ledger.retryable(attempt.attempts) && !scheduler.stopped()) {
+      // Re-queue ahead of untouched pending work (newest first — the order
+      // the engine has always produced), or into the backoff heap when
+      // --retry-delay applies.
+      PendingJob retry;
       retry.seq = attempt.seq;
       retry.args = std::move(attempt.args);
       retry.stdin_data = std::move(attempt.stdin_data);
       retry.has_stdin = attempt.has_stdin;
       retry.attempts = attempt.attempts;
-      retry.not_before = retry_ready_at(retry.seq, retry.attempts);
-      if (retry.not_before > 0.0) {
-        delayed.push(std::move(retry));
-      } else {
-        retries.push_front(std::move(retry));
-      }
+      ledger.park(std::move(retry), /*front=*/true);
       continue;
     }
 
@@ -753,31 +715,26 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, std::vector<Pending> all
     apply_halt_policy();
   }
 
-  // Jobs never started (halt engaged) are skipped — including retries that
-  // were queued but never relaunched.
-  for (const Pending& retry : retries) {
-    JobResult& result = summary.results[retry.seq - 1];
-    result.status = JobStatus::kSkipped;
-    ++summary.skipped;
-    collator.mark_absent(result.seq);
+  // Work never started (halt or drain engaged) is skipped: parked retries,
+  // the lookahead job, and everything still unread in the source. Draining
+  // the source here keeps skip accounting exact while staying one job at a
+  // time — the skipped tail never materializes.
+  for (PendingJob& job : ledger.drain()) note_skip(std::move(job));
+  if (lookahead) {
+    note_skip(std::move(*lookahead));
+    lookahead.reset();
   }
-  while (!delayed.empty()) {
-    JobResult& result = summary.results[delayed.top().seq - 1];
-    result.status = JobStatus::kSkipped;
-    ++summary.skipped;
-    collator.mark_absent(result.seq);
-    delayed.pop();
-  }
-  for (std::size_t i = next_pending; i < queue.size(); ++i) {
-    JobResult& result = summary.results[queue[i].seq - 1];
-    result.status = JobStatus::kSkipped;
-    ++summary.skipped;
-    collator.mark_absent(result.seq);
-  }
+  while (auto job = pull_runnable()) note_skip(std::move(*job));
 
   collator.finish();
-  if (options_.progress) err_ << '\n';
+  if (options_.progress) {
+    // Final flush: the source is exhausted now, so the total is accurate.
+    print_progress();
+    err_ << '\n';
+  }
   if (last_end > first_start) summary.makespan = last_end - first_start;
+  summary.total = next_seq - 1;
+  if (collect) summary.results.resize(summary.total);
   return summary;
 }
 

@@ -79,7 +79,13 @@ struct DispatchCounters {
 
 /// Aggregate view of a completed run.
 struct RunSummary {
-  std::vector<JobResult> results;        // indexed by seq-1
+  /// Per-job results indexed by seq-1. Empty when the engine ran with
+  /// Options::collect_results == false (streaming runs that must stay
+  /// constant-memory); the scalar tallies below are always filled.
+  std::vector<JobResult> results;
+  /// Jobs pulled from the source, including skipped ones (the streamed
+  /// equivalent of "input size", known only once the source is exhausted).
+  std::size_t total = 0;
   std::size_t succeeded = 0;
   std::size_t failed = 0;                // failed + signaled + timed out
   std::size_t killed = 0;

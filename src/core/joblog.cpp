@@ -160,4 +160,38 @@ std::set<std::uint64_t> resume_skip_set(const std::vector<JoblogEntry>& entries,
   return skip;
 }
 
+std::set<std::uint64_t> read_resume_skip_set(const std::string& path, bool rerun_failed,
+                                             JoblogReadStats* stats) {
+  std::ifstream in(path);
+  if (!in) throw util::SystemError("open joblog '" + path + "'", errno);
+  // Only seq/exitval/signal matter here; parse those and drop the line,
+  // keeping memory at O(distinct seqs) instead of O(log length * row size).
+  std::map<std::uint64_t, bool> latest_ok;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (in.eof() && !line.empty()) {
+      if (stats != nullptr) ++stats->torn_lines;
+      break;
+    }
+    if (line.empty()) continue;
+    if (line == kHeader || util::starts_with(line, "Seq\t")) continue;
+    auto fields = util::split(line, '\t');
+    if (fields.size() < 9) {
+      throw util::ParseError("joblog line " + std::to_string(line_number) +
+                             ": expected 9 tab-separated fields");
+    }
+    auto seq = static_cast<std::uint64_t>(util::parse_long(fields[0]));
+    int exit_value = static_cast<int>(util::parse_long(fields[6]));
+    int signal = static_cast<int>(util::parse_long(fields[7]));
+    latest_ok[seq] = (exit_value == 0 && signal == 0);
+  }
+  std::set<std::uint64_t> skip;
+  for (const auto& [seq, ok] : latest_ok) {
+    if (!rerun_failed || ok) skip.insert(seq);
+  }
+  return skip;
+}
+
 }  // namespace parcl::core

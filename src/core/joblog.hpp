@@ -74,4 +74,13 @@ std::vector<JoblogEntry> read_joblog_stream(std::istream& in,
 std::set<std::uint64_t> resume_skip_set(const std::vector<JoblogEntry>& entries,
                                         bool rerun_failed);
 
+/// Streaming --resume read: folds `path` into the skip set line by line,
+/// never materializing JoblogEntry records (a long-lived joblog can dwarf
+/// the run itself). Seq-set semantics are independent of the run's total
+/// job count — seqs beyond the current input are simply never pulled.
+/// Same tolerance as read_joblog: header skipped, torn final line skipped
+/// and counted, SystemError when the file cannot be opened.
+std::set<std::uint64_t> read_resume_skip_set(const std::string& path, bool rerun_failed,
+                                             JoblogReadStats* stats = nullptr);
+
 }  // namespace parcl::core

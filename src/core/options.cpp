@@ -37,6 +37,11 @@ void Options::validate() const {
     throw util::ConfigError("--pipe cannot be combined with -n/-X packing");
   }
   if (block_bytes == 0) throw util::ConfigError("--block must be > 0");
+  if (shuffle && pipe_mode) {
+    throw util::ConfigError(
+        "--shuf cannot be combined with --pipe: shuffling requires buffering "
+        "every stdin block in memory");
+  }
   if (!trim_mode.empty() && trim_mode != "l" && trim_mode != "r" && trim_mode != "lr" &&
       trim_mode != "rl" && trim_mode != "n") {
     throw util::ConfigError("--trim expects n|l|r|lr|rl");

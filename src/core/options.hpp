@@ -104,9 +104,24 @@ struct Options {
   std::string results_dir;
 
   /// --shuf: run jobs in a seeded-random order (output order under -k is
-  /// still the input order).
+  /// still the input order). Shuffling requires knowing the whole job list,
+  /// so it forces the engine to buffer the input source — memory is O(jobs)
+  /// again, exactly as before the streaming pipeline.
   bool shuffle = false;
   std::uint64_t shuffle_seed = 0x5eed;
+
+  /// Keep per-job JobResults (and dispatch instants) in the RunSummary.
+  /// Library callers and tests want them; the streaming CLI turns this off
+  /// so a 10M-job run does not accumulate O(jobs) results memory.
+  bool collect_results = true;
+
+  /// -k out-of-order window: when this many finished jobs are buffered
+  /// waiting for an earlier seq, fresh dispatch pauses until the gap
+  /// closes (retries are exempt — the gap usually IS a retrying job).
+  /// 0 = auto: max(256, 8 * effective_jobs()). Ignored without -k, and
+  /// under --shuf (where gating fresh starts could deadlock: the gap seq
+  /// may live arbitrarily far down the shuffled order).
+  std::size_t keep_order_window = 0;
 
   /// --colsep: split every input value into positional columns ({1}, {2},
   /// ...) on this separator string ("" = off). Like parallel's --colsep for

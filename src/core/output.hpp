@@ -38,6 +38,10 @@ class OutputCollator {
   /// Lines written to the stdout stream so far.
   std::size_t lines_emitted() const noexcept { return lines_emitted_; }
 
+  /// Finished jobs buffered out-of-order under -k (the collation window
+  /// the engine bounds via Options::keep_order_window).
+  std::size_t held_count() const noexcept { return held_.size(); }
+
  private:
   void emit(const JobResult& result);
   void advance();

@@ -4,6 +4,7 @@
 //   parcl -j128 ./payload.sh {} :::: inputs.txt
 //   parcl -j8 --env 'HIP_VISIBLE_DEVICES={%}' celer-sim {} ::: *.inp.json
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "core/cli.hpp"
@@ -31,6 +32,10 @@ int main(int argc, char** argv) {
       std::cerr << "parcl: no command given (try --help)\n";
       return 255;
     }
+    // The CLI streams: per-job results are delivered through the collator
+    // and the joblog, so keeping them all in the summary would reintroduce
+    // the O(jobs) memory the streaming pipeline removes.
+    plan.options.collect_results = false;
     exec::LocalExecutor executor;
     core::Engine engine(plan.options, executor);
     // First SIGINT/SIGTERM drains, second escalates --termseq; the CLI then
@@ -64,11 +69,12 @@ int main(int argc, char** argv) {
     if (plan.options.pipe_mode) {
       core::PipeOptions pipe_options;
       pipe_options.block_bytes = plan.options.block_bytes;
-      summary = engine.run_pipe(plan.command_template,
-                                core::split_blocks(std::cin, pipe_options));
+      pipe_options.record_separator = plan.input_sep;
+      core::PipeBlockSource blocks(std::cin, pipe_options);
+      summary = engine.run_pipe_source(plan.command_template, blocks);
     } else {
-      summary = engine.run(plan.command_template,
-                           core::resolve_inputs(plan, std::cin));
+      std::unique_ptr<core::JobSource> source = core::make_job_source(plan, std::cin);
+      summary = engine.run_source(plan.command_template, *source);
     }
     if (summary.interrupt_signal != 0) return 128 + summary.interrupt_signal;
     return summary.exit_status();

@@ -7,28 +7,51 @@
 
 namespace parcl::core {
 
-std::vector<std::string> split_blocks(std::istream& in, const PipeOptions& options) {
-  if (options.block_bytes == 0) throw util::ConfigError("--block must be > 0");
-  std::vector<std::string> blocks;
-  std::string pending;
+PipeBlockSource::PipeBlockSource(std::istream& in, PipeOptions options)
+    : in_(in), options_(options) {
+  if (options_.block_bytes == 0) throw util::ConfigError("--block must be > 0");
+}
+
+std::optional<JobInput> PipeBlockSource::next() {
   char chunk[65536];
-  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
-    pending.append(chunk, static_cast<std::size_t>(in.gcount()));
-    // Emit complete blocks while enough data is buffered.
-    while (pending.size() >= options.block_bytes) {
+  while (true) {
+    // Emit a complete block as soon as enough data is buffered.
+    while (pending_.size() >= options_.block_bytes) {
       // Cut at the last record separator within (or at) the block target;
       // if none exists yet, wait for more input (records are never split).
-      std::size_t cut = pending.rfind(options.record_separator,
-                                      options.block_bytes - 1);
+      std::size_t cut = pending_.rfind(options_.record_separator,
+                                      options_.block_bytes - 1);
       if (cut == std::string::npos) {
-        cut = pending.find(options.record_separator, options.block_bytes);
+        cut = pending_.find(options_.record_separator, options_.block_bytes);
         if (cut == std::string::npos) break;  // record still open
       }
-      blocks.push_back(pending.substr(0, cut + 1));
-      pending.erase(0, cut + 1);
+      JobInput job;
+      job.stdin_data = pending_.substr(0, cut + 1);
+      job.has_stdin = true;
+      pending_.erase(0, cut + 1);
+      return job;
+    }
+    if (eof_) break;
+    if (in_.read(chunk, sizeof(chunk)) || in_.gcount() > 0) {
+      pending_.append(chunk, static_cast<std::size_t>(in_.gcount()));
+    } else {
+      eof_ = true;
     }
   }
-  if (!pending.empty()) blocks.push_back(std::move(pending));
+  if (pending_.empty()) return std::nullopt;
+  JobInput job;
+  job.stdin_data = std::move(pending_);
+  job.has_stdin = true;
+  pending_.clear();
+  return job;
+}
+
+std::vector<std::string> split_blocks(std::istream& in, const PipeOptions& options) {
+  PipeBlockSource source(in, options);
+  std::vector<std::string> blocks;
+  while (auto block = source.next()) {
+    blocks.push_back(std::move(block->stdin_data));
+  }
   return blocks;
 }
 

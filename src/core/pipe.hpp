@@ -5,12 +5,19 @@
 // Semantics match parallel --pipe with --recend: a block is at least
 // --block bytes (except the last) and always ends on a record boundary;
 // records are never split, so an oversized record travels whole.
+//
+// PipeBlockSource reads the stream incrementally — it holds at most one
+// block (plus one read chunk) in memory, so an unbounded producer feeding
+// parcl over a pipe runs in constant space. split_blocks() remains as the
+// materializing wrapper for callers that want the whole list.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "core/job_source.hpp"
 
 namespace parcl::core {
 
@@ -19,8 +26,25 @@ struct PipeOptions {
   char record_separator = '\n';       // --recend; '\0' with -0
 };
 
-/// Splits the whole stream into blocks. Concatenating the blocks restores
-/// the input byte-for-byte.
+/// Streaming block splitter: each next() yields one job whose stdin_data is
+/// the next record-aligned block. Concatenating every block restores the
+/// input byte-for-byte. Throws ConfigError when block_bytes is 0.
+class PipeBlockSource : public JobSource {
+ public:
+  /// Borrows `in`; the stream must outlive the source.
+  PipeBlockSource(std::istream& in, PipeOptions options);
+
+  std::optional<JobInput> next() override;
+
+ private:
+  std::istream& in_;
+  PipeOptions options_;
+  std::string pending_;  // bytes read but not yet emitted (≤ one open block)
+  bool eof_ = false;
+};
+
+/// Splits the whole stream into blocks (materializing wrapper over
+/// PipeBlockSource).
 std::vector<std::string> split_blocks(std::istream& in, const PipeOptions& options);
 
 /// Parses a --block size with parallel's suffixes: plain bytes, or k/K, m/M,

@@ -1,0 +1,61 @@
+#include "core/retry_ledger.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace parcl::core {
+
+RetryLedger::RetryLedger(const Options& options, Executor& executor)
+    : options_(options), executor_(executor) {}
+
+double RetryLedger::retry_ready_at(std::uint64_t seq,
+                                   std::size_t completed_attempts) const {
+  if (options_.retry_delay_seconds <= 0.0) return 0.0;
+  unsigned shift =
+      static_cast<unsigned>(std::min<std::size_t>(completed_attempts - 1, 10));
+  double base = options_.retry_delay_seconds * static_cast<double>(1ull << shift);
+  util::Rng rng(options_.retry_jitter_seed ^ (seq * 0x9e3779b97f4a7c15ull) ^
+                static_cast<std::uint64_t>(completed_attempts));
+  return executor_.now() + base * rng.uniform(0.75, 1.25);
+}
+
+void RetryLedger::park(PendingJob job, bool front) {
+  job.not_before = retry_ready_at(job.seq, job.attempts);
+  if (job.not_before > 0.0) {
+    delayed_.push(std::move(job));
+  } else if (front) {
+    retries_.push_front(std::move(job));
+  } else {
+    retries_.push_back(std::move(job));
+  }
+}
+
+void RetryLedger::release_due() {
+  double now = executor_.now();
+  while (!delayed_.empty() && delayed_.top().not_before <= now) {
+    retries_.push_back(std::move(const_cast<PendingJob&>(delayed_.top())));
+    delayed_.pop();
+  }
+}
+
+PendingJob RetryLedger::pop_ready() {
+  PendingJob job = std::move(retries_.front());
+  retries_.pop_front();
+  return job;
+}
+
+std::vector<PendingJob> RetryLedger::drain() {
+  std::vector<PendingJob> remaining;
+  remaining.reserve(retries_.size() + delayed_.size());
+  for (PendingJob& job : retries_) remaining.push_back(std::move(job));
+  retries_.clear();
+  while (!delayed_.empty()) {
+    remaining.push_back(std::move(const_cast<PendingJob&>(delayed_.top())));
+    delayed_.pop();
+  }
+  return remaining;
+}
+
+}  // namespace parcl::core

@@ -1,0 +1,51 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace parcl::core {
+
+Scheduler::Scheduler(const Options& options, Executor& executor)
+    : options_(options),
+      executor_(executor),
+      slots_(options.effective_jobs()),
+      pressure_gated_(options.memfree_bytes > 0 || options.load_max > 0.0) {}
+
+double Scheduler::next_start_time() const {
+  if (options_.delay_seconds <= 0.0) return executor_.now();
+  return std::max(executor_.now(), last_start_ + options_.delay_seconds);
+}
+
+bool Scheduler::pressure_allows_start() {
+  if (!pressure_gated_) return true;
+  double now = executor_.now();
+  if (pressure_checked_at_ >= 0.0 && now - pressure_checked_at_ < kPressureRecheck) {
+    return !pressure_blocked_;
+  }
+  pressure_checked_at_ = now;
+  ResourcePressure pressure = executor_.pressure();
+  bool blocked = false;
+  if (options_.memfree_bytes > 0 && pressure.mem_free_bytes >= 0.0 &&
+      pressure.mem_free_bytes < static_cast<double>(options_.memfree_bytes)) {
+    blocked = true;
+  }
+  if (options_.load_max > 0.0 && pressure.load_avg >= 0.0 &&
+      pressure.load_avg > options_.load_max) {
+    blocked = true;
+  }
+  pressure_blocked_ = blocked;
+  return !blocked;
+}
+
+Scheduler::HaltAction Scheduler::evaluate_halt(std::size_t failed, std::size_t succeeded,
+                                               std::size_t done,
+                                               std::size_t total_jobs) {
+  if (stop_starting_ ||
+      !options_.halt.triggered(failed, succeeded, done, total_jobs)) {
+    return HaltAction::kNone;
+  }
+  stop_starting_ = true;
+  return options_.halt.when == HaltWhen::kNow ? HaltAction::kKillRunning
+                                              : HaltAction::kStopStarting;
+}
+
+}  // namespace parcl::core

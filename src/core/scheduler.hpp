@@ -1,0 +1,82 @@
+// Dispatch gating, carved out of the engine loop: slot ownership, --delay
+// spacing, --memfree/--load pressure deferral, and the --halt trigger. The
+// engine asks the Scheduler *whether and when* the next job may start; what
+// runs stays with the engine (timeouts, retries, collation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/executor.hpp"
+#include "core/input.hpp"
+#include "core/options.hpp"
+#include "core/slot_pool.hpp"
+
+namespace parcl::core {
+
+/// In-flight attempt bookkeeping (one entry per started attempt).
+struct ActiveAttempt {
+  std::uint64_t seq = 0;
+  ArgVector args;
+  std::string stdin_data;
+  bool has_stdin = false;
+  std::size_t slot = 0;
+  std::size_t attempts = 0;  // attempts including this one
+  std::string command;
+  double start_time = 0.0;  // dispatch instant (for adaptive timeouts)
+  double deadline = 0.0;    // 0 = no timeout
+  bool kill_sent = false;   // timeout SIGTERM sent
+  bool force_sent = false;  // timeout SIGKILL sent
+  bool killed_for_timeout = false;
+  bool killed_for_halt = false;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const Options& options, Executor& executor);
+
+  // Slot ownership ({%} numbering; lowest free slot first).
+  std::size_t acquire_slot() { return slots_.acquire(); }
+  void release_slot(std::size_t slot) { slots_.release(slot); }
+  bool slot_free() const noexcept { return slots_.any_free(); }
+
+  /// True once dispatching is over: halt engaged or a signal drain started.
+  bool stopped() const noexcept { return stop_starting_; }
+  void stop() noexcept { stop_starting_ = true; }
+
+  /// Earliest instant the next start is allowed under --delay (now when
+  /// --delay is off).
+  double next_start_time() const;
+  /// The raw --delay gate (last start + delay), for phase-2 wait math.
+  double delay_gate() const noexcept {
+    return last_start_ + options_.delay_seconds;
+  }
+  void note_start(double now) noexcept { last_start_ = now; }
+
+  /// --memfree/--load admission probe, re-checking the backend at most
+  /// every kPressureRecheck seconds. Always true when neither gate is set.
+  bool pressure_allows_start();
+  bool pressure_blocked() const noexcept { return pressure_blocked_; }
+  static constexpr double kPressureRecheck = 0.25;
+
+  /// --halt evaluation after a final result. Fires at most once; kNone
+  /// thereafter (and while stopped). kKillRunning additionally asks the
+  /// engine to kill in-flight attempts (halt "now").
+  enum class HaltAction { kNone, kStopStarting, kKillRunning };
+  HaltAction evaluate_halt(std::size_t failed, std::size_t succeeded, std::size_t done,
+                           std::size_t total_jobs);
+
+ private:
+  const Options& options_;
+  Executor& executor_;
+  SlotPool slots_;
+  bool stop_starting_ = false;
+  double last_start_ = -std::numeric_limits<double>::infinity();
+  bool pressure_gated_;
+  double pressure_checked_at_ = -1.0;
+  bool pressure_blocked_ = false;
+};
+
+}  // namespace parcl::core

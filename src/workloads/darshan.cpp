@@ -104,21 +104,27 @@ DarshanLog parse_darshan_log(const std::string& text) {
   return log;
 }
 
-DarshanReport analyze_darshan_logs(const std::vector<std::string>& serialized_logs) {
-  DarshanReport report;
-  for (const auto& text : serialized_logs) {
-    DarshanLog log = parse_darshan_log(text);
-    DarshanAggregate& agg = report[{log.app, log.month}];
-    agg.jobs += 1;
-    agg.core_hours += log.runtime_seconds * log.nprocs / 3600.0;
-    for (const auto& record : log.files) {
-      agg.files += 1;
-      agg.bytes_read += record.bytes_read;
-      agg.bytes_written += record.bytes_written;
-      if (record.bytes_read + record.bytes_written < (1u << 20)) agg.small_files += 1;
-    }
+void DarshanAccumulator::add(const std::string& serialized_log) {
+  add(parse_darshan_log(serialized_log));
+}
+
+void DarshanAccumulator::add(const DarshanLog& log) {
+  ++logs_seen_;
+  DarshanAggregate& agg = report_[{log.app, log.month}];
+  agg.jobs += 1;
+  agg.core_hours += log.runtime_seconds * log.nprocs / 3600.0;
+  for (const auto& record : log.files) {
+    agg.files += 1;
+    agg.bytes_read += record.bytes_read;
+    agg.bytes_written += record.bytes_written;
+    if (record.bytes_read + record.bytes_written < (1u << 20)) agg.small_files += 1;
   }
-  return report;
+}
+
+DarshanReport analyze_darshan_logs(const std::vector<std::string>& serialized_logs) {
+  DarshanAccumulator accumulator;
+  for (const auto& text : serialized_logs) accumulator.add(text);
+  return accumulator.take_report();
 }
 
 std::string render_darshan_report(const DarshanReport& report) {

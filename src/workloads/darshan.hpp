@@ -58,7 +58,30 @@ struct DarshanAggregate {
 
 using DarshanReport = std::map<std::pair<std::string, int>, DarshanAggregate>;
 
-/// Aggregates a batch of serialized logs (parse + roll-up).
+/// Streaming roll-up: logs are folded into the per-(app, month) aggregates
+/// one at a time, so a pipeline stage fed from an unbounded stream (parcl
+/// --pipe, a generator) holds only the report in memory — never the batch.
+class DarshanAccumulator {
+ public:
+  /// Parses and folds one serialized log. Throws ParseError on malformed
+  /// input.
+  void add(const std::string& serialized_log);
+
+  /// Folds an already-parsed log.
+  void add(const DarshanLog& log);
+
+  std::uint64_t logs_seen() const noexcept { return logs_seen_; }
+
+  const DarshanReport& report() const noexcept { return report_; }
+  DarshanReport take_report() { return std::move(report_); }
+
+ private:
+  DarshanReport report_;
+  std::uint64_t logs_seen_ = 0;
+};
+
+/// Aggregates a batch of serialized logs (materializing wrapper over
+/// DarshanAccumulator).
 DarshanReport analyze_darshan_logs(const std::vector<std::string>& serialized_logs);
 
 /// Renders the report as a TSV table (app, month, jobs, bytes, ...).

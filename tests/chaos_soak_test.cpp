@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -145,7 +146,7 @@ Options sim_options(std::uint64_t seed, const std::string& joblog_path) {
 
 ScheduleResult run_sim_schedule(std::uint64_t seed, bool faults,
                                 const std::string& joblog_path,
-                                std::size_t total_jobs) {
+                                std::size_t total_jobs, bool streamed = false) {
   sim::Simulation sim;
   sim::LognormalDuration body(/*median=*/4.0, /*sigma=*/0.4);
   sim::ParetoDuration tail(/*scale=*/6.0, /*alpha=*/1.8, /*cap=*/25.0);
@@ -177,10 +178,22 @@ ScheduleResult run_sim_schedule(std::uint64_t seed, bool faults,
 
   std::ostringstream out, err;
   Engine engine(result.options, executor, out, err);
-  std::vector<core::ArgVector> inputs;
-  inputs.reserve(total_jobs);
-  for (std::size_t i = 0; i < total_jobs; ++i) inputs.push_back({std::to_string(i)});
-  result.summary = engine.run("task {}", std::move(inputs));
+  if (streamed) {
+    // The same inputs pulled lazily, one at a time, never materialized.
+    std::size_t next = 0;
+    core::FunctionSource source([&]() -> std::optional<core::JobInput> {
+      if (next >= total_jobs) return std::nullopt;
+      core::JobInput job;
+      job.args = {std::to_string(next++)};
+      return job;
+    });
+    result.summary = engine.run_source("task {}", source);
+  } else {
+    std::vector<core::ArgVector> inputs;
+    inputs.reserve(total_jobs);
+    for (std::size_t i = 0; i < total_jobs; ++i) inputs.push_back({std::to_string(i)});
+    result.summary = engine.run("task {}", std::move(inputs));
+  }
   result.output = out.str();
   result.joblog_bytes = testing::slurp(joblog_path);
   result.faults = executor.counters();
@@ -232,6 +245,32 @@ TEST(ChaosSoak, SimulatedClusterSchedulesHoldInvariantsAndReplay) {
   }
   std::remove(joblog_a.c_str());
   std::remove(joblog_b.c_str());
+}
+
+TEST(ChaosSoak, StreamedSourceReplaysMaterializedFaultSchedules) {
+  // Streamed-vs-materialized equivalence under fire: pulling jobs lazily
+  // through a JobSource must reproduce the materialized run bit-for-bit —
+  // same collated -k output, same joblog bytes (sim timestamps included),
+  // same tallies — under every fault schedule, halting seeds included.
+  const std::size_t kJobs = 200;
+  const std::string joblog_m = temp_joblog("sim_streamed_m");
+  const std::string joblog_s = temp_joblog("sim_streamed_s");
+  for (std::uint64_t seed : seed_range(1, 30)) {
+    ScheduleResult materialized =
+        run_sim_schedule(seed, /*faults=*/true, joblog_m, kJobs);
+    ScheduleResult streamed =
+        run_sim_schedule(seed, /*faults=*/true, joblog_s, kJobs, /*streamed=*/true);
+    check_schedule(streamed, seed, "sim-streamed");
+    EXPECT_EQ(streamed.output, materialized.output) << "streamed seed " << seed;
+    EXPECT_EQ(streamed.joblog_bytes, materialized.joblog_bytes)
+        << "streamed seed " << seed << " joblog diverged";
+    EXPECT_EQ(streamed.summary.succeeded, materialized.summary.succeeded);
+    EXPECT_EQ(streamed.summary.failed, materialized.summary.failed);
+    EXPECT_EQ(streamed.summary.skipped, materialized.summary.skipped);
+    EXPECT_EQ(streamed.summary.halted, materialized.summary.halted);
+  }
+  std::remove(joblog_m.c_str());
+  std::remove(joblog_s.c_str());
 }
 
 // ---------------------------------------------------------------------------
@@ -382,7 +421,8 @@ Options interruptible_options(const std::string& joblog_path) {
 /// `interrupts` > 1 escalates through --termseq.
 RunSummary run_interruptible_half(std::uint64_t seed, const std::string& joblog_path,
                                   std::size_t total_jobs,
-                                  std::size_t interrupt_after, int interrupts) {
+                                  std::size_t interrupt_after, int interrupts,
+                                  bool streamed = false) {
   sim::Simulation sim;
   util::Rng durations(seed * 13 + 3);
   exec::SimExecutor executor(
@@ -401,6 +441,16 @@ RunSummary run_interruptible_half(std::uint64_t seed, const std::string& joblog_
       for (int i = 0; i < interrupts; ++i) signals.notify(SIGINT);
     }
   });
+  if (streamed) {
+    std::size_t next = 0;
+    core::FunctionSource source([&]() -> std::optional<core::JobInput> {
+      if (next >= total_jobs) return std::nullopt;
+      core::JobInput job;
+      job.args = {std::to_string(next++)};
+      return job;
+    });
+    return engine.run_source("task {}", source);
+  }
   std::vector<core::ArgVector> inputs;
   inputs.reserve(total_jobs);
   for (std::size_t i = 0; i < total_jobs; ++i) inputs.push_back({std::to_string(i)});
@@ -449,6 +499,48 @@ TEST(ChaosSoak, InterruptResumePairsNeverRunAJobTwice) {
     EXPECT_EQ(seen.size(), kJobs) << "pair seed " << seed;
   }
   std::remove(joblog.c_str());
+}
+
+TEST(ChaosSoak, StreamedInterruptResumePairsMatchMaterialized) {
+  // Interrupt + resume with the jobs pulled lazily: both halves must leave
+  // exactly the same joblog bytes as the materialized pair (the sim clock is
+  // deterministic), and the pair invariants must hold streamed too.
+  const std::size_t kJobs = 120;
+  const std::string joblog_m = temp_joblog("resume_pair_m");
+  const std::string joblog_s = temp_joblog("resume_pair_s");
+  for (std::uint64_t seed : seed_range(1, 10)) {
+    std::remove(joblog_m.c_str());
+    std::remove(joblog_s.c_str());
+    util::Rng rng(seed * 101 + 9);
+    std::size_t interrupt_after =
+        static_cast<std::size_t>(rng.uniform_int(1, static_cast<long>(kJobs / 2)));
+    int interrupts = seed % 3 == 0 ? 2 : 1;
+
+    RunSummary first_m = run_interruptible_half(seed, joblog_m, kJobs,
+                                                interrupt_after, interrupts);
+    RunSummary second_m = run_interruptible_half(seed, joblog_m, kJobs, kJobs + 1, 0);
+
+    RunSummary first_s = run_interruptible_half(seed, joblog_s, kJobs,
+                                                interrupt_after, interrupts,
+                                                /*streamed=*/true);
+    RunSummary second_s = run_interruptible_half(seed, joblog_s, kJobs, kJobs + 1, 0,
+                                                 /*streamed=*/true);
+
+    EXPECT_EQ(first_s.skipped, first_m.skipped) << "pair seed " << seed;
+    EXPECT_EQ(second_s.succeeded, second_m.succeeded) << "pair seed " << seed;
+    EXPECT_EQ(testing::slurp(joblog_s), testing::slurp(joblog_m))
+        << "pair seed " << seed << ": streamed pair left a different joblog";
+
+    testing::InvariantReport report;
+    Options options = interruptible_options(joblog_s);
+    testing::check_run(first_s, options, kJobs, report);
+    testing::check_run(second_s, options, kJobs, report);
+    testing::check_resume_pair(first_s, second_s, kJobs, report);
+    EXPECT_TRUE(report.ok()) << "streamed pair seed " << seed << " violated:\n"
+                             << report.str();
+  }
+  std::remove(joblog_m.c_str());
+  std::remove(joblog_s.c_str());
 }
 
 }  // namespace

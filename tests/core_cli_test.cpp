@@ -63,7 +63,7 @@ TEST(Cli, StdinWhenNoSource) {
   EXPECT_EQ(inputs[0], (ArgVector{"f1"}));
 }
 
-TEST(Cli, FileSource) {
+TEST(Cli, FileSourceIsDeferredUntilResolve) {
   std::string path = ::testing::TempDir() + "cli_inputs.txt";
   {
     std::ofstream out(path);
@@ -71,8 +71,58 @@ TEST(Cli, FileSource) {
   }
   RunPlan plan = parse({"cat", "::::", path.c_str()});
   ASSERT_EQ(plan.sources.size(), 1u);
-  EXPECT_EQ(plan.sources[0].values, (std::vector<std::string>{"one", "two"}));
+  // Parsing records the path; the file is read only when the source streams.
+  EXPECT_EQ(plan.sources[0].kind, SourceSpec::Kind::kFile);
+  EXPECT_EQ(plan.sources[0].path, path);
+  EXPECT_TRUE(plan.sources[0].values.empty());
+  std::istringstream unused;
+  auto inputs = resolve_inputs(plan, unused);
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0], (ArgVector{"one"}));
+  EXPECT_EQ(inputs[1], (ArgVector{"two"}));
   std::remove(path.c_str());
+}
+
+TEST(Cli, DashNamesStdinForFileSources) {
+  for (auto args : {std::initializer_list<const char*>{"cmd", "::::", "-"},
+                    std::initializer_list<const char*>{"-a", "-", "cmd"},
+                    std::initializer_list<const char*>{"--arg-file", "-", "cmd"}}) {
+    RunPlan plan = parse(args);
+    ASSERT_EQ(plan.sources.size(), 1u);
+    EXPECT_EQ(plan.sources[0].kind, SourceSpec::Kind::kStdin);
+    std::istringstream in("x\ny\n");
+    auto inputs = resolve_inputs(plan, in);
+    ASSERT_EQ(inputs.size(), 2u);
+    EXPECT_EQ(inputs[0], (ArgVector{"x"}));
+  }
+}
+
+TEST(Cli, StdinDashCombinesWithOtherSources) {
+  RunPlan plan = parse({"cmd", ":::", "a", "b", "::::", "-"});
+  std::istringstream in("1\n2\n");
+  auto inputs = resolve_inputs(plan, in);  // cartesian: stdin is the tail
+  ASSERT_EQ(inputs.size(), 4u);
+  EXPECT_EQ(inputs[0], (ArgVector{"a", "1"}));
+  EXPECT_EQ(inputs[3], (ArgVector{"b", "2"}));
+}
+
+TEST(Cli, OnlyOneSourceMayClaimStdin) {
+  EXPECT_THROW(parse({"cmd", "::::", "-", "::::", "-"}), util::ConfigError);
+  EXPECT_THROW(parse({"-a", "-", "cmd", "::::", "-"}), util::ConfigError);
+}
+
+TEST(Cli, StdinSourceConflictsWithPipe) {
+  EXPECT_THROW(parse({"--pipe", "cmd", "::::", "-"}), util::ConfigError);
+}
+
+TEST(Cli, NullSeparatorAppliesToStreamedSources) {
+  RunPlan plan = parse({"-0", "cmd", "::::", "-"});
+  EXPECT_EQ(plan.input_sep, '\0');
+  std::istringstream in(std::string("a\0b c\0", 6));
+  auto inputs = resolve_inputs(plan, in);
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0], (ArgVector{"a"}));
+  EXPECT_EQ(inputs[1], (ArgVector{"b c"}));
 }
 
 TEST(Cli, OptionsAfterCommandBelongToCommand) {

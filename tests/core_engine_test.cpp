@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -518,6 +519,208 @@ TEST(Engine, StaleDeadlinesFromFinishedJobsNeverFire) {
   for (const auto& result : summary.results) {
     EXPECT_EQ(result.status, JobStatus::kSuccess);
   }
+}
+
+// ---- Streaming pipeline (run_source) ----------------------------------
+
+TEST(Engine, StreamedSourceMatchesMaterializedRun) {
+  // The refactor's equivalence property: the same inputs pulled lazily from
+  // a JobSource and handed over as a materialized vector must yield
+  // byte-identical -k output and identical joblogs.
+  auto task = [](const ExecRequest& request) {
+    TaskOutcome outcome;
+    outcome.exit_code = request.command.find("7") != std::string::npos ? 1 : 0;
+    outcome.stdout_data = request.command + "\n";
+    return outcome;
+  };
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 100; ++i) inputs.push_back({std::to_string(i)});
+
+  Options options;
+  options.jobs = 8;
+  options.output_mode = OutputMode::kKeepOrder;
+
+  std::string streamed_log = ::testing::TempDir() + "streamed_joblog.tsv";
+  std::string materialized_log = ::testing::TempDir() + "materialized_joblog.tsv";
+  std::remove(streamed_log.c_str());
+  std::remove(materialized_log.c_str());
+
+  std::ostringstream streamed_out, err1;
+  {
+    Options streamed_options = options;
+    streamed_options.joblog_path = streamed_log;
+    FunctionExecutor executor(task, 8);
+    Engine engine(streamed_options, executor, streamed_out, err1);
+    std::size_t next = 0;
+    FunctionSource source([&]() -> std::optional<JobInput> {
+      if (next >= inputs.size()) return std::nullopt;
+      JobInput job;
+      job.args = inputs[next++];
+      return job;
+    });
+    RunSummary summary = engine.run_source("t {}", source);
+    EXPECT_EQ(summary.total, 100u);
+  }
+
+  std::ostringstream materialized_out, err2;
+  {
+    Options materialized_options = options;
+    materialized_options.joblog_path = materialized_log;
+    FunctionExecutor executor(task, 8);
+    Engine engine(materialized_options, executor, materialized_out, err2);
+    engine.run("t {}", inputs);
+  }
+
+  EXPECT_FALSE(streamed_out.str().empty());
+  EXPECT_EQ(streamed_out.str(), materialized_out.str());
+
+  auto seq_set = [](const std::string& path) {
+    std::set<std::uint64_t> seqs;
+    for (const auto& entry : read_joblog(path)) seqs.insert(entry.seq);
+    return seqs;
+  };
+  EXPECT_EQ(seq_set(streamed_log), seq_set(materialized_log));
+  std::remove(streamed_log.c_str());
+  std::remove(materialized_log.c_str());
+}
+
+TEST(Engine, StreamedRunIsConstantMemoryWhenNotCollecting) {
+  // collect_results=false (the CLI's configuration) keeps the summary O(1):
+  // counts only, no per-job results or start times.
+  Options options;
+  options.jobs = 4;
+  options.collect_results = false;
+  FunctionExecutor executor(echo_task, 4);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::size_t next = 0;
+  FunctionSource source([&]() -> std::optional<JobInput> {
+    if (next >= 500) return std::nullopt;
+    JobInput job;
+    job.args = {std::to_string(next++)};
+    return job;
+  });
+  RunSummary summary = engine.run_source("e {}", source);
+  EXPECT_EQ(summary.succeeded, 500u);
+  EXPECT_EQ(summary.total, 500u);
+  EXPECT_TRUE(summary.results.empty());
+  EXPECT_TRUE(summary.start_times.empty());
+  // dispatch_rate derives from start_times, so it is unavailable here.
+  EXPECT_EQ(summary.dispatch_rate(), 0.0);
+}
+
+TEST(Engine, ProgressShowsUnknownTotalUntilSourceDrains) {
+  Options options;
+  options.jobs = 1;
+  options.progress = true;
+  FunctionExecutor executor(echo_task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::size_t next = 0;
+  FunctionSource source([&]() -> std::optional<JobInput> {
+    if (next >= 40) return std::nullopt;
+    JobInput job;
+    job.args = {std::to_string(next++)};
+    return job;
+  });
+  RunSummary summary = engine.run_source("e {}", source);
+  EXPECT_EQ(summary.succeeded, 40u);
+  std::string progress = err.str();
+  // While the source still had jobs, the denominator is unknowable.
+  EXPECT_NE(progress.find("/?"), std::string::npos);
+  // The final flush reports the exact total.
+  EXPECT_NE(progress.find("40/40"), std::string::npos);
+}
+
+TEST(Engine, KeepOrderWindowBoundsHeldOutput) {
+  // One straggler (seq 1) with a tiny -k window: fresh dispatch must pause
+  // at the window bound, then resume and finish every job in order.
+  std::atomic<int> started{0};
+  auto task = [&](const ExecRequest& request) {
+    started.fetch_add(1);
+    if (request.command == "w 0") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+    TaskOutcome outcome;
+    outcome.stdout_data = request.command + "\n";
+    return outcome;
+  };
+  Options options;
+  options.jobs = 4;
+  options.output_mode = OutputMode::kKeepOrder;
+  options.keep_order_window = 8;
+  FunctionExecutor executor(task, 4);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 200; ++i) inputs.push_back({std::to_string(i)});
+  RunSummary summary = engine.run("w {}", std::move(inputs));
+  EXPECT_EQ(summary.succeeded, 200u);
+  std::string expected;
+  for (int i = 0; i < 200; ++i) expected += "w " + std::to_string(i) + "\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(Engine, RunSourceAppliesPackingDecorators) {
+  Options options;
+  options.max_args = 2;
+  FunctionExecutor executor(echo_task, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  std::size_t next = 0;
+  FunctionSource source([&]() -> std::optional<JobInput> {
+    static const char* vals[] = {"a", "b", "c"};
+    if (next >= 3) return std::nullopt;
+    JobInput job;
+    job.args = {vals[next++]};
+    return job;
+  });
+  RunSummary summary = engine.run_source("rm {}", source);
+  ASSERT_EQ(summary.results.size(), 2u);
+  EXPECT_EQ(summary.results[0].command, "rm a b");
+  EXPECT_EQ(summary.results[1].command, "rm c");
+}
+
+TEST(Engine, StreamedResumeSkipsCompletedSeqs) {
+  // --resume against an existing joblog must skip without knowing the total
+  // up front (the skip set is consulted as jobs stream past).
+  std::string path = ::testing::TempDir() + "streamed_resume.tsv";
+  std::remove(path.c_str());
+  auto task = [](const ExecRequest& request) {
+    TaskOutcome outcome;
+    outcome.exit_code = request.command.find("failme") != std::string::npos ? 1 : 0;
+    return outcome;
+  };
+  Options options;
+  options.joblog_path = path;
+  {
+    FunctionExecutor executor(task, 1);
+    std::ostringstream out, err;
+    Engine engine(options, executor, out, err);
+    engine.run("run {}", values({"a", "failme", "c"}));
+  }
+  std::atomic<int> calls{0};
+  auto counting = [&](const ExecRequest&) {
+    calls.fetch_add(1);
+    return TaskOutcome{};
+  };
+  options.resume_failed = true;
+  FunctionExecutor executor(counting, 1);
+  std::ostringstream out, err;
+  Engine engine(options, executor, out, err);
+  const char* vals[] = {"a", "failme", "c"};
+  std::size_t next = 0;
+  FunctionSource source([&]() -> std::optional<JobInput> {
+    if (next >= 3) return std::nullopt;
+    JobInput job;
+    job.args = {vals[next++]};
+    return job;
+  });
+  RunSummary summary = engine.run_source("run {}", source);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(summary.skipped, 2u);
+  EXPECT_EQ(summary.succeeded, 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

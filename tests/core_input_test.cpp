@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <memory>
 #include <sstream>
 
+#include "core/job_source.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace parcl::core {
 namespace {
@@ -12,6 +17,35 @@ namespace {
 InputSource src(std::vector<std::string> values) {
   return InputSource::from_values(std::move(values));
 }
+
+std::unique_ptr<ValueSource> vsrc(std::vector<std::string> values) {
+  return std::make_unique<VectorValueSource>(std::move(values));
+}
+
+std::vector<ArgVector> drain(JobSource& source) {
+  std::vector<ArgVector> out;
+  while (auto job = source.next()) out.push_back(std::move(job->args));
+  return out;
+}
+
+/// Counts pulls so tests can assert a source streams instead of being
+/// drained up front.
+class CountingValueSource : public ValueSource {
+ public:
+  explicit CountingValueSource(std::vector<std::string> values)
+      : values_(std::move(values)) {}
+  std::optional<std::string> next() override {
+    ++pulls_;
+    if (index_ >= values_.size()) return std::nullopt;
+    return values_[index_++];
+  }
+  std::size_t pulls() const { return pulls_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::size_t index_ = 0;
+  std::size_t pulls_ = 0;
+};
 
 TEST(InputSource, FromStreamSplitsLines) {
   std::istringstream in("a\nb\nc\n");
@@ -143,6 +177,218 @@ TEST_P(PackSweep, FlatteningRestoresInput) {
 
 INSTANTIATE_TEST_SUITE_P(GroupSizes, PackSweep,
                          ::testing::Values(1u, 2u, 3u, 5u, 7u, 23u, 100u));
+
+// ---- Streaming sources (core/job_source) ------------------------------
+//
+// The property that matters for the refactor: every streaming source /
+// decorator yields exactly the sequence its eager counterpart in
+// core/input materializes.
+
+TEST(LineSource, StreamsSeparatedValues) {
+  std::istringstream in("a\nb\nc\n");
+  LineSource source(in);
+  EXPECT_EQ(source.next(), "a");
+  EXPECT_EQ(source.next(), "b");
+  EXPECT_EQ(source.next(), "c");
+  EXPECT_EQ(source.next(), std::nullopt);
+  EXPECT_EQ(source.next(), std::nullopt);  // stays exhausted
+}
+
+TEST(LineSource, FinalValueWithoutTrailingSeparator) {
+  std::istringstream in("a\nb");
+  LineSource source(in);
+  EXPECT_EQ(source.next(), "a");
+  EXPECT_EQ(source.next(), "b");
+  EXPECT_EQ(source.next(), std::nullopt);
+}
+
+TEST(LineSource, NulSeparated) {
+  std::istringstream in(std::string("a\0b c\0", 6));
+  LineSource source(in, '\0');
+  EXPECT_EQ(source.next(), "a");
+  EXPECT_EQ(source.next(), "b c");
+  EXPECT_EQ(source.next(), std::nullopt);
+}
+
+TEST(LineSource, MatchesFromStreamOnRandomInput) {
+  util::Rng rng(11);
+  for (char sep : {'\n', '\0'}) {
+    std::string text;
+    std::vector<std::string> want;
+    for (int i = 0; i < 200; ++i) {
+      std::string value = "v" + std::to_string(rng.uniform_int(0, 1 << 16));
+      want.push_back(value);
+      text += value;
+      text += sep;
+    }
+    {
+      std::istringstream eager(text);
+      InputSource materialized = InputSource::from_stream(eager, sep);
+      EXPECT_EQ(materialized.values, want);
+    }
+    std::istringstream in(text);
+    LineSource source(in, sep);
+    std::vector<std::string> got;
+    while (auto value = source.next()) got.push_back(std::move(*value));
+    EXPECT_EQ(got, want) << "sep=" << static_cast<int>(sep);
+  }
+}
+
+TEST(LineSource, OpensFilesIncrementally) {
+  std::string path = ::testing::TempDir() + "line_source.txt";
+  {
+    std::ofstream out(path);
+    out << "one\ntwo\n";
+  }
+  auto source = LineSource::open(path);
+  EXPECT_EQ(source->next(), "one");
+  EXPECT_EQ(source->next(), "two");
+  EXPECT_EQ(source->next(), std::nullopt);
+  std::remove(path.c_str());
+  EXPECT_THROW(LineSource::open("/nonexistent/definitely/missing"),
+               util::SystemError);
+}
+
+TEST(CartesianSource, MatchesCombineCartesian) {
+  std::vector<std::vector<std::string>> shapes[] = {
+      {{"a", "b"}, {"1", "2"}},
+      {{"a", "b", "c"}},
+      {{"a"}, {"1", "2"}, {"x", "y", "z"}},
+      {{"a", "b"}, {}},
+  };
+  for (const auto& shape : shapes) {
+    std::vector<InputSource> eager;
+    std::vector<std::unique_ptr<ValueSource>> lazy;
+    for (const auto& values : shape) {
+      eager.push_back(src(values));
+      lazy.push_back(vsrc(values));
+    }
+    CartesianSource source(std::move(lazy));
+    EXPECT_EQ(drain(source), combine_cartesian(eager));
+  }
+}
+
+TEST(CartesianSource, HeadStreamsOneValueAtATime) {
+  std::vector<std::string> head_values;
+  for (int i = 0; i < 1000; ++i) head_values.push_back(std::to_string(i));
+  auto head = std::make_unique<CountingValueSource>(head_values);
+  CountingValueSource* head_ptr = head.get();
+  std::vector<std::unique_ptr<ValueSource>> sources;
+  sources.push_back(std::move(head));
+  sources.push_back(vsrc({"x", "y", "z"}));
+  CartesianSource source(std::move(sources));
+  // Mid-pass over the first head value: exactly one pull so far.
+  ASSERT_TRUE(source.next().has_value());
+  ASSERT_TRUE(source.next().has_value());
+  EXPECT_EQ(head_ptr->pulls(), 1u);
+  // Completing the tail pass advances the head by one (a one-value
+  // lookahead) — never the 1000-value drain a materializer would do.
+  ASSERT_TRUE(source.next().has_value());
+  EXPECT_EQ(head_ptr->pulls(), 2u);
+  ASSERT_TRUE(source.next().has_value());
+  EXPECT_EQ(head_ptr->pulls(), 2u);
+}
+
+TEST(LinkedSource, MatchesCombineLinked) {
+  std::vector<std::vector<std::string>> shapes[] = {
+      {{"a", "b", "c"}, {"1", "2"}},
+      {{"a"}, {"1", "2", "3", "4"}},
+      {{"a", "b"}, {}},
+      {{"a", "b"}, {"1", "2"}, {"x"}},
+  };
+  for (const auto& shape : shapes) {
+    std::vector<InputSource> eager;
+    std::vector<std::unique_ptr<ValueSource>> lazy;
+    for (const auto& values : shape) {
+      eager.push_back(src(values));
+      lazy.push_back(vsrc(values));
+    }
+    LinkedSource source(std::move(lazy));
+    EXPECT_EQ(drain(source), combine_linked(eager));
+  }
+}
+
+TEST(MaxArgsPacker, MatchesPackMaxArgs) {
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 23; ++i) inputs.push_back({"v" + std::to_string(i)});
+  for (std::size_t n : {0u, 1u, 2u, 3u, 5u, 7u, 23u, 100u}) {
+    VectorSource upstream(inputs);
+    MaxArgsPacker packer(upstream, n);
+    EXPECT_EQ(drain(packer), pack_max_args(inputs, n)) << "n=" << n;
+  }
+}
+
+TEST(MaxArgsPacker, RejectsMultiSourceInputs) {
+  VectorSource upstream(std::vector<ArgVector>{{"a", "b"}});
+  MaxArgsPacker packer(upstream, 2);
+  EXPECT_THROW(packer.next(), util::ConfigError);
+}
+
+TEST(MaxCharsPacker, MatchesPackMaxChars) {
+  util::Rng rng(17);
+  std::vector<ArgVector> inputs;
+  for (int i = 0; i < 60; ++i) {
+    inputs.push_back({std::string(1 + rng.uniform_int(0, 30), 'a' + i % 26)});
+  }
+  for (std::size_t max_chars : {10u, 28u, 64u, 200u, 4096u}) {
+    VectorSource upstream(inputs);
+    MaxCharsPacker packer(upstream, 10, max_chars);
+    EXPECT_EQ(drain(packer), pack_max_chars(inputs, 10, max_chars))
+        << "max_chars=" << max_chars;
+  }
+}
+
+TEST(MaxCharsPacker, AlwaysPacksAtLeastOne) {
+  VectorSource upstream({{"averyveryverylongargument"}});
+  MaxCharsPacker packer(upstream, 100, 10);
+  auto packed = drain(packer);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0].size(), 1u);
+}
+
+TEST(StreamingPipeline, LineSourceThroughCartesianAndPacker) {
+  // End-to-end composition: a streamed file feeding -n packing must match
+  // the eager read-all-then-pack pipeline.
+  util::Rng rng(23);
+  std::string text;
+  std::vector<ArgVector> eager_jobs;
+  for (int i = 0; i < 37; ++i) {
+    std::string value = "f" + std::to_string(rng.uniform_int(0, 1 << 16));
+    text += value + "\n";
+    eager_jobs.push_back({value});
+  }
+  for (std::size_t n : {1u, 2u, 5u, 8u}) {
+    std::istringstream in(text);
+    std::vector<std::unique_ptr<ValueSource>> values;
+    values.push_back(std::make_unique<LineSource>(in));
+    CartesianSource jobs(std::move(values));
+    MaxArgsPacker packer(jobs, n);
+    EXPECT_EQ(drain(packer), pack_max_args(eager_jobs, n)) << "n=" << n;
+  }
+}
+
+TEST(CountSource, YieldsArglessJobs) {
+  CountSource source(2);
+  auto first = source.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->args.empty());
+  EXPECT_TRUE(source.next().has_value());
+  EXPECT_EQ(source.next(), std::nullopt);
+}
+
+TEST(TrimSource, StripsPerMode) {
+  struct Case {
+    const char* mode;
+    const char* want;
+  } cases[] = {{"l", "v \t"}, {"r", " v"}, {"lr", "v"}, {"n", " v \t"}};
+  for (const auto& c : cases) {
+    VectorSource upstream({{" v \t"}});
+    TrimSource trim(upstream, c.mode);
+    auto job = trim.next();
+    ASSERT_TRUE(job.has_value()) << c.mode;
+    EXPECT_EQ(job->args[0], c.want) << c.mode;
+  }
+}
 
 }  // namespace
 }  // namespace parcl::core

@@ -94,5 +94,16 @@ TEST(Options, XargsNeedsMaxChars) {
   EXPECT_THROW(options.validate(), util::ConfigError);
 }
 
+TEST(Options, ShuffleCannotCombineWithPipe) {
+  // --shuf needs the whole input buffered to permute it; buffering every
+  // stdin block would defeat --pipe's streaming, so the combination is an
+  // explicit error.
+  Options options;
+  options.shuffle = true;
+  EXPECT_NO_THROW(options.validate());
+  options.pipe_mode = true;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+}
+
 }  // namespace
 }  // namespace parcl::core

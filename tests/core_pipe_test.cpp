@@ -90,6 +90,52 @@ TEST(SplitBlocks, RejectsZeroBlock) {
   EXPECT_THROW(split_blocks(in, options), util::ConfigError);
 }
 
+TEST(PipeBlockSource, StreamsSameBlocksAsSplitBlocks) {
+  util::Rng rng(7);
+  for (char sep : {'\n', '\0'}) {
+    std::string text;
+    for (int i = 0; i < 400; ++i) {
+      text += "rec" + std::to_string(rng.uniform_int(0, 1 << 20));
+      text += sep;
+    }
+    // One oversized record and a missing trailing separator for the edges.
+    text += std::string(5000, 'x');
+    text += sep;
+    text += "tail";
+    for (std::size_t block : {16u, 100u, 1000u, 1u << 20}) {
+      PipeOptions options;
+      options.block_bytes = block;
+      options.record_separator = sep;
+      std::istringstream eager_in(text);
+      auto want = split_blocks(eager_in, options);
+      std::istringstream in(text);
+      PipeBlockSource source(in, options);
+      std::vector<std::string> got;
+      while (auto job = source.next()) {
+        EXPECT_TRUE(job->has_stdin);
+        EXPECT_TRUE(job->args.empty());
+        got.push_back(std::move(job->stdin_data));
+      }
+      EXPECT_EQ(got, want) << "block=" << block << " sep=" << static_cast<int>(sep);
+    }
+  }
+}
+
+TEST(PipeBlockSource, EmptyInputYieldsNothing) {
+  std::istringstream in("");
+  PipeOptions options;
+  options.block_bytes = 1024;
+  PipeBlockSource source(in, options);
+  EXPECT_FALSE(source.next().has_value());
+}
+
+TEST(PipeBlockSource, RejectsZeroBlock) {
+  std::istringstream in("x");
+  PipeOptions options;
+  options.block_bytes = 0;
+  EXPECT_THROW(PipeBlockSource(in, options), util::ConfigError);
+}
+
 TEST(ParseBlockSize, SuffixesAndErrors) {
   EXPECT_EQ(parse_block_size("512"), 512u);
   EXPECT_EQ(parse_block_size("4k"), 4096u);
@@ -159,6 +205,50 @@ TEST(EnginePipe, SeqStillExpands) {
   ASSERT_EQ(commands.size(), 2u);
   EXPECT_EQ(commands[0], "proc --chunk 1");
   EXPECT_EQ(commands[1], "proc --chunk 2");
+}
+
+TEST(EnginePipe, StreamedSourceMatchesMaterializedRun) {
+  // The same stdin driven through the streaming PipeBlockSource and through
+  // pre-split blocks must produce byte-identical -k output.
+  std::string text;
+  util::Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    text += "rec" + std::to_string(rng.uniform_int(0, 1 << 20)) + "\n";
+  }
+  auto task = [](const ExecRequest& request) {
+    exec::TaskOutcome outcome;
+    outcome.stdout_data = std::to_string(request.stdin_data.size()) + "\n";
+    return outcome;
+  };
+  PipeOptions pipe_options;
+  pipe_options.block_bytes = 64;
+
+  Options options;
+  options.jobs = 4;
+  options.output_mode = OutputMode::kKeepOrder;
+
+  std::ostringstream streamed_out, err1;
+  {
+    exec::FunctionExecutor executor(task, 4);
+    Engine engine(options, executor, streamed_out, err1);
+    std::istringstream in(text);
+    PipeBlockSource blocks(in, pipe_options);
+    RunSummary summary = engine.run_pipe_source("count", blocks);
+    EXPECT_EQ(summary.failed, 0u);
+  }
+
+  std::ostringstream materialized_out, err2;
+  {
+    exec::FunctionExecutor executor(task, 4);
+    Engine engine(options, executor, materialized_out, err2);
+    std::istringstream in(text);
+    RunSummary summary =
+        engine.run_pipe("count", split_blocks(in, pipe_options));
+    EXPECT_EQ(summary.failed, 0u);
+  }
+
+  EXPECT_FALSE(streamed_out.str().empty());
+  EXPECT_EQ(streamed_out.str(), materialized_out.str());
 }
 
 }  // namespace
