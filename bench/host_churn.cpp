@@ -1,0 +1,196 @@
+// Health-aware dispatch under node churn: (a) makespan overhead of
+// reschedule-on-node-loss as MTBF shrinks, with --retries 1 proving the
+// reschedules ride free, and (b) the p99 cut --hedge buys on a Pareto
+// heavy-tail straggler mix. Both run in sim time on a 64-node cluster.
+// Writes the `host_churn` section of BENCH_dispatch.json.
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "exec/fault_executor.hpp"
+#include "exec/sim_executor.hpp"
+#include "sim/duration_model.hpp"
+#include "sim/node_failure.hpp"
+#include "sim/simulation.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace parcl;
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+struct ChurnResult {
+  double makespan = 0.0;  // sim seconds
+  std::size_t succeeded = 0;
+  std::size_t rescheduled = 0;
+  std::size_t charged_retries = 0;  // results whose attempts exceeded 1
+};
+
+/// 64-node simulated cluster, lognormal service times, node deaths per
+/// `mtbf` (0 = no churn). --retries 1 throughout: only free reschedules can
+/// keep the success count whole.
+ChurnResult run_churn(double mtbf, std::size_t total_jobs) {
+  sim::Simulation sim;
+  sim::LognormalDuration durations(/*median=*/20.0, /*sigma=*/0.3);
+  sim::NodeChurnConfig churn_config;
+  churn_config.nodes = 64;
+  churn_config.mtbf_seconds = mtbf;
+  churn_config.repair_seconds = 30.0;
+  churn_config.seed = 42;
+  sim::NodeChurnModel churn(churn_config);
+  util::Rng rng(7);
+  exec::SimExecutor executor(sim,
+                             exec::churn_task_model(sim, durations, churn, rng));
+
+  core::Options options;
+  options.jobs = 64;
+  options.retries = 1;
+  std::ostringstream out, err;
+  core::Engine engine(options, executor, out, err);
+  std::vector<core::ArgVector> inputs;
+  inputs.reserve(total_jobs);
+  for (std::size_t i = 0; i < total_jobs; ++i) inputs.push_back({std::to_string(i)});
+  core::RunSummary summary = engine.run("job {}", std::move(inputs));
+
+  ChurnResult result;
+  result.makespan = sim.now();
+  result.succeeded = summary.succeeded;
+  result.rescheduled = summary.dispatch.rescheduled;
+  for (const core::JobResult& job : summary.results) {
+    if (job.attempts > 1) ++result.charged_retries;
+  }
+  return result;
+}
+
+struct HedgeResult {
+  double makespan = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  std::size_t hedges_launched = 0;
+  std::size_t hedges_won = 0;
+};
+
+/// Lognormal body with a Pareto straggler tail; every slot is its own
+/// failure domain so --hedge can always place the duplicate elsewhere.
+/// Runtimes are per winning attempt: for an unhedged job that is its
+/// latency, for a hedged one it understates latency by the hedge threshold
+/// — both are dwarfed by the tail the hedge replaces.
+HedgeResult run_hedge(double hedge_multiplier, std::size_t total_jobs) {
+  sim::Simulation sim;
+  sim::LognormalDuration body(/*median=*/4.0, /*sigma=*/0.4);
+  sim::ParetoDuration tail(/*scale=*/6.0, /*alpha=*/1.1, /*cap=*/300.0);
+  sim::StragglerMixture durations(body, tail, /*straggler_prob=*/0.02);
+  util::Rng rng(11);
+  exec::SimExecutor executor(sim, [&](const core::ExecRequest&) {
+    exec::SimOutcome outcome;
+    outcome.duration = durations.sample(rng);
+    return outcome;
+  });
+  executor.set_slot_domain_model([](std::size_t slot) { return slot; });
+
+  core::Options options;
+  options.jobs = 32;
+  options.hedge_multiplier = hedge_multiplier;
+  std::ostringstream out, err;
+  core::Engine engine(options, executor, out, err);
+  std::vector<core::ArgVector> inputs;
+  inputs.reserve(total_jobs);
+  for (std::size_t i = 0; i < total_jobs; ++i) inputs.push_back({std::to_string(i)});
+  core::RunSummary summary = engine.run("job {}", std::move(inputs));
+
+  std::vector<double> runtimes;
+  runtimes.reserve(summary.results.size());
+  for (const core::JobResult& job : summary.results) {
+    runtimes.push_back(job.runtime());
+  }
+  HedgeResult result;
+  result.makespan = sim.now();
+  result.p50 = percentile(runtimes, 50.0);
+  result.p99 = percentile(runtimes, 99.0);
+  result.hedges_launched = summary.dispatch.hedges_launched;
+  result.hedges_won = summary.dispatch.hedges_won;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kJobs = 4000;
+  util::Logger::global().set_level(util::LogLevel::kError);
+
+  bench::print_header("host churn", "reschedule-on-node-loss and --hedge");
+
+  const std::vector<std::pair<std::string, double>> mtbfs = {
+      {"none", 0.0}, {"600 s", 600.0}, {"300 s", 300.0}, {"150 s", 150.0}};
+  std::vector<ChurnResult> churn_runs;
+  for (const auto& [label, mtbf] : mtbfs) churn_runs.push_back(run_churn(mtbf, kJobs));
+
+  util::Table churn_table(
+      {"MTBF", "makespan (sim s)", "overhead", "rescheduled", "charged retries",
+       "succeeded"});
+  for (std::size_t i = 0; i < mtbfs.size(); ++i) {
+    double overhead_pct =
+        (churn_runs[i].makespan - churn_runs[0].makespan) / churn_runs[0].makespan *
+        100.0;
+    churn_table.add_row({mtbfs[i].first,
+                         util::format_double(churn_runs[i].makespan, 1),
+                         util::format_double(overhead_pct, 2) + "%",
+                         std::to_string(churn_runs[i].rescheduled),
+                         std::to_string(churn_runs[i].charged_retries),
+                         std::to_string(churn_runs[i].succeeded)});
+  }
+  std::cout << churn_table.render() << '\n';
+  for (std::size_t i = 0; i < mtbfs.size(); ++i) {
+    if (churn_runs[i].succeeded != kJobs || churn_runs[i].charged_retries != 0) {
+      std::cout << "WARNING: MTBF " << mtbfs[i].first
+                << " lost jobs or charged retries for node deaths\n";
+    }
+  }
+
+  HedgeResult unhedged = run_hedge(0.0, kJobs);
+  HedgeResult hedged = run_hedge(3.0, kJobs);
+  double p99_cut_pct = (unhedged.p99 - hedged.p99) / unhedged.p99 * 100.0;
+
+  util::Table hedge_table({"configuration", "p50 (s)", "p99 (s)",
+                           "makespan (sim s)", "hedges", "won"});
+  hedge_table.add_row({"--hedge off", util::format_double(unhedged.p50, 2),
+                       util::format_double(unhedged.p99, 2),
+                       util::format_double(unhedged.makespan, 1), "0", "0"});
+  hedge_table.add_row({"--hedge 3", util::format_double(hedged.p50, 2),
+                       util::format_double(hedged.p99, 2),
+                       util::format_double(hedged.makespan, 1),
+                       std::to_string(hedged.hedges_launched),
+                       std::to_string(hedged.hedges_won)});
+  std::cout << hedge_table.render() << '\n';
+  std::cout << "p99 cut by hedging: " << util::format_double(p99_cut_pct, 1)
+            << "%\n";
+
+  bench::BenchJson json("BENCH_dispatch.json");
+  json.set("host_churn", "churn_makespan_none_s", churn_runs[0].makespan);
+  json.set("host_churn", "churn_makespan_mtbf600_s", churn_runs[1].makespan);
+  json.set("host_churn", "churn_makespan_mtbf300_s", churn_runs[2].makespan);
+  json.set("host_churn", "churn_makespan_mtbf150_s", churn_runs[3].makespan);
+  json.set("host_churn", "churn_rescheduled_mtbf300",
+           static_cast<double>(churn_runs[2].rescheduled));
+  json.set("host_churn", "hedge_off_p99_s", unhedged.p99);
+  json.set("host_churn", "hedge_on_p99_s", hedged.p99);
+  json.set("host_churn", "hedge_p99_cut_pct", p99_cut_pct);
+  json.set("host_churn", "hedges_launched", static_cast<double>(hedged.hedges_launched));
+  json.write();
+  std::cout << "wrote BENCH_dispatch.json\n";
+  return 0;
+}

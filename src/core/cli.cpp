@@ -20,6 +20,26 @@ std::string take_value(const std::vector<std::string>& argv, std::size_t& i,
   return argv[++i];
 }
 
+/// Parses one --sshlogin value: comma-separated entries, each "host" or
+/// "N/host" (N = slot budget there). ":" names the local machine.
+void parse_sshlogins(const std::string& value, std::vector<SshLogin>& out) {
+  for (const std::string& entry : util::split(value, ',')) {
+    std::string spec = util::trim(entry);
+    if (spec.empty()) continue;
+    SshLogin login;
+    std::size_t slash = spec.find('/');
+    if (slash != std::string::npos) {
+      long jobs = util::parse_long(spec.substr(0, slash));
+      if (jobs < 1) throw util::ParseError("--sshlogin slot count must be >= 1");
+      login.jobs = static_cast<std::size_t>(jobs);
+      spec = spec.substr(slash + 1);
+    }
+    if (spec.empty()) throw util::ParseError("--sshlogin entry names no host");
+    login.host = std::move(spec);
+    out.push_back(std::move(login));
+  }
+}
+
 SourceSpec file_or_stdin_source(const std::string& path) {
   SourceSpec spec;
   if (path == "-") {
@@ -131,6 +151,19 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
       plan.options.load_max = util::parse_double(take_value(argv, i, arg));
     } else if (arg == "--delay") {
       plan.options.delay_seconds = util::parse_double(take_value(argv, i, arg));
+    } else if (arg == "-S" || arg == "--sshlogin") {
+      parse_sshlogins(take_value(argv, i, arg), plan.sshlogins);
+    } else if (arg == "--filter-hosts") {
+      plan.options.filter_hosts = true;
+    } else if (arg == "--hedge") {
+      plan.options.hedge_multiplier = util::parse_double(take_value(argv, i, arg));
+    } else if (arg == "--quarantine-after") {
+      long count = util::parse_long(take_value(argv, i, arg));
+      if (count < 0) throw util::ParseError("--quarantine-after must be >= 0");
+      plan.options.quarantine_after = static_cast<std::size_t>(count);
+    } else if (arg == "--probe-interval") {
+      plan.options.probe_interval_seconds =
+          util::parse_double(take_value(argv, i, arg));
     } else if (arg == "--dry-run" || arg == "--dryrun") {
       plan.options.dry_run = true;
     } else if (arg == "--pipe") {
@@ -213,6 +246,13 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
     throw util::ConfigError("--pipe reads stdin itself; '-' cannot also name it");
   }
 
+  if (plan.options.filter_hosts && plan.sshlogins.empty()) {
+    throw util::ConfigError("--filter-hosts requires --sshlogin");
+  }
+  if (!plan.sshlogins.empty() && plan.semaphore) {
+    throw util::ConfigError("--semaphore runs locally; --sshlogin does not apply");
+  }
+
   plan.command_template = util::join(command_tokens, " ");
   // In --pipe mode stdin carries data blocks, not input values; a
   // --semaphore command runs verbatim with no input source at all.
@@ -285,6 +325,19 @@ options:
       --memfree SIZE  defer new jobs while free memory < SIZE (k/m/g)
       --load MAX      defer new jobs while the load average > MAX
       --delay SECS    spacing between job starts
+  -S, --sshlogin L    comma-separated hosts to run on ("8/node07" caps 8
+                      jobs there; ":" = this machine, no ssh)
+      --filter-hosts  probe each --sshlogin host at startup and drop the
+                      unreachable ones
+      --quarantine-after N
+                      consecutive host failures before a host is
+                      quarantined (0 = never; default 3)
+      --probe-interval SECS
+                      base reinstatement-probe interval for quarantined
+                      hosts; doubles per failed probe (default 5)
+      --hedge K       duplicate an attempt running longer than K x the
+                      median runtime onto another host; first success
+                      wins (0 = off)
       --dry-run       print composed commands, do not run
       --joblog PATH   append a GNU-Parallel-format job log
       --joblog-fsync  fsync the joblog after every record

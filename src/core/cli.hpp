@@ -10,6 +10,8 @@
 //   --tag              --dry-run           -0/--null
 //   -n/--max-args N    -X                  --max-chars N
 //   -a/--arg-file F    --no-quote          --no-shell
+//   -S/--sshlogin L    --filter-hosts      --hedge K
+//   --quarantine-after N                   --probe-interval SECS
 //
 // With no ::: / :::: / -a source, values are read from stdin, one per line,
 // exactly like parallel. `-` as the file for -a/--arg-file or :::: names
@@ -43,8 +45,18 @@ struct SourceSpec {
   std::string path;                 // kFile only
 };
 
+/// One --sshlogin entry: "N/host" caps N jobs on `host`; ":" names the
+/// local machine (no ssh wrapper).
+struct SshLogin {
+  std::string host;
+  std::size_t jobs = 1;
+};
+
 struct RunPlan {
   Options options;
+  /// Non-empty: fan jobs out over these hosts via MultiExecutor, one ssh
+  /// wrapper per remote host (":" stays local).
+  std::vector<SshLogin> sshlogins;
   std::string command_template;     // joined command tokens
   std::vector<SourceSpec> sources;  // input sources, unread until run time
   char input_sep = '\n';            // -0/--null: value separator for streams

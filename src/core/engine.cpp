@@ -303,9 +303,10 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
                       decltype(deadline_after)>
       deadlines(deadline_after);
 
-  // --timeout N%: streaming median of successful runtimes, kept as two
-  // balanced multiset halves (max-half / min-half) for O(log n) insert and
-  // O(1) median. The limit arms only after kAdaptiveMinSamples successes.
+  // --timeout N% and --hedge share a streaming median of successful
+  // runtimes, kept as two balanced multiset halves (max-half / min-half)
+  // for O(log n) insert and O(1) median. Consumers arm only after
+  // kAdaptiveMinSamples successes.
   std::multiset<double> runtime_lower, runtime_upper;
   auto add_runtime_sample = [&](double v) {
     if (runtime_lower.empty() || v <= *runtime_lower.rbegin()) {
@@ -324,13 +325,16 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     }
   };
   constexpr std::size_t kAdaptiveMinSamples = 3;
-  auto adaptive_limit = [&]() -> double {
-    if (options_.timeout_percent <= 0.0) return 0.0;
+  auto running_median = [&]() -> double {
     std::size_t n = runtime_lower.size() + runtime_upper.size();
     if (n < kAdaptiveMinSamples) return 0.0;
-    double median = runtime_lower.size() > runtime_upper.size()
-                        ? *runtime_lower.rbegin()
-                        : (*runtime_lower.rbegin() + *runtime_upper.begin()) / 2.0;
+    return runtime_lower.size() > runtime_upper.size()
+               ? *runtime_lower.rbegin()
+               : (*runtime_lower.rbegin() + *runtime_upper.begin()) / 2.0;
+  };
+  auto adaptive_limit = [&]() -> double {
+    if (options_.timeout_percent <= 0.0) return 0.0;
+    double median = running_median();
     return median * options_.timeout_percent / 100.0;
   };
 
@@ -347,6 +351,14 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
 
   const bool capture = options_.output_mode != OutputMode::kUngroup;
   constexpr double kTimeoutGrace = 1.0;  // SIGTERM -> SIGKILL escalation
+  // A host-failure completion requeues its job without charging --retries,
+  // but only this many times: a job that somehow kills every host it lands
+  // on must not circulate forever.
+  constexpr std::size_t kMaxReschedules = 16;
+  // Wait cap when queued work exists but every free slot is vetoed
+  // (quarantined host): short executor waits keep health probes pumping so
+  // reinstatement can unblock dispatch.
+  constexpr double kQuarantinePoll = 0.05;
 
   auto print_progress = [&] {
     if (!options_.progress) return;
@@ -410,7 +422,13 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
       collator.deliver(result);
       save_results_tree(result);
       out_.flush();
-      if (joblog) joblog->record(result, options_.host_label);
+      // The Host column records where the attempt *actually* ran: a
+      // rescheduled or hedged job logs the host that produced its final
+      // result, not the static label.
+      if (joblog) {
+        joblog->record(result,
+                       result.host.empty() ? options_.host_label : result.host);
+      }
     } else {
       collator.mark_absent(result.seq);
     }
@@ -449,6 +467,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     attempt.has_stdin = job.has_stdin;
     attempt.slot = slot;
     attempt.attempts = job.attempts + 1;
+    attempt.reschedules = job.reschedules;
     attempt.command = tmpl.expand(attempt.args, context, options_.quote_args);
 
     ExecRequest request;
@@ -492,6 +511,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
         retry.stdin_data = std::move(failed.stdin_data);
         retry.has_stdin = failed.has_stdin;
         retry.attempts = failed.attempts;
+        retry.reschedules = failed.reschedules;
         ledger.park(std::move(retry), /*front=*/false);
         return;
       }
@@ -508,6 +528,73 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
       record_final(std::move(result));
       apply_halt_policy();
     }
+  };
+
+  // --hedge: launch a speculative duplicate of a straggling attempt on a
+  // slot in a *different* failure domain (another host). First completion
+  // to succeed wins; the loser is killed and its completion discarded, so
+  // the joblog stays exactly-once. Returns false when no distinct-domain
+  // slot is free — the candidate is retried on a later pass.
+  auto launch_hedge = [&](std::uint64_t primary_id) -> bool {
+    auto pit = active.find(primary_id);
+    if (pit == active.end()) return false;
+    ActiveAttempt& primary = pit->second;
+    std::optional<std::size_t> slot = scheduler.acquire_slot_distinct(primary.slot);
+    if (!slot) return false;
+
+    CommandTemplate::Context context{primary.seq, *slot};
+    ActiveAttempt hedge;
+    hedge.seq = primary.seq;
+    hedge.args = primary.args;
+    hedge.stdin_data = primary.stdin_data;
+    hedge.has_stdin = primary.has_stdin;
+    hedge.slot = *slot;
+    hedge.attempts = primary.attempts;
+    hedge.reschedules = primary.reschedules;
+    hedge.is_hedge = true;
+    hedge.hedge_partner = primary_id;
+    hedge.command = tmpl.expand(hedge.args, context, options_.quote_args);
+
+    ExecRequest request;
+    request.job_id = next_job_id++;
+    request.command = hedge.command;
+    request.slot = *slot;
+    request.use_shell = options_.use_shell;
+    request.capture_output = capture;
+    request.stdin_data = hedge.stdin_data;
+    request.has_stdin = hedge.has_stdin;
+    for (const auto& [key, value_tmpl] : env_templates) {
+      request.env[key] = value_tmpl.expand(hedge.args, context, /*quote=*/false);
+    }
+
+    double now = executor_.now();
+    hedge.start_time = now;
+    if (options_.timeout_seconds > 0.0) {
+      hedge.deadline = now + options_.timeout_seconds;
+      deadlines.push({hedge.deadline, request.job_id, /*escalation=*/false});
+    } else if (double limit = adaptive_limit(); limit > 0.0) {
+      hedge.deadline = now + limit;
+      deadlines.push({hedge.deadline, request.job_id, /*escalation=*/false});
+    }
+    // Pair up before the hedge becomes visible, then launch. Hedges bypass
+    // the --delay gate: the primary already paid it for this job.
+    primary.hedge_partner = request.job_id;
+    if (collect) summary.start_times.push_back(now);
+    active.emplace(request.job_id, std::move(hedge));
+    try {
+      executor_.start(request);
+    } catch (const util::SystemError& error) {
+      // A hedge is pure speculation: on spawn failure drop it quietly and
+      // let the primary run out on its own.
+      PARCL_WARN() << "hedge spawn failed for seq " << primary.seq << ": "
+                   << error.what();
+      active.erase(request.job_id);
+      scheduler.release_slot(*slot);
+      active.at(primary_id).hedge_partner = 0;
+      return false;
+    }
+    ++summary.dispatch.hedges_launched;
+    return true;
   };
 
   while (true) {
@@ -550,6 +637,33 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
 
     // Release backoff'd retries whose delay has elapsed.
     ledger.release_due();
+
+    // Phase 1a: hedge stragglers. An unpaired primary running longer than
+    // hedge_multiplier x the running median gets a speculative duplicate on
+    // a different failure domain. This runs BEFORE the fresh fill so a
+    // straggler's duplicate outranks one more fresh start — speculation
+    // that only ever uses leftover capacity cannot cut the tail until the
+    // input is drained. Bounded: at most one hedge per running straggler.
+    // Candidate ids are collected first: launch_hedge inserts into
+    // `active`, which would invalidate a live iteration.
+    if (options_.hedge_multiplier > 0.0 && drain_stage == 0 &&
+        !scheduler.stopped()) {
+      if (double median = running_median(); median > 0.0) {
+        const double threshold = median * options_.hedge_multiplier;
+        const double now_hedge = executor_.now();
+        std::vector<std::uint64_t> candidates;
+        for (const auto& [id, running] : active) {
+          if (running.is_hedge || running.hedge_partner != 0 ||
+              running.kill_sent || running.discard_on_completion) {
+            continue;
+          }
+          if (now_hedge - running.start_time > threshold) candidates.push_back(id);
+        }
+        for (std::uint64_t id : candidates) {
+          if (!launch_hedge(id)) break;  // no distinct-domain slot free
+        }
+      }
+    }
 
     // Phase 1: fill free slots (retries first, then fresh pending work).
     while (!scheduler.stopped() && scheduler.slot_free() && queued_work()) {
@@ -611,6 +725,29 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     if (drain_stage == 2 && term_index + 1 < term_stages.size()) {
       cap_wait(next_stage_at - now);  // next --termseq stage
     }
+    if (!scheduler.stopped() && queued_work() && !scheduler.slot_free() &&
+        scheduler.any_slot_free()) {
+      // Free slots exist but all sit on quarantined hosts: poll so the
+      // executor keeps pumping probes and dispatch resumes on reinstatement.
+      cap_wait(kQuarantinePoll);
+    }
+    if (options_.hedge_multiplier > 0.0 && drain_stage == 0 &&
+        !scheduler.stopped()) {
+      if (double median = running_median(); median > 0.0) {
+        // Wake when the earliest unpaired primary crosses the hedge
+        // threshold. Overdue candidates (blocked on slots) deliberately do
+        // not cap the wait — they retry when a completion frees a slot.
+        const double threshold = median * options_.hedge_multiplier;
+        for (const auto& [id, running] : active) {
+          if (running.is_hedge || running.hedge_partner != 0 ||
+              running.kill_sent || running.discard_on_completion) {
+            continue;
+          }
+          double due = running.start_time + threshold;
+          if (due > now) cap_wait(due - now);
+        }
+      }
+    }
     if (signals_ != nullptr && !active.empty()) {
       // Real executors swallow EINTR inside wait_any, so cap the block to
       // observe delivered signals promptly.
@@ -666,7 +803,39 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
       status = JobStatus::kFailed;
     }
 
-    if (status == JobStatus::kSuccess && options_.timeout_percent > 0.0) {
+    // A hedge loser's completion was already superseded by its partner's
+    // recorded result: drop it. Its slot was released above; nothing else
+    // to account.
+    if (attempt.discard_on_completion) continue;
+
+    // Hedge pair resolution: first success wins and kills the partner; a
+    // member that fails while its partner still runs is dropped silently so
+    // the survivor alone decides the job's fate.
+    if (attempt.hedge_partner != 0) {
+      auto partner_it = active.find(attempt.hedge_partner);
+      attempt.hedge_partner = 0;
+      if (partner_it != active.end()) {
+        ActiveAttempt& partner = partner_it->second;
+        partner.hedge_partner = 0;
+        if (status == JobStatus::kSuccess) {
+          partner.discard_on_completion = true;
+          if (!partner.kill_sent) {
+            partner.kill_sent = true;
+            executor_.kill(partner_it->first, /*force=*/true);
+          }
+          if (attempt.is_hedge) {
+            ++summary.dispatch.hedges_won;
+          } else {
+            ++summary.dispatch.hedges_lost;
+          }
+        } else {
+          continue;  // survivor carries the job; discard this completion
+        }
+      }
+    }
+
+    if (status == JobStatus::kSuccess &&
+        (options_.timeout_percent > 0.0 || options_.hedge_multiplier > 0.0)) {
       add_runtime_sample(completion->end_time - completion->start_time);
       if (double limit = adaptive_limit(); limit > 0.0) {
         // Arm attempts that started before the median existed; a running
@@ -677,6 +846,27 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
             deadlines.push({running.deadline, id, /*escalation=*/false});
           }
         }
+      }
+    }
+
+    // A host failure is not the job's fault: requeue the attempt without
+    // charging --retries (capped by kMaxReschedules so a host-killing job
+    // cannot circulate forever). Timeout/halt kills keep their meaning even
+    // when the transport also died.
+    if (completion->host_failure) {
+      ++summary.dispatch.host_failures;
+      if (!attempt.killed_for_timeout && !attempt.killed_for_halt &&
+          !scheduler.stopped() && attempt.reschedules < kMaxReschedules) {
+        PendingJob job;
+        job.seq = attempt.seq;
+        job.args = std::move(attempt.args);
+        job.stdin_data = std::move(attempt.stdin_data);
+        job.has_stdin = attempt.has_stdin;
+        job.attempts = attempt.attempts - 1;  // the attempt never counted
+        job.reschedules = attempt.reschedules;
+        ledger.reschedule(std::move(job));
+        ++summary.dispatch.rescheduled;
+        continue;
       }
     }
 
@@ -692,6 +882,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
       retry.stdin_data = std::move(attempt.stdin_data);
       retry.has_stdin = attempt.has_stdin;
       retry.attempts = attempt.attempts;
+      retry.reschedules = attempt.reschedules;
       ledger.park(std::move(retry), /*front=*/true);
       continue;
     }
@@ -709,6 +900,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     result.command = std::move(attempt.command);
     result.stdout_data = std::move(completion->stdout_data);
     result.stderr_data = std::move(completion->stderr_data);
+    result.host = std::move(completion->host);
     record_final(std::move(result));
 
     // Phase 5: halt policy.

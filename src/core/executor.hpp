@@ -38,6 +38,13 @@ struct ExecResult {
   std::string stderr_data;
   double start_time = 0.0;  // executor clock
   double end_time = 0.0;
+  /// Host that actually ran the attempt ("" = backend has no host notion;
+  /// the joblog then falls back to Options::host_label).
+  std::string host;
+  /// The attempt died with the *host*, not the job: spawn/transport errors,
+  /// wrapper exit 255, or an in-flight loss to quarantine. The engine
+  /// requeues such attempts onto a healthy host without charging --retries.
+  bool host_failure = false;
 };
 
 /// Snapshot of backend resource pressure for the --memfree/--load dispatch
@@ -76,6 +83,23 @@ class Executor {
   /// Backend pressure snapshot for the --memfree/--load guards. The default
   /// reports "unknown", which disables gating.
   virtual ResourcePressure pressure() const { return {}; }
+
+  /// Whether dispatch to this slot is currently allowed. Health-aware
+  /// backends veto slots on quarantined hosts; the scheduler then treats
+  /// those slots as occupied until the host is reinstated.
+  virtual bool slot_usable(std::size_t slot) const {
+    (void)slot;
+    return true;
+  }
+
+  /// Whether two slots share a failure domain (same host/node). --hedge
+  /// only duplicates onto a *different* domain; the default true disables
+  /// hedging on single-host backends.
+  virtual bool same_failure_domain(std::size_t a, std::size_t b) const {
+    (void)a;
+    (void)b;
+    return true;
+  }
 
   /// Jobs started but not yet returned by wait_any().
   virtual std::size_t active_count() const = 0;

@@ -42,6 +42,10 @@ struct JobResult {
   std::string command;
   std::string stdout_data;
   std::string stderr_data;
+  /// Host that ran the final attempt ("" = backend has no host notion). A
+  /// rescheduled or hedged job records where it *actually* ran, not its
+  /// first assignee.
+  std::string host;
 
   bool ok() const noexcept { return status == JobStatus::kSuccess; }
   double runtime() const noexcept { return end_time - start_time; }
@@ -66,6 +70,12 @@ struct DispatchCounters {
   std::uint64_t deferred = 0;      // dispatch rounds deferred by --memfree/--load
   std::uint64_t drained = 0;       // jobs allowed to finish during a signal drain
   std::uint64_t escalated = 0;     // kill signals sent by --termseq escalation
+  std::uint64_t host_failures = 0;   // completions classified as host (not job) failures
+  std::uint64_t rescheduled = 0;     // attempts requeued free of --retries after host loss
+  std::uint64_t hedges_launched = 0; // --hedge speculative duplicates started
+  std::uint64_t hedges_won = 0;      // duplicates that finished first and were kept
+  std::uint64_t hedges_lost = 0;     // duplicates discarded after the primary won
+  std::uint64_t quarantines = 0;     // host quarantine transitions (backend-reported)
 
   /// Mean parent-side cost of one spawn, microseconds (0 when no spawns).
   double mean_spawn_us() const noexcept;

@@ -18,6 +18,12 @@ void Options::validate() const {
     throw util::ConfigError("--retry-delay must be >= 0");
   }
   if (load_max < 0.0) throw util::ConfigError("--load must be >= 0");
+  if (hedge_multiplier != 0.0 && hedge_multiplier < 1.0) {
+    throw util::ConfigError("--hedge must be >= 1 (0 disables hedging)");
+  }
+  if (probe_interval_seconds <= 0.0) {
+    throw util::ConfigError("--probe-interval must be > 0");
+  }
   parse_termseq(term_seq);  // throws ParseError on a malformed sequence
   if (joblog_fsync && joblog_path.empty()) {
     throw util::ConfigError("--joblog-fsync requires --joblog");

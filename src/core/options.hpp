@@ -68,6 +68,26 @@ struct Options {
   /// drain — alternating signal names and millisecond delays.
   std::string term_seq = "TERM,200,KILL";
 
+  /// --hedge K: straggler hedging. Once an attempt runs longer than K times
+  /// the running median of successful runtimes (armed after 3 successes), a
+  /// speculative duplicate is launched on a different failure domain; the
+  /// first success wins and the loser is killed. 0 = off; must be >= 1
+  /// otherwise. Inert on backends where every slot shares one domain.
+  double hedge_multiplier = 0.0;
+
+  /// --quarantine-after N: consecutive host-failure signals before a host
+  /// is quarantined (0 = never quarantine). Only meaningful on host-aware
+  /// backends (--sshlogin / MultiExecutor).
+  std::size_t quarantine_after = 3;
+
+  /// --probe-interval: base backoff between reinstatement probes of a
+  /// quarantined host, in seconds; doubles per failed probe (capped).
+  double probe_interval_seconds = 5.0;
+
+  /// --filter-hosts: probe every host at startup and quarantine the ones
+  /// that fail before dispatching any job.
+  bool filter_hosts = false;
+
   /// --memfree: defer starting new jobs while the backend reports less
   /// allocatable memory than this, in bytes (0 = off).
   std::size_t memfree_bytes = 0;

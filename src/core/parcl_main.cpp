@@ -13,7 +13,38 @@
 #include "core/semaphore.hpp"
 #include "core/signal_coordinator.hpp"
 #include "exec/local_executor.hpp"
+#include "exec/multi_executor.hpp"
 #include "util/error.hpp"
+
+namespace {
+
+/// Builds the --sshlogin fan-out: each remote host gets an "ssh <host>"
+/// wrapper around a local backend; ":" runs directly on this machine. The
+/// engine's slot count becomes the sum of per-host budgets.
+std::unique_ptr<parcl::exec::MultiExecutor> make_cluster(parcl::core::RunPlan& plan) {
+  using namespace parcl;
+  std::vector<exec::HostSpec> hosts;
+  hosts.reserve(plan.sshlogins.size());
+  for (const core::SshLogin& login : plan.sshlogins) {
+    exec::HostSpec spec;
+    spec.jobs = login.jobs;
+    if (login.host == ":") {
+      spec.name = "localhost";
+    } else {
+      spec.name = login.host;
+      spec.wrapper = "ssh " + login.host;
+    }
+    hosts.push_back(std::move(spec));
+  }
+  exec::HealthPolicy policy;
+  policy.quarantine_after = plan.options.quarantine_after;
+  policy.probe_interval = plan.options.probe_interval_seconds;
+  auto multi = exec::MultiExecutor::local_cluster(std::move(hosts), policy);
+  plan.options.jobs = multi->total_slots();
+  return multi;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace parcl;
@@ -37,7 +68,29 @@ int main(int argc, char** argv) {
     // the O(jobs) memory the streaming pipeline removes.
     plan.options.collect_results = false;
     exec::LocalExecutor executor;
-    core::Engine engine(plan.options, executor);
+    std::unique_ptr<exec::MultiExecutor> cluster;
+    if (!plan.sshlogins.empty()) {
+      cluster = make_cluster(plan);
+      if (plan.options.filter_hosts) {
+        for (const std::string& name : cluster->filter_hosts()) {
+          std::cerr << "parcl: --filter-hosts: dropping unreachable host '"
+                    << name << "'\n";
+        }
+        bool any_usable = false;
+        for (std::size_t slot = 1; slot <= cluster->total_slots(); ++slot) {
+          if (cluster->slot_usable(slot)) {
+            any_usable = true;
+            break;
+          }
+        }
+        if (!any_usable) {
+          std::cerr << "parcl: --filter-hosts: no usable hosts remain\n";
+          return 255;
+        }
+      }
+    }
+    core::Engine engine(plan.options,
+                        cluster ? static_cast<core::Executor&>(*cluster) : executor);
     // First SIGINT/SIGTERM drains, second escalates --termseq; the CLI then
     // exits 128+N with the joblog and collated output intact.
     core::SignalCoordinator signals;

@@ -33,6 +33,14 @@ std::string DispatchCounters::render() const {
     out << "pressure/drain   " << deferred << " deferred, " << drained
         << " drained, " << escalated << " escalated\n";
   }
+  if (host_failures != 0 || rescheduled != 0 || quarantines != 0) {
+    out << "host health      " << host_failures << " host failures, "
+        << rescheduled << " rescheduled, " << quarantines << " quarantines\n";
+  }
+  if (hedges_launched != 0) {
+    out << "hedging          " << hedges_launched << " launched, " << hedges_won
+        << " won, " << hedges_lost << " lost\n";
+  }
   return out.str();
 }
 

@@ -32,6 +32,12 @@ void RetryLedger::park(PendingJob job, bool front) {
   }
 }
 
+void RetryLedger::reschedule(PendingJob job) {
+  job.not_before = 0.0;
+  ++job.reschedules;
+  retries_.push_front(std::move(job));
+}
+
 void RetryLedger::release_due() {
   double now = executor_.now();
   while (!delayed_.empty() && delayed_.top().not_before <= now) {

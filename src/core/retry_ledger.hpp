@@ -28,6 +28,9 @@ struct PendingJob {
   bool has_stdin = false;
   std::size_t attempts = 0;  // completed attempts (0 for fresh jobs)
   double not_before = 0.0;   // --retry-delay backoff gate (executor clock)
+  /// Host-failure requeues so far. Unlike `attempts`, these never count
+  /// against --retries: losing a node is not the job's fault.
+  std::size_t reschedules = 0;
 };
 
 class RetryLedger {
@@ -45,6 +48,12 @@ class RetryLedger {
   /// the ready deque (front = ahead of other parked retries, the
   /// completion-failure path; back = spawn failures).
   void park(PendingJob job, bool front);
+
+  /// Requeues an attempt lost to a host failure, ahead of parked retries
+  /// and with no backoff: the job is healthy, only its host was not. The
+  /// caller leaves `attempts` at its pre-loss value so --retries budget is
+  /// untouched; `reschedules` tracks the loss count instead.
+  void reschedule(PendingJob job);
 
   /// Moves backoff'd retries whose release instant has passed into the
   /// ready deque.

@@ -1,6 +1,9 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
 
 namespace parcl::core {
 
@@ -9,6 +12,48 @@ Scheduler::Scheduler(const Options& options, Executor& executor)
       executor_(executor),
       slots_(options.effective_jobs()),
       pressure_gated_(options.memfree_bytes > 0 || options.load_max > 0.0) {}
+
+std::size_t Scheduler::acquire_slot() {
+  // SlotPool only hands out the lowest free slot, so scan by acquiring and
+  // setting aside the unusable ones, then give those back. Default backends
+  // accept every slot, making this a single acquire.
+  std::vector<std::size_t> rejected;
+  std::optional<std::size_t> got;
+  while (slots_.any_free()) {
+    std::size_t slot = slots_.acquire();
+    if (executor_.slot_usable(slot)) {
+      got = slot;
+      break;
+    }
+    rejected.push_back(slot);
+  }
+  for (std::size_t slot : rejected) slots_.release(slot);
+  if (!got) throw util::InternalError("no usable slot free");
+  return *got;
+}
+
+bool Scheduler::slot_free() const {
+  if (!slots_.any_free()) return false;
+  for (std::size_t slot = 1; slot <= slots_.capacity(); ++slot) {
+    if (!slots_.held(slot) && executor_.slot_usable(slot)) return true;
+  }
+  return false;
+}
+
+std::optional<std::size_t> Scheduler::acquire_slot_distinct(std::size_t other) {
+  std::vector<std::size_t> rejected;
+  std::optional<std::size_t> got;
+  while (slots_.any_free()) {
+    std::size_t slot = slots_.acquire();
+    if (executor_.slot_usable(slot) && !executor_.same_failure_domain(slot, other)) {
+      got = slot;
+      break;
+    }
+    rejected.push_back(slot);
+  }
+  for (std::size_t slot : rejected) slots_.release(slot);
+  return got;
+}
 
 double Scheduler::next_start_time() const {
   if (options_.delay_seconds <= 0.0) return executor_.now();

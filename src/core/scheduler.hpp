@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "core/executor.hpp"
@@ -31,16 +32,34 @@ struct ActiveAttempt {
   bool force_sent = false;  // timeout SIGKILL sent
   bool killed_for_timeout = false;
   bool killed_for_halt = false;
+  /// Host-failure requeues this job has survived (never charged to --retries).
+  std::size_t reschedules = 0;
+  /// --hedge pairing: job id of the racing duplicate/primary (0 = unpaired).
+  std::uint64_t hedge_partner = 0;
+  bool is_hedge = false;  // this attempt IS the speculative duplicate
+  /// The pair already produced the job's result; this completion is dropped
+  /// (slot released, nothing recorded) to keep the joblog exactly-once.
+  bool discard_on_completion = false;
 };
 
 class Scheduler {
  public:
   Scheduler(const Options& options, Executor& executor);
 
-  // Slot ownership ({%} numbering; lowest free slot first).
-  std::size_t acquire_slot() { return slots_.acquire(); }
+  // Slot ownership ({%} numbering; lowest free slot first). Both honour
+  // Executor::slot_usable(): slots on quarantined hosts are passed over as
+  // if occupied until the host is reinstated.
+  std::size_t acquire_slot();
   void release_slot(std::size_t slot) { slots_.release(slot); }
-  bool slot_free() const noexcept { return slots_.any_free(); }
+  bool slot_free() const;
+  /// A free slot exists at all, usable or not. When this is true but
+  /// slot_free() is false, all remaining capacity sits on quarantined
+  /// hosts — the engine naps (driving reinstatement probes) instead of
+  /// spinning.
+  bool any_slot_free() const noexcept { return slots_.any_free(); }
+  /// Lowest free usable slot in a different failure domain than `other`
+  /// (--hedge placement), or nullopt when none is available right now.
+  std::optional<std::size_t> acquire_slot_distinct(std::size_t other);
 
   /// True once dispatching is over: halt engaged or a signal drain started.
   bool stopped() const noexcept { return stop_starting_; }

@@ -28,6 +28,11 @@ class SlotPool {
   std::size_t capacity() const noexcept { return slots_; }
   std::size_t in_use() const noexcept { return in_use_count_; }
 
+  /// Whether `slot` (1-based, in range) is currently acquired.
+  bool held(std::size_t slot) const noexcept {
+    return slot >= 1 && slot <= slots_ && held_[slot - 1];
+  }
+
  private:
   std::size_t slots_;
   std::size_t in_use_count_ = 0;

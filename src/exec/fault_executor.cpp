@@ -37,7 +37,7 @@ bool FaultPlan::inert() const noexcept {
 }
 
 FaultInjectingExecutor::FaultInjectingExecutor(core::Executor& inner, FaultPlan plan)
-    : inner_(inner), plan_(plan) {
+    : inner_(&inner), plan_(plan) {
   auto check = [](double p, const char* name) {
     if (p < 0.0 || p > 1.0) {
       throw util::ConfigError(std::string("fault probability out of range: ") + name);
@@ -55,6 +55,12 @@ FaultInjectingExecutor::FaultInjectingExecutor(core::Executor& inner, FaultPlan 
   if (plan.fail_exit_code == 0) {
     throw util::ConfigError("fail_exit_code must be nonzero");
   }
+}
+
+FaultInjectingExecutor::FaultInjectingExecutor(std::unique_ptr<core::Executor> inner,
+                                               FaultPlan plan)
+    : FaultInjectingExecutor(*inner, plan) {
+  owned_ = std::move(inner);
 }
 
 FaultInjectingExecutor::Decision FaultInjectingExecutor::decide(
@@ -84,7 +90,7 @@ void FaultInjectingExecutor::start(const core::ExecRequest& request) {
   }
   pending_.emplace(request.job_id, decision);
   try {
-    inner_.start(request);
+    inner_->start(request);
   } catch (...) {
     pending_.erase(request.job_id);
     throw;
@@ -115,7 +121,7 @@ void FaultInjectingExecutor::apply(const Decision& decision,
 }
 
 std::optional<core::ExecResult> FaultInjectingExecutor::take_due_held() {
-  double now = inner_.now();
+  double now = inner_->now();
   auto due = held_.end();
   for (auto it = held_.begin(); it != held_.end(); ++it) {
     if (it->release_time > now) continue;
@@ -134,14 +140,14 @@ std::optional<core::ExecResult> FaultInjectingExecutor::take_due_held() {
 std::optional<core::ExecResult> FaultInjectingExecutor::wait_any(
     double timeout_seconds) {
   const double deadline =
-      timeout_seconds < 0.0 ? -1.0 : inner_.now() + timeout_seconds;
+      timeout_seconds < 0.0 ? -1.0 : inner_->now() + timeout_seconds;
   while (true) {
     if (auto due = take_due_held()) {
       ++counters_.delivered;
       return due;
     }
 
-    double now = inner_.now();
+    double now = inner_->now();
     // Wait on the backend until the caller's deadline or the next straggler
     // release, whichever comes first.
     double inner_wait;
@@ -158,7 +164,7 @@ std::optional<core::ExecResult> FaultInjectingExecutor::wait_any(
       inner_wait = std::max(0.0, deadline - now);
     }
 
-    std::optional<core::ExecResult> completion = inner_.wait_any(inner_wait);
+    std::optional<core::ExecResult> completion = inner_->wait_any(inner_wait);
     if (completion) {
       auto it = pending_.find(completion->job_id);
       Decision decision = it == pending_.end() ? Decision{} : it->second;
@@ -180,11 +186,11 @@ std::optional<core::ExecResult> FaultInjectingExecutor::wait_any(
       ++counters_.delivered;
       return due;
     }
-    now = inner_.now();
+    now = inner_->now();
     if (deadline < 0.0) {
       // Indefinite wait: keep waiting only while something can still
       // complete (backend jobs or held results).
-      if (inner_.active_count() == 0 && held_.empty()) return std::nullopt;
+      if (inner_->active_count() == 0 && held_.empty()) return std::nullopt;
       continue;
     }
     if (now >= deadline) return std::nullopt;
@@ -194,28 +200,50 @@ std::optional<core::ExecResult> FaultInjectingExecutor::wait_any(
 void FaultInjectingExecutor::kill(std::uint64_t job_id, bool force) {
   // A held result is already dead inside the backend; the kill is a no-op
   // and the single held completion still surfaces through wait_any().
-  inner_.kill(job_id, force);
+  inner_->kill(job_id, force);
 }
 
 std::size_t FaultInjectingExecutor::active_count() const {
-  return inner_.active_count() + held_.size();
+  return inner_->active_count() + held_.size();
 }
 
 TaskModel churn_task_model(sim::Simulation& sim, sim::DurationModel& durations,
                            sim::NodeChurnModel& churn, util::Rng& rng) {
   return [&sim, &durations, &churn, &rng](const core::ExecRequest& request) {
     SimOutcome outcome;
+    outcome.host = "node" + std::to_string(churn.node_of_slot(request.slot));
     double duration = durations.sample(rng);
     double start = sim.now();
     if (auto failed_at = churn.failure_within(request.slot, start, duration)) {
-      // The node died under the job: it ends early, killed.
+      // The node died under the job: it ends early, killed. Flagging
+      // host_failure lets the engine requeue the attempt free of --retries.
       outcome.duration = *failed_at - start;
       outcome.exit_code = 128 + SIGKILL;
+      outcome.host_failure = true;
       return outcome;
     }
     outcome.duration = duration;
     outcome.stdout_data = request.command + "\n";
     return outcome;
+  };
+}
+
+std::function<std::unique_ptr<core::Executor>(const HostSpec&)>
+per_host_fault_factory(
+    std::function<std::unique_ptr<core::Executor>(const HostSpec&)> base,
+    std::map<std::string, FaultPlan> plans,
+    std::map<std::string, FaultInjectingExecutor*>* taps) {
+  // The returned factory is called once per host at MultiExecutor
+  // construction; copies of `plans` and `base` live inside the closure.
+  return [base = std::move(base), plans = std::move(plans),
+          taps](const HostSpec& spec) -> std::unique_ptr<core::Executor> {
+    std::unique_ptr<core::Executor> backend = base(spec);
+    auto it = plans.find(spec.name);
+    if (it == plans.end()) return backend;
+    auto injector =
+        std::make_unique<FaultInjectingExecutor>(std::move(backend), it->second);
+    if (taps != nullptr) (*taps)[spec.name] = injector.get();
+    return injector;
   };
 }
 

@@ -18,7 +18,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <functional>
+#include <memory>
+
 #include "core/executor.hpp"
+#include "exec/multi_executor.hpp"
 #include "exec/sim_executor.hpp"
 #include "sim/duration_model.hpp"
 #include "sim/node_failure.hpp"
@@ -77,17 +81,30 @@ class FaultInjectingExecutor final : public core::Executor {
   /// Wraps `inner` (not owned; must outlive this executor).
   FaultInjectingExecutor(core::Executor& inner, FaultPlan plan);
 
+  /// Owning variant: the wrapped backend lives and dies with the injector.
+  /// This is what lets a fault schedule target one host of a MultiExecutor,
+  /// whose make_executor hands ownership of each per-host backend over.
+  FaultInjectingExecutor(std::unique_ptr<core::Executor> inner, FaultPlan plan);
+
   void start(const core::ExecRequest& request) override;
   std::optional<core::ExecResult> wait_any(double timeout_seconds) override;
   void kill(std::uint64_t job_id, bool force) override;
   void kill_signal(std::uint64_t job_id, int sig) override {
-    inner_.kill_signal(job_id, sig);
+    inner_->kill_signal(job_id, sig);
   }
-  core::ResourcePressure pressure() const override { return inner_.pressure(); }
+  core::ResourcePressure pressure() const override { return inner_->pressure(); }
+  /// Health/hedging introspection passes through: wrapping a MultiExecutor
+  /// must not hide its quarantine vetoes or failure domains.
+  bool slot_usable(std::size_t slot) const override {
+    return inner_->slot_usable(slot);
+  }
+  bool same_failure_domain(std::size_t a, std::size_t b) const override {
+    return inner_->same_failure_domain(a, b);
+  }
   /// Includes results held back by straggler delays: the engine still owns
   /// those jobs until wait_any() surfaces them.
   std::size_t active_count() const override;
-  double now() const override { return inner_.now(); }
+  double now() const override { return inner_->now(); }
 
   const FaultCounters& counters() const noexcept { return counters_; }
 
@@ -117,7 +134,8 @@ class FaultInjectingExecutor final : public core::Executor {
   /// nullopt when none is due at the inner clock's current time.
   std::optional<core::ExecResult> take_due_held();
 
-  core::Executor& inner_;
+  std::unique_ptr<core::Executor> owned_;  // null for the borrowing ctor
+  core::Executor* inner_;
   FaultPlan plan_;
   FaultCounters counters_;
   std::unordered_map<std::string, std::uint64_t> attempt_index_;
@@ -132,5 +150,18 @@ class FaultInjectingExecutor final : public core::Executor {
 /// cluster scale. All referenced objects must outlive the returned callable.
 TaskModel churn_task_model(sim::Simulation& sim, sim::DurationModel& durations,
                            sim::NodeChurnModel& churn, util::Rng& rng);
+
+/// Builds a MultiExecutor `make_executor` that wraps the backend of each
+/// host named in `plans` with a FaultInjectingExecutor running that host's
+/// plan — the deterministic way to make exactly one host of a cluster sick
+/// (e.g. to drive it into quarantine) while the rest stay clean. Hosts
+/// absent from the map get the plain `base` backend. When `taps` is given,
+/// each wrapped host's injector is exposed there (pointers stay valid for
+/// the life of the MultiExecutor) so tests can read its FaultCounters.
+std::function<std::unique_ptr<core::Executor>(const HostSpec&)>
+per_host_fault_factory(
+    std::function<std::unique_ptr<core::Executor>(const HostSpec&)> base,
+    std::map<std::string, FaultPlan> plans,
+    std::map<std::string, FaultInjectingExecutor*>* taps = nullptr);
 
 }  // namespace parcl::exec

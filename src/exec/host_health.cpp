@@ -1,0 +1,116 @@
+#include "exec/host_health.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace parcl::exec {
+
+const char* to_string(HostState state) noexcept {
+  switch (state) {
+    case HostState::kHealthy: return "healthy";
+    case HostState::kSuspect: return "suspect";
+    case HostState::kQuarantined: return "quarantined";
+    case HostState::kProbing: return "probing";
+  }
+  return "?";
+}
+
+HostHealthTracker::HostHealthTracker(HealthPolicy policy, std::size_t host_count)
+    : policy_(std::move(policy)), hosts_(host_count) {
+  if (policy_.probe_interval <= 0.0) {
+    throw util::ConfigError("probe interval must be > 0");
+  }
+  if (policy_.probe_backoff_cap < 1.0) {
+    throw util::ConfigError("probe backoff cap must be >= 1");
+  }
+}
+
+HostHealthTracker::Entry& HostHealthTracker::entry(std::size_t host) {
+  util::require(host < hosts_.size(), "host index out of range");
+  return hosts_[host];
+}
+
+const HostHealthTracker::Entry& HostHealthTracker::entry(std::size_t host) const {
+  return const_cast<HostHealthTracker*>(this)->entry(host);
+}
+
+HostState HostHealthTracker::state(std::size_t host) const {
+  return entry(host).state;
+}
+
+bool HostHealthTracker::any_quarantined() const {
+  for (const Entry& e : hosts_) {
+    if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HostHealthTracker::record_host_failure(std::size_t host, double now) {
+  Entry& e = entry(host);
+  ++counters_.host_failure_signals;
+  if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) {
+    // Late stragglers from an already-condemned host add no information.
+    return false;
+  }
+  ++e.streak;
+  if (policy_.quarantine_after != 0 && e.streak >= policy_.quarantine_after) {
+    quarantine(host, now);
+    return true;
+  }
+  e.state = HostState::kSuspect;
+  return false;
+}
+
+void HostHealthTracker::record_host_ok(std::size_t host) {
+  Entry& e = entry(host);
+  if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) return;
+  e.streak = 0;
+  e.state = HostState::kHealthy;
+}
+
+void HostHealthTracker::quarantine(std::size_t host, double now) {
+  Entry& e = entry(host);
+  if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) return;
+  e.state = HostState::kQuarantined;
+  e.backoff_mult = 1.0;
+  e.next_probe_at = now + policy_.probe_interval;
+  ++counters_.quarantines;
+}
+
+bool HostHealthTracker::take_due_probe(std::size_t host, double now) {
+  Entry& e = entry(host);
+  if (e.state != HostState::kQuarantined || now < e.next_probe_at) return false;
+  e.state = HostState::kProbing;
+  ++counters_.probes_launched;
+  return true;
+}
+
+void HostHealthTracker::record_probe_result(std::size_t host, bool ok, double now) {
+  Entry& e = entry(host);
+  if (e.state != HostState::kProbing && e.state != HostState::kQuarantined) return;
+  if (ok) {
+    e.state = HostState::kHealthy;
+    e.streak = 0;
+    e.backoff_mult = 1.0;
+    ++counters_.reinstatements;
+    return;
+  }
+  ++counters_.probes_failed;
+  e.state = HostState::kQuarantined;
+  e.backoff_mult = std::min(e.backoff_mult * 2.0, policy_.probe_backoff_cap);
+  e.next_probe_at = now + policy_.probe_interval * e.backoff_mult;
+}
+
+double HostHealthTracker::next_probe_at() const {
+  double earliest = -1.0;
+  for (const Entry& e : hosts_) {
+    if (e.state != HostState::kQuarantined) continue;
+    if (earliest < 0.0 || e.next_probe_at < earliest) earliest = e.next_probe_at;
+  }
+  return earliest;
+}
+
+}  // namespace parcl::exec

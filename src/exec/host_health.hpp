@@ -1,0 +1,109 @@
+// Per-host availability state machine for multi-host dispatch.
+//
+// Distinguishing a failing *job* from a failing *host* is what lets retry
+// budgets mean something at scale: the paper's campaigns lose nodes as a
+// matter of course, and a job that dies with its node should not spend a
+// --retries attempt. MultiExecutor feeds this tracker classified evidence
+// (host-failure signals vs. clean outcomes) and consults it before routing
+// dispatch; the tracker owns only the state transitions, with time passed
+// in, so it is trivially unit-testable.
+//
+//               host-failure signal            streak == quarantine_after
+//   Healthy ──────────────────────▶ Suspect ─────────────────────────────┐
+//      ▲ ▲                            │ ▲                                ▼
+//      │ └──── clean outcome ─────────┘ │                           Quarantined
+//      │                                │                             │    ▲
+//      │            probe succeeded     │         probe due           │    │
+//      └──────── (reinstated) ◀──── Probing ◀─────────────────────────┘    │
+//                                       │        probe failed (backoff ×2) │
+//                                       └───────────────────────────────────┘
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parcl::exec {
+
+enum class HostState { kHealthy, kSuspect, kQuarantined, kProbing };
+
+const char* to_string(HostState state) noexcept;
+
+struct HealthPolicy {
+  /// Consecutive host-failure signals before quarantine. 1 quarantines on
+  /// first signal; 0 disables quarantine entirely (signals still counted).
+  std::size_t quarantine_after = 3;
+  /// Base backoff between reinstatement probes, seconds. Doubles after
+  /// every failed probe, up to probe_interval * probe_backoff_cap.
+  double probe_interval = 5.0;
+  double probe_backoff_cap = 64.0;
+  /// Command run through the host's wrapper to decide reinstatement.
+  std::string probe_command = "true";
+};
+
+struct HealthCounters {
+  std::uint64_t host_failure_signals = 0;  // classified host-failure outcomes
+  std::uint64_t quarantines = 0;           // transitions into Quarantined
+  std::uint64_t probes_launched = 0;
+  std::uint64_t probes_failed = 0;
+  std::uint64_t reinstatements = 0;        // successful probes (back to Healthy)
+  std::uint64_t jobs_lost = 0;             // in-flight jobs killed by quarantine
+};
+
+class HostHealthTracker {
+ public:
+  HostHealthTracker(HealthPolicy policy, std::size_t host_count);
+
+  HostState state(std::size_t host) const;
+  /// Healthy and Suspect hosts receive dispatch; Quarantined/Probing do not.
+  bool dispatchable(std::size_t host) const {
+    HostState s = state(host);
+    return s == HostState::kHealthy || s == HostState::kSuspect;
+  }
+  bool any_quarantined() const;
+
+  /// Records a host-failure signal. Returns true when this signal tripped
+  /// the quarantine threshold (the caller then requeues in-flight jobs).
+  /// Signals against an already quarantined/probing host are absorbed.
+  bool record_host_failure(std::size_t host, double now);
+
+  /// A clean outcome (success, or an ordinary job failure) resets the
+  /// suspicion streak. Deliberately does not reinstate a quarantined host:
+  /// only probes do, so reinstatement stays a single, auditable path.
+  void record_host_ok(std::size_t host);
+
+  /// Force-quarantines (e.g. --filter-hosts startup probe). No-op when
+  /// already quarantined.
+  void quarantine(std::size_t host, double now);
+
+  /// True when a reinstatement probe should launch now; flips the host to
+  /// Probing (the caller owns actually running the probe).
+  bool take_due_probe(std::size_t host, double now);
+  void record_probe_result(std::size_t host, bool ok, double now);
+
+  /// Earliest pending probe instant across quarantined hosts, or a negative
+  /// value when none is pending.
+  double next_probe_at() const;
+
+  const HealthPolicy& policy() const noexcept { return policy_; }
+  HealthCounters& counters() noexcept { return counters_; }
+  const HealthCounters& counters() const noexcept { return counters_; }
+
+ private:
+  struct Entry {
+    HostState state = HostState::kHealthy;
+    std::size_t streak = 0;       // consecutive host-failure signals
+    double backoff_mult = 1.0;    // probe backoff multiplier
+    double next_probe_at = 0.0;   // valid while Quarantined
+  };
+
+  Entry& entry(std::size_t host);
+  const Entry& entry(std::size_t host) const;
+
+  HealthPolicy policy_;
+  std::vector<Entry> hosts_;
+  HealthCounters counters_;
+};
+
+}  // namespace parcl::exec

@@ -16,17 +16,30 @@ double monotonic_seconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+void nap_2ms() {
+  struct timespec ts{0, 2'000'000};
+  nanosleep(&ts, nullptr);
+}
 }  // namespace
 
 MultiExecutor::MultiExecutor(
     std::vector<HostSpec> hosts,
-    std::function<std::unique_ptr<core::Executor>(const HostSpec&)> make_executor) {
+    std::function<std::unique_ptr<core::Executor>(const HostSpec&)> make_executor,
+    HealthPolicy policy)
+    : health_(std::move(policy), hosts.size()), inflight_by_host_(hosts.size(), 0) {
   if (hosts.empty()) throw util::ConfigError("multi executor needs at least one host");
+  std::map<std::string, std::size_t> name_uses;
   std::size_t next_slot = 1;
   for (HostSpec& spec : hosts) {
     if (spec.jobs == 0) {
       throw util::ConfigError("host '" + spec.name + "' needs jobs > 0");
     }
+    // A repeated --sshlogin name gets a "#k" suffix so per-host maps (starts,
+    // health states) stay one-to-one while the wrapper still targets the
+    // original login.
+    std::size_t uses = ++name_uses[spec.name];
+    if (uses > 1) spec.name += "#" + std::to_string(uses);
     Host host;
     host.first_slot = next_slot;
     next_slot += spec.jobs;
@@ -38,10 +51,12 @@ MultiExecutor::MultiExecutor(
   total_slots_ = next_slot - 1;
 }
 
-std::unique_ptr<MultiExecutor> MultiExecutor::local_cluster(std::vector<HostSpec> hosts) {
+std::unique_ptr<MultiExecutor> MultiExecutor::local_cluster(std::vector<HostSpec> hosts,
+                                                            HealthPolicy policy) {
   return std::make_unique<MultiExecutor>(
       std::move(hosts),
-      [](const HostSpec&) { return std::make_unique<LocalExecutor>(); });
+      [](const HostSpec&) { return std::make_unique<LocalExecutor>(); },
+      std::move(policy));
 }
 
 MultiExecutor::Host& MultiExecutor::host_of(std::size_t flat_slot) {
@@ -57,44 +72,174 @@ const MultiExecutor::Host& MultiExecutor::host_of(std::size_t flat_slot) const {
   return const_cast<MultiExecutor*>(this)->host_of(flat_slot);
 }
 
+std::size_t MultiExecutor::host_index_of_slot(std::size_t flat_slot) const {
+  return static_cast<std::size_t>(&host_of(flat_slot) - hosts_.data());
+}
+
 const HostSpec& MultiExecutor::host_for_slot(std::size_t slot) const {
   return host_of(slot).spec;
 }
 
+HostState MultiExecutor::host_state(const std::string& name) const {
+  for (std::size_t k = 0; k < hosts_.size(); ++k) {
+    if (hosts_[k].spec.name == name) return health_.state(k);
+  }
+  throw util::ConfigError("unknown host '" + name + "'");
+}
+
 double MultiExecutor::now() const { return monotonic_seconds(); }
+
+bool MultiExecutor::slot_usable(std::size_t slot) const {
+  return health_.dispatchable(host_index_of_slot(slot));
+}
+
+bool MultiExecutor::same_failure_domain(std::size_t a, std::size_t b) const {
+  return host_index_of_slot(a) == host_index_of_slot(b);
+}
+
+std::string MultiExecutor::wrap_command(const Host& host,
+                                        const std::string& command) const {
+  if (host.spec.wrapper.empty()) return command;
+  // The wrapper receives the command as one quoted argument, like parallel
+  // composing `ssh host "cmd"`.
+  return host.spec.wrapper + " " + util::shell_quote(command);
+}
+
+void MultiExecutor::queue_synthetic_loss(const core::ExecRequest& request,
+                                         const Host& host) {
+  core::ExecResult result;
+  result.job_id = request.job_id;
+  result.exit_code = 255;  // the wrapper/transport convention (ssh)
+  result.start_time = result.end_time = now();
+  result.host = host.spec.name;
+  result.host_failure = true;
+  synthetic_.push_back(std::move(result));
+}
+
+void MultiExecutor::abandon_in_flight(std::size_t host_index) {
+  // Requeue path for jobs stranded on a condemned host: kill them through
+  // the host backend; their completions surface flagged host_failure so the
+  // engine reschedules them onto healthy hosts without charging --retries.
+  Host& host = hosts_[host_index];
+  for (const auto& [id, owner] : job_host_) {
+    if (owner != host_index) continue;
+    lost_.insert(id);
+    ++health_.counters().jobs_lost;
+    host.executor->kill(id, /*force=*/true);
+  }
+}
 
 void MultiExecutor::start(const core::ExecRequest& request) {
   Host& host = host_of(request.slot);
-  core::ExecRequest routed = request;
-  if (!host.spec.wrapper.empty()) {
-    // The wrapper receives the command as one quoted argument, like
-    // parallel composing `ssh host "cmd"`.
-    routed.command = host.spec.wrapper + " " + util::shell_quote(request.command);
-  }
   std::size_t host_index = static_cast<std::size_t>(&host - hosts_.data());
+  if (!health_.dispatchable(host_index)) {
+    // The scheduler normally vetoes these slots via slot_usable(); a racing
+    // quarantine can still land here. Surface the loss instead of running.
+    queue_synthetic_loss(request, host);
+    return;
+  }
+  core::ExecRequest routed = request;
+  routed.command = wrap_command(host, request.command);
+  try {
+    host.executor->start(routed);
+  } catch (const util::SystemError&) {
+    // A host-level spawn error is evidence against the host, not the job:
+    // classify it and convert it into a synthetic completion so the engine's
+    // free-reschedule path handles it like any other host failure.
+    if (health_.record_host_failure(host_index, now())) {
+      abandon_in_flight(host_index);
+    }
+    queue_synthetic_loss(request, host);
+    return;
+  }
   job_host_[request.job_id] = host_index;
+  ++inflight_by_host_[host_index];
   ++starts_by_host_[host.spec.name];
-  host.executor->start(routed);
+}
+
+void MultiExecutor::pump_probes() {
+  double t = now();
+  for (std::size_t k = 0; k < hosts_.size(); ++k) {
+    Host& host = hosts_[k];
+    if (host.probe_job_id != 0) continue;  // one probe per host at a time
+    if (!health_.take_due_probe(k, t)) continue;
+    core::ExecRequest probe;
+    probe.job_id = next_probe_id_++;
+    probe.command = wrap_command(host, health_.policy().probe_command);
+    probe.slot = host.first_slot;
+    probe.use_shell = true;
+    probe.capture_output = true;
+    try {
+      host.executor->start(probe);
+      host.probe_job_id = probe.job_id;
+    } catch (const util::SystemError&) {
+      health_.record_probe_result(k, /*ok=*/false, t);
+    }
+  }
+}
+
+void MultiExecutor::finalize(core::ExecResult& result, std::size_t host_index) {
+  Host& host = hosts_[host_index];
+  // Re-express child-clock times on our clock (monotonic clocks share rate;
+  // the offset is measured now, which is exact enough for the engine's
+  // makespan accounting).
+  double delta = now() - host.executor->now();
+  result.start_time += delta;
+  result.end_time += delta;
+  result.host = host.spec.name;
+  if (job_host_.erase(result.job_id) != 0 && inflight_by_host_[host_index] > 0) {
+    --inflight_by_host_[host_index];
+  }
+
+  bool deliberate = deliberate_kills_.erase(result.job_id) > 0;
+  bool was_lost = lost_.erase(result.job_id) > 0;
+  // Transport-level death: the wrapper (ssh) exits 255 when the connection
+  // fails, so with a wrapper present the job likely never ran.
+  bool transport = result.term_signal == 0 && result.exit_code == 255 &&
+                   !host.spec.wrapper.empty();
+  if (was_lost) {
+    result.host_failure = true;  // killed by quarantine, requeue free
+  } else if (deliberate) {
+    // Engine-initiated kill (timeout, halt, --termseq): neutral evidence.
+  } else if (result.host_failure || transport || result.term_signal != 0) {
+    // host_failure may arrive pre-set from a churn-aware inner backend
+    // (SimExecutor node loss). Signal deaths alone only *suggest* a host
+    // problem: they feed the suspicion streak, and become a host failure
+    // for the engine only if they trip quarantine.
+    bool explicit_loss = result.host_failure || transport;
+    bool tripped = health_.record_host_failure(host_index, now());
+    result.host_failure = explicit_loss || tripped;
+    if (tripped) abandon_in_flight(host_index);
+  } else {
+    // Success or a clean nonzero exit: the host did its part.
+    health_.record_host_ok(host_index);
+  }
 }
 
 std::optional<core::ExecResult> MultiExecutor::wait_any(double timeout_seconds) {
   double deadline = timeout_seconds < 0.0 ? -1.0 : now() + timeout_seconds;
   while (true) {
+    pump_probes();
+    if (!synthetic_.empty()) {
+      core::ExecResult result = std::move(synthetic_.front());
+      synthetic_.pop_front();
+      return result;
+    }
     bool any_active = false;
     for (std::size_t k = 0; k < hosts_.size(); ++k) {
-      Host& host = hosts_[(rr_cursor_ + k) % hosts_.size()];
-      if (host.executor->active_count() == 0) continue;
+      std::size_t index = (rr_cursor_ + k) % hosts_.size();
+      Host& host = hosts_[index];
+      if (inflight_by_host_[index] == 0 && host.probe_job_id == 0) continue;
       any_active = true;
-      std::optional<core::ExecResult> result = host.executor->wait_any(0.0);
-      if (result) {
-        rr_cursor_ = (rr_cursor_ + k + 1) % hosts_.size();
-        // Re-express child-clock times on our clock (monotonic clocks share
-        // rate; the offset is measured now, which is exact enough for the
-        // engine's makespan accounting).
-        double delta = now() - host.executor->now();
-        result->start_time += delta;
-        result->end_time += delta;
-        job_host_.erase(result->job_id);
+      while (std::optional<core::ExecResult> result = host.executor->wait_any(0.0)) {
+        if (result->job_id == host.probe_job_id) {
+          bool ok = result->term_signal == 0 && result->exit_code == 0;
+          host.probe_job_id = 0;
+          health_.record_probe_result(index, ok, now());
+          continue;  // probes never surface to the engine
+        }
+        rr_cursor_ = (index + 1) % hosts_.size();
+        finalize(*result, index);
         return result;
       }
     }
@@ -102,27 +247,81 @@ std::optional<core::ExecResult> MultiExecutor::wait_any(double timeout_seconds) 
     // observes already-finished jobs.
     if (!any_active && deadline < 0.0) return std::nullopt;
     if (deadline >= 0.0 && now() >= deadline) return std::nullopt;
-    struct timespec ts{0, 2'000'000};  // 2 ms between sweeps
-    nanosleep(&ts, nullptr);
+    nap_2ms();
   }
 }
 
 void MultiExecutor::kill(std::uint64_t job_id, bool force) {
   auto it = job_host_.find(job_id);
-  if (it == job_host_.end()) return;
+  if (it == job_host_.end()) return;  // already reaped or never started: no-op
+  deliberate_kills_.insert(job_id);
   hosts_[it->second].executor->kill(job_id, force);
 }
 
 void MultiExecutor::kill_signal(std::uint64_t job_id, int sig) {
   auto it = job_host_.find(job_id);
-  if (it == job_host_.end()) return;
+  if (it == job_host_.end()) return;  // already reaped or never started: no-op
+  deliberate_kills_.insert(job_id);
   hosts_[it->second].executor->kill_signal(job_id, sig);
 }
 
 std::size_t MultiExecutor::active_count() const {
-  std::size_t total = 0;
-  for (const Host& host : hosts_) total += host.executor->active_count();
+  // The engine's view: its own jobs, including synthetic losses it has not
+  // collected yet — but never our internal probes.
+  std::size_t total = synthetic_.size();
+  for (std::size_t count : inflight_by_host_) total += count;
   return total;
+}
+
+std::vector<std::string> MultiExecutor::filter_hosts(double timeout_seconds) {
+  struct Outstanding {
+    std::size_t host;
+    std::uint64_t id;
+  };
+  std::vector<std::size_t> down;
+  std::vector<Outstanding> outstanding;
+  for (std::size_t k = 0; k < hosts_.size(); ++k) {
+    Host& host = hosts_[k];
+    core::ExecRequest probe;
+    probe.job_id = next_probe_id_++;
+    probe.command = wrap_command(host, health_.policy().probe_command);
+    probe.slot = host.first_slot;
+    probe.use_shell = true;
+    probe.capture_output = true;
+    try {
+      host.executor->start(probe);
+      host.probe_job_id = probe.job_id;
+      outstanding.push_back({k, probe.job_id});
+    } catch (const util::SystemError&) {
+      down.push_back(k);
+    }
+  }
+  double deadline = now() + timeout_seconds;
+  while (!outstanding.empty() && now() < deadline) {
+    for (auto it = outstanding.begin(); it != outstanding.end();) {
+      Host& host = hosts_[it->host];
+      std::optional<core::ExecResult> result = host.executor->wait_any(0.0);
+      if (result && result->job_id == it->id) {
+        bool ok = result->term_signal == 0 && result->exit_code == 0;
+        host.probe_job_id = 0;
+        if (!ok) down.push_back(it->host);
+        it = outstanding.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (outstanding.empty()) break;
+    nap_2ms();
+  }
+  // Hosts still silent at the deadline count as down. Their probe stays in
+  // flight; a late success reinstates through the normal probe loop.
+  for (const Outstanding& o : outstanding) down.push_back(o.host);
+  std::vector<std::string> names;
+  for (std::size_t k : down) {
+    health_.quarantine(k, now());
+    names.push_back(hosts_[k].spec.name);
+  }
+  return names;
 }
 
 }  // namespace parcl::exec

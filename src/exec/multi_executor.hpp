@@ -9,16 +9,27 @@
 // completions. {%} semantics are preserved within the flat space, so slot
 // -> (host, local device) mappings stay stable, which is what the GPU
 // isolation recipe needs across nodes.
+//
+// On top of routing sits the host-health layer (exec/host_health.hpp):
+// completions are classified as job vs. host failures, hosts accumulate a
+// suspicion streak and get quarantined, quarantined hosts receive no
+// dispatch (slot_usable() vetoes their slots), their in-flight jobs are
+// killed and surfaced with host_failure=true so the engine requeues them
+// free of --retries, and exponential-backoff probe jobs — run through the
+// same wrapper — decide reinstatement.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/executor.hpp"
+#include "exec/host_health.hpp"
 
 namespace parcl::exec {
 
@@ -34,46 +45,94 @@ class MultiExecutor final : public core::Executor {
  public:
   /// `hosts` must be non-empty with non-zero budgets; `make_executor` builds
   /// the per-host backend (tests inject FunctionExecutors; production uses
-  /// LocalExecutor).
+  /// LocalExecutor). Duplicate host names are disambiguated with a "#k"
+  /// suffix so per-host maps stay one-to-one.
   MultiExecutor(std::vector<HostSpec> hosts,
                 std::function<std::unique_ptr<core::Executor>(const HostSpec&)>
-                    make_executor);
+                    make_executor,
+                HealthPolicy policy = {});
 
   /// Convenience: every host runs through one shared LocalExecutor-style
   /// backend created per host.
-  static std::unique_ptr<MultiExecutor> local_cluster(std::vector<HostSpec> hosts);
+  static std::unique_ptr<MultiExecutor> local_cluster(std::vector<HostSpec> hosts,
+                                                      HealthPolicy policy = {});
 
   void start(const core::ExecRequest& request) override;
   std::optional<core::ExecResult> wait_any(double timeout_seconds) override;
+  /// Safe no-op for unknown or already-reaped job ids.
   void kill(std::uint64_t job_id, bool force) override;
   /// Routes the signal to the host that owns the job (--termseq stages).
+  /// Safe no-op for unknown or already-reaped job ids.
   void kill_signal(std::uint64_t job_id, int sig) override;
   std::size_t active_count() const override;
   double now() const override;
 
+  /// Dispatch veto: slots on quarantined/probing hosts are unusable.
+  bool slot_usable(std::size_t slot) const override;
+  /// Two slots share a failure domain iff they live on the same host.
+  bool same_failure_domain(std::size_t a, std::size_t b) const override;
+
   std::size_t total_slots() const noexcept { return total_slots_; }
   /// Which host a flat slot (1-based) lives on.
   const HostSpec& host_for_slot(std::size_t slot) const;
-  /// Jobs started per host so far (for balance checks).
+  /// Jobs started per host so far (for balance checks). Probes not counted.
   const std::map<std::string, std::size_t>& starts_by_host() const noexcept {
     return starts_by_host_;
   }
+
+  /// Health introspection.
+  HostState host_state(const std::string& name) const;
+  const HealthCounters& health_counters() const noexcept {
+    return health_.counters();
+  }
+
+  /// --filter-hosts: synchronously probe every host through its wrapper and
+  /// quarantine those that fail or exceed `timeout_seconds`. Returns the
+  /// names of the quarantined hosts. A timed-out probe stays in flight; if
+  /// it eventually succeeds the normal probe loop reinstates the host.
+  std::vector<std::string> filter_hosts(double timeout_seconds = 10.0);
 
  private:
   struct Host {
     HostSpec spec;
     std::unique_ptr<core::Executor> executor;
-    std::size_t first_slot = 0;  // 1-based inclusive
+    std::size_t first_slot = 0;      // 1-based inclusive
+    std::uint64_t probe_job_id = 0;  // 0 = no probe in flight
   };
 
   Host& host_of(std::size_t flat_slot);
   const Host& host_of(std::size_t flat_slot) const;
+  std::size_t host_index_of_slot(std::size_t flat_slot) const;
+
+  std::string wrap_command(const Host& host, const std::string& command) const;
+  /// Queues a synthetic exit-255 host-failure completion for a job that
+  /// never reached (or never survived on) its host.
+  void queue_synthetic_loss(const core::ExecRequest& request, const Host& host);
+  /// Kills every in-flight job on a freshly quarantined host; their
+  /// completions surface flagged host_failure.
+  void abandon_in_flight(std::size_t host_index);
+  /// Launches reinstatement probes on quarantined hosts whose backoff has
+  /// elapsed. Driven from wait_any(), which the engine always returns to.
+  void pump_probes();
+  /// Classification + host stamping for a surfaced completion.
+  void finalize(core::ExecResult& result, std::size_t host_index);
 
   std::vector<Host> hosts_;
   std::size_t total_slots_ = 0;
+  HostHealthTracker health_;
   std::map<std::uint64_t, std::size_t> job_host_;  // job_id -> host index
+  /// Engine jobs started on each host and not yet surfaced. Kept here so
+  /// activity tracking does not depend on inner active_count() semantics
+  /// (backends differ on whether finished-but-undelivered results count).
+  std::vector<std::size_t> inflight_by_host_;
   std::map<std::string, std::size_t> starts_by_host_;
+  std::set<std::uint64_t> deliberate_kills_;  // engine-killed: neutral evidence
+  std::set<std::uint64_t> lost_;              // killed by quarantine: host failure
+  std::deque<core::ExecResult> synthetic_;    // spawn-failure completions
   std::size_t rr_cursor_ = 0;  // wait_any fairness cursor
+  /// Probe job ids live far above the engine's 1-based ids so the two
+  /// streams can never collide.
+  std::uint64_t next_probe_id_ = 1ull << 62;
 };
 
 }  // namespace parcl::exec

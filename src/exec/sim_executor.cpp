@@ -26,6 +26,8 @@ void SimExecutor::start(const core::ExecRequest& request) {
   job.result.term_signal = outcome.term_signal;
   if (outcome.term_signal != 0) job.result.exit_code = 128 + outcome.term_signal;
   job.result.stdout_data = std::move(outcome.stdout_data);
+  job.result.host = std::move(outcome.host);
+  job.result.host_failure = outcome.host_failure;
   job.result.start_time = sim_.now();
   std::uint64_t id = request.job_id;
   job.completion = sim_.schedule(outcome.duration, [this, id] {

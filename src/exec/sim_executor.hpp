@@ -20,6 +20,12 @@ struct SimOutcome {
   int exit_code = 0;
   std::string stdout_data;
   int term_signal = 0;  // non-zero: the job dies by this signal instead
+  /// Simulated host/node label ("" = none). Churn task models stamp the
+  /// node so the joblog Host column shows where the attempt ran.
+  std::string host;
+  /// The simulated node died under the job (node churn): the engine
+  /// requeues the attempt without charging --retries.
+  bool host_failure = false;
 };
 
 /// Decides the fate of a simulated job. May inspect command/env/slot.
@@ -47,6 +53,17 @@ class SimExecutor final : public core::Executor {
     pressure_model_ = std::move(model);
   }
 
+  /// Maps a slot to its simulated failure domain (node id), enabling
+  /// --hedge placement studies in sim time. Unset, every slot shares one
+  /// domain and hedging stays inert.
+  void set_slot_domain_model(std::function<std::size_t(std::size_t)> model) {
+    slot_domain_ = std::move(model);
+  }
+  bool same_failure_domain(std::size_t a, std::size_t b) const override {
+    if (!slot_domain_) return true;
+    return slot_domain_(a) == slot_domain_(b);
+  }
+
  private:
   struct ActiveJob {
     core::ExecResult result;
@@ -59,6 +76,7 @@ class SimExecutor final : public core::Executor {
   std::map<std::uint64_t, ActiveJob> active_;
   std::map<std::uint64_t, core::ExecResult> ready_;
   std::function<core::ResourcePressure()> pressure_model_;
+  std::function<std::size_t(std::size_t)> slot_domain_;
 };
 
 }  // namespace parcl::exec

@@ -13,16 +13,22 @@
 //   PARCL_CHAOS_SEEDS=17 ./tests/chaos_soak_test --gtest_filter='ChaosSoak.*'
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/joblog.hpp"
 #include "core/signal_coordinator.hpp"
 #include "exec/fault_executor.hpp"
 #include "exec/function_executor.hpp"
@@ -344,6 +350,94 @@ TEST(ChaosSoak, FunctionExecutorSchedulesHoldInvariants) {
     EXPECT_GE(fully_succeeded, 15u);
   }
   std::remove(joblog.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2b: multi-host dispatch with one dead host — quarantine keeps the
+// host out of rotation, bounced jobs reschedule without burning retries, a
+// straggler gets hedged, and the joblog stays exactly-once through all of it.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, MultiHostQuarantineAndHedgingHoldInvariants) {
+  const std::size_t kQuick = 40;
+  for (std::uint64_t seed : seed_range(1, 4)) {
+    std::map<std::string, FaultPlan> plans;
+    FaultPlan dead;
+    dead.seed = seed;
+    dead.spawn_failure_prob = 1.0;  // the host never manages to start a job
+    plans["bad"] = dead;
+    exec::HealthPolicy policy;
+    policy.quarantine_after = 3;
+    policy.probe_interval = 60.0;  // no reinstatement within this test
+
+    std::mutex mutex;
+    std::map<std::string, int> runs;
+    auto task = [&](const core::ExecRequest& request) {
+      int run_index;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        run_index = runs[request.command]++;
+      }
+      bool slow = request.command.find("slowjob") != std::string::npos;
+      int ms = 5 + static_cast<int>((request.job_id * (seed + 3)) % 12);
+      if (slow) ms = run_index == 0 ? 400 : 10;  // hedge beats the first run
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      exec::TaskOutcome outcome;
+      outcome.stdout_data = "done\n";
+      return outcome;
+    };
+    exec::MultiExecutor multi(
+        {{"bad", 2, ""}, {"ok1", 2, ""}, {"ok2", 2, ""}},
+        exec::per_host_fault_factory(
+            [&task](const exec::HostSpec& spec) {
+              return std::make_unique<exec::FunctionExecutor>(task, spec.jobs);
+            },
+            plans),
+        policy);
+
+    ScheduleResult run;
+    run.total_jobs = kQuick + 1;
+    run.options.jobs = multi.total_slots();
+    run.options.retries = 1;  // free reschedules must carry the whole load
+    run.options.hedge_multiplier = 3.0;
+    run.options.joblog_path = temp_joblog("multihost");
+
+    std::ostringstream out, err;
+    Engine engine(run.options, multi, out, err);
+    std::vector<core::ArgVector> inputs;
+    for (std::size_t i = 0; i < kQuick; ++i) inputs.push_back({std::to_string(i)});
+    inputs.push_back({"slowjob"});  // last: the median is armed by then
+    run.summary = engine.run("fn {}", std::move(inputs));
+
+    testing::InvariantReport report;
+    testing::check_run(run.summary, run.options, run.total_jobs, report);
+    testing::check_joblog(run.options.joblog_path, run.summary, report);
+    EXPECT_TRUE(report.ok()) << "multihost seed " << seed << " violated:\n"
+                             << report.str();
+
+    EXPECT_EQ(run.summary.succeeded, run.total_jobs) << "seed " << seed;
+    // The dead host tripped quarantine, never ran anything, and every bounce
+    // was a free reschedule rather than a charged retry.
+    EXPECT_EQ(multi.host_state("bad"), exec::HostState::kQuarantined);
+    EXPECT_EQ(multi.health_counters().quarantines, 1u);
+    EXPECT_EQ(multi.starts_by_host().count("bad"), 0u);
+    EXPECT_GE(run.summary.dispatch.rescheduled, 3u);
+    EXPECT_GE(run.summary.dispatch.host_failures,
+              run.summary.dispatch.rescheduled);
+    // Hedging: the straggler was duplicated, the pair resolved, and the
+    // joblog saw the winning attempt exactly once.
+    EXPECT_GE(run.summary.dispatch.hedges_launched, 1u) << "seed " << seed;
+    EXPECT_EQ(run.summary.dispatch.hedges_won + run.summary.dispatch.hedges_lost,
+              run.summary.dispatch.hedges_launched);
+    std::size_t slow_rows = 0;
+    for (const core::JoblogEntry& entry :
+         core::read_joblog(run.options.joblog_path)) {
+      if (entry.command.find("slowjob") != std::string::npos) ++slow_rows;
+    }
+    EXPECT_EQ(slow_rows, 1u) << "hedged job must log exactly once";
+    EXPECT_EQ(multi.active_count(), 0u);
+    std::remove(run.options.joblog_path.c_str());
+  }
 }
 
 // ---------------------------------------------------------------------------

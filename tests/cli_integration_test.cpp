@@ -386,12 +386,15 @@ TEST(ParclCli, DoubleInterruptEscalatesAndRecordsSignalInJoblog) {
 TEST(ParclCli, RobustnessFlagsSmoke) {
   // --timeout N%, --memfree, --load, --retry-delay and --joblog-fsync all
   // wire through the real binary: tiny floor/huge ceiling keep the guards
-  // permissive, so the run completes normally.
+  // permissive, so the run completes normally. The jobs sleep so the
+  // adaptive median (and the 500% limit derived from it) dwarfs scheduler
+  // jitter when the test suite itself runs in parallel.
   std::string log_path = ::testing::TempDir() + "parcl_cli_guards.tsv";
   std::remove(log_path.c_str());
   CommandResult result = run_command(
       parcl() + " --timeout 500% --memfree 1k --load 9999 --retry-delay 0.01"
-                " --joblog-fsync --joblog " + log_path + " -k echo g{} ::: 1 2 3 4");
+                " --joblog-fsync --joblog " + log_path +
+                " -k 'sleep 0.2; echo g{}' ::: 1 2 3 4");
   EXPECT_EQ(result.exit_code, 0) << result.output;
   EXPECT_EQ(result.output, "g1\ng2\ng3\ng4\n");
   std::ifstream in(log_path);

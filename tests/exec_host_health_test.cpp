@@ -1,0 +1,149 @@
+#include "exec/host_health.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace parcl::exec {
+namespace {
+
+HealthPolicy policy(std::size_t quarantine_after = 3, double interval = 5.0,
+                    double cap = 64.0) {
+  HealthPolicy p;
+  p.quarantine_after = quarantine_after;
+  p.probe_interval = interval;
+  p.probe_backoff_cap = cap;
+  return p;
+}
+
+TEST(HostHealth, StartsHealthyAndDispatchable) {
+  HostHealthTracker tracker(policy(), 3);
+  for (std::size_t host = 0; host < 3; ++host) {
+    EXPECT_EQ(tracker.state(host), HostState::kHealthy);
+    EXPECT_TRUE(tracker.dispatchable(host));
+  }
+  EXPECT_FALSE(tracker.any_quarantined());
+  EXPECT_LT(tracker.next_probe_at(), 0.0);
+}
+
+TEST(HostHealth, RejectsBadPolicy) {
+  EXPECT_THROW(HostHealthTracker(policy(3, 0.0), 1), util::ConfigError);
+  EXPECT_THROW(HostHealthTracker(policy(3, 5.0, 0.5), 1), util::ConfigError);
+}
+
+TEST(HostHealth, StreakTripsQuarantineAtThreshold) {
+  HostHealthTracker tracker(policy(3), 2);
+  EXPECT_FALSE(tracker.record_host_failure(0, 1.0));
+  EXPECT_EQ(tracker.state(0), HostState::kSuspect);
+  EXPECT_TRUE(tracker.dispatchable(0));  // suspects still get work
+  EXPECT_FALSE(tracker.record_host_failure(0, 2.0));
+  EXPECT_TRUE(tracker.record_host_failure(0, 3.0));  // third signal trips
+  EXPECT_EQ(tracker.state(0), HostState::kQuarantined);
+  EXPECT_FALSE(tracker.dispatchable(0));
+  EXPECT_TRUE(tracker.any_quarantined());
+  // The neighbour is untouched.
+  EXPECT_EQ(tracker.state(1), HostState::kHealthy);
+  EXPECT_EQ(tracker.counters().quarantines, 1u);
+  EXPECT_EQ(tracker.counters().host_failure_signals, 3u);
+}
+
+TEST(HostHealth, CleanOutcomeResetsTheStreak) {
+  HostHealthTracker tracker(policy(2), 1);
+  EXPECT_FALSE(tracker.record_host_failure(0, 1.0));
+  tracker.record_host_ok(0);
+  EXPECT_EQ(tracker.state(0), HostState::kHealthy);
+  // The streak restarted: one more failure is Suspect, not Quarantined.
+  EXPECT_FALSE(tracker.record_host_failure(0, 2.0));
+  EXPECT_EQ(tracker.state(0), HostState::kSuspect);
+}
+
+TEST(HostHealth, ZeroThresholdDisablesQuarantine) {
+  HostHealthTracker tracker(policy(0), 1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(tracker.record_host_failure(0, static_cast<double>(i)));
+  }
+  EXPECT_EQ(tracker.state(0), HostState::kSuspect);
+  EXPECT_TRUE(tracker.dispatchable(0));
+  EXPECT_EQ(tracker.counters().host_failure_signals, 50u);
+  EXPECT_EQ(tracker.counters().quarantines, 0u);
+}
+
+TEST(HostHealth, ProbeCadenceBacksOffExponentiallyUpToTheCap) {
+  HostHealthTracker tracker(policy(1, 5.0, 4.0), 1);
+  EXPECT_TRUE(tracker.record_host_failure(0, 0.0));
+  // First probe due one interval after quarantine, not before.
+  EXPECT_FALSE(tracker.take_due_probe(0, 4.9));
+  EXPECT_DOUBLE_EQ(tracker.next_probe_at(), 5.0);
+  EXPECT_TRUE(tracker.take_due_probe(0, 5.0));
+  EXPECT_EQ(tracker.state(0), HostState::kProbing);
+  EXPECT_FALSE(tracker.dispatchable(0));
+  // While probing, no second probe is due.
+  EXPECT_FALSE(tracker.take_due_probe(0, 100.0));
+
+  // Failed probes double the spacing: 10, then 20, then capped at 20 (4x5).
+  tracker.record_probe_result(0, false, 5.0);
+  EXPECT_DOUBLE_EQ(tracker.next_probe_at(), 15.0);
+  EXPECT_TRUE(tracker.take_due_probe(0, 15.0));
+  tracker.record_probe_result(0, false, 15.0);
+  EXPECT_DOUBLE_EQ(tracker.next_probe_at(), 35.0);
+  EXPECT_TRUE(tracker.take_due_probe(0, 35.0));
+  tracker.record_probe_result(0, false, 35.0);
+  EXPECT_DOUBLE_EQ(tracker.next_probe_at(), 55.0);  // capped: still +20
+
+  EXPECT_EQ(tracker.counters().probes_launched, 3u);
+  EXPECT_EQ(tracker.counters().probes_failed, 3u);
+}
+
+TEST(HostHealth, SuccessfulProbeReinstatesAndResetsBackoff) {
+  HostHealthTracker tracker(policy(1, 5.0), 1);
+  EXPECT_TRUE(tracker.record_host_failure(0, 0.0));
+  EXPECT_TRUE(tracker.take_due_probe(0, 5.0));
+  tracker.record_probe_result(0, false, 5.0);
+  EXPECT_TRUE(tracker.take_due_probe(0, 15.0));
+  tracker.record_probe_result(0, true, 15.0);
+  EXPECT_EQ(tracker.state(0), HostState::kHealthy);
+  EXPECT_TRUE(tracker.dispatchable(0));
+  EXPECT_EQ(tracker.counters().reinstatements, 1u);
+  // A relapse starts from the base interval again, not the backed-off one.
+  EXPECT_TRUE(tracker.record_host_failure(0, 20.0));
+  EXPECT_DOUBLE_EQ(tracker.next_probe_at(), 25.0);
+}
+
+TEST(HostHealth, CleanOutcomeNeverReinstatesAQuarantinedHost) {
+  HostHealthTracker tracker(policy(1), 1);
+  EXPECT_TRUE(tracker.record_host_failure(0, 0.0));
+  tracker.record_host_ok(0);  // e.g. a straggler completion from before
+  EXPECT_EQ(tracker.state(0), HostState::kQuarantined);
+}
+
+TEST(HostHealth, SignalsAgainstCondemnedHostsAreAbsorbed) {
+  HostHealthTracker tracker(policy(1), 1);
+  EXPECT_TRUE(tracker.record_host_failure(0, 0.0));
+  // In-flight jobs from before the quarantine die late; none may re-trip.
+  EXPECT_FALSE(tracker.record_host_failure(0, 1.0));
+  EXPECT_EQ(tracker.counters().quarantines, 1u);
+  EXPECT_TRUE(tracker.take_due_probe(0, 10.0));
+  EXPECT_FALSE(tracker.record_host_failure(0, 11.0));
+  EXPECT_EQ(tracker.state(0), HostState::kProbing);
+}
+
+TEST(HostHealth, ForcedQuarantineIsIdempotent) {
+  HostHealthTracker tracker(policy(3, 5.0), 1);
+  tracker.quarantine(0, 0.0);
+  double first_probe = tracker.next_probe_at();
+  tracker.quarantine(0, 100.0);  // must not reset the probe schedule
+  EXPECT_DOUBLE_EQ(tracker.next_probe_at(), first_probe);
+  EXPECT_EQ(tracker.counters().quarantines, 1u);
+}
+
+TEST(HostHealth, NextProbeReportsTheEarliestPendingHost) {
+  HostHealthTracker tracker(policy(1, 5.0), 3);
+  EXPECT_TRUE(tracker.record_host_failure(2, 0.0));
+  EXPECT_TRUE(tracker.record_host_failure(0, 3.0));
+  EXPECT_DOUBLE_EQ(tracker.next_probe_at(), 5.0);  // host 2 first
+  EXPECT_TRUE(tracker.take_due_probe(2, 5.0));
+  EXPECT_DOUBLE_EQ(tracker.next_probe_at(), 8.0);  // host 0 remains
+}
+
+}  // namespace
+}  // namespace parcl::exec
