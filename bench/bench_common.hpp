@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cctype>
+#include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -173,5 +175,38 @@ class BenchJson {
   std::string path_;
   std::vector<std::pair<std::string, Fields>> sections_;
 };
+
+/// `git rev-parse HEAD` of the checkout the bench runs from ("unknown"
+/// outside a git work tree). Benches run from the build tree, which lives
+/// inside the repository, so the bare command resolves the right repo.
+inline std::string git_sha() {
+  std::string sha;
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// UTC wall clock in ISO-8601, e.g. "2026-08-07T15:12:03Z".
+inline std::string utc_timestamp() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm {};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Stamps a BENCH_*.json file with the commit and time it was measured at,
+/// under a shared "meta" section, so results files checked into CI artifacts
+/// can be compared across commits. Call once per bench before write().
+inline void stamp_provenance(BenchJson& json) {
+  json.set_text("meta", "git_sha", git_sha());
+  json.set_text("meta", "timestamp_utc", utc_timestamp());
+}
 
 }  // namespace parcl::bench

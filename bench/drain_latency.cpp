@@ -160,6 +160,7 @@ int main() {
   json.set("drain_latency", "escalate_quiesce_s", escalate_s);
   json.set("drain_latency", "resume_noop_scan_ms", resume_noop_s * 1000.0);
   json.set("drain_latency", "resume_overhead_pct", resume_overhead_pct);
+  bench::stamp_provenance(json);
   json.write();
   std::cout << "wrote BENCH_dispatch.json\n";
   return 0;

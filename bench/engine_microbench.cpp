@@ -150,6 +150,7 @@ int main(int argc, char** argv) {
            measure_engine_dispatch_rate(20000, false));
   json.set("engine_microbench", "engine_dispatch_with_timeouts_jobs_per_s",
            measure_engine_dispatch_rate(20000, true));
+  bench::stamp_provenance(json);
   json.write();
   std::cout << "wrote BENCH_dispatch.json\n";
   return 0;

@@ -113,6 +113,7 @@ int main() {
   json.set("fault_soak", "soak_jobs_per_s_1pct_faults", faulty.jobs_per_s);
   json.set("fault_soak", "soak_fault_rate_pct", fault_rate_pct);
   json.set("fault_soak", "soak_overhead_pct", overhead_pct);
+  bench::stamp_provenance(json);
   json.write();
   std::cout << "wrote BENCH_dispatch.json\n";
   return 0;

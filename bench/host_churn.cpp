@@ -190,6 +190,7 @@ int main() {
   json.set("host_churn", "hedge_on_p99_s", hedged.p99);
   json.set("host_churn", "hedge_p99_cut_pct", p99_cut_pct);
   json.set("host_churn", "hedges_launched", static_cast<double>(hedged.hedges_launched));
+  bench::stamp_provenance(json);
   json.write();
   std::cout << "wrote BENCH_dispatch.json\n";
   return 0;

@@ -148,6 +148,7 @@ int main() {
                ? static_cast<double>(streamed_1m) /
                      static_cast<double>(streamed_10k)
                : 0.0);
+  bench::stamp_provenance(json);
   json.write();
   std::cout << "wrote BENCH_dispatch.json (memory_footprint section)\n";
 

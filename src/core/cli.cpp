@@ -176,10 +176,18 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
       plan.semaphore = true;
     } else if (arg == "--id") {
       plan.semaphore_id = take_value(argv, i, arg);
+    } else if (arg == "--dispatchers") {
+      long count = util::parse_long(take_value(argv, i, arg));
+      if (count < 0) throw util::ParseError("--dispatchers must be >= 0");
+      plan.options.dispatchers = static_cast<std::size_t>(count);
+    } else if (arg == "--zygote") {
+      plan.options.zygote = true;
     } else if (arg == "--joblog") {
       plan.options.joblog_path = take_value(argv, i, arg);
     } else if (arg == "--joblog-fsync") {
       plan.options.joblog_fsync = true;
+    } else if (arg == "--joblog-flush") {
+      plan.options.joblog_flush_bytes = parse_block_size(take_value(argv, i, arg));
     } else if (arg == "--results") {
       plan.options.results_dir = take_value(argv, i, arg);
     } else if (arg == "--shuf") {
@@ -339,8 +347,17 @@ options:
                       median runtime onto another host; first success
                       wins (0 = off)
       --dry-run       print composed commands, do not run
+      --dispatchers N shard dispatch across N threads, each with its own
+                      slot range and poll set (0 = auto: min(4, hardware
+                      threads); 1 = serial). Falls back to the serial loop
+                      when the backend or feature set cannot shard
+      --zygote        prefork a spawn helper per dispatcher so direct-exec
+                      jobs fork from a small address space (local runs)
       --joblog PATH   append a GNU-Parallel-format job log
       --joblog-fsync  fsync the joblog after every record
+      --joblog-flush SIZE
+                      batch joblog rows and append them in one write per
+                      SIZE bytes (k/m suffixes; 0 = every row immediately)
       --results DIR   save each job's stdout/stderr/meta under DIR/<seq>/
       --shuf          run jobs in random order (buffers the whole input)
   -C, --colsep SEP    split input values into columns ({1}, {2}, ...) on SEP

@@ -1,0 +1,139 @@
+// DispatchQueue: the hand-off between the prefetching reader, the
+// coordinator's retry ledger, and the dispatcher shards.
+//
+// Two lanes under one lock:
+//   - a bounded MPMC ring of fresh jobs, filled by the reader thread. The
+//     bound is the reader's run-ahead budget: it keeps memory constant in
+//     the input size and limits how far seq assignment can outrun dispatch
+//     (which in turn bounds the -k collation window).
+//   - an unbounded retry lane, filled by the coordinator when the retry
+//     ledger releases a parked attempt. Retries outrank fresh work — the
+//     same priority the serial engine gives them — and must never block the
+//     coordinator, which is the thread that drains completions.
+//
+// Consumers (dispatcher threads) pop retry-first. abort_pushes() unblocks a
+// reader stuck in push_fresh() at a stop transition; drain() then hands the
+// coordinator everything still queued so it can be marked skipped.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/retry_ledger.hpp"
+
+namespace parcl::core {
+
+class DispatchQueue {
+ public:
+  /// `fresh_capacity` bounds the fresh-lane ring (>= 1).
+  explicit DispatchQueue(std::size_t fresh_capacity)
+      : ring_(fresh_capacity < 1 ? 1 : fresh_capacity) {}
+
+  /// Reader side: blocks while the ring is full. Returns false once the
+  /// queue is aborted — `job` is then left intact and the caller still owns
+  /// it (stop path: mark it skipped). On success `job` is moved from.
+  bool push_fresh(PendingJob& job) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return aborted_ || fresh_count_ < ring_.size(); });
+    if (aborted_) return false;
+    ring_[(fresh_head_ + fresh_count_) % ring_.size()] = std::move(job);
+    ++fresh_count_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Coordinator side: never blocks (unbounded lane, priority over fresh).
+  void push_retry(PendingJob job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (aborted_) return;  // stop already engaged; job would only be skipped
+      retries_.push_back(std::move(job));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Dispatcher side: retry lane first, then the fresh ring. Blocks up to
+  /// `seconds`; nullopt on timeout or when the queue is empty and aborted.
+  std::optional<PendingJob> pop_for(double seconds) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(seconds));
+    not_empty_.wait_until(lock, deadline,
+                          [&] { return aborted_ || !empty_locked(); });
+    return pop_locked();
+  }
+
+  /// Non-blocking pop (retry lane first).
+  std::optional<PendingJob> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pop_locked();
+  }
+
+  /// Stop transition: fail the blocked (and all future) push_fresh calls
+  /// and reject further retries. Queued jobs stay poppable/drainable.
+  void abort_pushes() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Empties both lanes (retries first, matching pop order). The stop path
+  /// marks everything returned here as skipped.
+  std::vector<PendingJob> drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PendingJob> out;
+    out.reserve(retries_.size() + fresh_count_);
+    for (PendingJob& job : retries_) out.push_back(std::move(job));
+    retries_.clear();
+    while (fresh_count_ > 0) {
+      out.push_back(std::move(ring_[fresh_head_]));
+      fresh_head_ = (fresh_head_ + 1) % ring_.size();
+      --fresh_count_;
+    }
+    not_full_.notify_all();
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retries_.size() + fresh_count_;
+  }
+
+ private:
+  bool empty_locked() const { return retries_.empty() && fresh_count_ == 0; }
+
+  std::optional<PendingJob> pop_locked() {
+    if (!retries_.empty()) {
+      PendingJob job = std::move(retries_.front());
+      retries_.pop_front();
+      return job;
+    }
+    if (fresh_count_ == 0) return std::nullopt;
+    PendingJob job = std::move(ring_[fresh_head_]);
+    fresh_head_ = (fresh_head_ + 1) % ring_.size();
+    --fresh_count_;
+    not_full_.notify_one();
+    return job;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<PendingJob> ring_;  // fresh lane: fixed-capacity circular buffer
+  std::size_t fresh_head_ = 0;
+  std::size_t fresh_count_ = 0;
+  std::deque<PendingJob> retries_;
+  bool aborted_ = false;
+};
+
+}  // namespace parcl::core

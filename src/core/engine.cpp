@@ -114,6 +114,24 @@ RunSummary Engine::run_raw(const CommandTemplate& command, std::size_t count) {
 }
 
 RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
+  // Sharded fast path: when the option set permits it and the backend can
+  // shard, hand the run to the multi-threaded dispatch core. Any shard the
+  // backend refuses routes the whole run back to this serial loop.
+  if (std::size_t n = sharded_shard_count(); n >= 2) {
+    std::vector<std::unique_ptr<Executor>> shards;
+    shards.reserve(n);
+    bool sharded = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto shard = executor_.make_shard();
+      if (shard == nullptr) {
+        sharded = false;
+        break;
+      }
+      shards.push_back(std::move(shard));
+    }
+    if (sharded) return execute_sharded(tmpl, source, std::move(shards));
+  }
+
   RunSummary summary;
   const bool collect = options_.collect_results;
 
@@ -144,7 +162,8 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   }
   std::unique_ptr<JoblogWriter> joblog;
   if (!options_.joblog_path.empty()) {
-    joblog = std::make_unique<JoblogWriter>(options_.joblog_path, options_.joblog_fsync);
+    joblog = std::make_unique<JoblogWriter>(options_.joblog_path, options_.joblog_fsync,
+                                            options_.joblog_flush_bytes);
   }
 
   OutputCollator::TagFn tag_fn;
@@ -923,6 +942,10 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     // Final flush: the source is exhausted now, so the total is accurate.
     print_progress();
     err_ << '\n';
+  }
+  if (joblog) {
+    joblog->flush();
+    summary.dispatch.joblog_flushes = joblog->flushes();
   }
   if (last_end > first_start) summary.makespan = last_end - first_start;
   summary.total = next_seq - 1;

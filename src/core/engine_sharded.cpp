@@ -1,0 +1,900 @@
+// Sharded dispatch: the engine's multi-threaded fast path.
+//
+// The serial loop in engine.cpp interleaves everything — pulling input,
+// spawning, polling, reaping, collating — on one thread, so per-job cost is
+// the SUM of those stages. This file splits them across threads:
+//
+//   reader (1)        pulls the JobSource, assigns seqs, applies --resume
+//                     skips, and feeds a bounded DispatchQueue. Run-ahead is
+//                     bounded by the queue ring and, under -k, by the
+//                     collator window (via ShardControl::collator_held).
+//   dispatchers (N)   each owns an Executor *shard* (own children, own pidfd
+//                     poll set), a contiguous slot range for {%}, and its
+//                     own in-flight map and --timeout deadline heap. They
+//                     pop work (retries first), spawn, wait, and forward
+//                     completions as events. No shared mutable state beyond
+//                     the two queues and a handful of control atomics.
+//   coordinator (1)   the calling thread. Owns everything with ordering or
+//                     durability semantics: the OutputCollator, the joblog,
+//                     the RetryLedger, --halt evaluation, and the signal
+//                     drain. Consumes completion events and performs the
+//                     same write-ahead record sequence as the serial loop.
+//
+// Semantics that need a *global* ordering decision per start (--delay,
+// --memfree/--load gating, --hedge, adaptive --timeout N%, --halt N%,
+// --shuf) are rejected by Engine::sharded_shard_count(), which routes such
+// runs to the serial loop. Everything the sharded path does accept —
+// retries, fixed --timeout, count-based --halt, -k collation, --joblog,
+// --resume, signal drain + --termseq — preserves the serial loop's
+// observable behaviour: seqs are assigned in pull order, -k output is
+// byte-identical, and the joblog stays exactly-once.
+//
+// Quiesce protocol for the second interrupt: the coordinator does not walk
+// --termseq until every dispatcher has acknowledged the stop
+// (stopped_spawning) — otherwise a shard mid-spawn could launch a child
+// after the escalation walk and leave it unsignalled.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/dispatch_queue.hpp"
+#include "core/engine.hpp"
+#include "core/joblog.hpp"
+#include "core/output.hpp"
+#include "core/retry_ledger.hpp"
+#include "core/scheduler.hpp"
+#include "core/signal_coordinator.hpp"
+#include "util/blocking_queue.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/shell.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::core {
+
+namespace {
+
+/// Message from a reader/dispatcher thread to the coordinator. Exactly one
+/// event is emitted per started attempt (kCompletion / kSpawnFailure /
+/// kShardLost) and per never-started job (kReaderSkip), which is what makes
+/// the coordinator's done+skipped accounting — and thus termination — exact.
+struct ShardEvent {
+  enum class Kind {
+    kCompletion,    // attempt + its ExecResult
+    kSpawnFailure,  // start() threw; result holds synthetic exit-127 times
+    kShardLost,     // dispatcher died with this attempt in flight (no retry)
+    kReaderSkip,    // job was never started (--resume skip or post-stop tail)
+    kReaderDone,    // source exhausted; reader_total is final
+  };
+  Kind kind = Kind::kCompletion;
+  ActiveAttempt attempt;
+  ExecResult result;
+  PendingJob job;
+  std::uint64_t reader_total = 0;
+  std::string detail;  // spawn-failure error text
+};
+
+/// Coordinator-owned flags polled by the reader and dispatchers. Plain
+/// acquire/release atomics: every flag is monotonic (set once, except
+/// term_epoch which only increments).
+struct ShardControl {
+  std::atomic<bool> stop_dispatch{false};  // no new spawns (drain/halt)
+  std::atomic<bool> kill_all{false};       // halt now: kill in-flight
+  std::atomic<bool> shutdown{false};       // exit once in-flight is empty
+  std::atomic<std::uint64_t> term_epoch{0};   // bumps per --termseq stage
+  std::atomic<int> term_signal{0};            // signal for the current epoch
+  std::atomic<std::size_t> collator_held{0};  // -k reader run-ahead gate
+};
+
+/// Per-dispatcher state. The thread owns exec/its maps exclusively; the
+/// atomics are the only fields other threads read.
+struct ShardRunner {
+  std::size_t index = 0;
+  Executor* exec = nullptr;
+  std::size_t slot_base = 0;  // owns slots [slot_base+1 .. slot_base+count]
+  std::size_t slot_count = 0;
+  std::atomic<bool> stopped_spawning{false};  // stop acknowledged
+  std::atomic<std::size_t> inflight{0};
+  std::exception_ptr error;
+  std::thread thread;
+};
+
+/// Reader thread: seq assignment must stay in pull order (it defines {#}
+/// and -k output order), so exactly one thread pulls the source.
+void run_reader(JobSource& source, const std::set<std::uint64_t>& skip,
+                std::size_t window, ShardControl& control, DispatchQueue& queue,
+                util::BlockingQueue<ShardEvent>& events,
+                std::exception_ptr& error) {
+  std::uint64_t next_seq = 1;
+  auto emit_skip = [&](PendingJob job) {
+    ShardEvent event;
+    event.kind = ShardEvent::Kind::kReaderSkip;
+    event.job = std::move(job);
+    events.push(std::move(event));
+  };
+  try {
+    while (!control.stop_dispatch.load(std::memory_order_acquire)) {
+      if (window != 0) {
+        // -k gate: pause run-ahead while the collator already holds a full
+        // out-of-order window. The gap seq is running or retrying — paths
+        // that progress without fresh dispatch — so this cannot wedge.
+        while (control.collator_held.load(std::memory_order_acquire) >= window &&
+               !control.stop_dispatch.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        if (control.stop_dispatch.load(std::memory_order_acquire)) break;
+      }
+      auto item = source.next();
+      if (!item) break;
+      PendingJob job;
+      job.seq = next_seq++;
+      job.args = std::move(item->args);
+      job.stdin_data = std::move(item->stdin_data);
+      job.has_stdin = item->has_stdin;
+      if (!skip.empty() && skip.count(job.seq) != 0) {
+        emit_skip(std::move(job));
+        continue;
+      }
+      if (!queue.push_fresh(job)) {  // aborted: stop engaged mid-push
+        emit_skip(std::move(job));
+        break;
+      }
+    }
+    // Post-stop tail: drain the rest of the source one item at a time so
+    // skip accounting — and the run's total — stays exact.
+    while (auto item = source.next()) {
+      PendingJob job;
+      job.seq = next_seq++;
+      job.args = std::move(item->args);
+      job.stdin_data = std::move(item->stdin_data);
+      job.has_stdin = item->has_stdin;
+      emit_skip(std::move(job));
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  ShardEvent done;
+  done.kind = ShardEvent::Kind::kReaderDone;
+  done.reader_total = next_seq - 1;
+  events.push(std::move(done));
+}
+
+/// Dispatcher thread: spawn/wait/reap loop over one executor shard.
+void run_dispatcher(const CommandTemplate& tmpl, const Options& options,
+                    const std::vector<std::pair<std::string, CommandTemplate>>&
+                        env_templates,
+                    ShardControl& control, DispatchQueue& queue,
+                    util::BlockingQueue<ShardEvent>& events, ShardRunner& shard) {
+  Executor& exec = *shard.exec;
+  const bool capture = options.output_mode != OutputMode::kUngroup;
+  // Wait cap: control flags (stop, kill_all, term_epoch) are polled between
+  // waits, so this bounds drain/escalation reaction time.
+  constexpr double kShardWait = 0.05;
+  constexpr double kTimeoutGrace = 1.0;  // SIGTERM -> SIGKILL escalation
+
+  std::vector<std::size_t> free_slots;  // stack; lowest slot on top
+  for (std::size_t i = shard.slot_count; i >= 1; --i) {
+    free_slots.push_back(shard.slot_base + i);
+  }
+  std::unordered_map<std::uint64_t, ActiveAttempt> inflight;
+  struct DeadlineEvent {
+    double time = 0.0;
+    std::uint64_t job_id = 0;
+    bool escalation = false;
+  };
+  auto deadline_after = [](const DeadlineEvent& a, const DeadlineEvent& b) {
+    return a.time > b.time;
+  };
+  std::priority_queue<DeadlineEvent, std::vector<DeadlineEvent>,
+                      decltype(deadline_after)>
+      deadlines(deadline_after);
+  std::uint64_t next_job_id = 1;  // local ids: each shard is its own executor
+  std::uint64_t seen_epoch = 0;
+  bool killed_all = false;
+
+  // A popped job that loses the race with a stop transition is accounted as
+  // skipped — the same outcome it would have had in the queue drain.
+  auto skip_popped = [&](PendingJob job) {
+    ShardEvent event;
+    event.kind = ShardEvent::Kind::kReaderSkip;
+    event.job = std::move(job);
+    events.push(std::move(event));
+  };
+
+  auto spawn_one = [&](PendingJob job) {
+    std::size_t slot = free_slots.back();
+    free_slots.pop_back();
+    CommandTemplate::Context context{job.seq, slot};
+    ActiveAttempt attempt;
+    attempt.seq = job.seq;
+    attempt.args = std::move(job.args);
+    attempt.stdin_data = std::move(job.stdin_data);
+    attempt.has_stdin = job.has_stdin;
+    attempt.slot = slot;
+    attempt.attempts = job.attempts + 1;
+    attempt.reschedules = job.reschedules;
+    attempt.command = tmpl.expand(attempt.args, context, options.quote_args);
+
+    ExecRequest request;
+    request.job_id = next_job_id++;
+    request.command = attempt.command;
+    request.slot = slot;
+    request.use_shell = options.use_shell;
+    request.capture_output = capture;
+    request.stdin_data = attempt.stdin_data;
+    request.has_stdin = attempt.has_stdin;
+    for (const auto& [key, value_tmpl] : env_templates) {
+      request.env[key] = value_tmpl.expand(attempt.args, context, /*quote=*/false);
+    }
+    double now = exec.now();
+    attempt.start_time = now;
+    if (options.timeout_seconds > 0.0) {
+      attempt.deadline = now + options.timeout_seconds;
+      deadlines.push({attempt.deadline, request.job_id, /*escalation=*/false});
+    }
+    auto [it, inserted] = inflight.emplace(request.job_id, std::move(attempt));
+    (void)inserted;
+    shard.inflight.fetch_add(1, std::memory_order_relaxed);
+    try {
+      exec.start(request);
+    } catch (const util::SystemError& error) {
+      ShardEvent event;
+      event.kind = ShardEvent::Kind::kSpawnFailure;
+      event.attempt = std::move(it->second);
+      event.detail = error.what();
+      inflight.erase(it);
+      free_slots.push_back(slot);
+      event.result.start_time = now;
+      event.result.end_time = now;
+      event.result.exit_code = 127;
+      events.push(std::move(event));
+      shard.inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+
+  try {
+    while (true) {
+      const bool stopped = control.stop_dispatch.load(std::memory_order_acquire);
+      if (stopped) {
+        shard.stopped_spawning.store(true, std::memory_order_release);
+      }
+
+      if (control.kill_all.load(std::memory_order_acquire) && !killed_all) {
+        killed_all = true;
+        for (auto& [id, attempt] : inflight) {
+          attempt.killed_for_halt = true;
+          exec.kill(id, /*force=*/false);
+        }
+      }
+      std::uint64_t epoch = control.term_epoch.load(std::memory_order_acquire);
+      if (epoch != seen_epoch) {
+        seen_epoch = epoch;
+        int sig = control.term_signal.load(std::memory_order_acquire);
+        for (auto& [id, attempt] : inflight) {
+          (void)attempt;
+          exec.kill_signal(id, sig);
+        }
+      }
+
+      // Fill free slots from the work queue (retries outrank fresh).
+      while (!stopped && !free_slots.empty()) {
+        auto job = queue.try_pop();
+        if (!job) break;
+        if (control.stop_dispatch.load(std::memory_order_acquire)) {
+          skip_popped(std::move(*job));
+          break;
+        }
+        spawn_one(std::move(*job));
+      }
+
+      if (inflight.empty()) {
+        if (control.shutdown.load(std::memory_order_acquire)) break;
+        if (stopped) {
+          // Nothing running, nothing startable: wait out the shutdown flag.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        // Idle: block on the queue so fresh work dispatches immediately.
+        if (auto job = queue.pop_for(kShardWait)) {
+          if (control.stop_dispatch.load(std::memory_order_acquire)) {
+            skip_popped(std::move(*job));
+          } else {
+            spawn_one(std::move(*job));
+          }
+        }
+        continue;
+      }
+
+      // Wait for a completion, capped by the next --timeout deadline and the
+      // control-poll interval.
+      double wait = kShardWait;
+      double now = exec.now();
+      while (!deadlines.empty()) {
+        const DeadlineEvent& next = deadlines.top();
+        auto it = inflight.find(next.job_id);
+        bool stale = it == inflight.end() ||
+                     (next.escalation ? it->second.force_sent
+                                      : it->second.kill_sent);
+        if (stale) {
+          deadlines.pop();
+          continue;
+        }
+        wait = std::min(wait, std::max(0.0, next.time - now));
+        break;
+      }
+      std::optional<ExecResult> completion = exec.wait_any(wait);
+      now = exec.now();
+
+      // Enforce due timeouts (same SIGTERM -> grace -> SIGKILL ladder as the
+      // serial loop).
+      while (!deadlines.empty() && deadlines.top().time <= now) {
+        DeadlineEvent due = deadlines.top();
+        deadlines.pop();
+        auto it = inflight.find(due.job_id);
+        if (it == inflight.end()) continue;
+        ActiveAttempt& attempt = it->second;
+        if (!due.escalation) {
+          if (attempt.kill_sent) continue;
+          attempt.kill_sent = true;
+          attempt.killed_for_timeout = true;
+          exec.kill(due.job_id, /*force=*/false);
+          deadlines.push({due.time + kTimeoutGrace, due.job_id,
+                          /*escalation=*/true});
+        } else if (attempt.kill_sent && !attempt.force_sent) {
+          attempt.force_sent = true;
+          exec.kill(due.job_id, /*force=*/true);
+        }
+      }
+
+      if (!completion) continue;
+      auto it = inflight.find(completion->job_id);
+      util::require(it != inflight.end(),
+                    "shard executor returned unknown job id");
+      ShardEvent event;
+      event.kind = ShardEvent::Kind::kCompletion;
+      event.attempt = std::move(it->second);
+      event.result = std::move(*completion);
+      inflight.erase(it);
+      free_slots.push_back(event.attempt.slot);
+      events.push(std::move(event));
+      shard.inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
+  } catch (...) {
+    // The shard is unusable; surface every in-flight attempt as failed so
+    // the coordinator's accounting still terminates, then rethrow through
+    // shard.error after the join. Children are killed when the shard
+    // executor is destroyed.
+    shard.error = std::current_exception();
+    for (auto& [id, attempt] : inflight) {
+      (void)id;
+      ShardEvent event;
+      event.kind = ShardEvent::Kind::kShardLost;
+      event.attempt = std::move(attempt);
+      event.result.start_time = event.attempt.start_time;
+      event.result.end_time = exec.now();
+      event.result.exit_code = 127;
+      events.push(std::move(event));
+      shard.inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  shard.stopped_spawning.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+std::size_t Engine::sharded_shard_count() const {
+  // Features that need a single globally-ordered dispatch decision per start
+  // (or the whole job list up front) pin the run to the serial loop.
+  if (options_.dry_run || options_.shuffle || options_.halt.percent > 0.0 ||
+      options_.delay_seconds > 0.0 || options_.hedge_multiplier > 0.0 ||
+      options_.timeout_percent > 0.0 || options_.memfree_bytes != 0 ||
+      options_.load_max > 0.0) {
+    return 1;
+  }
+  // Auto mode only shards runs wide enough to pay for the threads; an
+  // explicit --dispatchers N engages at any width.
+  if (options_.dispatchers == 0 && options_.effective_jobs() < 32) return 1;
+  return options_.effective_dispatchers();
+}
+
+RunSummary Engine::execute_sharded(const CommandTemplate& tmpl, JobSource& source,
+                                   std::vector<std::unique_ptr<Executor>> shard_execs) {
+  RunSummary summary;
+  const bool collect = options_.collect_results;
+  const std::size_t n = shard_execs.size();
+
+  std::vector<std::pair<std::string, CommandTemplate>> env_templates;
+  env_templates.reserve(options_.env.size());
+  for (const auto& [key, value] : options_.env) {
+    env_templates.emplace_back(key, CommandTemplate::parse(value));
+  }
+
+  std::set<std::uint64_t> skip;
+  if (options_.resume || options_.resume_failed) {
+    try {
+      JoblogReadStats log_stats;
+      skip = read_resume_skip_set(options_.joblog_path, options_.resume_failed,
+                                  &log_stats);
+      if (log_stats.torn_lines != 0) {
+        PARCL_WARN() << "joblog '" << options_.joblog_path
+                     << "': final line torn (crash mid-write); skipping it so "
+                        "its job re-runs";
+      }
+    } catch (const util::SystemError&) {
+      // No joblog yet: nothing to skip.
+    }
+  }
+  std::unique_ptr<JoblogWriter> joblog;
+  if (!options_.joblog_path.empty()) {
+    joblog = std::make_unique<JoblogWriter>(options_.joblog_path,
+                                            options_.joblog_fsync,
+                                            options_.joblog_flush_bytes);
+  }
+
+  OutputCollator::TagFn tag_fn;
+  if (!options_.tag_template.empty()) {
+    auto tag_tmpl = std::make_shared<CommandTemplate>(
+        CommandTemplate::parse(options_.tag_template));
+    tag_fn = [tag_tmpl](const JobResult& result) {
+      CommandTemplate::Context context{result.seq, result.slot};
+      return tag_tmpl->expand(result.args, context, /*quote=*/false);
+    };
+  } else if (options_.tag) {
+    tag_fn = [](const JobResult& result) {
+      return result.args.empty() ? std::string() : result.args.front();
+    };
+  }
+  OutputCollator collator(options_.output_mode, std::move(tag_fn), out_, err_);
+
+  // Same -k window formula as the serial loop (--shuf cannot reach here).
+  const std::size_t window =
+      options_.output_mode == OutputMode::kKeepOrder
+          ? (options_.keep_order_window != 0
+                 ? options_.keep_order_window
+                 : std::max<std::size_t>(256, 8 * options_.effective_jobs()))
+          : 0;
+
+  Scheduler scheduler(options_, executor_);  // --halt bookkeeping + stop flag
+  RetryLedger ledger(options_, executor_);
+
+  ShardControl control;
+  // Fresh-lane ring: enough run-ahead to keep every slot fed between
+  // coordinator passes, small enough to keep memory constant in the input.
+  DispatchQueue queue(std::max<std::size_t>(4 * options_.effective_jobs(), 128));
+  util::BlockingQueue<ShardEvent> events(0);  // unbounded: emitters never block
+
+  const std::size_t total_slots = options_.effective_jobs();
+  std::vector<std::unique_ptr<ShardRunner>> shards;
+  shards.reserve(n);
+  std::size_t next_base = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto runner = std::make_unique<ShardRunner>();
+    runner->index = i;
+    runner->exec = shard_execs[i].get();
+    runner->slot_base = next_base;
+    runner->slot_count = total_slots / n + (i < total_slots % n ? 1 : 0);
+    next_base += runner->slot_count;
+    shards.push_back(std::move(runner));
+  }
+
+  auto inflight_sum = [&] {
+    std::size_t sum = 0;
+    for (const auto& shard : shards) {
+      sum += shard->inflight.load(std::memory_order_relaxed);
+    }
+    return sum;
+  };
+  auto all_stopped_spawning = [&] {
+    for (const auto& shard : shards) {
+      if (!shard->stopped_spawning.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  };
+
+  // ---- Coordinator-side bookkeeping (all on this thread) -------------------
+  bool reader_done = false;
+  std::uint64_t reader_total = 0;
+  std::size_t done = 0;
+  double first_start = std::numeric_limits<double>::infinity();
+  double last_end = -std::numeric_limits<double>::infinity();
+
+  auto sync_window = [&] {
+    control.collator_held.store(collator.held_count(), std::memory_order_release);
+  };
+
+  auto note_skip = [&](PendingJob job) {
+    ++summary.skipped;
+    collator.mark_absent(job.seq);
+    sync_window();
+    if (collect) {
+      if (summary.results.size() < job.seq) summary.results.resize(job.seq);
+      JobResult& result = summary.results[job.seq - 1];
+      result.seq = job.seq;
+      result.args = std::move(job.args);
+      result.status = JobStatus::kSkipped;
+    }
+  };
+
+  auto print_progress = [&] {
+    if (!options_.progress) return;
+    err_ << "\rparcl: " << done << "/";
+    if (reader_done) {
+      err_ << reader_total;
+    } else {
+      err_ << '?';
+    }
+    err_ << " done, " << summary.failed << " failed, " << inflight_sum()
+         << " running";
+    if (reader_done && done > 0 && done < reader_total &&
+        summary.total_busy > 0.0) {
+      double mean_runtime = summary.total_busy / static_cast<double>(done);
+      double eta = mean_runtime * static_cast<double>(reader_total - done) /
+                   static_cast<double>(options_.effective_jobs());
+      err_ << ", ETA " << util::format_duration(eta);
+    }
+    err_ << ' ' << std::flush;
+  };
+
+  auto save_results_tree = [&](const JobResult& result) {
+    if (options_.results_dir.empty() || result.status == JobStatus::kSkipped) return;
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(options_.results_dir) / std::to_string(result.seq);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      PARCL_WARN() << "--results: cannot create " << dir.string() << ": "
+                   << ec.message();
+      return;
+    }
+    std::ofstream(dir / "stdout", std::ios::binary) << result.stdout_data;
+    std::ofstream(dir / "stderr", std::ios::binary) << result.stderr_data;
+    std::ofstream meta(dir / "meta");
+    meta << "seq\t" << result.seq << "\nargs\t" << util::shell_quote_join(result.args)
+         << "\ncommand\t" << result.command << "\nstatus\t" << to_string(result.status)
+         << "\nexitval\t" << result.exit_code << "\nsignal\t" << result.term_signal
+         << "\nruntime\t" << result.runtime() << '\n';
+  };
+
+  auto record_final = [&](JobResult result) {
+    ++done;
+    switch (result.status) {
+      case JobStatus::kSuccess: ++summary.succeeded; break;
+      case JobStatus::kKilled: ++summary.killed; break;
+      case JobStatus::kSkipped: ++summary.skipped; break;
+      default: ++summary.failed; break;
+    }
+    if (result.status != JobStatus::kSkipped) {
+      first_start = std::min(first_start, result.start_time);
+      last_end = std::max(last_end, result.end_time);
+      summary.total_busy += result.runtime();
+      // Same write-ahead ordering as the serial loop: output and --results
+      // land before the joblog row commits, so a logged seq always has its
+      // output on disk.
+      collator.deliver(result);
+      sync_window();
+      save_results_tree(result);
+      out_.flush();
+      if (joblog) {
+        joblog->record(result,
+                       result.host.empty() ? options_.host_label : result.host);
+      }
+    } else {
+      collator.mark_absent(result.seq);
+      sync_window();
+    }
+    print_progress();
+    if (on_result_) on_result_(result);
+    if (collect) {
+      if (summary.results.size() < result.seq) summary.results.resize(result.seq);
+      summary.results[result.seq - 1] = std::move(result);
+    }
+  };
+
+  // Stop transition, shared by the signal drain, --halt, and error paths:
+  // no new spawns anywhere, unblock the reader, and account everything
+  // still queued or parked as skipped. Idempotent.
+  bool stop_engaged = false;
+  auto engage_stop = [&] {
+    if (stop_engaged) return;
+    stop_engaged = true;
+    scheduler.stop();
+    control.stop_dispatch.store(true, std::memory_order_release);
+    queue.abort_pushes();
+    for (PendingJob& job : queue.drain()) note_skip(std::move(job));
+    for (PendingJob& job : ledger.drain()) note_skip(std::move(job));
+  };
+
+  auto apply_halt_policy = [&] {
+    Scheduler::HaltAction action = scheduler.evaluate_halt(
+        summary.failed, summary.succeeded, done, reader_total);
+    if (action == Scheduler::HaltAction::kNone) return;
+    summary.halted = true;
+    if (action == Scheduler::HaltAction::kKillRunning) {
+      summary.dispatch.drained += inflight_sum();
+      control.kill_all.store(true, std::memory_order_release);
+    }
+    engage_stop();
+  };
+
+  const std::vector<TermStage> term_stages = parse_termseq(options_.term_seq);
+  int drain_stage = 0;
+  std::size_t term_index = 0;
+  bool term_walk_started = false;
+  double next_stage_at = 0.0;
+  constexpr double kCoordinatorWait = 0.05;
+  constexpr std::size_t kMaxReschedules = 16;
+
+  // ---- Threads -------------------------------------------------------------
+  std::exception_ptr reader_error;
+  std::thread reader_thread;
+  auto join_all = [&] {
+    control.shutdown.store(true, std::memory_order_release);
+    control.stop_dispatch.store(true, std::memory_order_release);
+    queue.abort_pushes();
+    if (reader_thread.joinable()) reader_thread.join();
+    for (auto& shard : shards) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  };
+
+  try {
+    reader_thread = std::thread([&] {
+      run_reader(source, skip, window, control, queue, events, reader_error);
+    });
+    for (auto& shard : shards) {
+      ShardRunner* runner = shard.get();
+      runner->thread = std::thread([&, runner] {
+        run_dispatcher(tmpl, options_, env_templates, control, queue, events,
+                       *runner);
+      });
+    }
+
+    while (true) {
+      // Signal drain. Stage 1 stops dispatch and drains; stage 2 quiesces
+      // every shard, then walks --termseq over whatever is still running.
+      if (signals_ != nullptr) {
+        signals_->poll();
+        int seen = signals_->count();
+        if (seen >= 1 && drain_stage == 0) {
+          drain_stage = 1;
+          summary.interrupt_signal = signals_->first_signal();
+          std::size_t running = inflight_sum();
+          summary.dispatch.drained += running;
+          engage_stop();
+          err_ << "parcl: received signal " << summary.interrupt_signal
+               << "; no new jobs will be started, draining " << running
+               << " running (interrupt again to escalate via --termseq)\n";
+        }
+        if (seen >= 2 && drain_stage == 1) {
+          drain_stage = 2;
+          err_ << "parcl: second interrupt; escalating --termseq "
+               << options_.term_seq << " to " << inflight_sum()
+               << " running job(s)\n";
+        }
+      }
+      if (drain_stage == 2 && !term_walk_started && all_stopped_spawning()) {
+        // Quiesce barrier: only signal once no shard can still spawn, so no
+        // child is born after (and missed by) the escalation walk.
+        term_walk_started = true;
+        term_index = 0;
+        summary.dispatch.escalated += inflight_sum();
+        control.term_signal.store(term_stages[term_index].signal,
+                                  std::memory_order_release);
+        control.term_epoch.fetch_add(1, std::memory_order_release);
+        next_stage_at =
+            executor_.now() + term_stages[term_index].delay_ms / 1000.0;
+      }
+      if (term_walk_started && term_index + 1 < term_stages.size() &&
+          inflight_sum() > 0 && executor_.now() >= next_stage_at) {
+        ++term_index;
+        summary.dispatch.escalated += inflight_sum();
+        control.term_signal.store(term_stages[term_index].signal,
+                                  std::memory_order_release);
+        control.term_epoch.fetch_add(1, std::memory_order_release);
+        next_stage_at =
+            executor_.now() + term_stages[term_index].delay_ms / 1000.0;
+      }
+
+      // Feed released retries to the (priority) retry lane.
+      ledger.release_due();
+      while (!scheduler.stopped() && ledger.ready()) {
+        queue.push_retry(ledger.pop_ready());
+      }
+
+      std::optional<ShardEvent> event = events.pop_for(kCoordinatorWait);
+      if (!event) {
+        // Idle tick: bound how long committed joblog rows sit in memory.
+        if (joblog) joblog->flush();
+      } else {
+        switch (event->kind) {
+          case ShardEvent::Kind::kReaderSkip: {
+            note_skip(std::move(event->job));
+            break;
+          }
+          case ShardEvent::Kind::kReaderDone: {
+            reader_done = true;
+            reader_total = event->reader_total;
+            if (reader_error) engage_stop();  // rethrown after the join
+            break;
+          }
+          case ShardEvent::Kind::kSpawnFailure: {
+            ActiveAttempt failed = std::move(event->attempt);
+            PARCL_WARN() << "spawn failed for seq " << failed.seq << ": "
+                         << event->detail;
+            if (collect) summary.start_times.push_back(event->result.start_time);
+            if (ledger.retryable(failed.attempts) && !scheduler.stopped()) {
+              PendingJob retry;
+              retry.seq = failed.seq;
+              retry.args = std::move(failed.args);
+              retry.stdin_data = std::move(failed.stdin_data);
+              retry.has_stdin = failed.has_stdin;
+              retry.attempts = failed.attempts;
+              retry.reschedules = failed.reschedules;
+              ledger.park(std::move(retry), /*front=*/false);
+              break;
+            }
+            JobResult result;
+            result.seq = failed.seq;
+            result.args = std::move(failed.args);
+            result.slot = failed.slot;
+            result.command = std::move(failed.command);
+            result.attempts = failed.attempts;
+            result.status = JobStatus::kFailed;
+            result.exit_code = 127;
+            result.start_time = event->result.start_time;
+            result.end_time = event->result.end_time;
+            record_final(std::move(result));
+            apply_halt_policy();
+            break;
+          }
+          case ShardEvent::Kind::kShardLost: {
+            // The dispatcher died with this attempt in flight; its child is
+            // killed when the shard executor is destroyed. No retry: the
+            // run is about to rethrow the shard's error anyway.
+            ActiveAttempt lost = std::move(event->attempt);
+            if (collect) summary.start_times.push_back(event->result.start_time);
+            JobResult result;
+            result.seq = lost.seq;
+            result.args = std::move(lost.args);
+            result.slot = lost.slot;
+            result.command = std::move(lost.command);
+            result.attempts = lost.attempts;
+            result.status = JobStatus::kFailed;
+            result.exit_code = 127;
+            result.start_time = event->result.start_time;
+            result.end_time = event->result.end_time;
+            record_final(std::move(result));
+            break;
+          }
+          case ShardEvent::Kind::kCompletion: {
+            ActiveAttempt attempt = std::move(event->attempt);
+            ExecResult& completion = event->result;
+            if (collect) summary.start_times.push_back(completion.start_time);
+
+            JobStatus status;
+            if (attempt.killed_for_halt) {
+              status = JobStatus::kKilled;
+            } else if (attempt.killed_for_timeout) {
+              status = JobStatus::kTimedOut;
+            } else if (completion.term_signal != 0) {
+              status = JobStatus::kSignaled;
+            } else if (completion.exit_code == 0) {
+              status = JobStatus::kSuccess;
+            } else {
+              status = JobStatus::kFailed;
+            }
+
+            // Host-failure parity with the serial loop (local shards never
+            // set it, but fault-injecting wrappers can).
+            if (completion.host_failure) {
+              ++summary.dispatch.host_failures;
+              if (!attempt.killed_for_timeout && !attempt.killed_for_halt &&
+                  !scheduler.stopped() &&
+                  attempt.reschedules < kMaxReschedules) {
+                PendingJob job;
+                job.seq = attempt.seq;
+                job.args = std::move(attempt.args);
+                job.stdin_data = std::move(attempt.stdin_data);
+                job.has_stdin = attempt.has_stdin;
+                job.attempts = attempt.attempts - 1;  // never counted
+                job.reschedules = attempt.reschedules;  // ledger increments
+                ledger.reschedule(std::move(job));
+                ++summary.dispatch.rescheduled;
+                break;
+              }
+            }
+
+            bool retryable = status == JobStatus::kFailed ||
+                             status == JobStatus::kSignaled ||
+                             status == JobStatus::kTimedOut;
+            if (retryable && ledger.retryable(attempt.attempts) &&
+                !scheduler.stopped()) {
+              PendingJob retry;
+              retry.seq = attempt.seq;
+              retry.args = std::move(attempt.args);
+              retry.stdin_data = std::move(attempt.stdin_data);
+              retry.has_stdin = attempt.has_stdin;
+              retry.attempts = attempt.attempts;
+              retry.reschedules = attempt.reschedules;
+              ledger.park(std::move(retry), /*front=*/true);
+              break;
+            }
+
+            JobResult result;
+            result.seq = attempt.seq;
+            result.args = std::move(attempt.args);
+            result.slot = attempt.slot;
+            result.status = status;
+            result.exit_code = completion.exit_code;
+            result.term_signal = completion.term_signal;
+            result.attempts = attempt.attempts;
+            result.start_time = completion.start_time;
+            result.end_time = completion.end_time;
+            result.command = std::move(attempt.command);
+            result.stdout_data = std::move(completion.stdout_data);
+            result.stderr_data = std::move(completion.stderr_data);
+            result.host = std::move(completion.host);
+            record_final(std::move(result));
+            apply_halt_policy();
+            break;
+          }
+        }
+      }
+
+      // Termination: every seq the reader assigned is accounted as done or
+      // skipped (each exactly once, all on this thread), and no retry is
+      // parked. Nothing can still be queued or in flight then.
+      if (reader_done && ledger.idle() &&
+          done + summary.skipped == reader_total) {
+        break;
+      }
+    }
+  } catch (...) {
+    control.kill_all.store(true, std::memory_order_release);
+    join_all();
+    throw;
+  }
+  join_all();
+
+  if (reader_error) std::rethrow_exception(reader_error);
+  for (const auto& shard : shards) {
+    if (shard->error) std::rethrow_exception(shard->error);
+  }
+
+  collator.finish();
+  if (options_.progress) {
+    print_progress();
+    err_ << '\n';
+  }
+  // Merge per-shard dispatch counters now that no dispatcher can touch them.
+  for (const auto& exec : shard_execs) {
+    if (const DispatchCounters* counters = exec->dispatch_counters()) {
+      summary.dispatch.merge(*counters);
+    }
+  }
+  summary.dispatch.dispatcher_threads = n;
+  if (joblog) {
+    joblog->flush();
+    summary.dispatch.joblog_flushes = joblog->flushes();
+  }
+  if (last_end > first_start) summary.makespan = last_end - first_start;
+  summary.total = reader_total;
+  if (collect) summary.results.resize(summary.total);
+  return summary;
+}
+
+}  // namespace parcl::core

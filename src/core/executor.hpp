@@ -10,6 +10,7 @@
 #include <csignal>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -107,6 +108,29 @@ class Executor {
   /// The executor's clock, in seconds. Monotonic wall time for real
   /// executors, simulation time for simulated ones.
   virtual double now() const = 0;
+
+  // ---- Thread-safety contract ----------------------------------------------
+  // An Executor instance is single-threaded: start/wait_any/kill/kill_signal
+  // must all be called from one thread at a time, and no call may overlap
+  // another. The engine's sharded dispatch mode therefore never shares an
+  // instance across dispatcher threads — it asks the backend for independent
+  // *shard* instances instead, one per dispatcher, each driven exclusively by
+  // its own thread.
+
+  /// Returns a fresh executor shard sharing this backend's clock epoch (so
+  /// timestamps from different shards compare), or nullptr when the backend
+  /// cannot be sharded — the engine then falls back to the serial dispatch
+  /// loop. A shard owns its own children/poll state and counters; only
+  /// `now()` and const introspection on the parent remain callable while
+  /// shards are live. Shards must be created before dispatcher threads start
+  /// and destroyed (or drained) before the parent.
+  virtual std::unique_ptr<Executor> make_shard() { return nullptr; }
+
+  /// Backend-side dispatch counters (spawn/reap/poll costs), or nullptr when
+  /// the backend keeps none. The sharded engine merges each shard's counters
+  /// into RunSummary::dispatch after the dispatcher threads join, so the
+  /// totals survive shard destruction.
+  virtual const struct DispatchCounters* dispatch_counters() const { return nullptr; }
 };
 
 }  // namespace parcl::core

@@ -1,5 +1,6 @@
 #include "core/options.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "core/signal_coordinator.hpp"
@@ -55,12 +56,31 @@ void Options::validate() const {
   if (!colsep.empty() && (max_args > 1 || xargs)) {
     throw util::ConfigError("--colsep cannot be combined with -n/-X packing");
   }
+  if (joblog_flush_bytes != 0 && joblog_path.empty()) {
+    throw util::ConfigError("--joblog-flush requires --joblog");
+  }
+  if (joblog_flush_bytes != 0 && joblog_fsync) {
+    throw util::ConfigError(
+        "--joblog-flush batches rows in memory and cannot be combined with "
+        "--joblog-fsync (which promises durability per record)");
+  }
 }
 
 std::size_t Options::effective_jobs() const {
   if (jobs != 0) return jobs;
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+std::size_t Options::effective_dispatchers() const {
+  std::size_t n = dispatchers;
+  if (n == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    n = std::min<std::size_t>(4, hw == 0 ? 1 : hw);
+  }
+  n = std::min<std::size_t>(n, 16);        // shard count sanity cap
+  n = std::min(n, effective_jobs());       // a shard needs at least one slot
+  return n == 0 ? 1 : n;
 }
 
 }  // namespace parcl::core

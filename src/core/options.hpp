@@ -23,6 +23,30 @@ struct Options {
   /// -j/--jobs: concurrent slots. 0 means "one per hardware thread".
   std::size_t jobs = 1;
 
+  /// --dispatchers: dispatcher threads sharding the dispatch hot path. Each
+  /// shard owns a contiguous slot range and its own executor instance (own
+  /// pidfd poll set); a prefetching reader thread feeds them through a
+  /// bounded queue. 0 = auto: min(4, hardware threads), engaged only for
+  /// runs with enough slots to shard (see Engine). 1 forces the serial loop.
+  /// Sharding requires a backend that supports Executor::make_shard() and a
+  /// feature set without global inter-start ordering (--delay, --memfree,
+  /// --load, --hedge, and adaptive --timeout N% all fall back to serial).
+  std::size_t dispatchers = 0;
+
+  /// --zygote: prefork a small spawn helper per dispatcher shard and serve
+  /// shell-bypass-eligible commands from it over a SOCK_SEQPACKET pipe, so
+  /// each job forks from a tiny address space instead of the full parcl
+  /// process. LocalExecutor only; silently inert elsewhere.
+  bool zygote = false;
+
+  /// --joblog-flush BYTES: batch joblog rows in memory and append them with
+  /// one write() once this many bytes are pending (0 = write every row
+  /// immediately, the crash-safest setting). Batching preserves the
+  /// torn-tail recovery contract — a crash can only tear the final row of
+  /// the last batch — but widens the window of completed jobs that re-run
+  /// on --resume. Incompatible with --joblog-fsync.
+  std::size_t joblog_flush_bytes = 0;
+
   OutputMode output_mode = OutputMode::kGroup;
 
   /// --tag: prefix every output line with the job's first argument + TAB.
@@ -176,6 +200,12 @@ struct Options {
 
   /// Resolved slot count (expands jobs == 0).
   std::size_t effective_jobs() const;
+
+  /// Resolved dispatcher-thread count (expands dispatchers == 0 to
+  /// min(4, hardware threads)), capped at 16 and at effective_jobs(). This
+  /// is the *requested* count; the engine may still run serial when the
+  /// backend or feature set cannot shard.
+  std::size_t effective_dispatchers() const;
 };
 
 }  // namespace parcl::core

@@ -67,7 +67,9 @@ int main(int argc, char** argv) {
     // and the joblog, so keeping them all in the summary would reintroduce
     // the O(jobs) memory the streaming pipeline removes.
     plan.options.collect_results = false;
-    exec::LocalExecutor executor;
+    exec::SpawnTuning tuning;
+    tuning.zygote = plan.options.zygote;
+    exec::LocalExecutor executor{tuning};
     std::unique_ptr<exec::MultiExecutor> cluster;
     if (!plan.sshlogins.empty()) {
       cluster = make_cluster(plan);

@@ -8,6 +8,31 @@
 
 namespace parcl::core {
 
+void DispatchCounters::merge(const DispatchCounters& other) noexcept {
+  spawns += other.spawns;
+  direct_execs += other.direct_execs;
+  clone3_spawns += other.clone3_spawns;
+  zygote_spawns += other.zygote_spawns;
+  spawn_seconds += other.spawn_seconds;
+  reaps += other.reaps;
+  reap_sweeps += other.reap_sweeps;
+  polls += other.polls;
+  poll_events += other.poll_events;
+  exit_wakeups += other.exit_wakeups;
+  poll_wait_seconds += other.poll_wait_seconds;
+  deferred += other.deferred;
+  drained += other.drained;
+  escalated += other.escalated;
+  host_failures += other.host_failures;
+  rescheduled += other.rescheduled;
+  hedges_launched += other.hedges_launched;
+  hedges_won += other.hedges_won;
+  hedges_lost += other.hedges_lost;
+  quarantines += other.quarantines;
+  dispatcher_threads += other.dispatcher_threads;
+  joblog_flushes += other.joblog_flushes;
+}
+
 double DispatchCounters::mean_spawn_us() const noexcept {
   if (spawns == 0) return 0.0;
   return spawn_seconds / static_cast<double>(spawns) * 1e6;
@@ -21,7 +46,8 @@ double DispatchCounters::events_per_poll() const noexcept {
 std::string DispatchCounters::render() const {
   std::ostringstream out;
   out << "spawns           " << spawns << " (" << direct_execs
-      << " direct-exec), mean " << util::format_double(mean_spawn_us(), 1)
+      << " direct-exec, " << clone3_spawns << " clone3, " << zygote_spawns
+      << " zygote), mean " << util::format_double(mean_spawn_us(), 1)
       << " us\n"
       << "reaps            " << reaps << " (" << reap_sweeps << " sweeps)\n"
       << "polls            " << polls << ", " << poll_events << " events ("
@@ -40,6 +66,10 @@ std::string DispatchCounters::render() const {
   if (hedges_launched != 0) {
     out << "hedging          " << hedges_launched << " launched, " << hedges_won
         << " won, " << hedges_lost << " lost\n";
+  }
+  if (dispatcher_threads != 0 || joblog_flushes != 0) {
+    out << "sharding         " << dispatcher_threads << " dispatchers, "
+        << joblog_flushes << " joblog flushes\n";
   }
   return out.str();
 }

@@ -37,7 +37,7 @@ bool FaultPlan::inert() const noexcept {
 }
 
 FaultInjectingExecutor::FaultInjectingExecutor(core::Executor& inner, FaultPlan plan)
-    : inner_(&inner), plan_(plan) {
+    : inner_(&inner), plan_(plan), shared_(std::make_shared<SharedState>()) {
   auto check = [](double p, const char* name) {
     if (p < 0.0 || p > 1.0) {
       throw util::ConfigError(std::string("fault probability out of range: ") + name);
@@ -63,9 +63,28 @@ FaultInjectingExecutor::FaultInjectingExecutor(std::unique_ptr<core::Executor> i
   owned_ = std::move(inner);
 }
 
+FaultInjectingExecutor::FaultInjectingExecutor(std::unique_ptr<core::Executor> inner,
+                                               FaultPlan plan,
+                                               std::shared_ptr<SharedState> shared)
+    : inner_(inner.get()), plan_(plan), shared_(std::move(shared)) {
+  // Plan already validated by the parent this shard was made from.
+  owned_ = std::move(inner);
+}
+
+std::unique_ptr<core::Executor> FaultInjectingExecutor::make_shard() {
+  std::unique_ptr<core::Executor> inner_shard = inner_->make_shard();
+  if (inner_shard == nullptr) return nullptr;
+  return std::unique_ptr<core::Executor>(
+      new FaultInjectingExecutor(std::move(inner_shard), plan_, shared_));
+}
+
 FaultInjectingExecutor::Decision FaultInjectingExecutor::decide(
     const std::string& command) {
-  std::uint64_t attempt = attempt_index_[command]++;
+  std::uint64_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    attempt = shared_->attempt_index[command]++;
+  }
   util::Rng rng(mix64(plan_.seed) ^ mix64(hash_command(command) + attempt));
   // Fixed draw order: every class consumes its draws whether or not it
   // fires, so plans with different probabilities stay stream-compatible.
@@ -85,7 +104,10 @@ FaultInjectingExecutor::Decision FaultInjectingExecutor::decide(
 void FaultInjectingExecutor::start(const core::ExecRequest& request) {
   Decision decision = decide(request.command);
   if (decision.spawn_fail) {
-    ++counters_.spawn_failures;
+    {
+      std::lock_guard<std::mutex> lock(shared_->mu);
+      ++shared_->counters.spawn_failures;
+    }
     throw util::SystemError("injected spawn failure", EAGAIN);
   }
   pending_.emplace(request.job_id, decision);
@@ -95,21 +117,23 @@ void FaultInjectingExecutor::start(const core::ExecRequest& request) {
     pending_.erase(request.job_id);
     throw;
   }
-  ++counters_.started;
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  ++shared_->counters.started;
 }
 
 void FaultInjectingExecutor::apply(const Decision& decision,
                                    core::ExecResult& result) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
   if (decision.kill) {
-    ++counters_.kills;
+    ++shared_->counters.kills;
     result.term_signal = SIGKILL;
     result.exit_code = 128 + SIGKILL;
   } else if (decision.fail && result.term_signal == 0 && result.exit_code == 0) {
-    ++counters_.exit_rewrites;
+    ++shared_->counters.exit_rewrites;
     result.exit_code = plan_.fail_exit_code;
   }
   if (decision.truncate) {
-    ++counters_.truncations;
+    ++shared_->counters.truncations;
     auto keep = static_cast<std::size_t>(
         decision.truncate_fraction * static_cast<double>(result.stdout_data.size()));
     result.stdout_data.resize(std::min(keep, result.stdout_data.size()));
@@ -143,7 +167,7 @@ std::optional<core::ExecResult> FaultInjectingExecutor::wait_any(
       timeout_seconds < 0.0 ? -1.0 : inner_->now() + timeout_seconds;
   while (true) {
     if (auto due = take_due_held()) {
-      ++counters_.delivered;
+      { std::lock_guard<std::mutex> lock(shared_->mu); ++shared_->counters.delivered; }
       return due;
     }
 
@@ -171,19 +195,19 @@ std::optional<core::ExecResult> FaultInjectingExecutor::wait_any(
       if (it != pending_.end()) pending_.erase(it);
       apply(decision, *completion);
       if (decision.delay > 0.0) {
-        ++counters_.stragglers;
+        { std::lock_guard<std::mutex> lock(shared_->mu); ++shared_->counters.stragglers; }
         double release = completion->end_time + decision.delay;
         held_.push_back(Held{std::move(*completion), release});
         continue;  // the loop re-checks for due releases
       }
-      ++counters_.delivered;
+      { std::lock_guard<std::mutex> lock(shared_->mu); ++shared_->counters.delivered; }
       return completion;
     }
 
     // Backend timed out. Surface any straggler that just came due; else
     // honour the caller's deadline.
     if (auto due = take_due_held()) {
-      ++counters_.delivered;
+      { std::lock_guard<std::mutex> lock(shared_->mu); ++shared_->counters.delivered; }
       return due;
     }
     now = inner_->now();

@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "core/executor.hpp"
 #include "exec/multi_executor.hpp"
@@ -106,7 +107,16 @@ class FaultInjectingExecutor final : public core::Executor {
   std::size_t active_count() const override;
   double now() const override { return inner_->now(); }
 
-  const FaultCounters& counters() const noexcept { return counters_; }
+  /// Shards the wrapped backend and hands the shard an injector that SHARES
+  /// this one's per-command attempt streams and counters (mutex-protected):
+  /// the fault decision for (command, attempt#) must not depend on which
+  /// dispatcher shard happens to run the attempt. Returns nullptr when the
+  /// backend cannot shard.
+  std::unique_ptr<core::Executor> make_shard() override;
+
+  /// Tallies, summed across this injector and every shard made from it.
+  /// Read after dispatcher threads join (or from the driving thread).
+  const FaultCounters& counters() const noexcept { return shared_->counters; }
 
  private:
   struct Decision {
@@ -121,6 +131,17 @@ class FaultInjectingExecutor final : public core::Executor {
     core::ExecResult result;
     double release_time = 0.0;
   };
+  /// Decision-stream and tally state shared between a parent injector and
+  /// its shards, so schedules replay identically however work is sharded.
+  struct SharedState {
+    std::mutex mu;
+    std::unordered_map<std::string, std::uint64_t> attempt_index;
+    FaultCounters counters;
+  };
+
+  /// Shard constructor: adopts the parent's shared decision state.
+  FaultInjectingExecutor(std::unique_ptr<core::Executor> inner, FaultPlan plan,
+                         std::shared_ptr<SharedState> shared);
 
   /// Draws the fault decision for one attempt of `command`. The attempt
   /// index is tracked per command string, so the decision stream is stable
@@ -137,8 +158,7 @@ class FaultInjectingExecutor final : public core::Executor {
   std::unique_ptr<core::Executor> owned_;  // null for the borrowing ctor
   core::Executor* inner_;
   FaultPlan plan_;
-  FaultCounters counters_;
-  std::unordered_map<std::string, std::uint64_t> attempt_index_;
+  std::shared_ptr<SharedState> shared_;
   std::map<std::uint64_t, Decision> pending_;  // started job -> decision
   std::vector<Held> held_;                     // straggler holding pen
 };

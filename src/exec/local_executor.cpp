@@ -12,12 +12,14 @@
 #endif
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 
+#include "exec/spawn_path.hpp"
 #include "util/error.hpp"
 #include "util/shell.hpp"
 
@@ -55,8 +57,9 @@ int pidfd_open_compat(pid_t pid) {
 }
 
 /// Once pidfd_open reports ENOSYS we stop retrying it for the process.
-bool& pidfd_disabled() {
-  static bool disabled = false;
+/// Atomic: dispatcher-thread shards consult it concurrently.
+std::atomic<bool>& pidfd_disabled() {
+  static std::atomic<bool> disabled{false};
   return disabled;
 }
 
@@ -99,7 +102,8 @@ bool shell_bypass_safe(const std::string& command) {
 
 }  // namespace
 
-LocalExecutor::LocalExecutor() : epoch_(monotonic_seconds()) {
+LocalExecutor::LocalExecutor(SpawnTuning tuning)
+    : tuning_(tuning), epoch_(monotonic_seconds()) {
   // A child dying while we are mid-write to a closed pipe must not kill us.
   // Children get the default disposition back through posix_spawn's sigdefault
   // set; our own prior disposition is restored on destruction.
@@ -107,6 +111,41 @@ LocalExecutor::LocalExecutor() : epoch_(monotonic_seconds()) {
   ignore.sa_handler = SIG_IGN;
   sigemptyset(&ignore.sa_mask);
   if (sigaction(SIGPIPE, &ignore, &saved_sigpipe_) == 0) sigpipe_saved_ = true;
+  // The zygote must fork before any job pipes exist: fork ignores O_CLOEXEC,
+  // so a helper forked mid-run would inherit live pipe write ends and hold
+  // the client's EOF hostage. Constructing it here (and in make_shard) keeps
+  // its address space minimal too — that is the whole point of the zygote.
+  if (tuning_.zygote) {
+    zygote_tried_ = true;
+    zygote_ = Zygote::create();
+  }
+}
+
+LocalExecutor::LocalExecutor(SpawnTuning tuning, double epoch, bool shard_mode)
+    : shard_mode_(shard_mode), tuning_(tuning), epoch_(epoch) {
+  // Shards leave process-global signal dispositions alone: the parent
+  // instance already holds SIGPIPE ignored for the whole process.
+  if (tuning_.zygote) {
+    zygote_tried_ = true;
+    zygote_ = Zygote::create();
+  }
+}
+
+std::unique_ptr<core::Executor> LocalExecutor::make_shard() {
+  // A shard cannot use the SIGCHLD self-pipe (sigaction is process-global
+  // and the handler's single pipe cannot route wakeups per thread), so it
+  // needs pidfd exit notification. Probe with our own pid before agreeing.
+  if (pidfd_disabled().load(std::memory_order_relaxed)) return nullptr;
+  int probe = pidfd_open_compat(::getpid());
+  if (probe < 0) {
+    if (errno == ENOSYS || errno == EPERM) {
+      pidfd_disabled().store(true, std::memory_order_relaxed);
+    }
+    return nullptr;
+  }
+  close(probe);
+  return std::unique_ptr<core::Executor>(
+      new LocalExecutor(tuning_, epoch_, /*shard_mode=*/true));
 }
 
 LocalExecutor::~LocalExecutor() {
@@ -144,22 +183,24 @@ void LocalExecutor::start(const core::ExecRequest& request) {
     if (fds[0] >= 0) close(fds[0]);
     if (fds[1] >= 0) close(fds[1]);
   };
+  // O_CLOEXEC on BOTH ends: with concurrent dispatcher shards, another
+  // thread's child can exec between our pipe() and spawn, and an inherited
+  // write end would keep this child's stdout open past its exit (EOF never
+  // arrives). The spawn installs the child-side ends with dup2, which
+  // clears CLOEXEC on the duplicate.
   if (request.capture_output) {
-    if (pipe(out_pipe) != 0) throw util::SystemError("pipe", errno);
-    if (pipe(err_pipe) != 0) {
+    if (pipe2(out_pipe, O_CLOEXEC) != 0) throw util::SystemError("pipe", errno);
+    if (pipe2(err_pipe, O_CLOEXEC) != 0) {
       close_pair(out_pipe);
       throw util::SystemError("pipe", errno);
     }
-    set_cloexec(out_pipe[0]);
-    set_cloexec(err_pipe[0]);
   }
   if (request.has_stdin) {
-    if (pipe(in_pipe) != 0) {
+    if (pipe2(in_pipe, O_CLOEXEC) != 0) {
       close_pair(out_pipe);
       close_pair(err_pipe);
       throw util::SystemError("pipe", errno);
     }
-    set_cloexec(in_pipe[1]);
   }
 
   // Child environment: reuse `environ` untouched in the common case of no
@@ -199,52 +240,91 @@ void LocalExecutor::start(const core::ExecRequest& request) {
   for (auto& word : argv_storage) argv.push_back(word.data());
   argv.push_back(nullptr);
 
-  posix_spawn_file_actions_t actions;
-  posix_spawn_file_actions_init(&actions);
-  if (request.has_stdin) {
-    posix_spawn_file_actions_adddup2(&actions, in_pipe[0], STDIN_FILENO);
-    if (in_pipe[0] != STDIN_FILENO) {
-      posix_spawn_file_actions_addclose(&actions, in_pipe[0]);
-    }
-  } else {
-    posix_spawn_file_actions_addopen(&actions, STDIN_FILENO, "/dev/null",
-                                     O_RDONLY, 0);
-  }
-  if (request.capture_output) {
-    posix_spawn_file_actions_adddup2(&actions, out_pipe[1], STDOUT_FILENO);
-    posix_spawn_file_actions_adddup2(&actions, err_pipe[1], STDERR_FILENO);
-    if (out_pipe[1] != STDOUT_FILENO) {
-      posix_spawn_file_actions_addclose(&actions, out_pipe[1]);
-    }
-    if (err_pipe[1] != STDERR_FILENO) {
-      posix_spawn_file_actions_addclose(&actions, err_pipe[1]);
-    }
-  }
-
-  posix_spawnattr_t attr;
-  posix_spawnattr_init(&attr);
-  // New process group (kill() signals the whole pipeline) and default
-  // SIGPIPE in the child despite our own SIG_IGN.
-  sigset_t defaults;
-  sigemptyset(&defaults);
-  sigaddset(&defaults, SIGPIPE);
-  posix_spawnattr_setsigdefault(&attr, &defaults);
-  posix_spawnattr_setpgroup(&attr, 0);
-  posix_spawnattr_setflags(&attr,
-                           POSIX_SPAWN_SETPGROUP | POSIX_SPAWN_SETSIGDEF);
-
   pid_t pid = -1;
-  int rc = direct ? posix_spawnp(&pid, argv[0], &actions, &attr, argv.data(),
-                                 const_cast<char* const*>(envp))
-                  : posix_spawn(&pid, "/bin/sh", &actions, &attr, argv.data(),
-                                const_cast<char* const*>(envp));
-  posix_spawn_file_actions_destroy(&actions);
-  posix_spawnattr_destroy(&attr);
-  if (rc != 0) {
-    close_pair(out_pipe);
-    close_pair(err_pipe);
-    close_pair(in_pipe);
-    throw util::SystemError("posix_spawn", rc);
+  int spawned_pidfd = -1;  // from clone3/zygote: arrives with the pid
+  bool fast_spawned = false;
+  if (tuning_.path != SpawnTuning::Path::kPosixSpawn) {
+    SpawnTarget target;
+    target.argv = argv.data();
+    target.envp = envp == environ ? nullptr : envp;
+    target.stdin_fd = request.has_stdin ? in_pipe[0] : -1;
+    target.stdout_fd = request.capture_output ? out_pipe[1] : -1;
+    target.stderr_fd = request.capture_output ? err_pipe[1] : -1;
+    try {
+      // Zygote first (direct argv only — it has no shell), then clone3;
+      // a nullopt from either means "fall through", not "job failed". The
+      // helper was preforked at construction, before any job pipe existed.
+      if (direct && zygote_) {
+        if (auto spawned = zygote_->spawn(target)) {
+          pid = spawned->pid;
+          spawned_pidfd = spawned->pidfd;
+          fast_spawned = true;
+          ++counters_.zygote_spawns;
+        }
+      }
+      if (!fast_spawned) {
+        if (auto spawned = clone3_spawn(target)) {
+          pid = spawned->pid;
+          spawned_pidfd = spawned->pidfd;
+          fast_spawned = true;
+          ++counters_.clone3_spawns;
+        }
+      }
+    } catch (...) {
+      close_pair(out_pipe);
+      close_pair(err_pipe);
+      close_pair(in_pipe);
+      throw;
+    }
+  }
+
+  if (!fast_spawned) {
+    posix_spawn_file_actions_t actions;
+    posix_spawn_file_actions_init(&actions);
+    if (request.has_stdin) {
+      posix_spawn_file_actions_adddup2(&actions, in_pipe[0], STDIN_FILENO);
+      if (in_pipe[0] != STDIN_FILENO) {
+        posix_spawn_file_actions_addclose(&actions, in_pipe[0]);
+      }
+    } else {
+      posix_spawn_file_actions_addopen(&actions, STDIN_FILENO, "/dev/null",
+                                       O_RDONLY, 0);
+    }
+    if (request.capture_output) {
+      posix_spawn_file_actions_adddup2(&actions, out_pipe[1], STDOUT_FILENO);
+      posix_spawn_file_actions_adddup2(&actions, err_pipe[1], STDERR_FILENO);
+      if (out_pipe[1] != STDOUT_FILENO) {
+        posix_spawn_file_actions_addclose(&actions, out_pipe[1]);
+      }
+      if (err_pipe[1] != STDERR_FILENO) {
+        posix_spawn_file_actions_addclose(&actions, err_pipe[1]);
+      }
+    }
+
+    posix_spawnattr_t attr;
+    posix_spawnattr_init(&attr);
+    // New process group (kill() signals the whole pipeline) and default
+    // SIGPIPE in the child despite our own SIG_IGN.
+    sigset_t defaults;
+    sigemptyset(&defaults);
+    sigaddset(&defaults, SIGPIPE);
+    posix_spawnattr_setsigdefault(&attr, &defaults);
+    posix_spawnattr_setpgroup(&attr, 0);
+    posix_spawnattr_setflags(&attr,
+                             POSIX_SPAWN_SETPGROUP | POSIX_SPAWN_SETSIGDEF);
+
+    int rc = direct ? posix_spawnp(&pid, argv[0], &actions, &attr, argv.data(),
+                                   const_cast<char* const*>(envp))
+                    : posix_spawn(&pid, "/bin/sh", &actions, &attr, argv.data(),
+                                  const_cast<char* const*>(envp));
+    posix_spawn_file_actions_destroy(&actions);
+    posix_spawnattr_destroy(&attr);
+    if (rc != 0) {
+      close_pair(out_pipe);
+      close_pair(err_pipe);
+      close_pair(in_pipe);
+      throw util::SystemError("posix_spawn", rc);
+    }
   }
 
   Child child;
@@ -265,12 +345,14 @@ void LocalExecutor::start(const core::ExecRequest& request) {
     child.in_buffer = request.stdin_data;
   }
 
-  if (!pidfd_disabled()) {
+  if (fast_spawned) {
+    child.pidfd = spawned_pidfd;  // CLONE_PIDFD fds are born O_CLOEXEC
+  } else if (!pidfd_disabled().load(std::memory_order_relaxed)) {
     child.pidfd = pidfd_open_compat(pid);
     if (child.pidfd >= 0) {
       set_cloexec(child.pidfd);  // pidfd_open sets it; belt and braces
     } else if (errno == ENOSYS || errno == EPERM) {
-      pidfd_disabled() = true;
+      pidfd_disabled().store(true, std::memory_order_relaxed);
     }
   }
   if (child.pidfd < 0) enable_self_pipe();
@@ -359,6 +441,14 @@ void LocalExecutor::compact_poll_set() {
 }
 
 void LocalExecutor::enable_self_pipe() {
+  if (shard_mode_) {
+    // sigaction and the handler's pipe are process-global; a shard must not
+    // touch them from a dispatcher thread. Degrade to bounded polling with
+    // WNOHANG sweeps for the (pidfd-less) children this shard holds.
+    degraded_sweep_ = true;
+    need_sweep_ = true;
+    return;
+  }
   if (use_self_pipe_) return;
   if (g_self_pipe_users == 0) {
     int fds[2];
@@ -568,7 +658,7 @@ std::optional<core::ExecResult> LocalExecutor::wait_any(double timeout_seconds) 
     // happened are collected (matching the old sweep-first behavior).
     int timeout_ms;
     if (deadline < 0.0) {
-      timeout_ms = use_self_pipe_ ? 100 : -1;
+      timeout_ms = capped_poll() ? 100 : -1;
     } else {
       double remaining = deadline - monotonic_seconds();
       if (remaining <= 0.0) {
@@ -577,7 +667,7 @@ std::optional<core::ExecResult> LocalExecutor::wait_any(double timeout_seconds) 
         timeout_ms = 0;
       } else {
         timeout_ms = static_cast<int>(std::min(remaining * 1e3 + 1.0, 3.6e6));
-        if (use_self_pipe_ && timeout_ms > 100) timeout_ms = 100;
+        if (capped_poll() && timeout_ms > 100) timeout_ms = 100;
       }
     }
 
@@ -591,7 +681,7 @@ std::optional<core::ExecResult> LocalExecutor::wait_any(double timeout_seconds) 
       throw util::SystemError("poll", errno);
     }
     if (nready == 0) {
-      if (use_self_pipe_) sweep_unreaped();
+      if (capped_poll()) sweep_unreaped();
       continue;
     }
 

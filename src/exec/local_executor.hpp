@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,12 +30,26 @@
 #include "core/executor.hpp"
 #include "core/profile.hpp"
 #include "exec/host_probe.hpp"
+#include "exec/spawn_path.hpp"
 
 namespace parcl::exec {
 
+/// How LocalExecutor creates children.
+struct SpawnTuning {
+  enum class Path {
+    kAuto,        // clone3(CLONE_PIDFD) when the kernel has it, else posix_spawn
+    kPosixSpawn,  // force the portable path (benchmarks, debugging)
+  };
+  Path path = Path::kAuto;
+  /// Route shell-bypass-eligible commands through a preforked zygote helper
+  /// (--zygote): children fork from the helper's small address space instead
+  /// of the full parcl process. Falls back transparently per spawn.
+  bool zygote = false;
+};
+
 class LocalExecutor final : public core::Executor {
  public:
-  LocalExecutor();
+  explicit LocalExecutor(SpawnTuning tuning = {});
   /// Kills (SIGKILL) and reaps any children still running.
   ~LocalExecutor() override;
   LocalExecutor(const LocalExecutor&) = delete;
@@ -50,6 +65,17 @@ class LocalExecutor final : public core::Executor {
   std::size_t active_count() const override { return children_.size(); }
   double now() const override;
 
+  /// Shard for a dispatcher thread: shares this executor's clock epoch (so
+  /// cross-shard timestamps compare), never touches process-global signal
+  /// state (no SIGCHLD self-pipe, no SIGPIPE sigaction), and keeps its own
+  /// counters/poll set/children. Returns nullptr when the kernel lacks
+  /// pidfds — shards cannot fall back to the shared self-pipe, so the
+  /// engine must stay single-threaded there.
+  std::unique_ptr<core::Executor> make_shard() override;
+  const core::DispatchCounters* dispatch_counters() const noexcept override {
+    return &counters_;
+  }
+
   /// Dispatch hot-path accounting (spawn/reap/poll costs) for overhead
   /// studies and the BENCH_dispatch.json benches.
   const core::DispatchCounters& counters() const noexcept { return counters_; }
@@ -58,6 +84,9 @@ class LocalExecutor final : public core::Executor {
   double spawn_seconds() const noexcept { return counters_.spawn_seconds; }
 
  private:
+  /// Shard constructor: inherits the parent's clock epoch and tuning.
+  LocalExecutor(SpawnTuning tuning, double epoch, bool shard_mode);
+
   struct Child {
     pid_t pid = -1;
     int pidfd = -1;   // -1 when pidfds are unavailable (self-pipe fallback)
@@ -122,8 +151,21 @@ class LocalExecutor final : public core::Executor {
   int self_pipe_slot_ = -1;
   bool need_sweep_ = false;  // children predate the self-pipe handler
 
+  // Shards may not install the SIGCHLD self-pipe (process-global). If a
+  // pidfd ever fails at runtime in shard mode, exits stop producing poll
+  // events for that child, so the wait loop degrades to capped 100 ms
+  // polls + WNOHANG sweeps instead.
+  bool shard_mode_ = false;
+  bool degraded_sweep_ = false;
+  /// True when poll() must use a bounded window (wakeups can be missed).
+  bool capped_poll() const noexcept { return use_self_pipe_ || degraded_sweep_; }
+
   struct sigaction saved_sigpipe_ {};
   bool sigpipe_saved_ = false;
+
+  SpawnTuning tuning_;
+  std::unique_ptr<Zygote> zygote_;
+  bool zygote_tried_ = false;  // create() attempted (it may have failed)
 
   double epoch_ = 0.0;
   core::DispatchCounters counters_;
