@@ -164,6 +164,17 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
     } else if (arg == "--probe-interval") {
       plan.options.probe_interval_seconds =
           util::parse_double(take_value(argv, i, arg));
+    } else if (arg == "--pilot") {
+      plan.options.pilot = true;
+    } else if (arg == "--worker") {
+      plan.worker_mode = true;
+    } else if (arg == "--heartbeat-interval") {
+      plan.options.heartbeat_interval_seconds =
+          util::parse_double(take_value(argv, i, arg));
+    } else if (arg == "--reconnect") {
+      long count = util::parse_long(take_value(argv, i, arg));
+      if (count < 1) throw util::ParseError("--reconnect must be >= 1");
+      plan.options.reconnect_max = static_cast<std::size_t>(count);
     } else if (arg == "--dry-run" || arg == "--dryrun") {
       plan.options.dry_run = true;
     } else if (arg == "--pipe") {
@@ -260,6 +271,16 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
   if (!plan.sshlogins.empty() && plan.semaphore) {
     throw util::ConfigError("--semaphore runs locally; --sshlogin does not apply");
   }
+  if (plan.options.pilot && plan.sshlogins.empty()) {
+    throw util::ConfigError("--pilot requires --sshlogin");
+  }
+  if (plan.worker_mode &&
+      (plan.options.pilot || !plan.sshlogins.empty() || plan.semaphore ||
+       !command_tokens.empty() || !plan.sources.empty())) {
+    throw util::ConfigError(
+        "--worker serves a pilot on stdin/stdout and takes no command, "
+        "sources, or host flags");
+  }
 
   plan.command_template = util::join(command_tokens, " ");
   // In --pipe mode stdin carries data blocks, not input values; a
@@ -343,6 +364,16 @@ options:
       --probe-interval SECS
                       base reinstatement-probe interval for quarantined
                       hosts; doubles per failed probe (default 5)
+      --pilot         keep one persistent worker agent per --sshlogin host
+                      and frame jobs over a single connection instead of
+                      one ssh per job; exactly-once across reconnects
+      --heartbeat-interval SECS
+                      worker heartbeat cadence on --pilot channels; a
+                      channel is stalled after 5 missed beats (default 1)
+      --reconnect N   failed reconnect attempts before a --pilot channel
+                      is declared dead (default 3)
+      --worker        serve a pilot as a worker agent on stdin/stdout
+                      (spawned by --pilot over ssh; not for manual use)
       --hedge K       duplicate an attempt running longer than K x the
                       median runtime onto another host; first success
                       wins (0 = off)

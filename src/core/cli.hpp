@@ -66,6 +66,9 @@ struct RunPlan {
   bool show_version = false;
   bool semaphore = false;           // --semaphore / sem mode
   std::string semaphore_id = "default";  // --id
+  /// --worker: run as a pilot worker agent (framed protocol on stdin/stdout)
+  /// instead of dispatching jobs. Set by the pilot over ssh, not by hand.
+  bool worker_mode = false;
 };
 
 /// Parses argv (argv[0] ignored). Throws ParseError / ConfigError on bad

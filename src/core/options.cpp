@@ -25,6 +25,10 @@ void Options::validate() const {
   if (probe_interval_seconds <= 0.0) {
     throw util::ConfigError("--probe-interval must be > 0");
   }
+  if (heartbeat_interval_seconds <= 0.0) {
+    throw util::ConfigError("--heartbeat-interval must be > 0");
+  }
+  if (reconnect_max == 0) throw util::ConfigError("--reconnect must be >= 1");
   parse_termseq(term_seq);  // throws ParseError on a malformed sequence
   if (joblog_fsync && joblog_path.empty()) {
     throw util::ConfigError("--joblog-fsync requires --joblog");

@@ -112,6 +112,21 @@ struct Options {
   /// that fail before dispatching any job.
   bool filter_hosts = false;
 
+  /// --pilot: run one persistent worker agent per --sshlogin host and frame
+  /// jobs over a single multiplexed connection instead of spawning one ssh
+  /// per job. Heartbeats feed host health; lost connections reconcile
+  /// against the worker's journal so every job still runs exactly once.
+  bool pilot = false;
+
+  /// --heartbeat-interval: seconds between worker HEARTBEAT frames on
+  /// --pilot channels. The channel is declared stalled (and detached for
+  /// reconnect) after 5 missed intervals.
+  double heartbeat_interval_seconds = 1.0;
+
+  /// --reconnect N: consecutive failed reconnect attempts before a --pilot
+  /// channel is declared dead and its host abandoned to health handling.
+  std::size_t reconnect_max = 3;
+
   /// --memfree: defer starting new jobs while the backend reports less
   /// allocatable memory than this, in bytes (0 = off).
   std::size_t memfree_bytes = 0;

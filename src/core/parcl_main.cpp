@@ -14,6 +14,7 @@
 #include "core/signal_coordinator.hpp"
 #include "exec/local_executor.hpp"
 #include "exec/multi_executor.hpp"
+#include "exec/worker_agent.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -39,7 +40,29 @@ std::unique_ptr<parcl::exec::MultiExecutor> make_cluster(parcl::core::RunPlan& p
   exec::HealthPolicy policy;
   policy.quarantine_after = plan.options.quarantine_after;
   policy.probe_interval = plan.options.probe_interval_seconds;
-  auto multi = exec::MultiExecutor::local_cluster(std::move(hosts), policy);
+  std::unique_ptr<exec::MultiExecutor> multi;
+  if (plan.options.pilot) {
+    // One persistent worker agent per host over a single framed connection;
+    // remote agents ride one ssh each, the local host re-execs this binary.
+    exec::PilotSettings settings;
+    settings.heartbeat_interval = plan.options.heartbeat_interval_seconds;
+    settings.reconnect_max = plan.options.reconnect_max;
+    const std::string heartbeat =
+        std::to_string(plan.options.heartbeat_interval_seconds);
+    multi = exec::MultiExecutor::pilot_cluster(
+        std::move(hosts),
+        [heartbeat](const exec::HostSpec& spec) -> std::vector<std::string> {
+          if (spec.wrapper.empty()) {
+            return {"/proc/self/exe", "--worker", "--heartbeat-interval",
+                    heartbeat};
+          }
+          return {"ssh", spec.name, "parcl", "--worker",
+                  "--heartbeat-interval", heartbeat};
+        },
+        settings, policy);
+  } else {
+    multi = exec::MultiExecutor::local_cluster(std::move(hosts), policy);
+  }
   plan.options.jobs = multi->total_slots();
   return multi;
 }
@@ -58,6 +81,14 @@ int main(int argc, char** argv) {
     if (plan.show_version) {
       std::cout << core::version_text() << '\n';
       return 0;
+    }
+    if (plan.worker_mode) {
+      // Pilot worker agent: serve the framed protocol on stdin/stdout until
+      // the pilot drains us or the connection dies. Jobs run on a local
+      // executor; the journal keeps results exactly-once across reconnects.
+      exec::WorkerConfig config;
+      config.heartbeat_interval = plan.options.heartbeat_interval_seconds;
+      return exec::worker_agent_main(config);
     }
     if (plan.command_template.empty() && !plan.read_stdin) {
       std::cerr << "parcl: no command given (try --help)\n";

@@ -71,6 +71,29 @@ void HostHealthTracker::record_host_ok(std::size_t host) {
   e.state = HostState::kHealthy;
 }
 
+bool HostHealthTracker::observe_heartbeat(std::size_t host, double age,
+                                          double stall_after, double now) {
+  Entry& e = entry(host);
+  if (stall_after <= 0.0) return false;
+  if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) {
+    return false;  // already condemned; reinstatement is the probe's call
+  }
+  if (age < stall_after) {
+    e.stall_charged = 0;  // heard from: episode over, streak untouched
+    return false;
+  }
+  auto intervals = static_cast<std::uint64_t>(age / stall_after);
+  while (e.stall_charged < intervals) {
+    ++e.stall_charged;
+    ++counters_.heartbeat_stall_signals;
+    if (record_host_failure(host, now)) return true;
+    if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) {
+      break;  // a very old gap must not bill past the quarantine line
+    }
+  }
+  return false;
+}
+
 void HostHealthTracker::quarantine(std::size_t host, double now) {
   Entry& e = entry(host);
   if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) return;
@@ -95,6 +118,7 @@ void HostHealthTracker::record_probe_result(std::size_t host, bool ok, double no
     e.state = HostState::kHealthy;
     e.streak = 0;
     e.backoff_mult = 1.0;
+    e.stall_charged = 0;
     ++counters_.reinstatements;
     return;
   }

@@ -49,6 +49,7 @@ struct HealthCounters {
   std::uint64_t probes_failed = 0;
   std::uint64_t reinstatements = 0;        // successful probes (back to Healthy)
   std::uint64_t jobs_lost = 0;             // in-flight jobs killed by quarantine
+  std::uint64_t heartbeat_stall_signals = 0;  // gap-derived host-failure signals
 };
 
 class HostHealthTracker {
@@ -73,6 +74,17 @@ class HostHealthTracker {
   /// only probes do, so reinstatement stays a single, auditable path.
   void record_host_ok(std::size_t host);
 
+  /// Heartbeat-gap evidence from a persistent transport (pilot channels).
+  /// `age` is seconds since the host was last heard from; one host-failure
+  /// signal is recorded per elapsed `stall_after` interval, so a host that
+  /// goes silent reaches quarantine after quarantine_after intervals even
+  /// if it never completes (or loses) a single job. A fresh beat ends the
+  /// episode without resetting the suspicion streak — only clean
+  /// *completions* do that. Returns true when this observation tripped
+  /// quarantine (the caller then requeues in-flight jobs).
+  bool observe_heartbeat(std::size_t host, double age, double stall_after,
+                         double now);
+
   /// Force-quarantines (e.g. --filter-hosts startup probe). No-op when
   /// already quarantined.
   void quarantine(std::size_t host, double now);
@@ -96,6 +108,9 @@ class HostHealthTracker {
     std::size_t streak = 0;       // consecutive host-failure signals
     double backoff_mult = 1.0;    // probe backoff multiplier
     double next_probe_at = 0.0;   // valid while Quarantined
+    /// Stall intervals already charged in the current silence episode, so a
+    /// long gap is not re-billed on every observation.
+    std::uint64_t stall_charged = 0;
   };
 
   Entry& entry(std::size_t host);

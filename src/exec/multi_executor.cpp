@@ -46,6 +46,7 @@ MultiExecutor::MultiExecutor(
     host.spec = std::move(spec);
     host.executor = make_executor(host.spec);
     util::require(host.executor != nullptr, "make_executor returned null");
+    host.pilot = dynamic_cast<PilotExecutor*>(host.executor.get());
     hosts_.push_back(std::move(host));
   }
   total_slots_ = next_slot - 1;
@@ -56,6 +57,29 @@ std::unique_ptr<MultiExecutor> MultiExecutor::local_cluster(std::vector<HostSpec
   return std::make_unique<MultiExecutor>(
       std::move(hosts),
       [](const HostSpec&) { return std::make_unique<LocalExecutor>(); },
+      std::move(policy));
+}
+
+std::unique_ptr<MultiExecutor> MultiExecutor::pilot_cluster(
+    std::vector<HostSpec> hosts,
+    std::function<std::vector<std::string>(const HostSpec&)> worker_argv,
+    PilotSettings settings, HealthPolicy policy) {
+  return std::make_unique<MultiExecutor>(
+      std::move(hosts),
+      [worker_argv = std::move(worker_argv),
+       settings = std::move(settings)](const HostSpec& spec) {
+        std::vector<std::string> argv =
+            worker_argv ? worker_argv(spec) : std::vector<std::string>{};
+        std::unique_ptr<WorkerTransport> transport;
+        if (argv.empty()) {
+          WorkerConfig config;
+          config.heartbeat_interval = settings.heartbeat_interval;
+          transport = std::make_unique<ThreadWorkerTransport>(std::move(config));
+        } else {
+          transport = std::make_unique<ProcessWorkerTransport>(std::move(argv));
+        }
+        return std::make_unique<PilotExecutor>(std::move(transport), settings);
+      },
       std::move(policy));
 }
 
@@ -139,7 +163,9 @@ void MultiExecutor::start(const core::ExecRequest& request) {
     return;
   }
   core::ExecRequest routed = request;
-  routed.command = wrap_command(host, request.command);
+  // Pilot channels carry the command to the remote agent themselves; only
+  // wrapper hosts pay a per-job "ssh host" composition.
+  if (host.pilot == nullptr) routed.command = wrap_command(host, request.command);
   try {
     host.executor->start(routed);
   } catch (const util::SystemError&) {
@@ -157,10 +183,35 @@ void MultiExecutor::start(const core::ExecRequest& request) {
   ++starts_by_host_[host.spec.name];
 }
 
+void MultiExecutor::pump_pilot(std::size_t host_index) {
+  Host& host = hosts_[host_index];
+  host.pilot->pump();
+  // Heartbeat gaps are health evidence on their own: a host can stall
+  // without ever completing (or visibly losing) a job. Only observe while
+  // the channel could plausibly speak — attached, or owing us jobs.
+  if (!host.pilot->dead() &&
+      (host.pilot->attached() || inflight_by_host_[host_index] > 0)) {
+    bool tripped = health_.observe_heartbeat(host_index,
+                                             host.pilot->heartbeat_age(),
+                                             host.pilot->stall_threshold(),
+                                             now());
+    if (tripped) abandon_in_flight(host_index);
+  }
+}
+
 void MultiExecutor::pump_probes() {
   double t = now();
   for (std::size_t k = 0; k < hosts_.size(); ++k) {
     Host& host = hosts_[k];
+    if (host.pilot != nullptr) {
+      // Pilot hosts reinstate by reattaching the transport, not by running
+      // a job: the handshake (HELLO/HELLO_ACK + journal reconcile) is a
+      // stronger liveness proof than `true` and costs no process spawn.
+      if (!health_.take_due_probe(k, t)) continue;
+      bool ok = host.pilot->probe_transport();
+      health_.record_probe_result(k, ok, now());
+      continue;
+    }
     if (host.probe_job_id != 0) continue;  // one probe per host at a time
     if (!health_.take_due_probe(k, t)) continue;
     core::ExecRequest probe;
@@ -229,6 +280,9 @@ std::optional<core::ExecResult> MultiExecutor::wait_any(double timeout_seconds) 
     for (std::size_t k = 0; k < hosts_.size(); ++k) {
       std::size_t index = (rr_cursor_ + k) % hosts_.size();
       Host& host = hosts_[index];
+      // A pilot channel needs servicing even with nothing in flight:
+      // heartbeats must drain and reconnects must progress.
+      if (host.pilot != nullptr) pump_pilot(index);
       if (inflight_by_host_[index] == 0 && host.probe_job_id == 0) continue;
       any_active = true;
       while (std::optional<core::ExecResult> result = host.executor->wait_any(0.0)) {

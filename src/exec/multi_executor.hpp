@@ -30,6 +30,7 @@
 
 #include "core/executor.hpp"
 #include "exec/host_health.hpp"
+#include "exec/pilot_executor.hpp"
 
 namespace parcl::exec {
 
@@ -56,6 +57,17 @@ class MultiExecutor final : public core::Executor {
   /// backend created per host.
   static std::unique_ptr<MultiExecutor> local_cluster(std::vector<HostSpec> hosts,
                                                       HealthPolicy policy = {});
+
+  /// Convenience: every host runs behind a persistent pilot channel instead
+  /// of a per-job wrapper spawn. `worker_argv(host)` names the command that
+  /// starts the host's worker agent (e.g. {"ssh", "node07", "parcl",
+  /// "--worker"}); an empty vector runs the agent on an in-process thread
+  /// (the local fast path). Host wrappers are ignored — the channel IS the
+  /// transport.
+  static std::unique_ptr<MultiExecutor> pilot_cluster(
+      std::vector<HostSpec> hosts,
+      std::function<std::vector<std::string>(const HostSpec&)> worker_argv,
+      PilotSettings settings = {}, HealthPolicy policy = {});
 
   void start(const core::ExecRequest& request) override;
   std::optional<core::ExecResult> wait_any(double timeout_seconds) override;
@@ -98,6 +110,11 @@ class MultiExecutor final : public core::Executor {
     std::unique_ptr<core::Executor> executor;
     std::size_t first_slot = 0;      // 1-based inclusive
     std::uint64_t probe_job_id = 0;  // 0 = no probe in flight
+    /// Non-null when the backend is a pilot channel: commands go down the
+    /// channel unwrapped, the channel is pumped every sweep, heartbeat gaps
+    /// feed health, and reinstatement probes are transport reconnects
+    /// instead of synthetic jobs.
+    PilotExecutor* pilot = nullptr;
   };
 
   Host& host_of(std::size_t flat_slot);
@@ -113,7 +130,12 @@ class MultiExecutor final : public core::Executor {
   void abandon_in_flight(std::size_t host_index);
   /// Launches reinstatement probes on quarantined hosts whose backoff has
   /// elapsed. Driven from wait_any(), which the engine always returns to.
+  /// Pilot hosts probe by reconnecting the transport; wrapper hosts run a
+  /// synthetic probe job.
   void pump_probes();
+  /// Keeps a pilot channel serviced (frames, reconnects) and feeds its
+  /// heartbeat gap into the health tracker.
+  void pump_pilot(std::size_t host_index);
   /// Classification + host stamping for a surfaced completion.
   void finalize(core::ExecResult& result, std::size_t host_index);
 

@@ -1,0 +1,299 @@
+#include "exec/worker_agent.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "exec/local_executor.hpp"
+#include "util/error.hpp"
+
+namespace parcl::exec {
+
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WorkerAgent::WorkerAgent(WorkerConfig config) : config_(std::move(config)) {
+  if (!config_.make_inner) {
+    config_.make_inner = [] { return std::make_unique<LocalExecutor>(); };
+  }
+  util::require(config_.heartbeat_interval > 0.0, "heartbeat interval must be > 0");
+  inner_ = config_.make_inner();
+}
+
+WorkerAgent::~WorkerAgent() = default;
+
+double WorkerAgent::now() const { return monotonic_seconds(); }
+
+bool WorkerAgent::write_all(int fd, const std::string& bytes) {
+  if (broken_pipe_) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // The link is a socket locally and a pipe under ssh; MSG_NOSIGNAL
+    // suppresses SIGPIPE on the former, falling back to plain write on the
+    // latter (worker_agent_main ignores SIGPIPE process-wide for that).
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      broken_pipe_ = true;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool WorkerAgent::send_hello(int fd) {
+  transport::HelloFrame hello;
+  hello.version = config_.version;
+  hello.worker_now = now();
+  hello.running.assign(running_.begin(), running_.end());
+  hello.completed_unacked.reserve(journal_.size());
+  for (auto& [seq, entry] : journal_) {
+    hello.completed_unacked.push_back(entry.result);
+    entry.last_sent = 0.0;  // fresh link: replay everything after HELLO
+  }
+  return write_all(fd, transport::encode_hello(hello));
+}
+
+bool WorkerAgent::send_entry(int fd, JournalEntry& entry) {
+  std::string batch;
+  transport::ChunkFrame chunk;
+  chunk.seq = entry.result.seq;
+  for (std::size_t i = 0; i < entry.out_chunks.size(); ++i) {
+    chunk.index = i;
+    chunk.data = entry.out_chunks[i];
+    batch += transport::encode_chunk(transport::FrameType::kStdout, chunk);
+  }
+  for (std::size_t i = 0; i < entry.err_chunks.size(); ++i) {
+    chunk.index = i;
+    chunk.data = entry.err_chunks[i];
+    batch += transport::encode_chunk(transport::FrameType::kStderr, chunk);
+  }
+  batch += transport::encode_result(entry.result);
+  entry.last_sent = now();
+  return write_all(fd, batch);
+}
+
+bool WorkerAgent::send_unacked(int fd, bool force) {
+  double resend_age = config_.resend_after_beats * config_.heartbeat_interval;
+  for (auto& [seq, entry] : journal_) {
+    bool due = entry.last_sent == 0.0 || force ||
+               now() - entry.last_sent >= resend_age;
+    if (due && !send_entry(fd, entry)) return false;
+  }
+  return true;
+}
+
+void WorkerAgent::journal_completion(core::ExecResult&& result) {
+  running_.erase(result.job_id);
+  JournalEntry entry;
+  entry.result.seq = result.job_id;
+  entry.result.exit_code = result.exit_code;
+  entry.result.term_signal = result.term_signal;
+  entry.result.start_time = result.start_time;
+  entry.result.end_time = result.end_time;
+  for (std::size_t off = 0; off < result.stdout_data.size();
+       off += transport::kChunkBytes) {
+    entry.out_chunks.push_back(
+        result.stdout_data.substr(off, transport::kChunkBytes));
+  }
+  for (std::size_t off = 0; off < result.stderr_data.size();
+       off += transport::kChunkBytes) {
+    entry.err_chunks.push_back(
+        result.stderr_data.substr(off, transport::kChunkBytes));
+  }
+  entry.result.stdout_chunks = entry.out_chunks.size();
+  entry.result.stderr_chunks = entry.err_chunks.size();
+  journal_[entry.result.seq] = std::move(entry);
+}
+
+void WorkerAgent::pump_inner() {
+  while (std::optional<core::ExecResult> result = inner_->wait_any(0.0)) {
+    journal_completion(std::move(*result));
+  }
+}
+
+void WorkerAgent::handle_submit(const transport::Frame& frame) {
+  transport::SubmitFrame submit = transport::decode_submit(frame);
+  for (transport::JobSpec& job : submit.jobs) {
+    // A replayed or duplicated SUBMIT must be idempotent: every seq runs
+    // at most once per agent life.
+    if (running_.count(job.seq) != 0 || journal_.count(job.seq) != 0) continue;
+    core::ExecRequest request;
+    request.job_id = job.seq;
+    request.command = std::move(job.command);
+    request.slot = job.slot;
+    request.use_shell = job.use_shell;
+    request.capture_output = job.capture_output;
+    request.has_stdin = job.has_stdin;
+    request.stdin_data = std::move(job.stdin_data);
+    for (auto& [key, value] : job.env) request.env[key] = value;
+    ++total_starts_;
+    try {
+      inner_->start(request);
+      running_.insert(job.seq);
+    } catch (const util::SystemError&) {
+      // Worker-side spawn failure: report the engine's spawn-failure
+      // convention (exit 127) as a normal RESULT; the pilot's engine
+      // decides whether to retry or charge it.
+      core::ExecResult failed;
+      failed.job_id = job.seq;
+      failed.exit_code = 127;
+      failed.start_time = failed.end_time = now();
+      journal_completion(std::move(failed));
+    }
+  }
+}
+
+void WorkerAgent::handle_kill(const transport::Frame& frame) {
+  transport::KillFrame kill = transport::decode_kill(frame);
+  if (running_.count(kill.seq) == 0) return;  // finished or never started
+  if (kill.signal != 0) {
+    inner_->kill_signal(kill.seq, kill.signal);
+  } else {
+    inner_->kill(kill.seq, kill.force);
+  }
+}
+
+void WorkerAgent::handle_ack(const transport::Frame& frame) {
+  transport::AckFrame ack = transport::decode_ack(frame);
+  for (std::uint64_t seq : ack.seqs) journal_.erase(seq);
+}
+
+void WorkerAgent::crash_now() {
+  // The inner executor's destructor kills and reaps every child; a crashed
+  // agent leaves nothing behind but also remembers nothing.
+  inner_.reset();
+  inner_ = config_.make_inner();
+  running_.clear();
+  journal_.clear();
+  config_.faults.crash_after_starts = 0;  // one-shot
+}
+
+WorkerAgent::ServeOutcome WorkerAgent::serve(int read_fd, int write_fd) {
+  broken_pipe_ = false;
+  draining_ = false;
+  transport::FrameDecoder decoder;
+  double last_beat_at = now();
+
+  auto hung = [this] {
+    return config_.faults.hang_after_starts != 0 &&
+           total_starts_ >= config_.faults.hang_after_starts;
+  };
+  auto crash_due = [this] {
+    return config_.faults.crash_after_starts != 0 &&
+           total_starts_ >= config_.faults.crash_after_starts;
+  };
+
+  if (!hung() && !send_hello(write_fd)) return ServeOutcome::kConnectionLost;
+
+  char buffer[64 * 1024];
+  while (true) {
+    pump_inner();
+    if (crash_due()) {
+      crash_now();
+      return ServeOutcome::kCrashed;
+    }
+    if (!hung()) {
+      if (!send_unacked(write_fd, /*force=*/false)) {
+        return ServeOutcome::kConnectionLost;
+      }
+      if (now() - last_beat_at >= config_.heartbeat_interval) {
+        transport::HeartbeatFrame beat;
+        beat.beat = ++beat_;
+        beat.worker_now = now();
+        beat.running = running_.size();
+        if (!write_all(write_fd, transport::encode_heartbeat(beat))) {
+          return ServeOutcome::kConnectionLost;
+        }
+        last_beat_at = now();
+      }
+      if (draining_ && running_.empty()) {
+        // Final replay so nothing unacked is stranded, then farewell.
+        if (!send_unacked(write_fd, /*force=*/true)) {
+          return ServeOutcome::kConnectionLost;
+        }
+        write_all(write_fd, transport::encode_bye());
+        return ServeOutcome::kDrained;
+      }
+    }
+
+    struct pollfd pfd{read_fd, POLLIN, 0};
+    int timeout_ms = (!running_.empty() || !journal_.empty()) ? 2 : 25;
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno != EINTR) return ServeOutcome::kConnectionLost;
+    if (rc <= 0 || (pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    ssize_t n = ::read(read_fd, buffer, sizeof(buffer));
+    if (n == 0) return ServeOutcome::kConnectionLost;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return ServeOutcome::kConnectionLost;
+    }
+    if (hung()) continue;  // wedged agent: bytes vanish into the void
+
+    try {
+      decoder.feed(buffer, static_cast<std::size_t>(n));
+      while (std::optional<transport::Frame> frame = decoder.next()) {
+        switch (frame->type) {
+          case transport::FrameType::kHelloAck: {
+            transport::HelloAckFrame ack = transport::decode_hello_ack(*frame);
+            if (ack.version != config_.version) {
+              return ServeOutcome::kProtocolError;
+            }
+            break;
+          }
+          case transport::FrameType::kSubmit:
+            handle_submit(*frame);
+            break;
+          case transport::FrameType::kKill:
+            handle_kill(*frame);
+            break;
+          case transport::FrameType::kAck:
+            handle_ack(*frame);
+            break;
+          case transport::FrameType::kDrain:
+            draining_ = true;
+            break;
+          default:
+            // Worker-bound traffic only; anything else means the stream is
+            // corrupt or the peer is confused.
+            throw transport::ProtocolError(
+                std::string("unexpected frame for worker: ") +
+                transport::to_string(frame->type));
+        }
+      }
+    } catch (const transport::ProtocolError&) {
+      return ServeOutcome::kProtocolError;
+    }
+  }
+}
+
+int worker_agent_main(const WorkerConfig& config) {
+  // The pilot may vanish mid-write (ssh death); EPIPE must surface as a
+  // write error, not kill the agent before it can exit cleanly.
+  ::signal(SIGPIPE, SIG_IGN);
+  WorkerAgent agent(config);
+  WorkerAgent::ServeOutcome outcome =
+      agent.serve(STDIN_FILENO, STDOUT_FILENO);
+  switch (outcome) {
+    case WorkerAgent::ServeOutcome::kDrained: return 0;
+    case WorkerAgent::ServeOutcome::kConnectionLost: return 0;  // pilot died
+    default: return 1;
+  }
+}
+
+}  // namespace parcl::exec

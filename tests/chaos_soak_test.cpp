@@ -33,7 +33,10 @@
 #include "exec/fault_executor.hpp"
 #include "exec/function_executor.hpp"
 #include "exec/local_executor.hpp"
+#include "exec/multi_executor.hpp"
+#include "exec/pilot_executor.hpp"
 #include "exec/sim_executor.hpp"
+#include "exec/worker_agent.hpp"
 #include "invariants.hpp"
 #include "sim/duration_model.hpp"
 #include "sim/node_failure.hpp"
@@ -650,6 +653,175 @@ TEST(ChaosSoak, ShardedInterruptResumePairsCoverEveryJobOnce) {
     EXPECT_TRUE(report.ok())
         << "pair seed " << seed << " violated:\n" << report.str();
     EXPECT_TRUE(testing::no_unreaped_children());
+  }
+  std::remove(joblog.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2c: the pilot-worker transport under seeded frame-fault schedules
+// — drops, duplicates, reorders, delays, and mid-run connection kills on the
+// worker→pilot stream. Reconnect-and-reconcile must keep the run exactly-once:
+// every job executes once on a worker, the joblog logs each seq once, all
+// reschedules ride the free host-failure path (retries=1 means one charged
+// retry would already fail the run), and the -k output is byte-identical to a
+// fault-free schedule.
+// ---------------------------------------------------------------------------
+
+struct PilotSoakResult {
+  RunSummary summary;
+  std::string output;
+  Options options;
+  std::map<std::string, int> runs;  // per-command worker-side run counts
+  exec::TransportCounters transport;
+  exec::transport::TransportFaultCounters faults;
+};
+
+PilotSoakResult run_pilot_schedule(std::uint64_t seed, bool faults,
+                                   const std::string& joblog_path,
+                                   std::size_t total_jobs) {
+  PilotSoakResult result;
+  std::mutex mutex;
+  auto task = [&](const core::ExecRequest& request) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++result.runs[request.command];
+    }
+    exec::TaskOutcome outcome;
+    outcome.stdout_data = "out:" + request.command + "\n";
+    return outcome;
+  };
+
+  exec::PilotSettings settings;
+  settings.heartbeat_interval = 0.01;
+  settings.handshake_timeout = 2.0;
+  settings.reconnect_max = 10;
+  if (faults) {
+    settings.faults.drop_prob = 0.05;
+    settings.faults.duplicate_prob = 0.05;
+    settings.faults.reorder_prob = 0.05;
+    settings.faults.delay_prob = 0.04;
+    settings.faults.delay_min_seconds = 0.001;
+    settings.faults.delay_max_seconds = 0.010;
+    if (seed % 3 == 0) {
+      // Every third schedule also severs the link mid-run on each host.
+      settings.faults.kill_connection_after = 15 + seed % 20;
+    }
+  }
+  exec::HealthPolicy policy;
+  policy.quarantine_after = 50;  // chaos must bend the transport, not health
+  policy.probe_interval = 0.05;
+
+  std::vector<exec::PilotExecutor*> pilots;
+  exec::MultiExecutor multi(
+      {{"pw1", 4, ""}, {"pw2", 4, ""}},
+      [&, seed](const exec::HostSpec& spec) {
+        exec::WorkerConfig config;
+        config.heartbeat_interval = settings.heartbeat_interval;
+        config.make_inner = [&task, &spec] {
+          return std::make_unique<exec::FunctionExecutor>(task, spec.jobs);
+        };
+        exec::PilotSettings host_settings = settings;
+        host_settings.faults.seed = seed * 977 + pilots.size() + 1;
+        auto pilot = std::make_unique<exec::PilotExecutor>(
+            std::make_unique<exec::ThreadWorkerTransport>(std::move(config)),
+            host_settings);
+        pilots.push_back(pilot.get());
+        return pilot;
+      },
+      policy);
+
+  result.options.jobs = multi.total_slots();
+  result.options.retries = 1;  // a single charged retry would fail the run
+  result.options.output_mode = OutputMode::kKeepOrder;
+  result.options.joblog_path = joblog_path;
+  std::remove(joblog_path.c_str());
+
+  std::ostringstream out, err;
+  Engine engine(result.options, multi, out, err);
+  std::vector<core::ArgVector> inputs;
+  inputs.reserve(total_jobs);
+  for (std::size_t i = 0; i < total_jobs; ++i) inputs.push_back({std::to_string(i)});
+  result.summary = engine.run("pt {}", std::move(inputs));
+  result.output = out.str();
+  EXPECT_EQ(multi.active_count(), 0u);
+  for (exec::PilotExecutor* pilot : pilots) {
+    auto add = [](std::uint64_t& into, std::uint64_t from) { into += from; };
+    add(result.transport.reconnects, pilot->counters().reconnects);
+    add(result.transport.duplicate_results, pilot->counters().duplicate_results);
+    add(result.transport.duplicate_chunks, pilot->counters().duplicate_chunks);
+    add(result.transport.jobs_reconciled_lost,
+        pilot->counters().jobs_reconciled_lost);
+    add(result.faults.dropped, pilot->fault_counters().dropped);
+    add(result.faults.duplicated, pilot->fault_counters().duplicated);
+    add(result.faults.reordered, pilot->fault_counters().reordered);
+    add(result.faults.delayed, pilot->fault_counters().delayed);
+    add(result.faults.connection_kills, pilot->fault_counters().connection_kills);
+  }
+  return result;
+}
+
+TEST(ChaosSoak, PilotTransportSchedulesStayExactlyOnce) {
+  const std::size_t kJobs = 24;
+  const std::string joblog = temp_joblog("pilot");
+  PilotSoakResult baseline =
+      run_pilot_schedule(1, /*faults=*/false, joblog, kJobs);
+  ASSERT_EQ(baseline.summary.succeeded, kJobs);
+  const std::string expected_output = baseline.output;
+
+  exec::transport::TransportFaultCounters injected;
+  std::uint64_t reconnects = 0;
+  for (std::uint64_t seed : seed_range(1, 100)) {
+    PilotSoakResult run = run_pilot_schedule(seed, /*faults=*/true, joblog, kJobs);
+
+    testing::InvariantReport report;
+    testing::check_run(run.summary, run.options, kJobs, report);
+    testing::check_joblog(run.options.joblog_path, run.summary, report);
+    EXPECT_TRUE(report.ok()) << "pilot seed " << seed << " violated:\n"
+                             << report.str();
+
+    // retries=1: success of every job proves all reschedules were free
+    // host-failure requeues, never charged retries.
+    EXPECT_EQ(run.summary.succeeded, kJobs) << "pilot seed " << seed;
+    EXPECT_FALSE(run.summary.halted) << "pilot seed " << seed;
+
+    // Exactly-once at the worker: no command ran twice anywhere, despite
+    // duplicated SUBMIT frames and journal replays.
+    EXPECT_EQ(run.runs.size(), kJobs) << "pilot seed " << seed;
+    for (const auto& [command, count] : run.runs) {
+      EXPECT_EQ(count, 1) << "pilot seed " << seed << ": " << command
+                          << " ran " << count << " times";
+    }
+
+    // Exactly-once in the joblog: every seq logged once.
+    std::set<std::uint64_t> seen;
+    for (const core::JoblogEntry& entry :
+         core::read_joblog(run.options.joblog_path)) {
+      EXPECT_TRUE(seen.insert(entry.seq).second)
+          << "pilot seed " << seed << ": seq " << entry.seq << " logged twice";
+    }
+    EXPECT_EQ(seen.size(), kJobs) << "pilot seed " << seed;
+
+    // Byte-identity under -k: frame chaos must be invisible in the output.
+    EXPECT_EQ(run.output, expected_output) << "pilot seed " << seed;
+
+    injected.dropped += run.faults.dropped;
+    injected.duplicated += run.faults.duplicated;
+    injected.reordered += run.faults.reordered;
+    injected.delayed += run.faults.delayed;
+    injected.connection_kills += run.faults.connection_kills;
+    reconnects += run.transport.reconnects;
+  }
+  if (std::getenv("PARCL_CHAOS_SEEDS") == nullptr) {
+    // The rig must actually have bitten: thousands of frame faults, a kill
+    // on every third schedule, and real reconnect-and-reconcile traffic.
+    EXPECT_GT(injected.dropped, 100u);
+    EXPECT_GT(injected.duplicated, 100u);
+    EXPECT_GT(injected.reordered, 100u);
+    EXPECT_GT(injected.delayed, 100u);
+    EXPECT_GE(injected.connection_kills, 33u);
+    // A kill with nothing left in flight reattaches lazily (maybe never);
+    // but across the soak, most cuts land mid-run and must reconcile.
+    EXPECT_GE(reconnects, 25u);
   }
   std::remove(joblog.c_str());
 }

@@ -404,4 +404,28 @@ TEST(ParclCli, RobustnessFlagsSmoke) {
   std::remove(log_path.c_str());
 }
 
+TEST(ParclCli, PilotTransportRunsJobsThroughAWorkerAgent) {
+  // --pilot on the local host re-execs this binary as `--worker` over a
+  // socketpair: the full framed protocol, spawn to collated output.
+  CommandResult result = run_command(
+      parcl() + " --pilot -S 4/: -k 'echo p{}' ::: 1 2 3 4 5 6 7 8");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_EQ(result.output, "p1\np2\np3\np4\np5\np6\np7\np8\n");
+}
+
+TEST(ParclCli, PilotTransportKeepsTheJoblogExactlyOnce) {
+  const std::string log_path = ::testing::TempDir() + "parcl_cli_pilot_log.tsv";
+  std::remove(log_path.c_str());
+  CommandResult result = run_command(
+      parcl() + " --pilot -S 2/: --heartbeat-interval 0.1 --joblog " +
+      log_path + " -k 'echo w{}' ::: a b c d e");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_EQ(result.output, "wa\nwb\nwc\nwd\nwe\n");
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(parcl::util::split_lines(content).size(), 6u) << content;
+  std::remove(log_path.c_str());
+}
+
 }  // namespace

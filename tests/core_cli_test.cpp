@@ -208,5 +208,33 @@ TEST(Cli, XargsPacking) {
   EXPECT_EQ(plan.options.max_chars, 100u);
 }
 
+TEST(Cli, PilotTransportFlags) {
+  RunPlan plan = parse({"--pilot", "-S", "4/node07,:",
+                        "--heartbeat-interval", "0.5", "--reconnect", "7",
+                        "cmd", ":::", "x"});
+  EXPECT_TRUE(plan.options.pilot);
+  EXPECT_DOUBLE_EQ(plan.options.heartbeat_interval_seconds, 0.5);
+  EXPECT_EQ(plan.options.reconnect_max, 7u);
+  ASSERT_EQ(plan.sshlogins.size(), 2u);
+  EXPECT_EQ(plan.sshlogins[0].host, "node07");
+  EXPECT_EQ(plan.sshlogins[0].jobs, 4u);
+}
+
+TEST(Cli, PilotRequiresHostsAndValidFlags) {
+  EXPECT_THROW(parse({"--pilot", "cmd", ":::", "x"}), util::ConfigError);
+  EXPECT_THROW(parse({"-S", ":", "--heartbeat-interval", "0", "cmd", ":::", "x"}),
+               util::ConfigError);
+  EXPECT_THROW(parse({"--reconnect", "0", "cmd", ":::", "x"}), util::ParseError);
+}
+
+TEST(Cli, WorkerModeIsBareAndExclusive) {
+  RunPlan plan = parse({"--worker"});
+  EXPECT_TRUE(plan.worker_mode);
+  EXPECT_THROW(parse({"--worker", "cmd", ":::", "x"}), util::ConfigError);
+  EXPECT_THROW(parse({"--worker", "--pilot"}), util::ConfigError);
+  EXPECT_THROW(parse({"--worker", "-S", ":"}), util::ConfigError);
+  EXPECT_THROW(parse({"--worker", "--semaphore"}), util::ConfigError);
+}
+
 }  // namespace
 }  // namespace parcl::core

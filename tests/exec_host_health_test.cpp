@@ -145,5 +145,87 @@ TEST(HostHealth, NextProbeReportsTheEarliestPendingHost) {
   EXPECT_DOUBLE_EQ(tracker.next_probe_at(), 8.0);  // host 0 remains
 }
 
+// --- Heartbeat-stall signals (pilot transport feed) ----------------------
+//
+// Regression coverage for the silent-pilot failure mode: a host whose worker
+// agent stops heartbeating never completes a job, so without observe_heartbeat
+// nothing would ever feed its failure streak and it would soak up work forever.
+
+TEST(HostHealth, HeartbeatStallChargesOneSignalPerElapsedInterval) {
+  HostHealthTracker tracker(policy(5), 1);
+  // Fresh beats never bill.
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 0.3, 1.0, 10.0));
+  EXPECT_EQ(tracker.counters().heartbeat_stall_signals, 0u);
+  // One stall interval elapsed: exactly one signal, host turns Suspect.
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 1.2, 1.0, 11.0));
+  EXPECT_EQ(tracker.counters().heartbeat_stall_signals, 1u);
+  EXPECT_EQ(tracker.state(0), HostState::kSuspect);
+  // Re-observing the same gap must not double-bill.
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 1.4, 1.0, 11.2));
+  EXPECT_EQ(tracker.counters().heartbeat_stall_signals, 1u);
+  // The gap crosses a second interval boundary: one more signal.
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 2.1, 1.0, 12.0));
+  EXPECT_EQ(tracker.counters().heartbeat_stall_signals, 2u);
+}
+
+TEST(HostHealth, FreshBeatEndsTheEpisodeWithoutForgivingTheStreak) {
+  HostHealthTracker tracker(policy(3), 1);
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 1.5, 1.0, 10.0));
+  EXPECT_EQ(tracker.state(0), HostState::kSuspect);
+  // The worker comes back: episode counter resets so a FUTURE gap bills
+  // again from zero — but the streak stands (only clean completions or
+  // probe successes forgive).
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 0.1, 1.0, 11.0));
+  EXPECT_EQ(tracker.state(0), HostState::kSuspect);
+  // A second silence episode bills a second signal from interval one.
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 1.1, 1.0, 12.5));
+  EXPECT_EQ(tracker.counters().heartbeat_stall_signals, 2u);
+  // Third signal trips quarantine — the host never completed a single job.
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 0.2, 1.0, 13.0));
+  EXPECT_TRUE(tracker.observe_heartbeat(0, 1.3, 1.0, 14.0));
+  EXPECT_EQ(tracker.state(0), HostState::kQuarantined);
+  EXPECT_EQ(tracker.counters().quarantines, 1u);
+}
+
+TEST(HostHealth, AncientGapBillsUpToTheQuarantineLineAndStops) {
+  HostHealthTracker tracker(policy(3), 1);
+  // A 100-interval gap must not bill 100 signals: it trips quarantine at
+  // the threshold and absorbs the rest.
+  EXPECT_TRUE(tracker.observe_heartbeat(0, 100.0, 1.0, 50.0));
+  EXPECT_EQ(tracker.state(0), HostState::kQuarantined);
+  EXPECT_EQ(tracker.counters().heartbeat_stall_signals, 3u);
+  EXPECT_EQ(tracker.counters().quarantines, 1u);
+}
+
+TEST(HostHealth, QuarantinedHostsAreNotBilledForHeartbeats) {
+  HostHealthTracker tracker(policy(1), 1);
+  EXPECT_TRUE(tracker.observe_heartbeat(0, 2.0, 1.0, 10.0));
+  EXPECT_EQ(tracker.state(0), HostState::kQuarantined);
+  std::uint64_t billed = tracker.counters().heartbeat_stall_signals;
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 50.0, 1.0, 60.0));
+  EXPECT_EQ(tracker.counters().heartbeat_stall_signals, billed);
+}
+
+TEST(HostHealth, ProbeSuccessClearsTheStallEpisode) {
+  HostHealthTracker tracker(policy(2), 1);
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 1.5, 1.0, 1.0));
+  EXPECT_TRUE(tracker.observe_heartbeat(0, 2.5, 1.0, 2.0));
+  EXPECT_EQ(tracker.state(0), HostState::kQuarantined);
+  ASSERT_TRUE(tracker.take_due_probe(0, tracker.next_probe_at()));
+  tracker.record_probe_result(0, true, 10.0);
+  EXPECT_EQ(tracker.state(0), HostState::kHealthy);
+  // Reinstatement wiped the episode: the same 2.5-interval gap re-bills
+  // from interval one, not from where the old episode left off.
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 1.2, 1.0, 11.0));
+  EXPECT_EQ(tracker.state(0), HostState::kSuspect);
+}
+
+TEST(HostHealth, DisabledStallThresholdNeverBills) {
+  HostHealthTracker tracker(policy(1), 1);
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 1000.0, 0.0, 5.0));
+  EXPECT_EQ(tracker.state(0), HostState::kHealthy);
+  EXPECT_EQ(tracker.counters().heartbeat_stall_signals, 0u);
+}
+
 }  // namespace
 }  // namespace parcl::exec

@@ -1,0 +1,423 @@
+// Conformance + fuzz suite for the pilot-worker frame codec
+// (exec/transport): round-trips for every frame type, rejection of
+// truncated frames, oversized length prefixes, unknown types, trailing
+// garbage, version-mismatch handshakes, and a seeded fuzz loop that must
+// never crash or over-read (run under ASan in the sanitize CI tier).
+#include "exec/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parcl::exec::transport {
+namespace {
+
+// Decodes a full byte stream through the incremental decoder, returning
+// every frame. Feeds in `step`-byte slices to exercise partial reassembly.
+std::vector<Frame> decode_stream(const std::string& bytes, std::size_t step) {
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (std::size_t off = 0; off < bytes.size(); off += step) {
+    decoder.feed(bytes.data() + off, std::min(step, bytes.size() - off));
+    while (std::optional<Frame> frame = decoder.next()) {
+      frames.push_back(std::move(*frame));
+    }
+  }
+  return frames;
+}
+
+HelloFrame sample_hello() {
+  HelloFrame hello;
+  hello.version = kProtocolVersion;
+  hello.worker_now = 123.456;
+  hello.running = {7, 9, 42};
+  ResultFrame done;
+  done.seq = 5;
+  done.exit_code = 3;
+  done.term_signal = 0;
+  done.start_time = 1.5;
+  done.end_time = 2.5;
+  done.stdout_chunks = 2;
+  done.stderr_chunks = 0;
+  hello.completed_unacked.push_back(done);
+  return hello;
+}
+
+SubmitFrame sample_submit() {
+  SubmitFrame submit;
+  JobSpec job;
+  job.seq = 11;
+  job.command = "echo 'quoted \"stuff\"' | wc -c";
+  job.slot = 4;
+  job.use_shell = true;
+  job.capture_output = true;
+  job.has_stdin = true;
+  job.stdin_data = std::string("line1\nline2\n\0binary", 19);
+  job.env.emplace_back("PARCL_SEQ", "11");
+  job.env.emplace_back("EMPTY", "");
+  submit.jobs.push_back(job);
+  JobSpec bare;
+  bare.seq = 12;
+  bare.command = "true";
+  bare.use_shell = false;
+  submit.jobs.push_back(bare);
+  return submit;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+// ---------------------------------------------------------------------------
+
+TEST(TransportCodec, HelloRoundTripsWithJournal) {
+  HelloFrame hello = sample_hello();
+  std::vector<Frame> frames = decode_stream(encode_hello(hello), 1);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, FrameType::kHello);
+  HelloFrame back = decode_hello(frames[0]);
+  EXPECT_EQ(back.version, hello.version);
+  EXPECT_DOUBLE_EQ(back.worker_now, hello.worker_now);
+  EXPECT_EQ(back.running, hello.running);
+  ASSERT_EQ(back.completed_unacked.size(), 1u);
+  EXPECT_EQ(back.completed_unacked[0].seq, 5u);
+  EXPECT_EQ(back.completed_unacked[0].exit_code, 3);
+  EXPECT_EQ(back.completed_unacked[0].stdout_chunks, 2u);
+}
+
+TEST(TransportCodec, SubmitRoundTripsBinaryStdinAndEnv) {
+  SubmitFrame submit = sample_submit();
+  std::vector<Frame> frames = decode_stream(encode_submit(submit), 3);
+  ASSERT_EQ(frames.size(), 1u);
+  SubmitFrame back = decode_submit(frames[0]);
+  ASSERT_EQ(back.jobs.size(), 2u);
+  EXPECT_EQ(back.jobs[0].seq, 11u);
+  EXPECT_EQ(back.jobs[0].command, submit.jobs[0].command);
+  EXPECT_EQ(back.jobs[0].stdin_data, submit.jobs[0].stdin_data);
+  EXPECT_TRUE(back.jobs[0].has_stdin);
+  EXPECT_EQ(back.jobs[0].env, submit.jobs[0].env);
+  EXPECT_FALSE(back.jobs[1].use_shell);
+  EXPECT_EQ(back.jobs[1].command, "true");
+}
+
+TEST(TransportCodec, ChunkResultAckHeartbeatKillRoundTrip) {
+  ChunkFrame chunk;
+  chunk.seq = 21;
+  chunk.index = 3;
+  chunk.data = std::string("\x00\xff\x7f partial", 12);
+  ResultFrame result;
+  result.seq = 21;
+  result.exit_code = 0;
+  result.term_signal = 9;
+  result.start_time = 10.0;
+  result.end_time = 11.25;
+  result.stdout_chunks = 4;
+  result.stderr_chunks = 1;
+  AckFrame ack;
+  ack.seqs = {21, 22, 23};
+  HeartbeatFrame beat;
+  beat.beat = 17;
+  beat.worker_now = 99.5;
+  beat.running = 6;
+  KillFrame kill;
+  kill.seq = 21;
+  kill.signal = 15;
+  kill.force = true;
+
+  std::string stream;
+  stream += encode_chunk(FrameType::kStdout, chunk);
+  stream += encode_chunk(FrameType::kStderr, chunk);
+  stream += encode_result(result);
+  stream += encode_ack(ack);
+  stream += encode_heartbeat(beat);
+  stream += encode_kill(kill);
+  stream += encode_drain();
+  stream += encode_bye();
+
+  std::vector<Frame> frames = decode_stream(stream, 7);
+  ASSERT_EQ(frames.size(), 8u);
+  EXPECT_EQ(frames[0].type, FrameType::kStdout);
+  EXPECT_EQ(frames[1].type, FrameType::kStderr);
+  ChunkFrame chunk_back = decode_chunk(frames[1]);
+  EXPECT_EQ(chunk_back.seq, 21u);
+  EXPECT_EQ(chunk_back.index, 3u);
+  EXPECT_EQ(chunk_back.data, chunk.data);
+  ResultFrame result_back = decode_result(frames[2]);
+  EXPECT_EQ(result_back.term_signal, 9);
+  EXPECT_EQ(result_back.stdout_chunks, 4u);
+  AckFrame ack_back = decode_ack(frames[3]);
+  EXPECT_EQ(ack_back.seqs, ack.seqs);
+  HeartbeatFrame beat_back = decode_heartbeat(frames[4]);
+  EXPECT_EQ(beat_back.beat, 17u);
+  EXPECT_EQ(beat_back.running, 6u);
+  KillFrame kill_back = decode_kill(frames[5]);
+  EXPECT_EQ(kill_back.signal, 15);
+  EXPECT_TRUE(kill_back.force);
+  EXPECT_EQ(frames[6].type, FrameType::kDrain);
+  EXPECT_EQ(frames[7].type, FrameType::kBye);
+  EXPECT_TRUE(frames[6].payload.empty());
+  EXPECT_TRUE(frames[7].payload.empty());
+}
+
+TEST(TransportCodec, ByteAtATimeEqualsOneShot) {
+  std::string stream = encode_hello(sample_hello()) +
+                       encode_submit(sample_submit()) + encode_bye();
+  std::vector<Frame> slow = decode_stream(stream, 1);
+  std::vector<Frame> fast = decode_stream(stream, stream.size());
+  ASSERT_EQ(slow.size(), fast.size());
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    EXPECT_EQ(slow[i].type, fast[i].type);
+    EXPECT_EQ(slow[i].payload, fast[i].payload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conformance: malformed streams must fail loudly and stay failed.
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformance, TruncatedPayloadIsIncompleteNotGarbage) {
+  std::string frame = encode_heartbeat(HeartbeatFrame{});
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size() - 1);
+  EXPECT_FALSE(decoder.next().has_value());  // waiting, not erroring
+  EXPECT_GT(decoder.pending_bytes(), 0u);
+  decoder.feed(frame.data() + frame.size() - 1, 1);
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+TEST(TransportConformance, OversizedLengthPrefixRejectedBeforeBuffering) {
+  std::string bytes;
+  std::uint32_t huge = kMaxFramePayload + 1;
+  bytes.append(reinterpret_cast<const char*>(&huge), 4);
+  bytes.push_back(static_cast<char>(FrameType::kHeartbeat));
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  EXPECT_THROW(decoder.next(), ProtocolError);
+  // Poisoned: no resynchronization in a length-prefixed stream. Both feed()
+  // and next() refuse further use.
+  EXPECT_THROW(
+      {
+        decoder.feed(encode_bye());
+        (void)decoder.next();
+      },
+      ProtocolError);
+}
+
+TEST(TransportConformance, UnknownFrameTypeRejected) {
+  std::string bytes;
+  std::uint32_t len = 0;
+  bytes.append(reinterpret_cast<const char*>(&len), 4);
+  bytes.push_back(static_cast<char>(0));  // type 0 is reserved/unknown
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  EXPECT_THROW(decoder.next(), ProtocolError);
+
+  std::string high;
+  high.append(reinterpret_cast<const char*>(&len), 4);
+  high.push_back(static_cast<char>(0x7f));
+  FrameDecoder decoder2;
+  decoder2.feed(high);
+  EXPECT_THROW(decoder2.next(), ProtocolError);
+}
+
+TEST(TransportConformance, PayloadTruncationDetectedByDecoders) {
+  std::string full = encode_hello(sample_hello());
+  // Rebuild a frame whose declared length is honest but whose payload was
+  // cut mid-field: the typed decoder must throw, not over-read.
+  std::string payload = full.substr(5);
+  payload.resize(payload.size() / 2);
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.payload = payload;
+  EXPECT_THROW(decode_hello(frame), ProtocolError);
+}
+
+TEST(TransportConformance, TrailingGarbageRejected) {
+  Frame frame;
+  frame.type = FrameType::kHeartbeat;
+  frame.payload = encode_heartbeat(HeartbeatFrame{}).substr(5) + "x";
+  EXPECT_THROW(decode_heartbeat(frame), ProtocolError);
+}
+
+TEST(TransportConformance, WrongTypeForDecoderRejected) {
+  Frame frame;
+  frame.type = FrameType::kAck;
+  frame.payload = encode_heartbeat(HeartbeatFrame{}).substr(5);
+  EXPECT_THROW(decode_hello(frame), ProtocolError);
+}
+
+TEST(TransportConformance, HostileElementCountRejectedWithoutAllocation) {
+  // An ACK claiming 2^32-1 seqs in a 12-byte payload must be caught by the
+  // count-vs-remaining guard, not by an allocation attempt.
+  WireWriter w;
+  w.u32(0xffffffffu);
+  w.u64(1);
+  Frame frame;
+  frame.type = FrameType::kAck;
+  frame.payload = w.take();
+  EXPECT_THROW(decode_ack(frame), ProtocolError);
+}
+
+TEST(TransportConformance, VersionMismatchHelloIsDecodableButFlagged) {
+  // The codec carries the foreign version through; rejection is the pilot's
+  // policy decision (exercised end-to-end in exec_pilot_test).
+  HelloFrame hello = sample_hello();
+  hello.version = kProtocolVersion + 7;
+  std::vector<Frame> frames = decode_stream(encode_hello(hello), 2);
+  ASSERT_EQ(frames.size(), 1u);
+  HelloFrame back = decode_hello(frames[0]);
+  EXPECT_NE(back.version, kProtocolVersion);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fuzz: the codec must never crash, over-read, or allocate absurdly,
+// no matter what bytes arrive. Run under ASan in the sanitize tier.
+// ---------------------------------------------------------------------------
+
+std::string valid_stream(util::Rng& rng) {
+  std::string stream;
+  int frames = static_cast<int>(rng.uniform_int(1, 6));
+  for (int i = 0; i < frames; ++i) {
+    switch (rng.uniform_int(0, 5)) {
+      case 0: stream += encode_hello(sample_hello()); break;
+      case 1: stream += encode_submit(sample_submit()); break;
+      case 2: {
+        ChunkFrame chunk;
+        chunk.seq = rng.next_u64() % 100;
+        chunk.index = rng.next_u64() % 8;
+        chunk.data.assign(static_cast<std::size_t>(rng.uniform_int(0, 300)), 'z');
+        stream += encode_chunk(FrameType::kStdout, chunk);
+        break;
+      }
+      case 3: stream += encode_heartbeat(HeartbeatFrame{}); break;
+      case 4: {
+        AckFrame ack;
+        for (int k = 0; k < rng.uniform_int(0, 5); ++k) ack.seqs.push_back(rng.next_u64());
+        stream += encode_ack(ack);
+        break;
+      }
+      default: stream += encode_bye(); break;
+    }
+  }
+  return stream;
+}
+
+void consume_everything(const std::string& bytes, std::size_t step) {
+  FrameDecoder decoder;
+  std::size_t off = 0;
+  try {
+    while (off < bytes.size()) {
+      std::size_t n = std::min(step, bytes.size() - off);
+      decoder.feed(bytes.data() + off, n);
+      off += n;
+      while (std::optional<Frame> frame = decoder.next()) {
+        // Feed every typed decoder; wrong-type/corrupt payloads must throw
+        // cleanly rather than crash.
+        try { decode_hello(*frame); } catch (const ProtocolError&) {}
+        try { decode_submit(*frame); } catch (const ProtocolError&) {}
+        try { decode_chunk(*frame); } catch (const ProtocolError&) {}
+        try { decode_result(*frame); } catch (const ProtocolError&) {}
+        try { decode_ack(*frame); } catch (const ProtocolError&) {}
+        try { decode_heartbeat(*frame); } catch (const ProtocolError&) {}
+        try { decode_kill(*frame); } catch (const ProtocolError&) {}
+        try { decode_hello_ack(*frame); } catch (const ProtocolError&) {}
+      }
+    }
+  } catch (const ProtocolError&) {
+    // Poisoned decoder: expected terminal state for corrupt streams.
+  }
+}
+
+TEST(TransportFuzz, MutatedValidStreamsNeverCrash) {
+  const int kRounds = 400;
+  for (int round = 0; round < kRounds; ++round) {
+    util::Rng rng(0xf00d + static_cast<std::uint64_t>(round));
+    std::string bytes = valid_stream(rng);
+    // Mutate: flip bytes, truncate, or splice garbage.
+    int mutations = static_cast<int>(rng.uniform_int(1, 8));
+    for (int m = 0; m < mutations && !bytes.empty(); ++m) {
+      switch (rng.uniform_int(0, 2)) {
+        case 0: {
+          std::size_t pos = rng.next_u64() % bytes.size();
+          bytes[pos] = static_cast<char>(rng.next_u64() & 0xff);
+          break;
+        }
+        case 1:
+          bytes.resize(rng.next_u64() % (bytes.size() + 1));
+          break;
+        default: {
+          std::size_t pos = rng.next_u64() % (bytes.size() + 1);
+          std::string junk(static_cast<std::size_t>(rng.uniform_int(1, 16)), '\0');
+          for (char& c : junk) c = static_cast<char>(rng.next_u64() & 0xff);
+          bytes.insert(pos, junk);
+          break;
+        }
+      }
+    }
+    std::size_t step = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    consume_everything(bytes, step);
+  }
+}
+
+TEST(TransportFuzz, PureRandomStreamsNeverCrash) {
+  const int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    util::Rng rng(0xbeef + static_cast<std::uint64_t>(round));
+    std::string bytes(static_cast<std::size_t>(rng.uniform_int(0, 2048)), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.next_u64() & 0xff);
+    consume_everything(bytes, static_cast<std::size_t>(rng.uniform_int(1, 128)));
+  }
+}
+
+TEST(TransportFuzz, FaultFilterSchedulesAreDeterministic) {
+  TransportFaultPlan plan;
+  plan.seed = 42;
+  plan.drop_prob = 0.2;
+  plan.duplicate_prob = 0.2;
+  plan.reorder_prob = 0.2;
+  auto run = [&plan] {
+    FrameFaultFilter filter(plan);
+    std::vector<FrameType> seen;
+    std::vector<Frame> out;
+    for (int i = 0; i < 200; ++i) {
+      Frame frame;
+      frame.type = (i % 2 == 0) ? FrameType::kResult : FrameType::kHeartbeat;
+      frame.payload = std::to_string(i);
+      filter.filter(std::move(frame), /*now=*/i * 0.01, out);
+    }
+    filter.release_due(/*now=*/1e9, out);
+    for (const Frame& f : out) seen.push_back(f.type);
+    return std::make_pair(seen, filter.counters().dropped);
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.second, 0u);
+}
+
+TEST(TransportFuzz, ProtectedFramesSurviveTheFilter) {
+  TransportFaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob = 1.0;  // drop everything droppable
+  FrameFaultFilter filter(plan);
+  std::vector<Frame> out;
+  Frame hello;
+  hello.type = FrameType::kHello;
+  filter.filter(hello, 0.0, out);
+  Frame bye;
+  bye.type = FrameType::kBye;
+  filter.filter(bye, 0.0, out);
+  Frame result;
+  result.type = FrameType::kResult;
+  filter.filter(result, 0.0, out);
+  ASSERT_EQ(out.size(), 2u);  // HELLO and BYE pass; RESULT dropped
+  EXPECT_EQ(out[0].type, FrameType::kHello);
+  EXPECT_EQ(out[1].type, FrameType::kBye);
+  EXPECT_EQ(filter.counters().dropped, 1u);
+}
+
+}  // namespace
+}  // namespace parcl::exec::transport
