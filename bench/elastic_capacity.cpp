@@ -1,0 +1,272 @@
+// Elastic vs static allocation on the Fig 1 weak-scaling campaign.
+//
+// A 64-node simulated allocation (8 slots/node) runs the campaign twice
+// against the same crash schedule and the same Slurm allocation wave
+// (stragglers = the late-arriving host batch) plus reclaim-with-notice
+// preemptions:
+//   - elastic: nodes join as granted, drain on reclaim notice (nothing new
+//     starts), die at the reclaim, and rejoin after the off window;
+//   - static worst case: nothing starts until the LAST node is granted, and
+//     a preempted node never comes back (a fixed allocation cannot re-admit).
+// Jobs killed by a reclaim or a crash surface as host failures and requeue
+// uncharged (--retries 1 throughout proves it). Writes BENCH_elastic.json.
+#include <algorithm>
+#include <csignal>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "exec/sim_executor.hpp"
+#include "sim/duration_model.hpp"
+#include "sim/node_failure.hpp"
+#include "sim/simulation.hpp"
+#include "slurm/slurm.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace parcl;
+
+constexpr std::size_t kNodes = 64;
+constexpr std::size_t kSlotsPerNode = 8;
+constexpr std::size_t kSlots = kNodes * kSlotsPerNode;
+constexpr std::size_t kJobs = 8000;
+constexpr double kHorizon = 20000.0;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One granted stretch of a node's life: dispatchable in [grant, notice),
+/// running jobs survive until reclaim.
+struct Window {
+  double grant = 0.0;
+  double notice = kInf;
+  double reclaim = kInf;
+};
+
+/// Per-node windows from the allocation event stream.
+std::vector<std::vector<Window>> windows_from(
+    const std::vector<slurm::AllocationEvent>& events) {
+  std::vector<std::vector<Window>> nodes(kNodes);
+  for (const slurm::AllocationEvent& event : events) {
+    auto& wins = nodes[event.node];
+    switch (event.kind) {
+      case slurm::AllocationEvent::Kind::kGrant:
+        wins.push_back(Window{event.time, kInf, kInf});
+        break;
+      case slurm::AllocationEvent::Kind::kReclaimNotice:
+        wins.back().notice = event.time;
+        break;
+      case slurm::AllocationEvent::Kind::kReclaim:
+        wins.back().reclaim = event.time;
+        break;
+    }
+  }
+  return nodes;
+}
+
+std::size_t node_of_slot(std::size_t slot) { return (slot - 1) % kNodes; }
+
+/// Delegates to a SimExecutor but lets the harness veto slots, which is all
+/// the engine needs to respect an allocation's membership timeline.
+class GatedExecutor final : public core::Executor {
+ public:
+  GatedExecutor(exec::SimExecutor& inner, std::function<bool(std::size_t)> usable)
+      : inner_(inner), usable_(std::move(usable)) {}
+
+  void start(const core::ExecRequest& request) override { inner_.start(request); }
+  std::optional<core::ExecResult> wait_any(double timeout_seconds) override {
+    return inner_.wait_any(timeout_seconds);
+  }
+  void kill(std::uint64_t job_id, bool force) override { inner_.kill(job_id, force); }
+  void kill_signal(std::uint64_t job_id, int sig) override {
+    inner_.kill_signal(job_id, sig);
+  }
+  core::ResourcePressure pressure() const override { return inner_.pressure(); }
+  std::size_t active_count() const override { return inner_.active_count(); }
+  double now() const override { return inner_.now(); }
+  bool slot_usable(std::size_t slot) const override { return usable_(slot); }
+
+ private:
+  exec::SimExecutor& inner_;
+  std::function<bool(std::size_t)> usable_;
+};
+
+struct CampaignResult {
+  double makespan = 0.0;
+  std::size_t succeeded = 0;
+  std::size_t rescheduled = 0;
+  std::size_t charged_retries = 0;
+  std::size_t reclaim_kills = 0;
+};
+
+/// Runs the campaign against per-node availability windows. Fresh churn
+/// model per run (same seed): both configurations see the identical crash
+/// schedule. `elastic` false applies the static worst case: a single window
+/// per node from the last grant to the node's first reclaim.
+CampaignResult run_campaign(std::vector<std::vector<Window>> nodes, bool elastic) {
+  if (!elastic) {
+    double barrier = 0.0;
+    for (const auto& wins : nodes) barrier = std::max(barrier, wins.front().grant);
+    for (auto& wins : nodes) {
+      Window only = wins.front();
+      only.grant = barrier;
+      wins = {only};
+    }
+  }
+
+  sim::Simulation sim;
+  sim::LognormalDuration durations(/*median=*/20.0, /*sigma=*/0.3);
+  sim::NodeChurnConfig churn_config;
+  churn_config.nodes = kNodes;
+  churn_config.mtbf_seconds = 7200.0;  // MTBF crashes, no notice
+  churn_config.repair_seconds = 30.0;
+  churn_config.seed = 42;
+  sim::NodeChurnModel churn(churn_config);
+  util::Rng rng(7);
+
+  CampaignResult result;
+  exec::SimExecutor executor(sim, [&](const core::ExecRequest& request) {
+    exec::SimOutcome outcome;
+    outcome.duration = durations.sample(rng);
+    std::size_t node = node_of_slot(request.slot);
+    outcome.host = "node" + std::to_string(node);
+    double start = sim.now();
+    double killed_at = kInf;
+    if (auto crash = churn.failure_within(request.slot, start, outcome.duration)) {
+      killed_at = *crash;
+    }
+    for (const Window& w : nodes[node]) {
+      // The reclaim that ends the stretch the job started in.
+      if (w.reclaim >= start && start + outcome.duration > w.reclaim) {
+        if (w.reclaim < killed_at) {
+          killed_at = w.reclaim;
+          ++result.reclaim_kills;
+        }
+        break;
+      }
+      if (w.reclaim >= start) break;
+    }
+    if (killed_at < kInf) {
+      outcome.duration = killed_at - start;
+      outcome.term_signal = SIGKILL;
+      outcome.host_failure = true;
+    }
+    return outcome;
+  });
+
+  GatedExecutor gated(executor, [&](std::size_t slot) {
+    double now = sim.now();
+    for (const Window& w : nodes[node_of_slot(slot)]) {
+      if (now >= w.grant && now < w.notice) return true;
+      if (w.grant > now) break;
+    }
+    return false;
+  });
+
+  core::Options options;
+  options.jobs = kSlots;
+  options.retries = 1;  // only uncharged requeues can keep the count whole
+  std::ostringstream out, err;
+  core::Engine engine(options, gated, out, err);
+  std::vector<core::ArgVector> inputs;
+  inputs.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) inputs.push_back({std::to_string(i)});
+  core::RunSummary summary = engine.run("job {}", std::move(inputs));
+
+  result.makespan = sim.now();
+  result.succeeded = summary.succeeded;
+  result.rescheduled = summary.dispatch.rescheduled;
+  for (const core::JobResult& job : summary.results) {
+    if (job.attempts > 1) ++result.charged_retries;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  util::Logger::global().set_level(util::LogLevel::kError);
+  bench::print_header("elastic capacity",
+                      "elastic vs static allocation under preemption");
+
+  // One shared allocation timeline: the wave (with a real late batch) plus
+  // reclaim-with-notice preemptions from the churn model's preempt stream.
+  sim::Simulation alloc_sim;
+  slurm::SlurmSpec spec;
+  spec.straggler_probability = 0.05;  // ~3 of 64 nodes arrive late
+  slurm::SlurmSim slurm(alloc_sim, spec, util::Rng(21));
+  sim::NodeChurnConfig preempt_config;
+  preempt_config.nodes = kNodes;
+  preempt_config.seed = 42;
+  preempt_config.preempt_mtbf_seconds = 1200.0;
+  preempt_config.preempt_notice_seconds = 30.0;
+  preempt_config.preempt_off_seconds = 60.0;
+  sim::NodeChurnModel preempt(preempt_config);
+  std::vector<slurm::AllocationEvent> timeline =
+      slurm.sample_elastic_timeline(kNodes, preempt, kHorizon);
+  std::vector<std::vector<Window>> nodes = windows_from(timeline);
+
+  double last_grant = 0.0;
+  std::size_t late_nodes = 0;
+  for (const auto& wins : nodes) {
+    last_grant = std::max(last_grant, wins.front().grant);
+    if (wins.front().grant > 30.0) ++late_nodes;
+  }
+
+  CampaignResult elastic = run_campaign(nodes, /*elastic=*/true);
+  CampaignResult fixed = run_campaign(nodes, /*elastic=*/false);
+  double speedup_pct = (fixed.makespan - elastic.makespan) / fixed.makespan * 100.0;
+
+  util::Table table({"allocation", "makespan (sim s)", "succeeded", "requeued",
+                     "reclaim kills", "charged retries"});
+  table.add_row({"elastic", util::format_double(elastic.makespan, 1),
+                 std::to_string(elastic.succeeded),
+                 std::to_string(elastic.rescheduled),
+                 std::to_string(elastic.reclaim_kills),
+                 std::to_string(elastic.charged_retries)});
+  table.add_row({"static worst case", util::format_double(fixed.makespan, 1),
+                 std::to_string(fixed.succeeded),
+                 std::to_string(fixed.rescheduled),
+                 std::to_string(fixed.reclaim_kills),
+                 std::to_string(fixed.charged_retries)});
+  std::cout << table.render() << '\n';
+  std::cout << "last grant at " << util::format_double(last_grant, 1) << " s ("
+            << late_nodes << " late nodes); elastic saves "
+            << util::format_double(speedup_pct, 1) << "% of makespan\n";
+
+  bool ok = true;
+  if (elastic.succeeded != kJobs || fixed.succeeded != kJobs) {
+    std::cout << "FAIL: lost jobs (elastic " << elastic.succeeded << ", static "
+              << fixed.succeeded << " of " << kJobs << ")\n";
+    ok = false;
+  }
+  if (elastic.charged_retries != 0 || fixed.charged_retries != 0) {
+    std::cout << "FAIL: preemption drains charged --retries\n";
+    ok = false;
+  }
+  if (elastic.makespan >= fixed.makespan) {
+    std::cout << "FAIL: elastic did not beat the static worst case\n";
+    ok = false;
+  }
+
+  bench::BenchJson json("BENCH_elastic.json");
+  json.set("elastic_capacity", "elastic_makespan_s", elastic.makespan);
+  json.set("elastic_capacity", "static_makespan_s", fixed.makespan);
+  json.set("elastic_capacity", "speedup_pct", speedup_pct);
+  json.set("elastic_capacity", "last_grant_s", last_grant);
+  json.set("elastic_capacity", "late_nodes", static_cast<double>(late_nodes));
+  json.set("elastic_capacity", "elastic_requeued",
+           static_cast<double>(elastic.rescheduled));
+  json.set("elastic_capacity", "elastic_reclaim_kills",
+           static_cast<double>(elastic.reclaim_kills));
+  json.set("elastic_capacity", "charged_retries",
+           static_cast<double>(elastic.charged_retries + fixed.charged_retries));
+  bench::stamp_provenance(json);
+  json.write();
+  std::cout << "wrote BENCH_elastic.json\n";
+  return ok ? 0 : 1;
+}

@@ -155,6 +155,20 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
       parse_sshlogins(take_value(argv, i, arg), plan.sshlogins);
     } else if (arg == "--filter-hosts") {
       plan.options.filter_hosts = true;
+    } else if (arg == "--sshlogin-file" || arg == "--slf") {
+      plan.options.sshlogin_file = take_value(argv, i, arg);
+    } else if (arg == "--watch") {
+      plan.options.watch_sshlogin_file = true;
+    } else if (arg == "--drain-grace") {
+      plan.options.drain_grace_seconds =
+          util::parse_double(take_value(argv, i, arg));
+    } else if (arg == "--min-hosts") {
+      long count = util::parse_long(take_value(argv, i, arg));
+      if (count < 0) throw util::ParseError("--min-hosts must be >= 0");
+      plan.options.min_hosts = static_cast<std::size_t>(count);
+    } else if (arg == "--min-hosts-grace") {
+      plan.options.min_hosts_grace_seconds =
+          util::parse_double(take_value(argv, i, arg));
     } else if (arg == "--hedge") {
       plan.options.hedge_multiplier = util::parse_double(take_value(argv, i, arg));
     } else if (arg == "--quarantine-after") {
@@ -265,10 +279,12 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
     throw util::ConfigError("--pipe reads stdin itself; '-' cannot also name it");
   }
 
-  if (plan.options.filter_hosts && plan.sshlogins.empty()) {
+  if (plan.options.filter_hosts && plan.sshlogins.empty() &&
+      plan.options.sshlogin_file.empty()) {
     throw util::ConfigError("--filter-hosts requires --sshlogin");
   }
-  if (!plan.sshlogins.empty() && plan.semaphore) {
+  if ((!plan.sshlogins.empty() || !plan.options.sshlogin_file.empty()) &&
+      plan.semaphore) {
     throw util::ConfigError("--semaphore runs locally; --sshlogin does not apply");
   }
   if (plan.options.pilot && plan.sshlogins.empty()) {
@@ -357,7 +373,24 @@ options:
   -S, --sshlogin L    comma-separated hosts to run on ("8/node07" caps 8
                       jobs there; ":" = this machine, no ssh)
       --filter-hosts  probe each --sshlogin host at startup and drop the
-                      unreachable ones
+                      unreachable ones (with --watch, also probes hosts
+                      added mid-run before they receive jobs)
+      --slf, --sshlogin-file F
+                      read sshlogin entries (one "host" or "N/host" per
+                      line, '#' comments) from F, in addition to -S
+      --watch         re-read --sshlogin-file when it changes and grow,
+                      drain, or remove hosts mid-run to match; deleting
+                      the file releases every host from it
+      --drain-grace SECS
+                      when --watch removes a host, let its in-flight jobs
+                      finish for up to SECS before killing and requeueing
+                      them (uncharged); 0 = kill immediately (default 30)
+      --min-hosts N   with fewer than N live hosts, park queued work and
+                      wait for capacity instead of failing (0 = no floor;
+                      default 1)
+      --min-hosts-grace SECS
+                      give up on parked work after the host count has been
+                      below --min-hosts for SECS (0 = wait forever)
       --quarantine-after N
                       consecutive host failures before a host is
                       quarantined (0 = never; default 3)

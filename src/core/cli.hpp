@@ -12,6 +12,8 @@
 //   -a/--arg-file F    --no-quote          --no-shell
 //   -S/--sshlogin L    --filter-hosts      --hedge K
 //   --quarantine-after N                   --probe-interval SECS
+//   --slf/--sshlogin-file F --watch        --drain-grace SECS
+//   --min-hosts N      --min-hosts-grace SECS
 //
 // With no ::: / :::: / -a source, values are read from stdin, one per line,
 // exactly like parallel. `-` as the file for -a/--arg-file or :::: names

@@ -368,6 +368,13 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   double last_end = -std::numeric_limits<double>::infinity();
   std::size_t done = 0;
 
+  // --min-hosts: instant the live host set fell below the floor, or < 0
+  // while at/above it. While starved the run parks — dispatch pauses but
+  // nothing is failed or skipped — and a return of capacity resumes it.
+  // Only a grace window (--min-hosts-grace) can turn a park into giving up.
+  double starved_since = -1.0;
+  bool starvation_reported = false;
+
   const bool capture = options_.output_mode != OutputMode::kUngroup;
   constexpr double kTimeoutGrace = 1.0;  // SIGTERM -> SIGKILL escalation
   // A host-failure completion requeues its job without charging --retries,
@@ -657,6 +664,42 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     // Release backoff'd retries whose delay has elapsed.
     ledger.release_due();
 
+    // Elastic backends can grow their slot space between iterations (a
+    // watched sshlogin file adding hosts); widen the pool before filling.
+    scheduler.sync_capacity();
+
+    // --min-hosts floor: park while starved, give up only after the grace.
+    if (options_.min_hosts > 0 && !scheduler.stopped() &&
+        (queued_work() || !active.empty())) {
+      if (executor_.live_host_count() < options_.min_hosts) {
+        double t = executor_.now();
+        if (starved_since < 0.0) starved_since = t;
+        if (!starvation_reported) {
+          starvation_reported = true;
+          err_ << "parcl: live hosts below --min-hosts " << options_.min_hosts
+               << "; parking until capacity returns"
+               << (options_.min_hosts_grace_seconds > 0.0
+                       ? " (grace " +
+                             std::to_string(options_.min_hosts_grace_seconds) +
+                             "s)"
+                       : "")
+               << '\n';
+        }
+        if (options_.min_hosts_grace_seconds > 0.0 &&
+            t - starved_since >= options_.min_hosts_grace_seconds) {
+          err_ << "parcl: --min-hosts grace expired; skipping remaining jobs\n";
+          summary.starved = true;
+          scheduler.stop();
+        }
+      } else {
+        if (starved_since >= 0.0 && starvation_reported) {
+          err_ << "parcl: host capacity restored; resuming dispatch\n";
+        }
+        starved_since = -1.0;
+        starvation_reported = false;
+      }
+    }
+
     // Phase 1a: hedge stragglers. An unpaired primary running longer than
     // hedge_multiplier x the running median gets a speculative duplicate on
     // a different failure domain. This runs BEFORE the fresh fill so a
@@ -746,9 +789,15 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     }
     if (!scheduler.stopped() && queued_work() && !scheduler.slot_free() &&
         scheduler.any_slot_free()) {
-      // Free slots exist but all sit on quarantined hosts: poll so the
-      // executor keeps pumping probes and dispatch resumes on reinstatement.
+      // Free slots exist but all sit on quarantined/drained hosts: poll so
+      // the executor keeps pumping probes, drains, and the sshlogin-file
+      // watcher, and dispatch resumes on reinstatement or a grown host set.
       cap_wait(kQuarantinePoll);
+    }
+    if (starved_since >= 0.0 && options_.min_hosts_grace_seconds > 0.0 &&
+        !scheduler.stopped()) {
+      // Wake at the --min-hosts give-up instant even with nothing running.
+      cap_wait(starved_since + options_.min_hosts_grace_seconds - now);
     }
     if (options_.hedge_multiplier > 0.0 && drain_stage == 0 &&
         !scheduler.stopped()) {

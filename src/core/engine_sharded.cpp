@@ -405,6 +405,12 @@ std::size_t Engine::sharded_shard_count() const {
       options_.load_max > 0.0) {
     return 1;
   }
+  // Elastic backends (runtime-mutable slot capacity: a watched sshlogin
+  // file) pin the run to the serial loop too: shards own fixed contiguous
+  // slot ranges, which a host set that grows and drains under them would
+  // invalidate. Such backends also refuse make_shard(), so this is the
+  // cheap early exit for the same decision.
+  if (executor_.slot_capacity() != 0) return 1;
   // Auto mode only shards runs wide enough to pay for the threads; an
   // explicit --dispatchers N engages at any width.
   if (options_.dispatchers == 0 && options_.effective_jobs() < 32) return 1;

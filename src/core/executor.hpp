@@ -102,6 +102,19 @@ class Executor {
     return true;
   }
 
+  /// Current total slot count for elastic backends whose host set can grow
+  /// at runtime (a watched --sshlogin-file adding hosts mid-run). The
+  /// scheduler re-reads this every loop iteration and grows its slot pool
+  /// to match; slot ids are never reclaimed, so the count only rises —
+  /// removed hosts leave tombstone slots vetoed via slot_usable(). 0 (the
+  /// default) means the backend is static and the pool stays at -j.
+  virtual std::size_t slot_capacity() const { return 0; }
+
+  /// Hosts currently able to accept dispatch, for the --min-hosts floor.
+  /// Elastic backends report their live (non-removed, non-draining) host
+  /// count; the default 1 means "this backend never runs out of hosts".
+  virtual std::size_t live_host_count() const { return 1; }
+
   /// Jobs started but not yet returned by wait_any().
   virtual std::size_t active_count() const = 0;
 

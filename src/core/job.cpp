@@ -26,6 +26,9 @@ double RunSummary::dispatch_rate() const noexcept {
 
 int RunSummary::exit_status() const noexcept {
   std::size_t bad = failed + killed;
+  // A starved give-up (--min-hosts-grace) abandoned the skipped tail; that
+  // must surface in the exit status like any other unfinished work.
+  if (starved) bad += skipped;
   if (bad == 0) return 0;
   return static_cast<int>(std::min<std::size_t>(bad, 101));
 }

@@ -111,6 +111,10 @@ struct RunSummary {
   std::size_t killed = 0;
   std::size_t skipped = 0;
   bool halted = false;
+  /// The --min-hosts grace expired and the run gave up on queued work; the
+  /// abandoned tail is in `skipped` and counts against exit_status() —
+  /// losing work must never read as success.
+  bool starved = false;
   /// Non-zero when a SIGINT/SIGTERM drain ended the run early; the CLI
   /// exits 128+N (130 for SIGINT, 143 for SIGTERM).
   int interrupt_signal = 0;

@@ -29,6 +29,15 @@ void Options::validate() const {
     throw util::ConfigError("--heartbeat-interval must be > 0");
   }
   if (reconnect_max == 0) throw util::ConfigError("--reconnect must be >= 1");
+  if (drain_grace_seconds < 0.0) {
+    throw util::ConfigError("--drain-grace must be >= 0");
+  }
+  if (min_hosts_grace_seconds < 0.0) {
+    throw util::ConfigError("--min-hosts-grace must be >= 0");
+  }
+  if (watch_sshlogin_file && sshlogin_file.empty()) {
+    throw util::ConfigError("--watch requires --sshlogin-file");
+  }
   parse_termseq(term_seq);  // throws ParseError on a malformed sequence
   if (joblog_fsync && joblog_path.empty()) {
     throw util::ConfigError("--joblog-fsync requires --joblog");

@@ -109,8 +109,35 @@ struct Options {
   double probe_interval_seconds = 5.0;
 
   /// --filter-hosts: probe every host at startup and quarantine the ones
-  /// that fail before dispatching any job.
+  /// that fail before dispatching any job. With --sshlogin-file --watch,
+  /// hosts added mid-run are probed the same way before receiving jobs.
   bool filter_hosts = false;
+
+  /// --sshlogin-file FILE: read --sshlogin entries (one per line, '#'
+  /// comments) from FILE, merged after any -S flags ("" = off).
+  std::string sshlogin_file;
+
+  /// --watch: keep watching --sshlogin-file for edits (inotify, with an
+  /// mtime/size polling fallback) and grow/drain the host set live to
+  /// match. Entries that disappear drain with --drain-grace; new entries
+  /// add slots immediately.
+  bool watch_sshlogin_file = false;
+
+  /// --drain-grace SECS: how long a draining host's in-flight jobs may keep
+  /// running before being killed and requeued uncharged against --retries.
+  /// 0 kills immediately (a reclaim with no notice).
+  double drain_grace_seconds = 30.0;
+
+  /// --min-hosts N: the run parks (stops dispatching, keeps state) instead
+  /// of failing while fewer than N hosts are live; capacity returning
+  /// resumes dispatch exactly where it left off. 0 disables the floor.
+  std::size_t min_hosts = 1;
+
+  /// --min-hosts-grace SECS: once the live host count has stayed below
+  /// --min-hosts this long, the run gives up and skips the remaining work
+  /// (exit via normal skip accounting, resumable from the joblog).
+  /// 0 = park forever.
+  double min_hosts_grace_seconds = 0.0;
 
   /// --pilot: run one persistent worker agent per --sshlogin host and frame
   /// jobs over a single multiplexed connection instead of spawning one ssh

@@ -3,8 +3,10 @@
 // The runnable analog of every `parallel ...` invocation in the paper, e.g.
 //   parcl -j128 ./payload.sh {} :::: inputs.txt
 //   parcl -j8 --env 'HIP_VISIBLE_DEVICES={%}' celer-sim {} ::: *.inp.json
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "core/cli.hpp"
@@ -12,12 +14,38 @@
 #include "core/pipe.hpp"
 #include "core/semaphore.hpp"
 #include "core/signal_coordinator.hpp"
+#include "exec/host_set.hpp"
 #include "exec/local_executor.hpp"
 #include "exec/multi_executor.hpp"
 #include "exec/worker_agent.hpp"
 #include "util/error.hpp"
 
 namespace {
+
+/// ":" runs on this machine; anything else rides an "ssh <host>" wrapper.
+parcl::exec::HostSpec spec_for_entry(const parcl::exec::SshLoginEntry& entry) {
+  parcl::exec::HostSpec spec;
+  spec.jobs = entry.jobs;
+  if (entry.host == ":") {
+    spec.name = "localhost";
+  } else {
+    spec.name = entry.host;
+    spec.wrapper = "ssh " + entry.host;
+  }
+  return spec;
+}
+
+/// The startup read of --sshlogin-file. With --watch, later edits flow in
+/// through the cluster's HostSetController instead of this path.
+std::vector<parcl::exec::SshLoginEntry> read_sshlogin_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw parcl::util::ConfigError("cannot read --sshlogin-file '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parcl::exec::parse_sshlogin_text(text.str());
+}
 
 /// Builds the --sshlogin fan-out: each remote host gets an "ssh <host>"
 /// wrapper around a local backend; ":" runs directly on this machine. The
@@ -27,15 +55,20 @@ std::unique_ptr<parcl::exec::MultiExecutor> make_cluster(parcl::core::RunPlan& p
   std::vector<exec::HostSpec> hosts;
   hosts.reserve(plan.sshlogins.size());
   for (const core::SshLogin& login : plan.sshlogins) {
-    exec::HostSpec spec;
-    spec.jobs = login.jobs;
-    if (login.host == ":") {
-      spec.name = "localhost";
-    } else {
-      spec.name = login.host;
-      spec.wrapper = "ssh " + login.host;
+    exec::SshLoginEntry entry;
+    entry.host = login.host;
+    entry.jobs = login.jobs;
+    hosts.push_back(spec_for_entry(entry));
+  }
+  if (!plan.options.sshlogin_file.empty()) {
+    for (const exec::SshLoginEntry& entry :
+         read_sshlogin_file(plan.options.sshlogin_file)) {
+      hosts.push_back(spec_for_entry(entry));
     }
-    hosts.push_back(std::move(spec));
+  }
+  if (hosts.empty()) {
+    throw util::ConfigError("--sshlogin-file '" + plan.options.sshlogin_file +
+                            "' names no hosts (add one, or start with -S)");
   }
   exec::HealthPolicy policy;
   policy.quarantine_after = plan.options.quarantine_after;
@@ -102,8 +135,15 @@ int main(int argc, char** argv) {
     tuning.zygote = plan.options.zygote;
     exec::LocalExecutor executor{tuning};
     std::unique_ptr<exec::MultiExecutor> cluster;
-    if (!plan.sshlogins.empty()) {
+    if (!plan.sshlogins.empty() || !plan.options.sshlogin_file.empty()) {
       cluster = make_cluster(plan);
+      if (plan.options.watch_sshlogin_file) {
+        exec::WatchSettings watch;
+        watch.drain_grace = plan.options.drain_grace_seconds;
+        watch.probe_new_hosts = plan.options.filter_hosts;
+        cluster->watch_sshlogin_file(plan.options.sshlogin_file, spec_for_entry,
+                                     watch);
+      }
       if (plan.options.filter_hosts) {
         for (const std::string& name : cluster->filter_hosts()) {
           std::cerr << "parcl: --filter-hosts: dropping unreachable host '"

@@ -32,6 +32,13 @@ std::size_t Scheduler::acquire_slot() {
   return *got;
 }
 
+bool Scheduler::sync_capacity() {
+  std::size_t capacity = executor_.slot_capacity();
+  if (capacity <= slots_.capacity()) return false;
+  slots_.grow_to(capacity);
+  return true;
+}
+
 bool Scheduler::slot_free() const {
   if (!slots_.any_free()) return false;
   for (std::size_t slot = 1; slot <= slots_.capacity(); ++slot) {

@@ -61,6 +61,13 @@ class Scheduler {
   /// (--hedge placement), or nullopt when none is available right now.
   std::optional<std::size_t> acquire_slot_distinct(std::size_t other);
 
+  /// Elastic backends (Executor::slot_capacity() != 0) can grow their slot
+  /// space at runtime; the engine calls this every loop iteration to widen
+  /// the pool to match. Returns true when new slots appeared (the engine
+  /// then re-enters its fill phase). Shrinking never happens here: lost
+  /// hosts keep their slot ids as slot_usable()-vetoed tombstones.
+  bool sync_capacity();
+
   /// True once dispatching is over: halt engaged or a signal drain started.
   bool stopped() const noexcept { return stop_starting_; }
   void stop() noexcept { stop_starting_ = true; }

@@ -18,6 +18,13 @@ std::size_t SlotPool::acquire() {
   return slot;
 }
 
+void SlotPool::grow_to(std::size_t slots) {
+  if (slots <= slots_) return;
+  held_.resize(slots, false);
+  for (std::size_t s = slots_ + 1; s <= slots; ++s) free_.push(s);
+  slots_ = slots;
+}
+
 void SlotPool::release(std::size_t slot) {
   util::require(slot >= 1 && slot <= slots_, "slot release out of range");
   util::require(held_[slot - 1], "double release of slot");

@@ -24,6 +24,13 @@ class SlotPool {
   /// Returns a slot; throws InternalError on double-release or bad id.
   void release(std::size_t slot);
 
+  /// Grows capacity to `slots`, appending the new slot ids to the free
+  /// list. The pool never shrinks: an elastic backend that loses a host
+  /// keeps its slot ids as tombstones vetoed via Executor::slot_usable(),
+  /// so slot numbers stay stable for {%} and the joblog. A smaller or
+  /// equal `slots` is a no-op.
+  void grow_to(std::size_t slots);
+
   bool any_free() const noexcept { return in_use_count_ < slots_; }
   std::size_t capacity() const noexcept { return slots_; }
   std::size_t in_use() const noexcept { return in_use_count_; }

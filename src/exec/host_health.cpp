@@ -12,9 +12,19 @@ const char* to_string(HostState state) noexcept {
     case HostState::kSuspect: return "suspect";
     case HostState::kQuarantined: return "quarantined";
     case HostState::kProbing: return "probing";
+    case HostState::kRemoved: return "removed";
   }
   return "?";
 }
+
+namespace {
+/// Condemned states absorb further evidence: reinstatement (or nothing, for
+/// removed hosts) is the only way out.
+bool condemned(HostState s) {
+  return s == HostState::kQuarantined || s == HostState::kProbing ||
+         s == HostState::kRemoved;
+}
+}  // namespace
 
 HostHealthTracker::HostHealthTracker(HealthPolicy policy, std::size_t host_count)
     : policy_(std::move(policy)), hosts_(host_count) {
@@ -51,7 +61,7 @@ bool HostHealthTracker::any_quarantined() const {
 bool HostHealthTracker::record_host_failure(std::size_t host, double now) {
   Entry& e = entry(host);
   ++counters_.host_failure_signals;
-  if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) {
+  if (condemned(e.state)) {
     // Late stragglers from an already-condemned host add no information.
     return false;
   }
@@ -66,7 +76,7 @@ bool HostHealthTracker::record_host_failure(std::size_t host, double now) {
 
 void HostHealthTracker::record_host_ok(std::size_t host) {
   Entry& e = entry(host);
-  if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) return;
+  if (condemned(e.state)) return;
   e.streak = 0;
   e.state = HostState::kHealthy;
 }
@@ -75,7 +85,7 @@ bool HostHealthTracker::observe_heartbeat(std::size_t host, double age,
                                           double stall_after, double now) {
   Entry& e = entry(host);
   if (stall_after <= 0.0) return false;
-  if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) {
+  if (condemned(e.state)) {
     return false;  // already condemned; reinstatement is the probe's call
   }
   if (age < stall_after) {
@@ -87,7 +97,7 @@ bool HostHealthTracker::observe_heartbeat(std::size_t host, double age,
     ++e.stall_charged;
     ++counters_.heartbeat_stall_signals;
     if (record_host_failure(host, now)) return true;
-    if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) {
+    if (condemned(e.state)) {
       break;  // a very old gap must not bill past the quarantine line
     }
   }
@@ -96,7 +106,7 @@ bool HostHealthTracker::observe_heartbeat(std::size_t host, double age,
 
 void HostHealthTracker::quarantine(std::size_t host, double now) {
   Entry& e = entry(host);
-  if (e.state == HostState::kQuarantined || e.state == HostState::kProbing) return;
+  if (condemned(e.state)) return;
   e.state = HostState::kQuarantined;
   e.backoff_mult = 1.0;
   e.next_probe_at = now + policy_.probe_interval;
@@ -109,6 +119,28 @@ bool HostHealthTracker::take_due_probe(std::size_t host, double now) {
   e.state = HostState::kProbing;
   ++counters_.probes_launched;
   return true;
+}
+
+std::size_t HostHealthTracker::add_host() {
+  hosts_.emplace_back();
+  return hosts_.size() - 1;
+}
+
+void HostHealthTracker::evict(std::size_t host) {
+  entry(host).state = HostState::kRemoved;
+}
+
+void HostHealthTracker::probation(std::size_t host, double now) {
+  Entry& e = entry(host);
+  if (e.state == HostState::kRemoved) return;
+  // Reachability gate, not a health verdict: the host sits quarantined with
+  // a probe due *immediately*, so the normal probe/reinstate loop decides
+  // whether it may receive jobs — without charging the quarantine counter
+  // or inheriting any backoff.
+  e.state = HostState::kQuarantined;
+  e.streak = 0;
+  e.backoff_mult = 1.0;
+  e.next_probe_at = now;
 }
 
 void HostHealthTracker::record_probe_result(std::size_t host, bool ok, double now) {

@@ -26,7 +26,17 @@
 
 namespace parcl::exec {
 
-enum class HostState { kHealthy, kSuspect, kQuarantined, kProbing };
+enum class HostState {
+  kHealthy,
+  kSuspect,
+  kQuarantined,
+  kProbing,
+  /// Evicted by remove_host()/a finished drain: never dispatchable, never
+  /// probed, all further evidence absorbed. A re-granted host gets a fresh
+  /// entry via add_host() instead of resurrecting this one, so it is not
+  /// born with the old suspicion streak or probe backoff.
+  kRemoved,
+};
 
 const char* to_string(HostState state) noexcept;
 
@@ -88,6 +98,22 @@ class HostHealthTracker {
   /// Force-quarantines (e.g. --filter-hosts startup probe). No-op when
   /// already quarantined.
   void quarantine(std::size_t host, double now);
+
+  /// Registers a new host (live add via a watched sshlogin file). Returns
+  /// its index. The entry starts Healthy with a fresh streak and probe
+  /// backoff, even when a host of the same name was evicted earlier.
+  std::size_t add_host();
+
+  /// Evicts a removed/drained host: state becomes kRemoved permanently.
+  /// Its entry stays (indices are stable) but receives no probes and
+  /// absorbs all further signals.
+  void evict(std::size_t host);
+
+  /// Starts a mid-run reachability check (--filter-hosts for a host added
+  /// while running): quarantines with the first probe due immediately, so
+  /// the host receives no jobs until one probe succeeds. No-op on removed
+  /// hosts.
+  void probation(std::size_t host, double now);
 
   /// True when a reinstatement probe should launch now; flips the host to
   /// Probing (the caller owns actually running the probe).

@@ -1,0 +1,152 @@
+#include "exec/host_set.hpp"
+
+#include <sys/inotify.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace parcl::exec {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::vector<SshLoginEntry> parse_sshlogin_text(const std::string& text) {
+  std::vector<SshLoginEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    SshLoginEntry entry;
+    entry.host = line;
+    // "N/host" caps N jobs on host, like --sshlogin.
+    if (std::size_t slash = line.find('/'); slash != std::string::npos) {
+      std::string count = line.substr(0, slash);
+      if (count.empty() ||
+          count.find_first_not_of("0123456789") != std::string::npos) {
+        throw util::ConfigError("sshlogin file: bad job count in '" + line + "'");
+      }
+      entry.jobs = static_cast<std::size_t>(std::stoull(count));
+      if (entry.jobs == 0) {
+        throw util::ConfigError("sshlogin file: zero jobs in '" + line + "'");
+      }
+      entry.host = line.substr(slash + 1);
+    }
+    if (entry.host.empty()) {
+      throw util::ConfigError("sshlogin file: empty host in '" + line + "'");
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+HostSetController::HostSetController(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) throw util::ConfigError("sshlogin file path is empty");
+  std::string dir = ".";
+  basename_ = path_;
+  if (std::size_t slash = path_.find_last_of('/'); slash != std::string::npos) {
+    dir = slash == 0 ? "/" : path_.substr(0, slash);
+    basename_ = path_.substr(slash + 1);
+  }
+  // Watch the *directory*: the common update idiom is write-temp-then-
+  // rename(2) over the file, which replaces the inode a file watch would be
+  // pinned to. Directory events carry the entry name, so we can filter to
+  // ours. Failure (no inotify, exhausted watches, NFS peculiarities) is not
+  // an error — the stat fallback in poll() covers every filesystem.
+  inotify_fd_ = inotify_init1(IN_NONBLOCK | IN_CLOEXEC);
+  if (inotify_fd_ >= 0) {
+    watch_descriptor_ = inotify_add_watch(
+        inotify_fd_, dir.c_str(),
+        IN_CLOSE_WRITE | IN_MOVED_TO | IN_MOVED_FROM | IN_CREATE | IN_DELETE);
+    if (watch_descriptor_ < 0) {
+      ::close(inotify_fd_);
+      inotify_fd_ = -1;
+    }
+  }
+  last_ = fingerprint();
+}
+
+HostSetController::~HostSetController() {
+  if (inotify_fd_ >= 0) ::close(inotify_fd_);
+}
+
+HostSetController::Fingerprint HostSetController::fingerprint() const {
+  Fingerprint fp;
+  struct stat st{};
+  if (::stat(path_.c_str(), &st) != 0) return fp;  // exists = false
+  fp.exists = true;
+  fp.mtime_ns = static_cast<long long>(st.st_mtim.tv_sec) * 1'000'000'000LL +
+                st.st_mtim.tv_nsec;
+  fp.size = static_cast<long long>(st.st_size);
+  fp.inode = static_cast<unsigned long long>(st.st_ino);
+  return fp;
+}
+
+bool HostSetController::drain_inotify_events() {
+  bool relevant = false;
+  alignas(inotify_event) char buffer[4096];
+  while (true) {
+    ssize_t n = ::read(inotify_fd_, buffer, sizeof buffer);
+    if (n <= 0) break;  // EAGAIN: drained
+    for (ssize_t offset = 0; offset < n;) {
+      auto* event = reinterpret_cast<const inotify_event*>(buffer + offset);
+      if ((event->mask & IN_Q_OVERFLOW) != 0) {
+        relevant = true;  // lost events: assume ours was among them
+      } else if (event->len > 0 && basename_ == event->name) {
+        relevant = true;
+      }
+      offset += static_cast<ssize_t>(sizeof(inotify_event)) + event->len;
+    }
+  }
+  return relevant;
+}
+
+std::optional<std::vector<SshLoginEntry>> HostSetController::poll(double now) {
+  if (inotify_fd_ >= 0) {
+    if (!drain_inotify_events()) return std::nullopt;
+  } else {
+    if (last_stat_at_ >= 0.0 && now - last_stat_at_ < kPollInterval) {
+      return std::nullopt;
+    }
+    last_stat_at_ = now;
+  }
+  Fingerprint fp = fingerprint();
+  if (fp == last_) return std::nullopt;
+  if (!fp.exists) {
+    // Deleting the file is an explicit "release everything".
+    last_ = fp;
+    return std::vector<SshLoginEntry>{};
+  }
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return std::nullopt;  // transiently unreadable: retry next poll
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    std::vector<SshLoginEntry> entries = parse_sshlogin_text(text.str());
+    last_ = fp;
+    return entries;
+  } catch (const util::ConfigError&) {
+    // A torn or garbage write must not be mistaken for "drain everything".
+    // last_ stays put, so the next (complete) write re-triggers parsing.
+    return std::nullopt;
+  }
+}
+
+}  // namespace parcl::exec

@@ -1,0 +1,88 @@
+// Watched --sshlogin-file: the host set as a runtime-mutable resource.
+//
+// Real HT-HPC allocations are elastic — Slurm grants arrive late, spot
+// nodes get reclaimed with notice, capacity comes and goes — so the file
+// naming the hosts is the natural control surface: an external agent (or
+// the operator) rewrites it, and parcl grows or drains its host set to
+// match without restarting the campaign. HostSetController owns the cheap
+// half of that loop: noticing that the file changed (inotify on the parent
+// directory where available, mtime/size/inode polling everywhere else) and
+// parsing it into login entries. MultiExecutor owns the consequences
+// (add_host / drain_host diffing).
+//
+// File grammar is GNU parallel's --slf: one login per line, `#` comments,
+// blank lines ignored, "N/host" caps N jobs on host, ":" is the local
+// machine.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcl::exec {
+
+/// One parsed sshlogin-file entry ("N/host"; ":" = local machine).
+struct SshLoginEntry {
+  std::string host;
+  std::size_t jobs = 1;
+};
+
+/// Parses sshlogin-file text. Malformed job counts ("x/host", "0/host")
+/// throw ConfigError — a torn or garbage file must not drain the cluster.
+std::vector<SshLoginEntry> parse_sshlogin_text(const std::string& text);
+
+class HostSetController {
+ public:
+  /// Starts watching `path`. The file need not exist yet (a grant that has
+  /// not landed); it appearing later counts as a change. Never throws on
+  /// inotify unavailability — the stat fallback covers every filesystem.
+  explicit HostSetController(std::string path);
+  ~HostSetController();
+
+  HostSetController(const HostSetController&) = delete;
+  HostSetController& operator=(const HostSetController&) = delete;
+
+  /// Cheap change check, callable every executor sweep: drains pending
+  /// inotify events (or stats the file at most every poll_interval
+  /// seconds) and, when the file changed since the last poll, re-reads and
+  /// parses it. Returns the desired host set on change, nullopt otherwise.
+  /// An unreadable or unparseable file is reported unchanged — a torn
+  /// write must not be mistaken for "drain everything" (the next clean
+  /// write triggers normally). A *vanished* file, though, is an explicit
+  /// empty set: releasing the allocation by deleting the file is valid.
+  std::optional<std::vector<SshLoginEntry>> poll(double now);
+
+  /// True when the inotify fast path armed (polling fallback otherwise).
+  bool using_inotify() const noexcept { return inotify_fd_ >= 0; }
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Minimum seconds between stat() checks on the polling fallback.
+  static constexpr double kPollInterval = 0.2;
+
+ private:
+  struct Fingerprint {
+    bool exists = false;
+    long long mtime_ns = 0;
+    long long size = 0;
+    unsigned long long inode = 0;
+    bool operator==(const Fingerprint& other) const {
+      return exists == other.exists && mtime_ns == other.mtime_ns &&
+             size == other.size && inode == other.inode;
+    }
+  };
+
+  Fingerprint fingerprint() const;
+  /// True when pending inotify events name our file (or overflow).
+  bool drain_inotify_events();
+
+  std::string path_;
+  std::string basename_;
+  int inotify_fd_ = -1;
+  int watch_descriptor_ = -1;
+  Fingerprint last_;
+  double last_stat_at_ = -1.0;
+};
+
+}  // namespace parcl::exec

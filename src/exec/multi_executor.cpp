@@ -23,11 +23,17 @@ void nap_2ms() {
 }
 }  // namespace
 
+namespace {
+constexpr std::size_t kNoHost = static_cast<std::size_t>(-1);
+}
+
 MultiExecutor::MultiExecutor(
     std::vector<HostSpec> hosts,
     std::function<std::unique_ptr<core::Executor>(const HostSpec&)> make_executor,
     HealthPolicy policy)
-    : health_(std::move(policy), hosts.size()), inflight_by_host_(hosts.size(), 0) {
+    : health_(std::move(policy), hosts.size()),
+      make_executor_(std::move(make_executor)),
+      inflight_by_host_(hosts.size(), 0) {
   if (hosts.empty()) throw util::ConfigError("multi executor needs at least one host");
   std::map<std::string, std::size_t> name_uses;
   std::size_t next_slot = 1;
@@ -44,7 +50,7 @@ MultiExecutor::MultiExecutor(
     host.first_slot = next_slot;
     next_slot += spec.jobs;
     host.spec = std::move(spec);
-    host.executor = make_executor(host.spec);
+    host.executor = make_executor_(host.spec);
     util::require(host.executor != nullptr, "make_executor returned null");
     host.pilot = dynamic_cast<PilotExecutor*>(host.executor.get());
     hosts_.push_back(std::move(host));
@@ -105,7 +111,8 @@ const HostSpec& MultiExecutor::host_for_slot(std::size_t slot) const {
 }
 
 HostState MultiExecutor::host_state(const std::string& name) const {
-  for (std::size_t k = 0; k < hosts_.size(); ++k) {
+  // Newest-first: a re-added host shadows the tombstone of its namesake.
+  for (std::size_t k = hosts_.size(); k-- > 0;) {
     if (hosts_[k].spec.name == name) return health_.state(k);
   }
   throw util::ConfigError("unknown host '" + name + "'");
@@ -114,7 +121,9 @@ HostState MultiExecutor::host_state(const std::string& name) const {
 double MultiExecutor::now() const { return monotonic_seconds(); }
 
 bool MultiExecutor::slot_usable(std::size_t slot) const {
-  return health_.dispatchable(host_index_of_slot(slot));
+  std::size_t index = host_index_of_slot(slot);
+  return hosts_[index].membership == Membership::kActive &&
+         health_.dispatchable(index);
 }
 
 bool MultiExecutor::same_failure_domain(std::size_t a, std::size_t b) const {
@@ -147,7 +156,9 @@ void MultiExecutor::abandon_in_flight(std::size_t host_index) {
   Host& host = hosts_[host_index];
   for (const auto& [id, owner] : job_host_) {
     if (owner != host_index) continue;
-    lost_.insert(id);
+    // Idempotent: pump_drains() re-runs this every sweep past the drain
+    // deadline until the stragglers surface.
+    if (!lost_.insert(id).second) continue;
     ++health_.counters().jobs_lost;
     host.executor->kill(id, /*force=*/true);
   }
@@ -156,7 +167,8 @@ void MultiExecutor::abandon_in_flight(std::size_t host_index) {
 void MultiExecutor::start(const core::ExecRequest& request) {
   Host& host = host_of(request.slot);
   std::size_t host_index = static_cast<std::size_t>(&host - hosts_.data());
-  if (!health_.dispatchable(host_index)) {
+  if (host.membership != Membership::kActive ||
+      !health_.dispatchable(host_index)) {
     // The scheduler normally vetoes these slots via slot_usable(); a racing
     // quarantine can still land here. Surface the loss instead of running.
     queue_synthetic_loss(request, host);
@@ -199,10 +211,171 @@ void MultiExecutor::pump_pilot(std::size_t host_index) {
   }
 }
 
+std::size_t MultiExecutor::find_live_host(const std::string& name) const {
+  // Newest-first: the live instance of a re-granted name wins over any
+  // still-draining predecessor.
+  for (std::size_t k = hosts_.size(); k-- > 0;) {
+    if (hosts_[k].membership == Membership::kRemoved) continue;
+    if (hosts_[k].spec.name == name) return k;
+  }
+  return kNoHost;
+}
+
+std::size_t MultiExecutor::live_host_count() const {
+  std::size_t count = 0;
+  for (const Host& host : hosts_) {
+    if (host.membership == Membership::kActive) ++count;
+  }
+  return count;
+}
+
+std::size_t MultiExecutor::slot_capacity() const {
+  // 0 ("static backend") until elasticity engages, so fixed-allocation
+  // runs keep exactly the -j the engine configured.
+  return elastic_ ? total_slots_ : 0;
+}
+
+std::string MultiExecutor::add_host(HostSpec spec, bool probe_first) {
+  if (spec.jobs == 0) {
+    throw util::ConfigError("host '" + spec.name + "' needs jobs > 0");
+  }
+  elastic_ = true;
+  std::string base = spec.name;
+  for (std::size_t uses = 2; find_live_host(spec.name) != kNoHost; ++uses) {
+    spec.name = base + "#" + std::to_string(uses);
+  }
+  Host host;
+  host.first_slot = total_slots_ + 1;
+  host.spec = std::move(spec);
+  host.executor = make_executor_(host.spec);
+  util::require(host.executor != nullptr, "make_executor returned null");
+  host.pilot = dynamic_cast<PilotExecutor*>(host.executor.get());
+  // A fresh health entry even when this name lived (and died) before: the
+  // re-granted node must not inherit the tombstone's streak or backoff.
+  std::size_t index = health_.add_host();
+  util::require(index == hosts_.size(), "health entry out of sync with hosts");
+  total_slots_ += host.spec.jobs;
+  inflight_by_host_.push_back(0);
+  hosts_.push_back(std::move(host));
+  if (probe_first) health_.probation(index, now());
+  return hosts_.back().spec.name;
+}
+
+void MultiExecutor::drain_host(const std::string& name, double grace_seconds) {
+  std::size_t index = find_live_host(name);
+  if (index == kNoHost) {
+    throw util::ConfigError("unknown or removed host '" + name + "'");
+  }
+  drain_host_index(index, grace_seconds);
+}
+
+void MultiExecutor::remove_host(const std::string& name) {
+  // A drain with no notice: in-flight jobs are killed right away; the
+  // eviction itself completes once their host_failure completions have
+  // surfaced (wait_any must still resolve the stragglers' host).
+  drain_host(name, 0.0);
+}
+
+void MultiExecutor::drain_host_index(std::size_t index, double grace_seconds) {
+  Host& host = hosts_[index];
+  if (host.membership == Membership::kRemoved) return;
+  elastic_ = true;
+  double deadline = now() + std::max(0.0, grace_seconds);
+  if (host.membership == Membership::kDraining) {
+    // Repeated notices only ever tighten the deadline.
+    host.drain_deadline = std::min(host.drain_deadline, deadline);
+  } else {
+    host.membership = Membership::kDraining;
+    host.drain_deadline = deadline;
+  }
+  if (inflight_by_host_[index] == 0) {
+    finish_drain(index);
+  } else if (grace_seconds <= 0.0) {
+    abandon_in_flight(index);
+  }
+}
+
+void MultiExecutor::finish_drain(std::size_t index) {
+  // The Host entry stays as a tombstone: host_of() keeps resolving its slot
+  // range for any straggler completions, and the slot ids stay vetoed via
+  // slot_usable() forever (the flat slot space only ever grows).
+  hosts_[index].membership = Membership::kRemoved;
+  health_.evict(index);
+}
+
+void MultiExecutor::pump_drains() {
+  double t = now();
+  for (std::size_t k = 0; k < hosts_.size(); ++k) {
+    Host& host = hosts_[k];
+    if (host.membership != Membership::kDraining) continue;
+    if (inflight_by_host_[k] == 0) {
+      finish_drain(k);
+      continue;
+    }
+    if (t >= host.drain_deadline) abandon_in_flight(k);
+  }
+}
+
+void MultiExecutor::watch_sshlogin_file(
+    std::string path, std::function<HostSpec(const SshLoginEntry&)> make_spec,
+    WatchSettings settings) {
+  util::require(make_spec != nullptr, "watch_sshlogin_file needs a spec builder");
+  elastic_ = true;
+  make_spec_ = std::move(make_spec);
+  watch_settings_ = settings;
+  watcher_ = std::make_unique<HostSetController>(std::move(path));
+}
+
+void MultiExecutor::pump_host_set() {
+  if (watcher_ == nullptr) return;
+  if (auto desired = watcher_->poll(now())) apply_host_set(*desired);
+}
+
+void MultiExecutor::apply_host_set(const std::vector<SshLoginEntry>& desired) {
+  // Diff on registered names, so ":"-style entries compare after make_spec_
+  // normalization. Duplicate lines collapse to the first (use "N/host" for
+  // more slots on one host).
+  std::vector<HostSpec> specs;
+  std::set<std::string> wanted;
+  for (const SshLoginEntry& entry : desired) {
+    HostSpec spec = make_spec_(entry);
+    if (!wanted.insert(spec.name).second) continue;
+    specs.push_back(std::move(spec));
+  }
+  // Drains before adds, so a renamed entry frees its name for the
+  // replacement within one application.
+  for (std::size_t k = 0; k < hosts_.size(); ++k) {
+    if (hosts_[k].membership == Membership::kRemoved) continue;
+    if (wanted.count(hosts_[k].spec.name) != 0) continue;
+    drain_host_index(k, watch_settings_.drain_grace);
+  }
+  for (HostSpec& spec : specs) {
+    std::size_t index = find_live_host(spec.name);
+    if (index != kNoHost && (hosts_[index].spec.jobs != spec.jobs ||
+                             hosts_[index].spec.wrapper != spec.wrapper)) {
+      // Resized or re-wrapped entry. A host's slot range is fixed at add
+      // time, so the old incarnation drains out under a versioned name and
+      // a fresh host takes over the entry's name with the new shape.
+      hosts_[index].spec.name +=
+          "~v" + std::to_string(++retired_incarnations_);
+      drain_host_index(index, watch_settings_.drain_grace);
+      index = kNoHost;
+    }
+    if (index == kNoHost) {
+      add_host(std::move(spec), watch_settings_.probe_new_hosts);
+    } else if (hosts_[index].membership == Membership::kDraining) {
+      // Reappeared before the drain finished (a rescinded preemption
+      // notice): resurrect in place — in-flight jobs simply keep running.
+      hosts_[index].membership = Membership::kActive;
+    }
+  }
+}
+
 void MultiExecutor::pump_probes() {
   double t = now();
   for (std::size_t k = 0; k < hosts_.size(); ++k) {
     Host& host = hosts_[k];
+    if (host.membership != Membership::kActive) continue;
     if (host.pilot != nullptr) {
       // Pilot hosts reinstate by reattaching the transport, not by running
       // a job: the handshake (HELLO/HELLO_ACK + journal reconcile) is a
@@ -270,6 +443,8 @@ void MultiExecutor::finalize(core::ExecResult& result, std::size_t host_index) {
 std::optional<core::ExecResult> MultiExecutor::wait_any(double timeout_seconds) {
   double deadline = timeout_seconds < 0.0 ? -1.0 : now() + timeout_seconds;
   while (true) {
+    pump_host_set();
+    pump_drains();
     pump_probes();
     if (!synthetic_.empty()) {
       core::ExecResult result = std::move(synthetic_.front());

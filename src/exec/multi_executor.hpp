@@ -30,6 +30,7 @@
 
 #include "core/executor.hpp"
 #include "exec/host_health.hpp"
+#include "exec/host_set.hpp"
 #include "exec/pilot_executor.hpp"
 
 namespace parcl::exec {
@@ -40,6 +41,16 @@ struct HostSpec {
   /// Wrapper prefix applied to each command, e.g. "ssh node07". Empty =
   /// run locally as-is. The command is appended shell-quoted.
   std::string wrapper;
+};
+
+/// Runtime policy for a watched --sshlogin-file (see watch_sshlogin_file).
+struct WatchSettings {
+  /// Seconds a vanished host's in-flight jobs may keep running before the
+  /// drain kills and requeues them uncharged.
+  double drain_grace = 30.0;
+  /// --filter-hosts semantics for mid-run adds: a new host starts on
+  /// probation and receives no jobs until one reachability probe succeeds.
+  bool probe_new_hosts = false;
 };
 
 class MultiExecutor final : public core::Executor {
@@ -79,10 +90,61 @@ class MultiExecutor final : public core::Executor {
   std::size_t active_count() const override;
   double now() const override;
 
-  /// Dispatch veto: slots on quarantined/probing hosts are unusable.
+  /// Dispatch veto: slots on quarantined/probing/draining/removed hosts
+  /// are unusable.
   bool slot_usable(std::size_t slot) const override;
   /// Two slots share a failure domain iff they live on the same host.
   bool same_failure_domain(std::size_t a, std::size_t b) const override;
+
+  // ---- Elastic capacity ----------------------------------------------------
+  // The host set is runtime-mutable: hosts can be added (growing the flat
+  // slot space at the top — existing slot numbers never move), drained
+  // (no fresh dispatch; in-flight jobs run until a deadline, then are
+  // killed and surface host_failure=true so the engine requeues them
+  // uncharged), or removed outright. A removed host's slot range stays as
+  // a tombstone vetoed by slot_usable(), so {%} stays stable and late
+  // stragglers still resolve to their host.
+
+  /// Adds a live host: builds its backend via the construction-time
+  /// factory, appends its slot range at total_slots()+1, and registers a
+  /// fresh health entry (a re-granted name is NOT born with the evicted
+  /// instance's streak or probe backoff). With probe_first the host starts
+  /// on probation — no dispatch until one reachability probe succeeds.
+  /// Returns the registered name ("#k"-suffixed when a live host already
+  /// uses it). Marks the executor elastic: slot_capacity() starts
+  /// reporting, and the engine grows its pool to match.
+  std::string add_host(HostSpec spec, bool probe_first = false);
+
+  /// Begins draining the named live host: fresh dispatch stops now;
+  /// in-flight jobs may finish until now()+grace_seconds, after which they
+  /// are killed and requeued uncharged (host_failure). The host is removed
+  /// once its last in-flight job has surfaced. Throws ConfigError for an
+  /// unknown or already-removed host. Draining an already-draining host
+  /// tightens its deadline (never loosens it).
+  void drain_host(const std::string& name, double grace_seconds);
+
+  /// Removes the named live host immediately: a drain with zero grace —
+  /// in-flight jobs are killed and requeued uncharged, the health entry is
+  /// evicted, the slot range becomes a tombstone.
+  void remove_host(const std::string& name);
+
+  /// Watches an sshlogin file (inotify when available, mtime/size polling
+  /// otherwise) and grows/drains the host set to match its contents on
+  /// every change, applying `make_spec` to each parsed entry. Pumped from
+  /// wait_any(), which the engine always returns to.
+  void watch_sshlogin_file(std::string path,
+                           std::function<HostSpec(const SshLoginEntry&)> make_spec,
+                           WatchSettings settings = {});
+
+  /// Hosts currently accepting dispatch consideration (not draining, not
+  /// removed; quarantined-but-recoverable hosts count). Feeds the engine's
+  /// --min-hosts park/give-up decision.
+  std::size_t live_host_count() const override;
+
+  /// Current top of the flat slot space once the executor is elastic
+  /// (add_host or watch_sshlogin_file happened); 0 — "static" — before
+  /// that, so fixed-allocation runs keep their configured -j exactly.
+  std::size_t slot_capacity() const override;
 
   std::size_t total_slots() const noexcept { return total_slots_; }
   /// Which host a flat slot (1-based) lives on.
@@ -105,6 +167,18 @@ class MultiExecutor final : public core::Executor {
   std::vector<std::string> filter_hosts(double timeout_seconds = 10.0);
 
  private:
+  /// Lifecycle of a host's membership in the dispatch set, orthogonal to
+  /// its health state:
+  ///
+  ///              drain_host(grace)            last in-flight surfaced
+  ///   kActive ─────────────────────▶ kDraining ─────────────────────▶ kRemoved
+  ///      │  ▲                          │    │ deadline hit: kill +
+  ///      │  └── reappears in watched ──┘    │ requeue uncharged
+  ///      │         sshlogin file            ▼
+  ///      │                             (jobs surface host_failure=true)
+  ///      └────── remove_host() ──────────────────────────────────────▶ kRemoved
+  enum class Membership { kActive, kDraining, kRemoved };
+
   struct Host {
     HostSpec spec;
     std::unique_ptr<core::Executor> executor;
@@ -115,6 +189,8 @@ class MultiExecutor final : public core::Executor {
     /// feed health, and reinstatement probes are transport reconnects
     /// instead of synthetic jobs.
     PilotExecutor* pilot = nullptr;
+    Membership membership = Membership::kActive;
+    double drain_deadline = 0.0;  // valid while kDraining
   };
 
   Host& host_of(std::size_t flat_slot);
@@ -133,6 +209,19 @@ class MultiExecutor final : public core::Executor {
   /// Pilot hosts probe by reconnecting the transport; wrapper hosts run a
   /// synthetic probe job.
   void pump_probes();
+  /// Advances draining hosts: kills in-flight jobs past the drain deadline
+  /// (they surface host_failure=true and requeue uncharged) and finishes
+  /// the drain — eviction + tombstone — once nothing is in flight.
+  void pump_drains();
+  /// Re-reads a changed watched sshlogin file and applies the diff: new
+  /// entries become add_host() calls, vanished entries drain, a draining
+  /// host that reappears is resurrected.
+  void pump_host_set();
+  void apply_host_set(const std::vector<SshLoginEntry>& desired);
+  /// Newest live (non-removed) host with this name, or npos.
+  std::size_t find_live_host(const std::string& name) const;
+  void drain_host_index(std::size_t index, double grace_seconds);
+  void finish_drain(std::size_t index);
   /// Keeps a pilot channel serviced (frames, reconnects) and feeds its
   /// heartbeat gap into the health tracker.
   void pump_pilot(std::size_t host_index);
@@ -142,6 +231,19 @@ class MultiExecutor final : public core::Executor {
   std::vector<Host> hosts_;
   std::size_t total_slots_ = 0;
   HostHealthTracker health_;
+  /// Construction-time backend factory, retained so add_host() can build
+  /// backends for hosts granted after startup.
+  std::function<std::unique_ptr<core::Executor>(const HostSpec&)> make_executor_;
+  /// Set by the first add_host()/watch: slot_capacity() starts reporting
+  /// and the engine widens its slot pool to ours every loop iteration.
+  bool elastic_ = false;
+  /// Watched sshlogin file (nullptr = not watching).
+  std::unique_ptr<HostSetController> watcher_;
+  std::function<HostSpec(const SshLoginEntry&)> make_spec_;
+  WatchSettings watch_settings_;
+  /// Incarnations retired by a resized/re-wrapped file entry; versions the
+  /// old host's name so the replacement can claim the entry's name.
+  std::size_t retired_incarnations_ = 0;
   std::map<std::uint64_t, std::size_t> job_host_;  // job_id -> host index
   /// Engine jobs started on each host and not yet surfaced. Kept here so
   /// activity tracking does not depend on inner active_count() semantics

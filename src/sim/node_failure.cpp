@@ -4,10 +4,21 @@
 
 namespace parcl::sim {
 
+namespace {
+/// Salt separating the preemption streams from the crash streams: the crash
+/// timeline of a given seed stays bit-identical whether or not preemption
+/// is enabled.
+constexpr std::uint64_t kPreemptSalt = 0x5b0f'9e3779b97f4aULL;
+}  // namespace
+
 NodeChurnModel::NodeChurnModel(const NodeChurnConfig& config) : config_(config) {
   if (config.nodes == 0) throw util::ConfigError("node churn needs >= 1 node");
   if (config.mtbf_seconds < 0.0 || config.repair_seconds < 0.0) {
     throw util::ConfigError("node churn times must be >= 0");
+  }
+  if (config.preempt_mtbf_seconds < 0.0 || config.preempt_notice_seconds < 0.0 ||
+      config.preempt_off_seconds < 0.0) {
+    throw util::ConfigError("node preemption times must be >= 0");
   }
   util::Rng root(config.seed);
   per_node_.reserve(config.nodes);
@@ -17,6 +28,19 @@ NodeChurnModel::NodeChurnModel(const NodeChurnConfig& config) : config_(config) 
       node.next_failure = node.rng.exponential(1.0 / config_.mtbf_seconds);
     }
     per_node_.push_back(std::move(node));
+  }
+  if (config_.preempt_mtbf_seconds > 0.0) {
+    util::Rng preempt_root(config.seed ^ kPreemptSalt);
+    preempt_.reserve(config.nodes);
+    preempt_initial_.reserve(config.nodes);
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      util::Rng stream = preempt_root.fork();
+      preempt_initial_.push_back(stream);
+      PreemptNode node(stream);
+      node.next_reclaim =
+          node.rng.exponential(1.0 / config_.preempt_mtbf_seconds);
+      preempt_.push_back(std::move(node));
+    }
   }
 }
 
@@ -50,6 +74,59 @@ std::optional<double> NodeChurnModel::failure_within(std::size_t slot,
     return when;
   }
   return std::nullopt;
+}
+
+void NodeChurnModel::advance_preempt(PreemptNode& node, double time) {
+  // Reclaim -> off window -> fresh granted uptime, hopping until the
+  // timeline covers `time` (mirrors the crash walk in advance()).
+  while (node.next_reclaim < time) {
+    ++preemptions_;
+    node.next_reclaim +=
+        config_.preempt_off_seconds +
+        node.rng.exponential(1.0 / config_.preempt_mtbf_seconds);
+  }
+}
+
+std::optional<Preemption> NodeChurnModel::preemption_within(std::size_t slot,
+                                                            double start,
+                                                            double duration) {
+  if (config_.preempt_mtbf_seconds <= 0.0 || duration <= 0.0) return std::nullopt;
+  PreemptNode& node = preempt_[node_of_slot(slot)];
+  advance_preempt(node, start);
+  if (node.next_reclaim < start + duration) {
+    Preemption event;
+    event.reclaim_at = node.next_reclaim;
+    event.notice_at =
+        std::max(0.0, event.reclaim_at - config_.preempt_notice_seconds);
+    ++preemptions_;
+    node.next_reclaim +=
+        config_.preempt_off_seconds +
+        node.rng.exponential(1.0 / config_.preempt_mtbf_seconds);
+    return event;
+  }
+  return std::nullopt;
+}
+
+std::vector<Preemption> NodeChurnModel::preemption_timeline(std::size_t node,
+                                                            double horizon) const {
+  std::vector<Preemption> events;
+  if (config_.preempt_mtbf_seconds <= 0.0 || node >= preempt_initial_.size()) {
+    return events;
+  }
+  // Replay from the pristine per-node stream: identical events to what the
+  // advancing preemption_within() walker produces, without disturbing it.
+  util::Rng rng = preempt_initial_[node];
+  double reclaim = rng.exponential(1.0 / config_.preempt_mtbf_seconds);
+  while (reclaim < horizon) {
+    Preemption event;
+    event.reclaim_at = reclaim;
+    event.notice_at =
+        std::max(0.0, reclaim - config_.preempt_notice_seconds);
+    events.push_back(event);
+    reclaim += config_.preempt_off_seconds +
+               rng.exponential(1.0 / config_.preempt_mtbf_seconds);
+  }
+  return events;
 }
 
 }  // namespace parcl::sim

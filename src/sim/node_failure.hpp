@@ -23,6 +23,24 @@ struct NodeChurnConfig {
   double mtbf_seconds = 0.0;      // mean uptime between failures (0 = never)
   double repair_seconds = 0.0;    // downtime after each failure
   std::uint64_t seed = 1;
+
+  /// Spot-preemption stream, distinct from MTBF crashes: the scheduler
+  /// *reclaims* a node, with notice. Mean granted time between reclaims
+  /// (0 = never preempted). Preemption randomness is drawn from its own
+  /// per-node streams (forked off seed ^ salt), so enabling it leaves the
+  /// crash timeline of a given seed bit-identical.
+  double preempt_mtbf_seconds = 0.0;
+  /// Seconds of warning between the reclaim notice and the reclaim itself
+  /// (a drain window: jobs may finish, nothing new starts).
+  double preempt_notice_seconds = 30.0;
+  /// How long a reclaimed node stays away before being re-granted.
+  double preempt_off_seconds = 0.0;
+};
+
+/// One reclaim-with-notice event on a node's timeline.
+struct Preemption {
+  double notice_at = 0.0;   // drain starts (never negative)
+  double reclaim_at = 0.0;  // node is gone; still-running jobs die
 };
 
 class NodeChurnModel {
@@ -37,11 +55,29 @@ class NodeChurnModel {
   std::optional<double> failure_within(std::size_t slot, double start,
                                        double duration);
 
+  /// If the node hosting 1-based `slot` is *reclaimed* (spot preemption)
+  /// inside [start, start+duration), returns the event. Same monotonic
+  /// per-node contract as failure_within(). Distinct stream from crashes:
+  /// a reclaim comes with notice_at <= reclaim_at, so callers can model
+  /// the drain window; a crash has none.
+  std::optional<Preemption> preemption_within(std::size_t slot, double start,
+                                              double duration);
+
+  /// The node's full preemption timeline up to `horizon`, replayed from the
+  /// node's initial preemption stream — deterministic per (seed, node) and
+  /// independent of any preemption_within() advancement, so an allocation
+  /// simulator and a per-job task model see the same events.
+  std::vector<Preemption> preemption_timeline(std::size_t node,
+                                              double horizon) const;
+
   /// Which node a 1-based slot lives on.
   std::size_t node_of_slot(std::size_t slot) const noexcept;
 
   std::size_t nodes() const noexcept { return per_node_.size(); }
   std::uint64_t failures_sampled() const noexcept { return failures_; }
+  std::uint64_t preemptions_sampled() const noexcept { return preemptions_; }
+
+  const NodeChurnConfig& config() const noexcept { return config_; }
 
  private:
   struct Node {
@@ -53,9 +89,21 @@ class NodeChurnModel {
   /// Advances the node's failure timeline until next_failure covers `time`.
   void advance(Node& node, double time);
 
+  struct PreemptNode {
+    util::Rng rng;
+    double next_reclaim = 0.0;
+    explicit PreemptNode(util::Rng r) : rng(r) {}
+  };
+  void advance_preempt(PreemptNode& node, double time);
+
   NodeChurnConfig config_;
   std::vector<Node> per_node_;
   std::uint64_t failures_ = 0;
+  /// Advancing per-node preemption walkers (preemption_within) plus each
+  /// node's pristine initial stream (preemption_timeline replays a copy).
+  std::vector<PreemptNode> preempt_;
+  std::vector<util::Rng> preempt_initial_;
+  std::uint64_t preemptions_ = 0;
 };
 
 }  // namespace parcl::sim

@@ -1,5 +1,6 @@
 #include "slurm/slurm.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -28,6 +29,34 @@ std::vector<double> SlurmSim::sample_allocation_delays(std::size_t node_count) {
     delays.push_back(delay);
   }
   return delays;
+}
+
+std::vector<AllocationEvent> SlurmSim::sample_elastic_timeline(
+    std::size_t node_count, const sim::NodeChurnModel& churn, double horizon) {
+  util::require(horizon >= 0.0, "elastic timeline horizon must be >= 0");
+  std::vector<double> grants = sample_allocation_delays(node_count);
+  double off = churn.config().preempt_off_seconds;
+  std::vector<AllocationEvent> events;
+  for (std::size_t node = 0; node < node_count; ++node) {
+    double granted_at = grants[node];
+    if (granted_at >= horizon) continue;
+    events.push_back({granted_at, AllocationEvent::Kind::kGrant, node});
+    for (const sim::Preemption& p : churn.preemption_timeline(node, horizon)) {
+      // A reclaim of a node we don't currently hold reclaims nothing.
+      if (p.reclaim_at < granted_at) continue;
+      events.push_back({std::max(granted_at, p.notice_at),
+                        AllocationEvent::Kind::kReclaimNotice, node});
+      events.push_back({p.reclaim_at, AllocationEvent::Kind::kReclaim, node});
+      granted_at = p.reclaim_at + off;
+      if (granted_at >= horizon) break;
+      events.push_back({granted_at, AllocationEvent::Kind::kGrant, node});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const AllocationEvent& a, const AllocationEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
 }
 
 void SlurmSim::srun(std::function<void()> launched) {

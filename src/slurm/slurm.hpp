@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/node_failure.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
@@ -40,6 +41,18 @@ struct JobEnv {
   std::size_t node_id = 0;  // SLURM_NODEID
 };
 
+/// One membership change in an elastic allocation. kGrant makes the node
+/// usable; kReclaimNotice opens the drain window (running jobs may finish,
+/// nothing new starts); kReclaim takes the node away — anything still
+/// running on it dies. Crashes (MTBF) are deliberately *not* events here:
+/// they arrive without notice and are the task model's concern.
+struct AllocationEvent {
+  enum class Kind { kGrant, kReclaimNotice, kReclaim };
+  double time = 0.0;
+  Kind kind = Kind::kGrant;
+  std::size_t node = 0;
+};
+
 class SlurmSim {
  public:
   SlurmSim(sim::Simulation& sim, SlurmSpec spec, util::Rng rng);
@@ -49,6 +62,16 @@ class SlurmSim {
   /// Samples the ready time for each of `node_count` nodes relative to job
   /// start (the allocation wave).
   std::vector<double> sample_allocation_delays(std::size_t node_count);
+
+  /// An elastic allocation's full membership timeline up to `horizon`:
+  /// each node's initial grant comes from the allocation wave (stragglers
+  /// are the late-arriving host batch), and `churn`'s reclaim-with-notice
+  /// stream then interleaves notice/reclaim/re-grant events. Preemptions
+  /// landing while a node is off-allocation are skipped; a reclaimed node
+  /// returns preempt_off_seconds after the reclaim. Events are sorted by
+  /// time (ties keep node order). Consumes allocation-wave randomness.
+  std::vector<AllocationEvent> sample_elastic_timeline(
+      std::size_t node_count, const sim::NodeChurnModel& churn, double horizon);
 
   /// An srun invocation: occupies a controller slot for the setup cost,
   /// then `launched` runs (at the time the tasks actually start).

@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -440,6 +441,122 @@ TEST(ChaosSoak, MultiHostQuarantineAndHedgingHoldInvariants) {
     EXPECT_EQ(slow_rows, 1u) << "hedged job must log exactly once";
     EXPECT_EQ(multi.active_count(), 0u);
     std::remove(run.options.joblog_path.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2d: elastic host churn — hosts added, drained, and preempted
+// (removed with zero grace) while the run is in flight. Whatever the
+// membership schedule, the run must stay exactly-once: every job succeeds on
+// one attempt (retries=1 — drain/preemption kills must all ride the
+// uncharged requeue path), the joblog logs each seq once, and the -k output
+// is byte-identical to a fixed-allocation baseline.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, ElasticHostChurnHoldsInvariants) {
+  const std::size_t kJobs = 40;
+  auto task = [](const core::ExecRequest& request) {
+    // A few ms of real runtime so membership changes land on in-flight work.
+    int ms = 2 + static_cast<int>(request.job_id % 6);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    exec::TaskOutcome outcome;
+    outcome.stdout_data = "out:" + request.command + "\n";
+    return outcome;
+  };
+  auto make_cluster = [&] {
+    return std::make_unique<exec::MultiExecutor>(
+        std::vector<exec::HostSpec>{{"h1", 2, ""}, {"h2", 2, ""}, {"h3", 2, ""}},
+        [&task](const exec::HostSpec& spec) {
+          return std::make_unique<exec::FunctionExecutor>(task, spec.jobs);
+        });
+  };
+
+  // Fixed-allocation baseline: the byte-identity oracle.
+  std::string expected_output;
+  {
+    auto multi = make_cluster();
+    Options options;
+    options.jobs = multi->total_slots();
+    options.output_mode = OutputMode::kKeepOrder;
+    std::ostringstream out, err;
+    Engine engine(options, *multi, out, err);
+    std::vector<core::ArgVector> inputs;
+    for (std::size_t i = 0; i < kJobs; ++i) inputs.push_back({std::to_string(i)});
+    RunSummary summary = engine.run("fn {}", std::move(inputs));
+    ASSERT_EQ(summary.succeeded, kJobs);
+    expected_output = out.str();
+  }
+
+  std::size_t drains_hit_inflight = 0;
+  std::size_t late_starts = 0;
+  for (std::uint64_t seed : seed_range(1, 100)) {
+    util::Rng rng(seed * 131 + 17);
+    // Three membership events at seed-chosen completion counts: a grown
+    // allocation, a drained host, and a zero-notice preemption.
+    std::size_t add_at = static_cast<std::size_t>(rng.uniform_int(2, 10));
+    std::size_t drain_at = static_cast<std::size_t>(rng.uniform_int(11, 20));
+    std::size_t preempt_at = static_cast<std::size_t>(rng.uniform_int(21, 32));
+
+    auto multi = make_cluster();
+    ScheduleResult run;
+    run.total_jobs = kJobs;
+    run.options.jobs = multi->total_slots();
+    run.options.retries = 1;  // every recovery must be an uncharged requeue
+    run.options.output_mode = OutputMode::kKeepOrder;
+    run.options.joblog_path = temp_joblog("elastic");
+
+    std::ostringstream out, err;
+    Engine engine(run.options, *multi, out, err);
+    std::size_t completed = 0;
+    engine.set_result_callback([&](const core::JobResult&) {
+      ++completed;
+      if (completed == add_at) multi->add_host({"late", 2, ""});
+      if (completed == drain_at) multi->drain_host("h2", 0.002);
+      if (completed == preempt_at) multi->remove_host("h3");
+    });
+    std::vector<core::ArgVector> inputs;
+    for (std::size_t i = 0; i < kJobs; ++i) inputs.push_back({std::to_string(i)});
+    run.summary = engine.run("fn {}", std::move(inputs));
+    run.output = out.str();
+
+    testing::InvariantReport report;
+    testing::check_run(run.summary, run.options, kJobs, report);
+    testing::check_joblog(run.options.joblog_path, run.summary, report);
+    EXPECT_TRUE(report.ok()) << "elastic seed " << seed << " violated:\n"
+                             << report.str();
+
+    // Exactly-once, with retries=1: every kill from a drain or preemption
+    // must have ridden the free host-failure requeue, never a charged retry.
+    EXPECT_EQ(run.summary.succeeded, kJobs) << "elastic seed " << seed;
+    for (const core::JobResult& job : run.summary.results) {
+      EXPECT_EQ(job.attempts, 1u)
+          << "elastic seed " << seed << " charged a retry for a membership kill";
+    }
+    std::set<std::uint64_t> seen;
+    for (const core::JoblogEntry& entry :
+         core::read_joblog(run.options.joblog_path)) {
+      EXPECT_TRUE(seen.insert(entry.seq).second)
+          << "elastic seed " << seed << ": seq " << entry.seq << " logged twice";
+    }
+    EXPECT_EQ(seen.size(), kJobs) << "elastic seed " << seed;
+
+    // Byte-identity under -k: elasticity must be invisible in the output.
+    EXPECT_EQ(run.output, expected_output) << "elastic seed " << seed;
+
+    EXPECT_EQ(multi->host_state("h2"), exec::HostState::kRemoved);
+    EXPECT_EQ(multi->host_state("h3"), exec::HostState::kRemoved);
+    EXPECT_EQ(multi->active_count(), 0u);
+    drains_hit_inflight += run.summary.dispatch.host_failures;
+    if (multi->starts_by_host().count("late") != 0) {
+      late_starts += multi->starts_by_host().at("late");
+    }
+    std::remove(run.options.joblog_path.c_str());
+  }
+  if (std::getenv("PARCL_CHAOS_SEEDS") == nullptr) {
+    // The churn must actually have bitten: added hosts ran real work and
+    // drains/preemptions really killed in-flight jobs across the soak.
+    EXPECT_GT(late_starts, 100u);
+    EXPECT_GT(drains_hit_inflight, 30u);
   }
 }
 

@@ -194,6 +194,31 @@ TEST(Cli, RobustnessFlags) {
   EXPECT_TRUE(plan.options.joblog_fsync);
 }
 
+TEST(Cli, ElasticCapacityFlags) {
+  RunPlan plan = parse({"--sshlogin-file", "/tmp/hosts.txt", "--watch",
+                        "--drain-grace", "12.5", "--min-hosts", "3",
+                        "--min-hosts-grace", "90", "cmd", ":::", "x"});
+  EXPECT_EQ(plan.options.sshlogin_file, "/tmp/hosts.txt");
+  EXPECT_TRUE(plan.options.watch_sshlogin_file);
+  EXPECT_DOUBLE_EQ(plan.options.drain_grace_seconds, 12.5);
+  EXPECT_EQ(plan.options.min_hosts, 3u);
+  EXPECT_DOUBLE_EQ(plan.options.min_hosts_grace_seconds, 90.0);
+  // --slf is the short alias, and --filter-hosts accepts a file-only host set.
+  RunPlan alias = parse({"--slf", "f.txt", "--filter-hosts", "cmd", ":::", "x"});
+  EXPECT_EQ(alias.options.sshlogin_file, "f.txt");
+  EXPECT_TRUE(alias.options.filter_hosts);
+}
+
+TEST(Cli, ElasticFlagsRejectBadUsage) {
+  // --watch needs a file to watch.
+  EXPECT_THROW(parse({"--watch", "cmd", ":::", "x"}), util::ConfigError);
+  EXPECT_THROW(parse({"--min-hosts", "-1", "cmd", ":::", "x"}), util::ParseError);
+  EXPECT_THROW(parse({"--slf", "f.txt", "--drain-grace", "-2", "cmd", ":::", "x"}),
+               util::ConfigError);
+  // A file-fed host set is still a remote run: no --semaphore.
+  EXPECT_THROW(parse({"--slf", "f.txt", "--semaphore", "cmd"}), util::ConfigError);
+}
+
 TEST(Cli, TimeoutPercentSuffixSelectsAdaptiveMode) {
   EXPECT_DOUBLE_EQ(parse({"--timeout", "5.5", "cmd", ":::", "x"})
                        .options.timeout_seconds, 5.5);

@@ -37,6 +37,22 @@ TEST(Options, RejectsNegativeTimes) {
   EXPECT_THROW(options.validate(), util::ConfigError);
 }
 
+TEST(Options, ElasticCapacityValidation) {
+  Options options;
+  options.drain_grace_seconds = -1.0;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+  options.drain_grace_seconds = 0.0;
+  options.min_hosts_grace_seconds = -5.0;
+  EXPECT_THROW(options.validate(), util::ConfigError);
+  options.min_hosts_grace_seconds = 0.0;
+  options.watch_sshlogin_file = true;  // --watch with no file to watch
+  EXPECT_THROW(options.validate(), util::ConfigError);
+  options.sshlogin_file = "hosts.txt";
+  EXPECT_NO_THROW(options.validate());
+  options.min_hosts = 0;  // 0 disables the floor — valid
+  EXPECT_NO_THROW(options.validate());
+}
+
 TEST(Options, ResumeNeedsJoblog) {
   Options options;
   options.resume = true;

@@ -70,5 +70,31 @@ TEST_P(SlotChurn, HeldSlotsAlwaysUniqueAndBounded) {
 INSTANTIATE_TEST_SUITE_P(Capacities, SlotChurn,
                          ::testing::Values(1u, 2u, 8u, 128u));
 
+TEST(SlotPool, GrowToAddsSlotsAtTheTop) {
+  SlotPool pool(2);
+  EXPECT_EQ(pool.acquire(), 1u);
+  EXPECT_EQ(pool.acquire(), 2u);
+  EXPECT_FALSE(pool.any_free());
+  pool.grow_to(4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_TRUE(pool.any_free());
+  // Held slots stay held; the new capacity appends above them.
+  EXPECT_EQ(pool.acquire(), 3u);
+  EXPECT_EQ(pool.acquire(), 4u);
+  EXPECT_EQ(pool.in_use(), 4u);
+  pool.release(1);
+  EXPECT_EQ(pool.acquire(), 1u);  // lowest-first ordering survives growth
+}
+
+TEST(SlotPool, GrowToSmallerOrEqualIsANoOp) {
+  SlotPool pool(3);
+  pool.acquire();
+  pool.grow_to(2);
+  EXPECT_EQ(pool.capacity(), 3u);
+  pool.grow_to(3);
+  EXPECT_EQ(pool.capacity(), 3u);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
 }  // namespace
 }  // namespace parcl::core

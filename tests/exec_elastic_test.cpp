@@ -1,0 +1,494 @@
+// Elastic capacity: live host grow/shrink, preemption-aware drain, and the
+// checkpointed requeue path.
+//
+// Covers the sshlogin-file parser and change watcher (rename-over, deletion,
+// torn writes), MultiExecutor's runtime host mutations (add/drain/remove,
+// probe-gated adds, tombstoned slot ranges), the engine growing its slot
+// pool into added hosts, parking at zero hosts under --min-hosts, the
+// --min-hosts-grace give-up, and the preemption stream of the churn model
+// (notice/reclaim events independent of the crash stream).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/engine.hpp"
+#include "exec/function_executor.hpp"
+#include "exec/host_set.hpp"
+#include "exec/multi_executor.hpp"
+#include "sim/node_failure.hpp"
+#include "slurm/slurm.hpp"
+#include "util/error.hpp"
+
+namespace parcl::exec {
+namespace {
+
+using core::ArgVector;
+using core::Engine;
+using core::Options;
+using core::RunSummary;
+
+std::vector<ArgVector> numbered(int n) {
+  std::vector<ArgVector> out;
+  for (int i = 0; i < n; ++i) out.push_back({std::to_string(i)});
+  return out;
+}
+
+std::unique_ptr<MultiExecutor> function_cluster(std::vector<HostSpec> hosts,
+                                                TaskFn task,
+                                                HealthPolicy policy = {}) {
+  return std::make_unique<MultiExecutor>(
+      std::move(hosts),
+      [task](const HostSpec& spec) {
+        return std::make_unique<FunctionExecutor>(task, spec.jobs);
+      },
+      std::move(policy));
+}
+
+TaskFn instant_task() {
+  return [](const core::ExecRequest&) {
+    TaskOutcome outcome;
+    outcome.stdout_data = "ok\n";
+    return outcome;
+  };
+}
+
+TaskFn slow_task(int ms) {
+  return [ms](const core::ExecRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    TaskOutcome outcome;
+    outcome.stdout_data = "ok\n";
+    return outcome;
+  };
+}
+
+std::string temp_path(const std::string& stem) {
+  std::string path = ::testing::TempDir() + "elastic_" + stem;
+  std::remove(path.c_str());
+  return path;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Atomic replace, the idiom the watcher must survive: write a sibling temp
+/// file, then rename(2) it over the target.
+void rename_over(const std::string& path, const std::string& content) {
+  std::string tmp = path + ".tmp";
+  write_file(tmp, content);
+  ASSERT_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
+}
+
+HostSpec plain_spec(const SshLoginEntry& entry) {
+  HostSpec spec;
+  spec.name = entry.host;
+  spec.jobs = entry.jobs;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// sshlogin-file parsing
+// ---------------------------------------------------------------------------
+
+TEST(SshLoginFile, ParsesHostsCommentsAndSlotCounts) {
+  auto entries = parse_sshlogin_text(
+      "# fleet\n"
+      "node01\n"
+      "  8/node02   # eight slots\n"
+      "\n"
+      "2/:\n");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].host, "node01");
+  EXPECT_EQ(entries[0].jobs, 1u);
+  EXPECT_EQ(entries[1].host, "node02");
+  EXPECT_EQ(entries[1].jobs, 8u);
+  EXPECT_EQ(entries[2].host, ":");
+  EXPECT_EQ(entries[2].jobs, 2u);
+}
+
+TEST(SshLoginFile, RejectsGarbage) {
+  EXPECT_THROW(parse_sshlogin_text("x8/node"), util::ConfigError);
+  EXPECT_THROW(parse_sshlogin_text("0/node"), util::ConfigError);
+  EXPECT_THROW(parse_sshlogin_text("4/"), util::ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// HostSetController: change detection
+// ---------------------------------------------------------------------------
+
+TEST(HostSetController, DetectsRewriteAndRenameOver) {
+  std::string path = temp_path("watch.txt");
+  write_file(path, "node01\n");
+  HostSetController controller(path);
+  double now = 0.0;
+  EXPECT_FALSE(controller.poll(now).has_value());  // unchanged
+
+  write_file(path, "node01\n2/node02\n");
+  auto changed = controller.poll(now += 1.0);
+  ASSERT_TRUE(changed.has_value());
+  ASSERT_EQ(changed->size(), 2u);
+  EXPECT_EQ((*changed)[1].host, "node02");
+
+  // rename(2) over the file replaces the inode; the watcher must see it.
+  rename_over(path, "3/node03\n");
+  auto renamed = controller.poll(now += 1.0);
+  ASSERT_TRUE(renamed.has_value());
+  ASSERT_EQ(renamed->size(), 1u);
+  EXPECT_EQ((*renamed)[0].host, "node03");
+  EXPECT_EQ((*renamed)[0].jobs, 3u);
+
+  EXPECT_FALSE(controller.poll(now += 1.0).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(HostSetController, DeletedFileReleasesEverything) {
+  std::string path = temp_path("watch_del.txt");
+  write_file(path, "node01\n");
+  HostSetController controller(path);
+  std::remove(path.c_str());
+  auto released = controller.poll(1.0);
+  ASSERT_TRUE(released.has_value());
+  EXPECT_TRUE(released->empty());
+  EXPECT_FALSE(controller.poll(2.0).has_value());
+}
+
+TEST(HostSetController, TornWriteKeepsLastGoodSet) {
+  std::string path = temp_path("watch_torn.txt");
+  write_file(path, "node01\n");
+  HostSetController controller(path);
+  // Garbage must not be mistaken for a drain order...
+  write_file(path, "0/nonsense\n");
+  EXPECT_FALSE(controller.poll(1.0).has_value());
+  // ...and the next complete write still lands.
+  write_file(path, "4/node09\n");
+  auto recovered = controller.poll(2.0);
+  ASSERT_TRUE(recovered.has_value());
+  ASSERT_EQ(recovered->size(), 1u);
+  EXPECT_EQ((*recovered)[0].host, "node09");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// MultiExecutor: runtime host mutations
+// ---------------------------------------------------------------------------
+
+TEST(ElasticMulti, AddHostGrowsCapacityAtTheTop) {
+  auto multi = function_cluster({{"a", 2, ""}}, instant_task());
+  EXPECT_EQ(multi->slot_capacity(), 0u);  // static until the first mutation
+  EXPECT_EQ(multi->live_host_count(), 1u);
+
+  EXPECT_EQ(multi->add_host({"b", 3, ""}), "b");
+  EXPECT_EQ(multi->slot_capacity(), 5u);
+  EXPECT_EQ(multi->total_slots(), 5u);
+  EXPECT_EQ(multi->live_host_count(), 2u);
+  EXPECT_EQ(multi->host_for_slot(3).name, "b");
+  EXPECT_TRUE(multi->slot_usable(3));
+
+  // A live name collision gets the "#k" suffix, like construction.
+  EXPECT_EQ(multi->add_host({"b", 1, ""}), "b#2");
+  EXPECT_EQ(multi->total_slots(), 6u);
+}
+
+TEST(ElasticMulti, DrainStopsDispatchThenRemoves) {
+  auto multi = function_cluster({{"a", 2, ""}, {"b", 2, ""}}, instant_task());
+  multi->drain_host("b", 60.0);
+  // Fresh dispatch stops immediately; with nothing in flight the drain
+  // finishes on the next sweep.
+  EXPECT_FALSE(multi->slot_usable(3));
+  EXPECT_FALSE(multi->slot_usable(4));
+  EXPECT_TRUE(multi->slot_usable(1));
+  multi->wait_any(0.0);
+  EXPECT_EQ(multi->host_state("b"), HostState::kRemoved);
+  EXPECT_EQ(multi->live_host_count(), 1u);
+  // The tombstone keeps the flat slot space stable.
+  EXPECT_EQ(multi->total_slots(), 4u);
+  EXPECT_EQ(multi->host_for_slot(4).name, "b");
+  EXPECT_THROW(multi->drain_host("b", 0.0), util::ConfigError);
+  EXPECT_THROW(multi->remove_host("nope"), util::ConfigError);
+}
+
+TEST(ElasticMulti, RemoveKillsInFlightAndRequeuesUncharged) {
+  const std::size_t kJobs = 30;
+  auto multi = function_cluster({{"a", 2, ""}, {"b", 2, ""}}, slow_task(10));
+  Options options;
+  options.jobs = multi->total_slots();
+  options.retries = 1;  // a charged retry would fail the run
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    if (++completed == 4) multi->remove_host("b");
+  });
+  RunSummary summary = engine.run("work {}", numbered(kJobs));
+  EXPECT_EQ(summary.succeeded, kJobs);
+  EXPECT_EQ(multi->host_state("b"), HostState::kRemoved);
+  // Killed in-flight jobs surfaced as host failures and rode the uncharged
+  // requeue path: attempts stay at 1 everywhere.
+  EXPECT_GE(summary.dispatch.host_failures, 1u);
+  EXPECT_GE(summary.dispatch.rescheduled, 1u);
+  for (const core::JobResult& job : summary.results) {
+    EXPECT_EQ(job.attempts, 1u);
+  }
+  EXPECT_EQ(multi->active_count(), 0u);
+}
+
+TEST(ElasticMulti, ProbeGatedAddReinstatesAfterOneProbe) {
+  auto multi = function_cluster({{"a", 1, ""}}, instant_task());
+  multi->add_host({"late", 2, ""}, /*probe_first=*/true);
+  // Probation: no dispatch until a reachability probe succeeds — and it is
+  // not a charged quarantine.
+  EXPECT_FALSE(multi->slot_usable(2));
+  EXPECT_EQ(multi->host_state("late"), HostState::kQuarantined);
+  EXPECT_EQ(multi->health_counters().quarantines, 0u);
+  for (int i = 0; i < 100 && multi->host_state("late") != HostState::kHealthy;
+       ++i) {
+    multi->wait_any(0.01);  // pumps probes; FunctionExecutor answers them
+  }
+  EXPECT_EQ(multi->host_state("late"), HostState::kHealthy);
+  EXPECT_TRUE(multi->slot_usable(2));
+  EXPECT_EQ(multi->health_counters().reinstatements, 1u);
+}
+
+TEST(ElasticMulti, ReAddedHostIsNotBornQuarantined) {
+  auto multi = function_cluster({{"a", 1, ""}, {"b", 1, ""}}, instant_task());
+  multi->remove_host("b");
+  multi->wait_any(0.0);
+  EXPECT_EQ(multi->host_state("b"), HostState::kRemoved);
+  // A re-granted node of the same name gets a fresh health entry: healthy,
+  // dispatchable, zero streak — not the evicted instance's state.
+  EXPECT_EQ(multi->add_host({"b", 1, ""}), "b");
+  EXPECT_EQ(multi->host_state("b"), HostState::kHealthy);
+  EXPECT_TRUE(multi->slot_usable(3));
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: pool growth, parking, give-up
+// ---------------------------------------------------------------------------
+
+TEST(ElasticEngine, GrowsSlotPoolIntoAddedHost) {
+  const std::size_t kJobs = 40;
+  auto multi = function_cluster({{"a", 1, ""}}, slow_task(3));
+  Options options;
+  options.jobs = multi->total_slots();
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    if (++completed == 3) multi->add_host({"late", 4, ""});
+  });
+  RunSummary summary = engine.run("work {}", numbered(kJobs));
+  EXPECT_EQ(summary.succeeded, kJobs);
+  // The engine grew its pool mid-run and actually dispatched into it.
+  ASSERT_EQ(multi->starts_by_host().count("late"), 1u);
+  EXPECT_GT(multi->starts_by_host().at("late"), 5u);
+}
+
+TEST(ElasticEngine, ParksAtZeroHostsUntilFileRestoresCapacity) {
+  const std::size_t kJobs = 24;
+  std::string path = temp_path("park.txt");
+  write_file(path, "1/a\n");
+  auto multi = function_cluster({{"a", 1, ""}}, slow_task(2));
+  WatchSettings settings;
+  settings.drain_grace = 0.0;
+  multi->watch_sshlogin_file(path, plain_spec, settings);
+
+  Options options;
+  options.jobs = multi->total_slots();
+  options.retries = 1;
+  options.min_hosts = 1;  // park, don't halt, when the set empties
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+
+  std::atomic<bool> emptied{false};
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    if (++completed == 5) {
+      rename_over(path, "");  // the allocation shrinks to nothing
+      emptied = true;
+    }
+  });
+  // A re-grant lands while the engine is parked: only the watcher can see
+  // it, proving the park loop keeps pumping the host set.
+  std::thread regrant([&] {
+    while (!emptied) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    std::string tmp = path + ".tmp";
+    write_file(tmp, "2/a\n");
+    std::rename(tmp.c_str(), path.c_str());
+  });
+  RunSummary summary = engine.run("work {}", numbered(kJobs));
+  regrant.join();
+  EXPECT_EQ(summary.succeeded, kJobs);
+  EXPECT_EQ(summary.skipped, 0u);
+  for (const core::JobResult& job : summary.results) {
+    EXPECT_EQ(job.attempts, 1u);  // drain kills requeued uncharged
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ElasticEngine, MinHostsGraceGivesUpOnStarvedWork) {
+  const std::size_t kJobs = 30;
+  auto multi = function_cluster({{"a", 2, ""}}, slow_task(2));
+  Options options;
+  options.jobs = multi->total_slots();
+  options.retries = 1;
+  options.min_hosts = 1;
+  options.min_hosts_grace_seconds = 0.2;
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    if (++completed == 5) multi->remove_host("a");
+  });
+  auto started = std::chrono::steady_clock::now();
+  RunSummary summary = engine.run("work {}", numbered(kJobs));
+  auto elapsed = std::chrono::steady_clock::now() - started;
+  // The grace expired: remaining jobs were skipped, not spun on forever.
+  EXPECT_GE(summary.succeeded, 5u);
+  EXPECT_GT(summary.skipped, 0u);
+  EXPECT_EQ(summary.succeeded + summary.failed + summary.skipped, kJobs);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 30);
+  EXPECT_NE(err.str().find("grace"), std::string::npos);
+  // Losing the tail must never read as success at the CLI.
+  EXPECT_TRUE(summary.starved);
+  EXPECT_GT(summary.exit_status(), 0);
+}
+
+TEST(ElasticEngine, WatcherGrowsAndDrainsMidRun) {
+  const std::size_t kJobs = 60;
+  std::string path = temp_path("watch_engine.txt");
+  write_file(path, "2/a\n");
+  auto multi = function_cluster({{"a", 2, ""}}, slow_task(2));
+  WatchSettings settings;
+  settings.drain_grace = 0.0;
+  multi->watch_sshlogin_file(path, plain_spec, settings);
+
+  Options options;
+  options.jobs = multi->total_slots();
+  options.retries = 1;
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    ++completed;
+    if (completed == 8) rename_over(path, "2/a\n3/b\n");
+    if (completed == 30) rename_over(path, "3/b\n");
+  });
+  RunSummary summary = engine.run("work {}", numbered(kJobs));
+  EXPECT_EQ(summary.succeeded, kJobs);
+  ASSERT_EQ(multi->starts_by_host().count("b"), 1u);
+  EXPECT_GT(multi->starts_by_host().at("b"), 0u);
+  EXPECT_EQ(multi->host_state("a"), HostState::kRemoved);
+  for (const core::JobResult& job : summary.results) {
+    EXPECT_EQ(job.attempts, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ElasticEngine, WatcherResizesAnEntryByDrainAndReadd) {
+  const std::size_t kJobs = 40;
+  std::string path = temp_path("watch_resize.txt");
+  write_file(path, "1/a\n");
+  auto multi = function_cluster({{"a", 1, ""}}, slow_task(2));
+  WatchSettings settings;
+  settings.drain_grace = 0.0;
+  multi->watch_sshlogin_file(path, plain_spec, settings);
+
+  Options options;
+  options.jobs = multi->total_slots();
+  options.retries = 1;
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    if (++completed == 6) rename_over(path, "4/a\n");
+  });
+  RunSummary summary = engine.run("work {}", numbered(kJobs));
+  EXPECT_EQ(summary.succeeded, kJobs);
+  // A resized entry is a new incarnation: the 1-slot original drained out
+  // under a versioned name and "a" now owns a fresh 4-slot range on top.
+  EXPECT_EQ(multi->host_state("a~v1"), HostState::kRemoved);
+  EXPECT_EQ(multi->slot_capacity(), 5u);  // 1 tombstoned + 4 live
+  EXPECT_EQ(multi->live_host_count(), 1u);
+  for (const core::JobResult& job : summary.results) {
+    EXPECT_EQ(job.attempts, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Preemption stream: reclaim-with-notice, independent of MTBF crashes
+// ---------------------------------------------------------------------------
+
+TEST(Preemption, StreamIsIndependentOfCrashStream) {
+  sim::NodeChurnConfig config;
+  config.nodes = 4;
+  config.mtbf_seconds = 300.0;
+  config.repair_seconds = 20.0;
+  config.seed = 9;
+  sim::NodeChurnModel crashes_only(config);
+  config.preempt_mtbf_seconds = 500.0;
+  config.preempt_notice_seconds = 30.0;
+  sim::NodeChurnModel both(config);
+  // Enabling preemption must leave the crash timeline bit-identical.
+  for (std::size_t slot = 1; slot <= 4; ++slot) {
+    double t = 0.0;
+    for (int i = 0; i < 50; ++i) {
+      auto a = crashes_only.failure_within(slot, t, 10.0);
+      auto b = both.failure_within(slot, t, 10.0);
+      EXPECT_EQ(a.has_value(), b.has_value());
+      if (a && b) EXPECT_DOUBLE_EQ(*a, *b);
+      t += 10.0;
+    }
+  }
+}
+
+TEST(Preemption, TimelineMatchesAdvancingWalker) {
+  sim::NodeChurnConfig config;
+  config.nodes = 2;
+  config.seed = 5;
+  config.preempt_mtbf_seconds = 200.0;
+  config.preempt_notice_seconds = 25.0;
+  config.preempt_off_seconds = 40.0;
+  sim::NodeChurnModel churn(config);
+  const double kHorizon = 5000.0;
+  // node 0 owns slot 1 (round-robin).
+  std::vector<sim::Preemption> timeline = churn.preemption_timeline(0, kHorizon);
+  ASSERT_GT(timeline.size(), 5u);
+  double t = 0.0;
+  for (const sim::Preemption& expected : timeline) {
+    auto got = churn.preemption_within(1, t, kHorizon - t);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(got->reclaim_at, expected.reclaim_at);
+    EXPECT_DOUBLE_EQ(got->notice_at, expected.notice_at);
+    EXPECT_DOUBLE_EQ(got->reclaim_at - got->notice_at,
+                     config.preempt_notice_seconds);
+    t = got->reclaim_at + 1e-9;
+  }
+  // The timeline replay did not disturb the walker, and vice versa: a fresh
+  // replay returns the same events.
+  std::vector<sim::Preemption> again = churn.preemption_timeline(0, kHorizon);
+  ASSERT_EQ(again.size(), timeline.size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].reclaim_at, timeline[i].reclaim_at);
+  }
+}
+
+TEST(Preemption, DisabledStreamSamplesNothing) {
+  sim::NodeChurnConfig config;
+  config.nodes = 2;
+  config.mtbf_seconds = 100.0;
+  sim::NodeChurnModel churn(config);
+  EXPECT_FALSE(churn.preemption_within(1, 0.0, 1e6).has_value());
+  EXPECT_TRUE(churn.preemption_timeline(0, 1e6).empty());
+  EXPECT_EQ(churn.preemptions_sampled(), 0u);
+}
+
+}  // namespace
+}  // namespace parcl::exec

@@ -227,5 +227,56 @@ TEST(HostHealth, DisabledStallThresholdNeverBills) {
   EXPECT_EQ(tracker.counters().heartbeat_stall_signals, 0u);
 }
 
+TEST(HostHealth, EvictedHostAbsorbsAllEvidence) {
+  HostHealthTracker tracker(policy(2), 1);
+  EXPECT_FALSE(tracker.record_host_failure(0, 1.0));
+  tracker.evict(0);
+  EXPECT_EQ(tracker.state(0), HostState::kRemoved);
+  EXPECT_FALSE(tracker.dispatchable(0));
+  // No transition, no probe, no billing — the entry is a tombstone.
+  EXPECT_FALSE(tracker.record_host_failure(0, 2.0));
+  EXPECT_EQ(tracker.state(0), HostState::kRemoved);
+  tracker.record_host_ok(0);
+  EXPECT_EQ(tracker.state(0), HostState::kRemoved);
+  EXPECT_FALSE(tracker.observe_heartbeat(0, 100.0, 1.0, 3.0));
+  EXPECT_FALSE(tracker.take_due_probe(0, 1e9));
+  EXPECT_FALSE(tracker.any_quarantined());
+}
+
+TEST(HostHealth, AddHostStartsFreshAfterEviction) {
+  HostHealthTracker tracker(policy(2), 1);
+  // Build up a streak and an inflated probe backoff on host 0...
+  EXPECT_FALSE(tracker.record_host_failure(0, 1.0));
+  EXPECT_TRUE(tracker.record_host_failure(0, 2.0));
+  ASSERT_TRUE(tracker.take_due_probe(0, tracker.next_probe_at()));
+  tracker.record_probe_result(0, false, 10.0);
+  tracker.evict(0);
+  // ...then register its re-granted replacement: born Healthy, streak 0.
+  std::size_t host = tracker.add_host();
+  EXPECT_EQ(host, 1u);
+  EXPECT_EQ(tracker.state(host), HostState::kHealthy);
+  EXPECT_TRUE(tracker.dispatchable(host));
+  // One failure is below the threshold again — the old streak is gone.
+  EXPECT_FALSE(tracker.record_host_failure(host, 20.0));
+  EXPECT_EQ(tracker.state(host), HostState::kSuspect);
+}
+
+TEST(HostHealth, ProbationProbesImmediatelyWithoutCharging) {
+  HostHealthTracker tracker(policy(3), 1);
+  tracker.probation(0, 5.0);
+  EXPECT_EQ(tracker.state(0), HostState::kQuarantined);
+  EXPECT_FALSE(tracker.dispatchable(0));
+  // Probation is a reachability gate, not an incident: not billed as a
+  // quarantine, and the first probe is due immediately.
+  EXPECT_EQ(tracker.counters().quarantines, 0u);
+  EXPECT_TRUE(tracker.take_due_probe(0, 5.0));
+  tracker.record_probe_result(0, true, 5.1);
+  EXPECT_EQ(tracker.state(0), HostState::kHealthy);
+  // Probation on an evicted entry is a no-op.
+  tracker.evict(0);
+  tracker.probation(0, 6.0);
+  EXPECT_EQ(tracker.state(0), HostState::kRemoved);
+}
+
 }  // namespace
 }  // namespace parcl::exec
