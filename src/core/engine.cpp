@@ -187,8 +187,13 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   std::uint64_t next_seq = 1;
   bool exhausted = false;
 
-  auto note_skip = [&](PendingJob job) {
+  // `abandoned` marks queued work the run gave up on (the end-of-run drain
+  // after a halt or starved stop), as opposed to --resume skips of jobs a
+  // prior run already completed. Only the abandoned tail of a *starved*
+  // stop bills exit_status().
+  auto note_skip = [&](PendingJob job, bool abandoned = false) {
     ++summary.skipped;
+    if (abandoned && summary.starved) ++summary.starved_skipped;
     collator.mark_absent(job.seq);
     if (collect) {
       if (summary.results.size() < job.seq) summary.results.resize(job.seq);
@@ -369,9 +374,11 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   std::size_t done = 0;
 
   // --min-hosts: instant the live host set fell below the floor, or < 0
-  // while at/above it. While starved the run parks — dispatch pauses but
-  // nothing is failed or skipped — and a return of capacity resumes it.
-  // Only a grace window (--min-hosts-grace) can turn a park into giving up.
+  // while at/above it. While starved the run parks — fresh dispatch and
+  // hedging are gated off (phases 1a/1 check starved_since), in-flight
+  // jobs finish, nothing is failed or skipped — and a return of capacity
+  // resumes it. Only a grace window (--min-hosts-grace) can turn a park
+  // into giving up.
   double starved_since = -1.0;
   bool starvation_reported = false;
 
@@ -709,7 +716,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     // Candidate ids are collected first: launch_hedge inserts into
     // `active`, which would invalidate a live iteration.
     if (options_.hedge_multiplier > 0.0 && drain_stage == 0 &&
-        !scheduler.stopped()) {
+        !scheduler.stopped() && starved_since < 0.0) {
       if (double median = running_median(); median > 0.0) {
         const double threshold = median * options_.hedge_multiplier;
         const double now_hedge = executor_.now();
@@ -728,7 +735,11 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     }
 
     // Phase 1: fill free slots (retries first, then fresh pending work).
-    while (!scheduler.stopped() && scheduler.slot_free() && queued_work()) {
+    // Parked (--min-hosts starved) means parked: no dispatch at all, even
+    // to hosts still live below the floor — the documented contract is
+    // "hold queued work until capacity returns or the grace gives up".
+    while (!scheduler.stopped() && starved_since < 0.0 && scheduler.slot_free() &&
+           queued_work()) {
       double ready_at = scheduler.next_start_time();
       if (ready_at > executor_.now()) break;  // wait out --delay below
       if (!scheduler.pressure_allows_start()) {
@@ -749,7 +760,9 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
 
     if (active.empty()) {
       if (scheduler.stopped() || !queued_work()) break;  // drained
-      // Only --delay or backoff can leave us idle here; wait in phase 2.
+      // Only --delay, backoff, or a --min-hosts park can leave us idle
+      // here; wait in phase 2 (the park caps its wait so the executor
+      // keeps pumping the sshlogin-file watcher).
     }
 
     // Phase 2: wait for a completion, a timeout deadline, or the delay gate.
@@ -794,10 +807,16 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
       // watcher, and dispatch resumes on reinstatement or a grown host set.
       cap_wait(kQuarantinePoll);
     }
-    if (starved_since >= 0.0 && options_.min_hosts_grace_seconds > 0.0 &&
-        !scheduler.stopped()) {
-      // Wake at the --min-hosts give-up instant even with nothing running.
-      cap_wait(starved_since + options_.min_hosts_grace_seconds - now);
+    if (starved_since >= 0.0 && !scheduler.stopped()) {
+      // Parked below --min-hosts: dispatch is gated even though live hosts
+      // may hold free, usable slots, so nothing above capped the wait.
+      // Poll so the executor keeps pumping probes/drains/the watcher and
+      // live_host_count() is re-read promptly when capacity returns.
+      cap_wait(kQuarantinePoll);
+      if (options_.min_hosts_grace_seconds > 0.0) {
+        // Wake at the --min-hosts give-up instant even with nothing running.
+        cap_wait(starved_since + options_.min_hosts_grace_seconds - now);
+      }
     }
     if (options_.hedge_multiplier > 0.0 && drain_stage == 0 &&
         !scheduler.stopped()) {
@@ -979,12 +998,14 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   // the lookahead job, and everything still unread in the source. Draining
   // the source here keeps skip accounting exact while staying one job at a
   // time — the skipped tail never materializes.
-  for (PendingJob& job : ledger.drain()) note_skip(std::move(job));
+  for (PendingJob& job : ledger.drain()) note_skip(std::move(job), /*abandoned=*/true);
   if (lookahead) {
-    note_skip(std::move(*lookahead));
+    note_skip(std::move(*lookahead), /*abandoned=*/true);
     lookahead.reset();
   }
-  while (auto job = pull_runnable()) note_skip(std::move(*job));
+  // pull_runnable() notes --resume skips internally (not abandoned); only
+  // the jobs it would have run count as given-up work.
+  while (auto job = pull_runnable()) note_skip(std::move(*job), /*abandoned=*/true);
 
   collator.finish();
   if (options_.progress) {

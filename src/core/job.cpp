@@ -25,10 +25,11 @@ double RunSummary::dispatch_rate() const noexcept {
 }
 
 int RunSummary::exit_status() const noexcept {
-  std::size_t bad = failed + killed;
-  // A starved give-up (--min-hosts-grace) abandoned the skipped tail; that
-  // must surface in the exit status like any other unfinished work.
-  if (starved) bad += skipped;
+  // A starved give-up (--min-hosts-grace) abandoned a tail of queued work;
+  // that must surface in the exit status like any other unfinished work.
+  // Only the abandoned tail, though — `skipped` also counts --resume skips
+  // (jobs a prior run already completed), which are not failures.
+  std::size_t bad = failed + killed + starved_skipped;
   if (bad == 0) return 0;
   return static_cast<int>(std::min<std::size_t>(bad, 101));
 }

@@ -110,10 +110,14 @@ struct RunSummary {
   std::size_t failed = 0;                // failed + signaled + timed out
   std::size_t killed = 0;
   std::size_t skipped = 0;
+  /// The subset of `skipped` abandoned by a starved give-up (--min-hosts
+  /// grace expiry). Kept apart from --resume/--halt skips: a resumed run
+  /// that starves must not re-bill jobs a prior run already completed.
+  std::size_t starved_skipped = 0;
   bool halted = false;
   /// The --min-hosts grace expired and the run gave up on queued work; the
-  /// abandoned tail is in `skipped` and counts against exit_status() —
-  /// losing work must never read as success.
+  /// abandoned tail is in `starved_skipped` and counts against
+  /// exit_status() — losing work must never read as success.
   bool starved = false;
   /// Non-zero when a SIGINT/SIGTERM drain ended the run early; the CLI
   /// exits 128+N (130 for SIGINT, 143 for SIGTERM).

@@ -63,7 +63,11 @@ std::unique_ptr<parcl::exec::MultiExecutor> make_cluster(parcl::core::RunPlan& p
   if (!plan.options.sshlogin_file.empty()) {
     for (const exec::SshLoginEntry& entry :
          read_sshlogin_file(plan.options.sshlogin_file)) {
-      hosts.push_back(spec_for_entry(entry));
+      exec::HostSpec spec = spec_for_entry(entry);
+      // Tag the file's hosts with their entry identity: a --watch diff only
+      // ever drains hosts the file contributed, never the -S ones above.
+      spec.file_key = spec.name;
+      hosts.push_back(std::move(spec));
     }
   }
   if (hosts.empty()) {

@@ -81,6 +81,10 @@ HostSetController::HostSetController(std::string path) : path_(std::move(path)) 
     }
   }
   last_ = fingerprint();
+  // pending_ starts true: the first poll() re-reads and reports the current
+  // contents no matter what, because the caller's host set came from its
+  // own read of the file some instants ago — an edit racing that gap would
+  // otherwise fingerprint as "already applied" and never diff.
 }
 
 HostSetController::~HostSetController() {
@@ -120,31 +124,42 @@ bool HostSetController::drain_inotify_events() {
 
 std::optional<std::vector<SshLoginEntry>> HostSetController::poll(double now) {
   if (inotify_fd_ >= 0) {
-    if (!drain_inotify_events()) return std::nullopt;
+    if (!drain_inotify_events() && !pending_) return std::nullopt;
   } else {
-    if (last_stat_at_ >= 0.0 && now - last_stat_at_ < kPollInterval) {
+    if (!pending_ && last_stat_at_ >= 0.0 && now - last_stat_at_ < kPollInterval) {
       return std::nullopt;
     }
     last_stat_at_ = now;
   }
   Fingerprint fp = fingerprint();
-  if (fp == last_) return std::nullopt;
+  if (!pending_ && fp == last_) return std::nullopt;
   if (!fp.exists) {
-    // Deleting the file is an explicit "release everything".
+    // Deleting the file is an explicit "release everything it named".
     last_ = fp;
+    pending_ = false;
     return std::vector<SshLoginEntry>{};
   }
   std::ifstream in(path_, std::ios::binary);
-  if (!in) return std::nullopt;  // transiently unreadable: retry next poll
+  if (!in) {
+    // Transiently unreadable. The events (or fingerprint delta) that got us
+    // here are consumed, so owe a re-read: without this, an inotify-armed
+    // watcher would never look again and the change would be lost.
+    pending_ = true;
+    return std::nullopt;
+  }
   std::ostringstream text;
   text << in.rdbuf();
   try {
     std::vector<SshLoginEntry> entries = parse_sshlogin_text(text.str());
     last_ = fp;
+    pending_ = false;
     return entries;
   } catch (const util::ConfigError&) {
     // A torn or garbage write must not be mistaken for "drain everything".
-    // last_ stays put, so the next (complete) write re-triggers parsing.
+    // last_ stays put, so the next (complete) write re-triggers parsing —
+    // and unlike the unreadable case the content *was* seen and judged, so
+    // nothing is owed: no pending_ spin on a persistently bad file.
+    pending_ = false;
     return std::nullopt;
   }
 }

@@ -47,10 +47,16 @@ class HostSetController {
   /// inotify events (or stats the file at most every poll_interval
   /// seconds) and, when the file changed since the last poll, re-reads and
   /// parses it. Returns the desired host set on change, nullopt otherwise.
-  /// An unreadable or unparseable file is reported unchanged — a torn
-  /// write must not be mistaken for "drain everything" (the next clean
-  /// write triggers normally). A *vanished* file, though, is an explicit
-  /// empty set: releasing the allocation by deleting the file is valid.
+  /// The *first* poll always reports the current contents: the caller
+  /// built its host set from its own earlier read, and an edit landing
+  /// between that read and our construction must not be silently absorbed
+  /// (re-applying an unchanged set is a no-op diff). An unparseable file
+  /// is reported unchanged — a torn write must not be mistaken for "drain
+  /// everything" (the next clean write triggers normally) — and a
+  /// transiently unreadable one is remembered and retried next poll, since
+  /// its inotify events are already consumed. A *vanished* file, though,
+  /// is an explicit empty set: releasing the allocation by deleting the
+  /// file is valid.
   std::optional<std::vector<SshLoginEntry>> poll(double now);
 
   /// True when the inotify fast path armed (polling fallback otherwise).
@@ -83,6 +89,10 @@ class HostSetController {
   int watch_descriptor_ = -1;
   Fingerprint last_;
   double last_stat_at_ = -1.0;
+  /// Owed re-read regardless of new events: set at construction (first
+  /// poll reports the startup contents) and when a change was noticed but
+  /// the file could not be opened (the events that announced it are gone).
+  bool pending_ = true;
 };
 
 }  // namespace parcl::exec

@@ -221,6 +221,14 @@ std::size_t MultiExecutor::find_live_host(const std::string& name) const {
   return kNoHost;
 }
 
+std::size_t MultiExecutor::find_live_host_by_key(const std::string& file_key) const {
+  for (std::size_t k = hosts_.size(); k-- > 0;) {
+    if (hosts_[k].membership == Membership::kRemoved) continue;
+    if (hosts_[k].spec.file_key == file_key) return k;
+  }
+  return kNoHost;
+}
+
 std::size_t MultiExecutor::live_host_count() const {
   std::size_t count = 0;
   for (const Host& host : hosts_) {
@@ -332,32 +340,46 @@ void MultiExecutor::pump_host_set() {
 }
 
 void MultiExecutor::apply_host_set(const std::vector<SshLoginEntry>& desired) {
-  // Diff on registered names, so ":"-style entries compare after make_spec_
-  // normalization. Duplicate lines collapse to the first (use "N/host" for
-  // more slots on one host).
+  // Diff on file-entry identity (file_key = the make_spec_-normalized login
+  // name, so ":"-style entries compare normalized and "#k" dedup suffixes
+  // on registered names cannot mis-pair). Duplicate lines collapse to the
+  // first (use "N/host" for more slots on one host).
   std::vector<HostSpec> specs;
   std::set<std::string> wanted;
   for (const SshLoginEntry& entry : desired) {
     HostSpec spec = make_spec_(entry);
-    if (!wanted.insert(spec.name).second) continue;
+    spec.file_key = spec.name;
+    if (!wanted.insert(spec.file_key).second) continue;
     specs.push_back(std::move(spec));
   }
   // Drains before adds, so a renamed entry frees its name for the
-  // replacement within one application.
-  for (std::size_t k = 0; k < hosts_.size(); ++k) {
+  // replacement within one application. Only hosts the file contributed
+  // (non-empty file_key) are the file's to drain: static -S/construction
+  // hosts are out of scope, including when the file vanishes ("release
+  // everything it named"). Newest-first, matching find_live_host_by_key,
+  // so when several live hosts realize one entry (duplicate startup lines)
+  // the one a later lookup would resolve is the one kept.
+  std::set<std::string> claimed;
+  for (std::size_t k = hosts_.size(); k-- > 0;) {
     if (hosts_[k].membership == Membership::kRemoved) continue;
-    if (wanted.count(hosts_[k].spec.name) != 0) continue;
+    if (hosts_[k].spec.file_key.empty()) continue;  // static: not ours
+    if (wanted.count(hosts_[k].spec.file_key) != 0 &&
+        claimed.insert(hosts_[k].spec.file_key).second) {
+      continue;
+    }
     drain_host_index(k, watch_settings_.drain_grace);
   }
   for (HostSpec& spec : specs) {
-    std::size_t index = find_live_host(spec.name);
+    std::size_t index = find_live_host_by_key(spec.file_key);
     if (index != kNoHost && (hosts_[index].spec.jobs != spec.jobs ||
                              hosts_[index].spec.wrapper != spec.wrapper)) {
       // Resized or re-wrapped entry. A host's slot range is fixed at add
-      // time, so the old incarnation drains out under a versioned name and
-      // a fresh host takes over the entry's name with the new shape.
+      // time, so the old incarnation drains out under a versioned name —
+      // and stops representing the entry — while a fresh host takes over
+      // with the new shape.
       hosts_[index].spec.name +=
           "~v" + std::to_string(++retired_incarnations_);
+      hosts_[index].spec.file_key.clear();
       drain_host_index(index, watch_settings_.drain_grace);
       index = kNoHost;
     }

@@ -41,6 +41,13 @@ struct HostSpec {
   /// Wrapper prefix applied to each command, e.g. "ssh node07". Empty =
   /// run locally as-is. The command is appended shell-quoted.
   std::string wrapper;
+  /// Identity of the --sshlogin-file entry this host realizes (the entry's
+  /// normalized login name, stable across "#k" dedup suffixes applied to
+  /// `name`). Empty marks a *static* host (-S / direct construction): the
+  /// watched-file diff never drains those — the file only governs hosts it
+  /// contributed. Set by make_cluster for startup file entries and by
+  /// apply_host_set() for watched additions.
+  std::string file_key;
 };
 
 /// Runtime policy for a watched --sshlogin-file (see watch_sshlogin_file).
@@ -215,11 +222,16 @@ class MultiExecutor final : public core::Executor {
   void pump_drains();
   /// Re-reads a changed watched sshlogin file and applies the diff: new
   /// entries become add_host() calls, vanished entries drain, a draining
-  /// host that reappears is resurrected.
+  /// host that reappears is resurrected. The diff is scoped to hosts the
+  /// file contributed (non-empty file_key) and keyed on the entry identity,
+  /// so static -S hosts are never touched and "#k" name dedup cannot
+  /// mis-pair an entry with somebody else's host.
   void pump_host_set();
   void apply_host_set(const std::vector<SshLoginEntry>& desired);
   /// Newest live (non-removed) host with this name, or npos.
   std::size_t find_live_host(const std::string& name) const;
+  /// Newest live (non-removed) host realizing this file entry, or npos.
+  std::size_t find_live_host_by_key(const std::string& file_key) const;
   void drain_host_index(std::size_t index, double grace_seconds);
   void finish_drain(std::size_t index);
   /// Keeps a pilot channel serviced (frames, reconnects) and feeds its

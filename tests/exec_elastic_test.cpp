@@ -92,6 +92,17 @@ HostSpec plain_spec(const SshLoginEntry& entry) {
   return spec;
 }
 
+/// A startup host that realizes an sshlogin-file entry: carries the entry
+/// identity in file_key, like make_cluster tags file-derived hosts, so the
+/// watched diff recognizes it as the file's to keep or drain.
+HostSpec file_spec(const std::string& name, std::size_t jobs) {
+  HostSpec spec;
+  spec.name = name;
+  spec.jobs = jobs;
+  spec.file_key = name;
+  return spec;
+}
+
 // ---------------------------------------------------------------------------
 // sshlogin-file parsing
 // ---------------------------------------------------------------------------
@@ -127,7 +138,15 @@ TEST(HostSetController, DetectsRewriteAndRenameOver) {
   write_file(path, "node01\n");
   HostSetController controller(path);
   double now = 0.0;
-  EXPECT_FALSE(controller.poll(now).has_value());  // unchanged
+  // The first poll always reports the current contents: the caller's host
+  // set came from its own earlier read, and an edit racing the gap between
+  // that read and construction must not be silently absorbed (re-applying
+  // an unchanged set diffs to nothing).
+  auto initial = controller.poll(now);
+  ASSERT_TRUE(initial.has_value());
+  ASSERT_EQ(initial->size(), 1u);
+  EXPECT_EQ((*initial)[0].host, "node01");
+  EXPECT_FALSE(controller.poll(now += 1.0).has_value());  // unchanged
 
   write_file(path, "node01\n2/node02\n");
   auto changed = controller.poll(now += 1.0);
@@ -268,6 +287,75 @@ TEST(ElasticMulti, ReAddedHostIsNotBornQuarantined) {
 }
 
 // ---------------------------------------------------------------------------
+// Watched diff scope: the file only governs the hosts it contributed
+// ---------------------------------------------------------------------------
+
+TEST(ElasticWatch, FileDiffNeverTouchesStaticHosts) {
+  std::string path = temp_path("watch_static.txt");
+  write_file(path, "a\n");
+  // "-S a --slf F" with F also naming "a": construction dedups the
+  // registered name to "a#2", but the entry identity rides file_key — a
+  // name-keyed diff would pair the file entry with the static host and
+  // tombstone the wrong one.
+  std::vector<HostSpec> hosts;
+  hosts.push_back({"a", 1, ""});  // static -S host: no file_key
+  hosts.push_back(file_spec("a", 1));
+  auto multi = function_cluster(std::move(hosts), instant_task());
+  WatchSettings settings;
+  settings.drain_grace = 0.0;
+  multi->watch_sshlogin_file(path, plain_spec, settings);
+
+  // Pump the watcher until the live count settles at `want` (bounded; the
+  // stat fallback re-reads at most every 0.2 s of real time).
+  auto pump_until_live = [&](std::size_t want) {
+    for (int i = 0; i < 400 && multi->live_host_count() != want; ++i) {
+      multi->wait_any(0.005);
+    }
+  };
+
+  // First poll re-applies the startup set: a no-op diff.
+  multi->wait_any(0.0);
+  EXPECT_EQ(multi->live_host_count(), 2u);
+  EXPECT_EQ(multi->host_state("a"), HostState::kHealthy);
+  EXPECT_EQ(multi->host_state("a#2"), HostState::kHealthy);
+
+  // The file still names "a": neither the static "a" nor the file's "a#2"
+  // may drain, and the new entry joins alongside them.
+  rename_over(path, "a\nb\n");
+  pump_until_live(3);
+  EXPECT_EQ(multi->host_state("a"), HostState::kHealthy);
+  EXPECT_EQ(multi->host_state("a#2"), HostState::kHealthy);
+  EXPECT_EQ(multi->live_host_count(), 3u);
+
+  // Deleting the file releases exactly the hosts it contributed; the
+  // static -S host keeps its slot.
+  std::remove(path.c_str());
+  pump_until_live(1);
+  EXPECT_EQ(multi->host_state("a"), HostState::kHealthy);
+  EXPECT_TRUE(multi->slot_usable(1));
+  EXPECT_EQ(multi->host_state("a#2"), HostState::kRemoved);
+  EXPECT_EQ(multi->host_state("b"), HostState::kRemoved);
+  EXPECT_EQ(multi->live_host_count(), 1u);
+}
+
+TEST(ElasticWatch, EditRacingConstructionIsAppliedOnFirstPoll) {
+  std::string path = temp_path("watch_race.txt");
+  write_file(path, "a\n");
+  // The host set was built from an earlier read of the file...
+  auto multi = function_cluster({file_spec("a", 1)}, instant_task());
+  // ...and an edit lands before the watcher attaches: no inotify event
+  // will ever announce it, so only the first-poll re-read can catch it.
+  write_file(path, "a\nb\n");
+  multi->watch_sshlogin_file(path, plain_spec, WatchSettings{});
+  for (int i = 0; i < 400 && multi->live_host_count() != 2; ++i) {
+    multi->wait_any(0.005);
+  }
+  EXPECT_EQ(multi->live_host_count(), 2u);
+  EXPECT_EQ(multi->host_state("b"), HostState::kHealthy);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Engine integration: pool growth, parking, give-up
 // ---------------------------------------------------------------------------
 
@@ -293,7 +381,7 @@ TEST(ElasticEngine, ParksAtZeroHostsUntilFileRestoresCapacity) {
   const std::size_t kJobs = 24;
   std::string path = temp_path("park.txt");
   write_file(path, "1/a\n");
-  auto multi = function_cluster({{"a", 1, ""}}, slow_task(2));
+  auto multi = function_cluster({file_spec("a", 1)}, slow_task(2));
   WatchSettings settings;
   settings.drain_grace = 0.0;
   multi->watch_sshlogin_file(path, plain_spec, settings);
@@ -355,16 +443,127 @@ TEST(ElasticEngine, MinHostsGraceGivesUpOnStarvedWork) {
   EXPECT_EQ(summary.succeeded + summary.failed + summary.skipped, kJobs);
   EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 30);
   EXPECT_NE(err.str().find("grace"), std::string::npos);
-  // Losing the tail must never read as success at the CLI.
+  // Losing the tail must never read as success at the CLI. With no resume
+  // skips in play, the whole skipped count is the abandoned tail.
   EXPECT_TRUE(summary.starved);
+  EXPECT_EQ(summary.starved_skipped, summary.skipped);
   EXPECT_GT(summary.exit_status(), 0);
+}
+
+TEST(ElasticEngine, ParkGatesDispatchToSurvivingHostsBelowFloor) {
+  // Two hosts, --min-hosts 2: losing one parks the run even though the
+  // survivor still has free, usable slots. Without the gate, the survivor
+  // would grind through all sixty 2 ms jobs long before the 400 ms grace
+  // and the run would (wrongly) report success on a starved allocation.
+  const std::size_t kJobs = 60;
+  auto multi = function_cluster({{"a", 2, ""}, {"b", 2, ""}}, slow_task(2));
+  Options options;
+  options.jobs = multi->total_slots();
+  options.retries = 1;
+  options.min_hosts = 2;
+  options.min_hosts_grace_seconds = 0.4;
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    if (++completed == 4) multi->remove_host("b");
+  });
+  RunSummary summary = engine.run("work {}", numbered(kJobs));
+  EXPECT_TRUE(summary.starved);
+  EXPECT_LT(summary.succeeded, kJobs / 2);
+  EXPECT_GT(summary.starved_skipped, kJobs / 2);
+  EXPECT_EQ(summary.starved_skipped, summary.skipped);
+  EXPECT_EQ(summary.exit_status(),
+            static_cast<int>(std::min<std::size_t>(summary.starved_skipped, 101)));
+  EXPECT_NE(err.str().find("parking"), std::string::npos);
+}
+
+TEST(ElasticEngine, ParkedDispatchResumesWhenFileRestoresFloor) {
+  const std::size_t kJobs = 30;
+  std::string path = temp_path("watch_floor.txt");
+  write_file(path, "1/a\n1/b\n");
+  auto multi =
+      function_cluster({file_spec("a", 1), file_spec("b", 1)}, slow_task(2));
+  WatchSettings settings;
+  settings.drain_grace = 0.0;
+  multi->watch_sshlogin_file(path, plain_spec, settings);
+
+  Options options;
+  options.jobs = multi->total_slots();
+  options.retries = 1;
+  options.min_hosts = 2;  // no grace: parked work waits for the re-grant
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  std::atomic<bool> shrunk{false};
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    if (++completed == 4) {
+      rename_over(path, "1/a\n");  // below the floor: park, host a stays live
+      shrunk = true;
+    }
+  });
+  std::thread regrant([&] {
+    while (!shrunk) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    std::string tmp = path + ".tmp";
+    write_file(tmp, "1/a\n1/c\n");
+    std::rename(tmp.c_str(), path.c_str());
+  });
+  RunSummary summary = engine.run("work {}", numbered(kJobs));
+  regrant.join();
+  EXPECT_EQ(summary.succeeded, kJobs);
+  EXPECT_EQ(summary.skipped, 0u);
+  ASSERT_EQ(multi->starts_by_host().count("c"), 1u);
+  EXPECT_GT(multi->starts_by_host().at("c"), 0u);
+  EXPECT_NE(err.str().find("parking"), std::string::npos);
+  EXPECT_NE(err.str().find("resuming"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ElasticEngine, StarvedExitBillsOnlyAbandonedTailNotResumeSkips) {
+  const std::size_t kJobs = 30;
+  const std::size_t kPrior = 10;
+  std::string log = temp_path("starved_resume.tsv");
+  {
+    // A prior run completed seqs 1..10 into the joblog.
+    auto multi = function_cluster({{"a", 2, ""}}, instant_task());
+    Options options;
+    options.jobs = multi->total_slots();
+    options.joblog_path = log;
+    std::ostringstream out, err;
+    Engine engine(options, *multi, out, err);
+    RunSummary summary = engine.run("work {}", numbered(kPrior));
+    ASSERT_EQ(summary.succeeded, kPrior);
+  }
+  auto multi = function_cluster({{"a", 2, ""}}, slow_task(2));
+  Options options;
+  options.jobs = multi->total_slots();
+  options.joblog_path = log;
+  options.resume = true;
+  options.min_hosts = 1;
+  options.min_hosts_grace_seconds = 0.2;
+  std::ostringstream out, err;
+  Engine engine(options, *multi, out, err);
+  std::size_t completed = 0;
+  engine.set_result_callback([&](const core::JobResult&) {
+    if (++completed == 3) multi->remove_host("a");
+  });
+  RunSummary summary = engine.run("work {}", numbered(kJobs));
+  EXPECT_TRUE(summary.starved);
+  // Resume skips and the abandoned tail both live in `skipped`...
+  EXPECT_GT(summary.starved_skipped, 0u);
+  EXPECT_EQ(summary.skipped, kPrior + summary.starved_skipped);
+  // ...but the exit status bills only the tail: the 10 jobs the prior run
+  // completed are not failures of this one.
+  EXPECT_EQ(summary.exit_status(), static_cast<int>(summary.starved_skipped));
+  std::remove(log.c_str());
 }
 
 TEST(ElasticEngine, WatcherGrowsAndDrainsMidRun) {
   const std::size_t kJobs = 60;
   std::string path = temp_path("watch_engine.txt");
   write_file(path, "2/a\n");
-  auto multi = function_cluster({{"a", 2, ""}}, slow_task(2));
+  auto multi = function_cluster({file_spec("a", 2)}, slow_task(2));
   WatchSettings settings;
   settings.drain_grace = 0.0;
   multi->watch_sshlogin_file(path, plain_spec, settings);
@@ -395,7 +594,7 @@ TEST(ElasticEngine, WatcherResizesAnEntryByDrainAndReadd) {
   const std::size_t kJobs = 40;
   std::string path = temp_path("watch_resize.txt");
   write_file(path, "1/a\n");
-  auto multi = function_cluster({{"a", 1, ""}}, slow_task(2));
+  auto multi = function_cluster({file_spec("a", 1)}, slow_task(2));
   WatchSettings settings;
   settings.drain_grace = 0.0;
   multi->watch_sshlogin_file(path, plain_spec, settings);
