@@ -63,6 +63,26 @@ int main() {
   runner.run([&](const storage::PipelineReport& r) { pipeline_report = r; });
   sim.run();
 
+  // Same pipeline with file-level overlap: stage k starts the moment its
+  // input files land on NVMe instead of at the stage-k-1 barrier. With the
+  // paper's prefetch_depth=1 rhythm the copies already hide behind the
+  // 68-min processing, so the makespan matches the barrier schedule — the
+  // point is that the generic dependency path reproduces the paper's
+  // arithmetic, not that it beats it at this depth.
+  sim::Simulation overlap_sim;
+  storage::SimFilesystem overlap_lustre(overlap_sim,
+                                        storage::FilesystemSpec::lustre());
+  storage::SimFilesystem overlap_nvme(overlap_sim,
+                                      storage::FilesystemSpec::nvme());
+  storage::PipelineConfig overlap_config = config;
+  overlap_config.overlap = true;
+  storage::PipelineRunner overlap_runner(overlap_sim, overlap_lustre,
+                                         overlap_nvme, overlap_config);
+  storage::PipelineReport overlap_report;
+  overlap_runner.run(
+      [&](const storage::PipelineReport& r) { overlap_report = r; });
+  overlap_sim.run();
+
   util::Table table({"stage", "source", "process_min", "prefetch_min", "stage_min"});
   for (const auto& stage : pipeline_report.stages) {
     table.add_row({std::to_string(stage.stage), stage.processed_from,
@@ -96,6 +116,20 @@ int main() {
   check.add_text("NVMe footprint bounded by eviction", "<= ~2 datasets resident",
                  util::format_bytes(nvme.peak_bytes_stored()) + " peak",
                  nvme.peak_bytes_stored() < two_datasets);
+  double overlap_min = overlap_report.makespan / 60.0;
+  check.add_text("storage-overlap schedule", "no slower than barrier",
+                 util::format_double(overlap_min, 1) + " min",
+                 overlap_report.makespan <= pipeline_report.makespan + 1.0);
   check.print();
+
+  bench::BenchJson json("BENCH_dag.json");
+  json.set("fig7_pipeline", "barrier_makespan_min", makespan_min);
+  json.set("fig7_pipeline", "overlap_makespan_min", overlap_min);
+  json.set("fig7_pipeline", "lustre_only_min", baseline_min);
+  json.set("fig7_pipeline", "improvement_pct",
+           pipeline_report.improvement_percent());
+  bench::stamp_provenance(json);
+  json.write();
+  std::cout << "wrote BENCH_dag.json\n";
   return 0;
 }

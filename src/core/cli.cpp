@@ -217,6 +217,20 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
       plan.options.results_dir = take_value(argv, i, arg);
     } else if (arg == "--shuf") {
       plan.options.shuffle = true;
+    } else if (arg == "--graph") {
+      plan.graph_file = take_value(argv, i, arg);
+    } else if (arg == "--then" || arg == "--then-all") {
+      StageSpec stage;
+      stage.command = take_value(argv, i, arg);
+      stage.barrier = arg == "--then-all";
+      plan.then_stages.push_back(std::move(stage));
+    } else if (arg == "--stage-jobs") {
+      for (const std::string& entry :
+           util::split(take_value(argv, i, arg), ',')) {
+        long jobs = util::parse_long(util::trim(entry));
+        if (jobs < 0) throw util::ParseError("--stage-jobs caps must be >= 0");
+        plan.stage_jobs.push_back(static_cast<std::size_t>(jobs));
+      }
     } else if (arg == "--colsep" || arg == "-C") {
       plan.options.colsep = take_value(argv, i, arg);
     } else if (arg == "--trim") {
@@ -298,16 +312,71 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
         "sources, or host flags");
   }
 
+  if (!plan.graph_file.empty()) {
+    // Graph mode: the file is the whole run plan. Everything that shapes a
+    // flat input stream — sources, packing, splitting, chaining — has no
+    // meaning against named nodes with their own commands.
+    if (!command_tokens.empty()) {
+      throw util::ConfigError(
+          "--graph: the graph file provides the commands; drop '" +
+          command_tokens.front() + "'");
+    }
+    if (!plan.sources.empty()) {
+      throw util::ConfigError("--graph takes no ::: / :::: / -a input sources");
+    }
+    if (!plan.then_stages.empty()) {
+      throw util::ConfigError("--graph and --then are mutually exclusive");
+    }
+    if (!plan.stage_jobs.empty()) {
+      throw util::ConfigError(
+          "--stage-jobs applies to --then chains; use 'stage NAME jobs=N' "
+          "in the graph file");
+    }
+    if (plan.options.pipe_mode || plan.semaphore || plan.link) {
+      throw util::ConfigError("--graph cannot combine with --pipe, --semaphore, or --link");
+    }
+    if (plan.options.max_args > 1 || plan.options.xargs ||
+        !plan.options.colsep.empty() ||
+        (!plan.options.trim_mode.empty() && plan.options.trim_mode != "n")) {
+      throw util::ConfigError(
+          "--graph jobs take no input packing or splitting (-n/-X/--colsep/--trim)");
+    }
+  }
+  if (!plan.then_stages.empty()) {
+    if (command_tokens.empty()) {
+      throw util::ConfigError(
+          "--then chains stages after the main command; give a command first");
+    }
+    if (plan.options.pipe_mode || plan.semaphore) {
+      throw util::ConfigError("--then cannot combine with --pipe or --semaphore");
+    }
+    if (plan.options.max_args > 1 || plan.options.xargs ||
+        !plan.options.colsep.empty() ||
+        (!plan.options.trim_mode.empty() && plan.options.trim_mode != "n")) {
+      throw util::ConfigError(
+          "--then stages take whole input values (-n/-X/--colsep/--trim do not apply)");
+    }
+    if (plan.stage_jobs.size() > plan.then_stages.size() + 1) {
+      throw util::ConfigError("--stage-jobs names more stages than the chain has");
+    }
+  } else if (!plan.stage_jobs.empty()) {
+    throw util::ConfigError("--stage-jobs requires a --then stage chain");
+  }
+
   plan.command_template = util::join(command_tokens, " ");
   // In --pipe mode stdin carries data blocks, not input values; a
-  // --semaphore command runs verbatim with no input source at all.
-  plan.read_stdin =
-      plan.sources.empty() && !plan.options.pipe_mode && !plan.semaphore;
+  // --semaphore command runs verbatim with no input source at all; a
+  // --graph run has no input values in the first place.
+  plan.read_stdin = plan.sources.empty() && !plan.options.pipe_mode &&
+                    !plan.semaphore && plan.graph_file.empty();
   plan.options.validate();
   return plan;
 }
 
 std::unique_ptr<JobSource> make_job_source(const RunPlan& plan, std::istream& in) {
+  if (!plan.graph_file.empty()) {
+    return std::make_unique<GraphSource>(GraphSpec::parse_file(plan.graph_file));
+  }
   std::vector<std::unique_ptr<ValueSource>> values;
   values.reserve(plan.sources.size() + 1);
   for (const auto& source : plan.sources) {
@@ -326,11 +395,28 @@ std::unique_ptr<JobSource> make_job_source(const RunPlan& plan, std::istream& in
   if (plan.read_stdin) {
     values.push_back(std::make_unique<LineSource>(in, plan.input_sep));
   }
+  std::unique_ptr<JobSource> source;
   if (plan.link) {
-    return std::make_unique<LinkedSource>(std::move(values));
+    source = std::make_unique<LinkedSource>(std::move(values));
+  } else {
+    // Cartesian with a single source is a pure stream: the head never buffers.
+    source = std::make_unique<CartesianSource>(std::move(values));
   }
-  // Cartesian with a single source is a pure stream: the head never buffers.
-  return std::make_unique<CartesianSource>(std::move(values));
+  if (!plan.then_stages.empty()) {
+    // Stage 1 is the main command; --then/--then-all stages follow in the
+    // order given. --stage-jobs caps pair up positionally.
+    std::vector<StageSpec> stages;
+    stages.reserve(plan.then_stages.size() + 1);
+    StageSpec first;
+    first.command = plan.command_template;
+    stages.push_back(std::move(first));
+    stages.insert(stages.end(), plan.then_stages.begin(), plan.then_stages.end());
+    for (std::size_t s = 0; s < plan.stage_jobs.size() && s < stages.size(); ++s) {
+      stages[s].jobs = plan.stage_jobs[s];
+    }
+    source = std::make_unique<StageChainSource>(std::move(source), std::move(stages));
+  }
+  return source;
 }
 
 std::vector<ArgVector> resolve_inputs(const RunPlan& plan, std::istream& in) {
@@ -424,6 +510,19 @@ options:
                       SIZE bytes (k/m suffixes; 0 = every row immediately)
       --results DIR   save each job's stdout/stderr/meta under DIR/<seq>/
       --shuf          run jobs in random order (buffers the whole input)
+      --graph FILE    run a dependency graph: one node per line,
+                      "NODE [after=A,B] [needs=F] [out=F] [stage=S] :: CMD"
+                      plus "stage S [jobs=N]" directives; a node starts
+                      when its predecessors succeed, and a failed node
+                      skips its descendants (Exitval -1 in the joblog)
+      --then CMD      chain another stage after the command: each input
+                      value runs CMD as soon as *its* previous-stage job
+                      succeeds (repeatable; forms a pipeline)
+      --then-all CMD  like --then, but waits for the ENTIRE previous
+                      stage before any CMD starts (a barrier)
+      --stage-jobs N,M,...
+                      per-stage in-flight caps for a --then chain, stage 1
+                      first (0 = unlimited; combines with -j)
   -C, --colsep SEP    split input values into columns ({1}, {2}, ...) on SEP
       --trim MODE     trim input whitespace: n|l|r|lr|rl
       --resume        skip seqs already in the joblog

@@ -14,6 +14,7 @@
 //   --quarantine-after N                   --probe-interval SECS
 //   --slf/--sshlogin-file F --watch        --drain-grace SECS
 //   --min-hosts N      --min-hosts-grace SECS
+//   --graph FILE       --then CMD / --then-all CMD   --stage-jobs N,M,...
 //
 // With no ::: / :::: / -a source, values are read from stdin, one per line,
 // exactly like parallel. `-` as the file for -a/--arg-file or :::: names
@@ -29,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dag_source.hpp"
 #include "core/input.hpp"
 #include "core/job_source.hpp"
 #include "core/options.hpp"
@@ -63,6 +65,18 @@ struct RunPlan {
   std::vector<SourceSpec> sources;  // input sources, unread until run time
   char input_sep = '\n';            // -0/--null: value separator for streams
   bool link = false;                // --link / :::+
+  /// --graph FILE: run an explicit dependency graph instead of a flat
+  /// stream. The file provides the commands; no command argument, input
+  /// sources, or input decorators apply.
+  std::string graph_file;
+  /// --then / --then-all stages chained after the main command: every
+  /// input value runs the command, then each --then stage as its previous
+  /// stage finishes (element-wise); --then-all waits for the whole
+  /// previous stage (barrier). Stage 1 is the main command itself.
+  std::vector<StageSpec> then_stages;
+  /// --stage-jobs N,M,...: per-stage in-flight caps for the chain, stage 1
+  /// first (0 = unlimited).
+  std::vector<std::size_t> stage_jobs;
   bool read_stdin = false;          // no explicit source given
   bool show_help = false;
   bool show_version = false;

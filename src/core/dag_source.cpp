@@ -1,0 +1,388 @@
+#include "core/dag_source.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/replacement.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace parcl::core {
+
+namespace {
+
+// Barrier tokens are internal to StageChainSource; a colon keeps them out
+// of any plausible user file-path namespace.
+std::string barrier_token(std::size_t stage) {
+  return "stage-barrier:" + std::to_string(stage);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GraphSpec parsing
+
+GraphSpec GraphSpec::parse(std::istream& in, const std::string& origin) {
+  GraphSpec spec;
+  std::string line;
+  std::size_t lineno = 0;
+  auto fail = [&](const std::string& what) {
+    throw util::ConfigError(origin + ":" + std::to_string(lineno) + ": " +
+                            what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string text = util::trim(line);
+    if (text.empty() || text[0] == '#') continue;
+
+    if (util::starts_with(text, "stage ") || text == "stage") {
+      GraphStage stage;
+      auto fields = util::split_ws(text.substr(5));
+      if (fields.empty()) fail("stage directive needs a name");
+      stage.name = fields[0];
+      for (const auto& existing : spec.stages)
+        if (existing.name == stage.name)
+          fail("duplicate stage '" + stage.name + "'");
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        if (util::starts_with(fields[i], "jobs=")) {
+          long jobs = util::parse_long(fields[i].substr(5));
+          stage.jobs = static_cast<std::size_t>(jobs);
+        } else {
+          fail("unknown stage attribute '" + fields[i] + "'");
+        }
+      }
+      spec.stages.push_back(std::move(stage));
+      continue;
+    }
+
+    auto sep = text.find(" :: ");
+    if (sep == std::string::npos)
+      fail("expected 'NODE [attrs] :: COMMAND' (missing ' :: ')");
+    std::string head = util::trim(text.substr(0, sep));
+    std::string command = util::trim(text.substr(sep + 4));
+    if (command.empty()) fail("empty command");
+
+    GraphNode node;
+    auto fields = util::split_ws(head);
+    if (fields.empty()) fail("missing node name");
+    node.name = fields[0];
+    if (node.name.find('=') != std::string::npos)
+      fail("missing node name before '" + node.name + "'");
+    node.command = std::move(command);
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const std::string& field = fields[i];
+      auto list = [&](std::size_t prefix) {
+        std::vector<std::string> out;
+        for (auto& v : util::split(field.substr(prefix), ',')) {
+          v = util::trim(v);
+          if (!v.empty()) out.push_back(std::move(v));
+        }
+        return out;
+      };
+      if (util::starts_with(field, "after=")) {
+        auto vals = list(6);
+        node.after.insert(node.after.end(), vals.begin(), vals.end());
+      } else if (util::starts_with(field, "needs=")) {
+        auto vals = list(6);
+        node.needs.insert(node.needs.end(), vals.begin(), vals.end());
+      } else if (util::starts_with(field, "out=")) {
+        auto vals = list(4);
+        node.outs.insert(node.outs.end(), vals.begin(), vals.end());
+      } else if (util::starts_with(field, "stage=")) {
+        node.stage = field.substr(6);
+      } else {
+        fail("unknown node attribute '" + field + "'");
+      }
+    }
+    spec.nodes.push_back(std::move(node));
+  }
+  if (spec.nodes.empty())
+    throw util::ConfigError(origin + ": graph file declares no nodes");
+  return spec;
+}
+
+GraphSpec GraphSpec::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::ConfigError("--graph: cannot read " + path);
+  return parse(in, path);
+}
+
+// ---------------------------------------------------------------------------
+// GraphSource
+
+GraphSource::GraphSource(GraphSpec spec) : spec_(std::move(spec)) {
+  std::unordered_map<std::string, std::uint64_t> by_name;
+  std::unordered_map<std::string, std::uint64_t> by_out;
+  std::unordered_map<std::string, std::size_t> stage_ids;
+  for (std::size_t s = 0; s < spec_.stages.size(); ++s)
+    stage_ids[spec_.stages[s].name] = s + 1;
+
+  for (std::size_t i = 0; i < spec_.nodes.size(); ++i) {
+    const GraphNode& node = spec_.nodes[i];
+    std::uint64_t seq = i + 1;
+    if (!by_name.emplace(node.name, seq).second)
+      throw util::ConfigError("--graph: duplicate node '" + node.name + "'");
+    for (const std::string& out : node.outs)
+      if (!by_out.emplace(out, seq).second)
+        throw util::ConfigError("--graph: output '" + out +
+                                "' declared by more than one node");
+  }
+
+  node_stage_.resize(spec_.nodes.size(), 0);
+  stage_totals_.assign(spec_.stages.size() + 1, 0);
+  for (std::size_t i = 0; i < spec_.nodes.size(); ++i) {
+    const GraphNode& node = spec_.nodes[i];
+    if (!node.stage.empty()) {
+      auto it = stage_ids.find(node.stage);
+      if (it == stage_ids.end())
+        throw util::ConfigError("--graph: node '" + node.name +
+                                "' references undeclared stage '" +
+                                node.stage + "'");
+      node_stage_[i] = it->second;
+    } else if (!spec_.stages.empty()) {
+      throw util::ConfigError("--graph: node '" + node.name +
+                              "' has no stage= but stages are declared");
+    }
+    ++stage_totals_[node_stage_[i]];
+
+    std::vector<std::uint64_t> deps;
+    for (const std::string& pred : node.after) {
+      auto it = by_name.find(pred);
+      if (it == by_name.end())
+        throw util::ConfigError("--graph: node '" + node.name +
+                                "' is after unknown node '" + pred + "'");
+      deps.push_back(it->second);
+    }
+    // needs=FILE resolves to the node declaring out=FILE: an ordinary
+    // dependency edge, so failure propagation covers data edges too.
+    for (const std::string& need : node.needs) {
+      auto it = by_out.find(need);
+      if (it == by_out.end())
+        throw util::ConfigError("--graph: node '" + node.name + "' needs '" +
+                                need + "' but no node declares it as out=");
+      deps.push_back(it->second);
+    }
+    tracker_.add_node(i + 1, std::move(deps));
+  }
+  tracker_.seal();
+}
+
+std::optional<JobInput> GraphSource::next_gated(
+    const std::function<bool(std::size_t)>& allow) {
+  auto id = tracker_.pop_ready_if([&](std::uint64_t seq) {
+    return allow(node_stage_[static_cast<std::size_t>(seq - 1)]);
+  });
+  if (!id) return std::nullopt;
+  const GraphNode& node = spec_.nodes[static_cast<std::size_t>(*id - 1)];
+  JobInput job;
+  job.args = {node.name};
+  job.seq = *id;
+  job.stage = node_stage_[static_cast<std::size_t>(*id - 1)];
+  job.command = node.command;
+  return job;
+}
+
+void GraphSource::note_complete(std::uint64_t seq, bool ok) {
+  tracker_.complete(seq, ok);
+}
+
+DepSkippedJob GraphSource::describe(std::uint64_t seq) const {
+  const GraphNode& node = spec_.nodes[static_cast<std::size_t>(seq - 1)];
+  DepSkippedJob skip;
+  skip.seq = seq;
+  skip.stage = node_stage_[static_cast<std::size_t>(seq - 1)];
+  skip.args = {node.name};
+  skip.command = node.command;
+  return skip;
+}
+
+std::vector<DepSkippedJob> GraphSource::take_dep_skips() {
+  std::vector<DepSkippedJob> out;
+  for (std::uint64_t seq : tracker_.take_skipped()) out.push_back(describe(seq));
+  return out;
+}
+
+std::vector<DepSkippedJob> GraphSource::drain_unemitted() {
+  std::vector<DepSkippedJob> out;
+  for (std::uint64_t seq : tracker_.drain_unemitted())
+    out.push_back(describe(seq));
+  return out;
+}
+
+std::string GraphSource::stage_name(std::size_t stage) const {
+  if (stage == 0 || stage > spec_.stages.size()) return "";
+  return spec_.stages[stage - 1].name;
+}
+
+std::optional<std::size_t> GraphSource::stage_total(std::size_t stage) const {
+  if (stage >= stage_totals_.size()) return 0;
+  return stage_totals_[stage];  // the whole graph is declared: always exact
+}
+
+std::size_t GraphSource::stage_limit(std::size_t stage) const {
+  if (stage == 0 || stage > spec_.stages.size()) return 0;
+  return spec_.stages[stage - 1].jobs;
+}
+
+// ---------------------------------------------------------------------------
+// StageChainSource
+
+StageChainSource::StageChainSource(JobSource& upstream,
+                                   std::vector<StageSpec> stages)
+    : upstream_(upstream), stages_(std::move(stages)) {
+  if (stages_.size() < 2)
+    throw util::ConfigError("stage chain needs at least two stages");
+  if (stages_[0].barrier)
+    throw util::InternalError("stage 1 cannot be a barrier stage");
+  for (auto& stage : stages_) {
+    if (util::trim(stage.command).empty())
+      throw util::ConfigError("stage chain: empty stage command");
+    // Parallel's grammar: a stage command with no replacement string gets
+    // the input value appended ("--then wc" runs "wc {}").
+    CommandTemplate tmpl = CommandTemplate::parse(stage.command);
+    tmpl.ensure_input_placeholder();
+    stage.command = tmpl.source();
+  }
+  resolved_.assign(stages_.size() + 1, 0);
+  tracker_.seal();  // empty graph; items declare their chains incrementally
+}
+
+StageChainSource::StageChainSource(std::unique_ptr<JobSource> upstream,
+                                   std::vector<StageSpec> stages)
+    : StageChainSource((util::require(upstream != nullptr,
+                                      "stage chain needs an upstream"),
+                        *upstream),
+                       std::move(stages)) {
+  owned_upstream_ = std::move(upstream);
+}
+
+bool StageChainSource::pull_item() {
+  if (head_exhausted_) return false;
+  auto input = upstream_.next();
+  if (!input) {
+    head_exhausted_ = true;
+    // The last stage-s drain may already be complete (e.g. nothing ever
+    // failed and stage s was fast); barrier tokens waiting only on the
+    // head count can fire now.
+    for (std::size_t s = 1; s < stages_.size(); ++s)
+      if (resolved_[s] == items_) tracker_.satisfy(barrier_token(s + 1));
+    return false;
+  }
+  ++items_;
+  const std::size_t S = stages_.size();
+  std::uint64_t base = (items_ - 1) * S;
+  item_args_[items_] = input->args;
+  item_live_[items_] = S;
+  for (std::size_t s = 1; s <= S; ++s) {
+    std::vector<std::uint64_t> deps;
+    std::vector<std::string> tokens;
+    if (s > 1) deps.push_back(base + s - 1);
+    if (stages_[s - 1].barrier) tokens.push_back(barrier_token(s));
+    tracker_.add_node(base + s, std::move(deps), std::move(tokens));
+  }
+  return true;
+}
+
+JobInput StageChainSource::emit(std::uint64_t seq) {
+  JobInput job;
+  job.args = item_args_.at(item_of(seq));
+  job.seq = seq;
+  job.stage = stage_of(seq);
+  job.command = stages_[job.stage - 1].command;
+  return job;
+}
+
+std::optional<JobInput> StageChainSource::next_gated(
+    const std::function<bool(std::size_t)>& allow) {
+  for (;;) {
+    auto id = tracker_.pop_ready_if(
+        [&](std::uint64_t seq) { return allow(stage_of(seq)); });
+    if (id) return emit(*id);
+    // Nothing ready: try materializing the next input item, whose stage-1
+    // job is ready by construction — but only if stage 1 has capacity,
+    // otherwise we'd buffer items faster than they can start.
+    if (!allow(1)) return std::nullopt;
+    bool was_exhausted = head_exhausted_;
+    if (!pull_item()) {
+      // Discovering head exhaustion can lift barriers; give the pop one
+      // more pass over the nodes that just became ready. (At most one
+      // extra iteration: the transition fires once.)
+      if (!was_exhausted && tracker_.has_ready()) continue;
+      return std::nullopt;
+    }
+  }
+}
+
+void StageChainSource::note_resolved(std::uint64_t seq) {
+  std::size_t s = stage_of(seq);
+  ++resolved_[s];
+  // A barrier on stage s+1 lifts when stage s is fully drained: every item
+  // known AND each one's stage-s job completed or was skipped.
+  if (head_exhausted_ && s + 1 <= stages_.size() && resolved_[s] == items_)
+    tracker_.satisfy(barrier_token(s + 1));
+  std::uint64_t item = item_of(seq);
+  auto live = item_live_.find(item);
+  if (live != item_live_.end() && --live->second == 0) {
+    item_live_.erase(live);
+    item_args_.erase(item);  // chain fully resolved; drop the buffered args
+  }
+}
+
+void StageChainSource::note_complete(std::uint64_t seq, bool ok) {
+  tracker_.complete(seq, ok);
+  note_resolved(seq);
+}
+
+DepSkippedJob StageChainSource::describe(std::uint64_t seq) const {
+  DepSkippedJob skip;
+  skip.seq = seq;
+  skip.stage = stage_of(seq);
+  auto it = item_args_.find(item_of(seq));
+  if (it != item_args_.end()) skip.args = it->second;
+  skip.command = stages_[skip.stage - 1].command;
+  return skip;
+}
+
+std::vector<DepSkippedJob> StageChainSource::take_dep_skips() {
+  std::vector<DepSkippedJob> out;
+  for (std::uint64_t seq : tracker_.take_skipped()) {
+    out.push_back(describe(seq));
+    note_resolved(seq);
+  }
+  return out;
+}
+
+std::vector<DepSkippedJob> StageChainSource::drain_unemitted() {
+  std::vector<DepSkippedJob> out;
+  for (std::uint64_t seq : tracker_.drain_unemitted()) {
+    out.push_back(describe(seq));
+    note_resolved(seq);
+  }
+  return out;
+}
+
+bool StageChainSource::blocked() const {
+  return !head_exhausted_ || tracker_.blocked();
+}
+
+std::string StageChainSource::stage_name(std::size_t stage) const {
+  if (stage == 0 || stage > stages_.size()) return "";
+  if (!stages_[stage - 1].name.empty()) return stages_[stage - 1].name;
+  return "stage " + std::to_string(stage);
+}
+
+std::optional<std::size_t> StageChainSource::stage_total(
+    std::size_t stage) const {
+  (void)stage;
+  if (!head_exhausted_) return std::nullopt;  // still streaming: N/?
+  return static_cast<std::size_t>(items_);
+}
+
+std::size_t StageChainSource::stage_limit(std::size_t stage) const {
+  if (stage == 0 || stage > stages_.size()) return 0;
+  return stages_[stage - 1].jobs;
+}
+
+}  // namespace parcl::core

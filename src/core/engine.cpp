@@ -4,6 +4,7 @@
 #include <deque>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -13,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/dag_source.hpp"
 #include "core/joblog.hpp"
 #include "core/output.hpp"
 #include "core/retry_ledger.hpp"
@@ -49,6 +51,14 @@ RunSummary Engine::run_source(const std::string& command_template, JobSource& so
 RunSummary Engine::run_source(const CommandTemplate& command, JobSource& source) {
   CommandTemplate tmpl = command;
   tmpl.ensure_input_placeholder();
+
+  // Dependency sources bypass the decorator stack: their jobs carry
+  // per-job commands and source-assigned seqs that trim/colsep/packing
+  // would destroy (and a wrapped DagSource would lose its completion
+  // back-channel). The CLI rejects those flag combinations up front.
+  if (dynamic_cast<DagSource*>(&source) != nullptr) {
+    return execute(tmpl, source);
+  }
 
   // Input decorators compose as streaming stages in the fixed order the
   // materializing path always applied: --trim, then --colsep, then -n/-X
@@ -114,10 +124,27 @@ RunSummary Engine::run_raw(const CommandTemplate& command, std::size_t count) {
 }
 
 RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
+  // Dependency-aware sources gate their own next(): jobs materialize as
+  // predecessors complete, and the engine feeds completion events back.
+  DagSource* dag = dynamic_cast<DagSource*>(&source);
+  if (dag != nullptr) {
+    if (options_.shuffle) {
+      throw util::ConfigError("--shuf cannot reorder a dependency graph");
+    }
+    if (options_.halt.percent > 0.0) {
+      throw util::ConfigError(
+          "percent --halt needs the whole job list up front, which a "
+          "dependency graph never materializes");
+    }
+  }
+
   // Sharded fast path: when the option set permits it and the backend can
   // shard, hand the run to the multi-threaded dispatch core. Any shard the
-  // backend refuses routes the whole run back to this serial loop.
-  if (std::size_t n = sharded_shard_count(); n >= 2) {
+  // backend refuses routes the whole run back to this serial loop. DAG
+  // runs always take the serial loop: the ready-queue is fed by completion
+  // events, which the per-shard dispatchers do not exchange (the same
+  // fallback shape elastic backends use).
+  if (std::size_t n = dag == nullptr ? sharded_shard_count() : 1; n >= 2) {
     std::vector<std::unique_ptr<Executor>> shards;
     shards.reserve(n);
     bool sharded = true;
@@ -160,6 +187,17 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
       // No joblog yet: nothing to skip.
     }
   }
+  // DAG resume additionally needs each logged seq's outcome: a completed
+  // predecessor in the joblog is replayed as a completion event, so its
+  // successors count it as satisfied (ok) or re-propagate its failure
+  // (not ok) without re-running it.
+  std::map<std::uint64_t, bool> resume_status;
+  if (dag != nullptr && !skip.empty()) {
+    try {
+      resume_status = read_resume_status(options_.joblog_path);
+    } catch (const util::SystemError&) {
+    }
+  }
   std::unique_ptr<JoblogWriter> joblog;
   if (!options_.joblog_path.empty()) {
     joblog = std::make_unique<JoblogWriter>(options_.joblog_path, options_.joblog_fsync,
@@ -181,11 +219,36 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   }
   OutputCollator collator(options_.output_mode, std::move(tag_fn), out_, err_);
 
+  // Per-job command overrides (--graph node commands, --then stage
+  // commands) parse once into this cache — O(stages + graph nodes)
+  // distinct templates, looked up by source text on every start.
+  std::unordered_map<std::string, CommandTemplate> override_templates;
+  auto template_for = [&](const std::string& text) -> const CommandTemplate& {
+    if (text.empty()) return tmpl;
+    auto it = override_templates.find(text);
+    if (it == override_templates.end()) {
+      it = override_templates.emplace(text, CommandTemplate::parse(text)).first;
+    }
+    return it->second;
+  };
+
   // ---- Streaming pull machinery -------------------------------------------
   // Seqs are assigned in pull order (1-based), so a streamed source and its
   // materialized equivalent number jobs — and order -k output — identically.
+  // DAG sources instead declare their own seqs (dispatch follows readiness
+  // order, not declaration order); max_seq tracks the densely-numbered
+  // total either way.
   std::uint64_t next_seq = 1;
+  std::uint64_t max_seq = 0;
   bool exhausted = false;
+
+  // Per-stage completion tallies for multi-stage --progress (index = stage
+  // id; [0] is the flat/unstaged bucket).
+  std::vector<std::size_t> stage_done(
+      dag != nullptr ? dag->stage_count() + 1 : 1, 0);
+  auto note_stage_done = [&](std::size_t stage) {
+    if (stage < stage_done.size()) ++stage_done[stage];
+  };
 
   // `abandoned` marks queued work the run gave up on (the end-of-run drain
   // after a halt or starved stop), as opposed to --resume skips of jobs a
@@ -194,29 +257,89 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   auto note_skip = [&](PendingJob job, bool abandoned = false) {
     ++summary.skipped;
     if (abandoned && summary.starved) ++summary.starved_skipped;
+    note_stage_done(job.stage);
     collator.mark_absent(job.seq);
     if (collect) {
       if (summary.results.size() < job.seq) summary.results.resize(job.seq);
       JobResult& result = summary.results[job.seq - 1];
       result.seq = job.seq;
+      result.stage = job.stage;
       result.args = std::move(job.args);
       result.status = JobStatus::kSkipped;
     }
   };
 
+  // Per-stage dispatch gate; rebound to the scheduler's stage caps once it
+  // exists (the dry-run path, which has no scheduler, stays ungated).
+  std::function<bool(std::size_t)> stage_gate = [](std::size_t) {
+    return true;
+  };
+
   auto pull_raw = [&]() -> std::optional<PendingJob> {
     if (exhausted) return std::nullopt;
-    auto item = source.next();
+    std::optional<JobInput> item =
+        dag != nullptr ? dag->next_gated(stage_gate) : source.next();
     if (!item) {
-      exhausted = true;
+      // A DAG source is only dry when it says so: a nullopt can also mean
+      // "waiting on completions" or "every ready job's stage is at its
+      // cap", and both resolve without new input.
+      if (dag == nullptr || dag->exhausted()) exhausted = true;
       return std::nullopt;
     }
     PendingJob job;
-    job.seq = next_seq++;
+    job.seq = item->seq != 0 ? item->seq : next_seq++;
+    max_seq = std::max(max_seq, job.seq);
     job.args = std::move(item->args);
     job.stdin_data = std::move(item->stdin_data);
     job.has_stdin = item->has_stdin;
+    job.stage = item->stage;
+    job.command = std::move(item->command);
     return job;
+  };
+
+  // A dependency-skipped job gets a real joblog row (Seq/Host filled,
+  // Exitval = kDepSkippedExitval) so --resume never re-runs it, and honest
+  // RunSummary accounting (dep_skipped bills exit_status). A seq the
+  // resume skip set already holds keeps its existing row and is accounted
+  // as a plain resume skip instead — not billed twice across restarts.
+  auto record_dep_skip = [&](DepSkippedJob skipped) {
+    max_seq = std::max(max_seq, skipped.seq);
+    ++summary.skipped;
+    ++summary.dep_skipped;
+    note_stage_done(skipped.stage);
+    collator.mark_absent(skipped.seq);
+    JobResult result;
+    result.seq = skipped.seq;
+    result.stage = skipped.stage;
+    result.args = std::move(skipped.args);
+    result.status = JobStatus::kDepSkipped;
+    result.exit_code = kDepSkippedExitval;
+    CommandTemplate::Context context{result.seq, 0};
+    result.command = template_for(skipped.command)
+                         .expand(result.args, context, options_.quote_args);
+    if (joblog && !options_.dry_run) {
+      joblog->record(result, options_.host_label);
+    }
+    if (on_result_) on_result_(result);
+    if (collect) {
+      if (summary.results.size() < result.seq) summary.results.resize(result.seq);
+      summary.results[result.seq - 1] = std::move(result);
+    }
+  };
+
+  auto drain_dep_skips = [&] {
+    if (dag == nullptr) return;
+    for (DepSkippedJob& skipped : dag->take_dep_skips()) {
+      if (!skip.empty() && skip.count(skipped.seq) != 0) {
+        PendingJob job;
+        job.seq = skipped.seq;
+        job.stage = skipped.stage;
+        job.args = std::move(skipped.args);
+        note_skip(std::move(job));
+      } else {
+        record_dep_skip(std::move(skipped));
+      }
+    }
   };
 
   // --shuf must see the whole job list to permute it, and a percent --halt
@@ -253,7 +376,18 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     }
     while (auto job = pull_raw()) {
       if (!skip.empty() && skip.count(job->seq) != 0) {
+        std::uint64_t seq = job->seq;
         note_skip(std::move(*job));
+        if (dag != nullptr) {
+          // Replay the logged outcome as a completion event: a completed
+          // predecessor in the joblog is satisfied on restart; a failed one
+          // re-propagates its skip (the descendants' rows already exist, so
+          // drain_dep_skips re-accounts without re-logging them).
+          auto logged = resume_status.find(seq);
+          dag->note_complete(seq,
+                             logged != resume_status.end() && logged->second);
+          drain_dep_skips();
+        }
         continue;
       }
       return job;
@@ -261,28 +395,46 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     return std::nullopt;
   };
 
-  // --dry-run: compose and print, never execute.
+  // --dry-run: compose and print, never execute. A DAG dry run assumes
+  // every job succeeds, so it prints one valid topological schedule.
   if (options_.dry_run) {
     while (auto job = pull_runnable()) {
       CommandTemplate::Context context{job->seq, 1};
-      std::string cmd = tmpl.expand(job->args, context, options_.quote_args);
+      std::string cmd =
+          template_for(job->command).expand(job->args, context, options_.quote_args);
       out_ << cmd << '\n';
       ++summary.succeeded;
       if (collect) {
         if (summary.results.size() < job->seq) summary.results.resize(job->seq);
         JobResult& result = summary.results[job->seq - 1];
         result.seq = job->seq;
+        result.stage = job->stage;
         result.args = std::move(job->args);
         result.status = JobStatus::kSuccess;
         result.command = std::move(cmd);
       }
+      if (dag != nullptr) {
+        dag->note_complete(job->seq, /*ok=*/true);
+        drain_dep_skips();
+      }
     }
-    summary.total = next_seq - 1;
+    summary.total = dag != nullptr ? max_seq : next_seq - 1;
     if (collect) summary.results.resize(summary.total);
     return summary;
   }
 
   Scheduler scheduler(options_, executor_);
+  if (dag != nullptr) {
+    // Per-stage concurrency caps gate both the scheduler's starts and the
+    // source's pulls (a stage at its cap must not head-of-line block the
+    // ready queue).
+    for (std::size_t s = 1; s <= dag->stage_count(); ++s) {
+      scheduler.set_stage_limit(s, dag->stage_limit(s));
+    }
+    stage_gate = [&scheduler](std::size_t stage) {
+      return scheduler.stage_allows(stage);
+    };
+  }
   RetryLedger ledger(options_, executor_);
   std::unordered_map<std::uint64_t, ActiveAttempt> active;  // job_id -> attempt
   active.reserve(options_.effective_jobs() * 2);
@@ -296,7 +448,8 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     return lookahead.has_value();
   };
   auto queued_work = [&] {
-    return ledger.ready() || ledger.has_delayed() || have_fresh();
+    return ledger.ready() || ledger.has_delayed() || have_fresh() ||
+           (dag != nullptr && !dag->exhausted());
   };
 
   // Bounded -k out-of-order window: once the collator holds `window`
@@ -304,8 +457,13 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   // seq was pulled before every held one (pull order == seq order when not
   // shuffled), so it is active, retrying, or backoff-parked — all paths
   // that progress without new dispatch, which is why gating cannot wedge.
+  // DAG runs leave the window unbounded: seqs follow declaration order, not
+  // pull order, so the gap seq may be a job that still needs fresh dispatch
+  // — gating fresh starts on held output could then wedge. In-flight work
+  // stays bounded by slots and stage caps regardless.
   const std::size_t window =
-      (options_.output_mode == OutputMode::kKeepOrder && !options_.shuffle)
+      (dag == nullptr && options_.output_mode == OutputMode::kKeepOrder &&
+       !options_.shuffle)
           ? (options_.keep_order_window != 0
                  ? options_.keep_order_window
                  : std::max<std::size_t>(256, 8 * options_.effective_jobs()))
@@ -395,6 +553,26 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
 
   auto print_progress = [&] {
     if (!options_.progress) return;
+    if (dag != nullptr && dag->stage_count() > 0) {
+      // One counter per stage, each making its own `N/?` -> exact-total
+      // transition: a stage's denominator firms up as soon as the source
+      // can bound it (graph files immediately, streamed chains once the
+      // head runs dry) instead of one global count that jumps when a
+      // downstream stage materializes.
+      err_ << "\rparcl:";
+      for (std::size_t s = 1; s <= dag->stage_count(); ++s) {
+        if (s != 1) err_ << " |";
+        err_ << ' ' << dag->stage_name(s) << ' ' << stage_done[s] << '/';
+        if (auto total = dag->stage_total(s)) {
+          err_ << *total;
+        } else {
+          err_ << '?';
+        }
+      }
+      err_ << ", " << summary.failed << " failed, " << active.size()
+           << " running " << std::flush;
+      return;
+    }
     // The denominator is unknowable until the source runs dry: show "?"
     // while streaming, the real total (and an ETA) once exhausted.
     err_ << "\rparcl: " << done << "/";
@@ -438,6 +616,9 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
 
   auto record_final = [&](JobResult result) {
     ++done;
+    note_stage_done(result.stage);
+    const std::uint64_t final_seq = result.seq;
+    const bool final_ok = result.status == JobStatus::kSuccess;
     switch (result.status) {
       case JobStatus::kSuccess: ++summary.succeeded; break;
       case JobStatus::kKilled: ++summary.killed; break;
@@ -471,6 +652,14 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
       if (summary.results.size() < result.seq) summary.results.resize(result.seq);
       summary.results[result.seq - 1] = std::move(result);
     }
+    if (dag != nullptr) {
+      // This is the job's FINAL outcome — retries were exhausted upstream
+      // of record_final and hedge losers never reach it — so this is the
+      // one place completion events feed the ready queue. Descendants of a
+      // failure drain into dep-skip accounting immediately.
+      dag->note_complete(final_seq, final_ok);
+      drain_dep_skips();
+    }
   };
 
   // Halt trigger, shared by the completion path and the spawn-failure path
@@ -492,6 +681,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
 
   auto start_one = [&](PendingJob job) {
     std::size_t slot = scheduler.acquire_slot();
+    scheduler.note_stage_start(job.stage);
     CommandTemplate::Context context{job.seq, slot};
     ActiveAttempt attempt;
     attempt.seq = job.seq;
@@ -500,8 +690,11 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     attempt.has_stdin = job.has_stdin;
     attempt.slot = slot;
     attempt.attempts = job.attempts + 1;
+    attempt.stage = job.stage;
+    attempt.command_tmpl = std::move(job.command);
     attempt.reschedules = job.reschedules;
-    attempt.command = tmpl.expand(attempt.args, context, options_.quote_args);
+    attempt.command = template_for(attempt.command_tmpl)
+                          .expand(attempt.args, context, options_.quote_args);
 
     ExecRequest request;
     request.job_id = next_job_id++;
@@ -537,6 +730,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
       ActiveAttempt failed = std::move(active.at(request.job_id));
       active.erase(request.job_id);
       scheduler.release_slot(failed.slot);
+      scheduler.note_stage_end(failed.stage);
       if (ledger.retryable(failed.attempts) && !scheduler.stopped()) {
         PendingJob retry;
         retry.seq = failed.seq;
@@ -544,12 +738,15 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
         retry.stdin_data = std::move(failed.stdin_data);
         retry.has_stdin = failed.has_stdin;
         retry.attempts = failed.attempts;
+        retry.stage = failed.stage;
+        retry.command = std::move(failed.command_tmpl);
         retry.reschedules = failed.reschedules;
         ledger.park(std::move(retry), /*front=*/false);
         return;
       }
       JobResult result;
       result.seq = failed.seq;
+      result.stage = failed.stage;
       result.args = failed.args;
       result.slot = failed.slot;
       result.command = failed.command;
@@ -574,6 +771,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     ActiveAttempt& primary = pit->second;
     std::optional<std::size_t> slot = scheduler.acquire_slot_distinct(primary.slot);
     if (!slot) return false;
+    scheduler.note_stage_start(primary.stage);
 
     CommandTemplate::Context context{primary.seq, *slot};
     ActiveAttempt hedge;
@@ -583,10 +781,13 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     hedge.has_stdin = primary.has_stdin;
     hedge.slot = *slot;
     hedge.attempts = primary.attempts;
+    hedge.stage = primary.stage;
+    hedge.command_tmpl = primary.command_tmpl;
     hedge.reschedules = primary.reschedules;
     hedge.is_hedge = true;
     hedge.hedge_partner = primary_id;
-    hedge.command = tmpl.expand(hedge.args, context, options_.quote_args);
+    hedge.command = template_for(hedge.command_tmpl)
+                        .expand(hedge.args, context, options_.quote_args);
 
     ExecRequest request;
     request.job_id = next_job_id++;
@@ -623,6 +824,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
                    << error.what();
       active.erase(request.job_id);
       scheduler.release_slot(*slot);
+      scheduler.note_stage_end(primary.stage);
       active.at(primary_id).hedge_partner = 0;
       return false;
     }
@@ -746,20 +948,32 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
         ++summary.dispatch.deferred;  // one deferral per blocked fill round
         break;
       }
-      if (ledger.ready()) {
+      if (ledger.ready() && scheduler.stage_allows(ledger.peek_ready().stage)) {
         start_one(ledger.pop_ready());
-      } else if (window_open() && have_fresh()) {
+      } else if (window_open() && have_fresh() &&
+                 scheduler.stage_allows(lookahead->stage)) {
         start_one(std::move(*lookahead));
         lookahead.reset();
       } else {
-        // Only backoff'd retries remain, or the -k window is full; phase 2
-        // waits out the release / the gap seq's completion.
+        // Only backoff'd retries remain, the -k window is full, or every
+        // startable job's stage is at its cap; phase 2 waits out the
+        // release / the gap seq's completion / a capped stage draining.
         break;
       }
     }
 
     if (active.empty()) {
       if (scheduler.stopped() || !queued_work()) break;  // drained
+      if (dag != nullptr && ledger.idle() && !have_fresh()) {
+        // queued_work() is true only because the DAG is not exhausted, yet
+        // nothing is running, parked, or ready — the completions the
+        // remaining nodes wait on can never arrive. A well-formed tracker
+        // cannot reach this state; bail out honestly (the unemitted tail
+        // drains into skip accounting below) instead of spinning.
+        PARCL_WARN() << "dependency graph wedged with nothing in flight; "
+                        "abandoning remaining jobs";
+        break;
+      }
       // Only --delay, backoff, or a --min-hosts park can leave us idle
       // here; wait in phase 2 (the park caps its wait so the executor
       // keeps pumping the sshlogin-file watcher).
@@ -876,6 +1090,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     ActiveAttempt attempt = std::move(it->second);
     active.erase(it);
     scheduler.release_slot(attempt.slot);
+    scheduler.note_stage_end(attempt.stage);
 
     JobStatus status;
     if (attempt.killed_for_halt) {
@@ -950,6 +1165,8 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
         job.stdin_data = std::move(attempt.stdin_data);
         job.has_stdin = attempt.has_stdin;
         job.attempts = attempt.attempts - 1;  // the attempt never counted
+        job.stage = attempt.stage;
+        job.command = std::move(attempt.command_tmpl);
         job.reschedules = attempt.reschedules;
         ledger.reschedule(std::move(job));
         ++summary.dispatch.rescheduled;
@@ -969,6 +1186,8 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
       retry.stdin_data = std::move(attempt.stdin_data);
       retry.has_stdin = attempt.has_stdin;
       retry.attempts = attempt.attempts;
+      retry.stage = attempt.stage;
+      retry.command = std::move(attempt.command_tmpl);
       retry.reschedules = attempt.reschedules;
       ledger.park(std::move(retry), /*front=*/true);
       continue;
@@ -976,6 +1195,7 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
 
     JobResult result;
     result.seq = attempt.seq;
+    result.stage = attempt.stage;
     result.args = std::move(attempt.args);
     result.slot = attempt.slot;
     result.status = status;
@@ -1006,6 +1226,20 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
   // pull_runnable() notes --resume skips internally (not abandoned); only
   // the jobs it would have run count as given-up work.
   while (auto job = pull_runnable()) note_skip(std::move(*job), /*abandoned=*/true);
+  if (dag != nullptr) {
+    // Failure propagation triggered by the tail above, plus nodes never
+    // emitted at all (their predecessors were abandoned mid-graph): both
+    // must surface in skip accounting, not silently vanish.
+    drain_dep_skips();
+    for (DepSkippedJob& never_ran : dag->drain_unemitted()) {
+      max_seq = std::max(max_seq, never_ran.seq);
+      PendingJob job;
+      job.seq = never_ran.seq;
+      job.stage = never_ran.stage;
+      job.args = std::move(never_ran.args);
+      note_skip(std::move(job), /*abandoned=*/true);
+    }
+  }
 
   collator.finish();
   if (options_.progress) {
@@ -1018,7 +1252,9 @@ RunSummary Engine::execute(const CommandTemplate& tmpl, JobSource& source) {
     summary.dispatch.joblog_flushes = joblog->flushes();
   }
   if (last_end > first_start) summary.makespan = last_end - first_start;
-  summary.total = next_seq - 1;
+  // DAG sources number jobs themselves (densely, by declaration order), so
+  // the highest seq seen — pulled, dep-skipped, or drained — is the total.
+  summary.total = dag != nullptr ? max_seq : next_seq - 1;
   if (collect) summary.results.resize(summary.total);
   return summary;
 }

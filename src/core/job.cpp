@@ -12,6 +12,7 @@ const char* to_string(JobStatus status) noexcept {
     case JobStatus::kTimedOut: return "timed-out";
     case JobStatus::kKilled: return "killed";
     case JobStatus::kSkipped: return "skipped";
+    case JobStatus::kDepSkipped: return "dep-skipped";
   }
   return "?";
 }
@@ -29,7 +30,9 @@ int RunSummary::exit_status() const noexcept {
   // that must surface in the exit status like any other unfinished work.
   // Only the abandoned tail, though — `skipped` also counts --resume skips
   // (jobs a prior run already completed), which are not failures.
-  std::size_t bad = failed + killed + starved_skipped;
+  // Dependency-skipped jobs bill too: their predecessor's failure left
+  // downstream work undone.
+  std::size_t bad = failed + killed + starved_skipped + dep_skipped;
   if (bad == 0) return 0;
   return static_cast<int>(std::min<std::size_t>(bad, 101));
 }

@@ -24,6 +24,7 @@ enum class JobStatus {
   kTimedOut,  // killed by the engine's --timeout
   kKilled,    // killed by a --halt now policy
   kSkipped,   // never started (halt soon, or --resume)
+  kDepSkipped,  // never started: a DAG predecessor failed and exhausted retries
 };
 
 const char* to_string(JobStatus status) noexcept;
@@ -32,6 +33,8 @@ const char* to_string(JobStatus status) noexcept;
 struct JobResult {
   std::uint64_t seq = 0;
   std::size_t slot = 0;                  // 1-based slot that ran it
+  /// DAG stage id (1-based; 0 = flat stream or unstaged graph node).
+  std::size_t stage = 0;
   std::vector<std::string> args;         // the job's input argument values
   JobStatus status = JobStatus::kSkipped;
   int exit_code = 0;
@@ -114,6 +117,11 @@ struct RunSummary {
   /// grace expiry). Kept apart from --resume/--halt skips: a resumed run
   /// that starves must not re-bill jobs a prior run already completed.
   std::size_t starved_skipped = 0;
+  /// The subset of `skipped` cancelled by dependency-failure propagation
+  /// (a --graph/stage-chain predecessor failed and exhausted its retries).
+  /// Distinct from `failed` — these jobs never ran — but they still count
+  /// against exit_status(): unfinished downstream work is not success.
+  std::size_t dep_skipped = 0;
   bool halted = false;
   /// The --min-hosts grace expired and the run gave up on queued work; the
   /// abandoned tail is in `starved_skipped` and counts against

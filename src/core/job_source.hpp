@@ -37,10 +37,25 @@ struct JobInput {
   ArgVector args;          // input arguments ({}, {n})
   std::string stdin_data;  // --pipe block
   bool has_stdin = false;
+  /// Source-assigned seq. 0 (the default) means "engine assigns the next
+  /// seq in pull order" — the flat-stream behavior. DAG sources emit jobs
+  /// out of declaration order (whichever became ready first), so they
+  /// declare each job's stable seq themselves; `-k` collation, the joblog,
+  /// and --resume then key on declaration order, not completion order.
+  std::uint64_t seq = 0;
+  /// 1-based stage id for multi-stage sources (0 = flat stream). Drives
+  /// per-stage --progress rendering and per-stage concurrency caps.
+  std::size_t stage = 0;
+  /// Per-job command template overriding the engine's base template
+  /// ("" = use the base). Lets one run mix stage commands (--then) or
+  /// per-node commands (--graph) without one engine run per stage.
+  std::string command;
 };
 
 /// A pull-based stream of jobs. next() returns the next job or nullopt when
-/// the stream is exhausted (further calls keep returning nullopt).
+/// the stream is exhausted (further calls keep returning nullopt) — except
+/// for DagSource streams, where nullopt may also mean "blocked until a
+/// completion event"; the engine distinguishes via DagSource::blocked().
 class JobSource {
  public:
   virtual ~JobSource() = default;

@@ -194,8 +194,8 @@ std::set<std::uint64_t> resume_skip_set(const std::vector<JoblogEntry>& entries,
   return skip;
 }
 
-std::set<std::uint64_t> read_resume_skip_set(const std::string& path, bool rerun_failed,
-                                             JoblogReadStats* stats) {
+std::map<std::uint64_t, bool> read_resume_status(const std::string& path,
+                                                 JoblogReadStats* stats) {
   std::ifstream in(path);
   if (!in) throw util::SystemError("open joblog '" + path + "'", errno);
   // Only seq/exitval/signal matter here; parse those and drop the line,
@@ -221,8 +221,13 @@ std::set<std::uint64_t> read_resume_skip_set(const std::string& path, bool rerun
     int signal = static_cast<int>(util::parse_long(fields[7]));
     latest_ok[seq] = (exit_value == 0 && signal == 0);
   }
+  return latest_ok;
+}
+
+std::set<std::uint64_t> read_resume_skip_set(const std::string& path, bool rerun_failed,
+                                             JoblogReadStats* stats) {
   std::set<std::uint64_t> skip;
-  for (const auto& [seq, ok] : latest_ok) {
+  for (const auto& [seq, ok] : read_resume_status(path, stats)) {
     if (!rerun_failed || ok) skip.insert(seq);
   }
   return skip;

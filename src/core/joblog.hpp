@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -104,5 +105,19 @@ std::set<std::uint64_t> resume_skip_set(const std::vector<JoblogEntry>& entries,
 /// and counted, SystemError when the file cannot be opened.
 std::set<std::uint64_t> read_resume_skip_set(const std::string& path, bool rerun_failed,
                                              JoblogReadStats* stats = nullptr);
+
+/// The per-seq Exitval marker the joblog uses for a dependency-skipped job
+/// (its predecessor failed and exhausted retries; the job never started).
+/// Distinct from every real exit code (0..255), so --resume skips such rows
+/// like any other logged seq while --resume-failed re-runs them together
+/// with their repaired predecessor.
+inline constexpr int kDepSkippedExitval = -1;
+
+/// Streaming per-seq outcome map: seq -> latest row succeeded (exitval 0,
+/// signal 0). The DAG resume path replays these as completion events so a
+/// predecessor already in the joblog counts as satisfied (or re-propagates
+/// its failure) without re-running it. Same tolerance as the skip-set read.
+std::map<std::uint64_t, bool> read_resume_status(const std::string& path,
+                                                 JoblogReadStats* stats = nullptr);
 
 }  // namespace parcl::core

@@ -127,7 +127,8 @@ int main(int argc, char** argv) {
       config.heartbeat_interval = plan.options.heartbeat_interval_seconds;
       return exec::worker_agent_main(config);
     }
-    if (plan.command_template.empty() && !plan.read_stdin) {
+    if (plan.command_template.empty() && !plan.read_stdin &&
+        plan.graph_file.empty()) {
       std::cerr << "parcl: no command given (try --help)\n";
       return 255;
     }

@@ -27,6 +27,8 @@ struct PendingJob {
   std::string stdin_data;    // --pipe block
   bool has_stdin = false;
   std::size_t attempts = 0;  // completed attempts (0 for fresh jobs)
+  std::size_t stage = 0;     // DAG stage id (0 = flat stream / unstaged)
+  std::string command;       // per-job command template ("" = engine's base)
   double not_before = 0.0;   // --retry-delay backoff gate (executor clock)
   /// Host-failure requeues so far. Unlike `attempts`, these never count
   /// against --retries: losing a node is not the job's fault.
@@ -64,6 +66,11 @@ class RetryLedger {
   bool idle() const noexcept { return retries_.empty() && delayed_.empty(); }
 
   PendingJob pop_ready();
+
+  /// Front of the ready deque without popping (only valid when ready()).
+  /// The engine peeks to honour per-stage caps: a retry whose stage is at
+  /// its limit stays parked while fresh work from other stages proceeds.
+  const PendingJob& peek_ready() const { return retries_.front(); }
 
   /// Earliest backoff release instant; only meaningful when has_delayed().
   double next_release() const { return delayed_.top().not_before; }

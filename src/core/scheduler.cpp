@@ -88,6 +88,36 @@ bool Scheduler::pressure_allows_start() {
   return !blocked;
 }
 
+void Scheduler::set_stage_limit(std::size_t stage, std::size_t cap) {
+  if (stage == 0 || cap == 0) return;  // stage 0 / cap 0: never gated
+  stages_by_id_[stage].cap = cap;
+}
+
+bool Scheduler::stage_allows(std::size_t stage) const noexcept {
+  auto it = stages_by_id_.find(stage);
+  if (it == stages_by_id_.end() || it->second.cap == 0) return true;
+  return it->second.in_flight < it->second.cap;
+}
+
+void Scheduler::note_stage_start(std::size_t stage) {
+  if (stage == 0) return;
+  ++stages_by_id_[stage].in_flight;
+}
+
+void Scheduler::note_stage_end(std::size_t stage) {
+  if (stage == 0) return;
+  auto it = stages_by_id_.find(stage);
+  if (it == stages_by_id_.end() || it->second.in_flight == 0) {
+    throw util::InternalError("stage gate underflow");
+  }
+  --it->second.in_flight;
+}
+
+std::size_t Scheduler::stage_in_flight(std::size_t stage) const noexcept {
+  auto it = stages_by_id_.find(stage);
+  return it == stages_by_id_.end() ? 0 : it->second.in_flight;
+}
+
 Scheduler::HaltAction Scheduler::evaluate_halt(std::size_t failed, std::size_t succeeded,
                                                std::size_t done,
                                                std::size_t total_jobs) {

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <optional>
 #include <string>
 
@@ -25,6 +26,10 @@ struct ActiveAttempt {
   bool has_stdin = false;
   std::size_t slot = 0;
   std::size_t attempts = 0;  // attempts including this one
+  std::size_t stage = 0;     // DAG stage id (0 = flat stream / unstaged)
+  /// Per-job command template override ("" = the engine's base template);
+  /// preserved so a retry or host-failure requeue re-expands the right one.
+  std::string command_tmpl;
   std::string command;
   double start_time = 0.0;  // dispatch instant (for adaptive timeouts)
   double deadline = 0.0;    // 0 = no timeout
@@ -94,7 +99,22 @@ class Scheduler {
   HaltAction evaluate_halt(std::size_t failed, std::size_t succeeded, std::size_t done,
                            std::size_t total_jobs);
 
+  // Per-stage concurrency caps (DAG mode: a `stage NAME jobs=N` directive
+  // or --stage-jobs). Stage 0 — flat streams, unstaged graph nodes — is
+  // never capped. The gate composes with slots: a start must clear both.
+  void set_stage_limit(std::size_t stage, std::size_t cap);
+  /// True when `stage` may start one more job (uncapped or below its cap).
+  bool stage_allows(std::size_t stage) const noexcept;
+  void note_stage_start(std::size_t stage);
+  void note_stage_end(std::size_t stage);
+  /// In-flight attempts the engine has started in `stage`.
+  std::size_t stage_in_flight(std::size_t stage) const noexcept;
+
  private:
+  struct StageGate {
+    std::size_t cap = 0;  // 0 = unlimited
+    std::size_t in_flight = 0;
+  };
   const Options& options_;
   Executor& executor_;
   SlotPool slots_;
@@ -103,6 +123,7 @@ class Scheduler {
   bool pressure_gated_;
   double pressure_checked_at_ = -1.0;
   bool pressure_blocked_ = false;
+  std::map<std::size_t, StageGate> stages_by_id_;
 };
 
 }  // namespace parcl::core

@@ -1,6 +1,7 @@
 #include "storage/pipeline.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "util/error.hpp"
 
@@ -16,73 +17,167 @@ PipelineRunner::PipelineRunner(sim::Simulation& sim, SimFilesystem& lustre,
   if (config_.process_from_lustre <= 0.0 || config_.process_from_nvme <= 0.0) {
     throw util::ConfigError("processing times must be positive");
   }
+  std::set<std::string> names;
+  for (const Dataset& dataset : config_.datasets) {
+    if (!names.insert(dataset.name).second) {
+      throw util::ConfigError("duplicate dataset name: " + dataset.name);
+    }
+  }
+  build_graph();
+}
+
+std::size_t PipelineRunner::launch_stage(std::size_t k) const {
+  return k <= config_.prefetch_depth ? 0 : k - config_.prefetch_depth;
+}
+
+void PipelineRunner::build_graph() {
+  const std::size_t total = config_.datasets.size();
+  // Stage membership mirrors the bespoke orchestration: stage s runs its
+  // processing step, every prefetch whose window opened at s, and (s >= 2)
+  // the eviction of dataset s-1.
+  std::vector<std::vector<std::uint64_t>> members(total);
+  for (std::size_t s = 0; s < total; ++s) members[s].push_back(process_id(s));
+  for (std::size_t k = 1; k < total; ++k) members[launch_stage(k)].push_back(copy_id(k));
+  for (std::size_t k = 1; k + 1 < total; ++k) members[k + 1].push_back(evict_id(k));
+  for (std::size_t s = 0; s < total; ++s) {
+    for (std::uint64_t id : members[s]) stage_of_[id] = s;
+  }
+
+  if (!config_.overlap) {
+    // Barrier edges: every stage-s node waits for every stage-(s-1) node —
+    // exactly the workflow sync the paper's Fig 7 numbers assume.
+    for (std::size_t s = 0; s < total; ++s) {
+      for (std::uint64_t id : members[s]) {
+        tracker_.add_node(id, s == 0 ? std::vector<std::uint64_t>{} : members[s - 1]);
+      }
+    }
+    tracker_.seal();
+    return;
+  }
+
+  // Overlap edges: each node depends only on what it actually consumes.
+  for (std::size_t s = 0; s < total; ++s) {
+    std::vector<std::uint64_t> deps;
+    std::vector<std::string> tokens;
+    if (s > 0) {
+      // The compute resource is reused serially; the data must have landed.
+      deps.push_back(process_id(s - 1));
+      tokens.push_back("nvme:" + config_.datasets[s].name);
+    }
+    tracker_.add_node(process_id(s), std::move(deps), std::move(tokens));
+  }
+  for (std::size_t k = 1; k < total; ++k) {
+    std::vector<std::uint64_t> deps;
+    // One rsync fan-out at a time (the streams within it are the
+    // parallelism), free to run ahead of the stage boundary...
+    if (k >= 2) deps.push_back(copy_id(k - 1));
+    // ...but never further than eviction allows: dataset k may land only
+    // once dataset k-1-depth is gone, bounding the NVMe footprint to
+    // depth+1 datasets — the same bound the barrier pipeline enforces.
+    std::size_t evicted = k - 1 >= config_.prefetch_depth ? k - 1 - config_.prefetch_depth : 0;
+    if (evicted >= 1 && evicted + 1 < total) deps.push_back(evict_id(evicted));
+    tracker_.add_node(copy_id(k), std::move(deps));
+  }
+  for (std::size_t k = 1; k + 1 < total; ++k) {
+    // Evict as soon as the dataset's own processing is done.
+    tracker_.add_node(evict_id(k), {process_id(k)});
+  }
+  tracker_.seal();
 }
 
 void PipelineRunner::run(std::function<void(const PipelineReport&)> done) {
   util::require(!started_, "PipelineRunner::run called twice");
   started_ = true;
   done_ = std::move(done);
-  report_.lustre_only_estimate =
-      config_.process_from_lustre * static_cast<double>(config_.datasets.size());
-  start_stage(0);
-}
-
-void PipelineRunner::start_stage(std::size_t stage) {
   const std::size_t total = config_.datasets.size();
-  StageReport stage_report;
-  stage_report.stage = stage + 1;  // 1-based like the paper's figure
-  stage_report.start_time = sim_.now();
-  stage_report.processed_from = stage == 0 ? "lustre" : "nvme";
-  stage_report.process_seconds =
-      stage == 0 ? config_.process_from_lustre : config_.process_from_nvme;
-  report_.stages.push_back(stage_report);
-
-  parts_remaining_ = 1;  // the processing step
-
-  // Prefetch every not-yet-fetched dataset in the window (stage, stage+depth].
-  // With depth 1 this is exactly the paper's "copy dataset k+1 during stage
-  // k"; deeper windows fill up during stage 1 and then slide.
-  for (std::size_t next = stage + 1;
-       next < total && next <= stage + config_.prefetch_depth; ++next) {
-    if (next < next_to_prefetch_) continue;
-    next_to_prefetch_ = next + 1;
-    ++parts_remaining_;
-    auto job = std::make_unique<StagingJob>(
-        sim_, lustre_, nvme_,
-        std::vector<FileEntry>(config_.datasets[next].files), config_.staging);
-    StagingJob* raw = job.get();
-    staging_jobs_.push_back(std::move(job));
-    raw->run([this, stage](const StagingStats& stats) {
-      report_.stages[stage].copy_seconds =
-          std::max(report_.stages[stage].copy_seconds, stats.duration());
-      stage_part_done(stage);
-    });
+  report_.lustre_only_estimate =
+      config_.process_from_lustre * static_cast<double>(total);
+  // Pre-size the reports: in overlap mode a prefetch can finish before its
+  // nominal stage's processing has even started.
+  report_.stages.resize(total);
+  for (std::size_t s = 0; s < total; ++s) {
+    report_.stages[s].stage = s + 1;  // 1-based like the paper's figure
+    report_.stages[s].processed_from = s == 0 ? "lustre" : "nvme";
+    report_.stages[s].process_seconds =
+        s == 0 ? config_.process_from_lustre : config_.process_from_nvme;
   }
-
-  // Evict the previous dataset from NVMe (stage k deletes k-1; the first
-  // NVMe stage deletes nothing because stage 1 processed from Lustre).
-  if (stage >= 2) {
-    ++parts_remaining_;
-    delete_files(nvme_, config_.datasets[stage - 1].files,
-                 [this, stage] { stage_part_done(stage); });
-  }
-
-  // The processing step itself.
-  sim_.schedule(report_.stages[stage].process_seconds,
-                [this, stage] { stage_part_done(stage); });
+  pump();
 }
 
-void PipelineRunner::stage_part_done(std::size_t stage) {
-  util::require(parts_remaining_ > 0, "pipeline barrier underflow");
-  if (--parts_remaining_ > 0) return;
-
-  report_.stages[stage].end_time = sim_.now();
-  if (stage + 1 < config_.datasets.size()) {
-    start_stage(stage + 1);
-    return;
+void PipelineRunner::pump() {
+  while (auto id = tracker_.pop_ready()) start_node(*id);
+  if (tracker_.pending() == 0 && !finished_) {
+    finished_ = true;
+    report_.makespan = sim_.now();
+    if (done_) done_(report_);
   }
-  report_.makespan = sim_.now();
-  if (done_) done_(report_);
+}
+
+void PipelineRunner::start_node(std::uint64_t id) {
+  switch ((id - 1) % 3) {
+    case 0: {
+      std::size_t s = static_cast<std::size_t>((id - 1) / 3);
+      report_.stages[s].start_time = sim_.now();
+      start_process(s);
+      return;
+    }
+    case 1:
+      start_copy(static_cast<std::size_t>((id - 2) / 3));
+      return;
+    default:
+      start_evict(static_cast<std::size_t>((id - 3) / 3));
+      return;
+  }
+}
+
+void PipelineRunner::node_done(std::uint64_t id) {
+  // Barrier mode: the stage ends when its last part ends, and the tracker
+  // releases the next stage's nodes at that same instant, so consecutive
+  // stage reports stay exactly contiguous. Overlap mode: stage boundaries
+  // blur, so a stage's report spans just its processing step.
+  if (!config_.overlap) {
+    report_.stages[stage_of_.at(id)].end_time = sim_.now();
+  } else if ((id - 1) % 3 == 0) {
+    report_.stages[(id - 1) / 3].end_time = sim_.now();
+  }
+  tracker_.complete(id, true);
+  pump();
+}
+
+void PipelineRunner::start_process(std::size_t s) {
+  sim_.schedule(report_.stages[s].process_seconds,
+                [this, s] { node_done(process_id(s)); });
+}
+
+void PipelineRunner::start_copy(std::size_t k) {
+  auto job = std::make_unique<StagingJob>(
+      sim_, lustre_, nvme_,
+      std::vector<FileEntry>(config_.datasets[k].files), config_.staging);
+  StagingJob* raw = job.get();
+  staging_jobs_.push_back(std::move(job));
+  if (config_.overlap) {
+    // Dataflow hook: count landings and release the processing node the
+    // moment the dataset's last byte is on NVMe — no stage barrier between
+    // the copy finishing and the compute starting.
+    auto landed = std::make_shared<std::size_t>(0);
+    std::size_t expect = config_.datasets[k].files.size();
+    std::string token = "nvme:" + config_.datasets[k].name;
+    raw->on_file_landed([this, landed, expect, token](const FileEntry&) {
+      if (++*landed == expect) tracker_.satisfy(token);
+    });
+    if (expect == 0) tracker_.satisfy(token);
+  }
+  std::size_t report_to = launch_stage(k);
+  raw->run([this, k, report_to](const StagingStats& stats) {
+    report_.stages[report_to].copy_seconds =
+        std::max(report_.stages[report_to].copy_seconds, stats.duration());
+    node_done(copy_id(k));
+  });
+}
+
+void PipelineRunner::start_evict(std::size_t k) {
+  delete_files(nvme_, config_.datasets[k].files,
+               [this, k] { node_done(evict_id(k)); });
 }
 
 }  // namespace parcl::storage

@@ -48,28 +48,29 @@ void StagingJob::pump_stream() {
 }
 
 void StagingJob::copy_one(FileEntry file) {
-  double bytes = file.bytes;
   // rsync stats the source and creates the destination; latency is part of
   // per_file_overhead but the pressure counters must see both ops.
   src_.note_metadata_op();
   dst_.note_metadata_op();
-  sim_.schedule(config_.per_file_overhead, [this, bytes] {
+  auto pending = std::make_shared<FileEntry>(std::move(file));
+  sim_.schedule(config_.per_file_overhead, [this, pending] {
     // Simultaneous src-read + dst-write flows; the copy completes when the
     // slower side drains. (Per-file metadata cost is folded into
     // per_file_overhead, which is what rsync's real per-file cost is.)
     auto remaining = std::make_shared<int>(2);
-    auto arm_done = [this, remaining, bytes] {
-      if (--*remaining == 0) file_done(bytes);
+    auto arm_done = [this, remaining, pending] {
+      if (--*remaining == 0) file_done(*pending);
     };
-    src_.data().transfer(bytes, arm_done);
-    dst_.data().transfer(bytes, arm_done);
+    src_.data().transfer(pending->bytes, arm_done);
+    dst_.data().transfer(pending->bytes, arm_done);
   });
 }
 
-void StagingJob::file_done(double bytes) {
+void StagingJob::file_done(const FileEntry& file) {
   ++stats_.files_copied;
-  stats_.bytes_copied += bytes;
-  dst_.account_store(bytes);
+  stats_.bytes_copied += file.bytes;
+  dst_.account_store(file.bytes);
+  if (landed_) landed_(file);
   pump_stream();
 }
 

@@ -43,6 +43,15 @@ class StagingJob {
   StagingJob(sim::Simulation& sim, SimFilesystem& src, SimFilesystem& dst,
              std::vector<FileEntry> files, StagingConfig config);
 
+  /// Per-file landing notification: fires the moment each file finishes on
+  /// `dst`, before `done`. This is the dataflow hook — a pipeline can start
+  /// downstream work (satisfy a DependencyTracker token) as soon as the
+  /// bytes it needs are on NVMe, instead of waiting for the whole staging
+  /// job. Set before run().
+  void on_file_landed(std::function<void(const FileEntry&)> landed) {
+    landed_ = std::move(landed);
+  }
+
   void run(std::function<void(const StagingStats&)> done);
 
   const StagingStats& stats() const noexcept { return stats_; }
@@ -50,7 +59,7 @@ class StagingJob {
  private:
   void pump_stream();
   void copy_one(FileEntry file);
-  void file_done(double bytes);
+  void file_done(const FileEntry& file);
 
   sim::Simulation& sim_;
   SimFilesystem& src_;
@@ -58,6 +67,7 @@ class StagingJob {
   std::vector<FileEntry> queue_;
   StagingConfig config_;
   StagingStats stats_;
+  std::function<void(const FileEntry&)> landed_;
   std::function<void(const StagingStats&)> done_;
   std::size_t next_file_ = 0;
   std::size_t active_streams_ = 0;

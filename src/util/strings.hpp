@@ -44,7 +44,9 @@ std::string strip_extension(std::string_view path);
 /// Extension including the dot ("a/b.txt" -> ".txt"), empty if none.
 std::string extension(std::string_view path);
 
-/// Parses a non-negative integer; throws ParseError on anything else.
+/// Parses an integer (negative allowed); throws ParseError on anything
+/// else. Joblog Exitval columns rely on the sign: -1 marks a
+/// dependency-skipped job.
 long parse_long(std::string_view text);
 
 /// Parses a double; throws ParseError on anything else.

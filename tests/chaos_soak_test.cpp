@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/dag_source.hpp"
 #include "core/joblog.hpp"
 #include "core/signal_coordinator.hpp"
 #include "exec/fault_executor.hpp"
@@ -43,6 +44,7 @@
 #include "sim/node_failure.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace parcl {
 namespace {
@@ -1084,6 +1086,178 @@ TEST(ChaosSoak, StreamedInterruptResumePairsMatchMaterialized) {
   }
   std::remove(joblog_m.c_str());
   std::remove(joblog_s.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 6: dependency-aware dispatch under fire. A diamond plus a
+// two-stage fan-out, 100 seeded fault schedules over the simulated backend:
+// no job may start before every predecessor's FINAL success, the joblog
+// stays exactly-once, dep-skips are justified by a failed ancestor, and a
+// clean schedule's -k output is byte-identical to the topological -j1
+// baseline.
+// ---------------------------------------------------------------------------
+
+const char* kChaosDagText =
+    "src :: run src\n"
+    "dia_a after=src :: run dia_a\n"
+    "dia_b after=src :: run dia_b\n"
+    "dia_join after=dia_a,dia_b :: run dia_join\n"
+    "fan1 after=src :: run fan1\n"
+    "fan2 after=src :: run fan2\n"
+    "fan3 after=src :: run fan3\n"
+    "fan4 after=src :: run fan4\n"
+    "red1 after=fan1,fan2 :: run red1\n"
+    "red2 after=fan3,fan4 :: run red2\n"
+    "final after=red1,red2,dia_join :: run final\n";
+constexpr std::size_t kChaosDagNodes = 11;
+// (successor, predecessor) pairs, seqs = declaration order above.
+const std::pair<std::uint64_t, std::uint64_t> kChaosDagEdges[] = {
+    {2, 1}, {3, 1}, {4, 2}, {4, 3},  {5, 1},  {6, 1},  {7, 1}, {8, 1},
+    {9, 5}, {9, 6}, {10, 7}, {10, 8}, {11, 9}, {11, 10}, {11, 4}};
+
+struct DagJoblogRow {
+  double start = 0.0;
+  double end = 0.0;
+  int exitval = 0;
+};
+
+FaultPlan dag_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // No truncation: torn output would break the byte-identity leg without
+  // exercising anything dependency-specific.
+  plan.spawn_failure_prob = 0.04;
+  plan.kill_prob = 0.05;
+  plan.fail_prob = 0.10;
+  plan.straggler_prob = 0.10;
+  plan.straggler_delay_min = 0.5;
+  plan.straggler_delay_max = 5.0;
+  return plan;
+}
+
+ScheduleResult run_dag_schedule(std::uint64_t seed, bool faults,
+                                const std::string& joblog_path,
+                                std::size_t jobs) {
+  sim::Simulation sim;
+  util::Rng duration_rng(seed * 13 + 3);
+  exec::SimExecutor inner(
+      sim,
+      [&](const core::ExecRequest& request) {
+        exec::SimOutcome outcome;
+        outcome.duration = duration_rng.lognormal(0.5, 0.4);
+        outcome.stdout_data = request.command + "\n";
+        return outcome;
+      },
+      /*dispatch_cost=*/1.0 / 470.0);
+  FaultPlan plan = faults ? dag_plan(seed) : FaultPlan{};
+  if (!faults) plan.seed = seed;
+  FaultInjectingExecutor executor(inner, plan);
+
+  ScheduleResult result;
+  result.total_jobs = kChaosDagNodes;
+  result.options.jobs = jobs;
+  result.options.output_mode = OutputMode::kKeepOrder;
+  result.options.joblog_path = joblog_path;
+  result.options.retries = 1 + seed % 3;
+  std::remove(joblog_path.c_str());
+
+  std::ostringstream out, err;
+  Engine engine(result.options, executor, out, err);
+  std::istringstream graph(kChaosDagText);
+  core::GraphSource source(core::GraphSpec::parse(graph, "chaos.graph"));
+  result.summary = engine.run_source("", source);
+  result.output = out.str();
+  result.joblog_bytes = testing::slurp(joblog_path);
+  result.faults = executor.counters();
+  EXPECT_EQ(executor.active_count(), 0u);
+  return result;
+}
+
+TEST(ChaosSoak, DagSchedulesRespectDependenciesExactlyOnce) {
+  const std::string joblog = temp_joblog("dag");
+  ScheduleResult baseline =
+      run_dag_schedule(1, /*faults=*/false, joblog, /*jobs=*/1);
+  ASSERT_EQ(baseline.summary.succeeded, kChaosDagNodes);
+  const std::string expected_output = baseline.output;
+
+  std::size_t fully_succeeded = 0;
+  std::size_t dep_skips_seen = 0;
+  for (std::uint64_t seed : seed_range(1, 100)) {
+    ScheduleResult run =
+        run_dag_schedule(seed, /*faults=*/true, joblog, 1 + seed % 8);
+
+    // Every node reaches exactly one terminal state, and the joblog has
+    // exactly one row per seq.
+    EXPECT_EQ(run.summary.succeeded + run.summary.failed +
+                  run.summary.dep_skipped,
+              kChaosDagNodes)
+        << "dag seed " << seed;
+    std::map<std::uint64_t, DagJoblogRow> rows;
+    std::istringstream log(run.joblog_bytes);
+    std::string line;
+    std::getline(log, line);  // header
+    while (std::getline(log, line)) {
+      auto fields = util::split(line, '\t');
+      ASSERT_GE(fields.size(), 7u) << "dag seed " << seed;
+      std::uint64_t seq =
+          static_cast<std::uint64_t>(util::parse_long(fields[0]));
+      EXPECT_TRUE(rows.find(seq) == rows.end())
+          << "dag seed " << seed << ": seq " << seq << " logged twice";
+      DagJoblogRow row;
+      row.start = std::stod(fields[2]);
+      row.end = row.start + std::stod(fields[3]);
+      row.exitval = static_cast<int>(util::parse_long(fields[6]));
+      rows[seq] = row;
+    }
+    ASSERT_EQ(rows.size(), kChaosDagNodes) << "dag seed " << seed;
+
+    std::size_t logged_dep_skips = 0;
+    for (const auto& [seq, row] : rows) {
+      if (row.exitval == core::kDepSkippedExitval) ++logged_dep_skips;
+    }
+    EXPECT_EQ(logged_dep_skips, run.summary.dep_skipped) << "dag seed " << seed;
+    dep_skips_seen += logged_dep_skips;
+
+    for (const auto& [successor, predecessor] : kChaosDagEdges) {
+      const DagJoblogRow& succ = rows.at(successor);
+      const DagJoblogRow& pred = rows.at(predecessor);
+      if (succ.exitval == core::kDepSkippedExitval) continue;
+      // The successor ran, so every predecessor's final attempt succeeded
+      // — and finished (in sim time) before the successor started.
+      EXPECT_EQ(pred.exitval, 0)
+          << "dag seed " << seed << ": seq " << successor
+          << " ran although predecessor " << predecessor << " failed";
+      EXPECT_GE(succ.start, pred.end - 1e-9)
+          << "dag seed " << seed << ": seq " << successor
+          << " started before predecessor " << predecessor << " finished";
+    }
+    for (const auto& [seq, row] : rows) {
+      if (row.exitval != core::kDepSkippedExitval) continue;
+      // A dep-skip needs a dead ancestor among its direct predecessors.
+      bool justified = false;
+      for (const auto& [successor, predecessor] : kChaosDagEdges) {
+        if (successor == seq && rows.at(predecessor).exitval != 0)
+          justified = true;
+      }
+      EXPECT_TRUE(justified) << "dag seed " << seed << ": seq " << seq
+                             << " dep-skipped with all predecessors clean";
+    }
+
+    if (run.summary.failed == 0 && run.summary.dep_skipped == 0) {
+      ++fully_succeeded;
+      EXPECT_EQ(run.output, expected_output)
+          << "dag seed " << seed
+          << ": clean -k output diverged from the -j1 topological baseline";
+    }
+  }
+  if (std::getenv("PARCL_CHAOS_SEEDS") == nullptr) {
+    // Both legs must actually bite: some schedules finish clean (output
+    // identity exercised) and some propagate failures (dep-skip rows
+    // exercised).
+    EXPECT_GE(fully_succeeded, 10u);
+    EXPECT_GE(dep_skips_seen, 50u);
+  }
+  std::remove(joblog.c_str());
 }
 
 }  // namespace
