@@ -182,6 +182,42 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
       plan.options.pilot = true;
     } else if (arg == "--worker") {
       plan.worker_mode = true;
+    } else if (arg == "--server") {
+      plan.service.server = true;
+    } else if (arg == "--client") {
+      plan.service.client = true;
+    } else if (arg == "--socket") {
+      plan.service.socket_path = take_value(argv, i, arg);
+    } else if (arg == "--listen") {
+      plan.service.listen = take_value(argv, i, arg);
+    } else if (arg == "--connect") {
+      plan.service.connect = take_value(argv, i, arg);
+    } else if (arg == "--state-dir") {
+      plan.service.state_dir = take_value(argv, i, arg);
+    } else if (arg == "--tenant") {
+      plan.service.tenant = take_value(argv, i, arg);
+    } else if (arg == "--tenant-weight") {
+      plan.service.tenant_weight = util::parse_double(take_value(argv, i, arg));
+      if (!(plan.service.tenant_weight > 0.0)) {
+        throw util::ParseError("--tenant-weight must be > 0");
+      }
+    } else if (arg == "--max-queue") {
+      long count = util::parse_long(take_value(argv, i, arg));
+      if (count < 1) throw util::ParseError("--max-queue must be >= 1");
+      plan.service.max_queue = static_cast<std::size_t>(count);
+    } else if (arg == "--max-queue-global") {
+      long count = util::parse_long(take_value(argv, i, arg));
+      if (count < 1) throw util::ParseError("--max-queue-global must be >= 1");
+      plan.service.max_queue_global = static_cast<std::size_t>(count);
+    } else if (arg == "--orphans") {
+      std::string value = take_value(argv, i, arg);
+      if (value == "keep") {
+        plan.service.orphan_cancel = false;
+      } else if (value == "cancel") {
+        plan.service.orphan_cancel = true;
+      } else {
+        throw util::ParseError("--orphans takes 'keep' or 'cancel'");
+      }
     } else if (arg == "--heartbeat-interval") {
       plan.options.heartbeat_interval_seconds =
           util::parse_double(take_value(argv, i, arg));
@@ -312,6 +348,55 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
         "sources, or host flags");
   }
 
+  if (plan.service.server && plan.service.client) {
+    throw util::ConfigError("--server and --client are mutually exclusive");
+  }
+  if (plan.service.server) {
+    if (!command_tokens.empty() || !plan.sources.empty()) {
+      throw util::ConfigError(
+          "--server takes no command or input sources; clients submit jobs");
+    }
+    if (plan.service.state_dir.empty()) {
+      throw util::ConfigError("--server requires --state-dir DIR");
+    }
+    if (!plan.sshlogins.empty() || plan.semaphore || plan.worker_mode ||
+        plan.options.pilot || !plan.graph_file.empty()) {
+      throw util::ConfigError(
+          "--server cannot combine with --sshlogin, --semaphore, --pilot, "
+          "--worker, or --graph");
+    }
+  }
+  if (plan.service.client) {
+    if (plan.service.socket_path.empty() && plan.service.connect.empty()) {
+      throw util::ConfigError("--client requires --socket PATH or --connect HOST:PORT");
+    }
+    if (command_tokens.empty()) {
+      throw util::ConfigError("--client needs a command to submit");
+    }
+    if (!plan.sshlogins.empty() || plan.semaphore || plan.worker_mode ||
+        plan.options.pilot || !plan.graph_file.empty() ||
+        !plan.then_stages.empty()) {
+      throw util::ConfigError(
+          "--client submits a flat job stream; --sshlogin, --semaphore, "
+          "--pilot, --worker, --graph, and --then do not apply");
+    }
+  }
+  if (!plan.service.server) {
+    if (!plan.service.listen.empty()) {
+      throw util::ConfigError("--listen is a --server flag");
+    }
+    if (!plan.service.state_dir.empty()) {
+      throw util::ConfigError("--state-dir is a --server flag");
+    }
+  }
+  if (!plan.service.client && !plan.service.connect.empty()) {
+    throw util::ConfigError("--connect is a --client flag");
+  }
+  if (!plan.service.server && !plan.service.client &&
+      !plan.service.socket_path.empty()) {
+    throw util::ConfigError("--socket applies to --server or --client");
+  }
+
   if (!plan.graph_file.empty()) {
     // Graph mode: the file is the whole run plan. Everything that shapes a
     // flat input stream — sources, packing, splitting, chaining — has no
@@ -368,7 +453,8 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
   // --semaphore command runs verbatim with no input source at all; a
   // --graph run has no input values in the first place.
   plan.read_stdin = plan.sources.empty() && !plan.options.pipe_mode &&
-                    !plan.semaphore && plan.graph_file.empty();
+                    !plan.semaphore && plan.graph_file.empty() &&
+                    !plan.service.server;
   plan.options.validate();
   return plan;
 }
@@ -535,6 +621,21 @@ options:
                       until the input source is exhausted)
       --semaphore     run the command under a cross-process semaphore (sem)
       --id NAME       semaphore name for --semaphore (default: "default")
+      --server        run the crash-tolerant multi-tenant job service
+      --client        submit this command line to a running --server
+      --socket PATH   unix socket rendezvous (server default:
+                      <state-dir>/parcl.sock; required for --client
+                      unless --connect is given)
+      --listen H:P    additionally accept TCP clients (server)
+      --connect H:P   reach the server over TCP instead of --socket
+      --state-dir D   server crash-recovery state: intake journal,
+                      exactly-once ledger, per-tenant joblogs (required)
+      --tenant NAME   client identity for fair-share (default: "default")
+      --tenant-weight W  fair-share weight of this tenant (default: 1)
+      --max-queue N   per-tenant intake bound before REJECT (server, 1024)
+      --max-queue-global N  global intake bound (server, 8192)
+      --orphans P     disconnected client's pending jobs: keep|cancel
+                      (server default: keep)
   -0, --null          input values are NUL-separated
   -a, --arg-file F    read an input source from F ("-" = stdin)
       --no-quote      substitute values without shell quoting

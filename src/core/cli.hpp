@@ -56,8 +56,30 @@ struct SshLogin {
   std::size_t jobs = 1;
 };
 
+/// Service-mode flags: `parcl --server` (the job-service daemon) and
+/// `parcl --client` (submit this command line to a running server).
+struct ServiceCli {
+  bool server = false;  // --server
+  bool client = false;  // --client
+  /// --socket PATH: the unix-domain rendezvous. Server default:
+  /// <state-dir>/parcl.sock; the client must name it (or --connect).
+  std::string socket_path;
+  std::string listen;   // --listen HOST:PORT (server; optional TCP)
+  std::string connect;  // --connect HOST:PORT (client; instead of --socket)
+  /// --state-dir DIR (server, required): intake journal, ledger, and
+  /// per-tenant joblogs — the crash-recovery state.
+  std::string state_dir;
+  std::string tenant = "default";  // --tenant NAME (client identity)
+  double tenant_weight = 1.0;      // --tenant-weight W (fair-share quantum)
+  std::size_t max_queue = 1024;        // --max-queue (per tenant, server)
+  std::size_t max_queue_global = 8192; // --max-queue-global (server)
+  /// --orphans keep|cancel: pending jobs of a disconnected client.
+  bool orphan_cancel = false;
+};
+
 struct RunPlan {
   Options options;
+  ServiceCli service;
   /// Non-empty: fan jobs out over these hosts via MultiExecutor, one ssh
   /// wrapper per remote host (":" stays local).
   std::vector<SshLogin> sshlogins;

@@ -1,0 +1,30 @@
+// `parcl --client`: submit a normal parcl command line to a running
+// `parcl --server` instead of executing it locally. The client composes
+// commands exactly like the local engine (same template expansion, same
+// input sources), frames them over the service protocol, rides out
+// RETRY_AFTER backpressure, and collates RESULT frames back to stdout —
+// with -k giving the same byte-for-byte input-order output a local run
+// produces.
+//
+// Exit status:
+//   0        every job ran and succeeded
+//   1..101   number of failed jobs (GNU Parallel's convention, capped)
+//   120      could not connect, or the connection was lost mid-run
+//   121      the server refused service (draining, or this tenant evicted)
+//   122      protocol/version mismatch
+//   255      usage/config error (thrown before any job is submitted)
+#pragma once
+
+#include <iosfwd>
+
+namespace parcl::core {
+
+struct RunPlan;
+
+/// Runs the client against the server named by plan.service (unix socket
+/// or --connect TCP). Inputs stream from the plan's sources (`in` backs
+/// stdin sources); job stdout/stderr are written to `out`/`err`.
+int run_client(const RunPlan& plan, std::istream& in, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace parcl::core

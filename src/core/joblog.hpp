@@ -12,6 +12,8 @@
 // conservatively re-runs that seq.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -119,5 +121,11 @@ inline constexpr int kDepSkippedExitval = -1;
 /// its failure) without re-running it. Same tolerance as the skip-set read.
 std::map<std::uint64_t, bool> read_resume_status(const std::string& path,
                                                  JoblogReadStats* stats = nullptr);
+
+/// Truncates a crash-torn final line (one with no trailing newline) off the
+/// open append-mode fd, so new records never glue onto the fragment. Shared
+/// by every append-only journal with the joblog's one-write()-per-record
+/// discipline (the server's intake journal reuses it verbatim).
+void trim_torn_tail(int fd, off_t size);
 
 }  // namespace parcl::core

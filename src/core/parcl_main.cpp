@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "core/cli.hpp"
+#include "core/client.hpp"
 #include "core/engine.hpp"
 #include "core/pipe.hpp"
 #include "core/semaphore.hpp"
+#include "core/server.hpp"
 #include "core/signal_coordinator.hpp"
 #include "exec/host_set.hpp"
 #include "exec/local_executor.hpp"
@@ -126,6 +128,16 @@ int main(int argc, char** argv) {
       exec::WorkerConfig config;
       config.heartbeat_interval = plan.options.heartbeat_interval_seconds;
       return exec::worker_agent_main(config);
+    }
+    if (plan.service.server) {
+      // Job-service daemon: journaled intake, fair-share dispatch, two-phase
+      // drain. Runs until signaled; queued work checkpoints in --state-dir.
+      return core::run_server(plan);
+    }
+    if (plan.service.client) {
+      // Submit this command line to a running --server instead of executing
+      // locally; results collate back here.
+      return core::run_client(plan, std::cin, std::cout, std::cerr);
     }
     if (plan.command_template.empty() && !plan.read_stdin &&
         plan.graph_file.empty()) {

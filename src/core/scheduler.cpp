@@ -130,4 +130,106 @@ Scheduler::HaltAction Scheduler::evaluate_halt(std::size_t failed, std::size_t s
                                               : HaltAction::kStopStarting;
 }
 
+// ---------------------------------------------------------------------------
+// FairShareQueue
+// ---------------------------------------------------------------------------
+
+void FairShareQueue::attach(const std::string& tenant, double weight) {
+  util::require(weight > 0.0, "tenant weight must be > 0");
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) {
+    it->second.weight = weight;
+    return;
+  }
+  Tenant t;
+  t.weight = weight;
+  tenants_.emplace(tenant, std::move(t));
+  order_.push_back(tenant);
+}
+
+std::vector<std::uint64_t> FairShareQueue::detach(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return {};
+  std::vector<std::uint64_t> dropped(it->second.queue.begin(),
+                                     it->second.queue.end());
+  total_queued_ -= it->second.queue.size();
+  tenants_.erase(it);
+  auto pos = std::find(order_.begin(), order_.end(), tenant);
+  std::size_t index = static_cast<std::size_t>(pos - order_.begin());
+  order_.erase(pos);
+  // Keep the cursor on the tenant it was pointing at; removing an earlier
+  // entry shifts everything after it left by one.
+  if (!order_.empty()) {
+    if (cursor_ > index) --cursor_;
+    if (cursor_ >= order_.size()) cursor_ = 0;
+  } else {
+    cursor_ = 0;
+  }
+  return dropped;
+}
+
+bool FairShareQueue::attached(const std::string& tenant) const {
+  return tenants_.count(tenant) != 0;
+}
+
+bool FairShareQueue::push(const std::string& tenant, std::uint64_t id) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  it->second.queue.push_back(id);
+  ++total_queued_;
+  return true;
+}
+
+void FairShareQueue::advance() {
+  cursor_ = (cursor_ + 1) % order_.size();
+  tenants_[order_[cursor_]].credited_this_visit = false;
+}
+
+std::optional<FairShareQueue::Popped> FairShareQueue::pop() {
+  if (total_queued_ == 0) return std::nullopt;
+  while (true) {
+    Tenant& t = tenants_[order_[cursor_]];
+    if (t.queue.empty()) {
+      // Idle tenants forfeit accumulated credit: deficit is a claim on
+      // *contended* service, not a bankable asset.
+      t.credit = 0.0;
+      advance();
+      continue;
+    }
+    if (!t.credited_this_visit) {
+      t.credit += t.weight;
+      t.credited_this_visit = true;
+    }
+    if (t.credit < 1.0) {
+      // Sub-unit weight: this tenant serves only every 1/weight rounds.
+      advance();
+      continue;
+    }
+    t.credit -= 1.0;
+    Popped popped{order_[cursor_], t.queue.front()};
+    t.queue.pop_front();
+    ++t.served;
+    --total_queued_;
+    if (t.queue.empty()) {
+      t.credit = 0.0;
+      advance();
+    } else if (t.credit < 1.0) {
+      advance();
+    }
+    return popped;
+  }
+}
+
+std::size_t FairShareQueue::queued(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.queue.size();
+}
+
+std::uint64_t FairShareQueue::served(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.served;
+}
+
+std::vector<std::string> FairShareQueue::tenants() const { return order_; }
+
 }  // namespace parcl::core

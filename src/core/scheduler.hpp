@@ -6,10 +6,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/executor.hpp"
 #include "core/input.hpp"
@@ -124,6 +126,66 @@ class Scheduler {
   double pressure_checked_at_ = -1.0;
   bool pressure_blocked_ = false;
   std::map<std::size_t, StageGate> stages_by_id_;
+};
+
+/// Deficit round-robin fair-share over per-tenant FIFO queues (the job
+/// service's scheduling hook). Every job costs one unit; a tenant's weight
+/// is the quantum credited each time the round-robin cursor reaches it, so
+/// over a contended interval tenants are served proportionally to weight
+/// regardless of how fast each one submits. A tenant whose queue empties
+/// forfeits its remaining credit — deficit must never be hoarded while
+/// idle, or a burst after a quiet spell would lock everyone else out.
+/// Within a tenant, order is strict FIFO (client seq order is preserved).
+///
+/// Items are opaque u64 ids (the server's intake ids); the caller owns the
+/// id -> job mapping. Not thread-safe: the service loop is single-threaded
+/// by design (same contract as Executor).
+class FairShareQueue {
+ public:
+  struct Popped {
+    std::string tenant;
+    std::uint64_t id = 0;
+  };
+
+  /// Registers (or re-registers, updating the weight of) a tenant. Weight
+  /// must be > 0. Re-attach preserves queued items and the served count.
+  void attach(const std::string& tenant, double weight = 1.0);
+
+  /// Removes a tenant, returning its still-queued ids in FIFO order (the
+  /// orphan-cancel path journals them as cancelled). Unknown tenant: empty.
+  std::vector<std::uint64_t> detach(const std::string& tenant);
+
+  bool attached(const std::string& tenant) const;
+
+  /// Queues one item. Returns false when the tenant is unknown — the
+  /// caller treats that as a protocol error, not a crash.
+  bool push(const std::string& tenant, std::uint64_t id);
+
+  /// Next item under DRR, or nullopt when every queue is empty.
+  std::optional<Popped> pop();
+
+  std::size_t queued(const std::string& tenant) const;
+  std::size_t total_queued() const noexcept { return total_queued_; }
+
+  /// Items popped for `tenant` so far (fairness accounting).
+  std::uint64_t served(const std::string& tenant) const;
+
+  std::vector<std::string> tenants() const;
+
+ private:
+  struct Tenant {
+    double weight = 1.0;
+    double credit = 0.0;
+    bool credited_this_visit = false;
+    std::deque<std::uint64_t> queue;
+    std::uint64_t served = 0;
+  };
+  void advance();
+
+  std::map<std::string, Tenant> tenants_;
+  std::vector<std::string> order_;  // round-robin visiting order
+  std::size_t cursor_ = 0;
+  std::size_t total_queued_ = 0;
 };
 
 }  // namespace parcl::core

@@ -1,16 +1,51 @@
 #include "core/semaphore.hpp"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/file.h>
+#include <sys/stat.h>
 #include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/error.hpp"
 
 namespace parcl::core {
+
+namespace {
+
+/// The slot file carries its holder's pid so waiters can tell a live holder
+/// from a stale lock. flock releases on process death, so the only way a
+/// dead holder still "holds" a slot is a file descriptor leaked into a
+/// surviving child — exactly the case the pid stamp lets us detect.
+void stamp_owner(int fd) {
+  char text[32];
+  int n = std::snprintf(text, sizeof(text), "%ld\n", static_cast<long>(getpid()));
+  if (ftruncate(fd, 0) != 0) return;  // best-effort: stamp is advisory
+  ssize_t written [[maybe_unused]] = pwrite(fd, text, static_cast<std::size_t>(n), 0);
+}
+
+/// Pid stamped in the slot file, or -1 when absent/garbled (a missing stamp
+/// is never treated as stale — reaping needs positive evidence).
+long read_owner(int fd) {
+  char text[32] = {};
+  ssize_t n = pread(fd, text, sizeof(text) - 1, 0);
+  if (n <= 0) return -1;
+  char* end = nullptr;
+  long pid = std::strtol(text, &end, 10);
+  if (end == text || pid <= 0) return -1;
+  return pid;
+}
+
+bool process_alive(long pid) {
+  // EPERM means "exists but not ours" — still alive.
+  return kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+}  // namespace
 
 SemaphoreSlot::~SemaphoreSlot() {
   if (fd_ >= 0) {
@@ -56,15 +91,41 @@ std::string FileSemaphore::slot_path(std::size_t index) const {
 
 SemaphoreSlot FileSemaphore::try_acquire() {
   for (std::size_t i = 0; i < slots_; ++i) {
-    int fd = open(slot_path(i).c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0600);
-    if (fd < 0) throw util::SystemError("open semaphore slot", errno);
-    if (flock(fd, LOCK_EX | LOCK_NB) == 0) {
-      SemaphoreSlot slot;
-      slot.fd_ = fd;
-      slot.index_ = i;
-      return slot;
+    const std::string path = slot_path(i);
+    // A slot may need a second pass: once to discover a stale holder and
+    // unlink its file, once to lock the replacement. The attempt cap bounds
+    // pathological unlink races between concurrent reapers.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      int fd = open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0600);
+      if (fd < 0) throw util::SystemError("open semaphore slot", errno);
+      if (flock(fd, LOCK_EX | LOCK_NB) == 0) {
+        stamp_owner(fd);
+        // A concurrent reaper may have unlinked the file between our open
+        // and flock — then we hold a lock on a ghost inode nobody else can
+        // see. Only the lock on the file currently at `path` counts.
+        struct stat locked{}, on_disk{};
+        if (fstat(fd, &locked) == 0 && stat(path.c_str(), &on_disk) == 0 &&
+            locked.st_ino == on_disk.st_ino && locked.st_dev == on_disk.st_dev) {
+          SemaphoreSlot slot;
+          slot.fd_ = fd;
+          slot.index_ = i;
+          return slot;
+        }
+        close(fd);
+        continue;  // locked a ghost; retry against the replacement file
+      }
+      // Slot is locked. flock dies with its owner, so a dead stamped owner
+      // means the lock survives only through fds leaked into children —
+      // unlink the file and retry: new opens get a fresh, unlocked inode
+      // while the orphaned lock stays pinned to the old one.
+      long owner = read_owner(fd);
+      close(fd);
+      if (owner > 0 && !process_alive(owner)) {
+        unlink(path.c_str());
+        continue;
+      }
+      break;  // genuinely held by a live process
     }
-    close(fd);
   }
   return SemaphoreSlot{};
 }

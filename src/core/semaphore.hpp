@@ -6,6 +6,12 @@
 // processes, via flock(2). Used to throttle ad-hoc parallelism from shell
 // loops and cron jobs — one of the "working seamlessly with traditional
 // Linux constructs" roles the paper highlights.
+//
+// Each holder stamps its pid into the slot file. flock releases on process
+// death, so a slot that stays locked after its stamped owner died can only
+// be wedged by file descriptors leaked into surviving children; acquire()
+// treats such slots as stale and reaps them (unlink + fresh file) instead
+// of waiting forever.
 #pragma once
 
 #include <cstddef>

@@ -19,6 +19,20 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::kKill: return "KILL";
     case FrameType::kDrain: return "DRAIN";
     case FrameType::kBye: return "BYE";
+    case FrameType::kClientHello: return "CLIENT_HELLO";
+    case FrameType::kReject: return "REJECT";
+  }
+  return "?";
+}
+
+const char* to_string(RejectCode code) noexcept {
+  switch (code) {
+    case RejectCode::kQueueFull: return "QUEUE_FULL";
+    case RejectCode::kServerFull: return "SERVER_FULL";
+    case RejectCode::kPressure: return "PRESSURE";
+    case RejectCode::kDraining: return "DRAINING";
+    case RejectCode::kBadRequest: return "BAD_REQUEST";
+    case RejectCode::kEvicted: return "EVICTED";
   }
   return "?";
 }
@@ -27,7 +41,7 @@ namespace {
 
 bool known_type(std::uint8_t byte) noexcept {
   return byte >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         byte <= static_cast<std::uint8_t>(FrameType::kBye);
+         byte <= static_cast<std::uint8_t>(FrameType::kReject);
 }
 
 /// Wraps a payload into a full frame: u32 length + u8 type + payload.
@@ -378,6 +392,52 @@ KillFrame decode_kill(const Frame& frame) {
 std::string encode_drain() { return frame_bytes(FrameType::kDrain, ""); }
 
 std::string encode_bye() { return frame_bytes(FrameType::kBye, ""); }
+
+std::string encode_client_hello(const ClientHelloFrame& f) {
+  WireWriter w;
+  w.u32(f.version);
+  w.str(f.tenant);
+  w.f64(f.weight);
+  return frame_bytes(FrameType::kClientHello, w.take());
+}
+
+ClientHelloFrame decode_client_hello(const Frame& frame) {
+  check_type(frame, FrameType::kClientHello);
+  WireReader r(frame.payload);
+  ClientHelloFrame f;
+  f.version = r.u32();
+  f.tenant = r.str();
+  f.weight = r.f64();
+  r.expect_end();
+  return f;
+}
+
+std::string encode_reject(const RejectFrame& f) {
+  WireWriter w;
+  w.u64(f.seq);
+  w.u8(static_cast<std::uint8_t>(f.code));
+  w.f64(f.retry_after);
+  w.str(f.message);
+  return frame_bytes(FrameType::kReject, w.take());
+}
+
+RejectFrame decode_reject(const Frame& frame) {
+  check_type(frame, FrameType::kReject);
+  WireReader r(frame.payload);
+  RejectFrame f;
+  f.seq = r.u64();
+  std::uint8_t code = r.u8();
+  if (code < static_cast<std::uint8_t>(RejectCode::kQueueFull) ||
+      code > static_cast<std::uint8_t>(RejectCode::kEvicted)) {
+    throw ProtocolError("REJECT code " + std::to_string(int(code)) +
+                        " out of range");
+  }
+  f.code = static_cast<RejectCode>(code);
+  f.retry_after = r.f64();
+  f.message = r.str();
+  r.expect_end();
+  return f;
+}
 
 // ---------------------------------------------------------------------------
 // FrameDecoder

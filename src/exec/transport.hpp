@@ -87,6 +87,12 @@ enum class FrameType : std::uint8_t {
   kKill = 9,
   kDrain = 10,
   kBye = 11,
+  // Job-service (`parcl --server` / `--client`) additions. The service
+  // reuses SUBMIT/ACK/RESULT/STDOUT/STDERR/DRAIN/BYE verbatim; these two
+  // cover what the pilot protocol had no need for: a tenant introducing
+  // itself, and an explicit admission rejection instead of buffering.
+  kClientHello = 12,
+  kReject = 13,
 };
 
 const char* to_string(FrameType type) noexcept;
@@ -220,6 +226,44 @@ struct KillFrame {
   bool force = false;
 };
 
+// ---------------------------------------------------------------------------
+// Job-service frames (`parcl --server` / `parcl --client`).
+// ---------------------------------------------------------------------------
+
+/// Why the server refused a SUBMIT (or the connection). Carried in a REJECT
+/// frame together with a retry hint; clients map these onto exit codes and
+/// backoff behaviour.
+enum class RejectCode : std::uint8_t {
+  kQueueFull = 1,   // this tenant's bounded intake queue is full
+  kServerFull = 2,  // global intake bound reached
+  kPressure = 3,    // admission gate closed (--memfree/--load at the edge)
+  kDraining = 4,    // server is in drain; no new work accepted
+  kBadRequest = 5,  // malformed or oversized submission
+  kEvicted = 6,     // tenant throttled/evicted for misbehaviour
+};
+
+const char* to_string(RejectCode code) noexcept;
+
+/// Client's opening frame: protocol version plus the tenant identity and
+/// fair-share weight it is asking for. The server answers with HELLO_ACK
+/// (admitted) or REJECT (version mismatch, eviction, drain).
+struct ClientHelloFrame {
+  std::uint32_t version = kProtocolVersion;
+  std::string tenant;
+  double weight = 1.0;
+};
+
+/// Explicit admission rejection. `seq` names the refused client-side job
+/// seq (0 when the rejection applies to the connection as a whole, e.g. a
+/// handshake refusal). `retry_after` is the server's backoff hint in
+/// seconds; 0 means "do not retry" (bad request, eviction).
+struct RejectFrame {
+  std::uint64_t seq = 0;
+  RejectCode code = RejectCode::kBadRequest;
+  double retry_after = 0.0;
+  std::string message;
+};
+
 // Encoders produce the full frame (length prefix + type + payload).
 std::string encode_hello(const HelloFrame& f);
 std::string encode_hello_ack(const HelloAckFrame& f);
@@ -231,6 +275,8 @@ std::string encode_heartbeat(const HeartbeatFrame& f);
 std::string encode_kill(const KillFrame& f);
 std::string encode_drain();
 std::string encode_bye();
+std::string encode_client_hello(const ClientHelloFrame& f);
+std::string encode_reject(const RejectFrame& f);
 
 // Decoders parse a Frame's payload; they throw ProtocolError on any
 // truncation, overrun, or trailing garbage.
@@ -242,6 +288,8 @@ ResultFrame decode_result(const Frame& frame);
 AckFrame decode_ack(const Frame& frame);
 HeartbeatFrame decode_heartbeat(const Frame& frame);
 KillFrame decode_kill(const Frame& frame);
+ClientHelloFrame decode_client_hello(const Frame& frame);
+RejectFrame decode_reject(const Frame& frame);
 
 /// Incremental frame reassembly over an arbitrary byte stream. feed() any
 /// number of bytes; next() yields complete frames in order. The decoder

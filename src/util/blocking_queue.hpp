@@ -55,6 +55,18 @@ class BlockingQueue {
     return value;
   }
 
+  /// Non-blocking push: returns false instead of waiting when the queue is
+  /// full, and false after close(). The admission edge of the job service
+  /// uses this to turn "queue full" into an explicit rejection frame
+  /// instead of unbounded buffering or a blocked intake thread.
+  bool try_push(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || full_locked()) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::lock_guard<std::mutex> lock(mutex_);

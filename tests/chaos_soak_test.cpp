@@ -13,11 +13,16 @@
 //   PARCL_CHAOS_SEEDS=17 ./tests/chaos_soak_test --gtest_filter='ChaosSoak.*'
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,6 +36,7 @@
 #include "core/engine.hpp"
 #include "core/dag_source.hpp"
 #include "core/joblog.hpp"
+#include "core/server.hpp"
 #include "core/signal_coordinator.hpp"
 #include "exec/fault_executor.hpp"
 #include "exec/function_executor.hpp"
@@ -1258,6 +1264,208 @@ TEST(ChaosSoak, DagSchedulesRespectDependenciesExactlyOnce) {
     EXPECT_GE(dep_skips_seen, 50u);
   }
   std::remove(joblog.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Service mode: kill -9 mid-intake
+// ---------------------------------------------------------------------------
+
+/// Deterministic synchronous executor for the server soak. start() is the
+/// "execution" (it computes the job's output immediately); a release budget
+/// controls how many completions each step may reap, so a crash can land
+/// with jobs in every state: queued, running, ledgered. It also enforces
+/// the exactly-once contract at the execution site: a job that was already
+/// in the ledger when this incarnation began must never start again.
+class SoakServerExecutor final : public core::Executor {
+ public:
+  explicit SoakServerExecutor(const std::set<std::uint64_t>& already_ledgered,
+                              std::vector<std::uint64_t>& double_runs)
+      : already_ledgered_(already_ledgered), double_runs_(double_runs) {}
+
+  void start(const core::ExecRequest& request) override {
+    if (already_ledgered_.count(request.job_id)) {
+      double_runs_.push_back(request.job_id);
+    }
+    core::ExecResult result;
+    result.job_id = request.job_id;
+    result.start_time = clock_;
+    result.end_time = clock_ += 0.001;
+    result.stdout_data = "out:" + request.command + "\n";
+    done_.push_back(result);
+  }
+  std::optional<core::ExecResult> wait_any(double) override {
+    if (done_.empty() || release_budget_ == 0) return std::nullopt;
+    if (release_budget_ > 0) --release_budget_;
+    core::ExecResult result = done_.front();
+    done_.pop_front();
+    return result;
+  }
+  void kill(std::uint64_t, bool) override {}
+  std::size_t active_count() const override { return done_.size(); }
+  double now() const override { return clock_; }
+
+  long release_budget_ = -1;
+
+ private:
+  const std::set<std::uint64_t>& already_ledgered_;
+  std::vector<std::uint64_t>& double_runs_;
+  std::deque<core::ExecResult> done_;
+  double clock_ = 1.0;
+};
+
+// One seeded schedule: concurrent tenants submit against a bounded server,
+// the "process" is kill -9'd (core destroyed, optionally with a torn
+// journal tail) at seeded points and restarted over the same state dir.
+// Afterwards: every acked job is in the ledger exactly once, nothing
+// ledgered ever re-ran, and each tenant's keep-order output is
+// byte-identical to its serial baseline.
+TEST(ChaosSoak, ServerSurvivesKill9MidIntake) {
+  for (std::uint64_t seed : seed_range(1, 100)) {
+    util::Rng rng(seed * 1000003 + 17);
+    const std::string dir = ::testing::TempDir() + "server_soak_" +
+                            std::to_string(getpid()) + "_" + std::to_string(seed);
+    mkdir(dir.c_str(), 0755);
+    const std::size_t tenant_count = 2 + seed % 3;
+    std::vector<std::string> tenants;
+    std::vector<double> weights;
+    std::vector<std::uint64_t> total;      // jobs each tenant will submit
+    std::vector<std::uint64_t> next_seq;   // per-tenant client seq cursor
+    for (std::size_t i = 0; i < tenant_count; ++i) {
+      tenants.push_back("t" + std::to_string(i));
+      weights.push_back(static_cast<double>(rng.uniform_int(1, 4)));
+      total.push_back(static_cast<std::uint64_t>(rng.uniform_int(8, 20)));
+      next_seq.push_back(1);
+    }
+    auto command_for = [](const std::string& tenant, std::uint64_t seq) {
+      return "job " + tenant + " " + std::to_string(seq);
+    };
+
+    core::ServerConfig config;
+    config.state_dir = dir;
+    config.slots = static_cast<std::size_t>(rng.uniform_int(1, 4));
+
+    std::set<std::uint64_t> ledgered_at_restart;  // ledger as of this incarnation
+    std::vector<std::uint64_t> double_runs;
+    std::set<std::uint64_t> accepted_ids;
+    // tenant -> client seq -> stdout (the client's-eye view across
+    // reconnects; duplicates are exactly-once violations).
+    std::map<std::string, std::map<std::uint64_t, std::string>> outputs;
+
+    auto make_executor = [&] {
+      return std::make_unique<SoakServerExecutor>(ledgered_at_restart, double_runs);
+    };
+    auto attach_all = [&](core::ServerCore& core) {
+      for (std::size_t i = 0; i < tenant_count; ++i) {
+        ASSERT_TRUE(core.attach_tenant(tenants[i], weights[i]).accepted)
+            << "seed " << seed;
+      }
+    };
+    auto pump = [&](core::ServerCore& core) {
+      for (core::TenantEvent& event : core.take_events()) {
+        auto [it, inserted] =
+            outputs[event.tenant].emplace(event.result.seq, event.result.stdout_data);
+        EXPECT_TRUE(inserted) << "seed " << seed << ": tenant " << event.tenant
+                              << " seq " << event.result.seq
+                              << " delivered twice";
+        EXPECT_EQ(event.result.exit_code, 0) << "seed " << seed;
+      }
+    };
+
+    std::unique_ptr<SoakServerExecutor> executor = make_executor();
+    auto core = std::make_unique<core::ServerCore>(config, *executor);
+    attach_all(*core);
+
+    std::size_t crashes_left = 1 + seed % 3;
+    bool submissions_done = false;
+    while (!submissions_done || !core->idle() || crashes_left > 0) {
+      // A burst of interleaved submissions from every tenant.
+      submissions_done = true;
+      for (std::size_t i = 0; i < tenant_count; ++i) {
+        std::uint64_t burst = static_cast<std::uint64_t>(rng.uniform_int(0, 4));
+        while (burst > 0 && next_seq[i] <= total[i]) {
+          core::Admission admission = core->submit(
+              tenants[i], next_seq[i], command_for(tenants[i], next_seq[i]));
+          ASSERT_TRUE(admission.accepted) << "seed " << seed;
+          accepted_ids.insert(admission.intake_id);
+          ++next_seq[i];
+          --burst;
+        }
+        if (next_seq[i] <= total[i]) submissions_done = false;
+      }
+
+      // Partial progress: dispatch freely, reap only a few completions.
+      executor->release_budget_ = rng.uniform_int(0, 5);
+      core->step(0.0);
+      pump(*core);
+
+      if (crashes_left > 0 && (submissions_done || rng.bernoulli(0.15))) {
+        // kill -9: the core dies here. Journal and ledger are exactly what
+        // their O_APPEND writes made them; in-flight work evaporates.
+        --crashes_left;
+        core.reset();
+        if (rng.bernoulli(0.5)) {
+          // Torn final write: crashed mid-append, no trailing newline.
+          std::ofstream torn(core::ServerCore::journal_path(dir),
+                             std::ios::app | std::ios::binary);
+          torn << "A\t424242\tt0\t7\t0\ttorn-mid-wri";
+        }
+        ledgered_at_restart =
+            core::read_resume_skip_set(core::ServerCore::ledger_path(dir), false);
+        executor = make_executor();
+        core = std::make_unique<core::ServerCore>(config, *executor);
+        EXPECT_EQ(core->stats().replayed,
+                  accepted_ids.size() - ledgered_at_restart.size())
+            << "seed " << seed << ": replay != journaled minus ledgered";
+        attach_all(*core);
+      }
+    }
+
+    EXPECT_TRUE(double_runs.empty())
+        << "seed " << seed << ": " << double_runs.size()
+        << " ledgered jobs ran again (first intake id " << double_runs.front()
+        << ")";
+
+    // No acked job lost: the final ledger covers every accepted intake id,
+    // exactly once (ledger Seq column must have no duplicates).
+    std::set<std::uint64_t> ledgered =
+        core::read_resume_skip_set(core::ServerCore::ledger_path(dir), false);
+    EXPECT_EQ(ledgered.size(), accepted_ids.size()) << "seed " << seed;
+    std::size_t ledger_rows = 0;
+    {
+      std::ifstream in(core::ServerCore::ledger_path(dir));
+      std::string line;
+      while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != 'S') ++ledger_rows;  // skip header
+      }
+    }
+    EXPECT_EQ(ledger_rows, accepted_ids.size())
+        << "seed " << seed << ": duplicate or missing ledger rows";
+    for (std::uint64_t id : accepted_ids) {
+      EXPECT_TRUE(ledgered.count(id))
+          << "seed " << seed << ": acked job " << id << " lost";
+    }
+
+    // Keep-order output identity: each tenant's deliveries, ordered by its
+    // own seq, must be byte-identical to the serial baseline.
+    for (std::size_t i = 0; i < tenant_count; ++i) {
+      std::string baseline, collated;
+      for (std::uint64_t seq = 1; seq < next_seq[i]; ++seq) {
+        baseline += "out:" + command_for(tenants[i], seq) + "\n";
+      }
+      for (const auto& [seq, text] : outputs[tenants[i]]) collated += text;
+      EXPECT_EQ(collated, baseline)
+          << "seed " << seed << ": tenant " << tenants[i]
+          << " -k output diverged from serial baseline";
+    }
+
+    core.reset();
+    std::remove(core::ServerCore::journal_path(dir).c_str());
+    std::remove(core::ServerCore::ledger_path(dir).c_str());
+    for (const std::string& tenant : tenants) {
+      std::remove(core::ServerCore::tenant_joblog_path(dir, tenant).c_str());
+    }
+    rmdir(dir.c_str());
+  }
 }
 
 }  // namespace

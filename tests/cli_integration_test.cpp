@@ -428,4 +428,72 @@ TEST(ParclCli, PilotTransportKeepsTheJoblogExactlyOnce) {
   std::remove(log_path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Service mode (--server / --client)
+// ---------------------------------------------------------------------------
+
+TEST(ParclService, RoundTripOverUnixSocket) {
+  // Server in the background, one client submitting through the full framed
+  // protocol, clean SIGTERM drain. The client's -k output is the baseline.
+  CommandResult result = run_command(
+      "D=$(mktemp -d); " + parcl() + " --server --state-dir \"$D\" -j2 "
+      "2>\"$D/server.log\" & S=$!; "
+      "for i in $(seq 100); do [ -S \"$D/parcl.sock\" ] && break; sleep 0.05; done; " +
+      parcl() + " --client --socket \"$D/parcl.sock\" -k 'echo s-{}' ::: a b c; "
+      "C=$?; kill -TERM $S; wait $S; W=$?; echo \"client=$C server=$W\"; "
+      "rm -rf \"$D\"");
+  EXPECT_NE(result.output.find("s-a\ns-b\ns-c\n"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("client=0 server=0"), std::string::npos)
+      << result.output;
+}
+
+TEST(ParclService, ClientExits120WhenServerAbsent) {
+  CommandResult result = run_command(
+      parcl() + " --client --socket /nonexistent-parcl.sock 'echo x' ::: a");
+  EXPECT_EQ(result.exit_code, 120) << result.output;
+  EXPECT_NE(result.output.find("is the server running?"), std::string::npos);
+}
+
+TEST(ParclService, Kill9ThenRestartReplaysEveryAckedJob) {
+  // kill -9 the server mid-run with jobs acked but unfinished; a restart
+  // over the same state dir must run exactly the remainder — the final
+  // ledger holds every intake id exactly once.
+  CommandResult result = run_command(
+      "D=$(mktemp -d); " + parcl() + " --server --state-dir \"$D\" -j1 "
+      "2>\"$D/log1\" & S=$!; "
+      "for i in $(seq 100); do [ -S \"$D/parcl.sock\" ] && break; sleep 0.05; done; " +
+      parcl() + " --client --socket \"$D/parcl.sock\" 'sleep 0.3; echo r{}' "
+      "::: 1 2 3 4 >\"$D/client.out\" 2>&1 & C=$!; "
+      "sleep 0.7; kill -9 $S; wait $C 2>/dev/null; " +
+      parcl() + " --server --state-dir \"$D\" -j2 2>\"$D/log2\" & S=$!; "
+      "for i in $(seq 200); do "
+      "n=$(tail -n +2 \"$D/ledger.joblog\" 2>/dev/null | wc -l); "
+      "[ \"$n\" -ge 4 ] && break; sleep 0.05; done; "
+      "kill -TERM $S; wait $S; "
+      "echo \"seqs=$(tail -n +2 \"$D/ledger.joblog\" | cut -f1 | sort -n | tr '\\n' ',')\"; "
+      "grep -o 'replayed=[0-9]*' \"$D/log2\"; rm -rf \"$D\"");
+  EXPECT_NE(result.output.find("seqs=1,2,3,4,"), std::string::npos)
+      << result.output;
+  // At -j1 with 0.3s jobs and a kill at 0.7s, at most 2 finished first.
+  EXPECT_TRUE(result.output.find("replayed=2") != std::string::npos ||
+              result.output.find("replayed=3") != std::string::npos)
+      << result.output;
+}
+
+TEST(ParclService, ConfigErrorsExit255) {
+  EXPECT_EQ(run_command(parcl() + " --server").exit_code, 255);
+  EXPECT_EQ(run_command(parcl() + " --client 'echo x' ::: a").exit_code, 255);
+  EXPECT_EQ(run_command(parcl() + " --server --client --state-dir /tmp/x")
+                .exit_code,
+            255);
+  EXPECT_EQ(run_command(parcl() + " --server --state-dir /tmp/x echo hi")
+                .exit_code,
+            255);
+  EXPECT_EQ(run_command(parcl() + " --tenant-weight 0 --client --socket /s "
+                        "'echo x' ::: a")
+                .exit_code,
+            255);
+}
+
 }  // namespace

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -111,6 +113,90 @@ TEST_F(SemaphoreTest, CrossProcessExclusion) {
   waitpid(pid, &status, 0);
   EXPECT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0) << "child acquired a held semaphore";
+}
+
+// The stale-holder wedge: flock releases when its owner dies, so the only
+// way a dead holder keeps a slot locked is a descriptor leaked into a
+// surviving child. Reproduce exactly that — holder acquires, forks a
+// grandchild that inherits the locked fd and sleeps, holder is SIGKILLed —
+// and require acquire() to reap the slot instead of waiting forever.
+TEST_F(SemaphoreTest, ReapsSlotOfKilledHolder) {
+  std::string id = unique_id();
+  FileSemaphore semaphore(id, 1, ::testing::TempDir());
+  track(semaphore);
+
+  int ready[2];
+  int grandchild_pipe[2];
+  ASSERT_EQ(pipe(ready), 0);
+  ASSERT_EQ(pipe(grandchild_pipe), 0);
+
+  pid_t holder = fork();
+  ASSERT_GE(holder, 0);
+  if (holder == 0) {
+    close(ready[0]);
+    close(grandchild_pipe[0]);
+    FileSemaphore view(id, 1, ::testing::TempDir());
+    SemaphoreSlot slot = view.try_acquire();
+    if (!slot.held()) _exit(2);
+    // Grandchild inherits the locked fd (fork copies it; CLOEXEC only
+    // matters on exec) and outlives the holder — the leak that wedges.
+    pid_t grandchild = fork();
+    if (grandchild == 0) {
+      for (;;) pause();
+    }
+    char pid_text[32];
+    int n = snprintf(pid_text, sizeof(pid_text), "%ld\n",
+                     static_cast<long>(grandchild));
+    if (write(grandchild_pipe[1], pid_text, static_cast<size_t>(n)) != n) _exit(3);
+    if (write(ready[1], "R", 1) != 1) _exit(3);
+    for (;;) pause();  // hold the slot until SIGKILL
+  }
+  close(ready[1]);
+  close(grandchild_pipe[1]);
+
+  char token = 0;
+  ASSERT_EQ(read(ready[0], &token, 1), 1);
+  close(ready[0]);
+  char pid_text[32] = {};
+  ASSERT_GT(read(grandchild_pipe[0], pid_text, sizeof(pid_text) - 1), 0);
+  close(grandchild_pipe[0]);
+  pid_t grandchild = static_cast<pid_t>(strtol(pid_text, nullptr, 10));
+  ASSERT_GT(grandchild, 0);
+
+  ASSERT_EQ(kill(holder, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(holder, &status, 0), holder);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // Without reaping this would spin the full timeout: the grandchild's
+  // inherited fd still holds the flock even though the stamped owner died.
+  SemaphoreSlot reaped = semaphore.acquire(5.0, 10);
+  EXPECT_TRUE(reaped.held()) << "stale slot was not reaped";
+
+  kill(grandchild, SIGKILL);
+  // Grandchild was reparented past us; best-effort reap only.
+  waitpid(grandchild, &status, WNOHANG);
+}
+
+// A live holder must never be reaped, even from another process.
+TEST_F(SemaphoreTest, DoesNotReapLiveHolder) {
+  std::string id = unique_id();
+  FileSemaphore semaphore(id, 1, ::testing::TempDir());
+  track(semaphore);
+  SemaphoreSlot held = semaphore.try_acquire();
+  ASSERT_TRUE(held.held());
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FileSemaphore view(id, 1, ::testing::TempDir());
+    SemaphoreSlot attempt = view.acquire(0.2, 10);
+    _exit(attempt.held() ? 1 : 0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "live holder was reaped";
 }
 
 TEST_F(SemaphoreTest, RejectsBadConfig) {

@@ -1,0 +1,604 @@
+// Service mode, socket-free: FairShareQueue, IntakeJournal, and ServerCore
+// driven directly — deterministic admission, fair-share, crash-replay, and
+// orphan-policy coverage (the wire protocol rides cli_integration_test).
+#include "core/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/joblog.hpp"
+#include "core/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace parcl::core {
+namespace {
+
+using exec::transport::RejectCode;
+
+// ---------------------------------------------------------------------------
+// FairShareQueue
+// ---------------------------------------------------------------------------
+
+TEST(FairShareQueue, SingleTenantIsFifo) {
+  FairShareQueue queue;
+  queue.attach("a", 1.0);
+  for (std::uint64_t id = 1; id <= 5; ++id) queue.push("a", id);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    auto popped = queue.pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->tenant, "a");
+    EXPECT_EQ(popped->id, id);
+  }
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(FairShareQueue, WeightsDivideServiceProportionally) {
+  FairShareQueue queue;
+  queue.attach("heavy", 2.0);
+  queue.attach("light", 1.0);
+  for (std::uint64_t i = 1; i <= 30; ++i) {
+    queue.push("heavy", 100 + i);
+    queue.push("light", 200 + i);
+  }
+  std::map<std::string, int> first12;
+  for (int i = 0; i < 12; ++i) {
+    auto popped = queue.pop();
+    ASSERT_TRUE(popped.has_value());
+    ++first12[popped->tenant];
+  }
+  // Deficit round-robin: every full cycle serves 2 heavy + 1 light.
+  EXPECT_EQ(first12["heavy"], 8);
+  EXPECT_EQ(first12["light"], 4);
+}
+
+TEST(FairShareQueue, IdleTenantDoesNotHoardCredit) {
+  FairShareQueue queue;
+  queue.attach("a", 1.0);
+  queue.attach("b", 1.0);
+  // b sits idle while a is served many times; credit must not accumulate.
+  for (std::uint64_t i = 1; i <= 6; ++i) queue.push("a", i);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.pop().has_value());
+  for (std::uint64_t i = 1; i <= 4; ++i) queue.push("b", 100 + i);
+  // From here service alternates — b gets no catch-up burst.
+  std::vector<std::string> order;
+  while (auto popped = queue.pop()) order.push_back(popped->tenant);
+  ASSERT_EQ(order.size(), 6u);
+  int longest_b_run = 0, run = 0;
+  for (const std::string& t : order) {
+    run = (t == "b") ? run + 1 : 0;
+    longest_b_run = std::max(longest_b_run, run);
+  }
+  EXPECT_LE(longest_b_run, 2);
+}
+
+TEST(FairShareQueue, DetachReturnsQueuedIdsAndKeepsOthersServable) {
+  FairShareQueue queue;
+  queue.attach("a", 1.0);
+  queue.attach("b", 1.0);
+  queue.push("a", 1);
+  queue.push("a", 2);
+  queue.push("b", 3);
+  std::vector<std::uint64_t> dropped = queue.detach("a");
+  EXPECT_EQ(dropped, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(queue.total_queued(), 1u);
+  auto popped = queue.pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->id, 3u);
+  EXPECT_FALSE(queue.attached("a"));
+}
+
+TEST(FairShareQueue, RejectsNonPositiveWeight) {
+  FairShareQueue queue;
+  EXPECT_THROW(queue.attach("a", 0.0), util::Error);
+  EXPECT_THROW(queue.attach("a", -1.0), util::Error);
+}
+
+// ---------------------------------------------------------------------------
+// IntakeJournal
+// ---------------------------------------------------------------------------
+
+class IntakeJournalTest : public ::testing::Test {
+ protected:
+  std::string path() {
+    return ::testing::TempDir() + "intake_" + std::to_string(getpid()) + "_" +
+           std::to_string(counter_) + ".journal";
+  }
+  void SetUp() override { ++counter_; std::remove(path().c_str()); }
+  void TearDown() override { std::remove(path().c_str()); }
+  static int counter_;
+};
+int IntakeJournalTest::counter_ = 0;
+
+TEST_F(IntakeJournalTest, RoundTripsArbitraryBytes) {
+  IntakeRecord record;
+  record.intake_id = 7;
+  record.tenant = "alice";
+  record.client_seq = 3;
+  record.command = "printf 'a\tb\nc' \\\\ end";
+  record.has_stdin = true;
+  record.stdin_data = std::string("line1\nline2\tmid\\slash\n", 22);
+  {
+    IntakeJournal journal(path());
+    journal.append_accept(record);
+  }
+  std::vector<IntakeRecord> replayed = IntakeJournal::replay(path());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].intake_id, 7u);
+  EXPECT_EQ(replayed[0].tenant, "alice");
+  EXPECT_EQ(replayed[0].client_seq, 3u);
+  EXPECT_EQ(replayed[0].command, record.command);
+  EXPECT_TRUE(replayed[0].has_stdin);
+  EXPECT_EQ(replayed[0].stdin_data, record.stdin_data);
+}
+
+TEST_F(IntakeJournalTest, CancelRecordsFoldOut) {
+  {
+    IntakeJournal journal(path());
+    for (std::uint64_t id : {1, 2, 3}) {
+      IntakeRecord record;
+      record.intake_id = id;
+      record.tenant = "t";
+      record.command = "true";
+      journal.append_accept(record);
+    }
+    journal.append_cancel(2);
+  }
+  std::vector<IntakeRecord> replayed = IntakeJournal::replay(path());
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].intake_id, 1u);
+  EXPECT_EQ(replayed[1].intake_id, 3u);
+  EXPECT_EQ(IntakeJournal::max_intake_id(path()), 3u);
+}
+
+TEST_F(IntakeJournalTest, TornTailIsDroppedOnReplayAndTrimmedOnReopen) {
+  {
+    IntakeJournal journal(path());
+    IntakeRecord record;
+    record.intake_id = 1;
+    record.tenant = "t";
+    record.command = "true";
+    journal.append_accept(record);
+  }
+  {
+    // A SIGKILL mid-write can only tear the final, never-acked line.
+    std::ofstream torn(path(), std::ios::app | std::ios::binary);
+    torn << "A\t2\tt\t9\t0\ttruncated-in-fli";
+  }
+  std::vector<IntakeRecord> replayed = IntakeJournal::replay(path());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].intake_id, 1u);
+  {
+    // Reopen repairs the tail so the next append starts a clean line.
+    IntakeJournal journal(path());
+    IntakeRecord record;
+    record.intake_id = 3;
+    record.tenant = "t";
+    record.command = "echo after-crash";
+    journal.append_accept(record);
+  }
+  replayed = IntakeJournal::replay(path());
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[1].intake_id, 3u);
+  EXPECT_EQ(replayed[1].command, "echo after-crash");
+}
+
+TEST_F(IntakeJournalTest, MissingFileReplaysEmpty) {
+  EXPECT_TRUE(IntakeJournal::replay(path() + ".absent").empty());
+  EXPECT_EQ(IntakeJournal::max_intake_id(path() + ".absent"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ServerCore
+// ---------------------------------------------------------------------------
+
+/// Deterministic synchronous executor: start() computes the result at once
+/// (echoing the command), wait_any() releases completions in dispatch
+/// order. Makes fair-share order observable end-to-end and lets replay
+/// tests model a crash as "destroy the core before stepping".
+class InlineExecutor final : public Executor {
+ public:
+  void start(const ExecRequest& request) override {
+    ExecResult result;
+    result.job_id = request.job_id;
+    result.start_time = clock_;
+    result.end_time = clock_ += 0.001;
+    if (killed_.count(request.job_id)) {
+      result.term_signal = 15;
+    } else if (request.command.rfind("fail", 0) == 0) {
+      result.exit_code = 9;
+    } else {
+      result.stdout_data = "out:" + request.command + "\n";
+    }
+    done_.push_back(result);
+  }
+  std::optional<ExecResult> wait_any(double) override {
+    if (hold_ || done_.empty() || release_budget_ == 0) return std::nullopt;
+    if (release_budget_ > 0) --release_budget_;
+    ExecResult result = done_.front();
+    done_.pop_front();
+    if (killed_.count(result.job_id)) result.term_signal = 15;
+    return result;
+  }
+  void kill(std::uint64_t job_id, bool) override { killed_.insert(job_id); }
+  std::size_t active_count() const override { return done_.size(); }
+  double now() const override { return clock_; }
+  ResourcePressure pressure() const override { return pressure_; }
+
+  ResourcePressure pressure_;
+  /// While set, started jobs stay "running" (wait_any yields nothing) —
+  /// lets tests freeze the world between dispatch and completion.
+  bool hold_ = false;
+  /// Completions wait_any may still release (-1 = unlimited) — lets tests
+  /// stop a run at an exact point of partial progress.
+  int release_budget_ = -1;
+
+ private:
+  std::deque<ExecResult> done_;
+  std::set<std::uint64_t> killed_;
+  double clock_ = 1.0;
+};
+
+class ServerCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "server_core_" + std::to_string(getpid()) +
+           "_" + std::to_string(counter_++);
+    mkdir(dir_.c_str(), 0755);
+  }
+  void TearDown() override {
+    // Tests create a handful of known files; remove what exists.
+    for (const std::string& name :
+         {std::string("intake.journal"), std::string("ledger.joblog")}) {
+      std::remove((dir_ + "/" + name).c_str());
+    }
+    for (const std::string& tenant : {"default", "alice", "bob", "mallory"}) {
+      std::remove(ServerCore::tenant_joblog_path(dir_, tenant).c_str());
+    }
+    rmdir(dir_.c_str());
+  }
+
+  ServerConfig config(std::size_t slots = 2) {
+    ServerConfig config;
+    config.state_dir = dir_;
+    config.slots = slots;
+    return config;
+  }
+
+  static void drain(ServerCore& core) {
+    while (!core.idle()) core.step(0.0);
+  }
+
+  std::string dir_;
+  static int counter_;
+};
+int ServerCoreTest::counter_ = 0;
+
+TEST_F(ServerCoreTest, AcceptsRunsAndLedgersExactlyOnce) {
+  InlineExecutor executor;
+  ServerCore core(config(), executor);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    Admission admission = core.submit("alice", seq, "echo " + std::to_string(seq));
+    ASSERT_TRUE(admission.accepted);
+    EXPECT_EQ(admission.intake_id, seq);
+  }
+  drain(core);
+  core.flush();
+
+  std::vector<TenantEvent> events = core.take_events();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    EXPECT_EQ(events[seq - 1].tenant, "alice");
+    EXPECT_EQ(events[seq - 1].result.seq, seq);  // client seq, not intake id
+    EXPECT_EQ(events[seq - 1].result.stdout_data,
+              "out:echo " + std::to_string(seq) + "\n");
+  }
+  EXPECT_EQ(core.stats().accepted, 3u);
+  EXPECT_EQ(core.stats().completed, 3u);
+  EXPECT_EQ(core.stats().served_by_tenant.at("alice"), 3u);
+  EXPECT_TRUE(ServerCore::replay_pending(dir_).empty());
+
+  // Ledger rows subtract from replay; tenant joblog is the delivery copy.
+  EXPECT_EQ(read_resume_skip_set(ServerCore::ledger_path(dir_), false).size(), 3u);
+  EXPECT_EQ(read_resume_skip_set(ServerCore::tenant_joblog_path(dir_, "alice"),
+                                 false)
+                .size(),
+            3u);
+}
+
+TEST_F(ServerCoreTest, JournalWriteHappensBeforeAcceptReturns) {
+  InlineExecutor executor;
+  ServerCore core(config(), executor);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  Admission admission = core.submit("alice", 1, "echo hi");
+  ASSERT_TRUE(admission.accepted);
+  // No step() yet — the record must already be durable.
+  std::vector<IntakeRecord> journaled =
+      IntakeJournal::replay(ServerCore::journal_path(dir_));
+  ASSERT_EQ(journaled.size(), 1u);
+  EXPECT_EQ(journaled[0].intake_id, admission.intake_id);
+  EXPECT_EQ(journaled[0].command, "echo hi");
+}
+
+TEST_F(ServerCoreTest, SubmitRequiresAttachedTenant) {
+  InlineExecutor executor;
+  ServerCore core(config(), executor);
+  Admission admission = core.submit("ghost", 1, "true");
+  EXPECT_FALSE(admission.accepted);
+  EXPECT_EQ(admission.code, RejectCode::kBadRequest);
+}
+
+TEST_F(ServerCoreTest, ValidatesTenantNamesAndWeightsAtAttach) {
+  InlineExecutor executor;
+  ServerCore core(config(), executor);
+  EXPECT_FALSE(core.attach_tenant("../escape").accepted);
+  EXPECT_FALSE(core.attach_tenant("").accepted);
+  EXPECT_FALSE(core.attach_tenant(".hidden").accepted);
+  EXPECT_FALSE(core.attach_tenant("sp ace").accepted);
+  EXPECT_FALSE(core.attach_tenant(std::string(65, 'x')).accepted);
+  EXPECT_FALSE(core.attach_tenant("alice", 0.0).accepted);
+  EXPECT_FALSE(core.attach_tenant("alice", -2.0).accepted);
+  EXPECT_TRUE(core.attach_tenant("A-ok_1.2").accepted);
+  EXPECT_TRUE(ServerCore::valid_tenant_name("a"));
+  EXPECT_FALSE(ServerCore::valid_tenant_name("a/b"));
+}
+
+TEST_F(ServerCoreTest, RejectsOversizedAndEmptyCommands) {
+  InlineExecutor executor;
+  ServerConfig cfg = config();
+  cfg.limits.max_command_bytes = 16;
+  ServerCore core(cfg, executor);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  EXPECT_EQ(core.submit("alice", 1, "").code, RejectCode::kBadRequest);
+  EXPECT_EQ(core.submit("alice", 2, std::string(17, 'x')).code,
+            RejectCode::kBadRequest);
+  EXPECT_TRUE(core.submit("alice", 3, "true").accepted);
+}
+
+TEST_F(ServerCoreTest, BoundsPerTenantAndGlobalQueues) {
+  InlineExecutor executor;
+  ServerConfig cfg = config(/*slots=*/1);
+  cfg.limits.max_queue_per_tenant = 2;
+  cfg.limits.max_queue_global = 3;
+  ServerCore core(cfg, executor);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  ASSERT_TRUE(core.attach_tenant("bob").accepted);
+
+  ASSERT_TRUE(core.submit("alice", 1, "true").accepted);
+  ASSERT_TRUE(core.submit("alice", 2, "true").accepted);
+  Admission third = core.submit("alice", 3, "true");
+  EXPECT_FALSE(third.accepted);
+  EXPECT_EQ(third.code, RejectCode::kQueueFull);
+  EXPECT_GT(third.retry_after, 0.0);
+
+  ASSERT_TRUE(core.submit("bob", 1, "true").accepted);
+  Admission fourth = core.submit("bob", 2, "true");
+  EXPECT_FALSE(fourth.accepted);
+  EXPECT_EQ(fourth.code, RejectCode::kServerFull);
+  EXPECT_EQ(core.stats().rejected_queue_full, 1u);
+  EXPECT_EQ(core.stats().rejected_server_full, 1u);
+}
+
+TEST_F(ServerCoreTest, PressureGateRejectsAtAdmissionEdge) {
+  InlineExecutor executor;
+  executor.pressure_.mem_free_bytes = 1000.0;
+  ServerConfig cfg = config();
+  cfg.limits.memfree_bytes = 1 << 20;  // needs 1 MiB free; only 1000 B free
+  ServerCore core(cfg, executor);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  Admission admission = core.submit("alice", 1, "true");
+  EXPECT_FALSE(admission.accepted);
+  EXPECT_EQ(admission.code, RejectCode::kPressure);
+  EXPECT_GT(admission.retry_after, 0.0);
+  // Pressure rejects are the server's fault — never eviction strikes.
+  EXPECT_FALSE(core.tenant_evicted("alice"));
+}
+
+TEST_F(ServerCoreTest, FloodingTenantIsEvictedOthersUnaffected) {
+  InlineExecutor executor;
+  ServerConfig cfg = config(/*slots=*/1);
+  cfg.limits.max_queue_per_tenant = 1;
+  cfg.limits.evict_after_strikes = 3;
+  ServerCore core(cfg, executor);
+  ASSERT_TRUE(core.attach_tenant("mallory").accepted);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  ASSERT_TRUE(core.submit("mallory", 1, "true").accepted);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(core.submit("mallory", 2 + i, "true").code, RejectCode::kQueueFull);
+  }
+  EXPECT_TRUE(core.tenant_evicted("mallory"));
+  EXPECT_EQ(core.stats().evictions, 1u);
+  EXPECT_EQ(core.submit("mallory", 9, "true").code, RejectCode::kEvicted);
+  EXPECT_FALSE(core.attach_tenant("mallory").accepted);
+  // The neighbour keeps working, and mallory's already-accepted job runs.
+  EXPECT_TRUE(core.submit("alice", 1, "true").accepted);
+  drain(core);
+  EXPECT_EQ(core.stats().completed, 2u);
+}
+
+TEST_F(ServerCoreTest, AcceptResetsFloodStrikes) {
+  InlineExecutor executor;
+  ServerConfig cfg = config(/*slots=*/1);
+  cfg.limits.max_queue_per_tenant = 1;
+  cfg.limits.evict_after_strikes = 3;
+  ServerCore core(cfg, executor);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(core.submit("alice", round * 10, "true").accepted);
+    // Two strikes, then drain the queue — the accept resets the count.
+    EXPECT_FALSE(core.submit("alice", round * 10 + 1, "true").accepted);
+    EXPECT_FALSE(core.submit("alice", round * 10 + 2, "true").accepted);
+    drain(core);
+  }
+  EXPECT_FALSE(core.tenant_evicted("alice"));
+}
+
+TEST_F(ServerCoreTest, FairShareFollowsWeightsOnOneSlot) {
+  InlineExecutor executor;
+  ServerCore core(config(/*slots=*/1), executor);
+  ASSERT_TRUE(core.attach_tenant("alice", 2.0).accepted);
+  ASSERT_TRUE(core.attach_tenant("bob", 1.0).accepted);
+  for (std::uint64_t seq = 1; seq <= 6; ++seq) {
+    ASSERT_TRUE(core.submit("alice", seq, "true").accepted);
+    ASSERT_TRUE(core.submit("bob", seq, "true").accepted);
+  }
+  drain(core);
+  std::vector<TenantEvent> events = core.take_events();
+  ASSERT_EQ(events.size(), 12u);
+  // One slot + a synchronous executor make dispatch order the event order:
+  // each DRR cycle is alice, alice, bob.
+  std::map<std::string, int> first9;
+  for (int i = 0; i < 9; ++i) ++first9[events[i].tenant];
+  EXPECT_EQ(first9["alice"], 6);
+  EXPECT_EQ(first9["bob"], 3);
+  EXPECT_EQ(core.stats().served_by_tenant.at("alice"), 6u);
+  EXPECT_EQ(core.stats().served_by_tenant.at("bob"), 6u);
+  EXPECT_EQ(core.stats().queue_latency_seconds.size(), 12u);
+}
+
+TEST_F(ServerCoreTest, CrashBeforeDispatchReplaysEverythingAcked) {
+  InlineExecutor executor;
+  {
+    ServerCore core(config(), executor);
+    ASSERT_TRUE(core.attach_tenant("alice").accepted);
+    for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+      ASSERT_TRUE(core.submit("alice", seq, "echo " + std::to_string(seq)).accepted);
+    }
+    // kill -9 here: the core is destroyed without ever stepping.
+  }
+  std::vector<IntakeRecord> pending = ServerCore::replay_pending(dir_);
+  ASSERT_EQ(pending.size(), 5u);
+
+  InlineExecutor executor2;
+  ServerCore restarted(config(), executor2);
+  EXPECT_EQ(restarted.stats().replayed, 5u);
+  EXPECT_EQ(restarted.queued_count(), 5u);
+  drain(restarted);
+  EXPECT_EQ(restarted.stats().completed, 5u);
+  EXPECT_TRUE(ServerCore::replay_pending(dir_).empty());
+
+  // Intake ids never repeat across restarts.
+  ASSERT_TRUE(restarted.attach_tenant("alice").accepted);
+  Admission fresh = restarted.submit("alice", 6, "true");
+  ASSERT_TRUE(fresh.accepted);
+  EXPECT_EQ(fresh.intake_id, 6u);
+
+  // A third incarnation sees a clean slate (minus the just-accepted job).
+  std::vector<TenantEvent> events = restarted.take_events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    EXPECT_EQ(events[seq - 1].result.seq, seq);
+  }
+}
+
+TEST_F(ServerCoreTest, PartialCompletionReplaysOnlyTheRemainder) {
+  InlineExecutor executor;
+  {
+    ServerCore core(config(/*slots=*/2), executor);
+    ASSERT_TRUE(core.attach_tenant("alice").accepted);
+    for (std::uint64_t seq = 1; seq <= 6; ++seq) {
+      ASSERT_TRUE(core.submit("alice", seq, "true").accepted);
+    }
+    // Exactly two completions land in the ledger; the rest (some running,
+    // some queued) die with the "process".
+    executor.release_budget_ = 2;
+    core.step(0.0);
+    ASSERT_EQ(core.stats().completed, 2u);
+    core.flush();
+  }
+  std::vector<IntakeRecord> pending = ServerCore::replay_pending(dir_);
+  std::set<std::uint64_t> ledgered =
+      read_resume_skip_set(ServerCore::ledger_path(dir_), false);
+  EXPECT_EQ(pending.size() + ledgered.size(), 6u);
+  for (const IntakeRecord& record : pending) {
+    EXPECT_FALSE(ledgered.count(record.intake_id))
+        << "job " << record.intake_id << " would run twice";
+  }
+}
+
+TEST_F(ServerCoreTest, DrainStopsAdmissionAndCheckpointsQueue) {
+  InlineExecutor executor;
+  ServerCore core(config(/*slots=*/1), executor);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    ASSERT_TRUE(core.submit("alice", seq, "true").accepted);
+  }
+  core.begin_drain();
+  EXPECT_TRUE(core.draining());
+  Admission refused = core.submit("alice", 9, "true");
+  EXPECT_FALSE(refused.accepted);
+  EXPECT_EQ(refused.code, RejectCode::kDraining);
+  // Nothing was running, so nothing dispatches during drain; all four stay
+  // journaled as the restart checkpoint.
+  core.step(0.0);
+  EXPECT_EQ(core.running_count(), 0u);
+  EXPECT_EQ(core.queued_count(), 4u);
+  EXPECT_EQ(ServerCore::replay_pending(dir_).size(), 4u);
+  EXPECT_FALSE(core.attach_tenant("bob").accepted);
+}
+
+TEST_F(ServerCoreTest, OrphanCancelDropsQueuedAndKillsRunning) {
+  InlineExecutor executor;
+  ServerConfig cfg = config(/*slots=*/1);
+  cfg.orphans = OrphanPolicy::kCancel;
+  ServerCore core(cfg, executor);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE(core.submit("alice", seq, "sleepish").accepted);
+  }
+  // Freeze completions so exactly one job occupies the slot while the
+  // other two sit queued when the client vanishes.
+  executor.hold_ = true;
+  core.step(0.0);
+  EXPECT_EQ(core.running_count(), 1u);
+  EXPECT_EQ(core.queued_count(), 2u);
+  core.detach_tenant("alice", /*orphaned=*/true);
+  EXPECT_EQ(core.stats().cancelled, 2u);
+  executor.hold_ = false;
+  drain(core);
+  // The killed running job still ledgered exactly once; cancels journaled.
+  EXPECT_TRUE(ServerCore::replay_pending(dir_).empty());
+  EXPECT_EQ(core.stats().completed, 1u);
+}
+
+TEST_F(ServerCoreTest, CleanByeKeepsPendingJobsEvenUnderCancelPolicy) {
+  InlineExecutor executor;
+  ServerConfig cfg = config(/*slots=*/1);
+  cfg.orphans = OrphanPolicy::kCancel;
+  ServerCore core(cfg, executor);
+  ASSERT_TRUE(core.attach_tenant("alice").accepted);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE(core.submit("alice", seq, "true").accepted);
+  }
+  core.detach_tenant("alice", /*orphaned=*/false);  // explicit BYE
+  EXPECT_EQ(core.stats().cancelled, 0u);
+  drain(core);
+  EXPECT_EQ(core.stats().completed, 3u);
+}
+
+TEST_F(ServerCoreTest, ReplayedJobsRunWithoutTheirClient) {
+  InlineExecutor executor;
+  {
+    ServerCore core(config(), executor);
+    ASSERT_TRUE(core.attach_tenant("alice").accepted);
+    ASSERT_TRUE(core.submit("alice", 1, "true").accepted);
+  }
+  InlineExecutor executor2;
+  ServerCore restarted(config(), executor2);
+  // alice never reconnects; the journal promise holds regardless.
+  EXPECT_FALSE(restarted.tenant_connected("alice"));
+  drain(restarted);
+  EXPECT_EQ(restarted.stats().completed, 1u);
+}
+
+}  // namespace
+}  // namespace parcl::core

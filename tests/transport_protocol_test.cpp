@@ -177,6 +177,52 @@ TEST(TransportCodec, ByteAtATimeEqualsOneShot) {
 // Conformance: malformed streams must fail loudly and stay failed.
 // ---------------------------------------------------------------------------
 
+TEST(TransportCodec, ClientHelloRoundTrips) {
+  ClientHelloFrame hello;
+  hello.version = kProtocolVersion;
+  hello.tenant = "team-a_1.prod";
+  hello.weight = 2.5;
+  std::vector<Frame> frames = decode_stream(encode_client_hello(hello), 3);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, FrameType::kClientHello);
+  ClientHelloFrame decoded = decode_client_hello(frames[0]);
+  EXPECT_EQ(decoded.version, kProtocolVersion);
+  EXPECT_EQ(decoded.tenant, "team-a_1.prod");
+  EXPECT_DOUBLE_EQ(decoded.weight, 2.5);
+}
+
+TEST(TransportCodec, RejectRoundTripsEveryCode) {
+  for (RejectCode code :
+       {RejectCode::kQueueFull, RejectCode::kServerFull, RejectCode::kPressure,
+        RejectCode::kDraining, RejectCode::kBadRequest, RejectCode::kEvicted}) {
+    RejectFrame reject;
+    reject.seq = 99;
+    reject.code = code;
+    reject.retry_after = 0.25;
+    reject.message = "queue says no";
+    std::vector<Frame> frames = decode_stream(encode_reject(reject), 1);
+    ASSERT_EQ(frames.size(), 1u);
+    ASSERT_EQ(frames[0].type, FrameType::kReject);
+    RejectFrame decoded = decode_reject(frames[0]);
+    EXPECT_EQ(decoded.seq, 99u);
+    EXPECT_EQ(decoded.code, code);
+    EXPECT_DOUBLE_EQ(decoded.retry_after, 0.25);
+    EXPECT_EQ(decoded.message, "queue says no");
+    EXPECT_NE(std::string(to_string(code)), "?");
+  }
+}
+
+TEST(TransportConformance, RejectWithUnknownCodeByteRejected) {
+  RejectFrame reject;
+  reject.code = RejectCode::kQueueFull;
+  std::string encoded = encode_reject(reject);
+  // The code byte sits after the 5-byte frame header and the u64 seq.
+  encoded[5 + 8] = 0x7f;
+  std::vector<Frame> frames = decode_stream(encoded, encoded.size());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_THROW(decode_reject(frames[0]), ProtocolError);
+}
+
 TEST(TransportConformance, TruncatedPayloadIsIncompleteNotGarbage) {
   std::string frame = encode_heartbeat(HeartbeatFrame{});
   FrameDecoder decoder;

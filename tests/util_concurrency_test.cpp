@@ -94,6 +94,33 @@ TEST(BlockingQueue, BoundedCapacityBlocksProducer) {
   EXPECT_EQ(queue.size(), 2u);
 }
 
+TEST(BlockingQueue, TryPushNeverBlocks) {
+  BlockingQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full: refuse instead of blocking
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_TRUE(queue.try_push(3));  // space again
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_EQ(queue.pop().value(), 3);
+}
+
+TEST(BlockingQueue, TryPushRefusedAfterClose) {
+  BlockingQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(2));
+  EXPECT_EQ(queue.pop().value(), 1);  // close still drains
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BlockingQueue, TryPushUnboundedOnlyRefusesWhenClosed) {
+  BlockingQueue<int> queue;
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(queue.try_push(i));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(1000));
+}
+
 TEST(BlockingQueue, ManyProducersManyConsumers) {
   BlockingQueue<int> queue(16);
   std::atomic<long> sum{0};
