@@ -5,6 +5,7 @@
 #include "core/pipe.hpp"
 
 #include "util/error.hpp"
+#include "util/net.hpp"
 #include "util/strings.hpp"
 
 namespace parcl::core {
@@ -196,6 +197,8 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
       plan.service.state_dir = take_value(argv, i, arg);
     } else if (arg == "--tenant") {
       plan.service.tenant = take_value(argv, i, arg);
+    } else if (arg == "--token") {
+      plan.service.token = take_value(argv, i, arg);
     } else if (arg == "--tenant-weight") {
       plan.service.tenant_weight = util::parse_double(take_value(argv, i, arg));
       if (!(plan.service.tenant_weight > 0.0)) {
@@ -365,6 +368,17 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
           "--server cannot combine with --sshlogin, --semaphore, --pilot, "
           "--worker, or --graph");
     }
+    // A TCP listener beyond loopback hands arbitrary command execution (as
+    // the server user) to anyone who can reach the port: refuse it without
+    // a shared secret. parse_ipv4_endpoint() also validates the spec here,
+    // at config time, instead of after the daemon has claimed state.
+    if (!plan.service.listen.empty() &&
+        !util::is_loopback(util::parse_ipv4_endpoint(plan.service.listen)) &&
+        plan.service.token.empty()) {
+      throw util::ConfigError(
+          "--listen beyond loopback requires --token SECRET: every admitted "
+          "client can run arbitrary commands as the server user");
+    }
   }
   if (plan.service.client) {
     if (plan.service.socket_path.empty() && plan.service.connect.empty()) {
@@ -395,6 +409,10 @@ RunPlan parse_cli(const std::vector<std::string>& argv) {
   if (!plan.service.server && !plan.service.client &&
       !plan.service.socket_path.empty()) {
     throw util::ConfigError("--socket applies to --server or --client");
+  }
+  if (!plan.service.server && !plan.service.client &&
+      !plan.service.token.empty()) {
+    throw util::ConfigError("--token applies to --server or --client");
   }
 
   if (!plan.graph_file.empty()) {
@@ -626,8 +644,13 @@ options:
       --socket PATH   unix socket rendezvous (server default:
                       <state-dir>/parcl.sock; required for --client
                       unless --connect is given)
-      --listen H:P    additionally accept TCP clients (server)
+      --listen H:P    additionally accept TCP clients (server). Empty host
+                      binds loopback; a non-loopback bind (e.g. 0.0.0.0)
+                      requires --token, because every admitted client runs
+                      arbitrary commands as the server user
       --connect H:P   reach the server over TCP instead of --socket
+      --token S       shared-secret admission: the server rejects any
+                      CLIENT_HELLO whose --token does not match
       --state-dir D   server crash-recovery state: intake journal,
                       exactly-once ledger, per-tenant joblogs (required)
       --tenant NAME   client identity for fair-share (default: "default")

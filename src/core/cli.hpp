@@ -71,6 +71,11 @@ struct ServiceCli {
   std::string state_dir;
   std::string tenant = "default";  // --tenant NAME (client identity)
   double tenant_weight = 1.0;      // --tenant-weight W (fair-share quantum)
+  /// --token SECRET: shared-secret admission. When set on the server every
+  /// CLIENT_HELLO must carry the same value; required for a non-loopback
+  /// --listen (an admitted client runs arbitrary commands as the server
+  /// user, so the network edge must not be open).
+  std::string token;
   std::size_t max_queue = 1024;        // --max-queue (per tenant, server)
   std::size_t max_queue_global = 8192; // --max-queue-global (server)
   /// --orphans keep|cancel: pending jobs of a disconnected client.

@@ -81,6 +81,7 @@ class ServiceClient {
     transport::ClientHelloFrame hello;
     hello.tenant = service.tenant;
     hello.weight = service.tenant_weight;
+    hello.token = service.token;
     if (!send(transport::encode_client_hello(hello))) return kExitConnectionLost;
     std::optional<transport::Frame> reply = read_frame();
     if (!reply) return kExitConnectionLost;
@@ -212,11 +213,13 @@ class ServiceClient {
         for (auto it = pending_.begin(); it != pending_.end();) {
           if (it->second.acked) {
             ++checkpointed_;
+            mark_gap(it->first);
             it = pending_.erase(it);
           } else {
             ++it;
           }
         }
+        emit_ready();
         return true;
       case transport::FrameType::kBye:
         lost_code_ = pending_.empty() ? 0 : kExitConnectionLost;
@@ -235,7 +238,11 @@ class ServiceClient {
       fatal_ = true;
       fatal_code_ = kExitRefused;
       fatal_message_ = reject.message;
-      if (it != pending_.end()) pending_.erase(it);
+      if (it != pending_.end()) {
+        mark_gap(reject.seq);
+        pending_.erase(it);
+        emit_ready();
+      }
       return true;
     }
     if (it == pending_.end()) return true;
@@ -248,9 +255,17 @@ class ServiceClient {
     ++failures_;
     err_ << "parcl: --client: job " << reject.seq << " rejected ("
          << transport::to_string(reject.code) << "): " << reject.message << "\n";
+    mark_gap(reject.seq);
     pending_.erase(it);
+    emit_ready();
     return true;
   }
+
+  /// A seq that will never produce output this session (permanently
+  /// rejected, or checkpointed by a drain) must still count as emitted, or
+  /// keep-order (-k) waits on it forever and every later job's completed
+  /// output dies buffered in arrived_.
+  void mark_gap(std::uint64_t seq) { arrived_[seq].done = true; }
 
   /// Emits finished output. -k holds completions until every earlier seq
   /// has been emitted (the serial-order contract); otherwise completion

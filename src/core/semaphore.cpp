@@ -45,6 +45,35 @@ bool process_alive(long pid) {
   return kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
 }
 
+/// Reap-guard critical sections. Reaping a stale slot is a
+/// read-pid-then-unlink sequence that races a fresh holder's
+/// flock-then-stamp sequence: the reaper can read the dead owner's pid,
+/// lose the CPU while a new holder flocks and stamps, then unlink the
+/// inode the new holder just verified — leaving two processes holding the
+/// same slot (one on the ghost inode, one on its replacement). A
+/// per-semaphore sidecar lock serializes the two sequences: holders
+/// stamp+verify under LOCK_SH, reapers re-read+unlink under LOCK_EX, so a
+/// reaper either sees the new holder's live stamp (and skips the unlink)
+/// or unlinks before the holder's verify (which then fails and retries).
+/// Returns -1 when the guard cannot be taken; callers treat that as
+/// "do not reap" / "proceed unguarded" — the guard is a correctness fence
+/// for the race, not for basic operation.
+int lock_reap_guard(const std::string& path, int how) {
+  int fd = open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0600);
+  if (fd < 0) return -1;
+  if (flock(fd, how) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void unlock_reap_guard(int fd) {
+  if (fd < 0) return;
+  flock(fd, LOCK_UN);
+  close(fd);
+}
+
 }  // namespace
 
 SemaphoreSlot::~SemaphoreSlot() {
@@ -89,6 +118,10 @@ std::string FileSemaphore::slot_path(std::size_t index) const {
   return directory_ + "/parcl-sem-" + name_ + "." + std::to_string(index) + ".lock";
 }
 
+std::string FileSemaphore::guard_path() const {
+  return directory_ + "/parcl-sem-" + name_ + ".reap";
+}
+
 SemaphoreSlot FileSemaphore::try_acquire() {
   for (std::size_t i = 0; i < slots_; ++i) {
     const std::string path = slot_path(i);
@@ -99,13 +132,20 @@ SemaphoreSlot FileSemaphore::try_acquire() {
       int fd = open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0600);
       if (fd < 0) throw util::SystemError("open semaphore slot", errno);
       if (flock(fd, LOCK_EX | LOCK_NB) == 0) {
+        // Stamp and verify under the shared reap guard so no reaper can
+        // unlink this inode between our stamp and our verify (see
+        // lock_reap_guard). The slot flock is already ours, so the guard
+        // only orders us against reapers, never against other acquirers.
+        int guard = lock_reap_guard(guard_path(), LOCK_SH);
         stamp_owner(fd);
         // A concurrent reaper may have unlinked the file between our open
         // and flock — then we hold a lock on a ghost inode nobody else can
         // see. Only the lock on the file currently at `path` counts.
         struct stat locked{}, on_disk{};
-        if (fstat(fd, &locked) == 0 && stat(path.c_str(), &on_disk) == 0 &&
-            locked.st_ino == on_disk.st_ino && locked.st_dev == on_disk.st_dev) {
+        bool current = fstat(fd, &locked) == 0 && stat(path.c_str(), &on_disk) == 0 &&
+                       locked.st_ino == on_disk.st_ino && locked.st_dev == on_disk.st_dev;
+        unlock_reap_guard(guard);
+        if (current) {
           SemaphoreSlot slot;
           slot.fd_ = fd;
           slot.index_ = i;
@@ -121,13 +161,38 @@ SemaphoreSlot FileSemaphore::try_acquire() {
       long owner = read_owner(fd);
       close(fd);
       if (owner > 0 && !process_alive(owner)) {
-        unlink(path.c_str());
-        continue;
+        if (reap_stale(path)) continue;
+        break;  // could not prove staleness under the guard; treat as held
       }
       break;  // genuinely held by a live process
     }
   }
   return SemaphoreSlot{};
+}
+
+/// Unlinks `path` iff its stamped owner is (still) dead, re-checked under
+/// the exclusive reap guard. Returns true when the caller should retry the
+/// slot (the stale file is gone — possibly reaped by someone else first).
+bool FileSemaphore::reap_stale(const std::string& path) const {
+  int guard = lock_reap_guard(guard_path(), LOCK_EX);
+  if (guard < 0) return false;
+  bool reaped = false;
+  // No O_CREAT: an absent file means another reaper already won the race.
+  int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    reaped = (errno == ENOENT);
+  } else {
+    long owner = read_owner(fd);
+    close(fd);
+    if (owner > 0 && !process_alive(owner)) {
+      unlink(path.c_str());
+      reaped = true;
+    }
+    // A live (or missing) stamp here means a fresh holder claimed the slot
+    // between our first read and the guard: not stale after all.
+  }
+  unlock_reap_guard(guard);
+  return reaped;
 }
 
 SemaphoreSlot FileSemaphore::acquire(double timeout_seconds, int poll_interval_ms) {

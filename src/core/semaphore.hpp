@@ -11,7 +11,9 @@
 // death, so a slot that stays locked after its stamped owner died can only
 // be wedged by file descriptors leaked into surviving children; acquire()
 // treats such slots as stale and reaps them (unlink + fresh file) instead
-// of waiting forever.
+// of waiting forever. Reaps are serialized against fresh acquisitions via a
+// per-semaphore `.reap` guard lock, so a racing reaper can never unlink the
+// inode a new holder just locked and verified.
 #pragma once
 
 #include <cstddef>
@@ -57,8 +59,13 @@ class FileSemaphore {
   const std::string& name() const noexcept { return name_; }
   /// Path of slot file i (for tests and cleanup).
   std::string slot_path(std::size_t index) const;
+  /// Path of the per-semaphore reap-guard lock that serializes stale-slot
+  /// reaping against fresh acquisitions (for tests and cleanup).
+  std::string guard_path() const;
 
  private:
+  bool reap_stale(const std::string& path) const;
+
   std::string name_;
   std::size_t slots_;
   std::string directory_;

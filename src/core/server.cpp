@@ -572,6 +572,10 @@ namespace {
 /// it is dropped as half-open (a connect scan, a hung client).
 constexpr double kHelloTimeout = 10.0;
 
+/// Budget for flushing buffered tail frames (final RESULTs, BYE) to slow
+/// clients on shutdown before falling back to joblog-is-delivery.
+constexpr double kShutdownFlushTimeout = 5.0;
+
 struct Connection {
   int fd = -1;
   transport::FrameDecoder decoder;
@@ -583,10 +587,22 @@ struct Connection {
   double opened_at = 0.0;
 };
 
+/// Constant-time comparison for the admission token: reject timing must not
+/// leak how long a correct prefix an attacker has guessed.
+bool tokens_equal(const std::string& expected, const std::string& got) {
+  unsigned char diff =
+      static_cast<unsigned char>(expected.size() != got.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    unsigned char g = i < got.size() ? static_cast<unsigned char>(got[i]) : 0;
+    diff |= static_cast<unsigned char>(expected[i]) ^ g;
+  }
+  return diff == 0;
+}
+
 class ServiceLoop {
  public:
-  ServiceLoop(ServerCore& core, std::vector<int> listeners)
-      : core_(core), listeners_(std::move(listeners)) {}
+  ServiceLoop(ServerCore& core, std::vector<int> listeners, std::string token)
+      : core_(core), listeners_(std::move(listeners)), token_(std::move(token)) {}
 
   ~ServiceLoop() {
     for (auto& connection : connections_) drop(*connection, /*orphaned=*/false);
@@ -619,8 +635,12 @@ class ServiceLoop {
         core_.flush();
         for (auto& connection : connections_) {
           if (connection->hello_done) send(*connection, transport::encode_bye());
-          flush_writes(*connection);
         }
+        // Tail RESULT/BYE frames may still sit in outbufs (nonblocking
+        // writes hit EAGAIN on slow clients); give each socket a bounded
+        // POLLOUT drain before the close. Past the deadline the joblog is
+        // the delivery contract.
+        drain_outbufs(kShutdownFlushTimeout);
         return 0;
       }
 
@@ -649,20 +669,25 @@ class ServiceLoop {
       if (errno == EINTR) return;
       throw util::SystemError("poll", errno);
     }
+    // accept_all() grows connections_, but fds only covers the pre-poll
+    // list — iterate that many by index (the vector may also reallocate)
+    // and let freshly accepted connections wait for the next poll pass.
+    const std::size_t polled = connections_.size();
     std::size_t index = 0;
     for (int fd : listeners_) {
       if (fds[index++].revents & POLLIN) accept_all(fd);
     }
-    for (auto& connection : connections_) {
+    for (std::size_t i = 0; i < polled; ++i) {
+      Connection& connection = *connections_[i];
       short revents = fds[index++].revents;
       if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
         if (!(revents & POLLIN)) {  // HUP with pending bytes: read them first
-          drop(*connection, /*orphaned=*/!connection->clean_bye);
+          drop(connection, /*orphaned=*/!connection.clean_bye);
           continue;
         }
       }
-      if ((revents & POLLIN) && !connection->closing) read_frames(*connection);
-      if ((revents & POLLOUT) && connection->fd >= 0) flush_writes(*connection);
+      if ((revents & POLLIN) && !connection.closing) read_frames(connection);
+      if ((revents & POLLOUT) && connection.fd >= 0) flush_writes(connection);
     }
   }
 
@@ -721,6 +746,14 @@ class ServiceLoop {
         reject(connection, 0, RejectCode::kBadRequest, 0.0,
                "protocol version mismatch: server speaks " +
                    std::to_string(transport::kProtocolVersion));
+        connection.closing = true;
+        return;
+      }
+      if (!token_.empty() && !tokens_equal(token_, hello.token)) {
+        // Deliberately terse: no hint whether the token was absent, short,
+        // or wrong — the port may be network-reachable.
+        reject(connection, 0, RejectCode::kBadRequest, 0.0,
+               "authentication failed");
         connection.closing = true;
         return;
       }
@@ -840,6 +873,39 @@ class ServiceLoop {
     }
   }
 
+  /// Blocking best-effort drain of every connection's outbuf: poll POLLOUT
+  /// and rewrite until all buffers empty or `budget` seconds elapse. Used
+  /// only on the shutdown path, where the nonblocking loop is about to
+  /// stop turning.
+  void drain_outbufs(double budget) {
+    const double deadline = now() + budget;
+    while (true) {
+      std::vector<pollfd> fds;
+      std::vector<Connection*> waiting;
+      for (auto& connection : connections_) {
+        if (connection->fd >= 0 && !connection->outbuf.empty()) {
+          fds.push_back({connection->fd, POLLOUT, 0});
+          waiting.push_back(connection.get());
+        }
+      }
+      if (fds.empty()) return;
+      double remaining = deadline - now();
+      if (remaining <= 0.0) return;
+      int ready = ::poll(fds.data(), fds.size(),
+                         static_cast<int>(remaining * 1000.0) + 1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if (ready == 0) return;  // deadline hit with clients still stalled
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i].revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL)) {
+          flush_writes(*waiting[i]);
+        }
+      }
+    }
+  }
+
   void drop(Connection& connection, bool orphaned) {
     if (connection.fd < 0) return;
     ::close(connection.fd);
@@ -876,6 +942,7 @@ class ServiceLoop {
 
   ServerCore& core_;
   std::vector<int> listeners_;
+  std::string token_;  // empty = no admission secret required
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<std::string, Connection*> by_tenant_;
   bool killed_ = false;
@@ -921,7 +988,7 @@ int run_server(const RunPlan& plan) {
   signals.install();
   int code;
   {
-    ServiceLoop loop(core, std::move(listeners));
+    ServiceLoop loop(core, std::move(listeners), service.token);
     code = loop.run(signals);
   }
   ::unlink(socket_path.c_str());

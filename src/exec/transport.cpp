@@ -398,6 +398,7 @@ std::string encode_client_hello(const ClientHelloFrame& f) {
   w.u32(f.version);
   w.str(f.tenant);
   w.f64(f.weight);
+  w.str(f.token);
   return frame_bytes(FrameType::kClientHello, w.take());
 }
 
@@ -408,6 +409,9 @@ ClientHelloFrame decode_client_hello(const Frame& frame) {
   f.version = r.u32();
   f.tenant = r.str();
   f.weight = r.f64();
+  // v1 hellos carried no token. Tolerate its absence so an old client gets
+  // the friendly version-mismatch REJECT instead of a protocol drop.
+  f.token = r.remaining() > 0 ? r.str() : "";
   r.expect_end();
   return f;
 }

@@ -57,7 +57,7 @@ namespace parcl::exec::transport {
 /// Bumped on any incompatible wire change. HELLO carries the worker's
 /// version; the pilot rejects a mismatch outright (no downgrade path — both
 /// ends ship in one binary).
-constexpr std::uint32_t kProtocolVersion = 1;
+constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Hard ceiling on a frame payload. Output chunks are cut well below this
 /// (kChunkBytes); anything larger in a length prefix is a corrupt or
@@ -251,6 +251,11 @@ struct ClientHelloFrame {
   std::uint32_t version = kProtocolVersion;
   std::string tenant;
   double weight = 1.0;
+  /// Shared-secret authentication (--token). The server compares it against
+  /// its own configured token before admitting the tenant; required
+  /// whenever the server listens beyond loopback, since an admitted client
+  /// gets arbitrary command execution as the server user.
+  std::string token;
 };
 
 /// Explicit admission rejection. `seq` names the refused client-side job

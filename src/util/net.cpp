@@ -40,7 +40,12 @@ sockaddr_in ipv4_address(const Ipv4Endpoint& endpoint, bool for_listen) {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(endpoint.port);
   std::string host = endpoint.host;
-  if (host.empty()) host = for_listen ? "0.0.0.0" : "127.0.0.1";
+  // An empty host defaults to loopback in BOTH directions. A listener must
+  // say 0.0.0.0 explicitly to accept off-host clients — the server runs
+  // whatever a connected client submits, so a wildcard bind is an explicit
+  // decision, never a default.
+  (void)for_listen;
+  if (host.empty()) host = "127.0.0.1";
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     throw ConfigError("expected a numeric IPv4 address, got '" + host + "'");
   }
@@ -92,6 +97,13 @@ Ipv4Endpoint parse_ipv4_endpoint(const std::string& spec) {
   }
   endpoint.port = static_cast<std::uint16_t>(port);
   return endpoint;
+}
+
+bool is_loopback(const Ipv4Endpoint& endpoint) {
+  if (endpoint.host.empty()) return true;
+  in_addr addr{};
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr) != 1) return false;
+  return (ntohl(addr.s_addr) >> 24) == 127;
 }
 
 int tcp_listen(const Ipv4Endpoint& endpoint, int backlog) {

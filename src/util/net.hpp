@@ -22,7 +22,8 @@ int unix_listen(const std::string& path, int backlog = 64);
 int unix_connect(const std::string& path);
 
 /// Parsed "host:port" endpoint. `host` must be a numeric IPv4 address;
-/// empty host (":9000") means 0.0.0.0 for listening.
+/// empty host (":9000") means 127.0.0.1 — for listeners too. Binding all
+/// interfaces takes an explicit 0.0.0.0.
 struct Ipv4Endpoint {
   std::string host;
   std::uint16_t port = 0;
@@ -31,6 +32,10 @@ struct Ipv4Endpoint {
 /// Parses "host:port". Throws ConfigError on a malformed address, a
 /// non-numeric host, or an out-of-range port.
 Ipv4Endpoint parse_ipv4_endpoint(const std::string& spec);
+
+/// True when `endpoint` can only be reached from this host: empty (the
+/// loopback default) or a 127.0.0.0/8 address.
+bool is_loopback(const Ipv4Endpoint& endpoint);
 
 /// Binds and listens on a TCP socket (SO_REUSEADDR). Throws SystemError.
 int tcp_listen(const Ipv4Endpoint& endpoint, int backlog = 64);

@@ -494,6 +494,37 @@ TEST(ParclService, ConfigErrorsExit255) {
                         "'echo x' ::: a")
                 .exit_code,
             255);
+  // A non-loopback TCP bind is arbitrary command execution for anyone who
+  // can reach the port — refused without a shared secret.
+  EXPECT_EQ(run_command(parcl() +
+                        " --server --state-dir /tmp/x --listen 0.0.0.0:19777")
+                .exit_code,
+            255);
+  // --token is a service-mode flag.
+  EXPECT_EQ(run_command(parcl() + " --token s 'echo x' ::: a").exit_code, 255);
+}
+
+TEST(ParclService, TokenGatesAdmission) {
+  // Server with a token: a tokenless client is rejected (122, protocol/auth)
+  // before any job runs; a matching client is served normally.
+  CommandResult result = run_command(
+      "D=$(mktemp -d); " + parcl() +
+      " --server --state-dir \"$D\" -j2 --token hunter2 "
+      "2>\"$D/server.log\" & S=$!; "
+      "for i in $(seq 100); do [ -S \"$D/parcl.sock\" ] && break; sleep 0.05; done; " +
+      parcl() + " --client --socket \"$D/parcl.sock\" 'echo no-{}' ::: a "
+      ">\"$D/bad.out\" 2>&1; B=$?; " +
+      parcl() + " --client --socket \"$D/parcl.sock\" --token hunter2 "
+      "-k 'echo ok-{}' ::: a b; G=$?; "
+      "kill -TERM $S; wait $S; "
+      "echo \"bad=$B good=$G\"; cat \"$D/bad.out\"; rm -rf \"$D\"");
+  EXPECT_NE(result.output.find("ok-a\nok-b\n"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("bad=122 good=0"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("authentication failed"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("no-a"), std::string::npos) << result.output;
 }
 
 }  // namespace

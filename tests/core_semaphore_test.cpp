@@ -30,6 +30,7 @@ class SemaphoreTest : public ::testing::Test {
     for (std::size_t i = 0; i < semaphore.slots(); ++i) {
       cleanup_.push_back(semaphore.slot_path(i));
     }
+    cleanup_.push_back(semaphore.guard_path());
   }
   static int counter_;
   std::vector<std::string> cleanup_;

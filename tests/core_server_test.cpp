@@ -5,19 +5,28 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <deque>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/cli.hpp"
+#include "core/client.hpp"
 #include "core/joblog.hpp"
 #include "core/scheduler.hpp"
 #include "util/error.hpp"
+#include "util/net.hpp"
 
 namespace parcl::core {
 namespace {
@@ -598,6 +607,99 @@ TEST_F(ServerCoreTest, ReplayedJobsRunWithoutTheirClient) {
   EXPECT_FALSE(restarted.tenant_connected("alice"));
   drain(restarted);
   EXPECT_EQ(restarted.stats().completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceClient collation against a scripted in-process server (the one
+// socket-using exception here: the scripted frame order below cannot be
+// produced deterministically through the real server + CLI).
+// ---------------------------------------------------------------------------
+
+// A permanently rejected job must not wedge keep-order collation: seq 2 is
+// rejected without a retry hint while seq 3 completes before seq 1, so the
+// client has to emit 1, treat 2 as a gap, and still flush 3.
+TEST(ServiceClient, KeepOrderFlushesPastPermanentRejection) {
+  namespace transport = exec::transport;
+  // The client may close its end before the scripted BYE reply lands; a
+  // raw write would then SIGPIPE this process (parcl_main ignores it, the
+  // test harness does not).
+  ::signal(SIGPIPE, SIG_IGN);
+  const std::string path = ::testing::TempDir() + "client_ko_" +
+                           std::to_string(getpid()) + ".sock";
+  int listener = util::unix_listen(path);
+  ASSERT_GE(listener, 0);
+
+  std::thread server([&] {
+    int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) return;
+    transport::FrameDecoder decoder;
+    auto read_frame = [&]() -> std::optional<transport::Frame> {
+      while (true) {
+        if (std::optional<transport::Frame> frame = decoder.next()) return frame;
+        char buffer[4096];
+        ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n <= 0) return std::nullopt;
+        decoder.feed(buffer, static_cast<std::size_t>(n));
+      }
+    };
+    auto write_all = [&](const std::string& bytes) {
+      std::size_t done = 0;
+      while (done < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          return;
+        }
+        done += static_cast<std::size_t>(n);
+      }
+    };
+    std::optional<transport::Frame> hello = read_frame();
+    EXPECT_TRUE(hello && hello->type == transport::FrameType::kClientHello);
+    write_all(transport::encode_hello_ack({}));
+    std::optional<transport::Frame> submit = read_frame();
+    if (submit) {
+      EXPECT_EQ(transport::decode_submit(*submit).jobs.size(), 3u);
+    }
+    transport::AckFrame ack;
+    ack.seqs = {1, 3};
+    write_all(transport::encode_ack(ack));
+    transport::RejectFrame reject;
+    reject.seq = 2;
+    reject.code = RejectCode::kBadRequest;
+    reject.retry_after = 0.0;  // permanent: no backoff hint
+    reject.message = "scripted rejection";
+    write_all(transport::encode_reject(reject));
+    auto finish_job = [&](std::uint64_t seq, const std::string& line) {
+      transport::ChunkFrame chunk;
+      chunk.seq = seq;
+      chunk.data = line;
+      write_all(transport::encode_chunk(transport::FrameType::kStdout, chunk));
+      transport::ResultFrame result;
+      result.seq = seq;
+      result.stdout_chunks = 1;
+      write_all(transport::encode_result(result));
+    };
+    finish_job(3, "third\n");  // completes first — -k must hold it
+    finish_job(1, "first\n");
+    read_frame();  // client BYE (or EOF)
+    write_all(transport::encode_bye());
+    ::close(fd);
+  });
+
+  RunPlan plan = parse_cli(
+      {"--client", "--socket", path, "-k", "echo", "{}", ":::", "a", "b", "c"});
+  std::istringstream in;
+  std::ostringstream out, err;
+  int code = run_client(plan, in, out, err);
+  server.join();
+  ::close(listener);
+  ::unlink(path.c_str());
+
+  // One rejected job = exit 1; both completions flushed in seq order with
+  // the rejected seq treated as an output gap, not waited on forever.
+  EXPECT_EQ(code, 1);
+  EXPECT_EQ(out.str(), "first\nthird\n");
+  EXPECT_NE(err.str().find("scripted rejection"), std::string::npos);
 }
 
 }  // namespace

@@ -182,6 +182,7 @@ TEST(TransportCodec, ClientHelloRoundTrips) {
   hello.version = kProtocolVersion;
   hello.tenant = "team-a_1.prod";
   hello.weight = 2.5;
+  hello.token = "s3cret token, spaces ok";
   std::vector<Frame> frames = decode_stream(encode_client_hello(hello), 3);
   ASSERT_EQ(frames.size(), 1u);
   ASSERT_EQ(frames[0].type, FrameType::kClientHello);
@@ -189,6 +190,34 @@ TEST(TransportCodec, ClientHelloRoundTrips) {
   EXPECT_EQ(decoded.version, kProtocolVersion);
   EXPECT_EQ(decoded.tenant, "team-a_1.prod");
   EXPECT_DOUBLE_EQ(decoded.weight, 2.5);
+  EXPECT_EQ(decoded.token, "s3cret token, spaces ok");
+}
+
+// A v1 hello (no token field) must still decode — the server answers it
+// with a version-mismatch REJECT, which requires getting past the decoder.
+TEST(TransportCodec, ClientHelloTokenlessPayloadDecodes) {
+  ClientHelloFrame hello;
+  hello.version = 1;
+  hello.tenant = "old";
+  hello.weight = 1.0;
+  hello.token = "ignored";
+  std::string bytes = encode_client_hello(hello);
+  // Strip the trailing token (u32 length + bytes) and patch the frame's
+  // length prefix to match the shortened payload.
+  std::size_t token_bytes = 4 + hello.token.size();
+  bytes.resize(bytes.size() - token_bytes);
+  std::uint32_t payload_len =
+      static_cast<std::uint32_t>(bytes.size() - 5);  // 4-byte len + type byte
+  bytes[0] = static_cast<char>(payload_len & 0xff);  // little-endian prefix
+  bytes[1] = static_cast<char>((payload_len >> 8) & 0xff);
+  bytes[2] = static_cast<char>((payload_len >> 16) & 0xff);
+  bytes[3] = static_cast<char>((payload_len >> 24) & 0xff);
+  std::vector<Frame> frames = decode_stream(bytes, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  ClientHelloFrame decoded = decode_client_hello(frames[0]);
+  EXPECT_EQ(decoded.version, 1u);
+  EXPECT_EQ(decoded.tenant, "old");
+  EXPECT_TRUE(decoded.token.empty());
 }
 
 TEST(TransportCodec, RejectRoundTripsEveryCode) {
